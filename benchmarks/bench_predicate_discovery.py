@@ -1,0 +1,50 @@
+"""Predicate discovery (Section II in-text): 341 candidates → 12 kept.
+
+Distant supervision over the infobox discovers candidate implicit-isA
+predicates by aligning SPO triples with bracket-derived priors.  At full
+scale the paper reports 341 candidates of which 12 survive manual
+curation; proportionally, the synthetic world carries a dozen genuine
+implicit-isA predicates among dozens of accidental aligners.  The
+benchmarked unit is one full discovery pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.generation.predicates import PredicateDiscovery
+from repro.encyclopedia.synthesis.inventory import PREDICATE_WHITELIST
+from repro.eval.report import format_percent, render_table
+
+
+def test_predicate_discovery_benchmark(benchmark, world, cn_probase, record):
+    bracket_relations = cn_probase.per_source_relations["bracket"]
+    discoverer = PredicateDiscovery()
+
+    result = benchmark(
+        lambda: discoverer.discover(world.dump(), bracket_relations)
+    )
+
+    rows = [
+        [c.name, str(c.aligned), str(c.total), format_percent(c.support),
+         "selected" if c.name in result.selected else
+         ("genuine" if c.name in PREDICATE_WHITELIST else "noise")]
+        for c in result.candidates[:20]
+    ]
+    rows.append(["…", "", "", "", f"{result.n_candidates} candidates total"])
+    record(render_table(
+        ["predicate", "aligned", "total", "support", "status"],
+        rows,
+        title=(
+            "Predicate discovery — paper: 341 candidates → 12 curated; "
+            f"here: {result.n_candidates} candidates → "
+            f"{len(result.selected)} selected"
+        ),
+    ))
+
+    # shape: more candidates than selections (paper: 341 vs 12)
+    assert result.n_candidates >= len(result.selected) + 6
+    assert 6 <= len(result.selected) <= 12
+    # automatic curation recovers only genuine implicit-isA predicates
+    assert set(result.selected) <= PREDICATE_WHITELIST
+    # weak aligners were seen but rejected
+    rejected = {c.name for c in result.candidates} - set(result.selected)
+    assert rejected & {"称号", "属于", "相关领域", "别称", "出生地"}

@@ -1,0 +1,62 @@
+"""Scaling — build cost versus corpus size.
+
+The paper's pipeline processed a 16M-page dump; at reproduction scale the
+useful check is that the build scales roughly linearly in pages (every
+stage is a constant number of passes over the dump).  The benchmarked
+unit is the smallest build; the table reports the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, build_cn_probase
+from repro.encyclopedia import SyntheticWorld
+from repro.eval.report import format_count, render_table
+
+SIZES = (500, 1000, 2000)
+
+
+def _fast_config() -> PipelineConfig:
+    return PipelineConfig(enable_abstract=False)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for size in SIZES:
+        world = SyntheticWorld.generate(seed=size, n_entities=size)
+        started = time.perf_counter()
+        result = build_cn_probase(world.dump(), _fast_config())
+        elapsed = time.perf_counter() - started
+        rows.append((size, len(result.taxonomy), elapsed))
+    return rows
+
+
+def test_scaling_benchmark(benchmark, sweep, record):
+    world = SyntheticWorld.generate(seed=99, n_entities=SIZES[0])
+
+    result = benchmark.pedantic(
+        lambda: build_cn_probase(world.dump(), _fast_config()),
+        rounds=1, iterations=1,
+    )
+    assert len(result.taxonomy) > 0
+
+    rows = [
+        [format_count(size), format_count(relations), f"{seconds:.2f}s",
+         f"{relations / seconds:,.0f}"]
+        for size, relations, seconds in sweep
+    ]
+    record(render_table(
+        ["entities", "isA relations", "build time", "relations/s"],
+        rows,
+        title="Scaling — generation+verification build vs corpus size",
+    ))
+
+    # relations grow with corpus size
+    assert sweep[-1][1] > sweep[0][1]
+    # cost is sub-quadratic: 4x corpus should cost well under 16x time
+    ratio = sweep[-1][2] / max(sweep[0][2], 1e-9)
+    assert ratio < 16, ratio

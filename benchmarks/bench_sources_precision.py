@@ -1,0 +1,72 @@
+"""Per-source precision (Section II / IV-B in-text numbers).
+
+Paper: the bracket source alone yields ~2M isA relations at 96.2%
+precision; the tag source reaches 97.4% in the final taxonomy
+(comparable to Chinese WikiTaxonomy).  This benchmark reports both the
+raw generation-module precision per source and the post-verification
+precision per provenance, which also exercises every page anatomy of
+Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.eval.metrics import sample_precision
+from repro.eval.report import format_count, format_percent, render_table
+
+PAPER_RAW = {"bracket": 0.962}
+PAPER_FINAL = {"tag": 0.974}
+
+
+def test_sources_benchmark(benchmark, cn_probase, oracle, record):
+    per_source = cn_probase.per_source_relations
+
+    def measure():
+        rows = {}
+        for source, relations in per_source.items():
+            rows[source] = (
+                len(relations),
+                sample_precision(relations, oracle, 2000, seed=1).precision,
+            )
+        return rows
+
+    raw = benchmark(measure)
+
+    final = {}
+    for source in per_source:
+        relations = cn_probase.taxonomy.relations_by_source(source)
+        final[source] = (
+            len(relations),
+            sample_precision(relations, oracle, 2000, seed=1).precision
+            if relations else float("nan"),
+        )
+
+    rows = []
+    for source in ("bracket", "abstract", "infobox", "tag"):
+        raw_n, raw_p = raw.get(source, (0, float("nan")))
+        fin_n, fin_p = final.get(source, (0, float("nan")))
+        rows.append([
+            source,
+            format_count(raw_n), format_percent(raw_p),
+            format_count(fin_n),
+            format_percent(fin_p) if fin_n else "-",
+            format_percent(PAPER_RAW[source]) if source in PAPER_RAW
+            else (format_percent(PAPER_FINAL[source])
+                  if source in PAPER_FINAL else "-"),
+        ])
+    record(render_table(
+        ["source", "# raw", "raw precision", "# final", "final precision",
+         "paper"],
+        rows,
+        title="Per-source isA precision (raw generation vs verified)",
+    ))
+
+    # shape: bracket raw ≥ 93% (paper 96.2%); bracket is the biggest
+    # high-precision single source
+    assert raw["bracket"][1] >= 0.93
+    # tag source is the volume source
+    assert raw["tag"][0] > raw["bracket"][0]
+    # verification lifts tag precision substantially (paper reaches 97.4%;
+    # our synthetic residual noise concentrates in the tag channel, so the
+    # verified tag source lands slightly lower — see EXPERIMENTS.md)
+    assert final["tag"][1] >= raw["tag"][1] + 0.02
+    assert final["tag"][1] >= 0.88

@@ -1,0 +1,127 @@
+"""Table I — comparison with other taxonomies.
+
+Paper numbers (full scale):
+
+    Chinese WikiTaxonomy    581,616 /  79,470 /  1,317,956 / 97.6%
+    Bigcilin              9,000,000 /  70,000 / 10,000,000 / 90.0%
+    Probase-Tran            404,910 / 151,933 /  1,819,273 / 54.5%
+    CN-Probase           15,066,667 / 270,025 / 32,925,306 / 95.0%
+
+At 1/1000 synthetic scale the absolute counts shrink proportionally; the
+assertions check the *shape*: CN-Probase largest on entities/relations,
+precision ordering WikiTaxonomy > CN-Probase > Bigcilin >> Probase-Tran,
+and the ~25× relation gap to WikiTaxonomy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import build_cn_probase
+from repro.eval.metrics import sample_precision
+from repro.eval.report import format_count, format_percent, render_table
+
+from conftest import bench_pipeline_config
+
+PAPER_ROWS = {
+    "Chinese WikiTaxonomy": (581_616, 79_470, 1_317_956, 0.976),
+    "Bigcilin": (9_000_000, 70_000, 10_000_000, 0.900),
+    "Probase-Tran": (404_910, 151_933, 1_819_273, 0.545),
+    "CN-Probase": (15_066_667, 270_025, 32_925_306, 0.950),
+}
+
+
+@pytest.fixture(scope="module")
+def table_rows(world, oracle, cn_probase, wiki_taxonomy, bigcilin_taxonomy,
+               probase_tran_taxonomy):
+    taxonomies = {
+        "Chinese WikiTaxonomy": wiki_taxonomy,
+        "Bigcilin": bigcilin_taxonomy,
+        "Probase-Tran": probase_tran_taxonomy,
+        "CN-Probase": cn_probase.taxonomy,
+    }
+    rows = {}
+    for name, taxonomy in taxonomies.items():
+        stats = taxonomy.stats()
+        precision = sample_precision(
+            taxonomy.relations(), oracle, n_samples=2000, seed=1
+        ).precision
+        rows[name] = (
+            stats.n_entities, stats.n_concepts, stats.n_isa_total, precision
+        )
+    return rows
+
+
+def _render(table_rows) -> str:
+    lines = []
+    for name, (entities, concepts, relations, precision) in table_rows.items():
+        paper = PAPER_ROWS[name]
+        lines.append([
+            name,
+            format_count(entities), format_count(concepts),
+            format_count(relations), format_percent(precision),
+            format_percent(paper[3]),
+        ])
+    return render_table(
+        ["Taxonomy", "# entities", "# concepts", "# isA", "precision",
+         "paper precision"],
+        lines,
+        title="Table I — comparison with other taxonomies "
+              "(synthetic 1/1000 scale)",
+    )
+
+
+def test_table1_benchmark(benchmark, world, table_rows, record):
+    """Regenerates Table I; the benchmarked unit is one full CN-Probase
+    pipeline build over the shared dump."""
+    result = benchmark.pedantic(
+        lambda: build_cn_probase(world.dump(), bench_pipeline_config()),
+        rounds=1, iterations=1,
+    )
+    assert len(result.taxonomy) > 0
+    record(_render(table_rows))
+    wiki = table_rows["Chinese WikiTaxonomy"]
+    cn = table_rows["CN-Probase"]
+    big = table_rows["Bigcilin"]
+    tran = table_rows["Probase-Tran"]
+    assert wiki[3] > cn[3] > big[3] > tran[3]
+    assert cn[2] > big[2] > max(wiki[2], tran[2])
+
+
+class TestShape:
+    def test_cn_probase_largest_entities(self, table_rows):
+        cn = table_rows["CN-Probase"][0]
+        assert all(
+            cn >= row[0] for name, row in table_rows.items()
+            if name != "CN-Probase"
+        )
+
+    def test_cn_probase_largest_relations(self, table_rows):
+        cn = table_rows["CN-Probase"][2]
+        assert all(
+            cn > row[2] for name, row in table_rows.items()
+            if name != "CN-Probase"
+        )
+
+    def test_precision_ordering(self, table_rows):
+        wiki = table_rows["Chinese WikiTaxonomy"][3]
+        cn = table_rows["CN-Probase"][3]
+        big = table_rows["Bigcilin"][3]
+        tran = table_rows["Probase-Tran"][3]
+        assert wiki > cn > big > tran
+
+    def test_cn_probase_precision_band(self, table_rows):
+        assert 0.93 <= table_rows["CN-Probase"][3] <= 0.97
+
+    def test_probase_tran_below_sixty_five(self, table_rows):
+        assert table_rows["Probase-Tran"][3] < 0.65
+
+    def test_wiki_gap_roughly_25x(self, table_rows):
+        ratio = table_rows["CN-Probase"][2] / table_rows["Chinese WikiTaxonomy"][2]
+        assert 10 <= ratio <= 60, ratio
+
+    def test_headline_ratio_entity_vs_subconcept(self, cn_probase):
+        stats = cn_probase.taxonomy.stats()
+        # paper: 32.4M entity-concept vs 527K subconcept-concept (~61:1)
+        ratio = stats.n_entity_concept / max(stats.n_subconcept_concept, 1)
+        assert ratio > 5, ratio

@@ -1,0 +1,63 @@
+"""Table II — the three public APIs and their usage statistics.
+
+Paper (six months on Aliyun): men2ent 43,896,044 calls, getConcept
+13,815,076, getEntity 25,793,372 — a 0.53 / 0.17 / 0.31 mix.  The
+workload generator replays that mix at reduced volume against the built
+taxonomy; the benchmarked unit is serving throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import format_count, format_percent, render_table
+from repro.taxonomy.api import PAPER_API_CALLS, TaxonomyAPI, WorkloadGenerator
+
+N_CALLS = 30_000
+
+
+@pytest.fixture(scope="module")
+def served(cn_probase):
+    api = TaxonomyAPI(cn_probase.taxonomy)
+    generator = WorkloadGenerator(cn_probase.taxonomy, seed=2)
+    generator.run(api, N_CALLS)
+    return api.usage
+
+
+def test_table2_benchmark(benchmark, cn_probase, served, record):
+    api = TaxonomyAPI(cn_probase.taxonomy)
+    generator = WorkloadGenerator(cn_probase.taxonomy, seed=3)
+    calls = generator.generate(5_000)
+
+    def serve() -> int:
+        for call in calls:
+            if call.api == "men2ent":
+                api.men2ent(call.argument)
+            elif call.api == "getConcept":
+                api.get_concept(call.argument)
+            else:
+                api.get_entity(call.argument)
+        return api.usage.total_calls
+
+    total = benchmark(serve)
+    assert total >= 5_000
+
+    rows = []
+    for name in ("men2ent", "getConcept", "getEntity"):
+        rows.append([
+            name,
+            format_count(served.calls[name]),
+            format_percent(served.mix()[name]),
+            format_percent(PAPER_API_CALLS[name] / sum(PAPER_API_CALLS.values())),
+            format_percent(served.hit_rate(name)),
+        ])
+    record(render_table(
+        ["API name", "calls", "mix", "paper mix", "hit rate"],
+        rows,
+        title=f"Table II — API usage over {N_CALLS:,} replayed calls",
+    ))
+    # mix shape: men2ent > getEntity > getConcept, matching the paper
+    assert served.calls["men2ent"] > served.calls["getEntity"]
+    assert served.calls["getEntity"] > served.calls["getConcept"]
+    for name in ("men2ent", "getConcept", "getEntity"):
+        assert served.hit_rate(name) > 0.8

@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+One world and one CN-Probase build are shared by every benchmark module
+(session scope), so the expensive pipeline runs once.  Every benchmark
+prints the paper-shaped table it regenerates and appends it to
+``benchmarks/out/results.txt`` so a full run leaves a complete record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import Bigcilin, ChineseWikiTaxonomy, ProbaseTran
+from repro.core.generation.neural_gen import NeuralGenConfig
+from repro.core.pipeline import BuildResult, PipelineConfig, build_cn_probase
+from repro.encyclopedia import SyntheticWorld
+from repro.eval.metrics import make_oracle
+
+BENCH_SEED = 7
+BENCH_ENTITIES = 3000
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_pipeline_config() -> PipelineConfig:
+    return PipelineConfig(
+        neural=NeuralGenConfig(epochs=4, embed_dim=20, hidden_dim=24),
+        max_generation_pages=800,
+    )
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWorld:
+    return SyntheticWorld.generate(seed=BENCH_SEED, n_entities=BENCH_ENTITIES)
+
+
+@pytest.fixture(scope="session")
+def oracle(world):
+    return make_oracle(world)
+
+
+@pytest.fixture(scope="session")
+def cn_probase(world) -> BuildResult:
+    return build_cn_probase(world.dump(), bench_pipeline_config())
+
+
+@pytest.fixture(scope="session")
+def wiki_taxonomy(world):
+    return ChineseWikiTaxonomy().build(world.dump())
+
+
+@pytest.fixture(scope="session")
+def bigcilin_taxonomy(world):
+    return Bigcilin().build(world.dump())
+
+
+@pytest.fixture(scope="session")
+def probase_tran_taxonomy(world):
+    return ProbaseTran().build(world)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a result block and append it to benchmarks/out/results.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "results.txt"
+    path.write_text("", encoding="utf-8")
+
+    def _record(block: str) -> None:
+        print()
+        print(block)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(block + "\n\n")
+
+    return _record

@@ -1,0 +1,69 @@
+"""CN-Probase reproduction: generation + verification framework for
+large-scale Chinese taxonomy construction (Chen et al., ICDE 2019).
+
+The package is organised as one subpackage per subsystem:
+
+- :mod:`repro.nlp` — Chinese NLP substrate (segmentation, PMI, NER, POS).
+- :mod:`repro.encyclopedia` — CN-DBpedia-shaped encyclopedia substrate and
+  the synthetic world generator that replaces the proprietary 2017 dump.
+- :mod:`repro.neural` — numpy CopyNet-style seq2seq used by the abstract
+  source of the generation module.
+- :mod:`repro.taxonomy` — taxonomy data model, graph, indexed store and the
+  three public serving APIs (men2ent / getConcept / getEntity).
+- :mod:`repro.core` — the paper's contribution: the four generation
+  algorithms, the three verification heuristics and the build pipeline.
+- :mod:`repro.baselines` — Chinese WikiTaxonomy, Bigcilin and Probase-Tran.
+- :mod:`repro.eval` — precision sampling, QA coverage and report rendering.
+
+Quickstart::
+
+    from repro import build_cn_probase
+    from repro.encyclopedia import SyntheticWorld
+
+    world = SyntheticWorld.generate(seed=7, n_entities=2000)
+    result = build_cn_probase(world.dump())
+    print(result.taxonomy.stats())
+"""
+
+__version__ = "1.0.0"
+
+# Public names are resolved lazily (PEP 562) so that importing `repro`
+# stays cheap and subpackages do not import each other at module load.
+_LAZY_EXPORTS = {
+    "BuildResult": "repro.core.pipeline",
+    "CNProbaseBuilder": "repro.core.pipeline",
+    "build_cn_probase": "repro.core.pipeline",
+    "EncyclopediaDump": "repro.encyclopedia",
+    "EncyclopediaPage": "repro.encyclopedia",
+    "SyntheticWorld": "repro.encyclopedia",
+    "Taxonomy": "repro.taxonomy",
+    "TaxonomyAPI": "repro.taxonomy",
+}
+
+
+def __getattr__(name: str):
+    module_path = _LAZY_EXPORTS.get(name)
+    if module_path is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_path)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+__all__ = [
+    "BuildResult",
+    "CNProbaseBuilder",
+    "EncyclopediaDump",
+    "EncyclopediaPage",
+    "SyntheticWorld",
+    "Taxonomy",
+    "TaxonomyAPI",
+    "build_cn_probase",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""The three Chinese taxonomies CN-Probase is compared against (Table I).
+
+- :class:`ChineseWikiTaxonomy` — Li et al. 2015: single source (tag) with
+  strict validation → high precision, low coverage,
+- :class:`Bigcilin` — Fu et al. 2013: multiple sources, no verification
+  module → large but noisier,
+- :class:`ProbaseTran` — machine-translated English Probase with the
+  paper's three heuristic filters (meaning / transitivity / POS) →
+  cross-language noise keeps precision low.
+
+Each baseline's ``build`` returns a :class:`~repro.taxonomy.store.Taxonomy`
+so Table I can be computed uniformly.
+"""
+
+from repro.baselines.bigcilin import Bigcilin
+from repro.baselines.probase_tran import ProbaseTran
+from repro.baselines.translation import NoisyTranslator, TranslationConfig
+from repro.baselines.wikitaxonomy import ChineseWikiTaxonomy
+
+__all__ = [
+    "Bigcilin",
+    "ChineseWikiTaxonomy",
+    "NoisyTranslator",
+    "ProbaseTran",
+    "TranslationConfig",
+]

@@ -1,0 +1,143 @@
+"""Bigcilin baseline (Fu et al. 2013).
+
+"Bigcilin also extracts isA relations from multiple sources, but its
+precision is worse than ours since we use the verification module to
+further improve the precision."  The model here is therefore CN-Probase's
+generation module *without* the verification module, plus the looser
+choices typical of open hypernym discovery:
+
+- brackets are mined with a naive suffix heuristic rather than the PMI
+  separation algorithm,
+- every infobox predicate whose value recurs as a frequent hypernym
+  contributes, not just curated implicit-isA predicates,
+- tags get only the cheap cleaning the original system applies (a topic
+  stop-list), not CN-Probase's verification module.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.generation.tags import TagExtractor
+from repro.core.verification.thematic import THEMATIC_WORDS
+from repro.encyclopedia.model import EncyclopediaDump
+from repro.errors import SegmentationError
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.ner import NamedEntityRecognizer
+from repro.nlp.segmentation import Segmenter
+from repro.nlp.text import is_cjk_word, split_phrases
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+
+@dataclass
+class BigcilinConfig:
+    """Looseness knobs of the multi-source, no-verification build.
+
+    ``page_fraction`` models Bigcilin's smaller reach: it covers 9M
+    entities against the 15M of the encyclopedia CN-Probase processes.
+    """
+
+    page_fraction: float = 0.6
+    min_hypernym_frequency: int = 12  # for infobox value admission
+    min_tag_support: int = 4          # hypernym-support rank proxy for tags
+    max_hypernym_len: int = 6
+    selection_seed: int = 29
+
+
+class Bigcilin:
+    """Multi-source extraction without a verification module."""
+
+    def __init__(
+        self,
+        config: BigcilinConfig | None = None,
+        lexicon: Lexicon | None = None,
+    ) -> None:
+        self.config = config if config is not None else BigcilinConfig()
+        self._lexicon = lexicon
+
+    def build(self, dump: EncyclopediaDump) -> Taxonomy:
+        lexicon = self._lexicon if self._lexicon is not None else self._harvest(dump)
+        segmenter = Segmenter(lexicon)
+        self._recognizer = NamedEntityRecognizer(Lexicon.base())
+        taxonomy = Taxonomy(name="Bigcilin")
+
+        # Frequency prior over hypernym surfaces, from tags.
+        tag_counts: Counter[str] = Counter()
+        for page in dump:
+            tag_counts.update(set(page.tags))
+
+        rng = random.Random(self.config.selection_seed)
+        for page in dump:
+            if rng.random() > self.config.page_fraction:
+                continue
+            hypernyms: list[str] = []
+            # tags: topic stop-list plus a hypernym-support rank (Fu et
+            # al. rank hypernym candidates by corpus support)
+            hypernyms.extend(
+                r.hypernym
+                for r in TagExtractor().extract_from_page(page)
+                if r.hypernym not in THEMATIC_WORDS
+                and tag_counts[r.hypernym] >= self.config.min_tag_support
+            )
+            # bracket, naive suffix heuristic (no PMI model)
+            if page.bracket:
+                for phrase in split_phrases(page.bracket):
+                    hypernyms.extend(self._suffix_hypernyms(segmenter, phrase))
+            # infobox, loose: any CJK value that is a frequent tag surface
+            # (the topic stop-list applies here too)
+            for triple in page.infobox:
+                value = triple.value.strip()
+                if (
+                    is_cjk_word(value)
+                    and 2 <= len(value) <= self.config.max_hypernym_len
+                    and value not in THEMATIC_WORDS
+                    and tag_counts[value] >= self.config.min_hypernym_frequency
+                ):
+                    hypernyms.append(value)
+
+            kept = [h for h in dict.fromkeys(hypernyms) if h != page.title]
+            if not kept:
+                continue
+            taxonomy.add_entity(Entity(page_id=page.page_id, name=page.title))
+            for hypernym in kept:
+                taxonomy.add_relation(
+                    IsARelation(
+                        hyponym=page.page_id,
+                        hypernym=hypernym,
+                        source="baseline",
+                    )
+                )
+        taxonomy.finalize()
+        return taxonomy
+
+    def _suffix_hypernyms(self, segmenter: Segmenter, phrase: str) -> list[str]:
+        """Rightmost word only — no separation tree.
+
+        Fu et al. rely on a thesaurus of valid category words, which we
+        model with a cheap NE rejection on the suffix.
+        """
+        try:
+            words = segmenter.segment(phrase)
+        except SegmentationError:
+            return []
+        suffix = words[-1]
+        if (
+            is_cjk_word(suffix)
+            and len(suffix) >= 2
+            and not self._recognizer.is_named_entity(suffix)
+        ):
+            return [suffix]
+        return []
+
+    @staticmethod
+    def _harvest(dump: EncyclopediaDump) -> Lexicon:
+        lexicon = Lexicon.base()
+        for page in dump:
+            lexicon.add(page.title, 300, "n")
+            for tag in page.tags:
+                if tag and len(tag) <= 8:
+                    lexicon.add(tag, 200, "n")
+        return lexicon

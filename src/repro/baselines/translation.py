@@ -1,0 +1,119 @@
+"""Noisy cross-language translation channel for Probase-Tran.
+
+The paper builds Probase-Tran by running Google Translate over the
+English Probase and then filtering.  Offline, we model the *error
+channel* of that process instead of the translator itself: sense
+ambiguity is the dominant failure (English "star" → 星星 instead of
+明星), followed by transliteration garbling of entity names and outright
+untranslatable terms.  The channel's parameters are calibrated so the
+filtered result lands in the paper's ~55% precision band.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.nlp.base_lexicon import PLACE_SEEDS, THEMATIC_SEEDS
+
+# Wrong-sense translations per concept: plausible mistranslations a
+# word-level EN→ZH dictionary would pick (verbal readings, topic words,
+# homograph senses).
+_SENSE_CONFUSIONS: dict[str, tuple[str, ...]] = {
+    "歌手": ("唱歌", "歌唱"),
+    "演员": ("表演", "演出"),
+    "明星": ("星星", "恒星"),
+    "作家": ("写作", "著作"),
+    "画家": ("绘画", "油漆工"),
+    "导演": ("指导", "方向"),
+    "公司": ("陪伴", "连队"),
+    "乐队": ("带子", "波段"),
+    "银行": ("河岸", "岸边"),
+    "球队": ("队伍", "团队"),
+    "电影": ("胶片", "薄膜"),
+    "小说": ("新颖", "虚构"),
+    "歌曲": ("歌唱", "曲子"),
+    "游戏": ("比赛", "猎物"),
+    "水果": ("果实", "成果"),
+    "植物": ("工厂", "厂房"),
+    "动物": ("野兽", "牲畜"),
+    "城市": ("都会", "城"),
+    "国家": ("乡下", "州"),
+    "大学": ("学院派", "高校界"),
+}
+_TRANSLITERATION_TAIL = "斯尔姆顿贝特克罗"
+
+
+@dataclass
+class TranslationConfig:
+    """Error rates of the simulated EN→ZH channel."""
+
+    p_sense_error: float = 0.38       # concept picks a wrong homograph sense
+    p_thematic_drift: float = 0.10    # concept degrades to a topic word
+    p_ne_confusion: float = 0.05      # concept becomes a place name
+    p_entity_garbled: float = 0.24    # entity name transliterated wrongly
+    p_drop: float = 0.08              # untranslatable pair, dropped
+    seed: int = 0
+
+    def validate(self) -> None:
+        for name in (
+            "p_sense_error", "p_thematic_drift", "p_ne_confusion",
+            "p_entity_garbled", "p_drop",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+class NoisyTranslator:
+    """Applies the calibrated error channel to (entity, concept) pairs."""
+
+    def __init__(self, config: TranslationConfig | None = None) -> None:
+        self.config = config if config is not None else TranslationConfig()
+        self.config.validate()
+        self._rng = random.Random(self.config.seed)
+
+    def translate_concept(self, concept: str) -> str | None:
+        """Translate a concept surface; None means untranslatable."""
+        roll = self._rng.random()
+        config = self.config
+        if roll < config.p_drop:
+            return None
+        roll -= config.p_drop
+        if roll < config.p_sense_error:
+            confusions = _SENSE_CONFUSIONS.get(concept)
+            if confusions:
+                return self._rng.choice(confusions)
+            return concept + "物"  # generic wrong literal rendering
+        roll -= config.p_sense_error
+        if roll < config.p_thematic_drift:
+            return self._rng.choice(THEMATIC_SEEDS)
+        roll -= config.p_thematic_drift
+        if roll < config.p_ne_confusion:
+            return self._rng.choice(PLACE_SEEDS)
+        return concept
+
+    def translate_entity(self, name: str) -> str | None:
+        roll = self._rng.random()
+        config = self.config
+        if roll < config.p_drop:
+            return None
+        if roll < config.p_drop + config.p_entity_garbled:
+            tail = self._rng.choice(_TRANSLITERATION_TAIL)
+            keep = max(len(name) - 1, 1)
+            return name[:keep] + tail
+        return name
+
+    def translate_pair(
+        self, entity: str, concept: str
+    ) -> tuple[str, str] | None:
+        """Translate one isA pair; None when either side is dropped."""
+        translated_entity = self.translate_entity(entity)
+        if translated_entity is None:
+            return None
+        translated_concept = self.translate_concept(concept)
+        if translated_concept is None:
+            return None
+        if translated_entity == translated_concept:
+            return None
+        return translated_entity, translated_concept

@@ -1,0 +1,132 @@
+"""Command-line interface: generate → build → query, file to file.
+
+Usage::
+
+    cn-probase generate --entities 2000 --seed 7 --out dump.jsonl
+    cn-probase build --dump dump.jsonl --out taxonomy.jsonl
+    cn-probase stats --taxonomy taxonomy.jsonl
+    cn-probase query --taxonomy taxonomy.jsonl men2ent 刘德华
+    cn-probase query --taxonomy taxonomy.jsonl getConcept 刘德华#0
+    cn-probase query --taxonomy taxonomy.jsonl getEntity 歌手
+
+Every subcommand is importable (:func:`main` takes an argv list), which
+is how the test suite drives it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.generation.neural_gen import NeuralGenConfig
+from repro.core.pipeline import PipelineConfig, build_cn_probase
+from repro.encyclopedia import SyntheticWorld, load_dump, save_dump
+from repro.errors import ReproError
+from repro.taxonomy import Taxonomy, TaxonomyAPI
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    world = SyntheticWorld.generate(seed=args.seed, n_entities=args.entities)
+    n_pages = save_dump(world.dump(), args.out)
+    print(f"wrote {n_pages} pages to {args.out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    dump = load_dump(args.dump)
+    config = PipelineConfig(
+        enable_abstract=not args.no_abstract,
+        enable_incompatible=not args.no_incompatible,
+        enable_ner=not args.no_ner,
+        enable_syntax=not args.no_syntax,
+        neural=NeuralGenConfig(epochs=args.neural_epochs),
+        max_generation_pages=args.max_generation_pages,
+    )
+    result = build_cn_probase(dump, config)
+    result.taxonomy.save(args.out)
+    stats = result.taxonomy.stats()
+    print(f"built {stats.n_isa_total} isA relations "
+          f"({stats.n_entities} entities, {stats.n_concepts} concepts); "
+          f"verification removed {result.n_removed} candidates")
+    print(f"wrote taxonomy to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    taxonomy = Taxonomy.load(args.taxonomy)
+    for key, value in taxonomy.stats().as_dict().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    taxonomy = Taxonomy.load(args.taxonomy)
+    api = TaxonomyAPI(taxonomy)
+    handlers = {
+        "men2ent": api.men2ent,
+        "getConcept": api.get_concept,
+        "getEntity": api.get_entity,
+    }
+    results = handlers[args.api](args.argument)
+    if not results:
+        print("(no results)")
+        return 1
+    for item in results:
+        print(item)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cn-probase",
+        description="CN-Probase taxonomy construction (ICDE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="synthesize an encyclopedia dump"
+    )
+    generate.add_argument("--entities", type=int, default=2000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="build a taxonomy from a dump")
+    build.add_argument("--dump", required=True)
+    build.add_argument("--out", required=True)
+    build.add_argument("--no-abstract", action="store_true",
+                       help="skip the (slow) neural generation source")
+    build.add_argument("--no-incompatible", action="store_true")
+    build.add_argument("--no-ner", action="store_true")
+    build.add_argument("--no-syntax", action="store_true")
+    build.add_argument("--neural-epochs", type=int, default=6)
+    build.add_argument("--max-generation-pages", type=int, default=None)
+    build.set_defaults(func=_cmd_build)
+
+    stats = sub.add_parser("stats", help="print taxonomy statistics")
+    stats.add_argument("--taxonomy", required=True)
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="call one of the three APIs")
+    query.add_argument("--taxonomy", required=True)
+    query.add_argument(
+        "api", choices=["men2ent", "getConcept", "getEntity"]
+    )
+    query.add_argument("argument")
+    query.set_defaults(func=_cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's contribution: generation + verification framework.
+
+- :mod:`repro.core.generation` — the four per-source extraction
+  algorithms (separation / neural generation / predicate discovery /
+  direct tag extraction) and candidate merging,
+- :mod:`repro.core.verification` — the three heuristic verifiers
+  (incompatible concepts / NE hypernym / syntax rules),
+- :mod:`repro.core.pipeline` — :class:`CNProbaseBuilder`, the end-to-end
+  build orchestrator (Figure 2).
+"""
+
+from repro.core.pipeline import BuildResult, CNProbaseBuilder, PipelineConfig, build_cn_probase
+
+__all__ = [
+    "BuildResult",
+    "CNProbaseBuilder",
+    "PipelineConfig",
+    "build_cn_probase",
+]

@@ -1,0 +1,26 @@
+"""Generation module: isA acquisition from the four encyclopedia sources."""
+
+from repro.core.generation.merge import CandidatePool
+from repro.core.generation.neural_gen import NeuralGenConfig, NeuralGenerator
+from repro.core.generation.predicates import (
+    DiscoveryResult,
+    PredicateDiscovery,
+)
+from repro.core.generation.separation import (
+    BracketExtractor,
+    SeparationAlgorithm,
+    SeparationNode,
+)
+from repro.core.generation.tags import TagExtractor
+
+__all__ = [
+    "BracketExtractor",
+    "CandidatePool",
+    "DiscoveryResult",
+    "NeuralGenConfig",
+    "NeuralGenerator",
+    "PredicateDiscovery",
+    "SeparationAlgorithm",
+    "SeparationNode",
+    "TagExtractor",
+]

@@ -1,0 +1,136 @@
+"""Candidate pool: merging per-source relations (Figure 2, centre).
+
+Candidate isA relations from all four sources are merged, deduplicated,
+and the concept layer is identified: a page whose *title* is used as a
+hypernym elsewhere describes a concept, so its own relations become
+subconcept-concept relations (男演员 isA 演员) rather than entity-concept
+ones.  This is where the paper's 527K subconcept relations come from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.encyclopedia.model import EncyclopediaDump
+from repro.taxonomy.model import (
+    HYPONYM_CONCEPT,
+    SOURCE_ABSTRACT,
+    SOURCE_BRACKET,
+    SOURCE_INFOBOX,
+    SOURCE_TAG,
+    IsARelation,
+)
+
+# Precedence for the provenance kept on duplicates: highest-precision
+# source first (the paper measures bracket 96.2% > infobox ≈ tag 97.4%
+# estimated post-verification > abstract).
+SOURCE_PRIORITY = {
+    SOURCE_BRACKET: 0,
+    SOURCE_INFOBOX: 1,
+    SOURCE_TAG: 2,
+    SOURCE_ABSTRACT: 3,
+    "baseline": 4,
+}
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Counts per stage of the merge."""
+
+    added: int
+    unique: int
+    per_source: dict[str, int]
+
+
+class CandidatePool:
+    """Dedup-merging container for candidate isA relations."""
+
+    def __init__(self) -> None:
+        self._relations: dict[tuple[str, str], IsARelation] = {}
+        self._sources: dict[tuple[str, str], set[str]] = defaultdict(set)
+        self._added = 0
+
+    def add(self, relations: list[IsARelation]) -> None:
+        for relation in relations:
+            self._added += 1
+            self._sources[relation.key].add(relation.source)
+            current = self._relations.get(relation.key)
+            if current is None or (
+                SOURCE_PRIORITY.get(relation.source, 9)
+                < SOURCE_PRIORITY.get(current.source, 9)
+            ):
+                self._relations[relation.key] = relation
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._relations
+
+    def relations(self) -> list[IsARelation]:
+        return list(self._relations.values())
+
+    def sources_of(self, key: tuple[str, str]) -> frozenset[str]:
+        return frozenset(self._sources.get(key, ()))
+
+    def from_source(self, source: str) -> list[IsARelation]:
+        """All relations that *source* contributed (pre-dedup provenance)."""
+        return [
+            relation
+            for key, relation in self._relations.items()
+            if source in self._sources[key]
+        ]
+
+    def stats(self) -> PoolStats:
+        per_source: dict[str, int] = defaultdict(int)
+        for sources in self._sources.values():
+            for source in sources:
+                per_source[source] += 1
+        return PoolStats(
+            added=self._added,
+            unique=len(self._relations),
+            per_source=dict(per_source),
+        )
+
+    # -- concept layer identification -------------------------------------
+
+    def reclassify_concept_pages(self, dump: EncyclopediaDump) -> int:
+        """Turn relations of concept-describing pages into concept pairs.
+
+        A page is concept-describing when its title appears as a hypernym
+        in the pool and the page carries no disambiguation bracket (real
+        entities with concept-colliding names keep their bracket).
+        Returns the number of rewritten relations.
+        """
+        hypernym_surfaces = {
+            relation.hypernym for relation in self._relations.values()
+        }
+        rewritten = 0
+        for key in list(self._relations):
+            relation = self._relations[key]
+            if relation.hyponym_kind == HYPONYM_CONCEPT:
+                continue
+            page = dump.get(relation.hyponym)
+            if page is None or page.bracket:
+                continue
+            if page.title not in hypernym_surfaces:
+                continue
+            if page.title == relation.hypernym:
+                del self._relations[key]
+                self._sources.pop(key, None)
+                continue
+            replacement = IsARelation(
+                hyponym=page.title,
+                hypernym=relation.hypernym,
+                source=relation.source,
+                hyponym_kind=HYPONYM_CONCEPT,
+                score=relation.score,
+            )
+            del self._relations[key]
+            sources = self._sources.pop(key)
+            if replacement.key not in self._relations:
+                self._relations[replacement.key] = replacement
+            self._sources[replacement.key] |= sources
+            rewritten += 1
+        return rewritten

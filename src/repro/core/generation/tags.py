@@ -1,0 +1,46 @@
+"""Direct extraction: tags as hypernyms (Section II).
+
+A tag is a word or phrase describing the entity; the majority of tags are
+hypernyms, so the extractor emits them directly.  All noise handling is
+deferred to the verification module, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.encyclopedia.model import EncyclopediaPage
+from repro.taxonomy.model import SOURCE_TAG, IsARelation
+
+
+class TagExtractor:
+    """Tag source of the generation module."""
+
+    def __init__(self, max_tag_len: int = 8) -> None:
+        self._max_tag_len = max_tag_len
+
+    def extract_from_page(self, page: EncyclopediaPage) -> list[IsARelation]:
+        relations: list[IsARelation] = []
+        seen: set[str] = set()
+        for tag in page.tags:
+            tag = tag.strip()
+            if (
+                not tag
+                or tag in seen
+                or tag == page.title
+                or len(tag) > self._max_tag_len
+            ):
+                continue
+            seen.add(tag)
+            relations.append(
+                IsARelation(
+                    hyponym=page.page_id,
+                    hypernym=tag,
+                    source=SOURCE_TAG,
+                )
+            )
+        return relations
+
+    def extract(self, pages) -> list[IsARelation]:
+        relations: list[IsARelation] = []
+        for page in pages:
+            relations.extend(self.extract_from_page(page))
+        return relations

@@ -1,0 +1,24 @@
+"""Verification module: the three noise filters of Section III.
+
+A candidate isA relation is dropped as soon as *any* verifier judges it
+wrong (the paper's disjunctive policy):
+
+- :class:`IncompatibleConceptFilter` — mines incompatible concept pairs
+  (Jaccard over hyponym sets + cosine over attribute distributions) and
+  arbitrates with KL divergence (Eq. 1),
+- :class:`NEHypernymFilter` — named-entity hypernyms via noisy-or support
+  (Eq. 2),
+- :class:`SyntaxRuleFilter` — thematic-word lexicon + head-stem rule.
+"""
+
+from repro.core.verification.incompatible import IncompatibleConceptFilter
+from repro.core.verification.ner_filter import NEHypernymFilter
+from repro.core.verification.syntax_rules import SyntaxRuleFilter
+from repro.core.verification.thematic import THEMATIC_WORDS
+
+__all__ = [
+    "IncompatibleConceptFilter",
+    "NEHypernymFilter",
+    "SyntaxRuleFilter",
+    "THEMATIC_WORDS",
+]

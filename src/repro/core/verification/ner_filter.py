@@ -1,0 +1,129 @@
+"""Named-entity hypernym verification (Section III-B).
+
+A named entity can rarely be a hypernym: ``isA(iPhone, 美国)`` is wrong
+because 美国 is an NE.  The filter combines two support signals per
+hypernym H:
+
+- ``s1(H)`` = NE(H)/total(H) over the text corpus (graded by recogniser
+  confidence),
+- ``s2(H)`` = support of H as an NE *inside the candidate taxonomy*: how
+  often H occurs on the hyponym (instance) side versus the hypernym side,
+
+with the noisy-or of Eq. 2: ``s(H) = 1 − (1 − s1)(1 − s2)``.  Relations
+whose hypernym support exceeds the threshold are dropped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.verification.incompatible import FilterDecision
+from repro.errors import PipelineError
+from repro.nlp.ner import NamedEntityRecognizer, NESupport
+from repro.taxonomy.model import HYPONYM_ENTITY, IsARelation
+
+
+def noisy_or(s1: float, s2: float) -> float:
+    """Eq. 2 — amplifies either support signal."""
+    return 1.0 - (1.0 - s1) * (1.0 - s2)
+
+
+@dataclass(frozen=True)
+class HypernymSupport:
+    """Both NE support scores for one hypernym surface."""
+
+    hypernym: str
+    s1: float
+    s2: float
+
+    @property
+    def combined(self) -> float:
+        return noisy_or(self.s1, self.s2)
+
+
+class NEHypernymFilter:
+    """Drops relations whose hypernym is NE-supported above threshold."""
+
+    def __init__(
+        self,
+        recognizer: NamedEntityRecognizer,
+        threshold: float = 0.55,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise PipelineError(
+                f"NE support threshold must be in (0, 1], got {threshold}"
+            )
+        self._recognizer = recognizer
+        self._threshold = threshold
+        self._corpus_support: dict[str, NESupport] = {}
+        self._hypo_counts: Counter[str] = Counter()
+        self._hyper_counts: Counter[str] = Counter()
+        self._titles: dict[str, str] = {}
+        self._fitted = False
+
+    def fit(
+        self,
+        segmented_corpus: list[list[str]],
+        relations: list[IsARelation],
+        titles: dict[str, str] | None = None,
+    ) -> "NEHypernymFilter":
+        """Collect corpus-side (s1) and taxonomy-side (s2) statistics.
+
+        *titles* maps entity page_ids to their mention surface so that
+        page_id hyponyms contribute their title, not the raw id.
+        """
+        self._corpus_support = self._recognizer.corpus_support(segmented_corpus)
+        self._titles = dict(titles or {})
+        self._hypo_counts.clear()
+        self._hyper_counts.clear()
+        for relation in relations:
+            surface = relation.hyponym
+            if relation.hyponym_kind == HYPONYM_ENTITY:
+                surface = self._titles.get(relation.hyponym, relation.hyponym)
+            self._hypo_counts[surface] += 1
+            self._hyper_counts[relation.hypernym] += 1
+        self._fitted = True
+        return self
+
+    # -- scores --------------------------------------------------------------
+
+    def s1(self, hypernym: str) -> float:
+        support = self._corpus_support.get(hypernym)
+        if support is not None and support.total > 0:
+            return support.ratio
+        # Unseen in corpus: fall back to the recogniser's judgement.
+        result = self._recognizer.classify(hypernym)
+        return result[1] if result is not None else 0.0
+
+    def s2(self, hypernym: str) -> float:
+        as_hypo = self._hypo_counts.get(hypernym, 0)
+        as_hyper = self._hyper_counts.get(hypernym, 0)
+        if as_hypo == 0:
+            return 0.0
+        return as_hypo / (as_hypo + as_hyper)
+
+    def support(self, hypernym: str) -> HypernymSupport:
+        if not self._fitted:
+            raise PipelineError("fit() must run before scoring")
+        return HypernymSupport(
+            hypernym=hypernym, s1=self.s1(hypernym), s2=self.s2(hypernym)
+        )
+
+    # -- filtering ----------------------------------------------------------------
+
+    def filter(self, relations: list[IsARelation]) -> FilterDecision:
+        if not self._fitted:
+            raise PipelineError("fit() must run before filter()")
+        kept: list[IsARelation] = []
+        removed: list[IsARelation] = []
+        cache: dict[str, float] = {}
+        for relation in relations:
+            hypernym = relation.hypernym
+            if hypernym not in cache:
+                cache[hypernym] = self.support(hypernym).combined
+            if cache[hypernym] > self._threshold:
+                removed.append(relation)
+            else:
+                kept.append(relation)
+        return FilterDecision(kept=kept, removed=removed)

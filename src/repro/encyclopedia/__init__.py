@@ -1,0 +1,28 @@
+"""Encyclopedia substrate: CN-DBpedia-shaped pages and the synthetic world.
+
+The paper's input is a CN-DBpedia dump (2017-05-20) with four information
+sources per page: bracket, abstract, infobox and tag (Figure 1).  That dump
+is proprietary-scale and offline-unavailable, so this subpackage provides
+
+- the page/dump data model (:mod:`repro.encyclopedia.model`),
+- JSONL persistence and corpus assembly (:mod:`repro.encyclopedia.corpus`),
+- :class:`~repro.encyclopedia.synthesis.world.SyntheticWorld`, a
+  deterministic generator that samples a ground-truth ontology and renders
+  it into pages with calibrated per-source noise.  The world keeps the
+  ground truth, which replaces the paper's manual precision labelling.
+"""
+
+from repro.encyclopedia.corpus import load_dump, save_dump
+from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage, Triple
+from repro.encyclopedia.synthesis.noise import NoiseConfig
+from repro.encyclopedia.synthesis.world import SyntheticWorld
+
+__all__ = [
+    "EncyclopediaDump",
+    "EncyclopediaPage",
+    "NoiseConfig",
+    "SyntheticWorld",
+    "Triple",
+    "load_dump",
+    "save_dump",
+]

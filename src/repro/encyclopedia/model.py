@@ -1,0 +1,170 @@
+"""Data model for encyclopedia pages and dumps.
+
+A page mirrors the anatomy of Figure 1 in the paper:
+
+- ``title`` — the entity mention (``刘德华``),
+- ``bracket`` — the disambiguation noun compound (``中国香港男演员``),
+- ``abstract`` — free-text lead paragraph,
+- ``infobox`` — SPO triples (``<刘德华, 职业, 演员>``),
+- ``tags`` — flat category labels (``人物``, ``演员``, ``音乐``...).
+
+``page_id`` is the disambiguated identity: two senses of the same mention
+(e.g. 苹果 the fruit vs 苹果 the company) are distinct pages sharing a
+title.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One infobox SPO triple; the subject is the owning page's id."""
+
+    subject: str
+    predicate: str
+    value: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"s": self.subject, "p": self.predicate, "o": self.value}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "Triple":
+        try:
+            return cls(subject=data["s"], predicate=data["p"], value=data["o"])
+        except KeyError as exc:
+            raise CorpusError(f"triple record missing key: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class EncyclopediaPage:
+    """One encyclopedia article with its four information sources."""
+
+    page_id: str
+    title: str
+    bracket: str | None = None
+    abstract: str = ""
+    infobox: tuple[Triple, ...] = ()
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.page_id:
+            raise CorpusError("page_id must be non-empty")
+        if not self.title:
+            raise CorpusError(f"page {self.page_id!r} has an empty title")
+
+    @property
+    def full_title(self) -> str:
+        """Rendered title including the bracket annotation when present."""
+        if self.bracket:
+            return f"{self.title}（{self.bracket}）"
+        return self.title
+
+    @property
+    def has_abstract(self) -> bool:
+        return bool(self.abstract.strip())
+
+    def infobox_values(self, predicate: str) -> list[str]:
+        """All infobox values recorded for *predicate* on this page."""
+        return [t.value for t in self.infobox if t.predicate == predicate]
+
+    def to_dict(self) -> dict:
+        return {
+            "page_id": self.page_id,
+            "title": self.title,
+            "bracket": self.bracket,
+            "abstract": self.abstract,
+            "infobox": [t.to_dict() for t in self.infobox],
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EncyclopediaPage":
+        try:
+            return cls(
+                page_id=data["page_id"],
+                title=data["title"],
+                bracket=data.get("bracket"),
+                abstract=data.get("abstract", ""),
+                infobox=tuple(Triple.from_dict(t) for t in data.get("infobox", ())),
+                tags=tuple(data.get("tags", ())),
+            )
+        except KeyError as exc:
+            raise CorpusError(f"page record missing key: {exc}") from exc
+
+
+@dataclass
+class DumpStats:
+    """Aggregate counts matching how the paper describes its input dump."""
+
+    n_pages: int = 0
+    n_abstracts: int = 0
+    n_triples: int = 0
+    n_tags: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pages": self.n_pages,
+            "abstracts": self.n_abstracts,
+            "triples": self.n_triples,
+            "tags": self.n_tags,
+        }
+
+
+class EncyclopediaDump:
+    """An in-memory collection of pages with id lookup."""
+
+    def __init__(self, pages: list[EncyclopediaPage] | None = None) -> None:
+        self._pages: list[EncyclopediaPage] = []
+        self._by_id: dict[str, EncyclopediaPage] = {}
+        for page in pages or []:
+            self.add(page)
+
+    def add(self, page: EncyclopediaPage) -> None:
+        if page.page_id in self._by_id:
+            raise CorpusError(f"duplicate page_id {page.page_id!r}")
+        self._pages.append(page)
+        self._by_id[page.page_id] = page
+
+    def get(self, page_id: str) -> EncyclopediaPage | None:
+        return self._by_id.get(page_id)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[EncyclopediaPage]:
+        return iter(self._pages)
+
+    def __contains__(self, page_id: str) -> bool:
+        return page_id in self._by_id
+
+    @property
+    def pages(self) -> tuple[EncyclopediaPage, ...]:
+        return tuple(self._pages)
+
+    def stats(self) -> DumpStats:
+        stats = DumpStats(n_pages=len(self._pages))
+        for page in self._pages:
+            if page.has_abstract:
+                stats.n_abstracts += 1
+            stats.n_triples += len(page.infobox)
+            stats.n_tags += len(page.tags)
+        return stats
+
+    def text_corpus(self) -> Iterator[str]:
+        """Yield every free-text snippet: abstracts, brackets, tag strings.
+
+        This is the "Chinese text corpus" used for PMI and NE support
+        statistics.
+        """
+        for page in self._pages:
+            if page.has_abstract:
+                yield page.abstract
+            if page.bracket:
+                yield page.bracket
+            for tag in page.tags:
+                yield tag

@@ -1,0 +1,13 @@
+"""Synthetic CN-DBpedia-style world generation.
+
+The generator samples a ground-truth ontology (concept DAG + entities with
+attributes), then renders every entity into an encyclopedia page whose four
+sources (bracket, abstract, infobox, tag) carry calibrated noise.  The
+retained ground truth acts as the labelling oracle for every precision
+experiment.
+"""
+
+from repro.encyclopedia.synthesis.noise import NoiseConfig
+from repro.encyclopedia.synthesis.world import ConceptInfo, EntityInfo, SyntheticWorld
+
+__all__ = ["ConceptInfo", "EntityInfo", "NoiseConfig", "SyntheticWorld"]

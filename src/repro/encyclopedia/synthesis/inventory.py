@@ -1,0 +1,258 @@
+"""Declared concept ontology and infobox predicate inventory.
+
+This is the ground-truth schema the synthetic world samples from.  The
+hierarchy is deliberately shaped like the domains the paper's examples
+draw on (entertainers, companies, works, places, organisms, food), and the
+infobox predicates split into
+
+- *implicit isA predicates* (职业, 类型, 分类...) — the ones the paper's
+  predicate-discovery step must find (341 candidates → 12 curated),
+- *weakly aligned predicates* (称号, 属于...) — occasionally isA-like, so
+  they surface as discovery candidates but do not deserve whitelisting,
+- *plain attribute predicates* (出生日期, 面积...) — never isA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ConceptSpec:
+    """One declared concept: name, parents, domain kind and sampling data.
+
+    ``weight`` > 0 marks a leaf concept entities are drawn from.
+    ``modifiers`` are attributive words that form true subconcepts
+    (流行 + 歌手 → 流行歌手); ``ne_modifiers`` are place words that may
+    prefix the bracket compound without creating a new concept.
+    """
+
+    name: str
+    parents: tuple[str, ...]
+    kind: str
+    weight: float = 0.0
+    modifiers: tuple[str, ...] = ()
+    ne_modifiers: tuple[str, ...] = ()
+
+
+_PERSON_NE_MODS = ("中国", "美国", "日本", "韩国", "香港", "台湾")
+_ORG_NE_MODS = ("中国", "上海", "北京", "深圳", "杭州")
+
+CONCEPTS: tuple[ConceptSpec, ...] = (
+    # --- persons -----------------------------------------------------------
+    ConceptSpec("人物", (), "person"),
+    ConceptSpec("艺人", ("人物",), "person"),
+    ConceptSpec("演员", ("艺人",), "person", 6.0, ("男", "女"), _PERSON_NE_MODS),
+    ConceptSpec("歌手", ("艺人",), "person", 6.0,
+                ("流行", "民谣", "摇滚", "男", "女"), _PERSON_NE_MODS),
+    ConceptSpec("导演", ("艺人",), "person", 2.0, (), _PERSON_NE_MODS),
+    ConceptSpec("音乐家", ("艺人",), "person"),
+    ConceptSpec("作曲家", ("音乐家",), "person", 1.0, (), _PERSON_NE_MODS),
+    ConceptSpec("钢琴家", ("音乐家",), "person", 1.0, (), _PERSON_NE_MODS),
+    ConceptSpec("作家", ("人物",), "person", 4.0,
+                ("科幻", "武侠", "言情", "当代"), _PERSON_NE_MODS),
+    ConceptSpec("诗人", ("人物",), "person", 1.5, ("当代", "古代"), ("中国",)),
+    ConceptSpec("科学家", ("人物",), "person"),
+    ConceptSpec("物理学家", ("科学家",), "person", 1.5, (), _PERSON_NE_MODS),
+    ConceptSpec("化学家", ("科学家",), "person", 1.0, (), _PERSON_NE_MODS),
+    ConceptSpec("数学家", ("科学家",), "person", 1.0, (), _PERSON_NE_MODS),
+    ConceptSpec("企业家", ("人物",), "person", 2.5, (), _PERSON_NE_MODS),
+    ConceptSpec("运动员", ("人物",), "person", 2.5, (), _PERSON_NE_MODS),
+    ConceptSpec("政治家", ("人物",), "person", 1.0, (), _PERSON_NE_MODS),
+    ConceptSpec("医生", ("人物",), "person", 1.5, (), ("中国",)),
+    ConceptSpec("教师", ("人物",), "person", 1.5, (), ("中国",)),
+    # --- organisations --------------------------------------------------------
+    ConceptSpec("组织", (), "organisation"),
+    ConceptSpec("公司", ("组织",), "organisation", 4.0,
+                ("科技", "互联网", "上市", "跨国"), _ORG_NE_MODS),
+    ConceptSpec("大学", ("组织",), "organisation", 1.5, ("综合", "重点"), ("中国",)),
+    ConceptSpec("乐队", ("组织",), "organisation", 1.0, ("摇滚",), _PERSON_NE_MODS),
+    ConceptSpec("球队", ("组织",), "organisation", 1.0, (), _ORG_NE_MODS),
+    ConceptSpec("银行", ("公司",), "organisation", 1.0, (), _ORG_NE_MODS),
+    ConceptSpec("医院", ("组织",), "organisation", 1.0, ("综合",), _ORG_NE_MODS),
+    ConceptSpec("研究所", ("组织",), "organisation", 0.8, (), ("中国",)),
+    # --- places -----------------------------------------------------------------
+    ConceptSpec("地点", (), "place"),
+    ConceptSpec("国家", ("地点",), "place", 0.6),
+    ConceptSpec("城市", ("地点",), "place", 2.0, ("热带",), ("中国",)),
+    ConceptSpec("景点", ("地点",), "place", 1.5, (), ("中国",)),
+    ConceptSpec("山脉", ("地点",), "place", 0.8),
+    ConceptSpec("湖泊", ("地点",), "place", 0.8, ("淡水",)),
+    ConceptSpec("岛屿", ("地点",), "place", 0.6, ("热带",)),
+    # --- works --------------------------------------------------------------------
+    ConceptSpec("作品", (), "work"),
+    ConceptSpec("电影", ("作品",), "work", 4.5,
+                ("科幻", "爱情", "动作", "悬疑"), ("中国", "美国")),
+    ConceptSpec("小说", ("作品",), "work", 4.0, ("武侠", "科幻", "言情", "推理")),
+    ConceptSpec("歌曲", ("作品",), "work", 3.5, ("流行", "民谣")),
+    ConceptSpec("专辑", ("作品",), "work", 1.5, ()),
+    ConceptSpec("电视剧", ("作品",), "work", 2.0, ("武侠", "言情")),
+    ConceptSpec("游戏", ("作品",), "work", 1.5, ("角色扮演",)),
+    # --- organisms ------------------------------------------------------------------
+    ConceptSpec("生物", (), "biology"),
+    ConceptSpec("动物", ("生物",), "biology"),
+    ConceptSpec("哺乳动物", ("动物",), "biology", 1.2),
+    ConceptSpec("鸟类", ("动物",), "biology", 1.0, ("观赏",)),
+    ConceptSpec("鱼类", ("动物",), "biology", 1.0, ("淡水", "深海")),
+    ConceptSpec("昆虫", ("动物",), "biology", 0.8),
+    ConceptSpec("犬种", ("哺乳动物",), "biology", 0.8, ("大型", "小型")),
+    ConceptSpec("植物", ("生物",), "biology"),
+    ConceptSpec("乔木", ("植物",), "biology", 1.0, ("常绿", "落叶")),
+    ConceptSpec("灌木", ("植物",), "biology", 0.6),
+    ConceptSpec("花卉", ("植物",), "biology", 1.2, ("观赏", "多年生")),
+    ConceptSpec("草本植物", ("植物",), "biology", 0.8, ("一年生", "药用")),
+    ConceptSpec("水果", ("植物",), "biology", 1.2, ("热带",)),
+    # --- food --------------------------------------------------------------------------
+    ConceptSpec("食品", (), "food"),
+    ConceptSpec("菜肴", ("食品",), "food", 1.2, ("家常",)),
+    ConceptSpec("小吃", ("食品",), "food", 1.0),
+    ConceptSpec("饮料", ("食品",), "food", 0.8),
+    ConceptSpec("甜点", ("食品",), "food", 0.8),
+)
+
+CONCEPT_BY_NAME: dict[str, ConceptSpec] = {c.name: c for c in CONCEPTS}
+
+# Extra modifier words not in the base lexicon but used above.
+EXTRA_MODIFIERS: tuple[str, ...] = ("家常", "角色扮演", "古装")
+
+
+# --- infobox predicates --------------------------------------------------------
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """An infobox predicate: surface name, value type, and isA semantics.
+
+    ``value_kind`` drives value synthesis in the renderer:
+    ``concept`` (a true concept of the entity), ``person-name``,
+    ``place-name``, ``work-title``, ``org-name``, ``date``, ``number``,
+    ``text``, ``thematic``.
+    """
+
+    name: str
+    value_kind: str
+    is_implicit_isa: bool = False
+    # probability that a *weakly aligned* predicate emits a concept value
+    concept_leak: float = 0.0
+
+
+# The 12 predicates the paper's authors manually whitelist.
+ISA_PREDICATES: tuple[PredicateSpec, ...] = (
+    PredicateSpec("职业", "concept", True),
+    PredicateSpec("主要职业", "concept", True),
+    PredicateSpec("身份", "concept", True),
+    PredicateSpec("类型", "concept", True),
+    PredicateSpec("体裁", "concept", True),
+    PredicateSpec("流派", "concept", True),
+    PredicateSpec("分类", "concept", True),
+    PredicateSpec("类别", "concept", True),
+    PredicateSpec("机构类型", "concept", True),
+    PredicateSpec("性质", "concept", True),
+    PredicateSpec("所属类群", "concept", True),
+    PredicateSpec("所属品类", "concept", True),
+)
+
+PREDICATE_WHITELIST: frozenset[str] = frozenset(p.name for p in ISA_PREDICATES)
+
+# Weakly aligned predicates: they sometimes hold a concept value, so the
+# discovery step sees them as candidates, but most of their values are not
+# hypernyms — the "manual curation" step must reject them.
+WEAK_PREDICATES: tuple[PredicateSpec, ...] = (
+    PredicateSpec("称号", "text", False, concept_leak=0.22),
+    PredicateSpec("属于", "thematic", False, concept_leak=0.35),
+    PredicateSpec("相关领域", "thematic", False, concept_leak=0.15),
+    PredicateSpec("别称", "text", False, concept_leak=0.2),
+)
+
+# Plain attributes, grouped by domain kind.  Never legitimately isA.
+PLAIN_PREDICATES: dict[str, tuple[PredicateSpec, ...]] = {
+    "person": (
+        PredicateSpec("中文名", "self-name"),
+        PredicateSpec("国籍", "place-name"),
+        PredicateSpec("出生日期", "date"),
+        PredicateSpec("出生地", "place-name"),
+        PredicateSpec("毕业院校", "org-name"),
+        PredicateSpec("代表作品", "work-title"),
+        PredicateSpec("经纪公司", "org-name"),
+        PredicateSpec("身高", "number"),
+        PredicateSpec("体重", "number"),
+        PredicateSpec("血型", "text"),
+        PredicateSpec("星座", "text"),
+        PredicateSpec("获奖情况", "text"),
+        PredicateSpec("配偶", "person-name"),
+        PredicateSpec("爱好", "thematic"),
+        PredicateSpec("主要成就", "text"),
+    ),
+    "organisation": (
+        PredicateSpec("中文名", "self-name"),
+        PredicateSpec("总部地点", "place-name"),
+        PredicateSpec("成立时间", "date"),
+        PredicateSpec("创始人", "person-name"),
+        PredicateSpec("注册资本", "number"),
+        PredicateSpec("员工数", "number"),
+        PredicateSpec("经营范围", "thematic"),
+        PredicateSpec("年营业额", "number"),
+    ),
+    "place": (
+        PredicateSpec("中文名", "self-name"),
+        PredicateSpec("所属地区", "place-name"),
+        PredicateSpec("面积", "number"),
+        PredicateSpec("人口", "number"),
+        PredicateSpec("海拔", "number"),
+        PredicateSpec("著名景点", "text"),
+        PredicateSpec("气候", "text"),
+    ),
+    "work": (
+        PredicateSpec("中文名", "self-name"),
+        PredicateSpec("作者", "person-name"),
+        PredicateSpec("导演", "person-name"),
+        PredicateSpec("主演", "person-name"),
+        PredicateSpec("发行时间", "date"),
+        PredicateSpec("出版社", "org-name"),
+        PredicateSpec("制片地区", "place-name"),
+        PredicateSpec("时长", "number"),
+        PredicateSpec("页数", "number"),
+    ),
+    "biology": (
+        PredicateSpec("中文学名", "self-name"),
+        PredicateSpec("分布区域", "place-name"),
+        PredicateSpec("栖息环境", "text"),
+        PredicateSpec("花期", "text"),
+        PredicateSpec("寿命", "number"),
+        PredicateSpec("体长", "number"),
+    ),
+    "food": (
+        PredicateSpec("中文名", "self-name"),
+        PredicateSpec("主要食材", "text"),
+        PredicateSpec("口味", "text"),
+        PredicateSpec("产地", "place-name"),
+        PredicateSpec("热量", "number"),
+    ),
+}
+
+# isA predicate names available to each domain kind.
+ISA_PREDICATES_BY_KIND: dict[str, tuple[str, ...]] = {
+    "person": ("职业", "主要职业", "身份"),
+    "organisation": ("机构类型", "性质",),
+    "place": ("类别",),
+    "work": ("类型", "体裁", "流派"),
+    "biology": ("分类", "所属类群"),
+    "food": ("分类", "所属品类"),
+}
+
+
+def leaf_concepts() -> list[ConceptSpec]:
+    """All concepts with positive entity-sampling weight."""
+    return [c for c in CONCEPTS if c.weight > 0]
+
+
+def concept_ancestors(name: str) -> set[str]:
+    """Transitive ancestors of a declared concept (excluding itself)."""
+    seen: set[str] = set()
+    frontier = list(CONCEPT_BY_NAME[name].parents)
+    while frontier:
+        parent = frontier.pop()
+        if parent in seen:
+            continue
+        seen.add(parent)
+        frontier.extend(CONCEPT_BY_NAME[parent].parents)
+    return seen

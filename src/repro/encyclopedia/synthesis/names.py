@@ -1,0 +1,98 @@
+"""Deterministic entity-name generators, one per domain kind.
+
+Names are composed from curated morpheme pools so they look like real
+encyclopedia titles (surname+given for people, coined-prefix + suffix for
+organisations and places, poetic syllables for works).  The pools are also
+what the NER pattern rules key on, so generated names exercise the same
+recognition paths real names would.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.nlp.base_lexicon import GIVEN_NAME_CHARS, SURNAMES
+
+_COINED_CHARS = "华腾创智联科瑞迅恒泰安达隆富鑫东方宏远信诚博雅正天启晟"
+_PLACE_CHARS = "临安宁平清和永嘉瑞康庆云海江山阳川溪泉岭源坪洲"
+_POETIC_CHARS = "忘情水云山月星夜梦雪风花春秋天地海心缘恋刀剑江湖城光影歌雨虹"
+_BIO_PREFIX = "紫金银红青翠玉雪火月白黑斑灰彩"
+_BIO_BASE = "杉枫桂兰梅菊藤莓桃李橘雀鹤鲤蝶蚁豹鹿燕鸥鲈鳜鹂"
+_FOOD_PREFIX = "香麻辣甜酥脆糯鲜卤烤"
+_FOOD_BASE = "饼糕面汤茶酒糖丸卷酥"
+
+_ORG_SUFFIX_BY_CONCEPT = {
+    "公司": ("公司", "集团", "科技公司"),
+    "大学": ("大学",),
+    "乐队": ("乐队",),
+    "球队": ("队",),
+    "银行": ("银行",),
+    "医院": ("医院",),
+    "研究所": ("研究所",),
+}
+
+_PLACE_SUFFIX_BY_CONCEPT = {
+    "国家": ("国",),
+    "城市": ("市", "城"),
+    "景点": ("园", "寺", "谷"),
+    "山脉": ("山",),
+    "湖泊": ("湖",),
+    "岛屿": ("岛",),
+}
+
+
+def person_name(rng: random.Random) -> str:
+    """Surname + 1–2 given-name characters."""
+    surname = rng.choice(SURNAMES)
+    length = rng.choice((1, 2, 2))  # two-char given names dominate
+    given = "".join(rng.choice(GIVEN_NAME_CHARS) for _ in range(length))
+    return surname + given
+
+
+def organisation_name(rng: random.Random, concept: str) -> str:
+    prefix = rng.choice(_COINED_CHARS) + rng.choice(_COINED_CHARS)
+    suffix = rng.choice(_ORG_SUFFIX_BY_CONCEPT.get(concept, ("公司",)))
+    return prefix + suffix
+
+
+def place_name(rng: random.Random, concept: str) -> str:
+    core = rng.choice(_PLACE_CHARS) + rng.choice(_PLACE_CHARS)
+    suffix = rng.choice(_PLACE_SUFFIX_BY_CONCEPT.get(concept, ("地",)))
+    return core + suffix
+
+
+def work_title(rng: random.Random) -> str:
+    length = rng.choice((2, 2, 3, 4))
+    return "".join(rng.choice(_POETIC_CHARS) for _ in range(length))
+
+
+def biology_name(rng: random.Random) -> str:
+    prefix = rng.choice(_BIO_PREFIX)
+    base = rng.choice(_BIO_BASE)
+    if rng.random() < 0.4:
+        base = base + rng.choice(_BIO_BASE)
+    return prefix + base
+
+
+def food_name(rng: random.Random) -> str:
+    prefix = rng.choice(_FOOD_PREFIX)
+    if rng.random() < 0.4:
+        prefix = prefix + rng.choice(_FOOD_PREFIX)
+    return prefix + rng.choice(_FOOD_BASE)
+
+
+def generate_name(rng: random.Random, kind: str, concept: str) -> str:
+    """Dispatch to the kind-specific generator."""
+    if kind == "person":
+        return person_name(rng)
+    if kind == "organisation":
+        return organisation_name(rng, concept)
+    if kind == "place":
+        return place_name(rng, concept)
+    if kind == "work":
+        return work_title(rng)
+    if kind == "biology":
+        return biology_name(rng)
+    if kind == "food":
+        return food_name(rng)
+    raise ValueError(f"unknown domain kind {kind!r}")

@@ -1,0 +1,654 @@
+"""Ground-truth world sampling and page rendering.
+
+:class:`SyntheticWorld` replaces the CN-DBpedia dump the paper consumes.
+``generate`` runs two passes:
+
+1. **sample** — draw entities from the declared concept inventory
+   (leaf-concept weights, name generators, optional second concepts,
+   deliberate title collisions for ambiguity),
+2. **render** — turn every entity into an :class:`EncyclopediaPage` whose
+   bracket/abstract/infobox/tags carry the noise channels of
+   :class:`NoiseConfig`, plus concept pages for a sample of subconcepts.
+
+The world keeps everything the evaluation oracle needs: per-entity gold
+hypernym strings, the concept DAG (declared + generated subconcepts), the
+NE gazetteer and the word list to extend the segmentation lexicon with.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage, Triple
+from repro.encyclopedia.synthesis import inventory, names
+from repro.encyclopedia.synthesis.inventory import ConceptSpec, PredicateSpec
+from repro.encyclopedia.synthesis.noise import NoiseConfig
+from repro.nlp.base_lexicon import PLACE_SEEDS, THEMATIC_SEEDS
+from repro.nlp.lexicon import Lexicon
+
+_NE_TYPE_BY_KIND = {
+    "person": "person",
+    "organisation": "organisation",
+    "place": "place",
+    "work": "work",
+    "biology": None,
+    "food": None,
+}
+
+_LEXICON_POS_BY_KIND = {
+    "person": "nr",
+    "organisation": "nt",
+    "place": "ns",
+    "work": "nz",
+    "biology": "n",
+    "food": "n",
+}
+
+_TASTES = ("清淡", "香辣", "甜而不腻", "咸鲜", "酸甜")
+_HABITATS = ("山地", "湿地", "平原", "丛林", "溪流")
+_BLOOD_TYPES = ("A型", "B型", "O型", "AB型")
+_ZODIACS = ("白羊座", "金牛座", "双子座", "巨蟹座", "狮子座", "处女座")
+_HONORIFICS = ("青年才俊", "行业先锋", "一代宗师", "后起之秀")
+_ACHIEVEMENTS = ("多次获奖", "屡获殊荣", "业内领先", "广受好评")
+
+
+@dataclass(frozen=True)
+class ConceptInfo:
+    """A concept of the world: declared (inventory) or generated subconcept."""
+
+    name: str
+    parents: tuple[str, ...]
+    kind: str
+    declared: bool
+
+
+@dataclass
+class EntityInfo:
+    """Ground truth for one entity/page."""
+
+    page_id: str
+    name: str
+    kind: str
+    leaf_concepts: tuple[str, ...]
+    gold_hypernyms: set[str] = field(default_factory=set)
+    attributes: list[tuple[str, str]] = field(default_factory=list)
+    aliases: tuple[str, ...] = ()
+    bracket: str | None = None
+
+
+class SyntheticWorld:
+    """A sampled ground-truth ontology plus its rendered encyclopedia."""
+
+    def __init__(
+        self,
+        seed: int,
+        noise: NoiseConfig,
+        concepts: dict[str, ConceptInfo],
+        entities: list[EntityInfo],
+        pages: EncyclopediaDump,
+        concept_page_ids: list[str],
+    ) -> None:
+        self.seed = seed
+        self.noise = noise
+        self._concepts = concepts
+        self._entities = entities
+        self._entities_by_id = {e.page_id: e for e in entities}
+        self._pages = pages
+        self._concept_page_ids = concept_page_ids
+        self._ancestor_cache: dict[str, frozenset[str]] = {}
+        self._mention_senses: dict[str, list[str]] = {}
+        for entity in entities:
+            self._mention_senses.setdefault(entity.name, []).append(entity.page_id)
+            for alias in entity.aliases:
+                self._mention_senses.setdefault(alias, []).append(entity.page_id)
+
+    # ------------------------------------------------------------------ access
+
+    @property
+    def entities(self) -> tuple[EntityInfo, ...]:
+        return tuple(self._entities)
+
+    @property
+    def concepts(self) -> dict[str, ConceptInfo]:
+        return dict(self._concepts)
+
+    @property
+    def concept_page_ids(self) -> tuple[str, ...]:
+        return tuple(self._concept_page_ids)
+
+    def entity(self, page_id: str) -> EntityInfo | None:
+        return self._entities_by_id.get(page_id)
+
+    def dump(self) -> EncyclopediaDump:
+        """The rendered encyclopedia (the pipeline's only input)."""
+        return self._pages
+
+    def mention_senses(self) -> dict[str, list[str]]:
+        """Gold mention → page_id mapping (for men2ent evaluation)."""
+        return {k: list(v) for k, v in self._mention_senses.items()}
+
+    # -------------------------------------------------------------- gold oracle
+
+    def concept_ancestors(self, name: str) -> frozenset[str]:
+        """Transitive ancestors of *name* in the world concept DAG."""
+        cached = self._ancestor_cache.get(name)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        info = self._concepts.get(name)
+        frontier = list(info.parents) if info else []
+        while frontier:
+            parent = frontier.pop()
+            if parent in seen:
+                continue
+            seen.add(parent)
+            parent_info = self._concepts.get(parent)
+            if parent_info:
+                frontier.extend(parent_info.parents)
+        result = frozenset(seen)
+        self._ancestor_cache[name] = result
+        return result
+
+    def is_gold_isa(self, hyponym: str, hypernym: str) -> bool:
+        """Oracle label for an extracted isA pair.
+
+        *hyponym* is either a page_id (entity-level relation) or a concept
+        string (subconcept-concept relation).  Compound hypernyms built by
+        right-headed suffixing (男演员 isA 演员) are accepted via the
+        suffix-head rule, mirroring how a human annotator judges them.
+        """
+        if not hyponym or not hypernym or hyponym == hypernym:
+            return False
+        entity = self._entities_by_id.get(hyponym)
+        if entity is not None:
+            return hypernym in entity.gold_hypernyms
+        return self._is_gold_concept_pair(hyponym, hypernym)
+
+    def _is_gold_concept_pair(self, hypo: str, hyper: str) -> bool:
+        if hyper in self.concept_ancestors(hypo):
+            return True
+        # Right-headed compound: 科幻小说 isA 小说 / 男演员 isA 演员.
+        if (
+            hypo.endswith(hyper)
+            and len(hypo) > len(hyper)
+            and hyper in self._concepts
+        ):
+            return True
+        return False
+
+    # ------------------------------------------------------------ integrations
+
+    def ne_gazetteer(self) -> dict[str, str]:
+        """Entity titles → NE type, for seeding the recogniser."""
+        gazetteer: dict[str, str] = {}
+        for entity in self._entities:
+            netype = _NE_TYPE_BY_KIND.get(entity.kind)
+            if netype:
+                gazetteer[entity.name] = netype
+        return gazetteer
+
+    def build_lexicon(self) -> Lexicon:
+        """Base lexicon extended with world words (like a jieba user dict)."""
+        lexicon = Lexicon.base()
+        lexicon.add_all(inventory.EXTRA_MODIFIERS, freq=600, pos="a")
+        for name, info in self._concepts.items():
+            lexicon.add(name, 800, "n")
+        for entity in self._entities:
+            pos = _LEXICON_POS_BY_KIND.get(entity.kind, "n")
+            lexicon.add(entity.name, 300, pos)
+            for alias in entity.aliases:
+                lexicon.add(alias, 150, pos)
+        return lexicon
+
+    # ---------------------------------------------------------------- generate
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 7,
+        n_entities: int = 5000,
+        noise: NoiseConfig | None = None,
+    ) -> "SyntheticWorld":
+        """Sample a world of ≈*n_entities* entities deterministically."""
+        if n_entities <= 0:
+            raise ValueError(f"n_entities must be positive, got {n_entities}")
+        config = noise if noise is not None else NoiseConfig()
+        config.validate()
+        rng = random.Random(seed)
+        builder = _WorldBuilder(rng, config)
+        builder.sample_entities(n_entities)
+        builder.render_pages()
+        return cls(
+            seed=seed,
+            noise=config,
+            concepts=builder.concepts,
+            entities=builder.entities,
+            pages=builder.pages,
+            concept_page_ids=builder.concept_page_ids,
+        )
+
+
+class _WorldBuilder:
+    """Two-pass construction: sample entities, then render pages."""
+
+    def __init__(self, rng: random.Random, config: NoiseConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.concepts: dict[str, ConceptInfo] = {
+            spec.name: ConceptInfo(spec.name, spec.parents, spec.kind, True)
+            for spec in inventory.CONCEPTS
+        }
+        self.entities: list[EntityInfo] = []
+        self.pages = EncyclopediaDump()
+        self.concept_page_ids: list[str] = []
+        self._names_by_kind: dict[str, list[str]] = {}
+        self._used_names: set[str] = set()
+        self._leaves = inventory.leaf_concepts()
+        self._leaf_weights = [spec.weight for spec in self._leaves]
+        self._person_leaves = [s for s in self._leaves if s.kind == "person"]
+        self._sense_counter: dict[str, int] = {}
+        self._entities_by_name: dict[str, list[EntityInfo]] | None = None
+
+    # ---------------------------------------------------------------- sampling
+
+    def sample_entities(self, n_entities: int) -> None:
+        for _ in range(n_entities):
+            leaf = self.rng.choices(self._leaves, weights=self._leaf_weights)[0]
+            name = self._draw_name(leaf)
+            leaf_names = self._assign_concepts(leaf)
+            sense = self._sense_counter.get(name, 0)
+            self._sense_counter[name] = sense + 1
+            page_id = f"{name}#{sense}"
+            entity = EntityInfo(
+                page_id=page_id,
+                name=name,
+                kind=leaf.kind,
+                leaf_concepts=tuple(leaf_names),
+            )
+            entity.gold_hypernyms.update(leaf_names)
+            for concept in leaf_names:
+                entity.gold_hypernyms.update(self._declared_ancestors(concept))
+            if self.rng.random() < self.config.p_alias:
+                entity.aliases = (self._alias_for(name),)
+            self.entities.append(entity)
+            self._names_by_kind.setdefault(leaf.kind, []).append(name)
+
+    def _draw_name(self, leaf: ConceptSpec) -> str:
+        # Deliberate cross-domain homographs exercise disambiguation and the
+        # incompatible-concepts verifier.
+        if self.rng.random() < self.config.p_ambiguous_name and self._used_names:
+            other_kinds = [k for k in self._names_by_kind if k != leaf.kind]
+            if other_kinds:
+                kind = self.rng.choice(other_kinds)
+                return self.rng.choice(self._names_by_kind[kind])
+        for _ in range(20):
+            name = names.generate_name(self.rng, leaf.kind, leaf.name)
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return name
+        # Pools are finite; accept a same-kind collision as a last resort.
+        self._used_names.add(name)
+        return name
+
+    def _assign_concepts(self, leaf: ConceptSpec) -> list[str]:
+        leaf_names = [leaf.name]
+        if self.rng.random() < self.config.p_second_concept:
+            pool = (
+                self._person_leaves if leaf.kind == "person"
+                else [s for s in self._leaves if s.kind == leaf.kind]
+            )
+            candidates = [s for s in pool if s.name != leaf.name]
+            if candidates:
+                second = self.rng.choices(
+                    candidates, weights=[s.weight for s in candidates]
+                )[0]
+                leaf_names.append(second.name)
+        return leaf_names
+
+    def _alias_for(self, name: str) -> str:
+        if len(name) >= 3:
+            return name[-2:]
+        return "小" + name
+
+    def _declared_ancestors(self, concept: str) -> set[str]:
+        seen: set[str] = set()
+        info = self.concepts.get(concept)
+        frontier = list(info.parents) if info else []
+        while frontier:
+            parent = frontier.pop()
+            if parent in seen:
+                continue
+            seen.add(parent)
+            parent_info = self.concepts.get(parent)
+            if parent_info:
+                frontier.extend(parent_info.parents)
+        return seen
+
+    def _register_subconcept(self, modifier: str, concept: str) -> str:
+        subconcept = modifier + concept
+        if subconcept not in self.concepts:
+            kind = self.concepts[concept].kind
+            self.concepts[subconcept] = ConceptInfo(
+                subconcept, (concept,), kind, False
+            )
+        return subconcept
+
+    # --------------------------------------------------------------- rendering
+
+    def render_pages(self) -> None:
+        for entity in self.entities:
+            self.pages.add(self._render_entity_page(entity))
+        self._render_concept_pages()
+
+    def _render_entity_page(self, entity: EntityInfo) -> EncyclopediaPage:
+        primary = entity.leaf_concepts[0]
+        spec = inventory.CONCEPT_BY_NAME[primary]
+
+        bracket = self._render_bracket(entity, spec)
+        tags = self._render_tags(entity)
+        infobox = self._render_infobox(entity)
+        abstract = self._render_abstract(entity)
+        return EncyclopediaPage(
+            page_id=entity.page_id,
+            title=entity.name,
+            bracket=bracket,
+            abstract=abstract,
+            infobox=tuple(infobox),
+            tags=tuple(tags),
+        )
+
+    # Occupational-title brackets: 陈龙（蚂蚁金服首席战略官）.  Modifier ×
+    # role combinations form true two-level subconcept chains
+    # (首席战略官 isA 战略官 isA 人物) that only the separation
+    # algorithm's rightmost path recovers in full.
+    _ROLE_MODIFIERS = ("首席", "高级", "资深")
+    _ROLE_NOUNS = ("战略官", "执行官", "财务官", "总裁", "经理", "董事长")
+
+    def _render_bracket(self, entity: EntityInfo, spec: ConceptSpec) -> str | None:
+        rng = self.rng
+        if rng.random() < self.config.p_bracket_missing:
+            return None
+        if rng.random() < self.config.p_ne_bracket:
+            # Noise: a bare place-name disambiguator (苹果（美国） style).
+            return rng.choice(PLACE_SEEDS)
+        if (
+            entity.kind == "person"
+            and rng.random() < self.config.p_role_bracket
+        ):
+            role_bracket = self._render_role_bracket(entity)
+            if role_bracket is not None:
+                return role_bracket
+        parts: list[str] = []
+        if spec.ne_modifiers and rng.random() < self.config.p_bracket_ne_modifier:
+            parts.append(rng.choice(spec.ne_modifiers))
+        concept = spec.name
+        if spec.modifiers and rng.random() < self.config.p_bracket_modifier:
+            modifier = rng.choice(spec.modifiers)
+            subconcept = self._register_subconcept(modifier, concept)
+            entity.gold_hypernyms.add(subconcept)
+            concept = subconcept
+        parts.append(concept)
+        bracket = "".join(parts)
+        entity.bracket = bracket
+        return bracket
+
+    def _render_role_bracket(self, entity: EntityInfo) -> str | None:
+        rng = self.rng
+        employers = self._names_by_kind.get("organisation")
+        if not employers:
+            return None
+        modifier = rng.choice(self._ROLE_MODIFIERS)
+        role = rng.choice(self._ROLE_NOUNS)
+        compound = modifier + role
+        # register the role chain as true concepts of the world
+        if role not in self.concepts:
+            self.concepts[role] = ConceptInfo(role, ("人物",), "person", False)
+        if compound not in self.concepts:
+            self.concepts[compound] = ConceptInfo(
+                compound, (role,), "person", False
+            )
+        entity.gold_hypernyms.add(role)
+        entity.gold_hypernyms.add(compound)
+        bracket = rng.choice(employers) + compound
+        entity.bracket = bracket
+        return bracket
+
+    def _render_tags(self, entity: EntityInfo) -> list[str]:
+        rng = self.rng
+        if rng.random() < self.config.p_tags_missing:
+            return []
+        tags: list[str] = []
+        for concept in entity.leaf_concepts:
+            tags.append(concept)
+            for parent in self.concepts[concept].parents:
+                if rng.random() < self.config.p_parent_tag:
+                    tags.append(parent)
+        roots = {
+            self._root_of(concept) for concept in entity.leaf_concepts
+        }
+        for root in roots:
+            if rng.random() < self.config.p_root_tag:
+                tags.append(root)
+        # --- noise channels ---
+        if rng.random() < self.config.p_thematic_tag:
+            for _ in range(rng.choice((1, 1, 2))):
+                tags.append(rng.choice(THEMATIC_SEEDS))
+        if rng.random() < self.config.p_ne_tag:
+            tags.append(rng.choice(PLACE_SEEDS))
+        if rng.random() < self.config.p_wrong_domain_tag:
+            wrong = rng.choice(self._leaves)
+            if wrong.name not in entity.gold_hypernyms:
+                tags.append(wrong.name)
+        if rng.random() < self.config.p_sibling_tag:
+            siblings = [
+                s for s in self._leaves
+                if s.kind == entity.kind and s.name not in entity.gold_hypernyms
+            ]
+            if siblings:
+                tags.append(rng.choice(siblings).name)
+        if rng.random() < self.config.p_head_stem_tag and len(entity.name) >= 3:
+            # e.g. 教育 tagged on a 教育机构-shaped title: the tag is a
+            # strict prefix of the title, the configuration syntax rule 2
+            # rejects.
+            tags.append(entity.name[:2])
+        if (
+            self._sense_counter.get(entity.name, 0) > 1
+            and rng.random() < self.config.p_cross_sense_tag
+        ):
+            sibling = self._sibling_sense(entity)
+            if sibling is not None and sibling.leaf_concepts:
+                tags.append(rng.choice(sibling.leaf_concepts))
+        # Keep first occurrence order, drop duplicates.
+        seen: set[str] = set()
+        unique = [t for t in tags if not (t in seen or seen.add(t))]
+        return unique
+
+    def _sibling_sense(self, entity: EntityInfo) -> EntityInfo | None:
+        if self._entities_by_name is None:
+            self._entities_by_name = {}
+            for other in self.entities:
+                self._entities_by_name.setdefault(other.name, []).append(other)
+        for other in self._entities_by_name.get(entity.name, ()):
+            if other.page_id != entity.page_id:
+                return other
+        return None
+
+    def _root_of(self, concept: str) -> str:
+        current = concept
+        while True:
+            info = self.concepts[current]
+            if not info.parents:
+                return current
+            current = info.parents[0]
+
+    # -- infobox -----------------------------------------------------------
+
+    def _render_infobox(self, entity: EntityInfo) -> list[Triple]:
+        rng = self.rng
+        if rng.random() < self.config.p_infobox_missing:
+            return []
+        triples: list[Triple] = []
+        kind = entity.kind
+        # implicit isA predicates
+        isa_preds = inventory.ISA_PREDICATES_BY_KIND.get(kind, ())
+        if isa_preds:
+            pred = rng.choice(isa_preds)
+            value = entity.leaf_concepts[0]
+            triples.append(Triple(entity.page_id, pred, value))
+            entity.attributes.append((pred, value))
+            if (
+                len(entity.leaf_concepts) > 1
+                and rng.random() < self.config.p_second_isa_triple
+            ):
+                triples.append(
+                    Triple(entity.page_id, pred, entity.leaf_concepts[1])
+                )
+                entity.attributes.append((pred, entity.leaf_concepts[1]))
+        # weak predicates (discovery distractors)
+        for weak in inventory.WEAK_PREDICATES:
+            if rng.random() > 0.12:
+                continue
+            if rng.random() < weak.concept_leak:
+                value = entity.leaf_concepts[0]
+            else:
+                value = self._plain_value(PredicateSpec(weak.name, weak.value_kind), entity)
+            triples.append(Triple(entity.page_id, weak.name, value))
+            entity.attributes.append((weak.name, value))
+        # aliases surface as 别名 triples so the pipeline can index them
+        for alias in entity.aliases:
+            triples.append(Triple(entity.page_id, "别名", alias))
+        # plain attributes
+        for pred in inventory.PLAIN_PREDICATES[kind]:
+            if rng.random() > 0.7:
+                continue
+            if rng.random() < self.config.p_infobox_error:
+                value = rng.choice(self._leaves).name
+            else:
+                value = self._plain_value(pred, entity)
+            triples.append(Triple(entity.page_id, pred.name, value))
+            entity.attributes.append((pred.name, value))
+        return triples
+
+    def _plain_value(self, pred: PredicateSpec, entity: EntityInfo) -> str:
+        rng = self.rng
+        kind = pred.value_kind
+        if kind == "self-name":
+            return entity.name
+        if kind == "place-name":
+            return rng.choice(PLACE_SEEDS)
+        if kind == "person-name":
+            pool = self._names_by_kind.get("person")
+            if pool and rng.random() < 0.6:
+                return rng.choice(pool)
+            return names.person_name(rng)
+        if kind == "org-name":
+            pool = self._names_by_kind.get("organisation")
+            if pool and rng.random() < 0.6:
+                return rng.choice(pool)
+            return names.organisation_name(rng, "公司")
+        if kind == "work-title":
+            pool = self._names_by_kind.get("work")
+            if pool and rng.random() < 0.6:
+                return rng.choice(pool)
+            return names.work_title(rng)
+        if kind == "date":
+            return (
+                f"{rng.randint(1900, 2016)}年"
+                f"{rng.randint(1, 12)}月{rng.randint(1, 28)}日"
+            )
+        if kind == "number":
+            return str(rng.randint(1, 9999))
+        if kind == "thematic":
+            return rng.choice(THEMATIC_SEEDS)
+        # generic text pools
+        pools = {
+            "血型": _BLOOD_TYPES,
+            "星座": _ZODIACS,
+            "称号": _HONORIFICS,
+            "获奖情况": _ACHIEVEMENTS,
+            "主要成就": _ACHIEVEMENTS,
+            "口味": _TASTES,
+            "主要食材": _TASTES,
+            "栖息环境": _HABITATS,
+            "花期": ("春季", "夏季", "秋季"),
+            "著名景点": _HABITATS,
+            "气候": ("亚热带季风气候", "温带大陆性气候"),
+            "别称": _HONORIFICS,
+        }
+        pool = pools.get(pred.name)
+        if pool:
+            return rng.choice(pool)
+        return rng.choice(_ACHIEVEMENTS)
+
+    # -- abstract ------------------------------------------------------------
+
+    def _render_abstract(self, entity: EntityInfo) -> str:
+        rng = self.rng
+        if rng.random() < self.config.p_abstract_missing:
+            return ""
+        if rng.random() < self.config.p_abstract_vague:
+            return f"{entity.name}广为人知，相关信息多次见诸报道。"
+        kind = entity.kind
+        place = rng.choice(PLACE_SEEDS)
+        year = rng.randint(1900, 2016)
+        concepts = "、".join(entity.leaf_concepts)
+        if kind == "person":
+            work = names.work_title(rng)
+            return (
+                f"{entity.name}，{year}年出生于{place}，著名{concepts}。"
+                f"代表作品《{work}》。"
+            )
+        if kind == "organisation":
+            return (
+                f"{entity.name}成立于{year}年，总部位于{place}，"
+                f"是一家知名{concepts}。"
+            )
+        if kind == "place":
+            return f"{entity.name}位于{place}，是著名的{concepts}之一。"
+        if kind == "work":
+            creator = names.person_name(rng)
+            return (
+                f"《{entity.name}》是{creator}创作的{concepts}，"
+                f"于{year}年发行。"
+            )
+        if kind == "biology":
+            habitat = rng.choice(_HABITATS)
+            return f"{entity.name}是一种{concepts}，多见于{place}的{habitat}。"
+        if kind == "food":
+            taste = rng.choice(_TASTES)
+            return f"{entity.name}是{place}的传统{concepts}，口味{taste}。"
+        return f"{entity.name}是{concepts}。"
+
+    # -- concept pages ----------------------------------------------------------
+
+    def _render_concept_pages(self) -> None:
+        rng = self.rng
+        target = int(len(self.entities) * self.config.p_concept_page)
+        candidates = [
+            info for info in self.concepts.values()
+            if info.parents  # roots have no hypernym to express
+        ]
+        rng.shuffle(candidates)
+        for info in candidates[:target]:
+            page_id = f"{info.name}#concept"
+            if page_id in self.pages:
+                continue
+            tags = list(info.parents)
+            root = self._root_of(info.name)
+            if root not in tags and rng.random() < self.config.p_root_tag:
+                tags.append(root)
+            if rng.random() < self.config.p_thematic_tag:
+                tags.append(rng.choice(THEMATIC_SEEDS))
+            parent = info.parents[0]
+            self.pages.add(
+                EncyclopediaPage(
+                    page_id=page_id,
+                    title=info.name,
+                    bracket=None,
+                    abstract=f"{info.name}是{parent}的一类。",
+                    infobox=(),
+                    tags=tuple(dict.fromkeys(tags)),
+                )
+            )
+            self.concept_page_ids.append(page_id)

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexiconError(ReproError):
+    """Raised on invalid lexicon entries or merge conflicts."""
+
+
+class SegmentationError(ReproError):
+    """Raised when a text cannot be segmented (e.g. empty input)."""
+
+
+class CorpusError(ReproError):
+    """Raised on malformed encyclopedia dumps or pages."""
+
+
+class TaxonomyError(ReproError):
+    """Raised on invalid taxonomy operations (unknown ids, cycles...)."""
+
+
+class VocabularyError(ReproError):
+    """Raised by the neural vocabulary on unknown or reserved symbols."""
+
+
+class TrainingError(ReproError):
+    """Raised when neural training is misconfigured."""
+
+
+class PipelineError(ReproError):
+    """Raised when the build pipeline is driven in the wrong order."""
+
+
+class APIError(ReproError):
+    """Raised by the taxonomy serving layer on bad requests."""

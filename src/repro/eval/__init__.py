@@ -1,0 +1,29 @@
+"""Evaluation: sampled precision, QA coverage, report rendering.
+
+The paper estimates precision by manually labelling 2000 randomly sampled
+isA relations; here the synthetic world's ground truth plays the
+annotator.  Coverage follows Section IV-B: a question is covered when it
+contains at least one entity or concept of the taxonomy.
+"""
+
+from repro.eval.coverage import CoverageReport, qa_coverage
+from repro.eval.metrics import (
+    PrecisionEstimate,
+    relation_precision,
+    sample_precision,
+    source_precision,
+)
+from repro.eval.qa_dataset import Question, generate_questions
+from repro.eval.report import render_table
+
+__all__ = [
+    "CoverageReport",
+    "PrecisionEstimate",
+    "Question",
+    "generate_questions",
+    "qa_coverage",
+    "relation_precision",
+    "render_table",
+    "sample_precision",
+    "source_precision",
+]

@@ -1,0 +1,113 @@
+"""QA coverage of a taxonomy (Section IV-B).
+
+A question is covered when its text contains at least one entity mention
+or concept of the taxonomy.  Matching scans the question with a
+maximum-forward-match over the taxonomy's mention index and concept set —
+no gold annotations are consulted, exactly like the paper's protocol.
+
+The companion statistic is the mean number of concepts per covered
+entity (the paper reports 2.14), a proxy for how informative coverage is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.qa_dataset import Question
+from repro.taxonomy.store import Taxonomy
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage metrics over one question set."""
+
+    n_questions: int
+    n_covered: int
+    total_concepts_of_covered_entities: int
+    n_covered_entities: int
+
+    @property
+    def coverage(self) -> float:
+        if self.n_questions == 0:
+            return 0.0
+        return self.n_covered / self.n_questions
+
+    @property
+    def avg_concepts_per_covered_entity(self) -> float:
+        if self.n_covered_entities == 0:
+            return 0.0
+        return self.total_concepts_of_covered_entities / self.n_covered_entities
+
+    def __str__(self) -> str:
+        return (
+            f"coverage {self.coverage:.2%} "
+            f"({self.n_covered}/{self.n_questions}), "
+            f"{self.avg_concepts_per_covered_entity:.2f} concepts/entity"
+        )
+
+
+class _MentionScanner:
+    """Maximum forward match over taxonomy mentions and concepts."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self._surfaces: dict[str, str] = {}
+        for relation in taxonomy.relations():
+            self._surfaces.setdefault(relation.hypernym, "concept")
+            if relation.hyponym_kind == "concept":
+                self._surfaces.setdefault(relation.hyponym, "concept")
+            else:
+                entity = taxonomy.entity(relation.hyponym)
+                if entity is not None:
+                    for mention in entity.mentions:
+                        self._surfaces.setdefault(mention, "entity")
+        self._max_len = max((len(s) for s in self._surfaces), default=0)
+        self._taxonomy = taxonomy
+
+    def first_match(self, text: str) -> tuple[str, str] | None:
+        """Longest-first scan; returns (surface, kind) or None."""
+        n = len(text)
+        for start in range(n):
+            limit = min(n, start + self._max_len)
+            for end in range(limit, start + 1, -1):
+                surface = text[start:end]
+                if surface in self._surfaces:
+                    return surface, self._surfaces[surface]
+        return None
+
+    def concepts_of_mention(self, mention: str) -> tuple[int, int]:
+        """(total direct concepts, number of senses) for a mention."""
+        total = 0
+        senses = 0
+        for page_id in self._taxonomy.men2ent(mention):
+            concepts = len(self._taxonomy.get_concepts(page_id))
+            if concepts:
+                total += concepts
+                senses += 1
+        return total, senses
+
+
+def qa_coverage(
+    taxonomy: Taxonomy, questions: Sequence[Question]
+) -> CoverageReport:
+    """Compute coverage of *taxonomy* over *questions*."""
+    scanner = _MentionScanner(taxonomy)
+    n_covered = 0
+    covered_entities = 0
+    total_concepts = 0
+    for question in questions:
+        match = scanner.first_match(question.text)
+        if match is None:
+            continue
+        n_covered += 1
+        surface, kind = match
+        if kind == "entity":
+            concepts, senses = scanner.concepts_of_mention(surface)
+            covered_entities += senses
+            total_concepts += concepts
+    return CoverageReport(
+        n_questions=len(questions),
+        n_covered=n_covered,
+        total_concepts_of_covered_entities=total_concepts,
+        n_covered_entities=covered_entities,
+    )

@@ -1,0 +1,100 @@
+"""Precision estimation against the world's ground-truth oracle.
+
+``sample_precision`` mirrors the paper's protocol: draw *n* relations
+uniformly at random (the paper uses 2000), label each, report the correct
+fraction.  ``relation_precision`` labels the whole set — affordable at
+our scale and used in tests where sampling noise would flake.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.taxonomy.model import IsARelation
+
+Oracle = Callable[[str, str], bool]
+
+
+def make_oracle(world) -> Oracle:
+    """Annotator-style oracle over a :class:`SyntheticWorld`.
+
+    Accepts page_ids (entity relations), bare mention surfaces (baseline
+    taxonomies carry surfaces, not ids — an annotator judges any sense as
+    correct) and concept strings.
+    """
+    senses = world.mention_senses()
+
+    def oracle(hyponym: str, hypernym: str) -> bool:
+        if world.is_gold_isa(hyponym, hypernym):
+            return True
+        for page_id in senses.get(hyponym, ()):
+            if world.is_gold_isa(page_id, hypernym):
+                return True
+        # Page ids carry a '#sense' suffix; an annotator judges the bare
+        # surface (concept pages kept as pseudo-entities read as concepts).
+        if "#" in hyponym:
+            surface = hyponym.split("#", 1)[0]
+            if surface != hyponym and oracle(surface, hypernym):
+                return True
+        return False
+
+    return oracle
+
+
+@dataclass(frozen=True)
+class PrecisionEstimate:
+    """Precision over a labelled (sub)sample."""
+
+    n_labelled: int
+    n_correct: int
+
+    @property
+    def precision(self) -> float:
+        if self.n_labelled == 0:
+            return 0.0
+        return self.n_correct / self.n_labelled
+
+    def __str__(self) -> str:
+        return f"{self.precision:.1%} ({self.n_correct}/{self.n_labelled})"
+
+
+def sample_precision(
+    relations: Sequence[IsARelation],
+    oracle: Oracle,
+    n_samples: int = 2000,
+    seed: int = 0,
+) -> PrecisionEstimate:
+    """The paper's protocol: label a uniform sample of relations."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    if not relations:
+        return PrecisionEstimate(0, 0)
+    rng = random.Random(seed)
+    pool = list(relations)
+    if len(pool) > n_samples:
+        pool = rng.sample(pool, n_samples)
+    correct = sum(1 for r in pool if oracle(r.hyponym, r.hypernym))
+    return PrecisionEstimate(n_labelled=len(pool), n_correct=correct)
+
+
+def relation_precision(
+    relations: Sequence[IsARelation], oracle: Oracle
+) -> PrecisionEstimate:
+    """Exhaustive labelling (no sampling noise)."""
+    correct = sum(1 for r in relations if oracle(r.hyponym, r.hypernym))
+    return PrecisionEstimate(n_labelled=len(relations), n_correct=correct)
+
+
+def source_precision(
+    per_source_relations: dict[str, list[IsARelation]],
+    oracle: Oracle,
+    n_samples: int = 2000,
+    seed: int = 0,
+) -> dict[str, PrecisionEstimate]:
+    """Per-source sampled precision (paper: bracket 96.2%, tag 97.4%)."""
+    return {
+        source: sample_precision(relations, oracle, n_samples, seed)
+        for source, relations in per_source_relations.items()
+    }

@@ -1,0 +1,29 @@
+"""Numpy neural substrate for the abstract→concept generation source.
+
+The paper uses an encoder-decoder with a copy mechanism (CopyNet, Gu et
+al. 2016) to generate hypernyms from entity abstracts, trained by distant
+supervision on bracket-derived isA pairs.  No deep-learning framework is
+assumed here; this subpackage implements
+
+- a minimal reverse-mode autograd engine (:mod:`repro.neural.autograd`),
+- embedding/GRU/dense layers (:mod:`repro.neural.layers`),
+- a GRU encoder-decoder with attention and a generate-vs-copy gate
+  (:mod:`repro.neural.model`) — the pointer-generator formulation of the
+  copy mechanism, which preserves CopyNet's ability to emit
+  out-of-vocabulary words verbatim from the source,
+- Adam + a training loop (:mod:`repro.neural.training`).
+"""
+
+from repro.neural.autograd import Tensor
+from repro.neural.model import CopyNetSeq2Seq
+from repro.neural.training import Adam, Trainer, TrainingConfig
+from repro.neural.vocab import Vocabulary
+
+__all__ = [
+    "Adam",
+    "CopyNetSeq2Seq",
+    "Tensor",
+    "Trainer",
+    "TrainingConfig",
+    "Vocabulary",
+]

@@ -1,0 +1,348 @@
+"""Minimal reverse-mode automatic differentiation on numpy arrays.
+
+Only the operations the CopyNet model needs are implemented, each as a
+function building the backward closure explicitly.  Gradients accumulate
+into ``Tensor.grad``; ``Tensor.backward()`` runs a topological sweep.
+
+Broadcasting is supported for ``add``/``mul``/``sub`` via gradient
+un-broadcasting, which is what the gate/attention arithmetic needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class Tensor:
+    """A numpy array with gradient bookkeeping."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: np.ndarray | float | list,
+        requires_grad: bool = False,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple["Tensor", ...] = ()
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self) -> None:
+        """Back-propagate from this (scalar) tensor."""
+        if self.data.size != 1:
+            raise ValueError(
+                f"backward() needs a scalar loss, got shape {self.shape}"
+            )
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def build(node: Tensor) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                build(parent)
+            topo.append(node)
+
+        build(self)
+        self.grad = np.ones_like(self.data)
+        for node in reversed(topo):
+            if node._backward is not None:
+                node._backward()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+
+def _make(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward: Callable[[Tensor], Callable[[], None]],
+) -> Tensor:
+    """Create a result tensor wired to *parents* when grads are needed."""
+    out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+    if out.requires_grad:
+        out._parents = tuple(parents)
+        out._backward = backward(out)
+    return out
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum *grad* down to *shape* (inverse of numpy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+# --- arithmetic -------------------------------------------------------------
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(out.grad, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(out.grad, b.shape))
+        return run
+
+    return _make(a.data + b.data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(out.grad, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(-out.grad, b.shape))
+        return run
+
+    return _make(a.data - b.data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(out.grad * b.data, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(out.grad * a.data, b.shape))
+        return run
+
+    return _make(a.data * b.data, (a, b), backward)
+
+
+def scalar_mul(a: Tensor, value: float) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(out.grad * value)
+        return run
+
+    return _make(a.data * value, (a,), backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(out.grad @ b.data.T)
+            if b.requires_grad:
+                b._accumulate(a.data.T @ out.grad)
+        return run
+
+    return _make(a.data @ b.data, (a, b), backward)
+
+
+# --- nonlinearities ----------------------------------------------------------
+
+def sigmoid(a: Tensor) -> Tensor:
+    value = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60, 60)))
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(out.grad * value * (1.0 - value))
+        return run
+
+    return _make(value, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    value = np.tanh(a.data)
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(out.grad * (1.0 - value * value))
+        return run
+
+    return _make(value, (a,), backward)
+
+
+def log(a: Tensor, eps: float = 1e-12) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(out.grad / (a.data + eps))
+        return run
+
+    return _make(np.log(a.data + eps), (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                dot = (out.grad * value).sum(axis=axis, keepdims=True)
+                a._accumulate(value * (out.grad - dot))
+        return run
+
+    return _make(value, (a,), backward)
+
+
+# --- shape ops ------------------------------------------------------------------
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(out: Tensor):
+        def run() -> None:
+            offset = 0
+            for tensor, size in zip(tensors, sizes):
+                if tensor.requires_grad:
+                    index = [slice(None)] * out.grad.ndim
+                    index[axis] = slice(offset, offset + size)
+                    tensor._accumulate(out.grad[tuple(index)])
+                offset += size
+        return run
+
+    return _make(np.concatenate([t.data for t in tensors], axis=axis),
+                 tuple(tensors), backward)
+
+
+def rows(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Embedding lookup: select rows of *table* (2-D) by integer indices."""
+    idx = np.asarray(indices, dtype=np.int64)
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if table.requires_grad:
+                grad = np.zeros_like(table.data)
+                np.add.at(grad, idx, out.grad)
+                table._accumulate(grad)
+        return run
+
+    return _make(table.data[idx], (table,), backward)
+
+
+def mean(a: Tensor) -> Tensor:
+    n = a.data.size
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(np.full_like(a.data, out.grad.item() / n))
+        return run
+
+    return _make(np.asarray(a.data.mean()), (a,), backward)
+
+
+def sum_axis(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                grad = out.grad
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                a._accumulate(np.broadcast_to(grad, a.shape).copy())
+        return run
+
+    return _make(a.data.sum(axis=axis, keepdims=keepdims), (a,), backward)
+
+
+def gather_cols(a: Tensor, col_indices: np.ndarray) -> Tensor:
+    """Pick one column per row: a[i, col_indices[i]] → shape (B,)."""
+    idx = np.asarray(col_indices, dtype=np.int64)
+    rows_idx = np.arange(a.data.shape[0])
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                grad = np.zeros_like(a.data)
+                grad[rows_idx, idx] = out.grad
+                a._accumulate(grad)
+        return run
+
+    return _make(a.data[rows_idx, idx], (a,), backward)
+
+
+def scatter_add_cols(
+    values: Tensor, col_indices: np.ndarray, n_cols: int
+) -> Tensor:
+    """Scatter row-wise values into a zero matrix of width *n_cols*.
+
+    ``out[i, col_indices[i, j]] += values[i, j]`` — the copy-distribution
+    projection from source positions onto the extended vocabulary.
+    """
+    idx = np.asarray(col_indices, dtype=np.int64)
+    batch, width = values.data.shape
+    out_data = np.zeros((batch, n_cols))
+    batch_idx = np.repeat(np.arange(batch), width)
+    np.add.at(out_data, (batch_idx, idx.reshape(-1)), values.data.reshape(-1))
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if values.requires_grad:
+                grad = out.grad[batch_idx, idx.reshape(-1)].reshape(batch, width)
+                values._accumulate(grad)
+        return run
+
+    return _make(out_data, (values,), backward)
+
+
+def pad_cols(a: Tensor, n_extra: int) -> Tensor:
+    """Append *n_extra* zero columns (extend generation probs to OOV slots)."""
+    if n_extra < 0:
+        raise ValueError(f"n_extra must be >= 0, got {n_extra}")
+    batch = a.data.shape[0]
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                a._accumulate(out.grad[:, : a.data.shape[1]])
+        return run
+
+    padded = np.concatenate([a.data, np.zeros((batch, n_extra))], axis=1)
+    return _make(padded, (a,), backward)
+
+
+def slice_cols(a: Tensor, start: int, stop: int) -> Tensor:
+    """Column slice a[:, start:stop] with gradient routing."""
+
+    def backward(out: Tensor):
+        def run() -> None:
+            if a.requires_grad:
+                grad = np.zeros_like(a.data)
+                grad[:, start:stop] = out.grad
+                a._accumulate(grad)
+        return run
+
+    return _make(a.data[:, start:stop], (a,), backward)
+
+
+def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
+    """Stack (B, d) tensors into (T, B, d)."""
+
+    def backward(out: Tensor):
+        def run() -> None:
+            for t_index, tensor in enumerate(tensors):
+                if tensor.requires_grad:
+                    tensor._accumulate(out.grad[t_index])
+        return run
+
+    return _make(np.stack([t.data for t in tensors]), tuple(tensors), backward)

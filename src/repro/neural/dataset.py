@@ -1,0 +1,116 @@
+"""Seq2seq examples and padded batch encoding.
+
+The distant-supervision dataset of the paper pairs an entity's abstract
+(source) with a bracket-derived hypernym (target).  This module holds the
+generic example/batch machinery; the dataset *builder* lives with the
+generation module (:mod:`repro.core.generation.neural_gen`) because it
+depends on the bracket extractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.neural.vocab import PAD, Vocabulary
+
+
+@dataclass(frozen=True)
+class Seq2SeqExample:
+    """One training pair: segmented source and target token sequences."""
+
+    source: tuple[str, ...]
+    target: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise TrainingError("examples need non-empty source and target")
+
+
+class Seq2SeqDataset:
+    """A list-backed dataset of :class:`Seq2SeqExample`."""
+
+    def __init__(self, examples: Sequence[Seq2SeqExample]) -> None:
+        self._examples = list(examples)
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def __getitem__(self, index: int) -> Seq2SeqExample:
+        return self._examples[index]
+
+    def __iter__(self):
+        return iter(self._examples)
+
+    def sources(self) -> list[tuple[str, ...]]:
+        return [e.source for e in self._examples]
+
+    def split(self, ratio: float, seed: int = 0) -> tuple["Seq2SeqDataset", "Seq2SeqDataset"]:
+        """Deterministic train/validation split."""
+        if not 0.0 < ratio < 1.0:
+            raise TrainingError(f"split ratio must be in (0, 1), got {ratio}")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self._examples))
+        cut = int(len(order) * ratio)
+        first = [self._examples[i] for i in order[:cut]]
+        second = [self._examples[i] for i in order[cut:]]
+        return Seq2SeqDataset(first), Seq2SeqDataset(second)
+
+
+@dataclass
+class EncodedBatchArrays:
+    """Padded numpy views of a batch, ready for the model."""
+
+    src_ids: np.ndarray        # (B, S) fixed-vocabulary ids (OOV → UNK)
+    src_extended: np.ndarray   # (B, S) extended-vocabulary ids
+    src_mask: np.ndarray       # (B, S)
+    n_oov: int
+    target_ids: np.ndarray     # (B, T) extended ids, EOS-terminated
+    target_mask: np.ndarray    # (B, T)
+
+
+def encode_batch(
+    examples: Sequence[Seq2SeqExample],
+    vocab: Vocabulary,
+    max_src_len: int = 30,
+    max_tgt_len: int = 4,
+) -> EncodedBatchArrays:
+    """Encode and pad a batch with a shared extended-vocabulary width."""
+    if not examples:
+        raise TrainingError("cannot encode an empty batch")
+    batch = len(examples)
+    src_len = min(max(len(e.source) for e in examples), max_src_len)
+    tgt_len = min(max(len(e.target) for e in examples) + 1, max_tgt_len + 1)
+
+    src_ids = np.full((batch, src_len), PAD, dtype=np.int64)
+    src_extended = np.full((batch, src_len), PAD, dtype=np.int64)
+    src_mask = np.zeros((batch, src_len), dtype=np.float64)
+    target_ids = np.full((batch, tgt_len), PAD, dtype=np.int64)
+    target_mask = np.zeros((batch, tgt_len), dtype=np.float64)
+    n_oov = 0
+
+    for row, example in enumerate(examples):
+        source = list(example.source)[:src_len]
+        plain = vocab.encode(source)
+        extended, oov_map = vocab.encode_extended(source)
+        n_oov = max(n_oov, len(oov_map))
+        src_ids[row, : len(plain)] = plain
+        src_extended[row, : len(extended)] = extended
+        src_mask[row, : len(plain)] = 1.0
+        target = vocab.target_ids_extended(
+            list(example.target)[: tgt_len - 1], oov_map
+        )
+        target_ids[row, : len(target)] = target
+        target_mask[row, : len(target)] = 1.0
+
+    return EncodedBatchArrays(
+        src_ids=src_ids,
+        src_extended=src_extended,
+        src_mask=src_mask,
+        n_oov=n_oov,
+        target_ids=target_ids,
+        target_mask=target_mask,
+    )

@@ -1,0 +1,92 @@
+"""Trainable layers built on the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural import autograd as ag
+from repro.neural.autograd import Tensor
+from repro.neural.vocab import UNK
+
+
+def xavier(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+class Module:
+    """Base class collecting named parameters recursively."""
+
+    def parameters(self) -> dict[str, Tensor]:
+        params: dict[str, Tensor] = {}
+        for name, value in vars(self).items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params[name] = value
+            elif isinstance(value, Module):
+                for sub_name, sub_value in value.parameters().items():
+                    params[f"{name}.{sub_name}"] = sub_value
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters().values():
+            param.zero_grad()
+
+
+class Embedding(Module):
+    """Token-id → dense-vector lookup table."""
+
+    def __init__(self, rng: np.random.Generator, n_tokens: int, dim: int) -> None:
+        self.weight = Tensor(
+            rng.normal(0.0, 0.1, size=(n_tokens, dim)), requires_grad=True
+        )
+        self.n_tokens = n_tokens
+        self.dim = dim
+
+    def __call__(self, token_ids: np.ndarray) -> Tensor:
+        # Extended-vocabulary ids (copy-mechanism OOV slots) have no row in
+        # the table; they are looked up as <unk>.
+        ids = np.asarray(token_ids, dtype=np.int64)
+        ids = np.where(ids >= self.n_tokens, UNK, ids)
+        return ag.rows(self.weight, ids)
+
+
+class Dense(Module):
+    """Affine layer y = xW + b."""
+
+    def __init__(
+        self, rng: np.random.Generator, n_in: int, n_out: int, bias: bool = True
+    ) -> None:
+        self.weight = Tensor(xavier(rng, n_in, n_out), requires_grad=True)
+        self.bias = Tensor(np.zeros((1, n_out)), requires_grad=True) if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = ag.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ag.add(out, self.bias)
+        return out
+
+
+class GRUCell(Module):
+    """Gated recurrent unit: one step over a batch.
+
+    Update/reset gates use the standard formulation; input and hidden
+    projections are kept as separate matrices for clarity.
+    """
+
+    def __init__(self, rng: np.random.Generator, n_in: int, n_hidden: int) -> None:
+        self.w_z = Dense(rng, n_in + n_hidden, n_hidden)
+        self.w_r = Dense(rng, n_in + n_hidden, n_hidden)
+        self.w_h = Dense(rng, n_in + n_hidden, n_hidden)
+        self.n_hidden = n_hidden
+
+    def __call__(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = ag.concat([x, h], axis=1)
+        z = ag.sigmoid(self.w_z(xh))
+        r = ag.sigmoid(self.w_r(xh))
+        xrh = ag.concat([x, ag.mul(r, h)], axis=1)
+        candidate = ag.tanh(self.w_h(xrh))
+        one_minus_z = ag.scalar_mul(ag.sub(z, Tensor(np.ones(1))), -1.0)
+        return ag.add(ag.mul(one_minus_z, h), ag.mul(z, candidate))
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.n_hidden)))

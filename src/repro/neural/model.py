@@ -1,0 +1,206 @@
+"""GRU encoder-decoder with attention and a generate-vs-copy gate.
+
+This is the neural generator of the paper's abstract source: the encoder
+reads the (segmented) abstract, the decoder emits hypernym tokens.  The
+copy mechanism follows the pointer-generator formulation of CopyNet's
+idea: at each step the output distribution is a gated mixture
+
+    p(w) = (1 - g) · p_generate(w)  +  g · Σ_{i : x_i = w} attention_i
+
+over an *extended* vocabulary in which source-only words own temporary
+ids, so out-of-vocabulary hypernyms present in the abstract can be
+produced verbatim — the exact OOV failure the paper adopts CopyNet for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.neural import autograd as ag
+from repro.neural.autograd import Tensor
+from repro.neural.layers import Dense, Embedding, GRUCell, Module
+from repro.neural.vocab import BOS, EOS, Vocabulary
+
+
+@dataclass
+class EncodedBatch:
+    """Everything the decoder needs about one encoded source batch."""
+
+    states: list[Tensor]          # T tensors of shape (B, H)
+    final_state: Tensor           # (B, H)
+    src_extended: np.ndarray      # (B, T) ids over the extended vocabulary
+    src_mask: np.ndarray          # (B, T) 1.0 on real tokens, 0.0 on padding
+    n_oov: int                    # width of the extended-vocabulary tail
+
+
+class CopyNetSeq2Seq(Module):
+    """Seq2seq with attention + copy gate, trained by distant supervision."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dim: int = 48,
+        seed: int = 0,
+    ) -> None:
+        if vocab_size <= 4:
+            raise TrainingError(f"vocabulary too small: {vocab_size}")
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.embedding = Embedding(rng, vocab_size, embed_dim)
+        self.encoder = GRUCell(rng, embed_dim, hidden_dim)
+        self.decoder = GRUCell(rng, embed_dim, hidden_dim)
+        self.att_proj = Dense(rng, hidden_dim, hidden_dim, bias=False)
+        self.gen_out = Dense(rng, 2 * hidden_dim, vocab_size)
+        self.copy_gate = Dense(rng, 2 * hidden_dim, 1)
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(
+        self,
+        src_ids: np.ndarray,
+        src_extended: np.ndarray,
+        src_mask: np.ndarray,
+        n_oov: int,
+    ) -> EncodedBatch:
+        batch, length = src_ids.shape
+        state = self.encoder.initial_state(batch)
+        states: list[Tensor] = []
+        for t in range(length):
+            x_t = self.embedding(src_ids[:, t])
+            new_state = self.encoder(x_t, state)
+            mask_t = Tensor(src_mask[:, t:t + 1])
+            # padded positions keep the previous state
+            state = ag.add(state, ag.mul(mask_t, ag.sub(new_state, state)))
+            states.append(state)
+        return EncodedBatch(
+            states=states,
+            final_state=state,
+            src_extended=src_extended,
+            src_mask=src_mask,
+            n_oov=n_oov,
+        )
+
+    # -- one decoder step --------------------------------------------------------
+
+    def _attention(
+        self, encoded: EncodedBatch, state: Tensor
+    ) -> tuple[Tensor, Tensor]:
+        """Return (attention weights (B,T), context (B,H))."""
+        projected = self.att_proj(state)
+        columns: list[Tensor] = []
+        for t, enc_state in enumerate(encoded.states):
+            score = ag.sum_axis(ag.mul(enc_state, projected), axis=1, keepdims=True)
+            bias = (encoded.src_mask[:, t:t + 1] - 1.0) * 1e9
+            columns.append(ag.add(score, Tensor(bias)))
+        scores = ag.concat(columns, axis=1)
+        attention = ag.softmax(scores, axis=-1)
+        context: Tensor | None = None
+        for t, enc_state in enumerate(encoded.states):
+            weighted = ag.mul(ag.slice_cols(attention, t, t + 1), enc_state)
+            context = weighted if context is None else ag.add(context, weighted)
+        return attention, context
+
+    def decode_step(
+        self, encoded: EncodedBatch, state: Tensor, prev_ids: np.ndarray
+    ) -> tuple[Tensor, Tensor]:
+        """One step: returns (p_final over extended vocab (B, V+oov), state)."""
+        x = self.embedding(prev_ids)
+        state = self.decoder(x, state)
+        attention, context = self._attention(encoded, state)
+        features = ag.concat([state, context], axis=1)
+        p_generate = ag.softmax(self.gen_out(features), axis=-1)
+        gate = ag.sigmoid(self.copy_gate(features))
+        extended_size = self.vocab_size + encoded.n_oov
+        p_copy = ag.scatter_add_cols(
+            ag.mul(attention, Tensor(encoded.src_mask)),
+            encoded.src_extended,
+            extended_size,
+        )
+        keep = ag.scalar_mul(ag.sub(gate, Tensor(np.ones(1))), -1.0)  # 1 - g
+        p_final = ag.add(
+            ag.mul(keep, ag.pad_cols(p_generate, encoded.n_oov)),
+            ag.mul(gate, p_copy),
+        )
+        return p_final, state
+
+    # -- training loss ---------------------------------------------------------------
+
+    def loss(
+        self,
+        src_ids: np.ndarray,
+        src_extended: np.ndarray,
+        src_mask: np.ndarray,
+        n_oov: int,
+        target_ids: np.ndarray,
+        target_mask: np.ndarray,
+    ) -> Tensor:
+        """Mean negative log-likelihood of the target tokens."""
+        encoded = self.encode(src_ids, src_extended, src_mask, n_oov)
+        state = encoded.final_state
+        batch, target_len = target_ids.shape
+        prev = np.full(batch, BOS, dtype=np.int64)
+        total: Tensor | None = None
+        for t in range(target_len):
+            p_final, state = self.decode_step(encoded, state, prev)
+            step_nll = ag.scalar_mul(
+                ag.log(ag.gather_cols(p_final, target_ids[:, t])), -1.0
+            )
+            masked = ag.mul(step_nll, Tensor(target_mask[:, t]))
+            step_total = ag.sum_axis(masked, axis=0)
+            total = step_total if total is None else ag.add(total, step_total)
+            prev = target_ids[:, t]
+        n_tokens = float(target_mask.sum())
+        if n_tokens == 0:
+            raise TrainingError("batch contains no target tokens")
+        return ag.scalar_mul(total, 1.0 / n_tokens)
+
+    # -- inference ----------------------------------------------------------------------
+
+    def generate(
+        self,
+        vocab: Vocabulary,
+        source_tokens: list[str],
+        max_len: int = 6,
+    ) -> list[str]:
+        """Greedy decoding of one source sequence into hypernym tokens."""
+        tokens, _ = self.generate_with_confidence(vocab, source_tokens, max_len)
+        return tokens
+
+    def generate_with_confidence(
+        self,
+        vocab: Vocabulary,
+        source_tokens: list[str],
+        max_len: int = 6,
+    ) -> tuple[list[str], float]:
+        """Greedy decoding plus the minimum step probability.
+
+        The confidence (worst step probability of the emitted tokens) lets
+        callers suppress low-certainty hypernyms — the generation module's
+        knob for keeping the abstract source's precision useful.
+        """
+        if not source_tokens:
+            return [], 0.0
+        src_plain = np.array([vocab.encode(source_tokens)], dtype=np.int64)
+        ext_ids, oov_map = vocab.encode_extended(source_tokens)
+        src_extended = np.array([ext_ids], dtype=np.int64)
+        src_mask = np.ones_like(src_plain, dtype=np.float64)
+        encoded = self.encode(src_plain, src_extended, src_mask, len(oov_map))
+        state = encoded.final_state
+        prev = np.array([BOS], dtype=np.int64)
+        output: list[int] = []
+        confidence = 1.0
+        for _ in range(max_len):
+            p_final, state = self.decode_step(encoded, state, prev)
+            next_id = int(np.argmax(p_final.data[0]))
+            if next_id == EOS:
+                break
+            confidence = min(confidence, float(p_final.data[0, next_id]))
+            output.append(next_id)
+            prev = np.array([next_id], dtype=np.int64)
+        if not output:
+            return [], 0.0
+        return vocab.decode_extended(output, oov_map), confidence

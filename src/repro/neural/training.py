@@ -1,0 +1,157 @@
+"""Adam optimiser and the distant-supervision training loop."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.neural.autograd import Tensor
+from repro.neural.dataset import Seq2SeqDataset, encode_batch
+from repro.neural.model import CopyNetSeq2Seq
+from repro.neural.vocab import Vocabulary
+
+
+class Adam:
+    """Adam over a named-parameter dict (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        parameters: dict[str, Tensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ) -> None:
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        self._params = parameters
+        self._lr = lr
+        self._beta1 = beta1
+        self._beta2 = beta2
+        self._eps = eps
+        self._clip_norm = clip_norm
+        self._m = {k: np.zeros_like(p.data) for k, p in parameters.items()}
+        self._v = {k: np.zeros_like(p.data) for k, p in parameters.items()}
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        grads = {
+            name: param.grad
+            for name, param in self._params.items()
+            if param.grad is not None
+        }
+        if self._clip_norm is not None and grads:
+            total = float(
+                np.sqrt(sum(float((g * g).sum()) for g in grads.values()))
+            )
+            if total > self._clip_norm:
+                scale = self._clip_norm / (total + 1e-12)
+                grads = {name: g * scale for name, g in grads.items()}
+        for name, grad in grads.items():
+            param = self._params[name]
+            m = self._m[name] = self._beta1 * self._m[name] + (1 - self._beta1) * grad
+            v = self._v[name] = (
+                self._beta2 * self._v[name] + (1 - self._beta2) * grad * grad
+            )
+            m_hat = m / (1 - self._beta1 ** self._t)
+            v_hat = v / (1 - self._beta2 ** self._t)
+            param.data -= self._lr * m_hat / (np.sqrt(v_hat) + self._eps)
+
+    def zero_grad(self) -> None:
+        for param in self._params.values():
+            param.zero_grad()
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the distant-supervision training run."""
+
+    epochs: int = 5
+    batch_size: int = 16
+    lr: float = 2e-3
+    max_src_len: int = 30
+    max_tgt_len: int = 4
+    shuffle_seed: int = 0
+
+    def validate(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise TrainingError("epochs and batch_size must be positive")
+        if self.max_src_len <= 0 or self.max_tgt_len <= 0:
+            raise TrainingError("sequence limits must be positive")
+
+
+@dataclass
+class TrainingReport:
+    """Loss trajectory of one training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise TrainingError("no epochs were run")
+        return self.epoch_losses[-1]
+
+    @property
+    def improved(self) -> bool:
+        return (
+            len(self.epoch_losses) >= 2
+            and self.epoch_losses[-1] < self.epoch_losses[0]
+        )
+
+
+class Trainer:
+    """Mini-batch trainer for :class:`CopyNetSeq2Seq`."""
+
+    def __init__(
+        self,
+        model: CopyNetSeq2Seq,
+        vocab: Vocabulary,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.vocab = vocab
+        self.config = config if config is not None else TrainingConfig()
+        self.config.validate()
+        self._optimizer = Adam(model.parameters(), lr=self.config.lr)
+
+    def fit(self, dataset: Seq2SeqDataset) -> TrainingReport:
+        if len(dataset) == 0:
+            raise TrainingError("cannot train on an empty dataset")
+        rng = random.Random(self.config.shuffle_seed)
+        order = list(range(len(dataset)))
+        report = TrainingReport()
+        for _ in range(self.config.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(order), self.config.batch_size):
+                indices = order[start:start + self.config.batch_size]
+                examples = [dataset[i] for i in indices]
+                batch = encode_batch(
+                    examples,
+                    self.vocab,
+                    max_src_len=self.config.max_src_len,
+                    max_tgt_len=self.config.max_tgt_len,
+                )
+                self._optimizer.zero_grad()
+                loss = self.model.loss(
+                    batch.src_ids,
+                    batch.src_extended,
+                    batch.src_mask,
+                    batch.n_oov,
+                    batch.target_ids,
+                    batch.target_mask,
+                )
+                loss.backward()
+                self._optimizer.step()
+                epoch_loss += float(loss.data)
+                n_batches += 1
+            report.epoch_losses.append(epoch_loss / max(n_batches, 1))
+        return report

@@ -1,0 +1,131 @@
+"""Token vocabulary with reserved symbols and extended-vocab OOV handling.
+
+The copy mechanism operates over an *extended* vocabulary: source words
+missing from the fixed vocabulary get temporary ids ``V, V+1, ...`` local
+to one example, so the decoder can emit them verbatim.  This is exactly
+how the paper's CopyNet handles out-of-vocabulary hypernym words that
+appear in the abstract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.errors import VocabularyError
+
+PAD, BOS, EOS, UNK = 0, 1, 2, 3
+RESERVED = ("<pad>", "<bos>", "<eos>", "<unk>")
+
+
+class Vocabulary:
+    """Frequency-built token vocabulary."""
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        self._itos: list[str] = list(RESERVED)
+        self._stoi: dict[str, int] = {t: i for i, t in enumerate(RESERVED)}
+        for token in tokens:
+            if token in self._stoi:
+                raise VocabularyError(f"duplicate token {token!r}")
+            self._stoi[token] = len(self._itos)
+            self._itos.append(token)
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Iterable[Sequence[str]],
+        max_size: int = 20000,
+        min_freq: int = 1,
+    ) -> "Vocabulary":
+        """Build from token sequences, most frequent first."""
+        if max_size <= 0:
+            raise VocabularyError(f"max_size must be positive, got {max_size}")
+        counts: Counter[str] = Counter()
+        for sentence in corpus:
+            counts.update(sentence)
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = [w for w, c in ranked if c >= min_freq][: max_size - len(RESERVED)]
+        return cls(kept)
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    def id_of(self, token: str) -> int:
+        return self._stoi.get(token, UNK)
+
+    def token_of(self, index: int) -> str:
+        if 0 <= index < len(self._itos):
+            return self._itos[index]
+        raise VocabularyError(f"id {index} outside vocabulary of {len(self)}")
+
+    def encode(self, tokens: Sequence[str], add_eos: bool = False) -> list[int]:
+        ids = [self.id_of(t) for t in tokens]
+        if add_eos:
+            ids.append(EOS)
+        return ids
+
+    def decode(self, ids: Sequence[int], stop_at_eos: bool = True) -> list[str]:
+        tokens: list[str] = []
+        for index in ids:
+            if stop_at_eos and index == EOS:
+                break
+            if index in (PAD, BOS):
+                continue
+            tokens.append(self.token_of(index))
+        return tokens
+
+    # -- extended vocabulary for the copy mechanism -----------------------
+
+    def encode_extended(
+        self, source_tokens: Sequence[str]
+    ) -> tuple[list[int], dict[str, int]]:
+        """Source ids where OOV words get temporary ids ≥ len(vocab).
+
+        Returns ``(ids, oov_map)``; ``oov_map`` maps each OOV surface to
+        its temporary id, in first-occurrence order.
+        """
+        ids: list[int] = []
+        oov_map: dict[str, int] = {}
+        for token in source_tokens:
+            index = self._stoi.get(token)
+            if index is None:
+                if token not in oov_map:
+                    oov_map[token] = len(self) + len(oov_map)
+                index = oov_map[token]
+            ids.append(index)
+        return ids, oov_map
+
+    def decode_extended(
+        self, ids: Sequence[int], oov_map: dict[str, int], stop_at_eos: bool = True
+    ) -> list[str]:
+        """Decode ids that may reference the example-local OOV slots."""
+        reverse = {index: token for token, index in oov_map.items()}
+        tokens: list[str] = []
+        for index in ids:
+            if stop_at_eos and index == EOS:
+                break
+            if index in (PAD, BOS):
+                continue
+            if index < len(self):
+                tokens.append(self.token_of(index))
+            elif index in reverse:
+                tokens.append(reverse[index])
+            else:
+                tokens.append(RESERVED[UNK])
+        return tokens
+
+    def target_ids_extended(
+        self, target_tokens: Sequence[str], oov_map: dict[str, int]
+    ) -> list[int]:
+        """Target ids using the source's OOV slots, EOS-terminated."""
+        ids: list[int] = []
+        for token in target_tokens:
+            index = self._stoi.get(token)
+            if index is None:
+                index = oov_map.get(token, UNK)
+            ids.append(index)
+        ids.append(EOS)
+        return ids

@@ -1,0 +1,48 @@
+"""Chinese NLP substrate built from scratch.
+
+The paper relies on standard Chinese tooling (word segmentation, PMI
+statistics over a text corpus, named-entity recognition).  None of that
+tooling is assumed here: this subpackage implements
+
+- :class:`~repro.nlp.lexicon.Lexicon` — frequency/POS lexicon with prefix
+  tables, pre-seeded with a bundled base vocabulary,
+- :class:`~repro.nlp.segmentation.Segmenter` — dictionary-DAG Viterbi
+  segmenter (the same algorithmic family as jieba's core),
+- :class:`~repro.nlp.pmi.PMIStatistics` — unigram/bigram counts and the
+  pointwise mutual information used by the separation algorithm,
+- :class:`~repro.nlp.ner.NamedEntityRecognizer` — lexicon + pattern NER
+  used by the NE verification heuristic,
+- :mod:`repro.nlp.pos` / :mod:`repro.nlp.head` — coarse POS tagging and
+  lexical-head extraction for the syntax-rule verifier.
+"""
+
+from repro.nlp.head import head_stem_violates, lexical_head
+from repro.nlp.lexicon import Lexicon, LexiconEntry
+from repro.nlp.ner import NamedEntityRecognizer, NESupport
+from repro.nlp.pmi import PMIStatistics
+from repro.nlp.pos import POSTagger
+from repro.nlp.segmentation import Segmenter
+from repro.nlp.text import (
+    is_cjk_char,
+    is_cjk_word,
+    iter_cjk_runs,
+    normalize_text,
+    strip_brackets,
+)
+
+__all__ = [
+    "Lexicon",
+    "LexiconEntry",
+    "NESupport",
+    "NamedEntityRecognizer",
+    "PMIStatistics",
+    "POSTagger",
+    "Segmenter",
+    "head_stem_violates",
+    "is_cjk_char",
+    "is_cjk_word",
+    "iter_cjk_runs",
+    "lexical_head",
+    "normalize_text",
+    "strip_brackets",
+]

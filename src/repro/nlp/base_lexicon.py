@@ -1,0 +1,187 @@
+"""Bundled base vocabulary for the Chinese NLP substrate.
+
+The paper's tooling assumes a general-purpose segmentation lexicon.  We
+bundle one here: frequencies are Zipf-flavoured relative weights (function
+words ≫ common nouns ≫ rare nouns), POS tags are coarse:
+
+- ``n``  noun (includes concept words usable as hypernyms)
+- ``nr`` person-name component (surnames)
+- ``ns`` place name
+- ``a``  adjective / attributive modifier
+- ``v``  verb
+- ``m``  numeral / measure
+- ``u``  function word (particles, conjunctions, prepositions)
+- ``t``  thematic/topic word (non-taxonomic; never a valid hypernym)
+
+The synthetic world registers its own entity/concept morphemes on top of
+this base at build time, mirroring how real pipelines extend jieba with a
+user dictionary harvested from encyclopedia titles.
+"""
+
+from __future__ import annotations
+
+# --- concept nouns: plausible hypernyms -----------------------------------
+_CONCEPT_NOUNS: tuple[str, ...] = (
+    # people
+    "人物", "艺人", "明星", "演员", "歌手", "作家", "诗人", "画家", "导演",
+    "编剧", "制片人", "主持人", "模特", "舞者", "音乐家", "作曲家", "词作人",
+    "科学家", "物理学家", "化学家", "数学家", "生物学家", "院士", "教授",
+    "学者", "企业家", "商人", "运动员", "球员", "教练", "政治家", "外交官",
+    "军人", "警察", "医生", "护士", "律师", "法官", "教师", "工程师",
+    "建筑师", "设计师", "记者", "编辑", "翻译家", "哲学家", "历史学家",
+    "经济学家", "心理学家", "厨师", "飞行员", "宇航员", "探险家", "僧人",
+    "歌唱家", "钢琴家", "小提琴家", "指挥家", "书法家", "雕塑家", "摄影师",
+    "漫画家", "博主", "网红", "官员", "战略官", "执行官", "财务官",
+    "总裁", "董事长", "经理", "娱乐人物", "公众人物", "历史人物",
+    # organisations
+    "公司", "集团", "企业", "机构", "组织", "协会", "学会", "基金会",
+    "大学", "学院", "中学", "小学", "学校", "研究所", "实验室", "乐队",
+    "组合", "球队", "俱乐部", "银行", "医院", "剧院", "博物馆", "图书馆",
+    "出版社", "电视台", "电台", "报社", "政党", "部队", "寺庙", "教堂",
+    # places
+    "国家", "城市", "省份", "地区", "县城", "乡镇", "村庄", "首都",
+    "景点", "公园", "广场", "山脉", "高山", "河流", "湖泊", "岛屿",
+    "海洋", "沙漠", "平原", "盆地", "峡谷", "瀑布", "古镇", "街道",
+    # works
+    "作品", "电影", "小说", "散文", "诗歌", "歌曲", "专辑", "单曲",
+    "电视剧", "戏剧", "话剧", "歌剧", "舞剧", "纪录片", "动画片",
+    "游戏", "书籍", "杂志", "报纸", "绘画", "雕塑", "交响曲", "协奏曲",
+    "武侠剧", "传记片", "警匪片", "剧情片", "喜剧片", "爱情片",
+    # living things & products
+    "动物", "植物", "水果", "蔬菜", "花卉", "树木", "鸟类", "鱼类",
+    "昆虫", "哺乳动物", "爬行动物", "犬种", "猫种", "品种", "草本植物",
+    "木本植物", "乔木", "灌木", "藻类", "真菌", "细菌", "病毒",
+    "食品", "菜肴", "小吃", "甜点", "饮料", "茶叶", "酒类", "调料",
+    "药品", "药材", "器材", "工具", "乐器", "武器", "车辆", "汽车",
+    "飞机", "船舶", "手机", "软件", "网站", "平台", "系统", "语言",
+    "方言", "民族", "节日", "习俗", "奖项", "赛事", "比赛", "典礼",
+    "职业", "职位", "学科", "专业", "理论", "定理", "算法", "模型",
+    "疾病", "症状", "疗法", "材料", "金属", "矿物", "化合物", "元素",
+)
+
+# --- attributive modifiers used in noun compounds --------------------------
+_MODIFIERS: tuple[str, ...] = (
+    "著名", "知名", "杰出", "优秀", "资深", "新锐", "传奇", "一流",
+    "男", "女", "青年", "中年", "老年", "当代", "现代", "古代", "近代",
+    "首席", "高级", "初级", "特级", "国际", "国家级", "省级", "市级",
+    "热带", "亚热带", "温带", "寒带", "大型", "小型", "中型", "微型",
+    "流行", "民谣", "摇滚", "古典", "爵士", "电子", "乡村", "说唱",
+    "科幻", "悬疑", "推理", "言情", "武侠", "奇幻", "写实", "抽象",
+    "野生", "家养", "观赏", "食用", "药用", "常绿", "落叶", "一年生",
+    "多年生", "淡水", "海水", "深海", "高山型", "草原型",
+    "国有", "民营", "外资", "合资", "上市", "跨国", "百年", "新兴",
+    "综合", "重点", "示范", "实验", "双语", "艺术类", "理工类", "师范类",
+)
+
+# --- place names (NE gazetteer seeds, also common in modifiers) ------------
+_PLACES: tuple[str, ...] = (
+    "中国", "美国", "日本", "韩国", "英国", "法国", "德国", "俄罗斯",
+    "意大利", "西班牙", "加拿大", "澳大利亚", "印度", "巴西", "埃及",
+    "香港", "台湾", "澳门", "北京", "上海", "广州", "深圳", "杭州",
+    "南京", "苏州", "成都", "重庆", "武汉", "西安", "天津", "长沙",
+    "青岛", "厦门", "昆明", "大连", "沈阳", "哈尔滨", "兰州", "拉萨",
+    "浙江", "江苏", "广东", "山东", "四川", "湖南", "湖北", "福建",
+    "云南", "贵州", "陕西", "甘肃", "河南", "河北", "山西", "安徽",
+    "江西", "广西", "海南", "辽宁", "吉林", "黑龙江", "内蒙古", "新疆",
+    "西藏", "青海", "宁夏", "长江", "黄河", "泰山", "黄山", "西湖",
+)
+
+# --- verbs that appear in abstracts ----------------------------------------
+_VERBS: tuple[str, ...] = (
+    "是", "为", "出生", "毕业", "位于", "成立", "创立", "创办", "发行",
+    "出版", "获得", "担任", "主演", "出演", "执导", "创作", "演唱",
+    "发表", "研究", "发现", "发明", "建立", "加入", "效力", "入选",
+    "荣获", "凭借", "代表", "分布", "生长", "栖息", "属于", "隶属",
+    "包括", "拥有", "经营", "生产", "提供", "开发", "上映", "播出",
+)
+
+# --- function words ---------------------------------------------------------
+_FUNCTION: tuple[tuple[str, int], ...] = (
+    ("的", 80000), ("了", 30000), ("和", 25000), ("与", 20000),
+    ("在", 28000), ("于", 18000), ("一", 15000), ("一个", 9000),
+    ("一种", 8000), ("一名", 6000), ("一位", 6000), ("是一", 10),
+    ("其", 9000), ("该", 8000), ("等", 12000), ("及", 9000),
+    ("以及", 7000), ("或", 6000), ("并", 7000), ("也", 8000),
+    ("曾", 7000), ("将", 6000), ("被", 7000), ("从", 6000),
+    ("由", 7000), ("对", 7000), ("年", 20000), ("月", 18000),
+    ("日", 18000), ("之一", 8000),
+)
+
+# --- thematic/topic words (never valid hypernyms) ---------------------------
+# These seed both the POS tagger ("t") and the 184-entry thematic lexicon
+# used by the syntax-rule verifier (see repro.core.verification.thematic).
+_THEMATIC: tuple[str, ...] = (
+    "音乐", "政治", "军事", "体育", "娱乐", "科技", "文化", "教育",
+    "历史", "地理", "经济", "艺术", "文学", "社会", "自然", "生活",
+    "旅游", "美食", "时尚", "健康", "财经", "科学", "宗教", "哲学",
+    "法律", "医学", "农业", "工业", "商业", "金融", "传媒", "影视",
+    "动漫", "电竞", "环保", "能源", "交通", "建筑", "航天", "航空",
+    "互联网", "数码", "通信", "房产", "家居", "母婴", "宠物", "情感",
+    "心理", "职场", "创业", "投资", "收藏", "书画", "戏曲", "曲艺",
+    "民俗", "考古", "天文", "气象", "海洋学", "地质", "生态", "人文",
+)
+
+# --- common-word tail: everyday nouns/verbs that matter for the
+# cross-language baseline (wrong-sense translations are ordinary words any
+# dictionary contains) and for abstract segmentation --------------------------
+_COMMON_NOUNS: tuple[str, ...] = (
+    "星星", "恒星", "著作", "方向", "陪伴", "连队", "带子", "波段",
+    "河岸", "岸边", "队伍", "团队", "胶片", "薄膜", "曲子", "果实",
+    "成果", "工厂", "厂房", "野兽", "牲畜", "都会", "乡下", "猎物",
+    "油漆工", "学院派", "高校界", "州", "虚构", "新颖",
+)
+_COMMON_VERBS: tuple[str, ...] = (
+    "唱歌", "表演", "演出", "写作", "指导", "歌唱",
+)
+
+# --- common surnames (NER person-name pattern) ------------------------------
+SURNAMES: tuple[str, ...] = tuple(
+    "王李张刘陈杨黄赵周吴徐孙马朱胡郭何高林罗郑梁谢宋唐许韩冯邓曹彭曾"
+    "萧田董袁潘蒋蔡余杜叶程苏魏吕丁任沈姚卢姜崔钟谭陆汪范金石廖贾夏"
+    "韦付方白邹孟熊秦邱江尹薛闫段雷侯龙史陶黎贺顾毛郝龚邵万钱严覃武"
+    "戴莫孔向汤"
+)
+
+# Given-name characters used by the NER pattern and the synthetic world's
+# person-name generator.
+GIVEN_NAME_CHARS: tuple[str, ...] = tuple(
+    "伟芳娜敏静丽强磊军洋勇艳杰娟涛明超秀兰霞平刚桂英华玉萍红娥玲芬燕"
+    "彬鹏浩凯秋珊莎锦黛青倩婷宁蓉琴薇斌梅琳素云莲真环雪荣爱妹香月莺媛"
+    "瑞凡佳嘉琼勤珍贞莉峰嫣晨辰昊天德华龙飞鸿波辉力明永健世广志义兴良"
+    "海山仁宽福生龙元全国胜学祥才发成康星光迪安岩"
+)
+
+_SUFFIX_POS_HINTS: tuple[tuple[str, str], ...] = (
+    ("家", "n"), ("师", "n"), ("员", "n"), ("手", "n"), ("官", "n"),
+    ("长", "n"), ("生", "n"), ("者", "n"), ("士", "n"),
+)
+
+
+def _entries() -> list[tuple[str, int, str]]:
+    rows: list[tuple[str, int, str]] = []
+    for word in _CONCEPT_NOUNS:
+        rows.append((word, 1200, "n"))
+    for word in _MODIFIERS:
+        rows.append((word, 900, "a"))
+    for word in _PLACES:
+        rows.append((word, 2500, "ns"))
+    for word in _VERBS:
+        rows.append((word, 3000, "v"))
+    for word, freq in _FUNCTION:
+        rows.append((word, freq, "u"))
+    for word in _THEMATIC:
+        rows.append((word, 1500, "t"))
+    for word in _COMMON_NOUNS:
+        rows.append((word, 400, "n"))
+    for word in _COMMON_VERBS:
+        rows.append((word, 400, "v"))
+    return rows
+
+
+BASE_ENTRIES: tuple[tuple[str, int, str], ...] = tuple(_entries())
+
+THEMATIC_SEEDS: tuple[str, ...] = _THEMATIC
+CONCEPT_NOUN_SEEDS: tuple[str, ...] = _CONCEPT_NOUNS
+MODIFIER_SEEDS: tuple[str, ...] = _MODIFIERS
+PLACE_SEEDS: tuple[str, ...] = _PLACES
+SUFFIX_POS_HINTS: tuple[tuple[str, str], ...] = _SUFFIX_POS_HINTS

@@ -1,0 +1,59 @@
+"""Lexical-head extraction for Chinese noun compounds.
+
+Chinese noun compounds are right-headed: in 教育机构 ("educational
+institution") the head is 机构.  The syntax-rule verifier (Section III-C,
+rule 2) rejects ``isA(educational institution, education)`` because the
+stem of the hypernym's head (教育) occurs in a *non-head* position of the
+hyponym.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+# Role/agent suffixes whose removal yields the compound's semantic stem:
+# 教育家 → 教育, 战略官 → 战略.  Only stripped from words long enough to
+# leave a meaningful stem behind.
+_ROLE_SUFFIXES = ("家", "师", "员", "手", "官", "者", "士", "长")
+
+
+def lexical_head(words: Sequence[str]) -> str:
+    """Head of a segmented noun compound: its rightmost word."""
+    if not words:
+        raise ValueError("cannot take the head of an empty compound")
+    return words[-1]
+
+
+def stem(word: str) -> str:
+    """Semantic stem of a word: role suffix stripped when safe."""
+    if len(word) >= 3 and word.endswith(_ROLE_SUFFIXES):
+        return word[:-1]
+    return word
+
+
+def head_stem_violates(
+    hyponym_words: Sequence[str], hypernym_words: Sequence[str]
+) -> bool:
+    """Rule 2 of the syntax verifier.
+
+    True when the stem of the hypernym's lexical head appears in the
+    hyponym *outside* its own head position — the configuration of wrong
+    pairs like isA(教育机构, 教育).  Checked on the surface string of the
+    non-head part so segmentation differences cannot hide a violation.
+    """
+    if not hyponym_words or not hypernym_words:
+        return False
+    head_stem = stem(lexical_head(list(hypernym_words)))
+    if not head_stem:
+        return False
+    non_head = "".join(hyponym_words[:-1])
+    hypo_head = hyponym_words[-1]
+    if head_stem in non_head:
+        return True
+    # The hyponym's own head may still hide the stem in a non-final slot,
+    # e.g. single-token hyponym 教育机构 with hypernym 教育.
+    if len(hypo_head) > len(head_stem):
+        interior = hypo_head[:-1]
+        if head_stem in interior and not hypo_head.endswith(head_stem):
+            return True
+    return False

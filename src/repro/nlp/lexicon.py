@@ -1,0 +1,146 @@
+"""Frequency/POS lexicon with prefix tables for DAG segmentation.
+
+The lexicon mirrors jieba's prefix-dictionary design: besides the real
+entries we keep a set of every proper prefix of every word, so the
+segmenter can abort its forward scan as soon as no dictionary word can
+start at the current position.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import LexiconError
+from repro.nlp import base_lexicon
+
+
+@dataclass(frozen=True)
+class LexiconEntry:
+    """One lexicon row: surface form, frequency weight and coarse POS."""
+
+    word: str
+    freq: int
+    pos: str
+
+
+class Lexicon:
+    """Mutable frequency lexicon with prefix lookup.
+
+    Frequencies are relative weights, not corpus counts; the segmenter only
+    consumes their ratios (via log-probabilities), so any consistent scale
+    works.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, LexiconEntry] = {}
+        self._prefixes: set[str] = set()
+        self._total: int = 0
+        self._max_len: int = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def base(cls) -> "Lexicon":
+        """Return a fresh lexicon loaded with the bundled base vocabulary."""
+        lex = cls()
+        for word, freq, pos in base_lexicon.BASE_ENTRIES:
+            lex.add(word, freq, pos)
+        return lex
+
+    def add(self, word: str, freq: int = 1, pos: str = "n") -> None:
+        """Insert *word*, accumulating frequency on duplicates.
+
+        POS of an existing entry is kept unless the existing POS is the
+        default ``n`` and the new one is more specific.
+        """
+        if not word:
+            raise LexiconError("cannot add empty word to lexicon")
+        if freq <= 0:
+            raise LexiconError(f"frequency must be positive, got {freq} for {word!r}")
+        existing = self._entries.get(word)
+        if existing is None:
+            self._entries[word] = LexiconEntry(word, freq, pos)
+        else:
+            kept_pos = existing.pos if existing.pos != "n" else pos
+            self._entries[word] = LexiconEntry(word, existing.freq + freq, kept_pos)
+        self._total += freq
+        self._max_len = max(self._max_len, len(word))
+        for i in range(1, len(word)):
+            self._prefixes.add(word[:i])
+
+    def add_all(self, words: Iterable[str], freq: int = 1, pos: str = "n") -> None:
+        """Insert every word of *words* with the same frequency and POS."""
+        for word in words:
+            self.add(word, freq, pos)
+
+    def merge(self, other: "Lexicon") -> None:
+        """Accumulate every entry of *other* into this lexicon."""
+        for entry in other:
+            self.add(entry.word, entry.freq, entry.pos)
+
+    # -- lookup --------------------------------------------------------------
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LexiconEntry]:
+        return iter(self._entries.values())
+
+    def get(self, word: str) -> LexiconEntry | None:
+        """Return the entry for *word*, or None when absent."""
+        return self._entries.get(word)
+
+    def freq(self, word: str) -> int:
+        """Return the frequency weight of *word* (0 when absent)."""
+        entry = self._entries.get(word)
+        return entry.freq if entry is not None else 0
+
+    def pos_of(self, word: str) -> str | None:
+        """Return the coarse POS of *word*, or None when absent."""
+        entry = self._entries.get(word)
+        return entry.pos if entry is not None else None
+
+    @property
+    def total(self) -> int:
+        """Sum of all frequency weights (normalising constant)."""
+        return self._total
+
+    @property
+    def max_word_len(self) -> int:
+        return self._max_len
+
+    def log_prob(self, word: str, default_freq: float = 0.5) -> float:
+        """Log unigram probability of *word* under this lexicon.
+
+        Unknown words get *default_freq*; single unknown characters are the
+        segmenter's fallback, so the default must stay well below real
+        entries.
+        """
+        total = max(self._total, 1)
+        freq = self.freq(word)
+        return math.log(max(freq, default_freq)) - math.log(total)
+
+    def is_prefix(self, fragment: str) -> bool:
+        """True when *fragment* is a proper prefix of some entry."""
+        return fragment in self._prefixes
+
+    def words_starting_at(self, text: str, start: int) -> list[str]:
+        """All dictionary words that begin at *start* in *text*.
+
+        The scan grows one character at a time and stops as soon as the
+        fragment is neither an entry nor a prefix of one.
+        """
+        found: list[str] = []
+        limit = min(len(text), start + self._max_len)
+        for end in range(start + 1, limit + 1):
+            fragment = text[start:end]
+            if fragment in self._entries:
+                found.append(fragment)
+            elif not self.is_prefix(fragment):
+                break
+        return found

@@ -1,0 +1,143 @@
+"""Named-entity recognition for the NE verification heuristic.
+
+Section III-B of the paper filters isA relations whose hypernym is a named
+entity (``isA(iPhone, America)`` is wrong because *America* is an NE).  The
+filter needs two support scores:
+
+- ``s1(H)`` — support of H as an NE in a Chinese text corpus,
+- ``s2(H)`` — support of H as an NE inside the taxonomy being built,
+
+combined with a noisy-or model.  This module provides the recogniser and
+the corpus-side support table; the taxonomy-side score lives with the
+verifier (:mod:`repro.core.verification.ner_filter`).
+
+Recognition is gazetteer-first with pattern fallbacks:
+
+- gazetteer hits (entity titles registered from the encyclopedia) — 1.0,
+- place-name suffixes (市/省/县/山/湖...) on multi-char words — 0.9,
+- organisation suffixes (公司/集团/大学...) on words longer than the
+  suffix itself — 0.9,
+- surname + given-name shape for unknown 2–3 char words — 0.7.
+
+The confidence weights make the corpus support graded rather than binary,
+which is what the noisy-or combination needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.nlp.base_lexicon import GIVEN_NAME_CHARS, SURNAMES
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.text import is_cjk_word
+
+_PLACE_SUFFIXES = ("市", "省", "县", "区", "镇", "村", "山", "湖", "岛", "河", "港")
+_ORG_SUFFIXES = (
+    "公司", "集团", "大学", "学院", "银行", "医院", "乐队", "俱乐部",
+    "研究所", "出版社", "电视台", "基金会", "协会",
+)
+
+
+@dataclass(frozen=True)
+class NESupport:
+    """Occurrence statistics of one word: total count and NE-weighted count."""
+
+    word: str
+    total: int
+    ne_weight: float
+
+    @property
+    def ratio(self) -> float:
+        """``NE(H)/total(H)`` — the paper's s1-style support."""
+        if self.total == 0:
+            return 0.0
+        return min(self.ne_weight / self.total, 1.0)
+
+
+class NamedEntityRecognizer:
+    """Gazetteer + pattern recogniser with graded confidence."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self._lexicon = lexicon if lexicon is not None else Lexicon.base()
+        self._gazetteer: dict[str, str] = {}
+        self._surnames = frozenset(SURNAMES)
+        self._given_chars = frozenset(GIVEN_NAME_CHARS)
+
+    # -- gazetteer ------------------------------------------------------------
+
+    def register(self, name: str, netype: str) -> None:
+        """Register a known entity title with its NE type."""
+        if name:
+            self._gazetteer[name] = netype
+
+    def register_all(self, names: Iterable[str], netype: str) -> None:
+        for name in names:
+            self.register(name, netype)
+
+    @property
+    def gazetteer_size(self) -> int:
+        return len(self._gazetteer)
+
+    # -- classification ---------------------------------------------------------
+
+    def classify(self, word: str) -> tuple[str, float] | None:
+        """Return ``(ne_type, confidence)`` or None for non-NE words."""
+        if not word:
+            return None
+        gazetteer_type = self._gazetteer.get(word)
+        if gazetteer_type is not None:
+            return gazetteer_type, 1.0
+        if not is_cjk_word(word):
+            # Latin/digit tokens in Chinese text are almost always product
+            # names, codes or foreign names — NE-like but weak evidence.
+            if word.isascii() and word.isalnum() and not word.isdigit():
+                return "other", 0.6
+            return None
+        entry = self._lexicon.get(word)
+        if entry is not None and entry.pos == "ns":
+            return "place", 0.95
+        if len(word) > 1 and word.endswith(_PLACE_SUFFIXES) and entry is None:
+            return "place", 0.9
+        for suffix in _ORG_SUFFIXES:
+            if word.endswith(suffix) and len(word) > len(suffix):
+                return "organisation", 0.9
+        if (
+            entry is None
+            and 2 <= len(word) <= 3
+            and word[0] in self._surnames
+            and all(ch in self._given_chars for ch in word[1:])
+        ):
+            return "person", 0.7
+        return None
+
+    def is_named_entity(self, word: str, min_confidence: float = 0.5) -> bool:
+        result = self.classify(word)
+        return result is not None and result[1] >= min_confidence
+
+    # -- corpus support ----------------------------------------------------------
+
+    def corpus_support(
+        self, corpus: Iterable[Sequence[str]]
+    ) -> dict[str, NESupport]:
+        """Build the s1 support table over a segmented corpus.
+
+        Every token occurrence contributes 1 to its word's total and its
+        classification confidence (0 for non-NE) to the NE weight.
+        """
+        totals: Counter[str] = Counter()
+        weights: Counter[str] = Counter()
+        cache: dict[str, float] = {}
+        for sentence in corpus:
+            for token in sentence:
+                totals[token] += 1
+                if token not in cache:
+                    result = self.classify(token)
+                    cache[token] = result[1] if result is not None else 0.0
+                if cache[token]:
+                    weights[token] += cache[token]
+        return {
+            word: NESupport(word=word, total=count, ne_weight=weights[word])
+            for word, count in totals.items()
+        }

@@ -1,0 +1,89 @@
+"""Pointwise mutual information over adjacent-word co-occurrences.
+
+The separation algorithm (Section II of the paper) compares
+``PMI(x_{i-1}, x_i)`` against ``PMI(x_i, x_{i+1})`` for adjacent words of a
+noun compound.  The statistics here are collected from segmented corpus
+text (abstracts + compound phrases of the encyclopedia), the same corpus
+family the authors use.
+
+PMI(a, b) = log2( p(a, b) / (p(a) * p(b)) ), with add-k smoothing on the
+bigram count so unseen pairs get a large-negative but finite score.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from math import log2
+from typing import Iterable, Sequence
+
+
+class PMIStatistics:
+    """Unigram/bigram counters with smoothed PMI queries."""
+
+    def __init__(self, smoothing: float = 0.1) -> None:
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {smoothing}")
+        self._smoothing = smoothing
+        self._unigrams: Counter[str] = Counter()
+        self._bigrams: Counter[tuple[str, str]] = Counter()
+        self._total_unigrams = 0
+        self._total_bigrams = 0
+
+    # -- collection -----------------------------------------------------------
+
+    def add_sequence(self, words: Sequence[str]) -> None:
+        """Count unigrams and adjacent bigrams of one token sequence."""
+        for word in words:
+            self._unigrams[word] += 1
+        self._total_unigrams += len(words)
+        for left, right in zip(words, words[1:]):
+            self._bigrams[(left, right)] += 1
+        self._total_bigrams += max(len(words) - 1, 0)
+
+    def add_corpus(self, sequences: Iterable[Sequence[str]]) -> None:
+        for words in sequences:
+            self.add_sequence(words)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._unigrams)
+
+    @property
+    def total_unigrams(self) -> int:
+        return self._total_unigrams
+
+    @property
+    def total_bigrams(self) -> int:
+        return self._total_bigrams
+
+    def unigram_count(self, word: str) -> int:
+        return self._unigrams[word]
+
+    def bigram_count(self, left: str, right: str) -> int:
+        return self._bigrams[(left, right)]
+
+    def pmi(self, left: str, right: str) -> float:
+        """Smoothed PMI of the adjacent pair (*left*, *right*).
+
+        Works even on an empty statistics object (returns 0.0), so callers
+        degrade to right-branching rather than crash.
+        """
+        if self._total_unigrams == 0 or self._total_bigrams == 0:
+            return 0.0
+        k = self._smoothing
+        vocab = max(self.vocabulary_size, 1)
+        p_pair = (self._bigrams[(left, right)] + k) / (
+            self._total_bigrams + k * vocab * vocab
+        )
+        p_left = (self._unigrams[left] + k) / (self._total_unigrams + k * vocab)
+        p_right = (self._unigrams[right] + k) / (self._total_unigrams + k * vocab)
+        return log2(p_pair / (p_left * p_right))
+
+    def cohesion(self, words: Sequence[str]) -> float:
+        """Mean adjacent-pair PMI of a multi-word unit (0.0 for 1 word)."""
+        if len(words) < 2:
+            return 0.0
+        scores = [self.pmi(a, b) for a, b in zip(words, words[1:])]
+        return sum(scores) / len(scores)

@@ -1,0 +1,56 @@
+"""Coarse part-of-speech tagging.
+
+Only the distinctions the pipeline needs are made: the Probase-Tran POS
+filter requires "hypernym must be a noun", the syntax-rule verifier needs
+thematic words ("t") and the NE filter benefits from ``nr``/``ns`` hints.
+
+Resolution order: lexicon entry → numeral/Latin shape → noun-suffix rule →
+default noun for CJK, ``x`` otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.base_lexicon import SUFFIX_POS_HINTS, SURNAMES
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.text import is_cjk_word
+
+_NOUN_LIKE = frozenset({"n", "nr", "ns", "nt", "nz"})
+
+
+class POSTagger:
+    """Lexicon-backed coarse POS tagger."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self._lexicon = lexicon if lexicon is not None else Lexicon.base()
+        self._suffix_hints = dict(SUFFIX_POS_HINTS)
+        self._surnames = frozenset(SURNAMES)
+
+    def tag(self, word: str) -> str:
+        """Return the coarse POS tag of a single word token."""
+        if not word:
+            return "x"
+        from_lexicon = self._lexicon.pos_of(word)
+        if from_lexicon is not None:
+            return from_lexicon
+        if word.isdigit():
+            return "m"
+        if word.isascii():
+            return "x"
+        if not is_cjk_word(word):
+            return "x"
+        if len(word) >= 2 and word[-1] in self._suffix_hints:
+            return self._suffix_hints[word[-1]]
+        if 2 <= len(word) <= 3 and word[0] in self._surnames:
+            return "nr"
+        return "n"
+
+    def tag_sequence(self, words: list[str]) -> list[str]:
+        return [self.tag(word) for word in words]
+
+    def is_noun(self, word: str) -> bool:
+        """True when *word* tags as any noun subclass (valid hypernym POS)."""
+        return self.tag(word) in _NOUN_LIKE
+
+    def is_thematic(self, word: str) -> bool:
+        """True when *word* is a topic/thematic word (never a hypernym)."""
+        return self.tag(word) == "t"

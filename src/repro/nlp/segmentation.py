@@ -1,0 +1,132 @@
+"""Dictionary-DAG Viterbi word segmentation.
+
+Chinese has no word spaces, so every downstream component (the separation
+algorithm, PMI statistics, NER support counting) consumes the output of
+this segmenter.  The algorithm is the same family as jieba's core:
+
+1. build a DAG of every dictionary word starting at each position,
+2. pick the maximum log-probability path under a unigram model,
+3. fall back to single characters for out-of-vocabulary spans.
+
+Non-CJK runs (Latin, digits) are emitted as single tokens; whitespace is
+dropped; punctuation becomes its own token.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SegmentationError
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.text import is_cjk_char, normalize_text
+
+_UNKNOWN_CHAR_FREQ = 0.5
+
+
+class Segmenter:
+    """Maximum-probability segmenter over a :class:`Lexicon`."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self._lexicon = lexicon if lexicon is not None else Lexicon.base()
+
+    @property
+    def lexicon(self) -> Lexicon:
+        return self._lexicon
+
+    def segment(self, text: str, keep_punctuation: bool = False) -> list[str]:
+        """Segment *text* into a list of word tokens.
+
+        Raises :class:`SegmentationError` on empty/whitespace-only input so
+        callers never silently operate on nothing.
+        """
+        normalized = normalize_text(text)
+        if not normalized:
+            raise SegmentationError(f"cannot segment empty text {text!r}")
+        tokens: list[str] = []
+        for run, is_cjk in _iter_runs(normalized):
+            if is_cjk:
+                tokens.extend(self._viterbi(run))
+            else:
+                tokens.extend(_split_non_cjk(run, keep_punctuation))
+        if not tokens:
+            raise SegmentationError(f"no tokens produced for {text!r}")
+        return tokens
+
+    def segment_corpus(self, texts: Iterable[str]) -> list[list[str]]:
+        """Segment every text, skipping ones that produce no tokens."""
+        out: list[list[str]] = []
+        for text in texts:
+            try:
+                out.append(self.segment(text))
+            except SegmentationError:
+                continue
+        return out
+
+    def _viterbi(self, run: str) -> list[str]:
+        """Best segmentation of a pure-CJK run under the unigram model."""
+        n = len(run)
+        # best[i] = (score of best path covering run[:i], start of last word)
+        best: list[tuple[float, int]] = [(0.0, 0)] + [(float("-inf"), 0)] * n
+        for start in range(n):
+            base_score = best[start][0]
+            if base_score == float("-inf"):
+                continue
+            candidates = self._lexicon.words_starting_at(run, start)
+            # Single-character fallback keeps the lattice connected even
+            # for fully out-of-vocabulary spans.
+            if not candidates or len(candidates[0]) != 1:
+                candidates = [run[start]] + candidates
+            for word in candidates:
+                end = start + len(word)
+                score = base_score + self._lexicon.log_prob(
+                    word, default_freq=_UNKNOWN_CHAR_FREQ
+                )
+                if score > best[end][0]:
+                    best[end] = (score, start)
+        # Backtrack.
+        words: list[str] = []
+        pos = n
+        while pos > 0:
+            start = best[pos][1]
+            words.append(run[start:pos])
+            pos = start
+        words.reverse()
+        return words
+
+
+def _split_non_cjk(run: str, keep_punctuation: bool) -> list[str]:
+    """Tokenise a non-CJK run: alnum sequences stay whole, whitespace is
+    dropped, punctuation becomes per-character tokens when kept."""
+    tokens: list[str] = []
+    current: list[str] = []
+    for ch in run:
+        if ch.isalnum():
+            current.append(ch)
+            continue
+        if current:
+            tokens.append("".join(current))
+            current = []
+        if not ch.isspace() and keep_punctuation:
+            tokens.append(ch)
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def _iter_runs(text: str) -> list[tuple[str, bool]]:
+    """Split *text* into maximal (run, is_cjk) spans."""
+    runs: list[tuple[str, bool]] = []
+    current: list[str] = []
+    current_kind: bool | None = None
+    for ch in text:
+        kind = is_cjk_char(ch)
+        if current_kind is None or kind == current_kind:
+            current.append(ch)
+            current_kind = kind
+        else:
+            runs.append(("".join(current), current_kind))
+            current = [ch]
+            current_kind = kind
+    if current:
+        runs.append(("".join(current), bool(current_kind)))
+    return runs

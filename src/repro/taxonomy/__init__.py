@@ -1,0 +1,40 @@
+"""Taxonomy data model, graph operations, indexed store and serving APIs.
+
+This is the output side of the pipeline: verified isA relations land in a
+:class:`~repro.taxonomy.store.Taxonomy`, which maintains the indexes the
+paper's three public APIs need (Table II):
+
+- ``men2ent``   mention → disambiguated entities,
+- ``getConcept`` entity → hypernym list,
+- ``getEntity``  concept → hyponym list.
+
+:class:`~repro.taxonomy.api.TaxonomyAPI` wraps the store with usage
+accounting so the Table II experiment can be regenerated.
+"""
+
+from repro.taxonomy.model import (
+    SOURCE_ABSTRACT,
+    SOURCE_BRACKET,
+    SOURCE_INFOBOX,
+    SOURCE_TAG,
+    Entity,
+    IsARelation,
+)
+from repro.taxonomy.graph import TaxonomyGraph
+from repro.taxonomy.store import Taxonomy, TaxonomyStats
+from repro.taxonomy.api import APIUsage, TaxonomyAPI, WorkloadGenerator
+
+__all__ = [
+    "APIUsage",
+    "Entity",
+    "IsARelation",
+    "SOURCE_ABSTRACT",
+    "SOURCE_BRACKET",
+    "SOURCE_INFOBOX",
+    "SOURCE_TAG",
+    "Taxonomy",
+    "TaxonomyAPI",
+    "TaxonomyGraph",
+    "TaxonomyStats",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,172 @@
+"""Serving layer: the paper's three public APIs with usage accounting.
+
+Table II of the paper reports per-API call counts after six months on
+Aliyun (men2ent 43.9M, getConcept 13.8M, getEntity 25.8M).  The
+:class:`WorkloadGenerator` reproduces that call mix at configurable volume
+against a built taxonomy, and :class:`TaxonomyAPI` counts what it serves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import APIError
+from repro.taxonomy.store import Taxonomy
+
+# Call mix from Table II, normalised.
+PAPER_API_CALLS = {
+    "men2ent": 43_896_044,
+    "getConcept": 13_815_076,
+    "getEntity": 25_793_372,
+}
+_TOTAL_PAPER_CALLS = sum(PAPER_API_CALLS.values())
+PAPER_API_MIX = {
+    name: count / _TOTAL_PAPER_CALLS for name, count in PAPER_API_CALLS.items()
+}
+
+
+@dataclass
+class APIUsage:
+    """Per-API call and hit counters."""
+
+    calls: dict[str, int] = field(
+        default_factory=lambda: {"men2ent": 0, "getConcept": 0, "getEntity": 0}
+    )
+    hits: dict[str, int] = field(
+        default_factory=lambda: {"men2ent": 0, "getConcept": 0, "getEntity": 0}
+    )
+
+    def record(self, api: str, hit: bool) -> None:
+        self.calls[api] += 1
+        if hit:
+            self.hits[api] += 1
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    def hit_rate(self, api: str) -> float:
+        calls = self.calls[api]
+        return self.hits[api] / calls if calls else 0.0
+
+    def mix(self) -> dict[str, float]:
+        total = self.total_calls
+        if total == 0:
+            return {name: 0.0 for name in self.calls}
+        return {name: count / total for name, count in self.calls.items()}
+
+
+class TaxonomyAPI:
+    """The three public APIs of CN-Probase (Table II)."""
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self._taxonomy = taxonomy
+        self.usage = APIUsage()
+
+    def men2ent(self, mention: str) -> list[str]:
+        """mention → disambiguated entity page_ids."""
+        if not mention:
+            raise APIError("men2ent requires a non-empty mention")
+        result = self._taxonomy.men2ent(mention)
+        self.usage.record("men2ent", bool(result))
+        return result
+
+    def get_concept(self, page_id: str) -> list[str]:
+        """entity → hypernym list."""
+        if not page_id:
+            raise APIError("getConcept requires a non-empty entity id")
+        result = self._taxonomy.get_concepts(page_id)
+        self.usage.record("getConcept", bool(result))
+        return result
+
+    def get_entity(self, concept: str) -> list[str]:
+        """concept → hyponym (entity) list."""
+        if not concept:
+            raise APIError("getEntity requires a non-empty concept")
+        result = self._taxonomy.get_entities(concept)
+        self.usage.record("getEntity", bool(result))
+        return result
+
+    def reset_usage(self) -> None:
+        self.usage = APIUsage()
+
+
+@dataclass(frozen=True)
+class APICall:
+    """One workload request: API name + argument."""
+
+    api: str
+    argument: str
+
+
+class WorkloadGenerator:
+    """Generates API request streams following the paper's call mix.
+
+    Arguments are drawn from the taxonomy itself (mentions, entity ids,
+    concepts) plus a configurable miss rate of out-of-taxonomy arguments,
+    because production traffic always contains unknown strings.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+        miss_rate: float = 0.05,
+    ) -> None:
+        if not 0.0 <= miss_rate <= 1.0:
+            raise APIError(f"miss_rate must be a probability, got {miss_rate}")
+        self._taxonomy = taxonomy
+        self._rng = random.Random(seed)
+        self._mix = dict(mix) if mix is not None else dict(PAPER_API_MIX)
+        if abs(sum(self._mix.values()) - 1.0) > 1e-6:
+            raise APIError(f"API mix must sum to 1, got {self._mix}")
+        self._miss_rate = miss_rate
+        self._mentions = sorted(
+            {m for e in (taxonomy.entity(p) for p in self._entity_ids(taxonomy))
+             if e is not None for m in e.mentions}
+        )
+        self._entities = self._entity_ids(taxonomy)
+        self._concepts = sorted(
+            {r.hypernym for r in taxonomy.relations()}
+        )
+
+    @staticmethod
+    def _entity_ids(taxonomy: Taxonomy) -> list[str]:
+        return sorted(
+            {r.hyponym for r in taxonomy.relations() if r.hyponym_kind == "entity"}
+        )
+
+    def generate(self, n_calls: int) -> list[APICall]:
+        if n_calls <= 0:
+            raise APIError(f"n_calls must be positive, got {n_calls}")
+        apis = list(self._mix)
+        weights = [self._mix[a] for a in apis]
+        calls: list[APICall] = []
+        for _ in range(n_calls):
+            api = self._rng.choices(apis, weights=weights)[0]
+            calls.append(APICall(api=api, argument=self._argument_for(api)))
+        return calls
+
+    def _argument_for(self, api: str) -> str:
+        if self._rng.random() < self._miss_rate:
+            return "未知词" + str(self._rng.randint(0, 10_000))
+        if api == "men2ent" and self._mentions:
+            return self._rng.choice(self._mentions)
+        if api == "getConcept" and self._entities:
+            return self._rng.choice(self._entities)
+        if api == "getEntity" and self._concepts:
+            return self._rng.choice(self._concepts)
+        return "空"
+
+    def run(self, api: TaxonomyAPI, n_calls: int) -> APIUsage:
+        """Generate and serve *n_calls* requests; returns the usage ledger."""
+        for call in self.generate(n_calls):
+            if call.api == "men2ent":
+                api.men2ent(call.argument)
+            elif call.api == "getConcept":
+                api.get_concept(call.argument)
+            else:
+                api.get_entity(call.argument)
+        return api.usage

@@ -1,0 +1,162 @@
+"""Concept-graph operations: reachability, cycle handling, depth.
+
+The concept layer of a taxonomy (subconcept → concept edges) must stay a
+DAG for hypernym closure queries to terminate.  Extraction can produce
+cycles (教育机构 → 机构 → 教育机构 via noisy tags), so the graph exposes
+cycle detection and a deterministic minimum-score cycle breaker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.errors import TaxonomyError
+
+
+class TaxonomyGraph:
+    """Directed concept graph; edge u→v means *u isA v*."""
+
+    def __init__(self) -> None:
+        self._parents: dict[str, dict[str, float]] = defaultdict(dict)
+        self._children: dict[str, set[str]] = defaultdict(set)
+        self._nodes: set[str] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add_edge(self, child: str, parent: str, score: float = 1.0) -> None:
+        if not child or not parent:
+            raise TaxonomyError("graph edges need non-empty endpoints")
+        if child == parent:
+            raise TaxonomyError(f"self-loop rejected: {child!r}")
+        self._parents[child][parent] = max(
+            score, self._parents[child].get(parent, float("-inf"))
+        )
+        self._children[parent].add(child)
+        self._nodes.add(child)
+        self._nodes.add(parent)
+
+    def add_edges(self, edges: Iterable[tuple[str, str]]) -> None:
+        for child, parent in edges:
+            self.add_edge(child, parent)
+
+    def remove_edge(self, child: str, parent: str) -> None:
+        if parent in self._parents.get(child, {}):
+            del self._parents[child][parent]
+            self._children[parent].discard(child)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def parents(self, node: str) -> frozenset[str]:
+        return frozenset(self._parents.get(node, ()))
+
+    def children(self, node: str) -> frozenset[str]:
+        return frozenset(self._children.get(node, ()))
+
+    def has_edge(self, child: str, parent: str) -> bool:
+        return parent in self._parents.get(child, {})
+
+    def edge_count(self) -> int:
+        return sum(len(ps) for ps in self._parents.values())
+
+    def ancestors(self, node: str) -> frozenset[str]:
+        """Transitive hypernyms of *node* (cycle-safe)."""
+        seen: set[str] = set()
+        frontier = list(self._parents.get(node, ()))
+        while frontier:
+            parent = frontier.pop()
+            if parent in seen:
+                continue
+            seen.add(parent)
+            frontier.extend(self._parents.get(parent, ()))
+        seen.discard(node)
+        return frozenset(seen)
+
+    def descendants(self, node: str) -> frozenset[str]:
+        """Transitive hyponyms of *node* (cycle-safe)."""
+        seen: set[str] = set()
+        frontier = list(self._children.get(node, ()))
+        while frontier:
+            child = frontier.pop()
+            if child in seen:
+                continue
+            seen.add(child)
+            frontier.extend(self._children.get(child, ()))
+        seen.discard(node)
+        return frozenset(seen)
+
+    def depth(self, node: str) -> int:
+        """Longest upward path length from *node* to any root."""
+        ancestors = self.ancestors(node)
+        if not ancestors:
+            return 0
+        memo: dict[str, int] = {}
+
+        def walk(current: str, trail: frozenset[str]) -> int:
+            if current in memo:
+                return memo[current]
+            parents = [p for p in self._parents.get(current, ()) if p not in trail]
+            if not parents:
+                return 0
+            value = 1 + max(walk(p, trail | {current}) for p in parents)
+            memo[current] = value
+            return value
+
+        return walk(node, frozenset())
+
+    # -- cycles -------------------------------------------------------------------
+
+    def find_cycle(self) -> list[str] | None:
+        """Return one cycle as a node list, or None when the graph is a DAG."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[str, int] = {node: WHITE for node in self._nodes}
+        stack_trail: list[str] = []
+
+        def visit(node: str) -> list[str] | None:
+            color[node] = GRAY
+            stack_trail.append(node)
+            for parent in self._parents.get(node, ()):
+                if color.get(parent, WHITE) == GRAY:
+                    idx = stack_trail.index(parent)
+                    return stack_trail[idx:] + [parent]
+                if color.get(parent, WHITE) == WHITE:
+                    found = visit(parent)
+                    if found:
+                        return found
+            stack_trail.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(self._nodes):
+            if color[node] == WHITE:
+                found = visit(node)
+                if found:
+                    return found
+        return None
+
+    def break_cycles(self) -> list[tuple[str, str]]:
+        """Remove minimum-score edges until acyclic; returns removed edges.
+
+        Deterministic: within a cycle the lowest-score edge is cut, ties
+        broken lexicographically — so repeated builds produce identical
+        taxonomies.
+        """
+        removed: list[tuple[str, str]] = []
+        while True:
+            cycle = self.find_cycle()
+            if cycle is None:
+                return removed
+            edges = list(zip(cycle, cycle[1:]))
+            child, parent = min(
+                edges,
+                key=lambda e: (self._parents[e[0]].get(e[1], 0.0), e),
+            )
+            self.remove_edge(child, parent)
+            removed.append((child, parent))
+
+    def is_dag(self) -> bool:
+        return self.find_cycle() is None

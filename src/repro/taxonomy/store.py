@@ -1,0 +1,255 @@
+"""Indexed taxonomy store with JSONL persistence.
+
+The store maintains every index the serving APIs need:
+
+- mention index (title + aliases → entity page_ids) for ``men2ent``,
+- entity → hypernym adjacency for ``getConcept``,
+- concept → entity/subconcept hyponyms for ``getEntity``,
+- a concept-layer :class:`TaxonomyGraph` for closure queries.
+
+Duplicate (hyponym, hypernym) pairs are merged keeping the best score and
+the first-seen source, mirroring the paper's candidate merging step.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.graph import TaxonomyGraph
+from repro.taxonomy.model import (
+    HYPONYM_CONCEPT,
+    HYPONYM_ENTITY,
+    Entity,
+    IsARelation,
+)
+
+
+@dataclass(frozen=True)
+class TaxonomyStats:
+    """Headline counts as the paper reports them (Section IV)."""
+
+    n_entities: int
+    n_concepts: int
+    n_entity_concept: int
+    n_subconcept_concept: int
+
+    @property
+    def n_isa_total(self) -> int:
+        return self.n_entity_concept + self.n_subconcept_concept
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "entities": self.n_entities,
+            "concepts": self.n_concepts,
+            "entity_concept_relations": self.n_entity_concept,
+            "subconcept_concept_relations": self.n_subconcept_concept,
+            "isa_relations_total": self.n_isa_total,
+        }
+
+
+class Taxonomy:
+    """The product of the pipeline: entities, concepts and isA relations."""
+
+    def __init__(self, name: str = "CN-Probase") -> None:
+        self.name = name
+        self._entities: dict[str, Entity] = {}
+        self._relations: dict[tuple[str, str], IsARelation] = {}
+        self._mention_index: dict[str, set[str]] = {}
+        self._entity_hypernyms: dict[str, set[str]] = {}
+        self._concept_entities: dict[str, set[str]] = {}
+        self._concepts: set[str] = set()
+        self._graph = TaxonomyGraph()
+
+    # -- construction -------------------------------------------------------
+
+    def add_entity(self, entity: Entity) -> None:
+        existing = self._entities.get(entity.page_id)
+        if existing is not None and existing != entity:
+            raise TaxonomyError(
+                f"conflicting entity for page_id {entity.page_id!r}"
+            )
+        self._entities[entity.page_id] = entity
+        for mention in entity.mentions:
+            self._mention_index.setdefault(mention, set()).add(entity.page_id)
+
+    def add_relation(self, relation: IsARelation) -> None:
+        if relation.hyponym_kind == HYPONYM_ENTITY:
+            if relation.hyponym not in self._entities:
+                raise TaxonomyError(
+                    f"relation references unknown entity {relation.hyponym!r}; "
+                    "add_entity first"
+                )
+        previous = self._relations.get(relation.key)
+        if previous is None or relation.score > previous.score:
+            if previous is not None:
+                # keep first-seen provenance, best score
+                relation = relation.with_source(previous.source)
+            self._relations[relation.key] = relation
+        self._concepts.add(relation.hypernym)
+        if relation.hyponym_kind == HYPONYM_ENTITY:
+            self._entity_hypernyms.setdefault(relation.hyponym, set()).add(
+                relation.hypernym
+            )
+            self._concept_entities.setdefault(relation.hypernym, set()).add(
+                relation.hyponym
+            )
+        else:
+            self._concepts.add(relation.hyponym)
+            self._graph.add_edge(relation.hyponym, relation.hypernym, relation.score)
+
+    def add_relations(self, relations: Iterator[IsARelation]) -> None:
+        for relation in relations:
+            self.add_relation(relation)
+
+    def finalize(self) -> list[tuple[str, str]]:
+        """Break concept-layer cycles; returns the removed edges."""
+        removed = self._graph.break_cycles()
+        for child, parent in removed:
+            self._relations.pop((child, parent), None)
+        return removed
+
+    # -- lookups -----------------------------------------------------------------
+
+    def men2ent(self, mention: str) -> list[str]:
+        """Disambiguated entity page_ids for a mention surface."""
+        return sorted(self._mention_index.get(mention, ()))
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        """Direct hypernyms of an entity (the getConcept API payload)."""
+        return sorted(self._entity_hypernyms.get(page_id, ()))
+
+    def get_concepts_transitive(self, page_id: str) -> list[str]:
+        """Hypernyms of an entity including the concept-layer closure."""
+        direct = self._entity_hypernyms.get(page_id, set())
+        closure = set(direct)
+        for concept in direct:
+            closure.update(self._graph.ancestors(concept))
+        return sorted(closure)
+
+    def get_entities(self, concept: str) -> list[str]:
+        """Entity hyponyms of a concept (the getEntity API payload)."""
+        return sorted(self._concept_entities.get(concept, ()))
+
+    def get_subconcepts(self, concept: str) -> list[str]:
+        return sorted(self._graph.children(concept))
+
+    def concept_parents(self, concept: str) -> list[str]:
+        return sorted(self._graph.parents(concept))
+
+    def has_entity(self, page_id: str) -> bool:
+        return page_id in self._entities
+
+    def has_concept(self, concept: str) -> bool:
+        return concept in self._concepts
+
+    def entity(self, page_id: str) -> Entity | None:
+        return self._entities.get(page_id)
+
+    def relations(self) -> list[IsARelation]:
+        return list(self._relations.values())
+
+    def relations_by_source(self, source: str) -> list[IsARelation]:
+        return [r for r in self._relations.values() if r.source == source]
+
+    @property
+    def graph(self) -> TaxonomyGraph:
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self._relations
+
+    # -- stats ----------------------------------------------------------------------
+
+    def stats(self) -> TaxonomyStats:
+        n_entity_concept = sum(
+            1 for r in self._relations.values()
+            if r.hyponym_kind == HYPONYM_ENTITY
+        )
+        # Entities that actually carry at least one relation — the paper
+        # counts taxonomy members, not raw dump pages.
+        linked_entities = len(self._entity_hypernyms)
+        return TaxonomyStats(
+            n_entities=linked_entities,
+            n_concepts=len(self._concepts),
+            n_entity_concept=n_entity_concept,
+            n_subconcept_concept=len(self._relations) - n_entity_concept,
+        )
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the taxonomy as JSONL: one entity or relation per line."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            header = {"kind": "header", "name": self.name}
+            handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+            for entity in self._entities.values():
+                record = {
+                    "kind": "entity",
+                    "page_id": entity.page_id,
+                    "name": entity.name,
+                    "aliases": list(entity.aliases),
+                }
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+            for relation in self._relations.values():
+                record = {
+                    "kind": "relation",
+                    "hyponym": relation.hyponym,
+                    "hypernym": relation.hypernym,
+                    "source": relation.source,
+                    "hyponym_kind": relation.hyponym_kind,
+                    "score": relation.score,
+                }
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Taxonomy":
+        source = Path(path)
+        if not source.exists():
+            raise TaxonomyError(f"taxonomy file not found: {source}")
+        taxonomy = cls()
+        with source.open("r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TaxonomyError(
+                        f"{source}:{line_no}: invalid JSON: {exc}"
+                    ) from exc
+                kind = record.get("kind")
+                if kind == "header":
+                    taxonomy.name = record.get("name", taxonomy.name)
+                elif kind == "entity":
+                    taxonomy.add_entity(
+                        Entity(
+                            page_id=record["page_id"],
+                            name=record["name"],
+                            aliases=tuple(record.get("aliases", ())),
+                        )
+                    )
+                elif kind == "relation":
+                    taxonomy.add_relation(
+                        IsARelation(
+                            hyponym=record["hyponym"],
+                            hypernym=record["hypernym"],
+                            source=record["source"],
+                            hyponym_kind=record["hyponym_kind"],
+                            score=record.get("score", 1.0),
+                        )
+                    )
+                else:
+                    raise TaxonomyError(
+                        f"{source}:{line_no}: unknown record kind {kind!r}"
+                    )
+        return taxonomy

@@ -1,0 +1,154 @@
+"""Tests for the three Table I baselines."""
+
+import pytest
+
+from repro.baselines import (
+    Bigcilin,
+    ChineseWikiTaxonomy,
+    NoisyTranslator,
+    ProbaseTran,
+    TranslationConfig,
+)
+from repro.encyclopedia import SyntheticWorld
+from repro.eval.metrics import make_oracle, sample_precision
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.generate(seed=31, n_entities=900)
+
+
+@pytest.fixture(scope="module")
+def oracle(world):
+    return make_oracle(world)
+
+
+@pytest.fixture(scope="module")
+def wiki(world):
+    return ChineseWikiTaxonomy().build(world.dump())
+
+
+@pytest.fixture(scope="module")
+def bigcilin(world):
+    return Bigcilin().build(world.dump())
+
+
+@pytest.fixture(scope="module")
+def probase_tran(world):
+    return ProbaseTran().build(world)
+
+
+class TestWikiTaxonomy:
+    def test_high_precision(self, wiki, oracle):
+        estimate = sample_precision(wiki.relations(), oracle, 2000, seed=1)
+        assert estimate.precision >= 0.95, str(estimate)
+
+    def test_low_coverage(self, wiki, world):
+        assert wiki.stats().n_entities < len(world.entities) * 0.2
+
+    def test_single_source(self, wiki):
+        assert all(r.source == "baseline" for r in wiki.relations())
+
+    def test_deterministic(self, world):
+        a = ChineseWikiTaxonomy().build(world.dump())
+        b = ChineseWikiTaxonomy().build(world.dump())
+        assert a.stats() == b.stats()
+
+
+class TestBigcilin:
+    def test_mid_precision(self, bigcilin, oracle):
+        estimate = sample_precision(bigcilin.relations(), oracle, 2000, seed=1)
+        assert 0.82 <= estimate.precision <= 0.95, str(estimate)
+
+    def test_larger_than_wiki(self, bigcilin, wiki):
+        assert bigcilin.stats().n_isa_total > 5 * wiki.stats().n_isa_total
+
+    def test_covers_most_sampled_pages(self, bigcilin, world):
+        # page_fraction 0.6 of entities, most yielding relations
+        assert bigcilin.stats().n_entities > len(world.entities) * 0.4
+
+
+class TestTranslationChannel:
+    def test_correct_translation_probability(self):
+        translator = NoisyTranslator(TranslationConfig(seed=3))
+        outcomes = [translator.translate_concept("歌手") for _ in range(500)]
+        correct = sum(1 for o in outcomes if o == "歌手")
+        assert 0.2 < correct / 500 < 0.65
+
+    def test_sense_errors_are_real_words(self):
+        translator = NoisyTranslator(
+            TranslationConfig(p_sense_error=1.0, p_drop=0.0, seed=1)
+        )
+        from repro.nlp.lexicon import Lexicon
+
+        lexicon = Lexicon.base()
+        for _ in range(50):
+            wrong = translator.translate_concept("歌手")
+            assert wrong != "歌手"
+            assert wrong in lexicon
+
+    def test_drop_returns_none(self):
+        translator = NoisyTranslator(TranslationConfig(p_drop=1.0))
+        assert translator.translate_concept("歌手") is None
+        assert translator.translate_entity("刘德华") is None
+
+    def test_garbled_entities_differ(self):
+        translator = NoisyTranslator(
+            TranslationConfig(p_entity_garbled=1.0, p_drop=0.0, seed=2)
+        )
+        assert translator.translate_entity("刘德华") != "刘德华"
+
+    def test_pair_identity_dropped(self):
+        translator = NoisyTranslator(
+            TranslationConfig(
+                p_sense_error=0.0, p_thematic_drift=0.0,
+                p_ne_confusion=0.0, p_entity_garbled=0.0, p_drop=0.0,
+            )
+        )
+        assert translator.translate_pair("歌手", "歌手") is None
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            TranslationConfig(p_sense_error=1.5).validate()
+
+
+class TestProbaseTran:
+    def test_low_precision(self, probase_tran, oracle):
+        estimate = sample_precision(
+            probase_tran.relations(), oracle, 2000, seed=1
+        )
+        assert 0.40 <= estimate.precision <= 0.70, str(estimate)
+
+    def test_small_coverage(self, probase_tran, world):
+        assert probase_tran.stats().n_entities < len(world.entities) * 0.3
+
+    def test_filters_reduce_size(self, world):
+        baseline = ProbaseTran()
+        raw_pairs = []
+        translator = NoisyTranslator(baseline.config.translation)
+        for entity, concept in baseline.source_pairs(world):
+            if translator.translate_pair(entity, concept):
+                raw_pairs.append(1)
+        built = baseline.build(world)
+        assert built.stats().n_isa_total < len(raw_pairs)
+
+    def test_deterministic(self, world):
+        a = ProbaseTran().build(world)
+        b = ProbaseTran().build(world)
+        assert a.stats() == b.stats()
+
+
+class TestTableOneShape:
+    """The orderings the paper's Table I reports."""
+
+    def test_precision_ordering(self, wiki, bigcilin, probase_tran, oracle):
+        p_wiki = sample_precision(wiki.relations(), oracle, 2000, 1).precision
+        p_big = sample_precision(bigcilin.relations(), oracle, 2000, 1).precision
+        p_tran = sample_precision(
+            probase_tran.relations(), oracle, 2000, 1
+        ).precision
+        assert p_wiki > p_big > p_tran
+
+    def test_size_ordering(self, wiki, bigcilin, probase_tran):
+        assert bigcilin.stats().n_isa_total > probase_tran.stats().n_isa_total
+        assert bigcilin.stats().n_isa_total > wiki.stats().n_isa_total

@@ -1,0 +1,217 @@
+"""Tests for tag extraction, predicate discovery and candidate merging."""
+
+import pytest
+
+from repro.core.generation.merge import CandidatePool
+from repro.core.generation.predicates import PredicateDiscovery
+from repro.core.generation.tags import TagExtractor
+from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage, Triple
+from repro.taxonomy.model import IsARelation
+
+
+def page(page_id, title, tags=(), infobox=(), bracket=None, abstract=""):
+    return EncyclopediaPage(
+        page_id=page_id, title=title, bracket=bracket,
+        abstract=abstract, infobox=tuple(infobox), tags=tuple(tags),
+    )
+
+
+class TestTagExtractor:
+    def test_tags_become_hypernyms(self):
+        relations = TagExtractor().extract_from_page(
+            page("刘德华#0", "刘德华", tags=("人物", "演员"))
+        )
+        assert {(r.hyponym, r.hypernym) for r in relations} == {
+            ("刘德华#0", "人物"), ("刘德华#0", "演员"),
+        }
+        assert all(r.source == "tag" for r in relations)
+
+    def test_self_tag_skipped(self):
+        relations = TagExtractor().extract_from_page(
+            page("演员#c", "演员", tags=("演员", "人物"))
+        )
+        assert [r.hypernym for r in relations] == ["人物"]
+
+    def test_duplicates_and_empties_skipped(self):
+        relations = TagExtractor().extract_from_page(
+            page("a#0", "a", tags=("人物", "人物", " "))
+        )
+        assert len(relations) == 1
+
+    def test_overlong_tag_skipped(self):
+        relations = TagExtractor().extract_from_page(
+            page("a#0", "a", tags=("这是一个特别长的标签字符串",))
+        )
+        assert relations == []
+
+    def test_extract_many_pages(self):
+        pages = [page("a#0", "a", tags=("人物",)), page("b#0", "b", tags=("作品",))]
+        assert len(TagExtractor().extract(pages)) == 2
+
+
+@pytest.fixture
+def infobox_dump():
+    pages = [
+        page(
+            "周杰伦#0", "周杰伦",
+            infobox=[
+                Triple("周杰伦#0", "职业", "歌手"),
+                Triple("周杰伦#0", "出生地", "台湾"),
+            ],
+        ),
+        page(
+            "刘德华#0", "刘德华",
+            infobox=[
+                Triple("刘德华#0", "职业", "演员"),
+                Triple("刘德华#0", "体重", "63"),
+            ],
+        ),
+        page(
+            "忘情水#0", "忘情水",
+            infobox=[
+                Triple("忘情水#0", "类型", "歌曲"),
+                Triple("忘情水#0", "出生地", "歌曲"),  # accidental alignment
+            ],
+        ),
+    ]
+    return EncyclopediaDump(pages)
+
+
+@pytest.fixture
+def prior_relations():
+    return [
+        IsARelation("周杰伦#0", "歌手", "bracket"),
+        IsARelation("刘德华#0", "演员", "bracket"),
+        IsARelation("忘情水#0", "歌曲", "bracket"),
+    ]
+
+
+class TestPredicateDiscovery:
+    def test_discovers_aligned_predicates(self, infobox_dump, prior_relations):
+        result = PredicateDiscovery(min_aligned=1).discover(
+            infobox_dump, prior_relations
+        )
+        names = {c.name for c in result.candidates}
+        assert {"职业", "类型", "出生地"} <= names
+
+    def test_support_ranks_true_predicates_first(self, infobox_dump, prior_relations):
+        result = PredicateDiscovery(min_aligned=1).discover(
+            infobox_dump, prior_relations
+        )
+        occupation = result.candidate("职业")
+        birthplace = result.candidate("出生地")
+        assert occupation.support == 1.0
+        assert birthplace.support == 0.5
+        assert result.candidates.index(occupation) < result.candidates.index(
+            birthplace
+        )
+
+    def test_selection_respects_min_support(self, infobox_dump, prior_relations):
+        result = PredicateDiscovery(min_aligned=1, min_support=0.9).discover(
+            infobox_dump, prior_relations
+        )
+        assert "出生地" not in result.selected
+        assert "职业" in result.selected
+
+    def test_selection_respects_max(self, infobox_dump, prior_relations):
+        result = PredicateDiscovery(min_aligned=1, max_selected=1).discover(
+            infobox_dump, prior_relations
+        )
+        assert len(result.selected) == 1
+
+    def test_extract_emits_relations(self, infobox_dump):
+        relations = PredicateDiscovery().extract(infobox_dump, ["职业"])
+        assert {(r.hyponym, r.hypernym) for r in relations} == {
+            ("周杰伦#0", "歌手"), ("刘德华#0", "演员"),
+        }
+        assert all(r.source == "infobox" for r in relations)
+
+    def test_extract_skips_non_cjk_values(self, infobox_dump):
+        relations = PredicateDiscovery().extract(infobox_dump, ["体重"])
+        assert relations == []
+
+    def test_invalid_min_support(self):
+        with pytest.raises(ValueError):
+            PredicateDiscovery(min_support=1.5)
+
+    def test_no_priors_no_candidates(self, infobox_dump):
+        result = PredicateDiscovery().discover(infobox_dump, [])
+        assert result.n_candidates == 0
+        assert result.selected == []
+
+
+class TestCandidatePool:
+    def test_dedupes_across_sources(self):
+        pool = CandidatePool()
+        pool.add([IsARelation("a#0", "歌手", "tag")])
+        pool.add([IsARelation("a#0", "歌手", "bracket")])
+        assert len(pool) == 1
+        # bracket has priority for provenance
+        assert pool.relations()[0].source == "bracket"
+        assert pool.sources_of(("a#0", "歌手")) == {"tag", "bracket"}
+
+    def test_stats(self):
+        pool = CandidatePool()
+        pool.add([
+            IsARelation("a#0", "歌手", "tag"),
+            IsARelation("a#0", "歌手", "bracket"),
+            IsARelation("b#0", "演员", "tag"),
+        ])
+        stats = pool.stats()
+        assert stats.added == 3
+        assert stats.unique == 2
+        assert stats.per_source == {"tag": 2, "bracket": 1}
+
+    def test_from_source_uses_provenance(self):
+        pool = CandidatePool()
+        pool.add([IsARelation("a#0", "歌手", "tag")])
+        pool.add([IsARelation("a#0", "歌手", "bracket")])
+        assert len(pool.from_source("tag")) == 1
+        assert len(pool.from_source("bracket")) == 1
+        assert pool.from_source("abstract") == []
+
+    def test_reclassify_concept_pages(self):
+        dump = EncyclopediaDump([
+            page("男演员#c", "男演员", tags=("演员",)),
+            page("刘德华#0", "刘德华", tags=("男演员",), bracket="男演员"),
+        ])
+        pool = CandidatePool()
+        pool.add([
+            IsARelation("男演员#c", "演员", "tag"),
+            IsARelation("刘德华#0", "男演员", "tag"),
+        ])
+        rewritten = pool.reclassify_concept_pages(dump)
+        assert rewritten == 1
+        assert ("男演员", "演员") in pool
+        assert ("男演员#c", "演员") not in pool
+        rewritten_relation = next(
+            r for r in pool.relations() if r.key == ("男演员", "演员")
+        )
+        assert rewritten_relation.hyponym_kind == "concept"
+
+    def test_reclassify_keeps_bracketed_pages_as_entities(self):
+        dump = EncyclopediaDump([
+            page("苹果#1", "苹果", tags=("公司",), bracket="科技公司"),
+            page("红富士#0", "红富士", tags=("苹果",)),
+        ])
+        pool = CandidatePool()
+        pool.add([
+            IsARelation("苹果#1", "公司", "tag"),
+            IsARelation("红富士#0", "苹果", "tag"),
+        ])
+        assert pool.reclassify_concept_pages(dump) == 0
+        assert ("苹果#1", "公司") in pool
+
+    def test_reclassify_drops_self_loops(self):
+        dump = EncyclopediaDump([
+            page("演员#c", "演员", tags=()),
+            page("a#0", "a", tags=("演员",)),
+        ])
+        pool = CandidatePool()
+        pool.add([
+            IsARelation("演员#c", "演员", "tag"),  # would become 演员→演员
+            IsARelation("a#0", "演员", "tag"),
+        ])
+        pool.reclassify_concept_pages(dump)
+        assert ("演员", "演员") not in pool
+        assert ("演员#c", "演员") not in pool

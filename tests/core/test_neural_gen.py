@@ -1,0 +1,104 @@
+"""Tests for the distant-supervision neural generation source."""
+
+import pytest
+
+from repro.core.generation.neural_gen import NeuralGenConfig, NeuralGenerator
+from repro.core.generation.separation import BracketExtractor
+from repro.encyclopedia import SyntheticWorld
+from repro.errors import PipelineError
+from repro.nlp.pmi import PMIStatistics
+from repro.nlp.segmentation import Segmenter
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.generate(seed=21, n_entities=400)
+
+
+@pytest.fixture(scope="module")
+def segmenter(world):
+    return Segmenter(world.build_lexicon())
+
+
+@pytest.fixture(scope="module")
+def bracket_relations(world, segmenter):
+    pmi = PMIStatistics()
+    pmi.add_corpus(segmenter.segment_corpus(world.dump().text_corpus()))
+    return BracketExtractor(segmenter, pmi).extract(world.dump())
+
+
+class TestDatasetBuilding:
+    def test_dataset_pairs_abstract_with_hypernym(
+        self, world, segmenter, bracket_relations
+    ):
+        generator = NeuralGenerator(segmenter)
+        dataset = generator.build_dataset(world.dump(), bracket_relations)
+        assert len(dataset) > 50
+        example = dataset[0]
+        assert example.source
+        assert example.target
+
+    def test_pages_without_abstract_skipped(self, world, segmenter, bracket_relations):
+        generator = NeuralGenerator(segmenter)
+        dataset = generator.build_dataset(world.dump(), bracket_relations)
+        # every source sequence is non-trivial (came from a real abstract)
+        assert all(len(e.source) >= 3 for e in dataset)
+
+    def test_non_bracket_relations_ignored(self, world, segmenter):
+        from repro.taxonomy.model import IsARelation
+
+        generator = NeuralGenerator(segmenter)
+        dataset = generator.build_dataset(
+            world.dump(), [IsARelation("x#0", "歌手", "tag")]
+        )
+        assert len(dataset) == 0
+
+
+class TestTrainingAndExtraction:
+    @pytest.fixture(scope="class")
+    def trained(self, world, segmenter, bracket_relations):
+        config = NeuralGenConfig(
+            epochs=6, embed_dim=16, hidden_dim=20, lr=1e-2, min_confidence=0.2
+        )
+        generator = NeuralGenerator(segmenter, config)
+        dataset = generator.build_dataset(world.dump(), bracket_relations)
+        generator.train(dataset)
+        return generator
+
+    def test_training_improves_loss(self, trained):
+        report = trained.last_report
+        assert report.improved
+
+    def test_is_trained_flag(self, segmenter):
+        assert not NeuralGenerator(segmenter).is_trained
+
+    def test_untrained_generation_raises(self, world, segmenter):
+        generator = NeuralGenerator(segmenter)
+        with pytest.raises(PipelineError):
+            generator.generate_for_page(world.dump().pages[0])
+
+    def test_extract_emits_abstract_relations(self, trained, world):
+        pages = [p for p in world.dump() if p.has_abstract][:30]
+        relations = trained.extract(pages)
+        assert relations, "trained generator produced nothing"
+        assert all(r.source == "abstract" for r in relations)
+        assert all(r.hypernym != "" for r in relations)
+
+    def test_generated_hypernyms_mostly_sensible(self, trained, world):
+        from repro.eval.metrics import make_oracle, relation_precision
+
+        oracle = make_oracle(world)
+        pages = [p for p in world.dump() if p.has_abstract][:60]
+        relations = trained.extract(pages)
+        estimate = relation_precision(relations, oracle)
+        assert estimate.precision >= 0.5, str(estimate)
+
+    def test_train_on_too_small_dataset_raises(self, segmenter):
+        from repro.neural.dataset import Seq2SeqDataset, Seq2SeqExample
+
+        generator = NeuralGenerator(segmenter)
+        tiny = Seq2SeqDataset(
+            [Seq2SeqExample(source=("a",), target=("b",))]
+        )
+        with pytest.raises(PipelineError):
+            generator.train(tiny)

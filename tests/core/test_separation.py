@@ -1,0 +1,153 @@
+"""Tests for the PMI separation algorithm (Section II, Figure 3)."""
+
+import pytest
+
+from repro.core.generation.separation import (
+    BracketExtractor,
+    SeparationAlgorithm,
+    SeparationNode,
+)
+from repro.encyclopedia.model import EncyclopediaPage
+from repro.errors import SegmentationError
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.pmi import PMIStatistics
+from repro.nlp.segmentation import Segmenter
+
+
+@pytest.fixture(scope="module")
+def pmi():
+    """Statistics reproducing the Figure 3 collocation structure."""
+    stats = PMIStatistics()
+    for _ in range(60):
+        stats.add_sequence(["蚂蚁", "金服"])
+    for _ in range(40):
+        stats.add_sequence(["首席", "战略官"])
+    for _ in range(25):
+        stats.add_sequence(["著名", "歌手"])
+    for _ in range(25):
+        stats.add_sequence(["中国", "香港"])
+    for _ in range(15):
+        stats.add_sequence(["香港", "男演员"])
+    return stats
+
+
+@pytest.fixture(scope="module")
+def algorithm(pmi):
+    return SeparationAlgorithm(pmi)
+
+
+class TestNode:
+    def test_leaf(self):
+        node = SeparationNode.leaf("歌手")
+        assert node.is_leaf
+        assert node.text == "歌手"
+
+    def test_merge(self):
+        merged = SeparationNode.merge(
+            SeparationNode.leaf("著名"), SeparationNode.leaf("歌手")
+        )
+        assert not merged.is_leaf
+        assert merged.text == "著名歌手"
+        assert merged.words == ("著名", "歌手")
+
+
+class TestFigure3:
+    def test_tree_structure(self, algorithm):
+        # 蚂蚁金服首席战略官 must bracket as ((蚂蚁⊕金服)(首席⊕战略官)).
+        tree = algorithm.build_tree(["蚂蚁", "金服", "首席", "战略官"])
+        assert tree.left.text == "蚂蚁金服"
+        assert tree.right.text == "首席战略官"
+        assert tree.right.right.text == "战略官"
+
+    def test_hypernyms_are_rightmost_path(self, algorithm):
+        hypernyms = algorithm.hypernyms(["蚂蚁", "金服", "首席", "战略官"])
+        # Figure 3's blue phrases.
+        assert hypernyms == ["首席战略官", "战略官"]
+
+    def test_two_word_compound(self, algorithm):
+        assert algorithm.hypernyms(["著名", "歌手"]) == ["歌手"]
+
+    def test_single_word_is_its_own_hypernym(self, algorithm):
+        assert algorithm.hypernyms(["歌手"]) == ["歌手"]
+
+    def test_three_word_left_collocation(self, algorithm):
+        # 中国香港男演员 → (中国⊕香港) ⊕ 男演员: hypernym is 男演员.
+        hypernyms = algorithm.hypernyms(["中国", "香港", "男演员"])
+        assert hypernyms[-1] == "男演员"
+        assert "香港男演员" not in hypernyms[:1] or len(hypernyms) <= 2
+
+    def test_empty_compound_raises(self, algorithm):
+        with pytest.raises(SegmentationError):
+            algorithm.build_tree([])
+
+    def test_terminates_on_uniform_pmi(self):
+        # All-unseen words: PMI is flat; fallback merging must terminate.
+        algorithm = SeparationAlgorithm(PMIStatistics())
+        tree = algorithm.build_tree(list("abcdef"))
+        assert tree.text == "abcdef"
+
+    def test_agglomerative_mode(self, pmi):
+        algorithm = SeparationAlgorithm(pmi, agglomerative=True)
+        tree = algorithm.build_tree(["蚂蚁", "金服", "首席", "战略官"])
+        assert tree.left.text == "蚂蚁金服"
+
+    def test_agglomerative_vs_sliding_on_figure3(self, pmi):
+        sliding = SeparationAlgorithm(pmi)
+        agglom = SeparationAlgorithm(pmi, agglomerative=True)
+        words = ["蚂蚁", "金服", "首席", "战略官"]
+        assert sliding.hypernyms(words) == agglom.hypernyms(words)
+
+
+class TestBracketExtractor:
+    @pytest.fixture(scope="class")
+    def extractor(self, pmi):
+        lexicon = Lexicon.base()
+        lexicon.add("蚂蚁", 500, "n")
+        lexicon.add("金服", 300, "n")
+        lexicon.add("男演员", 400, "n")
+        return BracketExtractor(Segmenter(lexicon), pmi)
+
+    def test_figure3_page(self, extractor):
+        page = EncyclopediaPage(
+            page_id="陈龙#0", title="陈龙", bracket="蚂蚁金服首席战略官"
+        )
+        relations = extractor.extract_from_page(page)
+        hypernyms = {r.hypernym for r in relations}
+        assert "战略官" in hypernyms
+        assert "首席战略官" in hypernyms
+        assert all(r.source == "bracket" for r in relations)
+        assert all(r.hyponym == "陈龙#0" for r in relations)
+
+    def test_multi_phrase_bracket(self, extractor):
+        page = EncyclopediaPage(
+            page_id="刘德华#0", title="刘德华", bracket="男演员、歌手"
+        )
+        hypernyms = {r.hypernym for r in extractor.extract_from_page(page)}
+        assert {"男演员", "歌手"} <= hypernyms
+
+    def test_no_bracket_no_relations(self, extractor):
+        page = EncyclopediaPage(page_id="a#0", title="a")
+        assert extractor.extract_from_page(page) == []
+
+    def test_numeric_bracket_filtered(self, extractor):
+        page = EncyclopediaPage(page_id="a#0", title="a", bracket="1984")
+        assert extractor.extract_from_page(page) == []
+
+    def test_single_char_hypernym_filtered(self, extractor):
+        page = EncyclopediaPage(page_id="a#0", title="a", bracket="鸟")
+        assert extractor.extract_from_page(page) == []
+
+    def test_duplicate_hypernyms_deduped(self, extractor):
+        page = EncyclopediaPage(
+            page_id="a#0", title="a", bracket="歌手、歌手"
+        )
+        relations = extractor.extract_from_page(page)
+        assert len(relations) == 1
+
+    def test_extract_over_pages(self, extractor):
+        pages = [
+            EncyclopediaPage(page_id="a#0", title="a", bracket="歌手"),
+            EncyclopediaPage(page_id="b#0", title="b", bracket="男演员"),
+        ]
+        relations = extractor.extract(pages)
+        assert len(relations) == 2

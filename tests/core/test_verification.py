@@ -1,0 +1,234 @@
+"""Tests for the three verification heuristics (Section III)."""
+
+import pytest
+
+from repro.core.verification.incompatible import (
+    IncompatibleConceptFilter,
+    cosine,
+    jaccard,
+    kl_divergence,
+)
+from repro.core.verification.ner_filter import NEHypernymFilter, noisy_or
+from repro.core.verification.syntax_rules import SyntaxRuleFilter
+from repro.core.verification.thematic import THEMATIC_WORDS
+from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage, Triple
+from repro.errors import PipelineError
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.ner import NamedEntityRecognizer
+from repro.nlp.segmentation import Segmenter
+from repro.taxonomy.model import IsARelation
+
+
+class TestThematicLexicon:
+    def test_exactly_184_entries(self):
+        assert len(THEMATIC_WORDS) == 184
+
+    def test_contains_paper_examples(self):
+        assert "政治" in THEMATIC_WORDS
+        assert "军事" in THEMATIC_WORDS
+        assert "音乐" in THEMATIC_WORDS
+
+    def test_no_taxonomic_concepts(self):
+        for concept in ("歌手", "演员", "公司", "水果"):
+            assert concept not in THEMATIC_WORDS
+
+
+def _person_page(page_id, name):
+    return EncyclopediaPage(
+        page_id=page_id, title=name,
+        infobox=(
+            Triple(page_id, "职业", "歌手"),
+            Triple(page_id, "出生日期", "1990年1月1日"),
+            Triple(page_id, "代表作品", "忘情水"),
+        ),
+    )
+
+
+def _song_page(page_id, name):
+    return EncyclopediaPage(
+        page_id=page_id, title=name,
+        infobox=(
+            Triple(page_id, "类型", "歌曲"),
+            Triple(page_id, "发行时间", "2001年2月2日"),
+            Triple(page_id, "作者", "王伟"),
+        ),
+    )
+
+
+class TestIncompatibleConcepts:
+    @pytest.fixture
+    def fitted(self):
+        pages = [_person_page(f"p{i}#0", f"歌星{i}") for i in range(5)]
+        pages += [_song_page(f"s{i}#0", f"曲子{i}") for i in range(5)]
+        dump = EncyclopediaDump(pages)
+        relations = [
+            IsARelation(f"p{i}#0", "歌手", "tag") for i in range(5)
+        ] + [
+            IsARelation(f"s{i}#0", "歌曲", "tag") for i in range(5)
+        ]
+        filt = IncompatibleConceptFilter(min_concept_entities=3)
+        filt.fit(relations, dump)
+        return filt, relations, dump
+
+    def test_person_vs_song_incompatible(self, fitted):
+        filt, _, _ = fitted
+        assert filt.incompatible("歌手", "歌曲")
+
+    def test_concept_compatible_with_itself_entities(self, fitted):
+        filt, _, _ = fitted
+        assert not filt.incompatible("歌手", "歌手")
+
+    def test_small_concepts_never_incompatible(self, fitted):
+        filt, _, _ = fitted
+        assert not filt.incompatible("歌手", "冷门概念")
+
+    def test_kl_arbitration_removes_wrong_concept(self, fitted):
+        filt, relations, dump = fitted
+        # 歌星0 (a person) wrongly also claimed as 歌曲 (cross-sense leak).
+        noisy = relations + [IsARelation("p0#0", "歌曲", "tag")]
+        decision = filt.filter(noisy)
+        removed_pairs = {(r.hyponym, r.hypernym) for r in decision.removed}
+        assert ("p0#0", "歌曲") in removed_pairs
+        assert ("p0#0", "歌手") not in removed_pairs
+
+    def test_compatible_concepts_pass(self, fitted):
+        filt, relations, _ = fitted
+        decision = filt.filter(relations)
+        assert decision.removed == []
+
+    def test_filter_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            IncompatibleConceptFilter().filter([])
+
+    def test_concept_relations_pass_through(self, fitted):
+        filt, _, _ = fitted
+        concept_rel = IsARelation("男歌手", "歌手", "tag", hyponym_kind="concept")
+        decision = filt.filter([concept_rel])
+        assert decision.kept == [concept_rel]
+
+
+class TestMathHelpers:
+    def test_jaccard(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+        assert jaccard(set(), set()) == 0.0
+
+    def test_cosine_identical(self):
+        d = {"x": 0.5, "y": 0.5}
+        assert cosine(d, d) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine({"x": 1.0}, {"y": 1.0}) == 0.0
+
+    def test_kl_zero_for_identical(self):
+        d = {"x": 0.5, "y": 0.5}
+        assert kl_divergence(d, d) == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_larger_for_disjoint(self):
+        p = {"x": 1.0}
+        close = {"x": 0.9, "y": 0.1}
+        far = {"y": 1.0}
+        assert kl_divergence(p, far) > kl_divergence(p, close)
+
+    def test_noisy_or(self):
+        assert noisy_or(0.0, 0.0) == 0.0
+        assert noisy_or(1.0, 0.0) == 1.0
+        assert noisy_or(0.5, 0.5) == pytest.approx(0.75)
+
+
+class TestNEFilter:
+    @pytest.fixture
+    def fitted(self):
+        recognizer = NamedEntityRecognizer()
+        corpus = [["美国", "歌手"], ["美国", "出生"], ["歌手", "演唱"]]
+        relations = [
+            IsARelation("iPhone#0", "美国", "tag"),
+            IsARelation("iPhone#0", "手机", "tag"),
+            IsARelation("王伟#0", "歌手", "tag"),
+        ]
+        titles = {"iPhone#0": "iPhone", "王伟#0": "王伟"}
+        filt = NEHypernymFilter(recognizer, threshold=0.55)
+        filt.fit(corpus, relations, titles)
+        return filt
+
+    def test_paper_example_iphone_america(self, fitted):
+        decision = fitted.filter([IsARelation("iPhone#0", "美国", "tag")])
+        assert decision.n_removed == 1
+
+    def test_common_concept_kept(self, fitted):
+        decision = fitted.filter([IsARelation("iPhone#0", "手机", "tag")])
+        assert decision.removed == []
+
+    def test_entity_title_as_hypernym_removed(self, fitted):
+        # 王伟 occurs as a hyponym title, so s2 flags it as an instance.
+        decision = fitted.filter([IsARelation("iPhone#0", "王伟", "tag")])
+        assert decision.n_removed == 1
+
+    def test_s1_from_corpus(self, fitted):
+        assert fitted.s1("美国") > 0.9
+        assert fitted.s1("歌手") == 0.0
+
+    def test_s2_balance(self, fitted):
+        assert fitted.s2("歌手") == 0.0  # only ever a hypernym
+        assert fitted.s2("王伟") == 1.0  # only ever a hyponym
+
+    def test_support_combines(self, fitted):
+        support = fitted.support("美国")
+        assert support.combined >= support.s1
+
+    def test_unfitted_raises(self):
+        filt = NEHypernymFilter(NamedEntityRecognizer())
+        with pytest.raises(PipelineError):
+            filt.filter([])
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(PipelineError):
+            NEHypernymFilter(NamedEntityRecognizer(), threshold=0.0)
+
+
+class TestSyntaxRules:
+    @pytest.fixture(scope="class")
+    def filt(self):
+        lexicon = Lexicon.base()
+        lexicon.add("教育机构", 300, "n")
+        lexicon.add("机构", 500, "n")
+        return SyntaxRuleFilter(Segmenter(lexicon))
+
+    def test_thematic_hypernym_removed(self, filt):
+        decision = filt.filter([IsARelation("a#0", "政治", "tag")], {"a#0": "某人"})
+        assert decision.n_removed == 1
+        assert filt.last_counts.thematic == 1
+
+    def test_paper_head_stem_example(self, filt):
+        # isA(教育机构, 教育) must be rejected by rule 2.
+        decision = filt.filter(
+            [IsARelation("教育机构", "教育", "tag", hyponym_kind="concept")]
+        )
+        # 教育 is thematic too; ensure removal happened either way
+        assert decision.n_removed == 1
+
+    def test_head_stem_non_thematic(self, filt):
+        decision = filt.filter(
+            [IsARelation("战略研究所", "战略官", "tag", hyponym_kind="concept")]
+        )
+        assert decision.n_removed == 1
+        assert filt.last_counts.head_stem == 1
+
+    def test_identity_removed(self, filt):
+        decision = filt.filter(
+            [IsARelation("a#0", "歌手", "tag")], {"a#0": "歌手"}
+        )
+        assert decision.n_removed == 1
+        assert filt.last_counts.identity == 1
+
+    def test_good_relation_kept(self, filt):
+        decision = filt.filter(
+            [IsARelation("a#0", "歌手", "tag")], {"a#0": "刘德华"}
+        )
+        assert decision.removed == []
+
+    def test_valid_compound_kept(self, filt):
+        # isA(流行歌手, 歌手) — stem in head position is fine.
+        decision = filt.filter(
+            [IsARelation("流行歌手", "歌手", "tag", hyponym_kind="concept")]
+        )
+        assert decision.removed == []

@@ -1,0 +1,183 @@
+"""Tests for the synthetic world generator."""
+
+import pytest
+
+from repro.encyclopedia.synthesis.inventory import (
+    CONCEPT_BY_NAME,
+    CONCEPTS,
+    ISA_PREDICATES_BY_KIND,
+    PREDICATE_WHITELIST,
+    concept_ancestors,
+    leaf_concepts,
+)
+from repro.encyclopedia.synthesis.noise import NoiseConfig
+from repro.encyclopedia.synthesis.world import SyntheticWorld
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.generate(seed=11, n_entities=600)
+
+
+class TestInventory:
+    def test_every_parent_is_declared(self):
+        for spec in CONCEPTS:
+            for parent in spec.parents:
+                assert parent in CONCEPT_BY_NAME, f"{spec.name}: {parent}"
+
+    def test_leaves_have_weight(self):
+        assert all(spec.weight > 0 for spec in leaf_concepts())
+
+    def test_roots_exist_per_kind(self):
+        roots = {spec.name for spec in CONCEPTS if not spec.parents}
+        assert {"人物", "组织", "地点", "作品", "生物", "食品"} <= roots
+
+    def test_concept_ancestors_transitive(self):
+        assert concept_ancestors("物理学家") == {"科学家", "人物"}
+
+    def test_twelve_whitelisted_predicates(self):
+        assert len(PREDICATE_WHITELIST) == 12
+
+    def test_every_kind_has_isa_predicates(self):
+        kinds = {spec.kind for spec in CONCEPTS}
+        for kind in kinds:
+            assert ISA_PREDICATES_BY_KIND.get(kind), kind
+
+    def test_isa_predicates_by_kind_are_whitelisted(self):
+        for preds in ISA_PREDICATES_BY_KIND.values():
+            for pred in preds:
+                assert pred in PREDICATE_WHITELIST
+
+
+class TestGeneration:
+    def test_entity_count(self, world):
+        assert len(world.entities) == 600
+
+    def test_page_count_includes_concept_pages(self, world):
+        assert len(world.dump()) == 600 + len(world.concept_page_ids)
+
+    def test_deterministic(self):
+        a = SyntheticWorld.generate(seed=3, n_entities=50)
+        b = SyntheticWorld.generate(seed=3, n_entities=50)
+        assert [p.to_dict() for p in a.dump()] == [p.to_dict() for p in b.dump()]
+
+    def test_seeds_differ(self):
+        a = SyntheticWorld.generate(seed=3, n_entities=50)
+        b = SyntheticWorld.generate(seed=4, n_entities=50)
+        assert [p.to_dict() for p in a.dump()] != [p.to_dict() for p in b.dump()]
+
+    def test_invalid_entity_count(self):
+        with pytest.raises(ValueError):
+            SyntheticWorld.generate(seed=1, n_entities=0)
+
+    def test_every_entity_has_a_leaf_concept(self, world):
+        for entity in world.entities:
+            assert entity.leaf_concepts
+            for concept in entity.leaf_concepts:
+                assert concept in world.concepts
+
+    def test_gold_hypernyms_include_ancestors(self, world):
+        for entity in world.entities[:50]:
+            for leaf in entity.leaf_concepts:
+                assert leaf in entity.gold_hypernyms
+                for ancestor in world.concept_ancestors(leaf):
+                    assert ancestor in entity.gold_hypernyms
+
+    def test_some_entities_are_ambiguous(self, world):
+        senses = world.mention_senses()
+        assert any(len(ids) > 1 for ids in senses.values())
+
+    def test_pages_have_four_sources(self, world):
+        dump = world.dump()
+        assert any(p.bracket for p in dump)
+        assert any(p.has_abstract for p in dump)
+        assert any(p.infobox for p in dump)
+        assert all(isinstance(p.tags, tuple) for p in dump)
+
+    def test_abstract_rate_matches_noise(self, world):
+        dump = world.dump()
+        rate = sum(1 for p in dump if p.has_abstract) / len(dump)
+        assert 0.45 <= rate <= 0.75  # 1 - p_abstract_missing, roughly
+
+    def test_noiseless_world_tags_are_all_gold(self):
+        clean = SyntheticWorld.generate(
+            seed=5, n_entities=300, noise=NoiseConfig.noiseless()
+        )
+        for entity in clean.entities:
+            page = clean.dump().get(entity.page_id)
+            for tag in page.tags:
+                assert clean.is_gold_isa(entity.page_id, tag), (
+                    entity.page_id, tag,
+                )
+
+
+class TestGoldOracle:
+    def test_entity_gold_positive(self, world):
+        entity = world.entities[0]
+        assert world.is_gold_isa(entity.page_id, entity.leaf_concepts[0])
+
+    def test_entity_gold_negative(self, world):
+        entity = next(e for e in world.entities if e.kind == "person")
+        assert not world.is_gold_isa(entity.page_id, "水果")
+
+    def test_reflexive_is_false(self, world):
+        assert not world.is_gold_isa("演员", "演员")
+
+    def test_concept_pair_via_dag(self, world):
+        assert world.is_gold_isa("物理学家", "人物")
+
+    def test_concept_pair_via_suffix(self, world):
+        assert world.is_gold_isa("男演员", "演员")
+
+    def test_suffix_rule_requires_known_hypernym(self, world):
+        assert not world.is_gold_isa("男演员", "员")
+
+    def test_role_compound_chain_is_gold(self, world):
+        # Role brackets register 首席战略官 isA 战略官 isA 人物 chains.
+        if "战略官" in world.concepts:
+            assert world.is_gold_isa("首席战略官", "战略官")
+
+    def test_unknown_suffix_pair_not_gold(self, world):
+        # A compound whose head is not a world concept stays non-gold.
+        assert not world.is_gold_isa("某某奇词", "奇词")
+
+    def test_empty_inputs(self, world):
+        assert not world.is_gold_isa("", "演员")
+        assert not world.is_gold_isa("演员", "")
+
+
+class TestIntegrations:
+    def test_ne_gazetteer_covers_people(self, world):
+        gazetteer = world.ne_gazetteer()
+        person = next(e for e in world.entities if e.kind == "person")
+        assert gazetteer[person.name] == "person"
+
+    def test_ne_gazetteer_excludes_biology(self, world):
+        gazetteer = world.ne_gazetteer()
+        bio = [e for e in world.entities if e.kind == "biology"]
+        # biology titles may collide with other kinds; check one clean one
+        clean = [e for e in bio if len(world.mention_senses()[e.name]) == 1]
+        if clean:
+            assert clean[0].name not in gazetteer
+
+    def test_lexicon_contains_world_words(self, world):
+        lexicon = world.build_lexicon()
+        entity = world.entities[0]
+        assert entity.name in lexicon
+        for concept in world.concepts:
+            assert concept in lexicon
+
+    def test_infobox_isa_predicates_present(self, world):
+        dump = world.dump()
+        seen = set()
+        for page in dump:
+            for triple in page.infobox:
+                if triple.predicate in PREDICATE_WHITELIST:
+                    seen.add(triple.predicate)
+        assert len(seen) >= 6
+
+    def test_concept_pages_tag_parents(self, world):
+        for page_id in world.concept_page_ids[:10]:
+            page = world.dump().get(page_id)
+            info = world.concepts[page.title]
+            assert any(tag in info.parents for tag in page.tags)

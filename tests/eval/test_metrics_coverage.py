@@ -1,0 +1,222 @@
+"""Tests for precision metrics, QA dataset and coverage."""
+
+import pytest
+
+from repro.encyclopedia import SyntheticWorld
+from repro.eval.coverage import qa_coverage
+from repro.eval.metrics import (
+    make_oracle,
+    relation_precision,
+    sample_precision,
+    source_precision,
+)
+from repro.eval.qa_dataset import generate_questions
+from repro.eval.report import format_count, format_percent, render_table
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.generate(seed=9, n_entities=300)
+
+
+@pytest.fixture(scope="module")
+def oracle(world):
+    return make_oracle(world)
+
+
+class TestPrecision:
+    def test_all_correct(self):
+        relations = [IsARelation("a#0", "b", "tag")]
+        estimate = relation_precision(relations, lambda h, y: True)
+        assert estimate.precision == 1.0
+
+    def test_all_wrong(self):
+        relations = [IsARelation("a#0", "b", "tag")]
+        estimate = relation_precision(relations, lambda h, y: False)
+        assert estimate.precision == 0.0
+
+    def test_empty_relations(self):
+        estimate = sample_precision([], lambda h, y: True)
+        assert estimate.n_labelled == 0
+        assert estimate.precision == 0.0
+
+    def test_sampling_caps_at_n(self):
+        relations = [
+            IsARelation(f"e{i}#0", "c", "tag") for i in range(50)
+        ]
+        estimate = sample_precision(relations, lambda h, y: True, n_samples=10)
+        assert estimate.n_labelled == 10
+
+    def test_sampling_deterministic(self):
+        relations = [
+            IsARelation(f"e{i}#0", "c", "tag") for i in range(100)
+        ]
+        oracle = lambda h, y: hash(h) % 2 == 0
+        a = sample_precision(relations, oracle, 20, seed=4)
+        b = sample_precision(relations, oracle, 20, seed=4)
+        assert a == b
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            sample_precision([], lambda h, y: True, n_samples=0)
+
+    def test_source_precision_per_source(self):
+        per_source = {
+            "tag": [IsARelation("a#0", "b", "tag")],
+            "bracket": [IsARelation("a#0", "c", "bracket")],
+        }
+        results = source_precision(per_source, lambda h, y: y == "b")
+        assert results["tag"].precision == 1.0
+        assert results["bracket"].precision == 0.0
+
+    def test_str_format(self):
+        estimate = relation_precision(
+            [IsARelation("a#0", "b", "tag")], lambda h, y: True
+        )
+        assert "100.0%" in str(estimate)
+
+
+class TestOracle:
+    def test_entity_gold(self, world, oracle):
+        entity = world.entities[0]
+        assert oracle(entity.page_id, entity.leaf_concepts[0])
+
+    def test_mention_surface_any_sense(self, world, oracle):
+        entity = world.entities[0]
+        assert oracle(entity.name, entity.leaf_concepts[0])
+
+    def test_concept_page_suffix_stripped(self, world, oracle):
+        # X#concept ids are judged on the bare concept surface.
+        sub = next(
+            (name for name, info in world.concepts.items()
+             if info.parents and not info.declared),
+            None,
+        )
+        if sub is not None:
+            assert oracle(f"{sub}#concept", world.concepts[sub].parents[0])
+
+    def test_wrong_pair_rejected(self, world, oracle):
+        person = next(e for e in world.entities if e.kind == "person")
+        assert not oracle(person.page_id, "饮料")
+
+
+class TestQADataset:
+    def test_question_count(self, world):
+        questions = generate_questions(world, 500, seed=1)
+        assert len(questions) == 500
+
+    def test_mention_kinds_mixed(self, world):
+        questions = generate_questions(world, 800, seed=1)
+        kinds = {q.mention_kind for q in questions}
+        assert kinds == {"entity", "concept", "oov"}
+
+    def test_mention_embedded_in_text(self, world):
+        for question in generate_questions(world, 100, seed=2):
+            assert question.mention in question.text
+
+    def test_rates_respected(self, world):
+        questions = generate_questions(world, 3000, seed=3)
+        entity_share = sum(
+            1 for q in questions if q.mention_kind == "entity"
+        ) / len(questions)
+        assert entity_share == pytest.approx(0.78, abs=0.03)
+
+    def test_deterministic(self, world):
+        a = generate_questions(world, 50, seed=5)
+        b = generate_questions(world, 50, seed=5)
+        assert a == b
+
+    def test_invalid_count(self, world):
+        with pytest.raises(ValueError):
+            generate_questions(world, 0)
+
+    def test_invalid_rates(self, world):
+        with pytest.raises(ValueError):
+            generate_questions(world, 10, entity_rate=0.9, concept_rate=0.2)
+
+
+class TestCoverage:
+    @pytest.fixture
+    def taxonomy(self):
+        t = Taxonomy()
+        t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+        t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+        t.add_relation(IsARelation("刘德华#0", "演员", "tag"))
+        return t
+
+    def test_entity_mention_covered(self, taxonomy):
+        from repro.eval.qa_dataset import Question
+
+        report = qa_coverage(
+            taxonomy, [Question("刘德华是谁？", "刘德华", "entity")]
+        )
+        assert report.coverage == 1.0
+        assert report.avg_concepts_per_covered_entity == 2.0
+
+    def test_concept_mention_covered(self, taxonomy):
+        from repro.eval.qa_dataset import Question
+
+        report = qa_coverage(
+            taxonomy, [Question("有哪些著名的歌手？", "歌手", "concept")]
+        )
+        assert report.coverage == 1.0
+
+    def test_oov_not_covered(self, taxonomy):
+        from repro.eval.qa_dataset import Question
+
+        report = qa_coverage(
+            taxonomy, [Question("魁罡叕是谁？", "魁罡叕", "oov")]
+        )
+        assert report.coverage == 0.0
+
+    def test_alias_covered(self, taxonomy):
+        from repro.eval.qa_dataset import Question
+
+        report = qa_coverage(
+            taxonomy, [Question("华仔是谁？", "华仔", "entity")]
+        )
+        assert report.coverage == 1.0
+
+    def test_empty_questions(self, taxonomy):
+        report = qa_coverage(taxonomy, [])
+        assert report.coverage == 0.0
+
+    def test_paper_band_on_world(self, world):
+        # Build a quick tag-only taxonomy and check coverage is high but
+        # below 100% (the OOV tail).
+        from repro.core.pipeline import PipelineConfig, build_cn_probase
+
+        config = PipelineConfig(
+            enable_bracket=False, enable_abstract=False, enable_infobox=False,
+        )
+        result = build_cn_probase(world.dump(), config)
+        questions = generate_questions(world, 1000, seed=7)
+        report = qa_coverage(result.taxonomy, questions)
+        assert 0.80 <= report.coverage < 1.0
+
+
+class TestReport:
+    def test_render_table_contains_rows(self):
+        table = render_table(
+            ["Taxonomy", "precision"],
+            [["CN-Probase", "95.0%"], ["Bigcilin", "90.0%"]],
+            title="Table I",
+        )
+        assert "Table I" in table
+        assert "CN-Probase" in table
+        assert "95.0%" in table
+
+    def test_cjk_alignment_width(self):
+        table = render_table(["名称", "值"], [["中文名称", "1"]])
+        lines = table.splitlines()
+        assert len(lines) == 3
+
+    def test_format_helpers(self):
+        assert format_count(1234567) == "1,234,567"
+        assert format_percent(0.954) == "95.4%"
+
+    def test_empty_rows(self):
+        table = render_table(["a"], [])
+        assert "a" in table

@@ -1,0 +1,147 @@
+"""Gradient correctness tests: autograd vs central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.neural import autograd as ag
+from repro.neural.autograd import Tensor
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = f()
+        flat[i] = original - eps
+        down = f()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check(build, x_data: np.ndarray, atol: float = 1e-6):
+    """Compare autograd gradient of build(x) against finite differences."""
+    x = Tensor(x_data.copy(), requires_grad=True)
+    loss = build(x)
+    loss.backward()
+    auto = x.grad.copy()
+
+    def f():
+        return float(build(Tensor(x.data)).data)
+
+    num = numeric_grad(f, x.data)
+    np.testing.assert_allclose(auto, num, atol=atol, rtol=1e-4)
+
+
+class TestElementwise:
+    def test_add_broadcast(self):
+        b = Tensor(RNG.normal(size=(1, 4)))
+        check(lambda x: ag.mean(ag.add(x, b)), RNG.normal(size=(3, 4)))
+
+    def test_sub(self):
+        b = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda x: ag.mean(ag.sub(x, b)), RNG.normal(size=(3, 4)))
+
+    def test_mul_broadcast(self):
+        b = Tensor(RNG.normal(size=(3, 1)))
+        check(lambda x: ag.mean(ag.mul(x, b)), RNG.normal(size=(3, 4)))
+
+    def test_scalar_mul(self):
+        check(lambda x: ag.mean(ag.scalar_mul(x, -2.5)), RNG.normal(size=(2, 3)))
+
+    def test_sigmoid(self):
+        check(lambda x: ag.mean(ag.sigmoid(x)), RNG.normal(size=(3, 3)))
+
+    def test_tanh(self):
+        check(lambda x: ag.mean(ag.tanh(x)), RNG.normal(size=(3, 3)))
+
+    def test_log(self):
+        check(lambda x: ag.mean(ag.log(x)), RNG.uniform(0.5, 2.0, size=(3, 3)))
+
+    def test_softmax(self):
+        w = Tensor(RNG.normal(size=(3, 5)))
+        check(
+            lambda x: ag.mean(ag.mul(ag.softmax(x), w)),
+            RNG.normal(size=(3, 5)),
+            atol=1e-5,
+        )
+
+
+class TestMatrixOps:
+    def test_matmul_left(self):
+        b = Tensor(RNG.normal(size=(4, 2)))
+        check(lambda x: ag.mean(ag.matmul(x, b)), RNG.normal(size=(3, 4)))
+
+    def test_matmul_right(self):
+        a = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda x: ag.mean(ag.matmul(a, x)), RNG.normal(size=(4, 2)))
+
+    def test_concat(self):
+        b = Tensor(RNG.normal(size=(3, 2)))
+        check(lambda x: ag.mean(ag.concat([x, b], axis=1)), RNG.normal(size=(3, 4)))
+
+    def test_rows(self):
+        idx = np.array([0, 2, 2, 1])
+        check(lambda x: ag.mean(ag.rows(x, idx)), RNG.normal(size=(4, 3)))
+
+    def test_slice_cols(self):
+        check(lambda x: ag.mean(ag.slice_cols(x, 1, 3)), RNG.normal(size=(3, 5)))
+
+    def test_sum_axis(self):
+        check(lambda x: ag.mean(ag.sum_axis(x, axis=1)), RNG.normal(size=(3, 4)))
+
+    def test_gather_cols(self):
+        idx = np.array([0, 3, 1])
+        check(lambda x: ag.mean(ag.gather_cols(x, idx)), RNG.normal(size=(3, 4)))
+
+    def test_scatter_add_cols(self):
+        idx = np.array([[0, 2, 2], [1, 1, 4]])
+        check(
+            lambda x: ag.mean(ag.scatter_add_cols(x, idx, 5)),
+            RNG.normal(size=(2, 3)),
+        )
+
+    def test_pad_cols(self):
+        check(lambda x: ag.mean(ag.pad_cols(x, 3)), RNG.normal(size=(2, 4)))
+
+    def test_stack_rows(self):
+        b = Tensor(RNG.normal(size=(2, 3)))
+        check(lambda x: ag.mean(ag.stack_rows([x, b])), RNG.normal(size=(2, 3)))
+
+
+class TestComposition:
+    def test_two_layer_network(self):
+        w2 = Tensor(RNG.normal(size=(4, 1)))
+
+        def build(x):
+            hidden = ag.tanh(x)
+            return ag.mean(ag.matmul(hidden, w2))
+
+        check(build, RNG.normal(size=(5, 4)))
+
+    def test_gradient_accumulates_on_reuse(self):
+        x = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        loss = ag.mean(ag.add(x, x))
+        loss.backward()
+        np.testing.assert_allclose(x.grad, np.array([[1.0, 1.0]]))
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            ag.add(x, x).backward()
+
+    def test_no_grad_tracking_without_requires(self):
+        x = Tensor(np.ones((2, 2)))
+        out = ag.sigmoid(x)
+        assert out._backward is None
+        assert not out.requires_grad
+
+    def test_pad_cols_negative(self):
+        with pytest.raises(ValueError):
+            ag.pad_cols(Tensor(np.ones((1, 2))), -1)

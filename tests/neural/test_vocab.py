@@ -1,0 +1,94 @@
+"""Tests for the neural vocabulary and extended-vocab encoding."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.neural.vocab import BOS, EOS, PAD, UNK, Vocabulary
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary.build([["著名", "歌手", "歌手"], ["演员", "歌手"]])
+
+
+class TestBuild:
+    def test_reserved_first(self, vocab):
+        assert vocab.token_of(PAD) == "<pad>"
+        assert vocab.token_of(BOS) == "<bos>"
+        assert vocab.token_of(EOS) == "<eos>"
+        assert vocab.token_of(UNK) == "<unk>"
+
+    def test_frequency_order(self, vocab):
+        assert vocab.id_of("歌手") < vocab.id_of("著名")
+
+    def test_len(self, vocab):
+        assert len(vocab) == 4 + 3
+
+    def test_min_freq(self):
+        v = Vocabulary.build([["a", "a", "b"]], min_freq=2)
+        assert "a" in v
+        assert "b" not in v
+
+    def test_max_size(self):
+        v = Vocabulary.build([["a", "b", "c"]], max_size=6)
+        assert len(v) == 6
+
+    def test_invalid_max_size(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.build([["a"]], max_size=0)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a", "a"])
+
+    def test_token_of_out_of_range(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.token_of(999)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self, vocab):
+        ids = vocab.encode(["著名", "歌手"])
+        assert vocab.decode(ids) == ["著名", "歌手"]
+
+    def test_unknown_becomes_unk(self, vocab):
+        assert vocab.encode(["外星"]) == [UNK]
+
+    def test_add_eos(self, vocab):
+        assert vocab.encode(["歌手"], add_eos=True)[-1] == EOS
+
+    def test_decode_stops_at_eos(self, vocab):
+        ids = vocab.encode(["著名"], add_eos=True) + vocab.encode(["歌手"])
+        assert vocab.decode(ids) == ["著名"]
+
+    def test_decode_skips_pad_and_bos(self, vocab):
+        ids = [PAD, BOS] + vocab.encode(["歌手"])
+        assert vocab.decode(ids) == ["歌手"]
+
+
+class TestExtended:
+    def test_oov_gets_temp_ids(self, vocab):
+        ids, oov = vocab.encode_extended(["著名", "刘德华", "星爷"])
+        assert oov == {"刘德华": len(vocab), "星爷": len(vocab) + 1}
+        assert ids[1] == len(vocab)
+
+    def test_repeated_oov_shares_id(self, vocab):
+        ids, oov = vocab.encode_extended(["刘德华", "刘德华"])
+        assert ids[0] == ids[1]
+        assert len(oov) == 1
+
+    def test_decode_extended(self, vocab):
+        ids, oov = vocab.encode_extended(["歌手", "刘德华"])
+        assert vocab.decode_extended(ids, oov) == ["歌手", "刘德华"]
+
+    def test_decode_extended_unknown_slot(self, vocab):
+        assert vocab.decode_extended([len(vocab) + 7], {}) == ["<unk>"]
+
+    def test_target_ids_use_oov_slots(self, vocab):
+        _, oov = vocab.encode_extended(["刘德华"])
+        target = vocab.target_ids_extended(["刘德华"], oov)
+        assert target == [len(vocab), EOS]
+
+    def test_target_ids_unknown_without_slot(self, vocab):
+        target = vocab.target_ids_extended(["无名"], {})
+        assert target == [UNK, EOS]

@@ -1,0 +1,106 @@
+"""Tests for PMI statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.pmi import PMIStatistics
+
+_WORDS = st.sampled_from(["蚂蚁", "金服", "首席", "战略官", "歌手", "演员"])
+
+
+@pytest.fixture
+def stats():
+    s = PMIStatistics()
+    # 蚂蚁金服 is a strong collocation; 金服+首席 never co-occur.
+    for _ in range(50):
+        s.add_sequence(["蚂蚁", "金服"])
+    for _ in range(30):
+        s.add_sequence(["首席", "战略官"])
+    for _ in range(20):
+        s.add_sequence(["著名", "歌手"])
+    s.add_sequence(["蚂蚁", "歌手"])
+    return s
+
+
+class TestCounts:
+    def test_unigram_count(self, stats):
+        assert stats.unigram_count("蚂蚁") == 51
+
+    def test_bigram_count(self, stats):
+        assert stats.bigram_count("蚂蚁", "金服") == 50
+
+    def test_bigram_is_directional(self, stats):
+        assert stats.bigram_count("金服", "蚂蚁") == 0
+
+    def test_totals(self, stats):
+        assert stats.total_unigrams == 202
+        assert stats.total_bigrams == 101
+
+    def test_vocabulary_size(self, stats):
+        # 蚂蚁 金服 首席 战略官 著名 歌手
+        assert stats.vocabulary_size == 6
+
+    def test_single_word_sequence_adds_no_bigram(self):
+        s = PMIStatistics()
+        s.add_sequence(["蚂蚁"])
+        assert s.total_bigrams == 0
+        assert s.total_unigrams == 1
+
+    def test_add_corpus(self):
+        s = PMIStatistics()
+        s.add_corpus([["a", "b"], ["a", "b"]])
+        assert s.bigram_count("a", "b") == 2
+
+
+class TestPMI:
+    def test_collocation_beats_non_collocation(self, stats):
+        assert stats.pmi("蚂蚁", "金服") > stats.pmi("金服", "首席")
+
+    def test_figure3_comparison_chain(self, stats):
+        # PMI(金服, 首席) < PMI(首席, 战略官) drives the first merge of the
+        # separation algorithm on 蚂蚁金服首席战略官.
+        assert stats.pmi("金服", "首席") < stats.pmi("首席", "战略官")
+        # PMI(蚂蚁, 金服) > PMI(金服, 首席战略官-boundary 首席) drives step 4.
+        assert stats.pmi("蚂蚁", "金服") > stats.pmi("金服", "首席")
+
+    def test_rare_pair_still_positive_association(self, stats):
+        assert stats.pmi("蚂蚁", "歌手") < stats.pmi("蚂蚁", "金服")
+
+    def test_unseen_pair_is_finite(self, stats):
+        value = stats.pmi("歌手", "战略官")
+        assert value < 0
+        assert value != float("-inf")
+
+    def test_unseen_words_are_finite(self, stats):
+        assert stats.pmi("新词", "另词") != float("-inf")
+
+    def test_empty_stats_return_zero(self):
+        assert PMIStatistics().pmi("a", "b") == 0.0
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            PMIStatistics(smoothing=0)
+
+
+class TestCohesion:
+    def test_single_word_is_zero(self, stats):
+        assert stats.cohesion(["蚂蚁"]) == 0.0
+
+    def test_collocation_has_higher_cohesion(self, stats):
+        assert stats.cohesion(["蚂蚁", "金服"]) > stats.cohesion(["金服", "首席"])
+
+
+@given(st.lists(st.lists(_WORDS, min_size=1, max_size=5), min_size=1, max_size=20))
+def test_totals_are_consistent(sequences):
+    s = PMIStatistics()
+    s.add_corpus(sequences)
+    assert s.total_unigrams == sum(len(seq) for seq in sequences)
+    assert s.total_bigrams == sum(len(seq) - 1 for seq in sequences)
+
+
+@given(_WORDS, _WORDS)
+def test_pmi_symmetric_inputs_do_not_crash(a, b):
+    s = PMIStatistics()
+    s.add_sequence(["蚂蚁", "金服", "首席", "战略官"])
+    assert isinstance(s.pmi(a, b), float)

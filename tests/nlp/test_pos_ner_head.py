@@ -1,0 +1,172 @@
+"""Tests for POS tagging, NER and lexical-head rules."""
+
+import pytest
+
+from repro.nlp.head import head_stem_violates, lexical_head, stem
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.ner import NamedEntityRecognizer
+from repro.nlp.pos import POSTagger
+
+
+@pytest.fixture(scope="module")
+def tagger():
+    return POSTagger()
+
+
+@pytest.fixture
+def ner():
+    return NamedEntityRecognizer()
+
+
+class TestPOS:
+    def test_lexicon_noun(self, tagger):
+        assert tagger.tag("歌手") == "n"
+
+    def test_lexicon_adjective(self, tagger):
+        assert tagger.tag("著名") == "a"
+
+    def test_lexicon_verb(self, tagger):
+        assert tagger.tag("出生") == "v"
+
+    def test_thematic(self, tagger):
+        assert tagger.tag("音乐") == "t"
+        assert tagger.is_thematic("政治")
+
+    def test_place(self, tagger):
+        assert tagger.tag("北京") == "ns"
+
+    def test_digits_are_numeral(self, tagger):
+        assert tagger.tag("1961") == "m"
+
+    def test_latin_is_x(self, tagger):
+        assert tagger.tag("iPhone") == "x"
+
+    def test_suffix_rule_noun(self, tagger):
+        assert tagger.tag("雕刻家") == "n"
+
+    def test_surname_pattern(self, tagger):
+        assert tagger.tag("王伟") == "nr"
+
+    def test_unknown_cjk_defaults_to_noun(self, tagger):
+        assert tagger.tag("冷僻词") == "n"
+
+    def test_empty_is_x(self, tagger):
+        assert tagger.tag("") == "x"
+
+    def test_is_noun_accepts_ns(self, tagger):
+        assert tagger.is_noun("北京")
+
+    def test_is_noun_rejects_thematic(self, tagger):
+        assert not tagger.is_noun("音乐")
+
+    def test_tag_sequence(self, tagger):
+        assert tagger.tag_sequence(["著名", "歌手"]) == ["a", "n"]
+
+
+class TestNER:
+    def test_gazetteer_hit(self, ner):
+        ner.register("刘德华", "person")
+        assert ner.classify("刘德华") == ("person", 1.0)
+
+    def test_gazetteer_size(self, ner):
+        ner.register_all(["刘德华", "周杰伦"], "person")
+        assert ner.gazetteer_size == 2
+
+    def test_lexicon_place(self, ner):
+        netype, conf = ner.classify("美国")
+        assert netype == "place"
+        assert conf >= 0.9
+
+    def test_place_suffix_pattern(self, ner):
+        netype, _ = ner.classify("临安市")
+        assert netype == "place"
+
+    def test_org_suffix_pattern(self, ner):
+        netype, _ = ner.classify("复旦大学")
+        assert netype == "organisation"
+
+    def test_bare_org_suffix_is_not_ne(self, ner):
+        # 大学 alone is a concept, not a named entity.
+        assert ner.classify("大学") is None
+
+    def test_person_name_pattern(self, ner):
+        netype, conf = ner.classify("王伟")
+        assert netype == "person"
+        assert conf == pytest.approx(0.7)
+
+    def test_common_noun_is_not_ne(self, ner):
+        assert ner.classify("歌手") is None
+
+    def test_thematic_word_is_not_ne(self, ner):
+        assert ner.classify("音乐") is None
+
+    def test_latin_token_is_weak_ne(self, ner):
+        netype, conf = ner.classify("iPhone")
+        assert netype == "other"
+        assert conf < 0.9
+
+    def test_pure_digits_are_not_ne(self, ner):
+        assert ner.classify("1961") is None
+
+    def test_empty_is_none(self, ner):
+        assert ner.classify("") is None
+
+    def test_is_named_entity_threshold(self, ner):
+        assert ner.is_named_entity("美国")
+        assert not ner.is_named_entity("王伟", min_confidence=0.9)
+
+    def test_corpus_support_ratio(self, ner):
+        corpus = [["美国", "歌手"], ["美国", "演员"], ["歌手"]]
+        support = ner.corpus_support(corpus)
+        assert support["美国"].ratio > 0.9
+        assert support["歌手"].ratio == 0.0
+        assert support["美国"].total == 2
+        assert support["歌手"].total == 2
+
+    def test_corpus_support_graded_for_person_pattern(self, ner):
+        support = ner.corpus_support([["王伟"]])
+        assert 0.5 < support["王伟"].ratio < 1.0
+
+    def test_registered_word_in_lexicon_still_ne(self):
+        lexicon = Lexicon.base()
+        recognizer = NamedEntityRecognizer(lexicon)
+        recognizer.register("音乐", "work")  # pathological but allowed
+        assert recognizer.classify("音乐") == ("work", 1.0)
+
+
+class TestHead:
+    def test_lexical_head_is_rightmost(self):
+        assert lexical_head(["教育", "机构"]) == "机构"
+
+    def test_lexical_head_empty_raises(self):
+        with pytest.raises(ValueError):
+            lexical_head([])
+
+    def test_stem_strips_role_suffix(self):
+        assert stem("战略官") == "战略"
+        assert stem("教育家") == "教育"
+
+    def test_stem_keeps_short_words(self):
+        assert stem("歌手") == "歌手"
+
+    def test_paper_example_violation(self):
+        # isA(教育机构, 教育) must be rejected.
+        assert head_stem_violates(["教育", "机构"], ["教育"])
+
+    def test_single_token_hyponym_violation(self):
+        assert head_stem_violates(["教育机构"], ["教育"])
+
+    def test_valid_pair_passes(self):
+        # isA(流行歌手, 歌手) is fine: the stem occurs in head position.
+        assert not head_stem_violates(["流行", "歌手"], ["歌手"])
+
+    def test_role_suffix_hypernym(self):
+        # isA(战略研究所, 战略官) → stem 战略 occurs in non-head position.
+        assert head_stem_violates(["战略", "研究所"], ["战略官"])
+
+    def test_unrelated_pair_passes(self):
+        assert not head_stem_violates(["蚂蚁", "金服"], ["公司"])
+
+    def test_empty_inputs_pass(self):
+        assert not head_stem_violates([], ["歌手"])
+        assert not head_stem_violates(["歌手"], [])

@@ -1,0 +1,100 @@
+"""Tests for the DAG-Viterbi segmenter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SegmentationError
+from repro.nlp.lexicon import Lexicon
+from repro.nlp.segmentation import Segmenter
+
+
+@pytest.fixture(scope="module")
+def segmenter():
+    lexicon = Lexicon.base()
+    lexicon.add("蚂蚁", 500, "n")
+    lexicon.add("金服", 300, "n")
+    lexicon.add("刘德华", 400, "nr")
+    return Segmenter(lexicon)
+
+
+class TestSegment:
+    def test_figure3_compound(self, segmenter):
+        # The paper's Figure 3 example: the bracket compound of 陈龙.
+        assert segmenter.segment("蚂蚁金服首席战略官") == [
+            "蚂蚁", "金服", "首席", "战略官",
+        ]
+
+    def test_simple_compound(self, segmenter):
+        assert segmenter.segment("著名歌手") == ["著名", "歌手"]
+
+    def test_prefers_long_known_words(self, segmenter):
+        assert segmenter.segment("刘德华") == ["刘德华"]
+
+    def test_unknown_chars_fall_back_to_singles(self, segmenter):
+        tokens = segmenter.segment("囍囍")
+        assert tokens == ["囍", "囍"]
+
+    def test_latin_run_kept_whole(self, segmenter):
+        assert "iPhone" in segmenter.segment("iPhone手机")
+
+    def test_digits_kept_whole(self, segmenter):
+        assert "1961" in segmenter.segment("1961年出生")
+
+    def test_whitespace_dropped(self, segmenter):
+        tokens = segmenter.segment("著名 歌手")
+        assert tokens == ["著名", "歌手"]
+
+    def test_punctuation_dropped_by_default(self, segmenter):
+        tokens = segmenter.segment("演员、歌手")
+        assert "、" not in tokens
+
+    def test_punctuation_kept_on_request(self, segmenter):
+        tokens = segmenter.segment("演员、歌手", keep_punctuation=True)
+        assert "、" in tokens
+
+    def test_empty_raises(self, segmenter):
+        with pytest.raises(SegmentationError):
+            segmenter.segment("")
+
+    def test_whitespace_only_raises(self, segmenter):
+        with pytest.raises(SegmentationError):
+            segmenter.segment("   ")
+
+    def test_fullwidth_normalised_before_segmenting(self, segmenter):
+        assert "ABC" in segmenter.segment("ＡＢＣ公司")
+
+    def test_mixed_sentence(self, segmenter):
+        tokens = segmenter.segment("刘德华是中国香港著名歌手")
+        assert "刘德华" in tokens
+        assert "歌手" in tokens
+
+    def test_default_lexicon_used_when_none(self):
+        seg = Segmenter()
+        assert seg.segment("著名歌手") == ["著名", "歌手"]
+
+
+class TestSegmentCorpus:
+    def test_skips_empty_texts(self, segmenter):
+        corpus = segmenter.segment_corpus(["著名歌手", "", "演员"])
+        assert len(corpus) == 2
+
+    def test_returns_token_lists(self, segmenter):
+        corpus = segmenter.segment_corpus(["著名歌手"])
+        assert corpus == [["著名", "歌手"]]
+
+
+@given(st.text(alphabet="中美日本歌手演员著名公司大学", min_size=1, max_size=12))
+def test_segmentation_is_lossless_for_cjk(text):
+    seg = Segmenter()
+    assert "".join(seg.segment(text)) == text
+
+
+@given(st.text(alphabet="中abc1 ，。", min_size=1, max_size=12))
+def test_segmentation_never_crashes_on_mixed_text(text):
+    seg = Segmenter()
+    try:
+        tokens = seg.segment(text)
+    except SegmentationError:
+        return
+    assert all(tokens)

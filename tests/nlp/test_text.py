@@ -1,0 +1,135 @@
+"""Tests for repro.nlp.text utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.text import (
+    char_ngrams,
+    is_cjk_char,
+    is_cjk_word,
+    iter_cjk_runs,
+    normalize_text,
+    split_phrases,
+    strip_brackets,
+)
+
+
+class TestIsCjk:
+    def test_common_ideograph(self):
+        assert is_cjk_char("中")
+
+    def test_latin_is_not_cjk(self):
+        assert not is_cjk_char("a")
+
+    def test_digit_is_not_cjk(self):
+        assert not is_cjk_char("9")
+
+    def test_chinese_punctuation_is_not_cjk(self):
+        assert not is_cjk_char("，")
+
+    def test_multi_char_string_is_not_a_char(self):
+        assert not is_cjk_char("中国")
+
+    def test_empty_string(self):
+        assert not is_cjk_char("")
+
+    def test_extension_a(self):
+        assert is_cjk_char(chr(0x3400))
+
+    def test_cjk_word(self):
+        assert is_cjk_word("蚂蚁金服")
+
+    def test_mixed_word_is_not_cjk(self):
+        assert not is_cjk_word("iPhone手机")
+
+    def test_empty_word_is_not_cjk(self):
+        assert not is_cjk_word("")
+
+
+class TestNormalize:
+    def test_fullwidth_ascii_becomes_halfwidth(self):
+        assert normalize_text("ＡＢＣ１２３") == "ABC123"
+
+    def test_ideographic_space_becomes_space(self):
+        assert normalize_text("刘德华　歌手") == "刘德华 歌手"
+
+    def test_strips_outer_whitespace(self):
+        assert normalize_text("  刘德华  ") == "刘德华"
+
+    def test_cjk_untouched(self):
+        assert normalize_text("蚂蚁金服") == "蚂蚁金服"
+
+    def test_chinese_punctuation_untouched(self):
+        assert normalize_text("演员、歌手") == "演员、歌手"
+
+    @given(st.text(alphabet="abc中美日123", max_size=20))
+    def test_idempotent(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+
+class TestStripBrackets:
+    def test_fullwidth_bracket(self):
+        name, bracket = strip_brackets("刘德华（中国香港男演员）")
+        assert name == "刘德华"
+        assert bracket == "中国香港男演员"
+
+    def test_halfwidth_bracket(self):
+        name, bracket = strip_brackets("刘德华(歌手)")
+        assert name == "刘德华"
+        assert bracket == "歌手"
+
+    def test_no_bracket(self):
+        assert strip_brackets("刘德华") == ("刘德华", None)
+
+    def test_bracket_not_at_end_is_ignored(self):
+        name, bracket = strip_brackets("（注）刘德华")
+        assert bracket is None
+
+    def test_bracket_only_title_is_not_split(self):
+        name, bracket = strip_brackets("（全部）")
+        assert bracket is None
+
+    def test_empty_bracket_is_ignored(self):
+        assert strip_brackets("刘德华（）") == ("刘德华（）", None)
+
+    def test_square_bracket(self):
+        name, bracket = strip_brackets("苹果【水果】")
+        assert name == "苹果"
+        assert bracket == "水果"
+
+
+class TestRunsAndPhrases:
+    def test_iter_cjk_runs_splits_on_latin(self):
+        assert list(iter_cjk_runs("刘德华Andy歌手")) == ["刘德华", "歌手"]
+
+    def test_iter_cjk_runs_empty(self):
+        assert list(iter_cjk_runs("abc 123")) == []
+
+    def test_split_phrases_on_enumeration_comma(self):
+        assert split_phrases("演员、歌手、词作人") == ["演员", "歌手", "词作人"]
+
+    def test_split_phrases_mixed_delimiters(self):
+        assert split_phrases("演员，歌手；作家") == ["演员", "歌手", "作家"]
+
+    def test_split_phrases_no_delimiter(self):
+        assert split_phrases("演员") == ["演员"]
+
+    def test_split_phrases_empty(self):
+        assert split_phrases("") == []
+
+    def test_char_ngrams(self):
+        assert list(char_ngrams("刘德华", 2)) == ["刘德", "德华"]
+
+    def test_char_ngrams_longer_than_text(self):
+        assert list(char_ngrams("刘", 2)) == []
+
+    def test_char_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(char_ngrams("刘德华", 0))
+
+    @given(st.text(alphabet="中美日korea123", min_size=1, max_size=15))
+    def test_cjk_runs_are_pure_cjk(self, text):
+        for run in iter_cjk_runs(text):
+            assert is_cjk_word(run)

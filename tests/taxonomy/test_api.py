@@ -1,0 +1,112 @@
+"""Tests for the serving APIs and workload generator."""
+
+import pytest
+
+from repro.errors import APIError
+from repro.taxonomy.api import (
+    PAPER_API_MIX,
+    TaxonomyAPI,
+    WorkloadGenerator,
+)
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+
+@pytest.fixture
+def taxonomy():
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_entity(Entity("周杰伦#0", "周杰伦"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+    t.add_relation(IsARelation("周杰伦#0", "歌手", "tag"))
+    return t
+
+
+@pytest.fixture
+def api(taxonomy):
+    return TaxonomyAPI(taxonomy)
+
+
+class TestAPIs:
+    def test_men2ent(self, api):
+        assert api.men2ent("华仔") == ["刘德华#0"]
+
+    def test_get_concept(self, api):
+        assert api.get_concept("刘德华#0") == ["歌手", "演员"]
+
+    def test_get_entity(self, api):
+        assert api.get_entity("歌手") == ["刘德华#0", "周杰伦#0"]
+
+    def test_empty_arguments_rejected(self, api):
+        with pytest.raises(APIError):
+            api.men2ent("")
+        with pytest.raises(APIError):
+            api.get_concept("")
+        with pytest.raises(APIError):
+            api.get_entity("")
+
+    def test_usage_counting(self, api):
+        api.men2ent("华仔")
+        api.men2ent("无人")
+        api.get_concept("刘德华#0")
+        assert api.usage.calls["men2ent"] == 2
+        assert api.usage.hits["men2ent"] == 1
+        assert api.usage.total_calls == 3
+        assert api.usage.hit_rate("men2ent") == 0.5
+
+    def test_reset_usage(self, api):
+        api.men2ent("华仔")
+        api.reset_usage()
+        assert api.usage.total_calls == 0
+
+    def test_mix(self, api):
+        api.men2ent("华仔")
+        api.get_entity("歌手")
+        mix = api.usage.mix()
+        assert mix["men2ent"] == 0.5
+        assert mix["getEntity"] == 0.5
+
+    def test_empty_mix(self, api):
+        assert api.usage.mix()["men2ent"] == 0.0
+
+
+class TestWorkload:
+    def test_paper_mix_sums_to_one(self):
+        assert sum(PAPER_API_MIX.values()) == pytest.approx(1.0)
+
+    def test_men2ent_dominates_paper_mix(self):
+        assert PAPER_API_MIX["men2ent"] > PAPER_API_MIX["getEntity"]
+        assert PAPER_API_MIX["getEntity"] > PAPER_API_MIX["getConcept"]
+
+    def test_generated_mix_matches_paper(self, taxonomy, api):
+        generator = WorkloadGenerator(taxonomy, seed=1)
+        usage = generator.run(api, 4000)
+        mix = usage.mix()
+        for name, expected in PAPER_API_MIX.items():
+            assert mix[name] == pytest.approx(expected, abs=0.03)
+
+    def test_hit_rate_high_for_low_miss(self, taxonomy, api):
+        generator = WorkloadGenerator(taxonomy, seed=2, miss_rate=0.0)
+        usage = generator.run(api, 500)
+        for name in usage.calls:
+            if usage.calls[name]:
+                assert usage.hit_rate(name) == 1.0
+
+    def test_deterministic(self, taxonomy):
+        a = WorkloadGenerator(taxonomy, seed=3).generate(100)
+        b = WorkloadGenerator(taxonomy, seed=3).generate(100)
+        assert a == b
+
+    def test_invalid_miss_rate(self, taxonomy):
+        with pytest.raises(APIError):
+            WorkloadGenerator(taxonomy, miss_rate=1.5)
+
+    def test_invalid_mix(self, taxonomy):
+        with pytest.raises(APIError):
+            WorkloadGenerator(taxonomy, mix={"men2ent": 0.5, "getConcept": 0.2,
+                                             "getEntity": 0.2})
+
+    def test_invalid_call_count(self, taxonomy, api):
+        with pytest.raises(APIError):
+            WorkloadGenerator(taxonomy).run(api, 0)

@@ -1,0 +1,176 @@
+"""Tests for taxonomy records and the concept graph."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.graph import TaxonomyGraph
+from repro.taxonomy.model import Entity, IsARelation
+
+
+class TestEntity:
+    def test_mentions_include_aliases(self):
+        e = Entity(page_id="刘德华#0", name="刘德华", aliases=("华仔",))
+        assert e.mentions == ("刘德华", "华仔")
+
+    def test_empty_page_id_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Entity(page_id="", name="x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Entity(page_id="x#0", name="")
+
+
+class TestIsARelation:
+    def test_key_ignores_provenance(self):
+        a = IsARelation("刘德华#0", "歌手", "tag")
+        b = IsARelation("刘德华#0", "歌手", "bracket")
+        assert a.key == b.key
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(TaxonomyError):
+            IsARelation("", "歌手", "tag")
+        with pytest.raises(TaxonomyError):
+            IsARelation("刘德华#0", "", "tag")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TaxonomyError):
+            IsARelation("a", "b", "tag", hyponym_kind="weird")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(TaxonomyError):
+            IsARelation("a", "b", "guesswork")
+
+    def test_with_source(self):
+        r = IsARelation("a", "b", "tag").with_source("bracket")
+        assert r.source == "bracket"
+        assert r.key == ("a", "b")
+
+
+class TestGraphBasics:
+    @pytest.fixture
+    def graph(self):
+        g = TaxonomyGraph()
+        g.add_edge("男演员", "演员")
+        g.add_edge("演员", "艺人")
+        g.add_edge("艺人", "人物")
+        g.add_edge("歌手", "艺人")
+        return g
+
+    def test_parents_children(self, graph):
+        assert graph.parents("男演员") == {"演员"}
+        assert graph.children("艺人") == {"演员", "歌手"}
+
+    def test_ancestors(self, graph):
+        assert graph.ancestors("男演员") == {"演员", "艺人", "人物"}
+
+    def test_descendants(self, graph):
+        assert graph.descendants("人物") == {"艺人", "演员", "歌手", "男演员"}
+
+    def test_depth(self, graph):
+        assert graph.depth("男演员") == 3
+        assert graph.depth("人物") == 0
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge("演员", "艺人")
+        assert not graph.has_edge("艺人", "演员")
+
+    def test_edge_count(self, graph):
+        assert graph.edge_count() == 4
+
+    def test_remove_edge(self, graph):
+        graph.remove_edge("男演员", "演员")
+        assert not graph.has_edge("男演员", "演员")
+        assert graph.ancestors("男演员") == frozenset()
+
+    def test_self_loop_rejected(self, graph):
+        with pytest.raises(TaxonomyError):
+            graph.add_edge("演员", "演员")
+
+    def test_empty_endpoint_rejected(self, graph):
+        with pytest.raises(TaxonomyError):
+            graph.add_edge("", "演员")
+
+    def test_duplicate_edge_keeps_max_score(self, graph):
+        graph.add_edge("男演员", "演员", score=0.2)
+        graph.add_edge("男演员", "演员", score=0.9)
+        assert graph.edge_count() == 4
+
+
+class TestCycles:
+    def test_dag_has_no_cycle(self):
+        g = TaxonomyGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.is_dag()
+        assert g.find_cycle() is None
+
+    def test_cycle_found(self):
+        g = TaxonomyGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_break_cycles_removes_lowest_score(self):
+        g = TaxonomyGraph()
+        g.add_edge("a", "b", score=0.9)
+        g.add_edge("b", "c", score=0.8)
+        g.add_edge("c", "a", score=0.1)
+        removed = g.break_cycles()
+        assert removed == [("c", "a")]
+        assert g.is_dag()
+
+    def test_break_cycles_noop_on_dag(self):
+        g = TaxonomyGraph()
+        g.add_edge("a", "b")
+        assert g.break_cycles() == []
+
+    def test_ancestors_terminate_despite_cycle(self):
+        g = TaxonomyGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert g.ancestors("a") == {"b"}
+
+    def test_two_node_cycle_broken_deterministically(self):
+        g = TaxonomyGraph()
+        g.add_edge("a", "b", score=0.5)
+        g.add_edge("b", "a", score=0.5)
+        assert g.break_cycles() == [("a", "b")]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("abcdefg"), st.sampled_from("abcdefg")
+        ).filter(lambda e: e[0] != e[1]),
+        max_size=25,
+    )
+)
+def test_break_cycles_always_yields_dag(edges):
+    g = TaxonomyGraph()
+    for child, parent in edges:
+        g.add_edge(child, parent)
+    g.break_cycles()
+    assert g.is_dag()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from("abcdefgh"), st.sampled_from("abcdefgh")
+        ).filter(lambda e: e[0] != e[1]),
+        max_size=25,
+    )
+)
+def test_ancestors_never_contain_self(edges):
+    g = TaxonomyGraph()
+    for child, parent in edges:
+        g.add_edge(child, parent)
+    for node in g.nodes:
+        assert node not in g.ancestors(node)

@@ -1,0 +1,145 @@
+"""Tests for the taxonomy store and persistence."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+
+@pytest.fixture
+def taxonomy():
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_entity(Entity("苹果#0", "苹果"))
+    t.add_entity(Entity("苹果#1", "苹果"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+    t.add_relation(IsARelation("苹果#0", "水果", "tag"))
+    t.add_relation(IsARelation("苹果#1", "公司", "tag"))
+    t.add_relation(
+        IsARelation("男演员", "演员", "tag", hyponym_kind="concept")
+    )
+    t.add_relation(
+        IsARelation("演员", "艺人", "tag", hyponym_kind="concept")
+    )
+    return t
+
+
+class TestMentions:
+    def test_men2ent_by_name(self, taxonomy):
+        assert taxonomy.men2ent("刘德华") == ["刘德华#0"]
+
+    def test_men2ent_by_alias(self, taxonomy):
+        assert taxonomy.men2ent("华仔") == ["刘德华#0"]
+
+    def test_men2ent_ambiguous(self, taxonomy):
+        assert taxonomy.men2ent("苹果") == ["苹果#0", "苹果#1"]
+
+    def test_men2ent_unknown(self, taxonomy):
+        assert taxonomy.men2ent("不存在") == []
+
+
+class TestRelations:
+    def test_get_concepts(self, taxonomy):
+        assert taxonomy.get_concepts("刘德华#0") == ["歌手", "演员"]
+
+    def test_get_concepts_transitive(self, taxonomy):
+        assert "艺人" in taxonomy.get_concepts_transitive("刘德华#0")
+
+    def test_get_entities(self, taxonomy):
+        assert taxonomy.get_entities("演员") == ["刘德华#0"]
+
+    def test_get_subconcepts(self, taxonomy):
+        assert taxonomy.get_subconcepts("演员") == ["男演员"]
+
+    def test_concept_parents(self, taxonomy):
+        assert taxonomy.concept_parents("演员") == ["艺人"]
+
+    def test_relation_requires_known_entity(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            taxonomy.add_relation(IsARelation("鬼#0", "妖怪", "tag"))
+
+    def test_concept_relation_needs_no_entity(self, taxonomy):
+        taxonomy.add_relation(
+            IsARelation("女演员", "演员", "tag", hyponym_kind="concept")
+        )
+        assert "女演员" in taxonomy.get_subconcepts("演员")
+
+    def test_duplicate_keeps_first_source_best_score(self, taxonomy):
+        taxonomy.add_relation(IsARelation("刘德华#0", "演员", "tag", score=2.0))
+        rel = next(
+            r for r in taxonomy.relations()
+            if r.key == ("刘德华#0", "演员")
+        )
+        assert rel.source == "bracket"
+        assert rel.score == 2.0
+
+    def test_len_and_contains(self, taxonomy):
+        assert len(taxonomy) == 6
+        assert ("刘德华#0", "演员") in taxonomy
+        assert ("刘德华#0", "公司") not in taxonomy
+
+    def test_relations_by_source(self, taxonomy):
+        assert len(taxonomy.relations_by_source("bracket")) == 1
+
+    def test_conflicting_entity_rejected(self, taxonomy):
+        with pytest.raises(TaxonomyError):
+            taxonomy.add_entity(Entity("刘德华#0", "刘德华", aliases=()))
+
+    def test_idempotent_entity_add(self, taxonomy):
+        taxonomy.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+        assert taxonomy.men2ent("刘德华") == ["刘德华#0"]
+
+
+class TestStats:
+    def test_counts(self, taxonomy):
+        stats = taxonomy.stats()
+        assert stats.n_entities == 3
+        assert stats.n_entity_concept == 4
+        assert stats.n_subconcept_concept == 2
+        assert stats.n_isa_total == 6
+        # 演员 歌手 水果 公司 男演员 艺人
+        assert stats.n_concepts == 6
+
+    def test_as_dict(self, taxonomy):
+        d = taxonomy.stats().as_dict()
+        assert d["isa_relations_total"] == 6
+
+
+class TestFinalize:
+    def test_cycle_removed_from_relations(self):
+        t = Taxonomy()
+        t.add_relation(IsARelation("a", "b", "tag", "concept", score=0.9))
+        t.add_relation(IsARelation("b", "a", "tag", "concept", score=0.1))
+        removed = t.finalize()
+        assert removed == [("b", "a")]
+        assert ("b", "a") not in t
+        assert ("a", "b") in t
+
+
+class TestPersistence:
+    def test_round_trip(self, taxonomy, tmp_path):
+        path = tmp_path / "taxonomy.jsonl"
+        taxonomy.save(path)
+        loaded = Taxonomy.load(path)
+        assert loaded.stats() == taxonomy.stats()
+        assert loaded.men2ent("华仔") == ["刘德华#0"]
+        assert loaded.get_concepts("刘德华#0") == ["歌手", "演员"]
+        assert loaded.name == taxonomy.name
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(TaxonomyError):
+            Taxonomy.load(tmp_path / "nope.jsonl")
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("nope\n", encoding="utf-8")
+        with pytest.raises(TaxonomyError):
+            Taxonomy.load(path)
+
+    def test_load_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n', encoding="utf-8")
+        with pytest.raises(TaxonomyError):
+            Taxonomy.load(path)

@@ -1,0 +1,111 @@
+"""Tests for the cn-probase command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    """One generate→build flow shared by the query/stats tests."""
+    root = tmp_path_factory.mktemp("cli")
+    dump_path = root / "dump.jsonl"
+    taxonomy_path = root / "taxonomy.jsonl"
+    assert main([
+        "generate", "--entities", "300", "--seed", "3",
+        "--out", str(dump_path),
+    ]) == 0
+    assert main([
+        "build", "--dump", str(dump_path), "--out", str(taxonomy_path),
+        "--no-abstract",
+    ]) == 0
+    return dump_path, taxonomy_path
+
+
+class TestGenerate:
+    def test_writes_dump(self, artefacts):
+        dump_path, _ = artefacts
+        assert dump_path.exists()
+        assert dump_path.stat().st_size > 0
+
+    def test_generate_output_loadable(self, artefacts):
+        from repro.encyclopedia import load_dump
+
+        dump_path, _ = artefacts
+        assert len(load_dump(dump_path)) >= 300
+
+
+class TestBuild:
+    def test_writes_taxonomy(self, artefacts):
+        _, taxonomy_path = artefacts
+        from repro.taxonomy import Taxonomy
+
+        taxonomy = Taxonomy.load(taxonomy_path)
+        assert taxonomy.stats().n_isa_total > 0
+
+    def test_build_missing_dump_fails_cleanly(self, tmp_path, capsys):
+        code = main([
+            "build", "--dump", str(tmp_path / "nope.jsonl"),
+            "--out", str(tmp_path / "t.jsonl"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_prints_counts(self, artefacts, capsys):
+        _, taxonomy_path = artefacts
+        assert main(["stats", "--taxonomy", str(taxonomy_path)]) == 0
+        out = capsys.readouterr().out
+        assert "isa_relations_total" in out
+
+
+class TestQuery:
+    def test_get_entity(self, artefacts, capsys):
+        _, taxonomy_path = artefacts
+        code = main([
+            "query", "--taxonomy", str(taxonomy_path), "getEntity", "人物",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.strip()
+
+    def test_men2ent_round_trip(self, artefacts, capsys):
+        _, taxonomy_path = artefacts
+        main(["query", "--taxonomy", str(taxonomy_path), "getEntity", "人物"])
+        page_id = capsys.readouterr().out.splitlines()[0]
+        mention = page_id.split("#")[0]
+        code = main([
+            "query", "--taxonomy", str(taxonomy_path), "men2ent", mention,
+        ])
+        assert code == 0
+        assert page_id in capsys.readouterr().out
+
+    def test_unknown_argument_returns_nonzero(self, artefacts, capsys):
+        _, taxonomy_path = artefacts
+        code = main([
+            "query", "--taxonomy", str(taxonomy_path), "men2ent", "不存在词",
+        ])
+        assert code == 1
+        assert "(no results)" in capsys.readouterr().out
+
+    def test_get_concept(self, artefacts, capsys):
+        _, taxonomy_path = artefacts
+        main(["query", "--taxonomy", str(taxonomy_path), "getEntity", "人物"])
+        page_id = capsys.readouterr().out.splitlines()[0]
+        code = main([
+            "query", "--taxonomy", str(taxonomy_path), "getConcept", page_id,
+        ])
+        assert code == 0
+        assert "人物" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_api_name_exits(self, artefacts):
+        _, taxonomy_path = artefacts
+        with pytest.raises(SystemExit):
+            main(["query", "--taxonomy", str(taxonomy_path), "badApi", "x"])
