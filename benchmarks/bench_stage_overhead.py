@@ -1,0 +1,138 @@
+"""Registry dispatch overhead — the pluggable pipeline vs the seed monolith.
+
+The stage architecture must be free: the registry-driven
+``CNProbaseBuilder`` has to build the same taxonomy in the same time as
+the seed's hard-coded 120-line monolith.  This bench re-creates the
+monolith inline (the exact seed flow, minus the neural source both
+builds skip), runs both on a 1200-entity world, and asserts
+
+- identical output (same relation set),
+- registry wall-clock within noise of the monolith wall-clock,
+- the traced dispatch overhead (build total minus time spent inside
+  stages and driver steps) is a negligible fraction of the build.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core.generation.merge import CandidatePool
+from repro.core.generation.predicates import PredicateDiscovery
+from repro.core.generation.separation import BracketExtractor
+from repro.core.generation.tags import TagExtractor
+from repro.core.pipeline import (
+    CNProbaseBuilder,
+    PipelineConfig,
+    harvest_lexicon,
+)
+from repro.core.verification.incompatible import IncompatibleConceptFilter
+from repro.core.verification.ner_filter import NEHypernymFilter
+from repro.core.verification.syntax_rules import SyntaxRuleFilter
+from repro.encyclopedia import SyntheticWorld
+from repro.eval.report import render_table
+from repro.nlp.ner import NamedEntityRecognizer
+from repro.nlp.pmi import PMIStatistics
+from repro.nlp.pos import POSTagger
+from repro.nlp.segmentation import Segmenter
+from repro.taxonomy.model import Entity
+from repro.taxonomy.store import Taxonomy
+
+N_ENTITIES = 1_200
+CONFIG = PipelineConfig(enable_abstract=False)
+
+
+def _monolith_build(dump):
+    """The seed's hard-coded ``build()`` flow, abstract source skipped."""
+    config = CONFIG
+    lexicon = harvest_lexicon(dump)
+    segmenter = Segmenter(lexicon)
+    tagger = POSTagger(lexicon)
+    recognizer = NamedEntityRecognizer(lexicon)
+    corpus = segmenter.segment_corpus(dump.text_corpus())
+    pmi = PMIStatistics()
+    pmi.add_corpus(corpus)
+    titles = {page.page_id: page.title for page in dump}
+    pool = CandidatePool()
+
+    bracket = BracketExtractor(segmenter, pmi, tagger)
+    bracket_relations = bracket.extract(dump)
+    pool.add(bracket_relations)
+    discoverer = PredicateDiscovery(
+        min_aligned=config.predicate_min_aligned,
+        min_support=config.predicate_min_support,
+        max_selected=config.predicate_max_selected,
+    )
+    discovery = discoverer.discover(dump, bracket_relations)
+    pool.add(discoverer.extract(dump, discovery.selected))
+    pool.add(TagExtractor().extract(dump))
+
+    pool.reclassify_concept_pages(dump)
+    relations = pool.relations()
+
+    relations = SyntaxRuleFilter(segmenter, tagger).filter(relations, titles).kept
+    ner = NEHypernymFilter(recognizer, threshold=config.ne_threshold)
+    ner.fit(corpus, relations, titles)
+    relations = ner.filter(relations).kept
+    incompatible = IncompatibleConceptFilter()
+    incompatible.fit(relations, dump)
+    relations = incompatible.filter(relations).kept
+
+    taxonomy = Taxonomy()
+    for relation in relations:
+        if relation.hyponym_kind == "entity":
+            page_title = titles.get(relation.hyponym)
+            if page_title is None:
+                continue
+            taxonomy.add_entity(Entity(relation.hyponym, page_title))
+        taxonomy.add_relation(relation)
+    taxonomy.finalize()
+    return taxonomy
+
+
+def test_stage_overhead_benchmark(record):
+    dump = SyntheticWorld.generate(seed=9, n_entities=N_ENTITIES).dump()
+
+    # Interleave two runs of each so drift hits both builds equally.
+    monolith_seconds, registry_seconds = [], []
+    registry_result = None
+    for _ in range(2):
+        started = perf_counter()
+        monolith_taxonomy = _monolith_build(dump)
+        monolith_seconds.append(perf_counter() - started)
+
+        builder = CNProbaseBuilder(CONFIG)
+        started = perf_counter()
+        registry_result = builder.build(dump)
+        registry_seconds.append(perf_counter() - started)
+
+    monolith_best = min(monolith_seconds)
+    registry_best = min(registry_seconds)
+    trace = registry_result.stage_trace
+
+    rows = [
+        ["monolith (inline seed flow)", f"{monolith_best:.3f}", ""],
+        ["registry-driven builder", f"{registry_best:.3f}", ""],
+        ["traced dispatch overhead", f"{trace.overhead_seconds:.4f}",
+         f"{100 * trace.overhead_seconds / trace.total_seconds:.2f}%"],
+    ]
+    for stage in trace.ran():
+        rows.append([f"  stage {stage.name} ({stage.kind})",
+                     f"{stage.seconds:.3f}", f"{stage.count}"])
+    record(render_table(
+        ["unit", "seconds", "detail"],
+        rows,
+        title=f"Stage-registry overhead — {N_ENTITIES:,}-entity world",
+    ))
+
+    # Same taxonomy out of both drivers.
+    monolith_keys = {r.key for r in monolith_taxonomy.relations()}
+    registry_keys = {r.key for r in registry_result.taxonomy.relations()}
+    assert monolith_keys == registry_keys
+
+    # Within noise of the monolith: generous bound so CI jitter never
+    # trips it, tight enough to catch an accidentally quadratic driver.
+    assert registry_best <= monolith_best * 1.25 + 0.5, (
+        f"registry {registry_best:.3f}s vs monolith {monolith_best:.3f}s"
+    )
+    # Dispatch itself (everything outside stages + driver steps) is free.
+    assert trace.overhead_seconds <= max(0.05, 0.02 * trace.total_seconds)

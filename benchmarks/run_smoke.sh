@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 tests + the stage-overhead bench: the fast "nothing regressed"
+# gate to run before pushing pipeline or serving changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python -m pytest -x -q benchmarks/bench_stage_overhead.py

@@ -1,8 +1,10 @@
-"""Serve a built taxonomy through the three public APIs (Table II).
+"""Serve a built taxonomy through the versioned service facade (Table II).
 
 Replays a workload with the paper's production call mix (men2ent 53%,
-getEntity 31%, getConcept 17%) and prints the usage ledger the way the
-paper's Table II reports it.
+getEntity 31%, getConcept 17%) through :class:`TaxonomyService` —
+batched calls, an atomic snapshot swap mid-lifetime the way a nightly
+rebuild would publish, and the per-API latency/hit ledger the facade
+keeps across swaps.
 
 Run:  python examples/api_service.py
 """
@@ -10,7 +12,7 @@ Run:  python examples/api_service.py
 from repro.core.pipeline import PipelineConfig, build_cn_probase
 from repro.encyclopedia import SyntheticWorld
 from repro.eval.report import format_count, format_percent, render_table
-from repro.taxonomy import TaxonomyAPI, WorkloadGenerator
+from repro.taxonomy import TaxonomyService, WorkloadGenerator
 
 
 def main() -> None:
@@ -18,36 +20,58 @@ def main() -> None:
     result = build_cn_probase(
         world.dump(), PipelineConfig(enable_abstract=False)
     )
-    api = TaxonomyAPI(result.taxonomy)
+    service = TaxonomyService(result.taxonomy)
 
-    print("replaying 50,000 API calls with the paper's call mix...")
+    print(f"serving snapshot {service.version_id} "
+          f"({result.taxonomy.stats().n_isa_total} isA relations)")
+    print("replaying 50,000 API calls with the paper's call mix "
+          "(batches of 32)...")
     generator = WorkloadGenerator(result.taxonomy, seed=1, miss_rate=0.05)
-    usage = generator.run(api, 50_000)
+    generator.run_service(service, 25_000, batch_size=32)
 
+    # A rebuild lands: publish it atomically, then keep serving.  The
+    # ledger below spans both snapshots.
+    new_world = SyntheticWorld.generate(seed=6, n_entities=1200)
+    rebuilt = build_cn_probase(
+        new_world.dump(), PipelineConfig(enable_abstract=False)
+    )
+    snapshot = service.swap(rebuilt.taxonomy)
+    print(f"swapped in snapshot {snapshot.version_id} "
+          f"(rebuild published atomically, {service.metrics.swaps} swap)")
+    generator = WorkloadGenerator(rebuilt.taxonomy, seed=2, miss_rate=0.05)
+    generator.run_service(service, 25_000, batch_size=32)
+
+    metrics = service.metrics
     rows = [
         [name,
-         format_count(usage.calls[name]),
-         format_percent(usage.mix()[name]),
-         format_percent(usage.hit_rate(name))]
-        for name in ("men2ent", "getConcept", "getEntity")
+         format_count(entry.calls),
+         format_percent(entry.calls / metrics.total_calls),
+         format_percent(entry.hit_rate),
+         f"{entry.mean_seconds * 1e6:.1f}",
+         f"{entry.max_seconds * 1e6:.1f}"]
+        for name, entry in (
+            (n, metrics.latency(n))
+            for n in ("men2ent", "getConcept", "getEntity")
+        )
     ]
     print()
     print(render_table(
-        ["API name", "calls", "mix", "hit rate"],
+        ["API name", "calls", "mix", "hit rate", "mean µs", "max µs"],
         rows,
-        title="Table II (replayed) — APIs and their usage",
+        title="Table II (replayed) — the facade's per-API ledger",
     ))
 
-    # A couple of live queries for flavour.
-    entity = world.entities[0]
-    print(f"\nlive: men2ent({entity.name!r}) = {api.men2ent(entity.name)}")
-    ambiguous = next(
-        (name for name, ids in world.mention_senses().items() if len(ids) > 1),
-        None,
+    # A couple of live queries for flavour, against the served snapshot.
+    entity = next(
+        e for e in new_world.entities
+        if rebuilt.taxonomy.has_entity(e.page_id)
     )
-    if ambiguous:
-        print(f"live: men2ent({ambiguous!r}) = {api.men2ent(ambiguous)} "
-              "(ambiguous mention, multiple senses)")
+    print(f"\nlive: men2ent({entity.name!r}) = {service.men2ent(entity.name)}")
+    batch = [
+        e.name for e in new_world.entities[1:20]
+        if rebuilt.taxonomy.has_entity(e.page_id)
+    ][:3]
+    print(f"live: men2ent_batch({batch!r}) = {service.men2ent_batch(batch)}")
 
 
 if __name__ == "__main__":

@@ -8,10 +8,23 @@ The package is organised as one subpackage per subsystem:
   the synthetic world generator that replaces the proprietary 2017 dump.
 - :mod:`repro.neural` — numpy CopyNet-style seq2seq used by the abstract
   source of the generation module.
-- :mod:`repro.taxonomy` — taxonomy data model, graph, indexed store and the
-  three public serving APIs (men2ent / getConcept / getEntity).
-- :mod:`repro.core` — the paper's contribution: the four generation
-  algorithms, the three verification heuristics and the build pipeline.
+- :mod:`repro.taxonomy` — taxonomy data model, graph, indexed store, the
+  three public serving APIs (men2ent / getConcept / getEntity) and the
+  versioned :class:`~repro.taxonomy.service.TaxonomyService` facade
+  (immutable snapshots, atomic swap-on-rebuild, batched variants,
+  per-API latency accounting).
+- :mod:`repro.core` — the paper's contribution as an open, composable
+  pipeline.  :mod:`repro.core.stages` defines the stage architecture: a
+  ``GenerationSource`` / ``Verifier`` protocol pair, a named, ordered
+  ``StageRegistry`` (the built-in bracket/abstract/infobox/tag sources
+  and syntax/ner/incompatible verifiers come from
+  :func:`~repro.core.stages.default_registry`) and a ``BuildContext``
+  carrying the shared NLP resources (lexicon, segmenter, tagger,
+  recognizer, PMI, titles) so stages never re-derive them.
+  :class:`~repro.core.pipeline.CNProbaseBuilder` is a thin driver that
+  iterates the registry and records per-stage wall-clock and candidate
+  counts into ``BuildResult.stage_trace``; third-party stages plug in
+  by registering against the builder's registry, no core edits needed.
 - :mod:`repro.baselines` — Chinese WikiTaxonomy, Bigcilin and Probase-Tran.
 - :mod:`repro.eval` — precision sampling, QA coverage and report rendering.
 
@@ -32,12 +45,17 @@ __version__ = "1.0.0"
 _LAZY_EXPORTS = {
     "BuildResult": "repro.core.pipeline",
     "CNProbaseBuilder": "repro.core.pipeline",
+    "PipelineConfig": "repro.core.pipeline",
     "build_cn_probase": "repro.core.pipeline",
+    "StageRegistry": "repro.core.stages",
+    "StageTrace": "repro.core.stages",
+    "default_registry": "repro.core.stages",
     "EncyclopediaDump": "repro.encyclopedia",
     "EncyclopediaPage": "repro.encyclopedia",
     "SyntheticWorld": "repro.encyclopedia",
     "Taxonomy": "repro.taxonomy",
     "TaxonomyAPI": "repro.taxonomy",
+    "TaxonomyService": "repro.taxonomy",
 }
 
 
@@ -61,9 +79,14 @@ __all__ = [
     "CNProbaseBuilder",
     "EncyclopediaDump",
     "EncyclopediaPage",
+    "PipelineConfig",
+    "StageRegistry",
+    "StageTrace",
     "SyntheticWorld",
     "Taxonomy",
     "TaxonomyAPI",
+    "TaxonomyService",
     "build_cn_probase",
+    "default_registry",
     "__version__",
 ]

@@ -4,6 +4,8 @@ Usage::
 
     cn-probase generate --entities 2000 --seed 7 --out dump.jsonl
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl
+    cn-probase build --dump dump.jsonl --out taxonomy.jsonl --disable-stage ner
+    cn-probase stages
     cn-probase stats --taxonomy taxonomy.jsonl
     cn-probase query --taxonomy taxonomy.jsonl men2ent 刘德华
     cn-probase query --taxonomy taxonomy.jsonl getConcept 刘德华#0
@@ -20,6 +22,7 @@ import sys
 
 from repro.core.generation.neural_gen import NeuralGenConfig
 from repro.core.pipeline import PipelineConfig, build_cn_probase
+from repro.core.stages import default_registry
 from repro.encyclopedia import SyntheticWorld, load_dump, save_dump
 from repro.errors import ReproError
 from repro.taxonomy import Taxonomy, TaxonomyAPI
@@ -42,13 +45,29 @@ def _cmd_build(args: argparse.Namespace) -> int:
         neural=NeuralGenConfig(epochs=args.neural_epochs),
         max_generation_pages=args.max_generation_pages,
     )
-    result = build_cn_probase(dump, config)
+    registry = default_registry()
+    for name in args.disable_stage or ():
+        registry.disable(name)
+    result = build_cn_probase(dump, config, registry=registry)
     result.taxonomy.save(args.out)
     stats = result.taxonomy.stats()
     print(f"built {stats.n_isa_total} isA relations "
           f"({stats.n_entities} entities, {stats.n_concepts} concepts); "
           f"verification removed {result.n_removed} candidates")
+    units = {"source": "candidates", "verifier": "removed", "driver": "items"}
+    for record in result.stage_trace.ran():
+        print(f"stage {record.name} ({record.kind}): "
+              f"{record.count} {units[record.kind]} in {record.seconds:.2f}s")
     print(f"wrote taxonomy to {args.out}")
+    return 0
+
+
+def _cmd_stages(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    print(f"{'name':<14} {'kind':<10} {'enabled':<8} origin")
+    for entry in registry.entries():
+        enabled = "yes" if entry.enabled else "no"
+        print(f"{entry.name:<14} {entry.kind:<10} {enabled:<8} {entry.origin}")
     return 0
 
 
@@ -101,7 +120,15 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--no-syntax", action="store_true")
     build.add_argument("--neural-epochs", type=int, default=6)
     build.add_argument("--max-generation-pages", type=int, default=None)
+    build.add_argument("--disable-stage", action="append", metavar="NAME",
+                       help="disable a registered stage by name (repeatable); "
+                            "see `cn-probase stages` for the names")
     build.set_defaults(func=_cmd_build)
+
+    stages = sub.add_parser(
+        "stages", help="list the registered pipeline stages"
+    )
+    stages.set_defaults(func=_cmd_stages)
 
     stats = sub.add_parser("stats", help="print taxonomy statistics")
     stats.add_argument("--taxonomy", required=True)

@@ -5,15 +5,41 @@
   direct tag extraction) and candidate merging,
 - :mod:`repro.core.verification` — the three heuristic verifiers
   (incompatible concepts / NE hypernym / syntax rules),
-- :mod:`repro.core.pipeline` — :class:`CNProbaseBuilder`, the end-to-end
-  build orchestrator (Figure 2).
+- :mod:`repro.core.stages` — the pluggable stage architecture: the
+  :class:`~repro.core.stages.GenerationSource` and
+  :class:`~repro.core.stages.Verifier` protocols, the named/ordered
+  :class:`~repro.core.stages.StageRegistry` and the shared
+  :class:`~repro.core.stages.BuildContext`,
+- :mod:`repro.core.pipeline` — :class:`CNProbaseBuilder`, the thin
+  registry-driven build orchestrator (Figure 2).
 """
 
-from repro.core.pipeline import BuildResult, CNProbaseBuilder, PipelineConfig, build_cn_probase
+from repro.core.pipeline import (
+    BuildResult,
+    CNProbaseBuilder,
+    PipelineConfig,
+    build_cn_probase,
+)
+from repro.core.stages import (
+    BuildContext,
+    GenerationSource,
+    StageRecord,
+    StageRegistry,
+    StageTrace,
+    Verifier,
+    default_registry,
+)
 
 __all__ = [
+    "BuildContext",
     "BuildResult",
     "CNProbaseBuilder",
+    "GenerationSource",
     "PipelineConfig",
+    "StageRecord",
+    "StageRegistry",
+    "StageTrace",
+    "Verifier",
     "build_cn_probase",
+    "default_registry",
 ]

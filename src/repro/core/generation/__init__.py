@@ -1,26 +1,41 @@
-"""Generation module: isA acquisition from the four encyclopedia sources."""
+"""Generation module: isA acquisition from the four encyclopedia sources.
+
+Each extractor ships with a registry adapter (``*Source``) satisfying
+the :class:`~repro.core.stages.GenerationSource` protocol; the adapters
+are what :func:`~repro.core.stages.default_registry` registers.
+"""
 
 from repro.core.generation.merge import CandidatePool
-from repro.core.generation.neural_gen import NeuralGenConfig, NeuralGenerator
+from repro.core.generation.neural_gen import (
+    AbstractSource,
+    NeuralGenConfig,
+    NeuralGenerator,
+)
 from repro.core.generation.predicates import (
     DiscoveryResult,
+    InfoboxSource,
     PredicateDiscovery,
 )
 from repro.core.generation.separation import (
     BracketExtractor,
+    BracketSource,
     SeparationAlgorithm,
     SeparationNode,
 )
-from repro.core.generation.tags import TagExtractor
+from repro.core.generation.tags import TagExtractor, TagSource
 
 __all__ = [
+    "AbstractSource",
     "BracketExtractor",
+    "BracketSource",
     "CandidatePool",
     "DiscoveryResult",
+    "InfoboxSource",
     "NeuralGenConfig",
     "NeuralGenerator",
     "PredicateDiscovery",
     "SeparationAlgorithm",
     "SeparationNode",
     "TagExtractor",
+    "TagSource",
 ]

@@ -154,3 +154,28 @@ class NeuralGenerator:
                     )
                 )
         return relations
+
+
+class AbstractSource:
+    """Registry adapter: the neural (CopyNet) abstract generation stage.
+
+    Preconditions: the bracket source must have produced priors for
+    distant supervision and the derived dataset must be large enough to
+    train on; otherwise the stage reports "did not run" (``None``).
+    """
+
+    name = SOURCE_ABSTRACT
+
+    def generate(self, context) -> list[IsARelation] | None:
+        priors = context.relations_from(SOURCE_BRACKET)
+        if not priors:
+            return None
+        generator = NeuralGenerator(context.segmenter, context.config.neural)
+        dataset = generator.build_dataset(context.dump, priors)
+        if len(dataset) < context.config.neural.min_train_examples:
+            return None
+        context.training_report = generator.train(dataset)
+        pages = list(context.dump)
+        if context.config.max_generation_pages is not None:
+            pages = pages[: context.config.max_generation_pages]
+        return generator.extract(pages)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.encyclopedia.model import EncyclopediaDump
 from repro.nlp.text import is_cjk_word
-from repro.taxonomy.model import SOURCE_INFOBOX, IsARelation
+from repro.taxonomy.model import SOURCE_BRACKET, SOURCE_INFOBOX, IsARelation
 
 
 @dataclass(frozen=True)
@@ -128,3 +128,26 @@ class PredicateDiscovery:
                     )
                 )
         return relations
+
+
+class InfoboxSource:
+    """Registry adapter: the infobox predicate-discovery generation stage.
+
+    Discovery aligns infobox values against the bracket source's output,
+    so without bracket priors the stage reports "did not run".
+    """
+
+    name = SOURCE_INFOBOX
+
+    def generate(self, context) -> list[IsARelation] | None:
+        priors = context.relations_from(SOURCE_BRACKET)
+        if not priors:
+            return None
+        config = context.config
+        discoverer = PredicateDiscovery(
+            min_aligned=config.predicate_min_aligned,
+            min_support=config.predicate_min_support,
+            max_selected=config.predicate_max_selected,
+        )
+        context.discovery = discoverer.discover(context.dump, priors)
+        return discoverer.extract(context.dump, context.discovery.selected)

@@ -202,3 +202,22 @@ class BracketExtractor:
             return False
         tag = self._tagger.tag(hypernym)
         return tag not in ("m", "x", "u", "v")
+
+
+class BracketSource:
+    """Registry adapter: the bracket-separation generation stage.
+
+    Runs first so its high-precision output can distant-supervise the
+    abstract source and align the infobox predicate discovery.
+    """
+
+    name = SOURCE_BRACKET
+
+    def generate(self, context) -> list[IsARelation]:
+        extractor = BracketExtractor(
+            context.segmenter,
+            context.pmi,
+            context.tagger,
+            agglomerative=context.config.agglomerative_separation,
+        )
+        return extractor.extract(context.dump)

@@ -44,3 +44,12 @@ class TagExtractor:
         for page in pages:
             relations.extend(self.extract_from_page(page))
         return relations
+
+
+class TagSource:
+    """Registry adapter: the direct tag-extraction generation stage."""
+
+    name = SOURCE_TAG
+
+    def generate(self, context) -> list[IsARelation]:
+        return TagExtractor().extract(context.dump)

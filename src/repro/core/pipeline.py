@@ -1,33 +1,46 @@
 """The generation + verification build pipeline (Figure 2).
 
-``CNProbaseBuilder.build(dump)`` runs the complete paper flow:
+``CNProbaseBuilder.build(dump)`` is a thin driver over a
+:class:`~repro.core.stages.StageRegistry`:
 
-1. lexicon harvesting (titles/tags/aliases extend the base lexicon, the
-   way real pipelines feed encyclopedia titles to jieba as a user dict),
-2. PMI statistics over the dump's own text corpus,
-3. the four generation sources — bracket separation, neural generation
-   (distant-supervised CopyNet), predicate discovery over the infobox,
-   direct tag extraction,
-4. candidate merging + concept-layer identification,
-5. the three verifiers (disjunctive: any veto removes the candidate),
-6. taxonomy assembly, mention indexing and concept-cycle breaking.
+1. prepare the shared :class:`~repro.core.stages.BuildContext` — lexicon
+   harvesting (titles/tags/aliases extend the base lexicon, the way real
+   pipelines feed encyclopedia titles to jieba as a user dict), PMI
+   statistics over the dump's own text corpus, segmenter/tagger/NER,
+2. run every registered generation source in order (bracket separation,
+   neural generation, predicate discovery, tag extraction by default)
+   into the merged candidate pool,
+3. identify the concept layer,
+4. run every registered verifier in order (disjunctive: any veto removes
+   the candidate),
+5. assemble the taxonomy, index mentions and break concept cycles.
 
-Every stage is individually switchable through :class:`PipelineConfig`,
-which is what the ablation benchmarks drive.
+Per-stage wall-clock and candidate counts are recorded in a
+:class:`~repro.core.stages.StageTrace` on the result.  Stages remain
+individually switchable through :class:`PipelineConfig` (what the
+ablation benchmarks drive) or through the registry's enable/disable
+switches; custom stages register through
+:mod:`repro.core.stages` without touching this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.generation.merge import CandidatePool, PoolStats
-from repro.core.generation.neural_gen import NeuralGenConfig, NeuralGenerator
-from repro.core.generation.predicates import DiscoveryResult, PredicateDiscovery
-from repro.core.generation.separation import BracketExtractor
-from repro.core.generation.tags import TagExtractor
-from repro.core.verification.incompatible import IncompatibleConceptFilter
-from repro.core.verification.ner_filter import NEHypernymFilter
-from repro.core.verification.syntax_rules import SyntaxRuleFilter
+from repro.core.generation.neural_gen import NeuralGenConfig
+from repro.core.generation.predicates import DiscoveryResult
+from repro.core.stages import (
+    DRIVER_KIND,
+    SOURCE_KIND,
+    VERIFIER_KIND,
+    BuildContext,
+    StageRecord,
+    StageRegistry,
+    StageTrace,
+    default_registry,
+)
 from repro.encyclopedia.model import EncyclopediaDump
 from repro.errors import PipelineError
 from repro.neural.training import TrainingReport
@@ -78,6 +91,7 @@ class BuildResult:
     reclassified: int
     cycle_edges: list[tuple[str, str]]
     titles: dict[str, str]
+    stage_trace: StageTrace = field(default_factory=StageTrace)
 
     @property
     def n_removed(self) -> int:
@@ -85,15 +99,23 @@ class BuildResult:
 
 
 class CNProbaseBuilder:
-    """End-to-end builder of a CN-Probase-style taxonomy."""
+    """End-to-end builder of a CN-Probase-style taxonomy.
+
+    The builder owns a :class:`StageRegistry` (its own copy of
+    :func:`default_registry` unless one is injected), so callers can
+    register custom stages or flip switches per builder without
+    affecting other builds.
+    """
 
     def __init__(
         self,
         config: PipelineConfig | None = None,
         lexicon: Lexicon | None = None,
         recognizer: NamedEntityRecognizer | None = None,
+        registry: StageRegistry | None = None,
     ) -> None:
         self.config = config if config is not None else PipelineConfig()
+        self.registry = registry if registry is not None else default_registry()
         self._external_lexicon = lexicon
         self._external_recognizer = recognizer
 
@@ -102,8 +124,83 @@ class CNProbaseBuilder:
     def build(self, dump: EncyclopediaDump) -> BuildResult:
         if len(dump) == 0:
             raise PipelineError("cannot build a taxonomy from an empty dump")
-        config = self.config
+        started = perf_counter()
+        trace = StageTrace()
 
+        context = self._prepare_context(dump, trace)
+        pool = CandidatePool()
+
+        # generation: every registered source, in order.
+        for entry in self.registry.sources():
+            if not entry.active(self.config):
+                trace.add(StageRecord(entry.name, SOURCE_KIND, 0.0, 0, ran=False))
+                continue
+            stage_started = perf_counter()
+            relations = entry.factory().generate(context)
+            elapsed = perf_counter() - stage_started
+            if relations is None:  # preconditions unmet (e.g. no priors)
+                trace.add(StageRecord(
+                    entry.name, SOURCE_KIND, elapsed, 0, ran=False
+                ))
+                continue
+            context.per_source[entry.name] = relations
+            pool.add(relations)
+            trace.add(StageRecord(entry.name, SOURCE_KIND, elapsed, len(relations)))
+
+        # merge + concept-layer identification.
+        merge_started = perf_counter()
+        reclassified = pool.reclassify_concept_pages(dump)
+        pool_stats = pool.stats()
+        relations = pool.relations()
+        trace.add(StageRecord(
+            "merge", DRIVER_KIND, perf_counter() - merge_started, len(relations)
+        ))
+
+        # verification: every registered verifier, in order (disjunctive
+        # veto, applied in sequence).
+        removed_by: dict[str, list[IsARelation]] = {}
+        for entry in self.registry.verifiers():
+            if not entry.active(self.config):
+                trace.add(StageRecord(entry.name, VERIFIER_KIND, 0.0, 0, ran=False))
+                continue
+            stage_started = perf_counter()
+            decision = entry.factory().verify(context, relations)
+            elapsed = perf_counter() - stage_started
+            removed_by[entry.name] = decision.removed
+            relations = decision.kept
+            trace.add(StageRecord(
+                entry.name, VERIFIER_KIND, elapsed, len(decision.removed)
+            ))
+
+        # taxonomy assembly.
+        assemble_started = perf_counter()
+        taxonomy, cycle_edges = self._assemble(dump, relations, context.titles)
+        trace.add(StageRecord(
+            "assemble", DRIVER_KIND, perf_counter() - assemble_started,
+            len(taxonomy),
+        ))
+        trace.total_seconds = perf_counter() - started
+
+        return BuildResult(
+            taxonomy=taxonomy,
+            pool_stats=pool_stats,
+            per_source_relations=context.per_source,
+            discovery=context.discovery,
+            training_report=context.training_report,
+            removed_by=removed_by,
+            reclassified=reclassified,
+            cycle_edges=cycle_edges,
+            titles=context.titles,
+            stage_trace=trace,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _prepare_context(
+        self, dump: EncyclopediaDump, trace: StageTrace
+    ) -> BuildContext:
+        """Derive the shared NLP resources every stage reads."""
+        started = perf_counter()
         lexicon = self._prepare_lexicon(dump)
         segmenter = Segmenter(lexicon)
         tagger = POSTagger(lexicon)
@@ -115,80 +212,28 @@ class CNProbaseBuilder:
         corpus = segmenter.segment_corpus(dump.text_corpus())
         pmi = PMIStatistics()
         pmi.add_corpus(corpus)
-
         titles = {page.page_id: page.title for page in dump}
-        pool = CandidatePool()
-        per_source: dict[str, list[IsARelation]] = {}
+        trace.add(StageRecord(
+            "resources", DRIVER_KIND, perf_counter() - started, len(titles)
+        ))
+        return BuildContext(
+            dump=dump,
+            config=self.config,
+            lexicon=lexicon,
+            segmenter=segmenter,
+            tagger=tagger,
+            recognizer=recognizer,
+            pmi=pmi,
+            corpus=corpus,
+            titles=titles,
+        )
 
-        # 1) bracket — also feeds distant supervision, so run it first.
-        bracket_relations: list[IsARelation] = []
-        if config.enable_bracket:
-            bracket = BracketExtractor(
-                segmenter, pmi, tagger,
-                agglomerative=config.agglomerative_separation,
-            )
-            bracket_relations = bracket.extract(dump)
-            per_source["bracket"] = bracket_relations
-            pool.add(bracket_relations)
-
-        # 2) abstract (neural generation).
-        training_report: TrainingReport | None = None
-        if config.enable_abstract and bracket_relations:
-            generator = NeuralGenerator(segmenter, config.neural)
-            dataset = generator.build_dataset(dump, bracket_relations)
-            if len(dataset) >= config.neural.min_train_examples:
-                training_report = generator.train(dataset)
-                pages = list(dump)
-                if config.max_generation_pages is not None:
-                    pages = pages[: config.max_generation_pages]
-                abstract_relations = generator.extract(pages)
-                per_source["abstract"] = abstract_relations
-                pool.add(abstract_relations)
-
-        # 3) infobox (predicate discovery).
-        discovery: DiscoveryResult | None = None
-        if config.enable_infobox and bracket_relations:
-            discoverer = PredicateDiscovery(
-                min_aligned=config.predicate_min_aligned,
-                min_support=config.predicate_min_support,
-                max_selected=config.predicate_max_selected,
-            )
-            discovery = discoverer.discover(dump, bracket_relations)
-            infobox_relations = discoverer.extract(dump, discovery.selected)
-            per_source["infobox"] = infobox_relations
-            pool.add(infobox_relations)
-
-        # 4) tag (direct extraction).
-        if config.enable_tag:
-            tag_relations = TagExtractor().extract(dump)
-            per_source["tag"] = tag_relations
-            pool.add(tag_relations)
-
-        reclassified = pool.reclassify_concept_pages(dump)
-        pool_stats = pool.stats()
-        relations = pool.relations()
-
-        # 5) verification (disjunctive veto, applied in sequence).
-        removed_by: dict[str, list[IsARelation]] = {}
-        if config.enable_syntax:
-            syntax = SyntaxRuleFilter(segmenter, tagger)
-            decision = syntax.filter(relations, titles)
-            removed_by["syntax"] = decision.removed
-            relations = decision.kept
-        if config.enable_ner:
-            ner = NEHypernymFilter(recognizer, threshold=config.ne_threshold)
-            ner.fit(corpus, relations, titles)
-            decision = ner.filter(relations)
-            removed_by["ner"] = decision.removed
-            relations = decision.kept
-        if config.enable_incompatible:
-            incompatible = IncompatibleConceptFilter()
-            incompatible.fit(relations, dump)
-            decision = incompatible.filter(relations)
-            removed_by["incompatible"] = decision.removed
-            relations = decision.kept
-
-        # 6) taxonomy assembly.
+    @staticmethod
+    def _assemble(
+        dump: EncyclopediaDump,
+        relations: list[IsARelation],
+        titles: dict[str, str],
+    ) -> tuple[Taxonomy, list[tuple[str, str]]]:
         taxonomy = Taxonomy()
         aliases = _collect_aliases(dump)
         for relation in relations:
@@ -204,21 +249,7 @@ class CNProbaseBuilder:
                     )
                 )
             taxonomy.add_relation(relation)
-        cycle_edges = taxonomy.finalize()
-
-        return BuildResult(
-            taxonomy=taxonomy,
-            pool_stats=pool_stats,
-            per_source_relations=per_source,
-            discovery=discovery,
-            training_report=training_report,
-            removed_by=removed_by,
-            reclassified=reclassified,
-            cycle_edges=cycle_edges,
-            titles=titles,
-        )
-
-    # -- helpers ------------------------------------------------------------------
+        return taxonomy, taxonomy.finalize()
 
     def _prepare_lexicon(self, dump: EncyclopediaDump) -> Lexicon:
         if self._external_lexicon is not None:
@@ -261,6 +292,9 @@ def build_cn_probase(
     dump: EncyclopediaDump,
     config: PipelineConfig | None = None,
     lexicon: Lexicon | None = None,
+    registry: StageRegistry | None = None,
 ) -> BuildResult:
     """One-call convenience wrapper around :class:`CNProbaseBuilder`."""
-    return CNProbaseBuilder(config=config, lexicon=lexicon).build(dump)
+    return CNProbaseBuilder(
+        config=config, lexicon=lexicon, registry=registry
+    ).build(dump)

@@ -11,14 +11,22 @@ wrong (the paper's disjunctive policy):
 - :class:`SyntaxRuleFilter` — thematic-word lexicon + head-stem rule.
 """
 
-from repro.core.verification.incompatible import IncompatibleConceptFilter
-from repro.core.verification.ner_filter import NEHypernymFilter
-from repro.core.verification.syntax_rules import SyntaxRuleFilter
+from repro.core.verification.incompatible import (
+    FilterDecision,
+    IncompatibleConceptFilter,
+    IncompatibleVerifier,
+)
+from repro.core.verification.ner_filter import NEHypernymFilter, NERVerifier
+from repro.core.verification.syntax_rules import SyntaxRuleFilter, SyntaxVerifier
 from repro.core.verification.thematic import THEMATIC_WORDS
 
 __all__ = [
+    "FilterDecision",
     "IncompatibleConceptFilter",
+    "IncompatibleVerifier",
     "NEHypernymFilter",
+    "NERVerifier",
     "SyntaxRuleFilter",
+    "SyntaxVerifier",
     "THEMATIC_WORDS",
 ]

@@ -184,3 +184,14 @@ class IncompatibleConceptFilter:
                 else:
                     kept.append(relation)
         return FilterDecision(kept=kept, removed=removed)
+
+
+class IncompatibleVerifier:
+    """Registry adapter: the incompatible-concept verification stage."""
+
+    name = "incompatible"
+
+    def verify(self, context, relations: list[IsARelation]) -> FilterDecision:
+        incompatible = IncompatibleConceptFilter()
+        incompatible.fit(relations, context.dump)
+        return incompatible.filter(relations)

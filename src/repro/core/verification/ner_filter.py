@@ -127,3 +127,16 @@ class NEHypernymFilter:
             else:
                 kept.append(relation)
         return FilterDecision(kept=kept, removed=removed)
+
+
+class NERVerifier:
+    """Registry adapter: the NE-hypernym verification stage."""
+
+    name = "ner"
+
+    def verify(self, context, relations: list[IsARelation]) -> FilterDecision:
+        ner = NEHypernymFilter(
+            context.recognizer, threshold=context.config.ne_threshold
+        )
+        ner.fit(context.corpus, relations, context.titles)
+        return ner.filter(relations)

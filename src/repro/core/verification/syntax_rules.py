@@ -91,3 +91,14 @@ class SyntaxRuleFilter:
                 kept.append(relation)
         self.last_counts = counts
         return FilterDecision(kept=kept, removed=removed)
+
+
+class SyntaxVerifier:
+    """Registry adapter: the syntax-rule verification stage."""
+
+    name = "syntax"
+
+    def verify(self, context, relations: list[IsARelation]) -> FilterDecision:
+        return SyntaxRuleFilter(context.segmenter, context.tagger).filter(
+            relations, context.titles
+        )

@@ -9,7 +9,10 @@ paper's three public APIs need (Table II):
 - ``getEntity``  concept → hyponym list.
 
 :class:`~repro.taxonomy.api.TaxonomyAPI` wraps the store with usage
-accounting so the Table II experiment can be regenerated.
+accounting so the Table II experiment can be regenerated, and
+:class:`~repro.taxonomy.service.TaxonomyService` is the production
+facade on top: immutable versioned snapshots with atomic
+swap-on-rebuild, batched API variants and per-API latency accounting.
 """
 
 from repro.taxonomy.model import (
@@ -23,9 +26,17 @@ from repro.taxonomy.model import (
 from repro.taxonomy.graph import TaxonomyGraph
 from repro.taxonomy.store import Taxonomy, TaxonomyStats
 from repro.taxonomy.api import APIUsage, TaxonomyAPI, WorkloadGenerator
+from repro.taxonomy.service import (
+    ServiceMetrics,
+    TaxonomyService,
+    TaxonomySnapshot,
+)
 
 __all__ = [
     "APIUsage",
+    "ServiceMetrics",
+    "TaxonomyService",
+    "TaxonomySnapshot",
     "Entity",
     "IsARelation",
     "SOURCE_ABSTRACT",

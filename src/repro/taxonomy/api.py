@@ -38,6 +38,9 @@ class APIUsage:
     )
 
     def record(self, api: str, hit: bool) -> None:
+        if api not in self.calls:
+            known = ", ".join(sorted(self.calls))
+            raise APIError(f"unknown API {api!r}; known APIs: {known}")
         self.calls[api] += 1
         if hit:
             self.hits[api] += 1
@@ -170,3 +173,37 @@ class WorkloadGenerator:
             else:
                 api.get_entity(call.argument)
         return api.usage
+
+    def run_service(self, service, n_calls: int, batch_size: int = 1):
+        """Replay *n_calls* requests against a :class:`TaxonomyService`.
+
+        With ``batch_size > 1`` requests are buffered per API and served
+        through the batched variants, the way a real gateway amortises
+        round trips.  Returns the service's cumulative metrics ledger.
+        """
+        if batch_size < 1:
+            raise APIError(f"batch_size must be >= 1, got {batch_size}")
+        single = {
+            "men2ent": service.men2ent,
+            "getConcept": service.get_concept,
+            "getEntity": service.get_entity,
+        }
+        batched = {
+            "men2ent": service.men2ent_batch,
+            "getConcept": service.get_concepts,
+            "getEntity": service.get_entities,
+        }
+        buffers: dict[str, list[str]] = {name: [] for name in single}
+        for call in self.generate(n_calls):
+            if batch_size == 1:
+                single[call.api](call.argument)
+                continue
+            buffer = buffers[call.api]
+            buffer.append(call.argument)
+            if len(buffer) >= batch_size:
+                batched[call.api](buffer)
+                buffer.clear()
+        for name, buffer in buffers.items():
+            if buffer:
+                batched[name](buffer)
+        return service.metrics

@@ -22,6 +22,25 @@ KNOWN_SOURCES = frozenset(
     {SOURCE_BRACKET, SOURCE_ABSTRACT, SOURCE_INFOBOX, SOURCE_TAG, "baseline"}
 )
 
+# Provenances registered at runtime by third-party generation stages
+# (see :meth:`repro.core.stages.StageRegistry.register_source`).
+_EXTRA_SOURCES: set[str] = set()
+
+
+def register_source_name(name: str) -> None:
+    """Allow *name* as an :class:`IsARelation` provenance.
+
+    Loading a saved taxonomy that contains custom-source relations
+    requires the producing stage to be registered first in that process.
+    """
+    if not name:
+        raise TaxonomyError("source name must be non-empty")
+    _EXTRA_SOURCES.add(name)
+
+
+def is_known_source(name: str) -> bool:
+    return name in KNOWN_SOURCES or name in _EXTRA_SOURCES
+
 # Hyponym kinds: entity-concept vs subconcept-concept relations, reported
 # separately by the paper (32.4M vs 527K).
 HYPONYM_ENTITY = "entity"
@@ -71,7 +90,7 @@ class IsARelation:
             )
         if self.hyponym_kind not in (HYPONYM_ENTITY, HYPONYM_CONCEPT):
             raise TaxonomyError(f"unknown hyponym kind {self.hyponym_kind!r}")
-        if self.source not in KNOWN_SOURCES:
+        if not is_known_source(self.source):
             raise TaxonomyError(f"unknown source {self.source!r}")
 
     @property

@@ -1,0 +1,208 @@
+"""Versioned serving facade: snapshots, batching, latency accounting.
+
+The paper's deployment serves tens of millions of calls (Table II)
+while the taxonomy behind them is periodically rebuilt.
+:class:`TaxonomyService` decouples the two concerns that
+:class:`~repro.taxonomy.api.TaxonomyAPI` fuses:
+
+- requests are served from an immutable :class:`TaxonomySnapshot` with
+  a version id; a rebuild is published with :meth:`TaxonomyService.swap`,
+  which replaces the snapshot atomically — in-flight batches keep
+  reading the snapshot they pinned, so a swap never tears a batch;
+- the three public APIs gain batched variants (``men2ent_batch``,
+  ``get_concepts``, ``get_entities``) that pin one snapshot for the
+  whole batch and answer position-for-position;
+- every call is measured: per-API call/hit counts and wall-clock land
+  in a :class:`ServiceMetrics` ledger that survives snapshot swaps,
+  which is what the workload generator and the API-service example
+  report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Sequence
+
+from repro.errors import APIError
+from repro.taxonomy.api import TaxonomyAPI
+from repro.taxonomy.store import Taxonomy, TaxonomyStats
+
+
+@dataclass(frozen=True)
+class TaxonomySnapshot:
+    """One immutable published version of the taxonomy.
+
+    The wrapped :class:`TaxonomyAPI` carries the snapshot's own usage
+    ledger, so per-version serving statistics remain separable from the
+    service's cumulative metrics.
+    """
+
+    version: int
+    taxonomy: Taxonomy
+    api: TaxonomyAPI
+
+    @property
+    def version_id(self) -> str:
+        return f"v{self.version}"
+
+    def stats(self) -> TaxonomyStats:
+        return self.taxonomy.stats()
+
+
+@dataclass
+class APILatency:
+    """Latency/hit accounting for one API across the service lifetime."""
+
+    calls: int = 0
+    hits: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float, hit: bool) -> None:
+        self.calls += 1
+        if hit:
+            self.hits += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Cumulative per-API accounting; survives snapshot swaps.
+
+    Observation is lock-protected: the service serves concurrent
+    callers across swaps, and unsynchronised ``+=`` on the counters
+    would silently drop increments under that load.
+    """
+
+    per_api: dict[str, APILatency] = field(default_factory=dict)
+    swaps: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def observe(self, api: str, seconds: float, hit: bool) -> None:
+        with self._lock:
+            self.per_api.setdefault(api, APILatency()).observe(seconds, hit)
+
+    def latency(self, api: str) -> APILatency:
+        return self.per_api.get(api, APILatency())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(entry.calls for entry in self.per_api.values())
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        return {
+            api: {
+                "calls": entry.calls,
+                "hits": entry.hits,
+                "hit_rate": entry.hit_rate,
+                "mean_seconds": entry.mean_seconds,
+                "max_seconds": entry.max_seconds,
+            }
+            for api, entry in self.per_api.items()
+        }
+
+
+class TaxonomyService:
+    """Facade over :class:`TaxonomyAPI`: versioned, batched, measured."""
+
+    def __init__(self, taxonomy: Taxonomy, *, version: int = 1) -> None:
+        self._lock = threading.Lock()
+        self._snapshot = TaxonomySnapshot(
+            version=version, taxonomy=taxonomy, api=TaxonomyAPI(taxonomy)
+        )
+        self.metrics = ServiceMetrics()
+
+    # -- snapshots -------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> TaxonomySnapshot:
+        """The currently published snapshot (a single atomic read)."""
+        return self._snapshot
+
+    @property
+    def version_id(self) -> str:
+        return self._snapshot.version_id
+
+    def swap(self, taxonomy: Taxonomy) -> TaxonomySnapshot:
+        """Publish a rebuilt taxonomy; returns the new snapshot.
+
+        The swap is a single reference assignment under a lock: callers
+        holding the previous snapshot (e.g. mid-batch) keep a fully
+        consistent view, new calls see only the new version.
+        """
+        with self._lock:
+            snapshot = TaxonomySnapshot(
+                version=self._snapshot.version + 1,
+                taxonomy=taxonomy,
+                api=TaxonomyAPI(taxonomy),
+            )
+            self._snapshot = snapshot
+            self.metrics.swaps += 1
+            return snapshot
+
+    # -- single-call APIs ------------------------------------------------------
+
+    def men2ent(self, mention: str) -> list[str]:
+        return self._serve(self._snapshot, "men2ent", mention)
+
+    def get_concept(self, page_id: str) -> list[str]:
+        return self._serve(self._snapshot, "getConcept", page_id)
+
+    def get_entity(self, concept: str) -> list[str]:
+        return self._serve(self._snapshot, "getEntity", concept)
+
+    # -- batched APIs ----------------------------------------------------------
+
+    def men2ent_batch(self, mentions: Sequence[str]) -> list[list[str]]:
+        """``men2ent`` for every mention, answered from one snapshot."""
+        return self._serve_batch("men2ent", mentions)
+
+    def get_concepts(self, page_ids: Sequence[str]) -> list[list[str]]:
+        """``getConcept`` for every entity id, answered from one snapshot."""
+        return self._serve_batch("getConcept", page_ids)
+
+    def get_entities(self, concepts: Sequence[str]) -> list[list[str]]:
+        """``getEntity`` for every concept, answered from one snapshot."""
+        return self._serve_batch("getEntity", concepts)
+
+    # -- internals -------------------------------------------------------------
+
+    _API_METHODS = {
+        "men2ent": "men2ent",
+        "getConcept": "get_concept",
+        "getEntity": "get_entity",
+    }
+
+    def _serve(
+        self, snapshot: TaxonomySnapshot, api_name: str, argument: str
+    ) -> list[str]:
+        call = getattr(snapshot.api, self._API_METHODS[api_name])
+        started = perf_counter()
+        result = call(argument)
+        self.metrics.observe(api_name, perf_counter() - started, bool(result))
+        return result
+
+    def _serve_batch(
+        self, api_name: str, arguments: Sequence[str]
+    ) -> list[list[str]]:
+        if isinstance(arguments, str):
+            raise APIError(
+                f"{api_name} batch expects a sequence of arguments, "
+                "got a single string"
+            )
+        snapshot = self._snapshot  # pin one version for the whole batch
+        return [self._serve(snapshot, api_name, arg) for arg in arguments]

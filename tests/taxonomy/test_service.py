@@ -1,0 +1,141 @@
+"""Tests for the versioned serving facade (repro.taxonomy.service)."""
+
+import pytest
+
+from repro.errors import APIError
+from repro.taxonomy.api import APIUsage, WorkloadGenerator
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.service import TaxonomyService
+from repro.taxonomy.store import Taxonomy
+
+
+@pytest.fixture
+def taxonomy():
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_entity(Entity("周杰伦#0", "周杰伦"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+    t.add_relation(IsARelation("周杰伦#0", "歌手", "tag"))
+    return t
+
+
+@pytest.fixture
+def rebuilt():
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_relation(IsARelation("刘德华#0", "导演", "bracket"))
+    return t
+
+
+@pytest.fixture
+def service(taxonomy):
+    return TaxonomyService(taxonomy)
+
+
+class TestSingleCalls:
+    def test_delegates_to_api(self, service):
+        assert service.men2ent("华仔") == ["刘德华#0"]
+        assert service.get_concept("刘德华#0") == ["歌手", "演员"]
+        assert service.get_entity("歌手") == ["刘德华#0", "周杰伦#0"]
+
+    def test_metrics_accounting(self, service):
+        service.men2ent("华仔")
+        service.men2ent("无人")
+        service.get_entity("歌手")
+        metrics = service.metrics
+        assert metrics.total_calls == 3
+        latency = metrics.latency("men2ent")
+        assert latency.calls == 2 and latency.hits == 1
+        assert latency.hit_rate == 0.5
+        assert 0.0 <= latency.mean_seconds <= latency.max_seconds
+        assert metrics.as_dict()["men2ent"]["calls"] == 2
+
+    def test_empty_argument_rejected_and_not_counted(self, service):
+        with pytest.raises(APIError):
+            service.men2ent("")
+        assert service.metrics.total_calls == 0
+
+    def test_snapshot_usage_still_kept(self, service):
+        service.men2ent("华仔")
+        assert service.snapshot.api.usage.calls["men2ent"] == 1
+
+
+class TestBatchedCalls:
+    def test_men2ent_batch_positional(self, service):
+        assert service.men2ent_batch(["华仔", "无人", "周杰伦"]) == [
+            ["刘德华#0"], [], ["周杰伦#0"],
+        ]
+        assert service.metrics.latency("men2ent").calls == 3
+        assert service.metrics.latency("men2ent").hits == 2
+
+    def test_get_concepts_batch(self, service):
+        assert service.get_concepts(["刘德华#0", "周杰伦#0"]) == [
+            ["歌手", "演员"], ["歌手"],
+        ]
+
+    def test_get_entities_batch(self, service):
+        assert service.get_entities(["歌手", "导演"]) == [
+            ["刘德华#0", "周杰伦#0"], [],
+        ]
+
+    def test_single_string_rejected(self, service):
+        with pytest.raises(APIError, match="sequence"):
+            service.men2ent_batch("华仔")
+
+
+class TestSnapshots:
+    def test_initial_version(self, service):
+        assert service.version_id == "v1"
+        assert service.snapshot.version == 1
+        assert service.snapshot.stats().n_isa_total == 3
+
+    def test_swap_bumps_version_atomically(self, service, rebuilt):
+        old = service.snapshot
+        snapshot = service.swap(rebuilt)
+        assert snapshot.version == 2 and service.version_id == "v2"
+        assert service.metrics.swaps == 1
+        # new snapshot serves the rebuild, pinned old snapshot unchanged
+        assert service.get_concept("刘德华#0") == ["导演"]
+        assert old.taxonomy.get_concepts("刘德华#0") == ["歌手", "演员"]
+
+    def test_metrics_survive_swap(self, service, rebuilt):
+        service.men2ent("华仔")
+        service.swap(rebuilt)
+        service.men2ent("华仔")
+        assert service.metrics.latency("men2ent").calls == 2
+        # per-snapshot ledger restarted with the new version
+        assert service.snapshot.api.usage.calls["men2ent"] == 1
+
+
+class TestUsageValidation:
+    def test_unknown_api_raises_with_known_list(self):
+        usage = APIUsage()
+        with pytest.raises(APIError, match="getConcept, getEntity, men2ent"):
+            usage.record("bogus", True)
+
+    def test_known_api_still_counts(self):
+        usage = APIUsage()
+        usage.record("men2ent", True)
+        assert usage.calls["men2ent"] == 1
+
+
+class TestWorkloadThroughService:
+    def test_run_service_singles(self, taxonomy, service):
+        generator = WorkloadGenerator(taxonomy, seed=4)
+        metrics = generator.run_service(service, 400)
+        assert metrics is service.metrics
+        assert metrics.total_calls == 400
+
+    def test_run_service_batched(self, taxonomy, service):
+        generator = WorkloadGenerator(taxonomy, seed=5, miss_rate=0.0)
+        metrics = generator.run_service(service, 501, batch_size=7)
+        assert metrics.total_calls == 501
+        for name in ("men2ent", "getConcept", "getEntity"):
+            latency = metrics.latency(name)
+            if latency.calls:
+                assert latency.hit_rate == 1.0
+
+    def test_invalid_batch_size(self, taxonomy, service):
+        with pytest.raises(APIError):
+            WorkloadGenerator(taxonomy).run_service(service, 10, batch_size=0)

@@ -109,3 +109,40 @@ class TestParser:
         _, taxonomy_path = artefacts
         with pytest.raises(SystemExit):
             main(["query", "--taxonomy", str(taxonomy_path), "badApi", "x"])
+
+
+class TestStages:
+    def test_lists_all_builtin_stages(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bracket", "abstract", "infobox", "tag",
+                     "syntax", "ner", "incompatible"):
+            assert name in out
+        assert "builtin" in out
+        assert "yes" in out
+
+    def test_build_disable_stage(self, artefacts, tmp_path, capsys):
+        dump_path, _ = artefacts
+        out_path = tmp_path / "t.jsonl"
+        code = main([
+            "build", "--dump", str(dump_path), "--out", str(out_path),
+            "--no-abstract", "--disable-stage", "ner",
+            "--disable-stage", "infobox",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out_path.exists()
+        assert "stage bracket (source)" in out
+        assert "stage ner" not in out
+        assert "stage infobox" not in out
+
+    def test_build_unknown_stage_fails_cleanly(self, artefacts, tmp_path,
+                                               capsys):
+        dump_path, _ = artefacts
+        code = main([
+            "build", "--dump", str(dump_path),
+            "--out", str(tmp_path / "t.jsonl"),
+            "--no-abstract", "--disable-stage", "bogus",
+        ])
+        assert code == 2
+        assert "unknown stage" in capsys.readouterr().err
