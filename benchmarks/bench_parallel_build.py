@@ -1,0 +1,119 @@
+"""Parallel build correctness + speedup — workers=1 vs workers=4.
+
+The ExecutionPlan promise is absolute: a build with any worker count
+produces a byte-identical taxonomy.  This bench builds the same dump
+serially and with four workers and asserts
+
+- the two ``Taxonomy.save`` outputs are byte-for-byte equal,
+- per-verifier ``removed_by`` counts match exactly,
+- the StageTrace lists stages in the same (registration) order,
+- a rebuild on the unchanged dump hits the resource cache.
+
+Timings land in ``benchmarks/out/BENCH_parallel.json`` (the perf
+trajectory future PRs regress against).  The speedup is *reported*, not
+asserted: the stages are pure CPython, so the GIL caps what threads can
+win — the cached-rebuild line is where the wall-clock drops.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.pipeline import (
+    CNProbaseBuilder,
+    PipelineConfig,
+    ResourceCache,
+)
+from repro.encyclopedia import SyntheticWorld
+from repro.eval.report import render_table
+
+N_ENTITIES = 1_200
+WORKERS = 4
+OUT_DIR = Path(__file__).parent / "out"
+BENCH_JSON = OUT_DIR / "BENCH_parallel.json"
+
+
+def merge_bench_json(key: str, payload: dict) -> None:
+    """Merge one bench's section into BENCH_parallel.json."""
+    OUT_DIR.mkdir(exist_ok=True)
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    data[key] = payload
+    BENCH_JSON.write_text(
+        json.dumps(data, ensure_ascii=False, indent=2), encoding="utf-8"
+    )
+
+
+def _config(workers: int) -> PipelineConfig:
+    return PipelineConfig(enable_abstract=False, workers=workers)
+
+
+def test_parallel_build_benchmark(record, tmp_path):
+    dump = SyntheticWorld.generate(seed=9, n_entities=N_ENTITIES).dump()
+
+    serial_builder = CNProbaseBuilder(
+        _config(1), resource_cache=ResourceCache()
+    )
+    started = perf_counter()
+    serial = serial_builder.build(dump)
+    serial_seconds = perf_counter() - started
+
+    parallel_builder = CNProbaseBuilder(
+        _config(WORKERS), resource_cache=ResourceCache()
+    )
+    started = perf_counter()
+    parallel = parallel_builder.build(dump)
+    parallel_seconds = perf_counter() - started
+
+    # Rebuild on the unchanged dump: resource cache replays the lexicon
+    # harvest, corpus segmentation and PMI counting.
+    started = perf_counter()
+    cached = parallel_builder.build(dump)
+    cached_seconds = perf_counter() - started
+
+    # -- correctness: byte-identical output, identical verification ------
+    serial_path = tmp_path / "serial.jsonl"
+    parallel_path = tmp_path / "parallel.jsonl"
+    serial.taxonomy.save(serial_path)
+    parallel.taxonomy.save(parallel_path)
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+    assert {k: len(v) for k, v in serial.removed_by.items()} == \
+        {k: len(v) for k, v in parallel.removed_by.items()}
+    assert [r.name for r in serial.stage_trace.records] == \
+        [r.name for r in parallel.stage_trace.records]
+    assert cached.stage_trace.get("resources").cache_hit
+    assert not serial.stage_trace.get("resources").cache_hit
+
+    sharded = parallel.stage_trace.get("syntax")
+    assert sharded is not None and sharded.workers == WORKERS
+
+    speedup = serial_seconds / parallel_seconds
+    cached_speedup = serial_seconds / cached_seconds
+    rows = [
+        ["serial (workers=1)", f"{serial_seconds:.3f}", ""],
+        [f"parallel (workers={WORKERS})", f"{parallel_seconds:.3f}",
+         f"{speedup:.2f}x"],
+        ["cached rebuild (same dump)", f"{cached_seconds:.3f}",
+         f"{cached_speedup:.2f}x"],
+        ["byte-identical output", "yes", ""],
+    ]
+    record(render_table(
+        ["build", "seconds", "speedup"],
+        rows,
+        title=f"Parallel build — {N_ENTITIES:,}-entity world",
+    ))
+
+    merge_bench_json("build", {
+        "n_entities": N_ENTITIES,
+        "workers": WORKERS,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": speedup,
+        "cached_rebuild_seconds": cached_seconds,
+        "cached_rebuild_speedup": cached_speedup,
+        "identical_output": True,
+    })

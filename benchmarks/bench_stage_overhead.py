@@ -124,9 +124,11 @@ def test_stage_overhead_benchmark(record):
         title=f"Stage-registry overhead — {N_ENTITIES:,}-entity world",
     ))
 
-    # Same taxonomy out of both drivers.
-    monolith_keys = {r.key for r in monolith_taxonomy.relations()}
-    registry_keys = {r.key for r in registry_result.taxonomy.relations()}
+    # Same taxonomy out of both drivers — including insertion order, so
+    # the registry (and its execution planner) provably preserves the
+    # seed's source-merge order, not just the relation set.
+    monolith_keys = [r.key for r in monolith_taxonomy.relations()]
+    registry_keys = [r.key for r in registry_result.taxonomy.relations()]
     assert monolith_keys == registry_keys
 
     # Within noise of the monolith: generous bound so CI jitter never

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 tests + the stage-overhead bench: the fast "nothing regressed"
-# gate to run before pushing pipeline or serving changes.
+# Tier-1 tests + the fast perf gates to run before pushing pipeline or
+# serving changes: stage-registry overhead, parallel-vs-serial build
+# equivalence (byte-identical output + speedup trajectory), and serving
+# throughput (read-optimized snapshots >= 2x the per-call-sorted path).
+# The perf numbers land in benchmarks/out/BENCH_parallel.json so future
+# PRs have a trajectory to regress against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
 python -m pytest -x -q benchmarks/bench_stage_overhead.py
+python -m pytest -x -q benchmarks/bench_parallel_build.py \
+    benchmarks/bench_serving_throughput.py

@@ -4,12 +4,22 @@ Usage::
 
     cn-probase generate --entities 2000 --seed 7 --out dump.jsonl
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl
+    cn-probase build --dump dump.jsonl --out taxonomy.jsonl --workers 4
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl --disable-stage ner
     cn-probase stages
+    cn-probase stages --trace taxonomy.jsonl.trace.json
     cn-probase stats --taxonomy taxonomy.jsonl
     cn-probase query --taxonomy taxonomy.jsonl men2ent 刘德华
     cn-probase query --taxonomy taxonomy.jsonl getConcept 刘德华#0
     cn-probase query --taxonomy taxonomy.jsonl getEntity 歌手
+
+``build --workers N`` runs independent generation sources concurrently
+and shards per-relation-pure verifiers over relation chunks (output is
+byte-identical to a serial build); ``--no-resource-cache`` disables the
+dump-fingerprint keyed reuse of harvested lexicon / segmented corpus /
+PMI counts.  Every build writes a ``<out>.trace.json`` sidecar with the
+per-stage seconds/workers/cache columns; ``stages --trace`` pretty-prints
+the last one.
 
 Every subcommand is importable (:func:`main` takes an argv list), which
 is how the test suite drives it.
@@ -18,7 +28,9 @@ is how the test suite drives it.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.core.generation.neural_gen import NeuralGenConfig
 from repro.core.pipeline import PipelineConfig, build_cn_probase
@@ -35,6 +47,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_path(out: str) -> Path:
+    return Path(f"{out}.trace.json")
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     dump = load_dump(args.dump)
     config = PipelineConfig(
@@ -44,6 +60,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         enable_syntax=not args.no_syntax,
         neural=NeuralGenConfig(epochs=args.neural_epochs),
         max_generation_pages=args.max_generation_pages,
+        workers=args.workers,
+        resource_cache=not args.no_resource_cache,
     )
     registry = default_registry()
     for name in args.disable_stage or ():
@@ -56,18 +74,79 @@ def _cmd_build(args: argparse.Namespace) -> int:
           f"verification removed {result.n_removed} candidates")
     units = {"source": "candidates", "verifier": "removed", "driver": "items"}
     for record in result.stage_trace.ran():
+        extras = ""
+        if record.workers > 1:
+            extras += f", workers={record.workers}"
+        if record.cache_hit:
+            extras += ", cached"
         print(f"stage {record.name} ({record.kind}): "
-              f"{record.count} {units[record.kind]} in {record.seconds:.2f}s")
+              f"{record.count} {units[record.kind]} "
+              f"in {record.seconds:.2f}s{extras}")
+    trace_path = _trace_path(args.out)
+    trace_path.write_text(
+        json.dumps(
+            {
+                "total_seconds": result.stage_trace.total_seconds,
+                "workers": config.workers,
+                "stages": result.stage_trace.as_dict(),
+            },
+            ensure_ascii=False,
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
     print(f"wrote taxonomy to {args.out}")
+    print(f"wrote stage trace to {trace_path}")
     return 0
 
 
 def _cmd_stages(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        return _print_trace(args.trace)
     registry = default_registry()
     print(f"{'name':<14} {'kind':<10} {'enabled':<8} origin")
     for entry in registry.entries():
         enabled = "yes" if entry.enabled else "no"
         print(f"{entry.name:<14} {entry.kind:<10} {enabled:<8} {entry.origin}")
+    return 0
+
+
+def _print_trace(path: str) -> int:
+    """Render a build's ``<out>.trace.json`` sidecar as a stage table."""
+    source = Path(path)
+    if not source.exists():
+        print(f"error: trace file not found: {source}", file=sys.stderr)
+        return 2
+    try:
+        trace = json.loads(source.read_text(encoding="utf-8"))
+        stages = trace.get("stages", {}) if isinstance(trace, dict) else None
+        if not isinstance(stages, dict):
+            raise ValueError("no 'stages' table")
+        # Format eagerly so wrong-typed fields fail here, not mid-print.
+        rows = [
+            f"{name:<14} {record['kind']:<10} "
+            f"{float(record['seconds']):>8.3f} {int(record['count']):>8} "
+            f"{int(record.get('workers', 1)):>8} "
+            f"{'hit' if record.get('cache_hit') else '-':>6} "
+            f"{'yes' if record.get('ran', True) else 'no'}"
+            for name, record in stages.items()
+        ]
+        total = trace.get("total_seconds")
+        footer = None
+        if total is not None:
+            footer = (f"total: {float(total):.3f}s (build ran with "
+                      f"workers={int(trace.get('workers', 1))})")
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {source} is not a build trace sidecar "
+              f"(expected the <out>.trace.json a build writes): {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"{'name':<14} {'kind':<10} {'seconds':>8} {'count':>8} "
+          f"{'workers':>8} {'cache':>6} ran")
+    for row in rows:
+        print(row)
+    if footer is not None:
+        print(footer)
     return 0
 
 
@@ -123,11 +202,22 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--disable-stage", action="append", metavar="NAME",
                        help="disable a registered stage by name (repeatable); "
                             "see `cn-probase stages` for the names")
+    build.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker threads for independent generation "
+                            "sources and sharded verifiers; output is "
+                            "byte-identical to --workers 1 (default: 1)")
+    build.add_argument("--no-resource-cache", action="store_true",
+                       help="always re-derive lexicon/corpus/PMI instead of "
+                            "reusing them when the dump fingerprint matches "
+                            "a previous build")
     build.set_defaults(func=_cmd_build)
 
     stages = sub.add_parser(
         "stages", help="list the registered pipeline stages"
     )
+    stages.add_argument("--trace", metavar="PATH", default=None,
+                        help="print the per-stage seconds/workers/cache "
+                             "columns from a build's .trace.json sidecar")
     stages.set_defaults(func=_cmd_stages)
 
     stats = sub.add_parser("stats", help="print taxonomy statistics")

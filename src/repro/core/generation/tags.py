@@ -50,6 +50,9 @@ class TagSource:
     """Registry adapter: the direct tag-extraction generation stage."""
 
     name = SOURCE_TAG
+    # Explicitly dependency-free: reads no other source's output, so the
+    # ExecutionPlan may schedule it in the first wave.
+    requires = ()
 
     def generate(self, context) -> list[IsARelation]:
         return TagExtractor().extract(context.dump)

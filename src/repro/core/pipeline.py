@@ -7,24 +7,40 @@
    harvesting (titles/tags/aliases extend the base lexicon, the way real
    pipelines feed encyclopedia titles to jieba as a user dict), PMI
    statistics over the dump's own text corpus, segmenter/tagger/NER,
-2. run every registered generation source in order (bracket separation,
-   neural generation, predicate discovery, tag extraction by default)
-   into the merged candidate pool,
+2. run every registered generation source (bracket separation, neural
+   generation, predicate discovery, tag extraction by default) into the
+   merged candidate pool,
 3. identify the concept layer,
 4. run every registered verifier in order (disjunctive: any veto removes
    the candidate),
 5. assemble the taxonomy, index mentions and break concept cycles.
 
-Per-stage wall-clock and candidate counts are recorded in a
-:class:`~repro.core.stages.StageTrace` on the result.  Stages remain
-individually switchable through :class:`PipelineConfig` (what the
-ablation benchmarks drive) or through the registry's enable/disable
-switches; custom stages register through
+Execution follows an :class:`~repro.core.stages.ExecutionPlan`: with
+``PipelineConfig.workers > 1`` independent sources run concurrently in
+dependency waves and ``per_relation_pure`` verifiers are sharded over
+relation chunks, all via ``concurrent.futures`` threads.  Results are
+merged in registration order regardless of completion order, so a
+parallel build's taxonomy is byte-identical to the serial one's.
+
+Shared resource preparation is cached in a :class:`ResourceCache` keyed
+on the dump's content fingerprint plus the resource-relevant slice of
+the config: rebuilding on an unchanged dump skips lexicon harvesting,
+corpus segmentation and PMI recounting entirely (``cache_hit`` on the
+``resources`` trace record says when).
+
+Per-stage wall-clock, candidate counts, worker counts and cache hits
+are recorded in a :class:`~repro.core.stages.StageTrace` on the result.
+Stages remain individually switchable through :class:`PipelineConfig`
+(what the ablation benchmarks drive) or through the registry's
+enable/disable switches; custom stages register through
 :mod:`repro.core.stages` without touching this module.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -36,11 +52,15 @@ from repro.core.stages import (
     SOURCE_KIND,
     VERIFIER_KIND,
     BuildContext,
+    ExecutionPlan,
+    StageEntry,
     StageRecord,
     StageRegistry,
     StageTrace,
     default_registry,
+    plan_execution,
 )
+from repro.core.verification.incompatible import FilterDecision
 from repro.encyclopedia.model import EncyclopediaDump
 from repro.errors import PipelineError
 from repro.neural.training import TrainingReport
@@ -76,6 +96,82 @@ class PipelineConfig:
     # neural extraction can be capped for wall-clock control; None = all
     max_generation_pages: int | None = None
     harvest_lexicon: bool = True
+    # execution: worker threads for source waves and verifier shards
+    # (1 = the serial pipeline, bit-for-bit the default behaviour)
+    workers: int = 1
+    # consult the builder's ResourceCache for the shared NLP resources
+    resource_cache: bool = True
+
+
+@dataclass
+class SharedResources:
+    """The expensive once-per-build derivations a :class:`ResourceCache`
+    can replay: everything in :class:`BuildContext` that depends only on
+    the dump (and the resource slice of the config), not on stages."""
+
+    lexicon: Lexicon
+    segmenter: Segmenter
+    tagger: POSTagger
+    recognizer: NamedEntityRecognizer
+    pmi: PMIStatistics
+    corpus: list[list[str]]
+    titles: dict[str, str]
+
+
+class ResourceCache:
+    """Bounded LRU of :class:`SharedResources`, keyed by dump + config.
+
+    The key is ``(dump.fingerprint(), resource-config signature)``: a
+    nightly rebuild on an unchanged dump skips lexicon harvesting,
+    corpus segmentation and PMI recounting — the dominant fixed cost of
+    a build.  Entries are treated as immutable by every stage (stages
+    only read the shared resources), so sharing them across builds is
+    safe.  Thread-safe; the default instance is shared by all builders.
+
+    An entry pins the whole segmented corpus of its dump, so the
+    default capacity is one — the rebuild-on-unchanged-dump case needs
+    exactly the latest entry, and anything larger would keep a full
+    superseded corpus resident.  Pass a bigger *maxsize* when a process
+    really does alternate between dumps.
+    """
+
+    def __init__(self, maxsize: int = 1) -> None:
+        if maxsize < 1:
+            raise PipelineError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[tuple, SharedResources] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> SharedResources | None:
+        with self._lock:
+            resources = self._entries.get(key)
+            if resources is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return resources
+
+    def put(self, key: tuple, resources: SharedResources) -> None:
+        with self._lock:
+            self._entries[key] = resources
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default cache: nightly-style repeated builds through any
+#: builder hit the same warm entries.
+DEFAULT_RESOURCE_CACHE = ResourceCache()
 
 
 @dataclass
@@ -113,13 +209,26 @@ class CNProbaseBuilder:
         lexicon: Lexicon | None = None,
         recognizer: NamedEntityRecognizer | None = None,
         registry: StageRegistry | None = None,
+        resource_cache: ResourceCache | None = None,
     ) -> None:
         self.config = config if config is not None else PipelineConfig()
+        if self.config.workers < 1:
+            raise PipelineError(
+                f"workers must be >= 1, got {self.config.workers}"
+            )
         self.registry = registry if registry is not None else default_registry()
         self._external_lexicon = lexicon
         self._external_recognizer = recognizer
+        self._resource_cache = (
+            resource_cache if resource_cache is not None
+            else DEFAULT_RESOURCE_CACHE
+        )
 
     # -- pipeline --------------------------------------------------------------
+
+    def plan(self) -> ExecutionPlan:
+        """The wave/shard schedule the next :meth:`build` will follow."""
+        return plan_execution(self.registry, self.config, self.config.workers)
 
     def build(self, dump: EncyclopediaDump) -> BuildResult:
         if len(dump) == 0:
@@ -129,23 +238,16 @@ class CNProbaseBuilder:
 
         context = self._prepare_context(dump, trace)
         pool = CandidatePool()
+        plan = self.plan()
 
-        # generation: every registered source, in order.
+        # generation: dependency waves; results merged in registration
+        # order so every worker count yields the identical pool.
+        source_records = self._run_sources(plan, context, pool)
         for entry in self.registry.sources():
-            if not entry.active(self.config):
-                trace.add(StageRecord(entry.name, SOURCE_KIND, 0.0, 0, ran=False))
-                continue
-            stage_started = perf_counter()
-            relations = entry.factory().generate(context)
-            elapsed = perf_counter() - stage_started
-            if relations is None:  # preconditions unmet (e.g. no priors)
-                trace.add(StageRecord(
-                    entry.name, SOURCE_KIND, elapsed, 0, ran=False
-                ))
-                continue
-            context.per_source[entry.name] = relations
-            pool.add(relations)
-            trace.add(StageRecord(entry.name, SOURCE_KIND, elapsed, len(relations)))
+            record = source_records.get(entry.name)
+            if record is None:  # disabled by a switch
+                record = StageRecord(entry.name, SOURCE_KIND, 0.0, 0, ran=False)
+            trace.add(record)
 
         # merge + concept-layer identification.
         merge_started = perf_counter()
@@ -157,19 +259,23 @@ class CNProbaseBuilder:
         ))
 
         # verification: every registered verifier, in order (disjunctive
-        # veto, applied in sequence).
+        # veto, applied in sequence); per-relation-pure verifiers are
+        # sharded over relation chunks.
         removed_by: dict[str, list[IsARelation]] = {}
         for entry in self.registry.verifiers():
             if not entry.active(self.config):
                 trace.add(StageRecord(entry.name, VERIFIER_KIND, 0.0, 0, ran=False))
                 continue
             stage_started = perf_counter()
-            decision = entry.factory().verify(context, relations)
+            decision, n_workers = self._run_verifier(
+                entry, context, relations, plan.workers
+            )
             elapsed = perf_counter() - stage_started
             removed_by[entry.name] = decision.removed
             relations = decision.kept
             trace.add(StageRecord(
-                entry.name, VERIFIER_KIND, elapsed, len(decision.removed)
+                entry.name, VERIFIER_KIND, elapsed, len(decision.removed),
+                workers=n_workers,
             ))
 
         # taxonomy assembly.
@@ -194,13 +300,146 @@ class CNProbaseBuilder:
             stage_trace=trace,
         )
 
+    # -- execution -----------------------------------------------------------------
+
+    def _run_sources(
+        self, plan: ExecutionPlan, context: BuildContext, pool: CandidatePool
+    ) -> dict[str, StageRecord]:
+        """Run every wave; merge results in registration order.
+
+        ``context.per_source`` is filled as each wave completes (later
+        waves read earlier output through ``relations_from``), but the
+        candidate pool is only fed after all waves, strictly in
+        registration order — wave grouping moves dependency-free
+        sources ahead of dependent ones, and neither that nor thread
+        completion order may leak into the pool's first-seen-source
+        dedup or ``Taxonomy.save``'s insertion order.  A ``workers=N``
+        build therefore stays bit-for-bit equal to the serial pipeline.
+        """
+        records: dict[str, StageRecord] = {}
+        for wave in plan.source_waves:
+            wave_workers = min(plan.workers, len(wave)) if plan.parallel else 1
+            if wave_workers > 1:
+                with ThreadPoolExecutor(
+                    max_workers=wave_workers,
+                    thread_name_prefix="cn-probase-source",
+                ) as executor:
+                    outcomes = list(executor.map(
+                        lambda entry: self._run_source(entry, context), wave
+                    ))
+            else:
+                outcomes = [self._run_source(entry, context) for entry in wave]
+            for entry, (relations, seconds) in zip(wave, outcomes):
+                if relations is None:  # preconditions unmet (e.g. no priors)
+                    records[entry.name] = StageRecord(
+                        entry.name, SOURCE_KIND, seconds, 0, ran=False,
+                        workers=wave_workers,
+                    )
+                    continue
+                context.per_source[entry.name] = relations
+                records[entry.name] = StageRecord(
+                    entry.name, SOURCE_KIND, seconds, len(relations),
+                    workers=wave_workers,
+                )
+        ordered = {
+            entry.name: context.per_source[entry.name]
+            for entry in self.registry.sources()
+            if entry.name in context.per_source
+        }
+        context.per_source.clear()
+        context.per_source.update(ordered)
+        for relations in ordered.values():
+            pool.add(relations)
+        return records
+
+    @staticmethod
+    def _run_source(
+        entry: StageEntry, context: BuildContext
+    ) -> tuple[list[IsARelation] | None, float]:
+        stage_started = perf_counter()
+        relations = entry.factory().generate(context)
+        return relations, perf_counter() - stage_started
+
+    @staticmethod
+    def _run_verifier(
+        entry: StageEntry,
+        context: BuildContext,
+        relations: list[IsARelation],
+        workers: int,
+    ) -> tuple[FilterDecision, int]:
+        """One verifier pass, sharded when the stage declares purity.
+
+        Shards are contiguous chunks and their decisions are concatenated
+        in chunk order, so kept/removed keep the exact serial ordering.
+        Each shard verifies through a fresh stage instance — per-instance
+        state (e.g. rule counters) never crosses threads.
+        """
+        shardable = bool(getattr(entry.factory, "per_relation_pure", False))
+        n_shards = min(workers, len(relations)) if shardable else 1
+        if n_shards <= 1:
+            return entry.factory().verify(context, relations), 1
+        chunks = _split_chunks(relations, n_shards)
+        with ThreadPoolExecutor(
+            max_workers=len(chunks), thread_name_prefix="cn-probase-verify"
+        ) as executor:
+            decisions = list(executor.map(
+                lambda chunk: entry.factory().verify(context, chunk), chunks
+            ))
+        kept: list[IsARelation] = []
+        removed: list[IsARelation] = []
+        for decision in decisions:
+            kept.extend(decision.kept)
+            removed.extend(decision.removed)
+        return FilterDecision(kept=kept, removed=removed), len(chunks)
+
     # -- helpers ------------------------------------------------------------------
+
+    def _resource_signature(self) -> tuple:
+        """The resource-relevant slice of the config (the "config hash").
+
+        Shared resources depend on nothing else in :class:`PipelineConfig`:
+        every other knob only affects stages, which consume the resources
+        read-only.
+        """
+        return (self.config.harvest_lexicon,)
 
     def _prepare_context(
         self, dump: EncyclopediaDump, trace: StageTrace
     ) -> BuildContext:
-        """Derive the shared NLP resources every stage reads."""
+        """Derive (or replay) the shared NLP resources every stage reads."""
         started = perf_counter()
+        cacheable = (
+            self.config.resource_cache
+            and self._external_lexicon is None
+            and self._external_recognizer is None
+        )
+        resources = None
+        cache_key: tuple | None = None
+        if cacheable:
+            cache_key = (dump.fingerprint(), self._resource_signature())
+            resources = self._resource_cache.get(cache_key)
+        cache_hit = resources is not None
+        if resources is None:
+            resources = self._build_resources(dump)
+            if cacheable and cache_key is not None:
+                self._resource_cache.put(cache_key, resources)
+        trace.add(StageRecord(
+            "resources", DRIVER_KIND, perf_counter() - started,
+            len(resources.titles), cache_hit=cache_hit,
+        ))
+        return BuildContext(
+            dump=dump,
+            config=self.config,
+            lexicon=resources.lexicon,
+            segmenter=resources.segmenter,
+            tagger=resources.tagger,
+            recognizer=resources.recognizer,
+            pmi=resources.pmi,
+            corpus=resources.corpus,
+            titles=resources.titles,
+        )
+
+    def _build_resources(self, dump: EncyclopediaDump) -> SharedResources:
         lexicon = self._prepare_lexicon(dump)
         segmenter = Segmenter(lexicon)
         tagger = POSTagger(lexicon)
@@ -213,12 +452,7 @@ class CNProbaseBuilder:
         pmi = PMIStatistics()
         pmi.add_corpus(corpus)
         titles = {page.page_id: page.title for page in dump}
-        trace.add(StageRecord(
-            "resources", DRIVER_KIND, perf_counter() - started, len(titles)
-        ))
-        return BuildContext(
-            dump=dump,
-            config=self.config,
+        return SharedResources(
             lexicon=lexicon,
             segmenter=segmenter,
             tagger=tagger,
@@ -257,6 +491,19 @@ class CNProbaseBuilder:
         if self.config.harvest_lexicon:
             return harvest_lexicon(dump)
         return Lexicon.base()
+
+
+def _split_chunks(items: list, n: int) -> list[list]:
+    """Split *items* into at most *n* contiguous chunks of near-equal size."""
+    size, extra = divmod(len(items), n)
+    chunks: list[list] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks
 
 
 def harvest_lexicon(dump: EncyclopediaDump) -> Lexicon:

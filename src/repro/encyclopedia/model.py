@@ -15,6 +15,8 @@ title.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -121,6 +123,7 @@ class EncyclopediaDump:
     def __init__(self, pages: list[EncyclopediaPage] | None = None) -> None:
         self._pages: list[EncyclopediaPage] = []
         self._by_id: dict[str, EncyclopediaPage] = {}
+        self._fingerprint: str | None = None
         for page in pages or []:
             self.add(page)
 
@@ -129,6 +132,26 @@ class EncyclopediaDump:
             raise CorpusError(f"duplicate page_id {page.page_id!r}")
         self._pages.append(page)
         self._by_id[page.page_id] = page
+        self._fingerprint = None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every page, for rebuild caching.
+
+        Two dumps with the same pages in the same order share a
+        fingerprint; any added or edited page changes it.  Computed
+        lazily and memoised until the next :meth:`add`.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for page in self._pages:
+                digest.update(
+                    json.dumps(
+                        page.to_dict(), ensure_ascii=False, sort_keys=True
+                    ).encode("utf-8")
+                )
+                digest.update(b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def get(self, page_id: str) -> EncyclopediaPage | None:
         return self._by_id.get(page_id)

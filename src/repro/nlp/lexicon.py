@@ -38,6 +38,7 @@ class Lexicon:
         self._prefixes: set[str] = set()
         self._total: int = 0
         self._max_len: int = 0
+        self._version: int = 0
 
     # -- construction -------------------------------------------------------
 
@@ -67,6 +68,7 @@ class Lexicon:
             self._entries[word] = LexiconEntry(word, existing.freq + freq, kept_pos)
         self._total += freq
         self._max_len = max(self._max_len, len(word))
+        self._version += 1
         for i in range(1, len(word)):
             self._prefixes.add(word[:i])
 
@@ -109,6 +111,16 @@ class Lexicon:
     def total(self) -> int:
         """Sum of all frequency weights (normalising constant)."""
         return self._total
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every :meth:`add`.
+
+        Derived caches (e.g. the segmenter's Viterbi LRU) key their
+        validity on this, so feeding the lexicon new words after a cache
+        has warmed up can never serve stale segmentations.
+        """
+        return self._version
 
     @property
     def max_word_len(self) -> int:

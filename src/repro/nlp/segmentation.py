@@ -10,10 +10,17 @@ this segmenter.  The algorithm is the same family as jieba's core:
 
 Non-CJK runs (Latin, digits) are emitted as single tokens; whitespace is
 dropped; punctuation becomes its own token.
+
+The Viterbi path is memoised per CJK run in a bounded LRU (corpus text
+repeats brackets, tags and common phrases heavily, so a warm cache turns
+most ``segment`` calls into dict hits).  The cache keys its validity on
+:attr:`Lexicon.version` and flushes itself whenever the lexicon gains
+words, so results are always identical to the uncached segmenter.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable
 
 from repro.errors import SegmentationError
@@ -21,17 +28,30 @@ from repro.nlp.lexicon import Lexicon
 from repro.nlp.text import is_cjk_char, normalize_text
 
 _UNKNOWN_CHAR_FREQ = 0.5
+DEFAULT_SEGMENT_CACHE = 32_768
 
 
 class Segmenter:
     """Maximum-probability segmenter over a :class:`Lexicon`."""
 
-    def __init__(self, lexicon: Lexicon | None = None) -> None:
+    def __init__(
+        self,
+        lexicon: Lexicon | None = None,
+        cache_size: int | None = DEFAULT_SEGMENT_CACHE,
+    ) -> None:
         self._lexicon = lexicon if lexicon is not None else Lexicon.base()
+        # lru_cache is thread-safe, which the parallel build relies on:
+        # several stages share one segmenter across worker threads.
+        self._cached_viterbi = lru_cache(maxsize=cache_size)(self._viterbi)
+        self._cached_version = self._lexicon.version
 
     @property
     def lexicon(self) -> Lexicon:
         return self._lexicon
+
+    def cache_info(self):
+        """``functools.lru_cache`` statistics for the Viterbi memo."""
+        return self._cached_viterbi.cache_info()
 
     def segment(self, text: str, keep_punctuation: bool = False) -> list[str]:
         """Segment *text* into a list of word tokens.
@@ -42,10 +62,18 @@ class Segmenter:
         normalized = normalize_text(text)
         if not normalized:
             raise SegmentationError(f"cannot segment empty text {text!r}")
+        version = self._lexicon.version
+        if self._cached_version != version:
+            # Memory hygiene only — correctness comes from *version*
+            # being part of the cache key, so a thread that started
+            # computing against the old lexicon can never poison the
+            # cache for the new one (its entry sits under the old key).
+            self._cached_viterbi.cache_clear()
+            self._cached_version = version
         tokens: list[str] = []
         for run, is_cjk in _iter_runs(normalized):
             if is_cjk:
-                tokens.extend(self._viterbi(run))
+                tokens.extend(self._cached_viterbi(run, version))
             else:
                 tokens.extend(_split_non_cjk(run, keep_punctuation))
         if not tokens:
@@ -62,8 +90,16 @@ class Segmenter:
                 continue
         return out
 
-    def _viterbi(self, run: str) -> list[str]:
-        """Best segmentation of a pure-CJK run under the unigram model."""
+    def _viterbi(self, run: str, version: int = 0) -> tuple[str, ...]:
+        """Best segmentation of a pure-CJK run under the unigram model.
+
+        *version* does not affect the computation — it is the lexicon
+        version the caller read, present only so the LRU keys every
+        entry to the lexicon state it was computed under.  Returns a
+        tuple (not a list) because the result is shared through the
+        LRU: callers must never receive a mutable alias of a cached
+        value.
+        """
         n = len(run)
         # best[i] = (score of best path covering run[:i], start of last word)
         best: list[tuple[float, int]] = [(0.0, 0)] + [(float("-inf"), 0)] * n
@@ -91,7 +127,7 @@ class Segmenter:
             words.append(run[start:pos])
             pos = start
         words.reverse()
-        return words
+        return tuple(words)
 
 
 def _split_non_cjk(run: str, keep_punctuation: bool) -> list[str]:

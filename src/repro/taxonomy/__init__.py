@@ -24,7 +24,11 @@ from repro.taxonomy.model import (
     IsARelation,
 )
 from repro.taxonomy.graph import TaxonomyGraph
-from repro.taxonomy.store import Taxonomy, TaxonomyStats
+from repro.taxonomy.store import (
+    ReadOptimizedTaxonomy,
+    Taxonomy,
+    TaxonomyStats,
+)
 from repro.taxonomy.api import APIUsage, TaxonomyAPI, WorkloadGenerator
 from repro.taxonomy.service import (
     ServiceMetrics,
@@ -43,6 +47,7 @@ __all__ = [
     "SOURCE_BRACKET",
     "SOURCE_INFOBOX",
     "SOURCE_TAG",
+    "ReadOptimizedTaxonomy",
     "Taxonomy",
     "TaxonomyAPI",
     "TaxonomyGraph",

@@ -12,7 +12,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import APIError
-from repro.taxonomy.store import Taxonomy
+from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy
 
 # Call mix from Table II, normalised.
 PAPER_API_CALLS = {
@@ -61,9 +61,15 @@ class APIUsage:
 
 
 class TaxonomyAPI:
-    """The three public APIs of CN-Probase (Table II)."""
+    """The three public APIs of CN-Probase (Table II).
 
-    def __init__(self, taxonomy: Taxonomy) -> None:
+    Works over any store exposing the three lookups — the mutable
+    :class:`Taxonomy` or a frozen
+    :class:`~repro.taxonomy.store.ReadOptimizedTaxonomy` (what the
+    serving snapshots use).
+    """
+
+    def __init__(self, taxonomy: "Taxonomy | ReadOptimizedTaxonomy") -> None:
         self._taxonomy = taxonomy
         self.usage = APIUsage()
 
@@ -126,20 +132,21 @@ class WorkloadGenerator:
         if abs(sum(self._mix.values()) - 1.0) > 1e-6:
             raise APIError(f"API mix must sum to 1, got {self._mix}")
         self._miss_rate = miss_rate
+        # One pass over one materialisation of relations() collects all
+        # three argument pools (the taxonomy can hold millions of
+        # relations; scanning it three times dominated init).
+        entity_ids: set[str] = set()
+        concepts: set[str] = set()
+        for relation in taxonomy.relations():
+            concepts.add(relation.hypernym)
+            if relation.hyponym_kind == "entity":
+                entity_ids.add(relation.hyponym)
+        self._entities = sorted(entity_ids)
         self._mentions = sorted(
-            {m for e in (taxonomy.entity(p) for p in self._entity_ids(taxonomy))
+            {m for e in (taxonomy.entity(p) for p in self._entities)
              if e is not None for m in e.mentions}
         )
-        self._entities = self._entity_ids(taxonomy)
-        self._concepts = sorted(
-            {r.hypernym for r in taxonomy.relations()}
-        )
-
-    @staticmethod
-    def _entity_ids(taxonomy: Taxonomy) -> list[str]:
-        return sorted(
-            {r.hyponym for r in taxonomy.relations() if r.hyponym_kind == "entity"}
-        )
+        self._concepts = sorted(concepts)
 
     def generate(self, n_calls: int) -> list[APICall]:
         if n_calls <= 0:

@@ -9,6 +9,12 @@ while the taxonomy behind them is periodically rebuilt.
   a version id; a rebuild is published with :meth:`TaxonomyService.swap`,
   which replaces the snapshot atomically — in-flight batches keep
   reading the snapshot they pinned, so a swap never tears a batch;
+- each snapshot serves from a
+  :class:`~repro.taxonomy.store.ReadOptimizedTaxonomy` frozen at publish
+  time: the sorted result lists of all three APIs are precomputed, so a
+  served call is a dict hit plus a list copy — no per-call ``sorted()``
+  and no answer drift if someone mutates the builder's taxonomy after
+  publishing;
 - the three public APIs gain batched variants (``men2ent_batch``,
   ``get_concepts``, ``get_entities``) that pin one snapshot for the
   whole batch and answer position-for-position;
@@ -27,28 +33,42 @@ from typing import Sequence
 
 from repro.errors import APIError
 from repro.taxonomy.api import TaxonomyAPI
-from repro.taxonomy.store import Taxonomy, TaxonomyStats
+from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy, TaxonomyStats
 
 
 @dataclass(frozen=True)
 class TaxonomySnapshot:
     """One immutable published version of the taxonomy.
 
-    The wrapped :class:`TaxonomyAPI` carries the snapshot's own usage
-    ledger, so per-version serving statistics remain separable from the
-    service's cumulative metrics.
+    ``read_view`` is the frozen :class:`ReadOptimizedTaxonomy` the
+    snapshot's API answers from; ``taxonomy`` keeps the full store for
+    closure queries and persistence.  The wrapped :class:`TaxonomyAPI`
+    carries the snapshot's own usage ledger, so per-version serving
+    statistics remain separable from the service's cumulative metrics.
     """
 
     version: int
     taxonomy: Taxonomy
     api: TaxonomyAPI
+    read_view: ReadOptimizedTaxonomy
+
+    @classmethod
+    def publish(cls, version: int, taxonomy: Taxonomy) -> "TaxonomySnapshot":
+        """Freeze *taxonomy* into a servable snapshot."""
+        read_view = taxonomy.freeze()
+        return cls(
+            version=version,
+            taxonomy=taxonomy,
+            api=TaxonomyAPI(read_view),
+            read_view=read_view,
+        )
 
     @property
     def version_id(self) -> str:
         return f"v{self.version}"
 
     def stats(self) -> TaxonomyStats:
-        return self.taxonomy.stats()
+        return self.read_view.stats()
 
 
 @dataclass
@@ -121,9 +141,7 @@ class TaxonomyService:
 
     def __init__(self, taxonomy: Taxonomy, *, version: int = 1) -> None:
         self._lock = threading.Lock()
-        self._snapshot = TaxonomySnapshot(
-            version=version, taxonomy=taxonomy, api=TaxonomyAPI(taxonomy)
-        )
+        self._snapshot = TaxonomySnapshot.publish(version, taxonomy)
         self.metrics = ServiceMetrics()
 
     # -- snapshots -------------------------------------------------------------
@@ -145,10 +163,8 @@ class TaxonomyService:
         consistent view, new calls see only the new version.
         """
         with self._lock:
-            snapshot = TaxonomySnapshot(
-                version=self._snapshot.version + 1,
-                taxonomy=taxonomy,
-                api=TaxonomyAPI(taxonomy),
+            snapshot = TaxonomySnapshot.publish(
+                self._snapshot.version + 1, taxonomy
             )
             self._snapshot = snapshot
             self.metrics.swaps += 1

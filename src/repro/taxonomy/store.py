@@ -9,6 +9,14 @@ The store maintains every index the serving APIs need:
 
 Duplicate (hyponym, hypernym) pairs are merged keeping the best score and
 the first-seen source, mirroring the paper's candidate merging step.
+
+The three hot lookups (``men2ent`` / ``get_concepts`` / ``get_entities``)
+memoise their sorted result per key and invalidate exactly the keys a
+mutation touches, so repeated hot-key traffic stops paying ``sorted()``
+per call.  For pure serving, :class:`ReadOptimizedTaxonomy` freezes a
+built taxonomy into precomputed sorted tuples — every lookup becomes a
+plain dict hit, which is what
+:class:`~repro.taxonomy.service.TaxonomySnapshot` serves from.
 """
 
 from __future__ import annotations
@@ -63,6 +71,12 @@ class Taxonomy:
         self._concept_entities: dict[str, set[str]] = {}
         self._concepts: set[str] = set()
         self._graph = TaxonomyGraph()
+        # Per-key memos of the sorted lookup results; a mutation pops
+        # exactly the keys it affects.  Values are tuples so a cached
+        # result can never be mutated through a returned alias.
+        self._men2ent_cache: dict[str, tuple[str, ...]] = {}
+        self._concepts_cache: dict[str, tuple[str, ...]] = {}
+        self._entities_cache: dict[str, tuple[str, ...]] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -75,6 +89,7 @@ class Taxonomy:
         self._entities[entity.page_id] = entity
         for mention in entity.mentions:
             self._mention_index.setdefault(mention, set()).add(entity.page_id)
+            self._men2ent_cache.pop(mention, None)
 
     def add_relation(self, relation: IsARelation) -> None:
         if relation.hyponym_kind == HYPONYM_ENTITY:
@@ -97,6 +112,8 @@ class Taxonomy:
             self._concept_entities.setdefault(relation.hypernym, set()).add(
                 relation.hyponym
             )
+            self._concepts_cache.pop(relation.hyponym, None)
+            self._entities_cache.pop(relation.hypernym, None)
         else:
             self._concepts.add(relation.hyponym)
             self._graph.add_edge(relation.hyponym, relation.hypernym, relation.score)
@@ -114,13 +131,36 @@ class Taxonomy:
 
     # -- lookups -----------------------------------------------------------------
 
+    @staticmethod
+    def _cached_sorted(
+        cache: dict[str, tuple[str, ...]], index: dict[str, set[str]], key: str
+    ) -> list[str]:
+        """Sorted lookup memoised per key.
+
+        Misses (keys absent from the index) are never cached: production
+        traffic contains unbounded unknown strings and must not grow the
+        memo.  Known keys are bounded by the taxonomy itself.
+        """
+        cached = cache.get(key)
+        if cached is None:
+            members = index.get(key)
+            if members is None:
+                return []
+            cached = tuple(sorted(members))
+            cache[key] = cached
+        return list(cached)
+
     def men2ent(self, mention: str) -> list[str]:
         """Disambiguated entity page_ids for a mention surface."""
-        return sorted(self._mention_index.get(mention, ()))
+        return self._cached_sorted(
+            self._men2ent_cache, self._mention_index, mention
+        )
 
     def get_concepts(self, page_id: str) -> list[str]:
         """Direct hypernyms of an entity (the getConcept API payload)."""
-        return sorted(self._entity_hypernyms.get(page_id, ()))
+        return self._cached_sorted(
+            self._concepts_cache, self._entity_hypernyms, page_id
+        )
 
     def get_concepts_transitive(self, page_id: str) -> list[str]:
         """Hypernyms of an entity including the concept-layer closure."""
@@ -132,7 +172,9 @@ class Taxonomy:
 
     def get_entities(self, concept: str) -> list[str]:
         """Entity hyponyms of a concept (the getEntity API payload)."""
-        return sorted(self._concept_entities.get(concept, ()))
+        return self._cached_sorted(
+            self._entities_cache, self._concept_entities, concept
+        )
 
     def get_subconcepts(self, concept: str) -> list[str]:
         return sorted(self._graph.children(concept))
@@ -210,6 +252,10 @@ class Taxonomy:
                 }
                 handle.write(json.dumps(record, ensure_ascii=False) + "\n")
 
+    def freeze(self) -> "ReadOptimizedTaxonomy":
+        """A read-optimized view of the current state (see below)."""
+        return ReadOptimizedTaxonomy.from_taxonomy(self)
+
     @classmethod
     def load(cls, path: str | Path) -> "Taxonomy":
         source = Path(path)
@@ -253,3 +299,74 @@ class Taxonomy:
                         f"{source}:{line_no}: unknown record kind {kind!r}"
                     )
         return taxonomy
+
+
+class ReadOptimizedTaxonomy:
+    """A frozen, serving-shaped view of a built taxonomy.
+
+    Every index the three public APIs read is precomputed into sorted
+    tuples at construction: ``men2ent`` / ``get_concepts`` /
+    ``get_entities`` are pure dict hits plus a cheap ``list()`` copy —
+    no per-call ``sorted()``, no set materialisation, no shared mutable
+    state.  That makes the view safe to serve from any number of threads
+    and is what :class:`~repro.taxonomy.service.TaxonomySnapshot` wraps.
+
+    The view is deliberately decoupled from its source: mutating the
+    original :class:`Taxonomy` after freezing never changes answers a
+    published snapshot gives.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mention_index: dict[str, tuple[str, ...]],
+        entity_hypernyms: dict[str, tuple[str, ...]],
+        concept_entities: dict[str, tuple[str, ...]],
+        stats: TaxonomyStats,
+        n_relations: int,
+    ) -> None:
+        self.name = name
+        self._mention_index = mention_index
+        self._entity_hypernyms = entity_hypernyms
+        self._concept_entities = concept_entities
+        self._stats = stats
+        self._n_relations = n_relations
+
+    @classmethod
+    def from_taxonomy(cls, taxonomy: Taxonomy) -> "ReadOptimizedTaxonomy":
+        return cls(
+            name=taxonomy.name,
+            mention_index={
+                mention: tuple(sorted(page_ids))
+                for mention, page_ids in taxonomy._mention_index.items()
+            },
+            entity_hypernyms={
+                page_id: tuple(sorted(concepts))
+                for page_id, concepts in taxonomy._entity_hypernyms.items()
+            },
+            concept_entities={
+                concept: tuple(sorted(page_ids))
+                for concept, page_ids in taxonomy._concept_entities.items()
+            },
+            stats=taxonomy.stats(),
+            n_relations=len(taxonomy),
+        )
+
+    # -- the three API lookups (list[str], same contract as Taxonomy) -------
+
+    def men2ent(self, mention: str) -> list[str]:
+        return list(self._mention_index.get(mention, ()))
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        return list(self._entity_hypernyms.get(page_id, ()))
+
+    def get_entities(self, concept: str) -> list[str]:
+        return list(self._concept_entities.get(concept, ()))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> TaxonomyStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return self._n_relations

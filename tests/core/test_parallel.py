@@ -1,0 +1,321 @@
+"""Tests for parallel execution: ExecutionPlan, worker equivalence,
+verifier sharding and the build-context resource cache."""
+
+import pytest
+
+from repro.core.pipeline import (
+    CNProbaseBuilder,
+    PipelineConfig,
+    ResourceCache,
+    _split_chunks,
+)
+from repro.core.generation.neural_gen import NeuralGenConfig
+from repro.core.stages import StageRegistry, default_registry, plan_execution
+from repro.encyclopedia import SyntheticWorld
+from repro.errors import PipelineError
+from repro.nlp.lexicon import Lexicon
+
+
+class StubSource:
+    name = "stub"
+
+    def generate(self, context):
+        return []
+
+
+def fast_config(workers: int = 1, **kwargs) -> PipelineConfig:
+    kwargs.setdefault("enable_abstract", False)
+    return PipelineConfig(workers=workers, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.generate(seed=17, n_entities=250)
+
+
+def build_pair(world, **kwargs):
+    """The same dump built serially and with four workers, isolated caches."""
+    results = []
+    for workers in (1, 4):
+        builder = CNProbaseBuilder(
+            fast_config(workers=workers, **kwargs),
+            resource_cache=ResourceCache(),
+        )
+        results.append(builder.build(world.dump()))
+    return results
+
+
+class TestExecutionPlan:
+    def test_default_waves(self):
+        plan = plan_execution(default_registry(), PipelineConfig(), workers=4)
+        waves = [[e.name for e in wave] for wave in plan.source_waves]
+        assert waves == [["bracket", "tag"], ["abstract", "infobox"]]
+        assert [e.name for e in plan.verifiers] == [
+            "syntax", "ner", "incompatible",
+        ]
+        assert plan.parallel and plan.max_wave_width == 2
+
+    def test_disabled_requirement_does_not_block(self):
+        plan = plan_execution(
+            default_registry(),
+            PipelineConfig(enable_bracket=False),
+            workers=4,
+        )
+        waves = [[e.name for e in wave] for wave in plan.source_waves]
+        # abstract/infobox still run (and will see empty priors), in wave 1
+        assert waves == [["abstract", "infobox", "tag"]]
+
+    def test_unregistered_requirement_does_not_block(self):
+        registry = StageRegistry()
+        registry.register_source("stub", StubSource, requires=("missing",))
+        plan = plan_execution(registry, PipelineConfig(), workers=2)
+        assert [[e.name for e in w] for w in plan.source_waves] == [["stub"]]
+
+    def test_cycle_detected(self):
+        registry = StageRegistry()
+        registry.register_source("a", StubSource, requires=("b",))
+        registry.register_source("b", StubSource, requires=("a",))
+        with pytest.raises(PipelineError, match="cycle"):
+            plan_execution(registry, PipelineConfig())
+
+    def test_self_requirement_rejected_at_registration(self):
+        registry = StageRegistry()
+        with pytest.raises(PipelineError, match="require itself"):
+            registry.register_source("a", StubSource, requires=("a",))
+
+    def test_requires_read_from_factory_attribute(self):
+        registry = default_registry()
+        assert registry.get("abstract").requires == ("bracket",)
+        assert registry.get("infobox").requires == ("bracket",)
+        assert registry.get("bracket").requires == ()
+
+    def test_unannotated_source_scheduled_fully_sequentially(self):
+        # A stage that declares nothing keeps the pre-planner serial
+        # contract: it runs after every source registered before it.
+        registry = default_registry()
+        registry.register_source("legacy", StubSource)
+        plan = plan_execution(registry, PipelineConfig(), workers=4)
+        waves = [[e.name for e in w] for w in plan.source_waves]
+        assert waves == [
+            ["bracket", "tag"], ["abstract", "infobox"], ["legacy"],
+        ]
+        assert registry.get("legacy").requires is None
+
+    def test_explicit_empty_requires_opts_into_first_wave(self):
+        registry = default_registry()
+        registry.register_source("eager", StubSource, requires=())
+        plan = plan_execution(registry, PipelineConfig(), workers=4)
+        assert "eager" in [e.name for e in plan.source_waves[0]]
+
+    def test_unannotated_source_sees_predecessor_output(self, world):
+        # Even at workers=4, a legacy source reading relations_from on a
+        # source it never declared must observe its output.
+        class TagReader:
+            name = "tag-reader"
+
+            def generate(self, context):
+                from repro.taxonomy.model import IsARelation
+
+                priors = context.relations_from("tag")
+                if not priors:
+                    return []
+                return [IsARelation(
+                    "阅读概念", "人物", source="tag-reader",
+                    hyponym_kind="concept",
+                )]
+
+        from repro.core.stages import default_registry as make_registry
+
+        registry = make_registry()
+        registry.register_source("tag-reader", TagReader)
+        builder = CNProbaseBuilder(
+            fast_config(workers=4), registry=registry,
+            resource_cache=ResourceCache(),
+        )
+        result = builder.build(world.dump())
+        assert result.stage_trace.get("tag-reader").count == 1
+
+    def test_copy_preserves_requires(self):
+        duplicate = default_registry().copy()
+        assert duplicate.get("abstract").requires == ("bracket",)
+
+    def test_describe_lists_waves(self):
+        plan = plan_execution(default_registry(), PipelineConfig(), workers=4)
+        text = plan.describe()
+        assert "workers=4" in text and "wave 1: bracket, tag" in text
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(PipelineError, match="workers"):
+            CNProbaseBuilder(PipelineConfig(workers=0))
+
+
+class TestSplitChunks:
+    def test_near_equal_contiguous(self):
+        chunks = _split_chunks(list(range(10)), 4)
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7], [8, 9]]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_fewer_items_than_chunks(self):
+        assert _split_chunks([1, 2], 4) == [[1], [2]]
+
+    def test_empty(self):
+        assert _split_chunks([], 3) == []
+
+
+class TestParallelEquivalence:
+    """ISSUE satellite: workers=1 vs workers=4 on the same dump."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, world):
+        return build_pair(world)
+
+    def test_save_output_identical(self, pair, tmp_path):
+        serial, parallel = pair
+        a, b = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        serial.taxonomy.save(a)
+        parallel.taxonomy.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_removed_by_counts_identical(self, pair):
+        serial, parallel = pair
+        assert {k: len(v) for k, v in serial.removed_by.items()} == \
+            {k: len(v) for k, v in parallel.removed_by.items()}
+
+    def test_removed_relations_identical_and_ordered(self, pair):
+        serial, parallel = pair
+        for name, removed in serial.removed_by.items():
+            assert [r.key for r in removed] == \
+                [r.key for r in parallel.removed_by[name]]
+
+    def test_stage_trace_order_deterministic(self, pair):
+        serial, parallel = pair
+        assert [r.name for r in serial.stage_trace.records] == \
+            [r.name for r in parallel.stage_trace.records]
+
+    def test_per_source_relations_identical(self, pair):
+        serial, parallel = pair
+        assert list(serial.per_source_relations) == \
+            list(parallel.per_source_relations)
+        for name, relations in serial.per_source_relations.items():
+            assert [r.key for r in relations] == \
+                [r.key for r in parallel.per_source_relations[name]]
+
+    def test_sources_merge_in_registration_order(self, pair):
+        # Wave grouping runs tag before infobox, but the merge order fed
+        # to the candidate pool must stay the registered one — that is
+        # what keeps any-workers output bit-for-bit equal to the seed
+        # pipeline's.
+        for result in pair:
+            assert list(result.per_source_relations) == [
+                "bracket", "infobox", "tag",
+            ]
+
+    def test_sharded_verifier_traced_with_workers(self, pair):
+        _, parallel = pair
+        assert parallel.stage_trace.get("syntax").workers == 4
+        # ner fits on the full relation list, so it must not shard
+        assert parallel.stage_trace.get("ner").workers == 1
+
+    def test_wave_members_share_worker_count(self, pair):
+        _, parallel = pair
+        assert parallel.stage_trace.get("bracket").workers == 2
+        assert parallel.stage_trace.get("tag").workers == 2
+
+
+class TestParallelEquivalenceWithNeural:
+    def test_neural_wave_identical(self, world, tmp_path):
+        serial, parallel = build_pair(
+            world,
+            enable_abstract=True,
+            neural=NeuralGenConfig(epochs=2, embed_dim=12, hidden_dim=12),
+            max_generation_pages=60,
+        )
+        a, b = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        serial.taxonomy.save(a)
+        parallel.taxonomy.save(b)
+        assert a.read_bytes() == b.read_bytes()
+        if serial.stage_trace.get("abstract").ran:
+            assert parallel.stage_trace.get("abstract").ran
+
+
+class TestResourceCache:
+    def test_rebuild_hits_cache(self, world):
+        cache = ResourceCache()
+        builder = CNProbaseBuilder(fast_config(), resource_cache=cache)
+        first = builder.build(world.dump())
+        second = builder.build(world.dump())
+        assert not first.stage_trace.get("resources").cache_hit
+        assert second.stage_trace.get("resources").cache_hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert [r.key for r in first.taxonomy.relations()] == \
+            [r.key for r in second.taxonomy.relations()]
+
+    def test_cache_shared_across_builders(self, world):
+        cache = ResourceCache()
+        CNProbaseBuilder(fast_config(), resource_cache=cache).build(world.dump())
+        other = CNProbaseBuilder(fast_config(), resource_cache=cache)
+        assert other.build(world.dump()).stage_trace.get("resources").cache_hit
+
+    def test_changed_dump_misses(self, world):
+        cache = ResourceCache()
+        builder = CNProbaseBuilder(fast_config(), resource_cache=cache)
+        builder.build(world.dump())
+        other_dump = SyntheticWorld.generate(seed=23, n_entities=120).dump()
+        result = builder.build(other_dump)
+        assert not result.stage_trace.get("resources").cache_hit
+
+    def test_resource_config_keys_cache(self, world):
+        cache = ResourceCache()
+        CNProbaseBuilder(
+            fast_config(), resource_cache=cache
+        ).build(world.dump())
+        result = CNProbaseBuilder(
+            fast_config(harvest_lexicon=False), resource_cache=cache
+        ).build(world.dump())
+        assert not result.stage_trace.get("resources").cache_hit
+
+    def test_opt_out_flag(self, world):
+        cache = ResourceCache()
+        builder = CNProbaseBuilder(
+            fast_config(resource_cache=False), resource_cache=cache
+        )
+        builder.build(world.dump())
+        second = builder.build(world.dump())
+        assert not second.stage_trace.get("resources").cache_hit
+        assert len(cache) == 0
+
+    def test_external_lexicon_not_cached(self, world):
+        cache = ResourceCache()
+        builder = CNProbaseBuilder(
+            fast_config(), lexicon=Lexicon.base(), resource_cache=cache
+        )
+        builder.build(world.dump())
+        assert len(cache) == 0
+
+    def test_bounded_lru_evicts_oldest(self):
+        cache = ResourceCache(maxsize=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        assert cache.get(("a",)) == "A"  # refresh a
+        cache.put(("c",), "C")  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A" and cache.get(("c",)) == "C"
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(PipelineError):
+            ResourceCache(maxsize=0)
+
+
+class TestDumpFingerprint:
+    def test_stable_and_order_sensitive(self, world):
+        dump = world.dump()
+        assert dump.fingerprint() == dump.fingerprint()
+        assert dump.fingerprint() == world.dump().fingerprint()
+
+    def test_changes_on_add(self, world):
+        from repro.encyclopedia.model import EncyclopediaPage
+
+        dump = world.dump()
+        before = dump.fingerprint()
+        dump.add(EncyclopediaPage(page_id="新页#0", title="新页"))
+        assert dump.fingerprint() != before

@@ -98,3 +98,44 @@ def test_segmentation_never_crashes_on_mixed_text(text):
     except SegmentationError:
         return
     assert all(tokens)
+
+
+class TestViterbiCache:
+    def test_repeated_segment_hits_cache(self):
+        segmenter = Segmenter()
+        first = segmenter.segment("中国人民大学")
+        info = segmenter.cache_info()
+        assert info.misses >= 1
+        again = segmenter.segment("中国人民大学")
+        assert again == first
+        assert segmenter.cache_info().hits > info.hits
+
+    def test_cached_results_are_fresh_lists(self):
+        segmenter = Segmenter()
+        first = segmenter.segment("中国人民大学")
+        first.append("垃圾")
+        assert segmenter.segment("中国人民大学") != first
+
+    def test_lexicon_mutation_invalidates(self):
+        lexicon = Lexicon.base()
+        segmenter = Segmenter(lexicon)
+        before = segmenter.segment("蚂蚁金服")
+        lexicon.add("蚂蚁金服", 10_000, "n")
+        after = segmenter.segment("蚂蚁金服")
+        assert after == ["蚂蚁金服"]
+        assert before != after
+
+    def test_cache_can_be_disabled(self):
+        segmenter = Segmenter(cache_size=0)
+        segmenter.segment("中国人民大学")
+        segmenter.segment("中国人民大学")
+        assert segmenter.cache_info().currsize == 0
+
+    def test_cache_matches_uncached_segmentation(self):
+        lexicon = Lexicon.base()
+        cached = Segmenter(lexicon)
+        uncached = Segmenter(lexicon, cache_size=0)
+        texts = ["中国人民大学", "蚂蚁金服首席战略官", "刘德华是演员",
+                 "中国人民大学", "蚂蚁金服首席战略官"]
+        for text in texts:
+            assert cached.segment(text) == uncached.segment(text)
