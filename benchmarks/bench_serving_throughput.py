@@ -91,15 +91,15 @@ def test_serving_throughput_benchmark(record):
 
     single_handlers = {
         "men2ent": service.men2ent,
-        "getConcept": service.get_concept,
-        "getEntity": service.get_entity,
+        "getConcept": service.get_concepts,
+        "getEntity": service.get_entities,
     }
     service_seconds, service_results = _timed(calls, single_handlers)
 
     batched = {
         "men2ent": service.men2ent_batch,
-        "getConcept": service.get_concepts,
-        "getEntity": service.get_entities,
+        "getConcept": service.get_concepts_batch,
+        "getEntity": service.get_entities_batch,
     }
     batched_seconds = float("inf")
     for _ in range(2):

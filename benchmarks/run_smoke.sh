@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 tests + the fast perf gates to run before pushing pipeline or
 # serving changes: stage-registry overhead, parallel-vs-serial build
-# equivalence (byte-identical output + speedup trajectory), and serving
-# throughput (read-optimized snapshots >= 2x the per-call-sorted path).
-# The perf numbers land in benchmarks/out/BENCH_parallel.json so future
-# PRs have a trajectory to regress against.
+# equivalence (byte-identical output + speedup trajectory), serving
+# throughput (read-optimized snapshots >= 2x the per-call-sorted path),
+# the serving cluster (sharded answers byte-identical to the unsharded
+# facade at 1/2/4 shards, HTTP batched > HTTP singles) and a real
+# server round trip (cn-probase serve subprocess: start -> query ->
+# swap -> query -> shutdown).  The perf numbers land in
+# benchmarks/out/BENCH_parallel.json so future PRs have a trajectory to
+# regress against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -13,3 +17,5 @@ python -m pytest -x -q
 python -m pytest -x -q benchmarks/bench_stage_overhead.py
 python -m pytest -x -q benchmarks/bench_parallel_build.py \
     benchmarks/bench_serving_throughput.py
+python -m pytest -x -q benchmarks/bench_serving_cluster.py
+python benchmarks/smoke_serving_roundtrip.py

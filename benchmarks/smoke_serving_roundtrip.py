@@ -1,0 +1,135 @@
+"""Server round-trip smoke: start → query → swap → query → shutdown.
+
+Exercises the real deployment path end to end — ``cn-probase serve`` in
+a **subprocess** (the CLI, not an in-process server), readiness via
+``--ready-file``, queries and an authenticated hot-swap through
+:class:`TaxonomyClient`, then a clean ``/admin/shutdown``.  Appends the
+timings to ``benchmarks/out/BENCH_parallel.json`` under
+``"serving_roundtrip"``.
+
+Run:  python benchmarks/smoke_serving_roundtrip.py
+(run_smoke.sh runs it after the cluster benchmark)
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+sys.path.insert(0, str(REPO / "src"))
+
+from bench_parallel_build import merge_bench_json  # noqa: E402
+from repro.core.pipeline import PipelineConfig, build_cn_probase  # noqa: E402
+from repro.encyclopedia import SyntheticWorld  # noqa: E402
+from repro.serving import TaxonomyClient  # noqa: E402
+
+ADMIN_TOKEN = "smoke-admin-token"
+READY_TIMEOUT_SECONDS = 30.0
+N_QUERIES = 300
+
+
+def build_taxonomy_file(seed: int, path: Path) -> object:
+    world = SyntheticWorld.generate(seed=seed, n_entities=600)
+    result = build_cn_probase(
+        world.dump(), PipelineConfig(enable_abstract=False)
+    )
+    result.taxonomy.save(path)
+    return result.taxonomy
+
+
+def wait_for_ready(ready_file: Path, process: subprocess.Popen) -> str:
+    deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(
+                f"serve exited early with {process.returncode}:\n"
+                f"{process.stdout.read()}"
+            )
+        if ready_file.exists() and ready_file.read_text().strip():
+            host, port = ready_file.read_text().split()
+            return f"http://{host}:{port}"
+        time.sleep(0.05)
+    raise SystemExit(f"server not ready within {READY_TIMEOUT_SECONDS}s")
+
+
+def main() -> None:
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        v1_path, v2_path = tmp_path / "v1.jsonl", tmp_path / "v2.jsonl"
+        taxonomy_v1 = build_taxonomy_file(5, v1_path)
+        build_taxonomy_file(6, v2_path)
+        mention = sorted(taxonomy_v1.freeze().as_indexes()[0])[0]
+
+        ready_file = tmp_path / "ready"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{REPO / 'src'}" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(v1_path),
+                "--shards", "4", "--replicas", "2", "--port", "0",
+                "--admin-token", ADMIN_TOKEN,
+                "--ready-file", str(ready_file),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            url = wait_for_ready(ready_file, process)
+            client = TaxonomyClient(url, admin_token=ADMIN_TOKEN)
+
+            # start → query
+            health = client.healthz()
+            assert health["status"] == "ok" and health["version"] == "v1"
+            assert client.men2ent(mention), "known mention must resolve"
+            query_started = time.perf_counter()
+            for _ in range(N_QUERIES):
+                client.men2ent(mention)
+            query_seconds = time.perf_counter() - query_started
+
+            # → swap
+            swap_started = time.perf_counter()
+            swapped = client.swap(str(v2_path))
+            swap_seconds = time.perf_counter() - swap_started
+            assert swapped["version"] == "v2", swapped
+
+            # → query (new version serving, all shards republished)
+            assert client.version()["shard_versions"] == ["v2"] * 4
+            client.men2ent(mention)
+            served = client.server_metrics()
+            assert served["swaps"] == 1
+
+            # → shutdown
+            client.shutdown_server()
+            process.wait(timeout=15)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    total_seconds = time.perf_counter() - started
+    merge_bench_json("serving_roundtrip", {
+        "queries": N_QUERIES,
+        "query_ops": N_QUERIES / query_seconds,
+        "swap_seconds": swap_seconds,
+        "total_seconds": total_seconds,
+        "round_trip": "start->query->swap->query->shutdown",
+        "ok": True,
+    })
+    print(f"serving round trip ok: {N_QUERIES / query_seconds:,.0f} "
+          f"single queries/s over HTTP, swap in {swap_seconds * 1e3:.0f}ms, "
+          f"{total_seconds:.1f}s end to end (build included)")
+
+
+if __name__ == "__main__":
+    main()

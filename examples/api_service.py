@@ -1,18 +1,31 @@
-"""Serve a built taxonomy through the versioned service facade (Table II).
+"""Serve a built taxonomy over real HTTP and query it with the SDK.
 
-Replays a workload with the paper's production call mix (men2ent 53%,
-getEntity 31%, getConcept 17%) through :class:`TaxonomyService` —
-batched calls, an atomic snapshot swap mid-lifetime the way a nightly
-rebuild would publish, and the per-API latency/hit ledger the facade
-keeps across swaps.
+Launches the full :mod:`repro.serving` stack — a
+:class:`ShardedSnapshotStore` split over 4 key-hashed shards, a
+replication-aware router (2 replicas per shard), and the stdlib HTTP
+server — then drives the paper's Table-II call mix through
+:class:`TaxonomyClient` over the wire, hot-swaps a rebuilt taxonomy
+through the authenticated ``/admin/swap`` endpoint with zero downtime,
+and prints both ledgers (client-side wire latency with p50/p95/p99
+tails, server-side cluster metrics).
 
 Run:  python examples/api_service.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.core.pipeline import PipelineConfig, build_cn_probase
 from repro.encyclopedia import SyntheticWorld
 from repro.eval.report import format_count, format_percent, render_table
-from repro.taxonomy import TaxonomyService, WorkloadGenerator
+from repro.serving import TaxonomyClient, build_cluster, start_server
+from repro.taxonomy import WorkloadGenerator
+
+ADMIN_TOKEN = "example-admin-token"
+SHARDS = 4
+REPLICAS = 2
+N_CALLS = 4_000
+BATCH_SIZE = 32
 
 
 def main() -> None:
@@ -20,58 +33,90 @@ def main() -> None:
     result = build_cn_probase(
         world.dump(), PipelineConfig(enable_abstract=False)
     )
-    service = TaxonomyService(result.taxonomy)
 
-    print(f"serving snapshot {service.version_id} "
-          f"({result.taxonomy.stats().n_isa_total} isA relations)")
-    print("replaying 50,000 API calls with the paper's call mix "
-          "(batches of 32)...")
-    generator = WorkloadGenerator(result.taxonomy, seed=1, miss_rate=0.05)
-    generator.run_service(service, 25_000, batch_size=32)
-
-    # A rebuild lands: publish it atomically, then keep serving.  The
-    # ledger below spans both snapshots.
-    new_world = SyntheticWorld.generate(seed=6, n_entities=1200)
-    rebuilt = build_cn_probase(
-        new_world.dump(), PipelineConfig(enable_abstract=False)
+    service = build_cluster(
+        result.taxonomy, shards=SHARDS, replicas=REPLICAS
     )
-    snapshot = service.swap(rebuilt.taxonomy)
-    print(f"swapped in snapshot {snapshot.version_id} "
-          f"(rebuild published atomically, {service.metrics.swaps} swap)")
-    generator = WorkloadGenerator(rebuilt.taxonomy, seed=2, miss_rate=0.05)
-    generator.run_service(service, 25_000, batch_size=32)
+    server = start_server(service, port=0, admin_token=ADMIN_TOKEN)
+    client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+    try:
+        health = client.healthz()
+        print(f"cluster up at {server.url}: "
+              f"version {health['version']}, {health['shards']} shards, "
+              f"{REPLICAS} replicas/shard "
+              f"({result.taxonomy.stats().n_isa_total} isA relations)")
 
-    metrics = service.metrics
-    rows = [
-        [name,
-         format_count(entry.calls),
-         format_percent(entry.calls / metrics.total_calls),
-         format_percent(entry.hit_rate),
-         f"{entry.mean_seconds * 1e6:.1f}",
-         f"{entry.max_seconds * 1e6:.1f}"]
-        for name, entry in (
-            (n, metrics.latency(n))
-            for n in ("men2ent", "getConcept", "getEntity")
+        print(f"replaying {2 * N_CALLS:,} API calls over HTTP with the "
+              f"paper's call mix (batches of {BATCH_SIZE})...")
+        generator = WorkloadGenerator(result.taxonomy, seed=1, miss_rate=0.05)
+        generator.run_service(client, N_CALLS, batch_size=BATCH_SIZE)
+
+        # A rebuild lands: save it where the server can load it, then
+        # publish it atomically through the admin API.  In-flight
+        # batches finish on the version they pinned; the ledgers below
+        # span both versions.
+        new_world = SyntheticWorld.generate(seed=6, n_entities=1200)
+        rebuilt = build_cn_probase(
+            new_world.dump(), PipelineConfig(enable_abstract=False)
         )
-    ]
-    print()
-    print(render_table(
-        ["API name", "calls", "mix", "hit rate", "mean µs", "max µs"],
-        rows,
-        title="Table II (replayed) — the facade's per-API ledger",
-    ))
+        with tempfile.TemporaryDirectory() as tmp:
+            rebuilt_path = Path(tmp) / "rebuilt.jsonl"
+            rebuilt.taxonomy.save(rebuilt_path)
+            swapped = client.swap(str(rebuilt_path))
+        print(f"hot-swapped to {swapped['version']} via /admin/swap "
+              "(all shards republished in one atomic assignment)")
 
-    # A couple of live queries for flavour, against the served snapshot.
-    entity = next(
-        e for e in new_world.entities
-        if rebuilt.taxonomy.has_entity(e.page_id)
-    )
-    print(f"\nlive: men2ent({entity.name!r}) = {service.men2ent(entity.name)}")
-    batch = [
-        e.name for e in new_world.entities[1:20]
-        if rebuilt.taxonomy.has_entity(e.page_id)
-    ][:3]
-    print(f"live: men2ent_batch({batch!r}) = {service.men2ent_batch(batch)}")
+        generator = WorkloadGenerator(rebuilt.taxonomy, seed=2, miss_rate=0.05)
+        generator.run_service(client, N_CALLS, batch_size=BATCH_SIZE)
+
+        metrics = client.metrics
+        rows = [
+            [name,
+             format_count(entry.calls),
+             format_percent(entry.calls / metrics.total_calls),
+             format_percent(entry.hit_rate),
+             f"{entry.p50_seconds * 1e6:.0f}",
+             f"{entry.p95_seconds * 1e6:.0f}",
+             f"{entry.p99_seconds * 1e6:.0f}"]
+            for name, entry in (
+                (n, metrics.latency(n))
+                for n in ("men2ent", "getConcept", "getEntity")
+            )
+        ]
+        print()
+        print(render_table(
+            ["API name", "calls", "mix", "hit rate",
+             "p50 µs", "p95 µs", "p99 µs"],
+            rows,
+            title="Table II (replayed over HTTP) — client wire latency",
+        ))
+
+        remote = client.server_metrics()
+        print(f"\nserver ledger: {remote['total_calls']:,} calls served, "
+              f"{remote['swaps']} swap(s), now at {remote['version']}")
+        if "router" in remote:
+            stats = remote["router"]["stats"]
+            print(f"router: {stats['attempts']:,} replica attempts, "
+                  f"{stats['failovers']} failovers")
+
+        # A couple of live queries for flavour, over the wire.
+        entity = next(
+            e for e in new_world.entities
+            if rebuilt.taxonomy.has_entity(e.page_id)
+        )
+        print(f"\nlive: men2ent({entity.name!r}) = "
+              f"{client.men2ent(entity.name)}")
+        batch = [
+            e.name for e in new_world.entities[1:20]
+            if rebuilt.taxonomy.has_entity(e.page_id)
+        ][:3]
+        print(f"live: men2ent_batch({batch!r}) = "
+              f"{client.men2ent_batch(batch)}")
+
+        client.shutdown_server()
+        print("\nserver shut down over /admin/shutdown")
+    finally:
+        server.close()
 
 
 if __name__ == "__main__":

@@ -25,6 +25,16 @@ The package is organised as one subpackage per subsystem:
   iterates the registry and records per-stage wall-clock and candidate
   counts into ``BuildResult.stage_trace``; third-party stages plug in
   by registering against the builder's registry, no core edits needed.
+- :mod:`repro.serving` — the deployment shape of the paper's shared
+  service: a :class:`~repro.serving.sharding.ShardedSnapshotStore`
+  (N key-hashed shards of one read-optimized taxonomy, swapped
+  all-or-nothing so no batch ever spans two versions), a
+  replication-aware :class:`~repro.serving.router.ReplicatedRouter`
+  (R replicas per shard, failover + health probes), a stdlib HTTP/JSON
+  server with hot-swap admin endpoints, and the
+  :class:`~repro.serving.client.TaxonomyClient` SDK — all behind the
+  same canonical serving surface as the in-process facade
+  (``cn-probase serve <taxonomy> --shards N --replicas R``).
 - :mod:`repro.baselines` — Chinese WikiTaxonomy, Bigcilin and Probase-Tran.
 - :mod:`repro.eval` — precision sampling, QA coverage and report rendering.
 
@@ -56,6 +66,11 @@ _LAZY_EXPORTS = {
     "Taxonomy": "repro.taxonomy",
     "TaxonomyAPI": "repro.taxonomy",
     "TaxonomyService": "repro.taxonomy",
+    "ReplicatedRouter": "repro.serving",
+    "ShardedSnapshotStore": "repro.serving",
+    "TaxonomyClient": "repro.serving",
+    "build_cluster": "repro.serving",
+    "start_server": "repro.serving",
 }
 
 
@@ -80,13 +95,18 @@ __all__ = [
     "EncyclopediaDump",
     "EncyclopediaPage",
     "PipelineConfig",
+    "ReplicatedRouter",
+    "ShardedSnapshotStore",
     "StageRegistry",
     "StageTrace",
     "SyntheticWorld",
     "Taxonomy",
     "TaxonomyAPI",
+    "TaxonomyClient",
     "TaxonomyService",
+    "build_cluster",
     "build_cn_probase",
     "default_registry",
+    "start_server",
     "__version__",
 ]

@@ -12,6 +12,8 @@ Usage::
     cn-probase query --taxonomy taxonomy.jsonl men2ent 刘德华
     cn-probase query --taxonomy taxonomy.jsonl getConcept 刘德华#0
     cn-probase query --taxonomy taxonomy.jsonl getEntity 歌手
+    cn-probase serve taxonomy.jsonl --shards 4 --replicas 2 --port 8321 \
+        --admin-token s3cret
 
 ``build --workers N`` runs independent generation sources concurrently
 and shards per-relation-pure verifiers over relation chunks (output is
@@ -20,6 +22,15 @@ dump-fingerprint keyed reuse of harvested lexicon / segmented corpus /
 PMI counts.  Every build writes a ``<out>.trace.json`` sidecar with the
 per-stage seconds/workers/cache columns; ``stages --trace`` pretty-prints
 the last one.
+
+``serve`` publishes the taxonomy over the :mod:`repro.serving` HTTP
+cluster: ``--shards N`` key-hashes the read-optimized indexes into N
+atomically-swappable shards, ``--replicas R`` spreads reads over R
+replicas per shard with failover, ``--admin-token`` arms the
+authenticated ``/admin/swap`` (hot-swap a rebuilt taxonomy file with
+zero downtime) and ``/admin/shutdown`` endpoints, and ``--ready-file``
+writes ``<host> <port>`` once the socket is bound (``--port 0`` picks a
+free port) so scripts can wait for readiness.
 
 Every subcommand is importable (:func:`main` takes an argv list), which
 is how the test suite drives it.
@@ -174,6 +185,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import build_cluster
+    from repro.serving.server import start_server
+
+    taxonomy = Taxonomy.load(args.taxonomy)
+    service = build_cluster(
+        taxonomy, shards=args.shards, replicas=args.replicas
+    )
+    server = start_server(
+        service,
+        host=args.host,
+        port=args.port,
+        admin_token=args.admin_token,
+    )
+    try:
+        stats = taxonomy.stats()
+        print(f"serving {args.taxonomy} "
+              f"({stats.n_isa_total} isA relations) at {server.url}")
+        print(f"shards={args.shards} replicas={args.replicas} "
+              f"version={service.version_id}")
+        if args.admin_token:
+            print("admin API armed: POST /admin/swap, /admin/shutdown")
+        if args.ready_file:
+            host, port = server.server_address[:2]
+            Path(args.ready_file).write_text(
+                f"{host} {port}\n", encoding="utf-8"
+            )
+        server.wait()
+        print("server stopped")
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cn-probase",
@@ -223,6 +270,29 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print taxonomy statistics")
     stats.add_argument("--taxonomy", required=True)
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="serve a taxonomy over HTTP (sharded, hot-swappable)"
+    )
+    serve.add_argument("taxonomy", help="taxonomy JSONL file to publish")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="key-hashed shards for the read indexes; "
+                            "answers are identical at any shard count "
+                            "(default: 1)")
+    serve.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="read replicas per shard with failover "
+                            "routing (default: 1)")
+    serve.add_argument("--port", type=int, default=8321, metavar="P",
+                       help="listen port; 0 picks a free one "
+                            "(default: 8321)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--admin-token", default=None, metavar="TOKEN",
+                       help="bearer token arming POST /admin/swap and "
+                            "/admin/shutdown (disabled when omitted)")
+    serve.add_argument("--ready-file", default=None, metavar="PATH",
+                       help="write '<host> <port>' here once listening "
+                            "(for scripts that must wait for the server)")
+    serve.set_defaults(func=_cmd_serve)
 
     query = sub.add_parser("query", help="call one of the three APIs")
     query.add_argument("--taxonomy", required=True)

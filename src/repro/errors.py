@@ -35,3 +35,12 @@ class PipelineError(ReproError):
 
 class APIError(ReproError):
     """Raised by the taxonomy serving layer on bad requests."""
+
+
+class ServiceUnavailableError(APIError):
+    """Raised when no healthy replica can serve a request.
+
+    A transient availability failure, not a caller mistake: the HTTP
+    layer maps it to 503 so clients retry, unlike the 400 a plain
+    :class:`APIError` becomes.
+    """

@@ -1,0 +1,122 @@
+"""repro.serving — the sharded HTTP serving cluster.
+
+The paper's system runs as a shared Aliyun service answering the
+Table-II workload (tens of millions of ``men2ent`` / ``getConcept`` /
+``getEntity`` calls) while the taxonomy behind it is periodically
+rebuilt.  This package turns the PR-1/2 in-process facade into that
+deployment shape, stdlib-only:
+
+Architecture (request path, top to bottom)::
+
+    TaxonomyClient          urllib SDK: batching, retries, own metrics
+        │  JSON over HTTP
+    ClusterHTTPServer       ThreadingHTTPServer, one thread per request
+        │
+    ReplicatedRouter        key→shard routing + R replicas per shard,
+        │                   retry-on-failure, health marks, probes
+    ShardedSnapshotStore    N crc32-hashed shards of one frozen
+        │                   ReadOptimizedTaxonomy, swapped as a unit
+    ShardSnapshot × N       per-shard immutable read views
+
+- **Sharding** (:mod:`repro.serving.sharding`): each serving index is
+  keyed independently (mention / page_id / concept), so splitting every
+  index by ``crc32(key) % N`` preserves per-key answers exactly —
+  sharded responses are byte-identical to the unsharded facade at any
+  shard count.  Batches pin one :class:`~repro.serving.sharding.ShardSet`,
+  fan out one ordered group per shard and merge by position; a swap
+  partitions the *whole* replacement set before one atomic reference
+  assignment, so a failed rebuild keeps the old version serving and no
+  batch ever spans two versions.
+- **Routing** (:mod:`repro.serving.router`): reads spread round-robin
+  over R replicas per shard; a replica that raises is marked unhealthy
+  and the call retries on the next one (configurable attempts); an
+  unhealthy replica rejoins only after a probe passes (auto-probed
+  every ``probe_after`` skips, or forced via ``probe()``).
+- **Server** (:mod:`repro.serving.server`): the JSON wire (below) plus
+  ``/healthz``, ``/version``, ``/metrics`` (the
+  :class:`~repro.taxonomy.service.ServiceMetrics` ledger with
+  p50/p95/p99 tail latencies) and bearer-token-authenticated
+  ``/admin/swap`` + ``/admin/shutdown``.
+- **Client** (:mod:`repro.serving.client`): a
+  :class:`~repro.serving.client.TaxonomyClient` exposing the canonical
+  :class:`~repro.taxonomy.service.BatchedServingAPI` surface, so
+  ``WorkloadGenerator.run_service`` drives a remote cluster unchanged.
+
+Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
+
+- ``GET /v1/{men2ent|getConcept|getEntity}?q=<argument>`` →
+  ``{"api": ..., "version": "v3", "argument": ..., "results": [...]}``
+- ``POST /v1/{api}`` body ``{"arguments": ["a", "b", ...]}`` →
+  ``{"api": ..., "version": "v3", "results": [[...], [...], ...]}``
+  (position-for-position, one pinned version per shard group)
+- ``GET /healthz`` → ``{"status": "ok", "version": ..., "shards": N}``;
+  when routing is on and a shard has zero healthy replicas the status
+  becomes ``degraded`` with ``unhealthy_shards`` listed, served as 503
+  so load balancers rotate the instance out
+- ``GET /version`` → version + shard/replica topology
+- ``GET /metrics`` → cumulative per-API calls/hits/mean/p50/p95/p99/max
+  plus router attempt/failover/probe counters when routing is on
+- ``POST /admin/swap`` body ``{"taxonomy": "<server-side path>"}``,
+  header ``Authorization: Bearer <token>`` →
+  ``{"swapped": true, "version": "v4"}``; 401 on bad token, 403 when
+  the server runs without a token, 400 (old version still serving) on a
+  failed load
+- ``POST /admin/shutdown`` (same auth) → ``{"shutting_down": true}``
+- errors → ``{"error": "<message>"}``; 400 for caller mistakes
+  (never retried by the client), 503 when no healthy replica can serve
+  a shard (transient — the client's retry/backoff applies), plus
+  401/403/404/500
+
+``cn-probase serve <taxonomy> --shards N --replicas R --port P`` wires
+the stack up from a taxonomy file; :func:`build_cluster` does the same
+in-process.
+"""
+
+from __future__ import annotations
+
+from repro.errors import APIError
+from repro.serving.client import TaxonomyClient
+from repro.serving.router import ReplicatedRouter, StoreShardReplica
+from repro.serving.server import (
+    ClusterHTTPServer,
+    start_server,
+)
+from repro.serving.sharding import (
+    ShardSet,
+    ShardSnapshot,
+    ShardedSnapshotStore,
+    shard_for,
+)
+
+__all__ = [
+    "ClusterHTTPServer",
+    "ReplicatedRouter",
+    "ShardSet",
+    "ShardSnapshot",
+    "ShardedSnapshotStore",
+    "StoreShardReplica",
+    "TaxonomyClient",
+    "build_cluster",
+    "shard_for",
+    "start_server",
+]
+
+
+def build_cluster(taxonomy, *, shards: int = 1, replicas: int = 1):
+    """The service front ``cn-probase serve`` puts behind HTTP.
+
+    Always a :class:`ShardedSnapshotStore` (``shards=1`` degenerates to
+    the unsharded layout with the same swap guarantees); with
+    ``replicas > 1`` a :class:`ReplicatedRouter` spreads reads over R
+    in-process replicas per shard and the router is returned instead
+    (its ``swap`` delegates to the store, so admin hot-swaps behave
+    identically either way).
+    """
+    if shards < 1:
+        raise APIError(f"shards must be >= 1, got {shards}")
+    if replicas < 1:
+        raise APIError(f"replicas must be >= 1, got {replicas}")
+    store = ShardedSnapshotStore(taxonomy, n_shards=shards)
+    if replicas == 1:
+        return store
+    return ReplicatedRouter.from_store(store, replicas=replicas)

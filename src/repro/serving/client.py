@@ -1,0 +1,206 @@
+"""`TaxonomyClient` — the urllib-based SDK for the serving cluster.
+
+The client exposes the same canonical
+:class:`~repro.taxonomy.service.BatchedServingAPI` surface as the
+in-process service, so anything written against ``TaxonomyService`` —
+including :meth:`~repro.taxonomy.api.WorkloadGenerator.run_service` —
+drives a remote cluster unchanged.  Singles go over
+``GET /v1/{api}?q=...``, batches over ``POST /v1/{api}``; transient
+transport failures and 5xx responses are retried with linear backoff,
+while 4xx responses surface immediately as :class:`APIError` (the
+server already rejected the request; resending it cannot help).
+
+The client keeps its own :class:`ServiceMetrics` ledger of end-to-end
+(wire-inclusive) latencies, which is what
+``WorkloadGenerator.run_service`` returns when driven with a client.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Sequence
+
+from repro.errors import APIError
+from repro.taxonomy.service import (
+    WIRE_API_METHODS,
+    BatchedServingAPI,
+    ServiceMetrics,
+)
+
+#: wire api names, in the order the paper lists them (Table II)
+WIRE_API_NAMES = tuple(WIRE_API_METHODS)
+
+
+class TaxonomyClient(BatchedServingAPI):
+    """Small SDK over the cluster's JSON wire format."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff_seconds: float = 0.05,
+        admin_token: str | None = None,
+    ) -> None:
+        if retries < 0:
+            raise APIError(f"retries must be >= 0, got {retries}")
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+        self._retries = retries
+        self._backoff_seconds = backoff_seconds
+        self._admin_token = admin_token
+        self.metrics = ServiceMetrics()
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        *,
+        body: dict | None = None,
+        admin: bool = False,
+        idempotent: bool = True,
+        degraded_ok: bool = False,
+    ) -> dict:
+        """One JSON round trip with bounded retries.
+
+        Retries cover connection errors and 5xx (the replica/router
+        layer may have failed over by the next attempt); 4xx raise
+        immediately with the server's error message.  Non-idempotent
+        calls (admin mutations like swap) are never resent: a timeout
+        after the server already acted would otherwise repeat the
+        action.  With ``degraded_ok`` a non-2xx JSON body that is a
+        status report rather than an error (the 503 ``/healthz``
+        answers when a shard has no healthy replicas) is returned
+        instead of retried — health callers want to *read* that state,
+        not throw on it.
+        """
+        url = f"{self._base_url}{path}"
+        headers = {"Content-Type": "application/json; charset=utf-8"}
+        if admin:
+            if self._admin_token is None:
+                raise APIError(
+                    "admin call needs a client constructed with admin_token"
+                )
+            headers["Authorization"] = f"Bearer {self._admin_token}"
+        data = (
+            json.dumps(body, ensure_ascii=False).encode("utf-8")
+            if body is not None
+            else None
+        )
+        attempts = (self._retries + 1) if idempotent else 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._backoff_seconds * attempt)
+            request = urllib.request.Request(
+                url, data=data, headers=headers,
+                method="POST" if data is not None else "GET",
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self._timeout
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                payload = self._error_payload(exc)
+                if degraded_ok and "error" not in payload:
+                    return payload  # a status report, not a failure
+                detail = payload.get("error", payload.get("_raw", exc))
+                if exc.code < 500:  # the server meant it: don't retry
+                    raise APIError(
+                        f"{path}: HTTP {exc.code}: {detail}"
+                    ) from exc
+                last_error = APIError(f"{path}: HTTP {exc.code}: {detail}")
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                last_error = exc
+        raise APIError(
+            f"{path}: no response after {attempts} attempts: {last_error}"
+        ) from last_error
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> dict:
+        """The JSON body of a non-2xx response, if it has one."""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            if isinstance(payload, dict):
+                return payload
+            return {"_raw": str(payload)}
+        except Exception:
+            reason = exc.reason if isinstance(exc.reason, str) else str(exc)
+            return {"_raw": reason}
+
+    # -- serving hooks (BatchedServingAPI) -------------------------------------
+
+    def _single(self, api_name: str, argument: str) -> list[str]:
+        query = urllib.parse.urlencode({"q": argument})
+        started = time.perf_counter()
+        payload = self._request(f"/v1/{api_name}?{query}")
+        results = payload.get("results")
+        if not isinstance(results, list):
+            raise APIError(f"{api_name}: malformed response {payload!r}")
+        self.metrics.observe(
+            api_name, time.perf_counter() - started, bool(results)
+        )
+        return results
+
+    def _batch(
+        self, api_name: str, arguments: Sequence[str]
+    ) -> list[list[str]]:
+        started = time.perf_counter()
+        payload = self._request(
+            f"/v1/{api_name}", body={"arguments": list(arguments)}
+        )
+        results = payload.get("results")
+        if not isinstance(results, list) or len(results) != len(arguments):
+            raise APIError(f"{api_name}: malformed batch response")
+        elapsed = time.perf_counter() - started
+        # One wire round trip served the whole batch; attribute the
+        # cost evenly so per-call means stay comparable with singles.
+        per_call = elapsed / len(results) if results else elapsed
+        for result in results:
+            self.metrics.observe(api_name, per_call, bool(result))
+        return results
+
+    # -- cluster info ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Cluster liveness — including the degraded state.
+
+        A degraded cluster answers 503 with a health body
+        (``{"status": "degraded", "unhealthy_shards": [...]}``); that
+        payload is returned, not raised, so monitors can read it.
+        """
+        return self._request("/healthz", degraded_ok=True)
+
+    def version(self) -> dict:
+        return self._request("/version")
+
+    def server_metrics(self) -> dict:
+        """The server-side ledger (the client's own is ``.metrics``)."""
+        return self._request("/metrics")
+
+    # -- admin -----------------------------------------------------------------
+
+    def swap(self, taxonomy_path: str) -> dict:
+        """Hot-swap the server onto the taxonomy file at *taxonomy_path*.
+
+        The path is resolved by the **server** process; the file must be
+        readable there.
+        """
+        return self._request(
+            "/admin/swap",
+            body={"taxonomy": str(taxonomy_path)},
+            admin=True,
+            idempotent=False,
+        )
+
+    def shutdown_server(self) -> dict:
+        return self._request(
+            "/admin/shutdown", body={}, admin=True, idempotent=False
+        )

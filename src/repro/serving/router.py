@@ -1,0 +1,391 @@
+"""Replication-aware routing over shard replicas.
+
+:class:`ReplicatedRouter` is the availability layer of the cluster: it
+owns the key→shard routing (the same stable :func:`~repro.serving.sharding.shard_for`
+hash the store uses) and, for each shard, spreads reads round-robin over
+``R`` replica backends.  A replica that raises is marked unhealthy and
+the call fails over to the next healthy replica, up to a configurable
+number of retries; unhealthy replicas are skipped until a probe passes
+(probes run automatically every ``probe_after`` skips, and can be forced
+with :meth:`ReplicatedRouter.probe`).
+
+A replica backend is anything with the three single-key lookups
+(``men2ent`` / ``get_concepts`` / ``get_entities``) answering for that
+shard's slice of the keyspace — in-process
+:class:`StoreShardReplica` views over a
+:class:`~repro.serving.sharding.ShardedSnapshotStore` (what
+``cn-probase serve --replicas R`` wires up), or remote per-shard
+clients in a real deployment.
+
+Consistency note: a store-backed router pins one
+:class:`~repro.serving.sharding.ShardSet` per *batch* (via the
+``pinned_in()`` backend hook), so a batched response never mixes
+versions even when a swap lands between shard groups — the same
+guarantee the store itself gives.  Backends without ``pinned_in`` (e.g.
+truly remote replicas) degrade to per-group pinning: answers within a
+shard group are still never torn, but cross-shard atomicity would need
+cross-node coordination the wire protocol does not carry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+from repro.errors import APIError, ServiceUnavailableError
+from repro.serving.sharding import (
+    _API_LOOKUPS,
+    ShardedSnapshotStore,
+    shard_for,
+)
+from repro.taxonomy.service import BatchedServingAPI, ServiceMetrics
+
+#: The benign lookup a probe sends when the backend has no healthcheck().
+PROBE_KEY = "__probe__"
+
+
+class StoreShardReplica:
+    """In-process replica of one shard of a :class:`ShardedSnapshotStore`.
+
+    Late-binding: every lookup reads the store's *current* shard set, so
+    a swap on the store propagates to all replicas at once.  One replica
+    object per (shard, replica slot) keeps health state meaningful even
+    though process-local replicas share the underlying index memory.
+    """
+
+    def __init__(self, store: ShardedSnapshotStore, shard_id: int) -> None:
+        self._store = store
+        self._shard_id = shard_id
+
+    def _view(self):
+        return self._store.shard_set.shards[self._shard_id].read_view
+
+    def men2ent(self, mention: str) -> list[str]:
+        return self._view().men2ent(mention)
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        return self._view().get_concepts(page_id)
+
+    def get_entities(self, concept: str) -> list[str]:
+        return self._view().get_entities(concept)
+
+    def pinned(self):
+        """One snapshot view for a whole batch group (swap-proof)."""
+        return self._view()
+
+    def pinned_in(self, shard_set):
+        """This replica's view inside an explicitly pinned shard set.
+
+        The router pins one set per *batch* (not per group) with this,
+        so a swap landing between shard groups cannot mix versions
+        within one batched response.
+        """
+        return shard_set.shards[self._shard_id].read_view
+
+    def healthcheck(self) -> bool:
+        self._view()
+        return True
+
+
+@dataclass
+class ReplicaState:
+    """Router-side health bookkeeping for one replica backend."""
+
+    backend: object
+    healthy: bool = True
+    failures: int = 0
+    skips_since_down: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "healthy": self.healthy,
+            "failures": self.failures,
+            "skips_since_down": self.skips_since_down,
+        }
+
+
+@dataclass
+class RouterStats:
+    """Cumulative routing outcomes (for ``/metrics`` and tests)."""
+
+    attempts: int = 0
+    failovers: int = 0
+    probes: int = 0
+    probe_recoveries: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "failovers": self.failovers,
+            "probes": self.probes,
+            "probe_recoveries": self.probe_recoveries,
+        }
+
+
+class ReplicatedRouter(BatchedServingAPI):
+    """Route the canonical serving surface over shards × replicas."""
+
+    def __init__(
+        self,
+        replica_sets: Sequence[Sequence[object]],
+        *,
+        retries: int = 2,
+        probe_after: int = 16,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if not replica_sets or any(not replicas for replicas in replica_sets):
+            raise APIError("router needs >= 1 replica for every shard")
+        if retries < 0:
+            raise APIError(f"retries must be >= 0, got {retries}")
+        if probe_after < 1:
+            raise APIError(f"probe_after must be >= 1, got {probe_after}")
+        self._replicas: list[list[ReplicaState]] = [
+            [ReplicaState(backend) for backend in replicas]
+            for replicas in replica_sets
+        ]
+        self._rr: list[int] = [0] * len(self._replicas)
+        self._retries = retries
+        self._probe_after = probe_after
+        self._lock = threading.Lock()
+        self._store: ShardedSnapshotStore | None = None
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.stats = RouterStats()
+
+    @classmethod
+    def from_store(
+        cls,
+        store: ShardedSnapshotStore,
+        *,
+        replicas: int = 2,
+        retries: int = 2,
+        probe_after: int = 16,
+    ) -> "ReplicatedRouter":
+        """R in-process replicas per shard over one sharded store.
+
+        The router delegates :meth:`swap` to the store, so an admin
+        hot-swap through the router republishes every replica of every
+        shard in the store's single atomic assignment.  Router and store
+        share one metrics ledger: the front is one service, however the
+        calls reach it.
+        """
+        if replicas < 1:
+            raise APIError(f"replicas must be >= 1, got {replicas}")
+        router = cls(
+            [
+                [StoreShardReplica(store, shard_id) for _ in range(replicas)]
+                for shard_id in range(store.n_shards)
+            ],
+            retries=retries,
+            probe_after=probe_after,
+            metrics=store.metrics,
+        )
+        router._store = store
+        return router
+
+    # -- cluster topology / versioning ----------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def n_replicas(self) -> int:
+        return max(len(replicas) for replicas in self._replicas)
+
+    @property
+    def version_id(self) -> str:
+        if self._store is None:
+            raise APIError("router has no backing store to version")
+        return self._store.version_id
+
+    def shard_versions(self) -> list[str]:
+        if self._store is None:
+            raise APIError("router has no backing store to version")
+        return self._store.shard_versions()
+
+    def swap(self, taxonomy):
+        """Hot-swap the backing store (store-backed routers only)."""
+        if self._store is None:
+            raise APIError(
+                "router has no backing store; swap the shard backends "
+                "directly"
+            )
+        return self._store.swap(taxonomy)
+
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> list[list[dict[str, object]]]:
+        """Per-shard, per-replica health (shard order, replica order)."""
+        return [
+            [state.as_dict() for state in replicas]
+            for replicas in self._replicas
+        ]
+
+    def mark_unhealthy(self, shard_id: int, replica_index: int) -> None:
+        state = self._replicas[shard_id][replica_index]
+        with self._lock:
+            state.healthy = False
+            state.skips_since_down = 0
+
+    def probe(self, shard_id: int, replica_index: int) -> bool:
+        """Probe one replica; on success it rejoins the rotation."""
+        state = self._replicas[shard_id][replica_index]
+        with self._lock:
+            self.stats.probes += 1
+        try:
+            check = getattr(state.backend, "healthcheck", None)
+            if check is not None:
+                ok = bool(check())
+            else:
+                state.backend.men2ent(PROBE_KEY)
+                ok = True
+        except Exception:
+            ok = False
+        with self._lock:
+            if ok:
+                if not state.healthy:
+                    self.stats.probe_recoveries += 1
+                state.healthy = True
+                state.skips_since_down = 0
+            else:
+                state.healthy = False
+                state.skips_since_down = 0
+        return ok
+
+    def probe_all(self) -> int:
+        """Probe every unhealthy replica; returns how many recovered."""
+        recovered = 0
+        for shard_id, replicas in enumerate(self._replicas):
+            for replica_index, state in enumerate(replicas):
+                if not state.healthy and self.probe(shard_id, replica_index):
+                    recovered += 1
+        return recovered
+
+    # -- routing ---------------------------------------------------------------
+
+    def _pick(self, shard_id: int, exclude: set[int]) -> int | None:
+        """Next replica for *shard_id*: round-robin over healthy ones.
+
+        Every pick counts one skip against each unhealthy replica;
+        after ``probe_after`` skips a replica is probed in-line, so a
+        recovered backend rejoins the rotation without an operator
+        call (a failed probe resets the countdown — cheap exponential-ish
+        backoff).  Returns None when every replica is excluded or down.
+        """
+        replicas = self._replicas[shard_id]
+        with self._lock:
+            start = self._rr[shard_id]
+            self._rr[shard_id] = (start + 1) % len(replicas)
+            probe_candidate: int | None = None
+            for index, state in enumerate(replicas):
+                if state.healthy or index in exclude:
+                    continue
+                state.skips_since_down += 1
+                if (
+                    probe_candidate is None
+                    and state.skips_since_down >= self._probe_after
+                ):
+                    probe_candidate = index
+        if probe_candidate is not None:
+            self.probe(shard_id, probe_candidate)
+        for offset in range(len(replicas)):
+            index = (start + offset) % len(replicas)
+            if index in exclude:
+                continue
+            if replicas[index].healthy:
+                return index
+        return None
+
+    def _serve_group(
+        self,
+        api_name: str,
+        shard_id: int,
+        arguments: Sequence[str],
+        pin=None,
+    ) -> list[list[str]]:
+        """Serve one shard's argument group on one replica.
+
+        The replica is pinned for the whole group — against *pin* (the
+        shard set a batch captured up front) via the backend's
+        ``pinned_in()`` hook when both exist, else via its ``pinned()``
+        hook — so a concurrent swap cannot tear the group.  A replica
+        failure marks it unhealthy and the *entire* group fails over to
+        the next one; metrics are only recorded for the replica that
+        answered.
+        """
+        lookup_name = _API_LOOKUPS[api_name]
+        attempts = self._retries + 1
+        tried: set[int] = set()
+        last_error: Exception | None = None
+        for _ in range(attempts):
+            index = self._pick(shard_id, tried)
+            if index is None:
+                break
+            state = self._replicas[shard_id][index]
+            with self._lock:
+                self.stats.attempts += 1
+            pinned_in = getattr(state.backend, "pinned_in", None)
+            pinned = getattr(state.backend, "pinned", None)
+            if pin is not None and pinned_in is not None:
+                target = pinned_in(pin)
+            elif pinned is not None:
+                target = pinned()
+            else:
+                target = state.backend
+            try:
+                call = getattr(target, lookup_name)
+                served: list[tuple[list[str], float]] = []
+                for argument in arguments:
+                    started = perf_counter()
+                    result = call(argument)
+                    served.append((result, perf_counter() - started))
+            except Exception as exc:  # failed replica: mark + fail over
+                last_error = exc
+                tried.add(index)
+                with self._lock:
+                    state.healthy = False
+                    state.failures += 1
+                    state.skips_since_down = 0
+                    self.stats.failovers += 1
+                continue
+            for result, elapsed in served:
+                self.metrics.observe(api_name, elapsed, bool(result))
+            return [result for result, _ in served]
+        detail = f": {last_error}" if last_error is not None else ""
+        raise ServiceUnavailableError(
+            f"{api_name}: no healthy replica for shard {shard_id} "
+            f"after {attempts} attempts{detail}"
+        )
+
+    # -- serving hooks ---------------------------------------------------------
+
+    def _single(self, api_name: str, argument: str) -> list[str]:
+        shard_id = shard_for(argument, self.n_shards)
+        return self._serve_group(api_name, shard_id, [argument])[0]
+
+    def _batch(
+        self, api_name: str, arguments: Sequence[str]
+    ) -> list[list[str]]:
+        # Group by shard so each shard's group lands on one replica —
+        # the per-shard sub-batch a network front would send as one
+        # request.  Order is restored by position on merge.  For a
+        # store-backed router one shard set is pinned for the whole
+        # batch, so a swap landing between groups cannot mix versions
+        # in one response (the same guarantee the store itself gives).
+        pin = self._store.shard_set if self._store is not None else None
+        groups: dict[int, list[int]] = {}
+        for position, argument in enumerate(arguments):
+            groups.setdefault(
+                shard_for(argument, self.n_shards), []
+            ).append(position)
+        results: list[list[str] | None] = [None] * len(arguments)
+        for shard_id, positions in groups.items():
+            group = self._serve_group(
+                api_name, shard_id, [arguments[p] for p in positions],
+                pin=pin,
+            )
+            for position, result in zip(positions, group):
+                results[position] = result
+        return results  # type: ignore[return-value]

@@ -1,0 +1,325 @@
+"""stdlib HTTP server for the taxonomy serving cluster.
+
+A thin JSON wire over any service-shaped front (the in-process
+:class:`~repro.taxonomy.service.TaxonomyService`, a
+:class:`~repro.serving.sharding.ShardedSnapshotStore`, or a
+:class:`~repro.serving.router.ReplicatedRouter`).  One thread per
+request (:class:`ThreadingHTTPServer`), which the snapshot/shard-set
+pinning underneath is already built to serve safely.
+
+Endpoints (see the package docstring for the full wire format):
+
+- ``GET /v1/{men2ent,getConcept,getEntity}?q=<arg>`` — single query
+- ``POST /v1/{api}`` with ``{"arguments": [...]}`` — batched query
+- ``GET /healthz`` / ``GET /version`` / ``GET /metrics``
+- ``POST /admin/swap`` with ``{"taxonomy": "<path>"}`` — load the
+  taxonomy file server-side and hot-swap it atomically
+- ``POST /admin/shutdown`` — stop serving after the response is sent
+
+Admin endpoints require ``Authorization: Bearer <token>`` matching the
+token the server was started with; with no token configured they are
+disabled (403).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import APIError, ReproError, ServiceUnavailableError
+from repro.taxonomy.service import WIRE_API_METHODS
+from repro.taxonomy.store import Taxonomy
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, ensure_ascii=False).encode("utf-8")
+
+
+class TaxonomyRequestHandler(BaseHTTPRequestHandler):
+    """Dispatch one request against ``self.server.service``."""
+
+    server_version = "cn-probase/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logs stay out of test/benchmark output
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._respond(status, {"error": message})
+
+    def _drain_body(self) -> bytes:
+        """Read the request body off the socket unconditionally.
+
+        With HTTP/1.1 keep-alive an unread body would be parsed as the
+        next request line, so every POST drains it up front — including
+        the paths (bad auth, unknown endpoint) that never look at it.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    @staticmethod
+    def _parse_json_body(raw: bytes) -> dict:
+        if not raw:
+            raise APIError("request body must be a JSON object")
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise APIError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise APIError("request body must be a JSON object")
+        return body
+
+    def _authorized(self) -> bool:
+        token = self.server.admin_token
+        if token is None:
+            self._error(403, "admin API disabled: server started "
+                             "without --admin-token")
+            return False
+        supplied = self.headers.get("Authorization", "")
+        if supplied != f"Bearer {token}":
+            self._error(401, "missing or invalid admin bearer token")
+            return False
+        return True
+
+    # -- HTTP verbs ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            url = urlsplit(self.path)
+            if url.path == "/healthz":
+                payload = self.server.health_payload()
+                status = 200 if payload["status"] == "ok" else 503
+                self._respond(status, payload)
+            elif url.path == "/version":
+                self._respond(200, self.server.version_payload())
+            elif url.path == "/metrics":
+                self._respond(200, self.server.metrics_payload())
+            elif url.path.startswith("/v1/"):
+                self._query_single(url)
+            else:
+                self._error(404, f"no such endpoint: {url.path}")
+        except ServiceUnavailableError as exc:  # transient: clients retry
+            self._error(503, str(exc))
+        except APIError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._error(500, f"internal error: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            raw_body = self._drain_body()
+            url = urlsplit(self.path)
+            if url.path == "/admin/swap":
+                if self._authorized():
+                    self._admin_swap(raw_body)
+            elif url.path == "/admin/shutdown":
+                if self._authorized():
+                    self._respond(200, {"shutting_down": True})
+                    self.server.shutdown_soon()
+            elif url.path.startswith("/v1/"):
+                self._query_batch(url, raw_body)
+            else:
+                self._error(404, f"no such endpoint: {url.path}")
+        except ServiceUnavailableError as exc:  # transient: clients retry
+            self._error(503, str(exc))
+        except APIError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._error(500, f"internal error: {exc}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def _wire_api(self, url) -> tuple[str, tuple[str, str]]:
+        api_name = url.path[len("/v1/"):]
+        methods = WIRE_API_METHODS.get(api_name)
+        if methods is None:
+            known = ", ".join(sorted(WIRE_API_METHODS))
+            raise APIError(f"unknown API {api_name!r}; known APIs: {known}")
+        return api_name, methods
+
+    def _query_single(self, url) -> None:
+        api_name, (single, _) = self._wire_api(url)
+        arguments = parse_qs(url.query).get("q")
+        if not arguments:
+            raise APIError(f"{api_name} needs a ?q=<argument> query")
+        results = getattr(self.server.service, single)(arguments[0])
+        self._respond(200, {
+            "api": api_name,
+            "version": self.server.service_version(),
+            "argument": arguments[0],
+            "results": results,
+        })
+
+    def _query_batch(self, url, raw_body: bytes) -> None:
+        api_name, (_, batch) = self._wire_api(url)
+        body = self._parse_json_body(raw_body)
+        arguments = body.get("arguments")
+        if not isinstance(arguments, list):
+            raise APIError(
+                f"{api_name} batch body must be "
+                '{"arguments": ["...", ...]}'
+            )
+        results = getattr(self.server.service, batch)(arguments)
+        self._respond(200, {
+            "api": api_name,
+            "version": self.server.service_version(),
+            "results": results,
+        })
+
+    # -- admin -----------------------------------------------------------------
+
+    def _admin_swap(self, raw_body: bytes) -> None:
+        body = self._parse_json_body(raw_body)
+        path = body.get("taxonomy")
+        if not isinstance(path, str) or not path:
+            raise APIError('swap body must be {"taxonomy": "<path>"}')
+        try:
+            taxonomy = Taxonomy.load(path)
+            published = self.server.service.swap(taxonomy)
+        except (ReproError, OSError) as exc:  # bad path/perms: caller error
+            raise APIError(f"swap failed, still serving "
+                           f"{self.server.service_version()}: {exc}") from exc
+        version = getattr(
+            published, "version_id", self.server.service_version()
+        )
+        self._respond(200, {"swapped": True, "version": version})
+
+
+class ClusterHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a service front + admin token."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service,
+        *,
+        admin_token: str | None = None,
+    ) -> None:
+        super().__init__(address, TaxonomyRequestHandler)
+        self.service = service
+        self.admin_token = admin_token
+        self._thread: threading.Thread | None = None
+
+    # -- info payloads ---------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def service_version(self) -> str:
+        return getattr(self.service, "version_id", "v?")
+
+    def health_payload(self) -> dict:
+        """Liveness that reflects real serving capacity.
+
+        With a router in front, a shard whose replicas are all down
+        cannot answer its slice of the keyspace — report ``degraded``
+        (the handler returns it as 503) so a load balancer rotates this
+        instance out instead of feeding it traffic that will fail.
+        """
+        payload = {
+            "status": "ok",
+            "version": self.service_version(),
+            "shards": getattr(self.service, "n_shards", 1),
+        }
+        health = getattr(self.service, "health", None)
+        if callable(health):
+            dead_shards = [
+                shard_id
+                for shard_id, replicas in enumerate(health())
+                if not any(state["healthy"] for state in replicas)
+            ]
+            if dead_shards:
+                payload["status"] = "degraded"
+                payload["unhealthy_shards"] = dead_shards
+        return payload
+
+    def version_payload(self) -> dict:
+        payload = {
+            "version": self.service_version(),
+            "shards": getattr(self.service, "n_shards", 1),
+            "replicas": getattr(self.service, "n_replicas", 1),
+        }
+        shard_versions = getattr(self.service, "shard_versions", None)
+        if callable(shard_versions):
+            payload["shard_versions"] = shard_versions()
+        return payload
+
+    def metrics_payload(self) -> dict:
+        metrics = self.service.metrics
+        payload = {
+            "version": self.service_version(),
+            "swaps": metrics.swaps,
+            "total_calls": metrics.total_calls,
+            "apis": metrics.as_dict(),
+        }
+        stats = getattr(self.service, "stats", None)
+        health = getattr(self.service, "health", None)
+        if hasattr(stats, "as_dict") and callable(health):
+            payload["router"] = {
+                "stats": stats.as_dict(),
+                "replicas": health(),
+            }
+        return payload
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start_background(self) -> "ClusterHTTPServer":
+        thread = threading.Thread(
+            target=lambda: self.serve_forever(poll_interval=0.05),
+            name="cn-probase-serve",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def shutdown_soon(self) -> None:
+        """Stop the serve loop without deadlocking the calling handler."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def wait(self) -> None:
+        """Block until the serve loop exits (CLI foreground mode)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def start_server(
+    service,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    admin_token: str | None = None,
+) -> ClusterHTTPServer:
+    """Bind, start serving on a background thread, return the server.
+
+    ``port=0`` picks a free port; read the bound address back from
+    ``server.url``.  Call ``server.close()`` (or POST /admin/shutdown)
+    to stop.
+    """
+    server = ClusterHTTPServer(
+        (host, port), service, admin_token=admin_token
+    )
+    return server.start_background()

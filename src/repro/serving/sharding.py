@@ -1,0 +1,246 @@
+"""Key-hashed sharding of a read-optimized taxonomy.
+
+:class:`ShardedSnapshotStore` partitions one
+:class:`~repro.taxonomy.store.ReadOptimizedTaxonomy` into ``n_shards``
+shards and serves the exact
+:class:`~repro.taxonomy.service.BatchedServingAPI` surface over them.
+The partitioning invariant that makes this answer-preserving is that
+each of the three serving indexes is keyed independently:
+
+- ``men2ent`` is routed by the mention string,
+- ``getConcept`` by the entity page_id,
+- ``getEntity`` by the concept string,
+
+and a key's complete (already sorted) result tuple lives wholly in the
+shard :func:`shard_for` maps it to — so a sharded answer is the same
+bytes the unsharded facade returns, at any shard count.
+
+Versioning is all-or-nothing: a swap partitions the *entire* rebuilt
+taxonomy into a fresh :class:`ShardSet` first and only then publishes it
+with a single reference assignment.  Readers pin one ``ShardSet`` per
+batch, so no request can ever observe shards from two versions — the
+mixed-version ("torn") read a per-shard swap loop would allow.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+from repro.errors import APIError
+from repro.taxonomy.service import (
+    WIRE_API_METHODS,
+    BatchedServingAPI,
+    ServiceMetrics,
+)
+from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy, TaxonomyStats
+
+
+def shard_for(key: str, n_shards: int) -> int:
+    """Stable shard index for *key* (crc32, identical across processes).
+
+    Python's builtin ``hash()`` is salted per process, so a router in
+    one process and a store in another would disagree on placement;
+    crc32 over the UTF-8 bytes gives every member of the cluster the
+    same answer forever.
+    """
+    if n_shards < 1:
+        raise APIError(f"n_shards must be >= 1, got {n_shards}")
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+#: api wire name → ReadOptimizedTaxonomy lookup method name (the
+#: canonical single names coincide with the view's lookups by design)
+_API_LOOKUPS = {
+    api: single for api, (single, _) in WIRE_API_METHODS.items()
+}
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard of one published version: an immutable read view."""
+
+    shard_id: int
+    version: int
+    read_view: ReadOptimizedTaxonomy
+
+    @property
+    def version_id(self) -> str:
+        return f"v{self.version}"
+
+    def lookup(self, api_name: str, argument: str) -> list[str]:
+        return getattr(self.read_view, _API_LOOKUPS[api_name])(argument)
+
+
+@dataclass(frozen=True)
+class ShardSet:
+    """All shards of one published version, swapped as a unit."""
+
+    version: int
+    shards: tuple[ShardSnapshot, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def version_id(self) -> str:
+        return f"v{self.version}"
+
+    def shard_of(self, key: str) -> ShardSnapshot:
+        return self.shards[shard_for(key, len(self.shards))]
+
+    @classmethod
+    def partition(
+        cls,
+        version: int,
+        taxonomy: "Taxonomy | ReadOptimizedTaxonomy",
+        n_shards: int,
+    ) -> "ShardSet":
+        """Split *taxonomy* into *n_shards* key-hashed read views.
+
+        Works from the frozen view (a mutable :class:`Taxonomy` is
+        frozen first), so a published shard set is immune to later
+        mutation of the builder's taxonomy, exactly like an unsharded
+        snapshot.
+        """
+        if n_shards < 1:
+            raise APIError(f"n_shards must be >= 1, got {n_shards}")
+        if isinstance(taxonomy, Taxonomy):
+            taxonomy = taxonomy.freeze()
+        mentions, entity_hypernyms, concept_entities = taxonomy.as_indexes()
+        split_mentions: list[dict] = [{} for _ in range(n_shards)]
+        split_hypernyms: list[dict] = [{} for _ in range(n_shards)]
+        split_entities: list[dict] = [{} for _ in range(n_shards)]
+        for split, index in (
+            (split_mentions, mentions),
+            (split_hypernyms, entity_hypernyms),
+            (split_entities, concept_entities),
+        ):
+            for key, members in index.items():
+                split[shard_for(key, n_shards)][key] = members
+        shards = []
+        for shard_id in range(n_shards):
+            hypernyms = split_hypernyms[shard_id]
+            n_relations = sum(len(v) for v in hypernyms.values())
+            shards.append(
+                ShardSnapshot(
+                    shard_id=shard_id,
+                    version=version,
+                    read_view=ReadOptimizedTaxonomy(
+                        name=f"{taxonomy.name}/shard{shard_id}",
+                        mention_index=split_mentions[shard_id],
+                        entity_hypernyms=hypernyms,
+                        concept_entities=split_entities[shard_id],
+                        # Shard-local stats describe the serving indexes
+                        # this shard holds (concept-layer relations are
+                        # not routed, so they are not counted here).
+                        stats=TaxonomyStats(
+                            n_entities=len(hypernyms),
+                            n_concepts=len(split_entities[shard_id]),
+                            n_entity_concept=n_relations,
+                            n_subconcept_concept=0,
+                        ),
+                        n_relations=n_relations,
+                    ),
+                )
+            )
+        return cls(version=version, shards=tuple(shards))
+
+
+class ShardedSnapshotStore(BatchedServingAPI):
+    """N key-hashed shards behind the exact ``TaxonomyService`` surface.
+
+    Every call routes by key hash into the currently published
+    :class:`ShardSet`; batch calls pin one set up front and answer in
+    argument order (the per-shard sub-batch grouping that decides which
+    *replica* serves a group belongs to the
+    :class:`~repro.serving.router.ReplicatedRouter`).
+
+    :meth:`swap` is atomic and all-or-nothing: the full replacement
+    :class:`ShardSet` is partitioned before the single reference
+    assignment that publishes it, so a failed rebuild leaves the old
+    version serving and no reader ever sees two versions in one batch.
+    """
+
+    def __init__(
+        self,
+        taxonomy: "Taxonomy | ReadOptimizedTaxonomy",
+        *,
+        n_shards: int = 4,
+        version: int = 1,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._shard_set = ShardSet.partition(version, taxonomy, n_shards)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+
+    # -- versioning ------------------------------------------------------------
+
+    @property
+    def shard_set(self) -> ShardSet:
+        """The currently published shard set (a single atomic read)."""
+        return self._shard_set
+
+    @property
+    def n_shards(self) -> int:
+        return self._shard_set.n_shards
+
+    @property
+    def version_id(self) -> str:
+        return self._shard_set.version_id
+
+    def shard_versions(self) -> list[str]:
+        """Per-shard version ids (all equal by construction)."""
+        return [shard.version_id for shard in self._shard_set.shards]
+
+    def stats(self) -> list[TaxonomyStats]:
+        """Shard-local serving-index stats, in shard order."""
+        return [s.read_view.stats() for s in self._shard_set.shards]
+
+    def swap(self, taxonomy: "Taxonomy | ReadOptimizedTaxonomy") -> ShardSet:
+        """Publish a rebuilt taxonomy across every shard atomically.
+
+        The new set is fully partitioned *before* the lock-protected
+        reference assignment: if partitioning raises, the store keeps
+        serving the old version untouched (all-or-nothing), and readers
+        that pinned the old set mid-batch finish on it.
+        """
+        with self._lock:
+            shard_set = ShardSet.partition(
+                self._shard_set.version + 1, taxonomy, self._shard_set.n_shards
+            )
+            self._shard_set = shard_set
+            self.metrics.swaps += 1
+            return shard_set
+
+    # -- serving hooks ---------------------------------------------------------
+
+    def _serve(
+        self, shard_set: ShardSet, api_name: str, argument: str
+    ) -> list[str]:
+        shard = shard_set.shard_of(argument)
+        started = perf_counter()
+        result = shard.lookup(api_name, argument)
+        self.metrics.observe(api_name, perf_counter() - started, bool(result))
+        return result
+
+    def _single(self, api_name: str, argument: str) -> list[str]:
+        return self._serve(self._shard_set, api_name, argument)
+
+    def _batch(
+        self, api_name: str, arguments: Sequence[str]
+    ) -> list[list[str]]:
+        # Pin one version for the whole batch; per-argument routing is
+        # a hash into the pinned set, so answering in argument order is
+        # already the fan-out/merge — the per-shard *grouping* (one
+        # sub-request per shard on one replica) lives in the router,
+        # where it changes which backend serves the group.
+        shard_set = self._shard_set
+        return [
+            self._serve(shard_set, api_name, argument)
+            for argument in arguments
+        ]

@@ -182,23 +182,28 @@ class WorkloadGenerator:
         return api.usage
 
     def run_service(self, service, n_calls: int, batch_size: int = 1):
-        """Replay *n_calls* requests against a :class:`TaxonomyService`.
+        """Replay *n_calls* requests against a service-shaped front.
 
-        With ``batch_size > 1`` requests are buffered per API and served
+        *service* is anything exposing the canonical
+        :class:`~repro.taxonomy.service.BatchedServingAPI` surface with a
+        ``metrics`` ledger — :class:`~repro.taxonomy.service.TaxonomyService`,
+        the sharded store, the replica router, or the HTTP
+        :class:`~repro.serving.client.TaxonomyClient`.  With
+        ``batch_size > 1`` requests are buffered per API and served
         through the batched variants, the way a real gateway amortises
         round trips.  Returns the service's cumulative metrics ledger.
         """
         if batch_size < 1:
             raise APIError(f"batch_size must be >= 1, got {batch_size}")
+        from repro.taxonomy.service import WIRE_API_METHODS
+
         single = {
-            "men2ent": service.men2ent,
-            "getConcept": service.get_concept,
-            "getEntity": service.get_entity,
+            api: getattr(service, names[0])
+            for api, names in WIRE_API_METHODS.items()
         }
         batched = {
-            "men2ent": service.men2ent_batch,
-            "getConcept": service.get_concepts,
-            "getEntity": service.get_entities,
+            api: getattr(service, names[1])
+            for api, names in WIRE_API_METHODS.items()
         }
         buffers: dict[str, list[str]] = {name: [] for name in single}
         for call in self.generate(n_calls):

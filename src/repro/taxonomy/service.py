@@ -15,18 +15,27 @@ while the taxonomy behind them is periodically rebuilt.
   served call is a dict hit plus a list copy — no per-call ``sorted()``
   and no answer drift if someone mutates the builder's taxonomy after
   publishing;
-- the three public APIs gain batched variants (``men2ent_batch``,
-  ``get_concepts``, ``get_entities``) that pin one snapshot for the
-  whole batch and answer position-for-position;
-- every call is measured: per-API call/hit counts and wall-clock land
-  in a :class:`ServiceMetrics` ledger that survives snapshot swaps,
-  which is what the workload generator and the API-service example
-  report.
+- the canonical serving surface is :class:`BatchedServingAPI` — singles
+  ``men2ent`` / ``get_concepts`` / ``get_entities``, batched variants
+  ``men2ent_batch`` / ``get_concepts_batch`` / ``get_entities_batch``
+  that pin one snapshot for the whole batch and answer
+  position-for-position, plus deprecated PR-1 aliases (``get_concept``,
+  ``get_entity``, and the plural-name-as-batch spelling) kept for
+  compatibility — the same mixin the :mod:`repro.serving` cluster
+  (sharded store, replica router, HTTP client) implements;
+- every call is measured: per-API call/hit counts, wall-clock and a
+  recent-window latency reservoir land in a :class:`ServiceMetrics`
+  ledger that survives snapshot swaps and reports p50/p95/p99 tail
+  latency, which is what the workload generator, the API-service
+  example and the cluster's ``/metrics`` endpoint report.
 """
 
 from __future__ import annotations
 
+import math
 import threading
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Sequence
@@ -34,6 +43,13 @@ from typing import Sequence
 from repro.errors import APIError
 from repro.taxonomy.api import TaxonomyAPI
 from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy, TaxonomyStats
+
+#: How many recent per-call latencies each :class:`APILatency` keeps for
+#: quantile estimation.  A bounded ring buffer: tail latency is a
+#: recent-window property (a spike six hours ago should not dominate
+#: today's p99), and production traffic is unbounded so the ledger must
+#: not grow with it.
+LATENCY_RESERVOIR_SIZE = 2048
 
 
 @dataclass(frozen=True)
@@ -73,12 +89,21 @@ class TaxonomySnapshot:
 
 @dataclass
 class APILatency:
-    """Latency/hit accounting for one API across the service lifetime."""
+    """Latency/hit accounting for one API across the service lifetime.
+
+    Besides the cumulative counters, the last
+    :data:`LATENCY_RESERVOIR_SIZE` observations are kept in a ring
+    buffer so :meth:`quantile` can report real tail latency — ``/metrics``
+    exposes p50/p95/p99, which a mean can hide completely.
+    """
 
     calls: int = 0
     hits: int = 0
     total_seconds: float = 0.0
     max_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._samples: deque[float] = deque(maxlen=LATENCY_RESERVOIR_SIZE)
 
     def observe(self, seconds: float, hit: bool) -> None:
         self.calls += 1
@@ -87,6 +112,7 @@ class APILatency:
         self.total_seconds += seconds
         if seconds > self.max_seconds:
             self.max_seconds = seconds
+        self._samples.append(seconds)
 
     @property
     def mean_seconds(self) -> float:
@@ -95,6 +121,44 @@ class APILatency:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.calls if self.calls else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the recent-latency reservoir.
+
+        Returns 0.0 before the first observation, so an idle API reads
+        as all-zero instead of raising from ``/metrics``.
+        """
+        return self.quantiles(q)[0]
+
+    def quantiles(self, *qs: float) -> tuple[float, ...]:
+        """Several nearest-rank quantiles from one sorted snapshot.
+
+        The reservoir is copied before sorting so a concurrent
+        ``observe`` from another serving thread cannot mutate the deque
+        mid-iteration, and ``/metrics`` pays one sort per API instead
+        of one per percentile.
+        """
+        for q in qs:
+            if not 0.0 < q <= 1.0:
+                raise APIError(f"quantile must be in (0, 1], got {q}")
+        ordered = sorted(tuple(self._samples))
+        if not ordered:
+            return tuple(0.0 for _ in qs)
+        return tuple(
+            ordered[max(1, math.ceil(q * len(ordered))) - 1] for q in qs
+        )
+
+    @property
+    def p50_seconds(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95_seconds(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99_seconds(self) -> float:
+        return self.quantile(0.99)
 
 
 @dataclass
@@ -124,19 +188,176 @@ class ServiceMetrics:
         return sum(entry.calls for entry in self.per_api.values())
 
     def as_dict(self) -> dict[str, dict[str, float | int]]:
-        return {
-            api: {
-                "calls": entry.calls,
-                "hits": entry.hits,
-                "hit_rate": entry.hit_rate,
-                "mean_seconds": entry.mean_seconds,
-                "max_seconds": entry.max_seconds,
-            }
-            for api, entry in self.per_api.items()
-        }
+        with self._lock:  # consistent snapshot vs concurrent observe()
+            report = {}
+            for api, entry in self.per_api.items():
+                p50, p95, p99 = entry.quantiles(0.50, 0.95, 0.99)
+                report[api] = {
+                    "calls": entry.calls,
+                    "hits": entry.hits,
+                    "hit_rate": entry.hit_rate,
+                    "mean_seconds": entry.mean_seconds,
+                    "p50_seconds": p50,
+                    "p95_seconds": p95,
+                    "p99_seconds": p99,
+                    "max_seconds": entry.max_seconds,
+                }
+            return report
 
 
-class TaxonomyService:
+#: wire api name (the paper's Table-II spelling) → (single method,
+#: batch method) on the canonical :class:`BatchedServingAPI` surface.
+#: The single names deliberately match the lookup methods of
+#: :class:`~repro.taxonomy.store.Taxonomy` /
+#: :class:`~repro.taxonomy.store.ReadOptimizedTaxonomy`, so the same
+#: mapping routes at every layer (store shard, router, HTTP server,
+#: client, workload generator) — keep it the single source of truth.
+WIRE_API_METHODS = {
+    "men2ent": ("men2ent", "men2ent_batch"),
+    "getConcept": ("get_concepts", "get_concepts_batch"),
+    "getEntity": ("get_entities", "get_entities_batch"),
+}
+
+
+class BatchedServingAPI:
+    """The canonical serving surface shared by every service-shaped front.
+
+    :class:`TaxonomyService`, the sharded store, the replica router and
+    the HTTP client SDK all expose the same methods by mixing this in
+    and implementing two hooks:
+
+    - ``_single(api_name, argument) -> list[str]``
+    - ``_batch(api_name, arguments) -> list[list[str]]`` (one pinned
+      version for the whole batch)
+
+    where ``api_name`` is one of the paper's wire names (``men2ent`` /
+    ``getConcept`` / ``getEntity``).
+
+    Naming: the store (:class:`~repro.taxonomy.store.Taxonomy`) always
+    said ``get_concepts`` / ``get_entities`` — one key in, plural
+    results out — while the PR-1 service said ``get_concept`` /
+    ``get_entity`` for the same call and used the plural names for the
+    batched variants.  The canonical surface resolves that:
+
+    - singles: ``men2ent`` / ``get_concepts`` / ``get_entities``
+      (one string argument each),
+    - batches: ``men2ent_batch`` / ``get_concepts_batch`` /
+      ``get_entities_batch`` (a sequence of strings each),
+    - deprecated, kept for compatibility: ``get_concept`` /
+      ``get_entity`` singles, and calling ``get_concepts`` /
+      ``get_entities`` with a sequence (the PR-1 batch spelling) — both
+      emit :class:`DeprecationWarning` and delegate.
+    """
+
+    # -- canonical singles -----------------------------------------------------
+
+    def men2ent(self, mention: str) -> list[str]:
+        """Disambiguated entity page_ids for one mention surface."""
+        return self._single("men2ent", self._checked("men2ent", mention))
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        """Direct hypernyms of one entity (the getConcept API).
+
+        Passing a sequence instead of a string is the deprecated PR-1
+        batch spelling and delegates to :meth:`get_concepts_batch`.
+        """
+        if not isinstance(page_id, str):
+            self._warn_batch_spelling("get_concepts", "get_concepts_batch")
+            return self.get_concepts_batch(page_id)
+        return self._single("getConcept", self._checked("getConcept", page_id))
+
+    def get_entities(self, concept: str) -> list[str]:
+        """Entity hyponyms of one concept (the getEntity API).
+
+        Passing a sequence instead of a string is the deprecated PR-1
+        batch spelling and delegates to :meth:`get_entities_batch`.
+        """
+        if not isinstance(concept, str):
+            self._warn_batch_spelling("get_entities", "get_entities_batch")
+            return self.get_entities_batch(concept)
+        return self._single("getEntity", self._checked("getEntity", concept))
+
+    # -- canonical batches -----------------------------------------------------
+
+    def men2ent_batch(self, mentions: Sequence[str]) -> list[list[str]]:
+        """``men2ent`` for every mention, answered from one version."""
+        return self._batch("men2ent", self._checked_batch("men2ent", mentions))
+
+    def get_concepts_batch(self, page_ids: Sequence[str]) -> list[list[str]]:
+        """``getConcept`` for every entity id, answered from one version."""
+        return self._batch(
+            "getConcept", self._checked_batch("getConcept", page_ids)
+        )
+
+    def get_entities_batch(self, concepts: Sequence[str]) -> list[list[str]]:
+        """``getEntity`` for every concept, answered from one version."""
+        return self._batch(
+            "getEntity", self._checked_batch("getEntity", concepts)
+        )
+
+    # -- deprecated aliases ----------------------------------------------------
+
+    def get_concept(self, page_id: str) -> list[str]:
+        """Deprecated PR-1 spelling of :meth:`get_concepts` (single)."""
+        self._warn_alias("get_concept", "get_concepts")
+        return self.get_concepts(page_id)
+
+    def get_entity(self, concept: str) -> list[str]:
+        """Deprecated PR-1 spelling of :meth:`get_entities` (single)."""
+        self._warn_alias("get_entity", "get_entities")
+        return self.get_entities(concept)
+
+    # -- validation + warning helpers -----------------------------------------
+
+    @staticmethod
+    def _checked(api_name: str, argument: str) -> str:
+        if not isinstance(argument, str) or not argument:
+            raise APIError(
+                f"{api_name} requires a non-empty string argument, "
+                f"got {argument!r}"
+            )
+        return argument
+
+    @classmethod
+    def _checked_batch(
+        cls, api_name: str, arguments: Sequence[str]
+    ) -> Sequence[str]:
+        if isinstance(arguments, str):
+            raise APIError(
+                f"{api_name} batch expects a sequence of arguments, "
+                "got a single string"
+            )
+        return [cls._checked(api_name, argument) for argument in arguments]
+
+    @staticmethod
+    def _warn_alias(old: str, new: str) -> None:
+        warnings.warn(
+            f"{old}() is deprecated; use {new}()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    @staticmethod
+    def _warn_batch_spelling(name: str, batch_name: str) -> None:
+        warnings.warn(
+            f"calling {name}() with a sequence is deprecated; "
+            f"use {batch_name}()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    # -- hooks -----------------------------------------------------------------
+
+    def _single(self, api_name: str, argument: str) -> list[str]:
+        raise NotImplementedError
+
+    def _batch(
+        self, api_name: str, arguments: Sequence[str]
+    ) -> list[list[str]]:
+        raise NotImplementedError
+
+
+class TaxonomyService(BatchedServingAPI):
     """Facade over :class:`TaxonomyAPI`: versioned, batched, measured."""
 
     def __init__(self, taxonomy: Taxonomy, *, version: int = 1) -> None:
@@ -170,31 +391,6 @@ class TaxonomyService:
             self.metrics.swaps += 1
             return snapshot
 
-    # -- single-call APIs ------------------------------------------------------
-
-    def men2ent(self, mention: str) -> list[str]:
-        return self._serve(self._snapshot, "men2ent", mention)
-
-    def get_concept(self, page_id: str) -> list[str]:
-        return self._serve(self._snapshot, "getConcept", page_id)
-
-    def get_entity(self, concept: str) -> list[str]:
-        return self._serve(self._snapshot, "getEntity", concept)
-
-    # -- batched APIs ----------------------------------------------------------
-
-    def men2ent_batch(self, mentions: Sequence[str]) -> list[list[str]]:
-        """``men2ent`` for every mention, answered from one snapshot."""
-        return self._serve_batch("men2ent", mentions)
-
-    def get_concepts(self, page_ids: Sequence[str]) -> list[list[str]]:
-        """``getConcept`` for every entity id, answered from one snapshot."""
-        return self._serve_batch("getConcept", page_ids)
-
-    def get_entities(self, concepts: Sequence[str]) -> list[list[str]]:
-        """``getEntity`` for every concept, answered from one snapshot."""
-        return self._serve_batch("getEntity", concepts)
-
     # -- internals -------------------------------------------------------------
 
     _API_METHODS = {
@@ -212,13 +408,11 @@ class TaxonomyService:
         self.metrics.observe(api_name, perf_counter() - started, bool(result))
         return result
 
-    def _serve_batch(
+    def _single(self, api_name: str, argument: str) -> list[str]:
+        return self._serve(self._snapshot, api_name, argument)
+
+    def _batch(
         self, api_name: str, arguments: Sequence[str]
     ) -> list[list[str]]:
-        if isinstance(arguments, str):
-            raise APIError(
-                f"{api_name} batch expects a sequence of arguments, "
-                "got a single string"
-            )
         snapshot = self._snapshot  # pin one version for the whole batch
         return [self._serve(snapshot, api_name, arg) for arg in arguments]

@@ -365,6 +365,28 @@ class ReadOptimizedTaxonomy:
 
     # -- introspection -------------------------------------------------------
 
+    def as_indexes(
+        self,
+    ) -> tuple[
+        dict[str, tuple[str, ...]],
+        dict[str, tuple[str, ...]],
+        dict[str, tuple[str, ...]],
+    ]:
+        """The three serving indexes: (mentions, entity→concepts, concept→entities).
+
+        This is the partitioning surface for
+        :class:`~repro.serving.sharding.ShardedSnapshotStore`: each index
+        is keyed independently, so splitting every index by a stable key
+        hash preserves per-key answers exactly.  Callers must treat the
+        returned mappings as read-only (they are the live index objects,
+        not copies).
+        """
+        return (
+            self._mention_index,
+            self._entity_hypernyms,
+            self._concept_entities,
+        )
+
     def stats(self) -> TaxonomyStats:
         return self._stats
 

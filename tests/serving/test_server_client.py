@@ -1,0 +1,303 @@
+"""End-to-end HTTP tests: server wire format + TaxonomyClient SDK."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import APIError
+from repro.serving import TaxonomyClient, build_cluster, start_server
+from repro.taxonomy.api import WorkloadGenerator
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.service import TaxonomyService
+from repro.taxonomy.store import Taxonomy
+
+ADMIN_TOKEN = "test-admin-token"
+
+
+def make_taxonomy(marker: str = "歌手") -> Taxonomy:
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_entity(Entity("周杰伦#0", "周杰伦"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", marker, "tag"))
+    t.add_relation(IsARelation("周杰伦#0", marker, "tag"))
+    return t
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One server shared by the read-only tests (2 shards × 2 replicas)."""
+    service = build_cluster(make_taxonomy(), shards=2, replicas=2)
+    server = start_server(service, admin_token=ADMIN_TOKEN)
+    client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+    yield server, client
+    server.close()
+
+
+class TestInfoEndpoints:
+    def test_healthz(self, cluster):
+        _, client = cluster
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["version"] == "v1"
+        assert payload["shards"] == 2
+
+    def test_version_topology(self, cluster):
+        _, client = cluster
+        payload = client.version()
+        assert payload["version"] == "v1"
+        assert payload["shards"] == 2
+        assert payload["replicas"] == 2
+        assert payload["shard_versions"] == ["v1", "v1"]
+
+    def test_metrics_reports_tail_latency_and_router(self, cluster):
+        _, client = cluster
+        client.men2ent("华仔")
+        payload = client.server_metrics()
+        assert payload["total_calls"] >= 1
+        entry = payload["apis"]["men2ent"]
+        for key in ("calls", "hit_rate", "mean_seconds",
+                    "p50_seconds", "p95_seconds", "p99_seconds",
+                    "max_seconds"):
+            assert key in entry
+        assert payload["router"]["stats"]["attempts"] >= 1
+        assert len(payload["router"]["replicas"]) == 2
+
+
+class TestQueries:
+    def test_singles_match_in_process_service(self, cluster):
+        _, client = cluster
+        reference = TaxonomyService(make_taxonomy())
+        assert client.men2ent("华仔") == reference.men2ent("华仔")
+        assert client.get_concepts("刘德华#0") == \
+            reference.get_concepts("刘德华#0")
+        assert client.get_entities("歌手") == reference.get_entities("歌手")
+
+    def test_cjk_arguments_survive_url_encoding(self, cluster):
+        _, client = cluster
+        assert client.men2ent("刘德华") == ["刘德华#0"]
+        assert client.men2ent("不存在的词") == []
+
+    def test_batches_answer_position_for_position(self, cluster):
+        _, client = cluster
+        assert client.men2ent_batch(["华仔", "无人", "周杰伦"]) == [
+            ["刘德华#0"], [], ["周杰伦#0"],
+        ]
+        assert client.get_concepts_batch(["刘德华#0", "周杰伦#0"]) == [
+            ["歌手", "演员"], ["歌手"],
+        ]
+        assert client.get_entities_batch(["歌手", "导演"]) == [
+            ["刘德华#0", "周杰伦#0"], [],
+        ]
+
+    def test_deprecated_spellings_work_over_the_wire(self, cluster):
+        _, client = cluster
+        with pytest.deprecated_call():
+            assert client.get_concept("刘德华#0") == ["歌手", "演员"]
+        with pytest.deprecated_call():
+            assert client.get_entities(["歌手"]) == [["刘德华#0", "周杰伦#0"]]
+
+    def test_client_keeps_its_own_ledger(self, cluster):
+        _, client = cluster
+        before = client.metrics.latency("getEntity").calls
+        client.get_entities("歌手")
+        after = client.metrics.latency("getEntity")
+        assert after.calls == before + 1
+        assert after.p99_seconds >= 0.0
+
+    def test_run_service_drives_the_client_unchanged(self, cluster):
+        _, client = cluster
+        taxonomy = make_taxonomy()
+        generator = WorkloadGenerator(taxonomy, seed=4)
+        before = client.metrics.total_calls
+        metrics = generator.run_service(client, 60, batch_size=8)
+        assert metrics is client.metrics
+        assert metrics.total_calls == before + 60
+
+
+class TestWireErrors:
+    def test_unknown_api_is_400(self, cluster):
+        _, client = cluster
+        with pytest.raises(APIError, match="unknown API"):
+            client._request("/v1/getEverything?q=x")
+
+    def test_missing_query_argument_is_400(self, cluster):
+        _, client = cluster
+        with pytest.raises(APIError, match="q="):
+            client._request("/v1/men2ent")
+
+    def test_empty_argument_is_400(self, cluster):
+        _, client = cluster
+        with pytest.raises(APIError, match="non-empty"):
+            client.men2ent("")
+
+    def test_malformed_batch_body_is_400(self, cluster):
+        _, client = cluster
+        with pytest.raises(APIError, match="arguments"):
+            client._request("/v1/men2ent", body={"mentions": ["x"]})
+
+    def test_unknown_path_is_404(self, cluster):
+        server, _ = cluster
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_client_gives_up_after_retries(self):
+        client = TaxonomyClient(
+            "http://127.0.0.1:9", retries=1, backoff_seconds=0.0
+        )
+        with pytest.raises(APIError, match="after 2 attempts"):
+            client.men2ent("华仔")
+
+
+class TestAdminAuth:
+    def test_wrong_token_is_401(self, cluster):
+        server, _ = cluster
+        bad = TaxonomyClient(server.url, admin_token="wrong-token")
+        with pytest.raises(APIError, match="HTTP 401"):
+            bad.swap("/nonexistent.jsonl")
+
+    def test_client_without_token_refuses_admin_calls(self, cluster):
+        server, _ = cluster
+        anonymous = TaxonomyClient(server.url)
+        with pytest.raises(APIError, match="admin_token"):
+            anonymous.swap("/nonexistent.jsonl")
+
+    def test_tokenless_server_disables_admin_api(self):
+        service = build_cluster(make_taxonomy(), shards=1)
+        server = start_server(service)  # no admin token
+        try:
+            client = TaxonomyClient(server.url, admin_token="anything")
+            with pytest.raises(APIError, match="HTTP 403"):
+                client.swap("/nonexistent.jsonl")
+        finally:
+            server.close()
+
+    def test_swap_with_missing_file_is_400_and_keeps_serving(self, cluster):
+        _, client = cluster
+        with pytest.raises(APIError, match="still serving v1"):
+            client.swap("/no/such/taxonomy.jsonl")
+        assert client.healthz()["version"] == "v1"
+        assert client.men2ent("华仔") == ["刘德华#0"]
+
+    def test_swap_with_directory_is_400_not_500(self, cluster, tmp_path):
+        # IsADirectoryError is an OSError, not a ReproError — it must
+        # still land on the documented 400 "still serving" path
+        _, client = cluster
+        with pytest.raises(APIError, match="HTTP 400.*still serving v1"):
+            client.swap(str(tmp_path))
+        assert client.healthz()["version"] == "v1"
+
+
+class TestDegradedCluster:
+    """Availability failures are 503 (retryable) and visible on /healthz."""
+
+    @pytest.fixture
+    def degraded(self):
+        from repro.serving import build_cluster as _build
+        router = _build(make_taxonomy(), shards=2, replicas=2)
+        server = start_server(router)
+        for shard_id in range(router.n_shards):
+            for replica_index in range(2):
+                router.mark_unhealthy(shard_id, replica_index)
+        yield server, router
+        server.close()
+
+    def test_healthz_degrades_to_503(self, degraded):
+        server, _ = degraded
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/healthz")
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert payload["status"] == "degraded"
+        assert payload["unhealthy_shards"] == [0, 1]
+
+    def test_client_healthz_returns_degraded_payload(self, degraded):
+        server, _ = degraded
+        # the SDK reports the state instead of raising on the 503
+        payload = TaxonomyClient(server.url).healthz()
+        assert payload["status"] == "degraded"
+        assert payload["unhealthy_shards"] == [0, 1]
+
+    def test_replica_exhaustion_is_503_not_400(self, degraded):
+        server, _ = degraded
+        from urllib.parse import quote
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{server.url}/v1/men2ent?q={quote('华仔')}"
+            )
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "no healthy replica" in payload["error"]
+
+    def test_healthz_recovers_after_probe(self, degraded):
+        server, router = degraded
+        assert router.probe_all() == 4
+        client = TaxonomyClient(server.url)
+        assert client.healthz()["status"] == "ok"
+        assert client.men2ent("华仔") == ["刘德华#0"]
+
+
+class TestSwapRoundTrip:
+    """The acceptance round trip: start → query → swap → query → shutdown."""
+
+    def test_query_swap_query_shutdown(self, tmp_path):
+        service = build_cluster(make_taxonomy("歌手"), shards=2, replicas=2)
+        server = start_server(service, admin_token=ADMIN_TOKEN)
+        client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+        try:
+            assert client.healthz()["version"] == "v1"
+            assert client.get_concepts("刘德华#0") == ["歌手", "演员"]
+
+            rebuilt_path = tmp_path / "rebuilt.jsonl"
+            make_taxonomy("影帝").save(rebuilt_path)
+            swapped = client.swap(str(rebuilt_path))
+            assert swapped == {"swapped": True, "version": "v2"}
+
+            assert client.version()["shard_versions"] == ["v2", "v2"]
+            assert client.get_concepts("刘德华#0") == ["影帝", "演员"]
+            assert client.get_entities("歌手") == []
+
+            assert client.shutdown_server() == {"shutting_down": True}
+            server.wait()  # serve loop exits after the response
+        finally:
+            server.close()
+        with pytest.raises(APIError):
+            TaxonomyClient(
+                server.url, retries=0, backoff_seconds=0.0, timeout=1.0
+            ).men2ent("华仔")
+
+
+class TestWireFormatRaw:
+    """Pin the documented JSON shapes with raw urllib (no SDK sugar)."""
+
+    def test_single_payload_shape(self, cluster):
+        server, _ = cluster
+        from urllib.parse import quote
+        with urllib.request.urlopen(
+            f"{server.url}/v1/men2ent?q={quote('华仔')}"
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload == {
+            "api": "men2ent",
+            "version": "v1",
+            "argument": "华仔",
+            "results": ["刘德华#0"],
+        }
+
+    def test_batch_payload_shape(self, cluster):
+        server, _ = cluster
+        body = json.dumps({"arguments": ["歌手"]}).encode("utf-8")
+        request = urllib.request.Request(
+            f"{server.url}/v1/getEntity", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload == {
+            "api": "getEntity",
+            "version": "v1",
+            "results": [["刘德华#0", "周杰伦#0"]],
+        }

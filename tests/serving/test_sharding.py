@@ -1,0 +1,276 @@
+"""Tests for the key-hashed sharded snapshot store (repro.serving.sharding)."""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import APIError
+from repro.serving.sharding import (
+    ShardSet,
+    ShardedSnapshotStore,
+    shard_for,
+)
+from repro.taxonomy.api import WorkloadGenerator
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.service import TaxonomyService
+from repro.taxonomy.store import Taxonomy
+
+
+def make_taxonomy(n_entities: int = 120, seed: int = 3) -> Taxonomy:
+    """A taxonomy big enough that every shard count gets populated."""
+    rng = random.Random(seed)
+    taxonomy = Taxonomy()
+    concepts = [f"概念{i}" for i in range(24)]
+    for i in range(n_entities):
+        page_id = f"实体{i}#0"
+        aliases = (f"别名{i}",) if i % 2 else ()
+        taxonomy.add_entity(Entity(page_id, f"实体{i}", aliases=aliases))
+        for concept in rng.sample(concepts, k=rng.randint(1, 3)):
+            taxonomy.add_relation(IsARelation(page_id, concept, "bracket"))
+    return taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return make_taxonomy()
+
+
+@pytest.fixture(scope="module")
+def reference(taxonomy):
+    return TaxonomyService(taxonomy)
+
+
+class TestShardFor:
+    def test_stable_and_in_range(self):
+        for key in ("华仔", "实体7#0", "概念3", "x"):
+            first = shard_for(key, 4)
+            assert first == shard_for(key, 4)
+            assert 0 <= first < 4
+
+    def test_single_shard_is_zero(self):
+        assert shard_for("anything", 1) == 0
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(APIError):
+            shard_for("key", 0)
+
+
+class TestPartition:
+    def test_each_key_lands_in_exactly_one_shard(self, taxonomy):
+        shard_set = ShardSet.partition(1, taxonomy, 4)
+        frozen = taxonomy.freeze()
+        for index_pos in range(3):
+            full = frozen.as_indexes()[index_pos]
+            seen: dict[str, int] = {}
+            for shard in shard_set.shards:
+                for key in shard.read_view.as_indexes()[index_pos]:
+                    assert key not in seen
+                    seen[key] = shard.shard_id
+                    assert shard.shard_id == shard_for(key, 4)
+            assert set(seen) == set(full)
+
+    def test_all_shard_counts_cover_all_relations(self, taxonomy):
+        frozen = taxonomy.freeze()
+        total = sum(
+            len(v) for v in frozen.as_indexes()[1].values()
+        )
+        for n_shards in (1, 2, 4):
+            shard_set = ShardSet.partition(1, taxonomy, n_shards)
+            assert sum(len(s.read_view) for s in shard_set.shards) == total
+
+    def test_partition_from_frozen_view(self, taxonomy):
+        frozen = taxonomy.freeze()
+        a = ShardSet.partition(1, taxonomy, 2)
+        b = ShardSet.partition(1, frozen, 2)
+        for shard_a, shard_b in zip(a.shards, b.shards):
+            assert shard_a.read_view.as_indexes() == \
+                shard_b.read_view.as_indexes()
+
+
+class TestAnswerIdentity:
+    """Sharded answers must be byte-identical to the unsharded facade."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_full_workload_singles(self, taxonomy, reference, n_shards):
+        store = ShardedSnapshotStore(taxonomy, n_shards=n_shards)
+        calls = WorkloadGenerator(taxonomy, seed=11).generate(1_500)
+        single = {
+            "men2ent": (store.men2ent, reference.men2ent),
+            "getConcept": (store.get_concepts, reference.get_concepts),
+            "getEntity": (store.get_entities, reference.get_entities),
+        }
+        for call in calls:
+            sharded, unsharded = single[call.api]
+            assert sharded(call.argument) == unsharded(call.argument)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_full_workload_batched(self, taxonomy, reference, n_shards):
+        store = ShardedSnapshotStore(taxonomy, n_shards=n_shards)
+        generator = WorkloadGenerator(taxonomy, seed=12)
+        buffers: dict[str, list[str]] = {
+            "men2ent": [], "getConcept": [], "getEntity": [],
+        }
+        for call in generator.generate(1_200):
+            buffers[call.api].append(call.argument)
+        assert store.men2ent_batch(buffers["men2ent"]) == \
+            reference.men2ent_batch(buffers["men2ent"])
+        assert store.get_concepts_batch(buffers["getConcept"]) == \
+            reference.get_concepts_batch(buffers["getConcept"])
+        assert store.get_entities_batch(buffers["getEntity"]) == \
+            reference.get_entities_batch(buffers["getEntity"])
+
+    def test_batch_preserves_argument_order(self, taxonomy, reference):
+        store = ShardedSnapshotStore(taxonomy, n_shards=4)
+        mentions = [f"实体{i}" for i in range(40)] + ["不存在的词"]
+        assert store.men2ent_batch(mentions) == \
+            reference.men2ent_batch(mentions)
+
+    def test_deprecated_aliases_served(self, taxonomy, reference):
+        store = ShardedSnapshotStore(taxonomy, n_shards=2)
+        with pytest.deprecated_call():
+            assert store.get_concept("实体1#0") == \
+                reference.get_concepts("实体1#0")
+        with pytest.deprecated_call():
+            assert store.get_entities(["概念1"]) == \
+                reference.get_entities_batch(["概念1"])
+
+
+class TestValidationAndMetrics:
+    def test_empty_argument_rejected(self, taxonomy):
+        store = ShardedSnapshotStore(taxonomy, n_shards=2)
+        with pytest.raises(APIError):
+            store.men2ent("")
+        with pytest.raises(APIError):
+            store.get_concepts_batch(["实体1#0", ""])
+        assert store.metrics.total_calls == 0
+
+    def test_batch_rejects_single_string(self, taxonomy):
+        store = ShardedSnapshotStore(taxonomy, n_shards=2)
+        with pytest.raises(APIError, match="sequence"):
+            store.men2ent_batch("华仔")
+
+    def test_metrics_accounting(self, taxonomy):
+        store = ShardedSnapshotStore(taxonomy, n_shards=4)
+        store.men2ent("实体1")
+        store.men2ent("无此词")
+        store.get_entities_batch(["概念1", "概念2"])
+        metrics = store.metrics
+        assert metrics.total_calls == 4
+        assert metrics.latency("men2ent").calls == 2
+        assert metrics.latency("men2ent").hits == 1
+        assert metrics.latency("getEntity").calls == 2
+
+    def test_invalid_shard_count(self, taxonomy):
+        with pytest.raises(APIError):
+            ShardedSnapshotStore(taxonomy, n_shards=0)
+
+
+class TestSwap:
+    def test_swap_bumps_every_shard_version(self, taxonomy):
+        store = ShardedSnapshotStore(taxonomy, n_shards=4)
+        assert store.version_id == "v1"
+        assert store.shard_versions() == ["v1"] * 4
+        rebuilt = make_taxonomy(seed=9)
+        shard_set = store.swap(rebuilt)
+        assert shard_set.version_id == "v2"
+        assert store.shard_versions() == ["v2"] * 4
+        assert store.metrics.swaps == 1
+
+    def test_swap_changes_answers(self):
+        old = Taxonomy()
+        old.add_entity(Entity("e#0", "e"))
+        old.add_relation(IsARelation("e#0", "旧概念", "bracket"))
+        new = Taxonomy()
+        new.add_entity(Entity("e#0", "e"))
+        new.add_relation(IsARelation("e#0", "新概念", "bracket"))
+        store = ShardedSnapshotStore(old, n_shards=2)
+        assert store.get_concepts("e#0") == ["旧概念"]
+        store.swap(new)
+        assert store.get_concepts("e#0") == ["新概念"]
+
+    def test_failed_swap_is_all_or_nothing(self, taxonomy, monkeypatch):
+        store = ShardedSnapshotStore(taxonomy, n_shards=2)
+        before = store.shard_set
+
+        class ExplodingTaxonomy:
+            name = "boom"
+
+            def as_indexes(self):
+                raise RuntimeError("partition exploded mid-way")
+
+        with pytest.raises(RuntimeError):
+            store.swap(ExplodingTaxonomy())
+        # old version untouched, still serving, no half-published shards
+        assert store.shard_set is before
+        assert store.version_id == "v1"
+        assert store.metrics.swaps == 0
+        assert store.men2ent("实体1") == ["实体1#0"]
+
+    def test_immune_to_source_mutation_after_publish(self):
+        taxonomy = Taxonomy()
+        taxonomy.add_entity(Entity("e#0", "e"))
+        taxonomy.add_relation(IsARelation("e#0", "概念", "bracket"))
+        store = ShardedSnapshotStore(taxonomy, n_shards=2)
+        taxonomy.add_entity(Entity("f#0", "f"))
+        taxonomy.add_relation(IsARelation("f#0", "概念", "bracket"))
+        assert store.get_entities("概念") == ["e#0"]
+
+
+class TestConcurrentSwapUnderLoad:
+    """Satellite: hammer batches from threads while versions swap.
+
+    Every key answers a version-marker concept, so a torn batch (some
+    answers from v_n, some from v_n+1) is directly observable.  The
+    pinned-ShardSet design must make that impossible at any shard
+    count.
+    """
+
+    N_ENTITIES = 60
+
+    def _versioned_taxonomy(self, marker: str) -> Taxonomy:
+        taxonomy = Taxonomy()
+        for i in range(self.N_ENTITIES):
+            page_id = f"并发{i}#0"
+            taxonomy.add_entity(Entity(page_id, f"并发{i}"))
+            taxonomy.add_relation(IsARelation(page_id, marker, "bracket"))
+        return taxonomy
+
+    def test_no_torn_batches_while_swapping(self):
+        markers = ("版本A", "版本B")
+        taxonomies = [self._versioned_taxonomy(m) for m in markers]
+        store = ShardedSnapshotStore(taxonomies[0], n_shards=4)
+        page_ids = [f"并发{i}#0" for i in range(self.N_ENTITIES)]
+        # the ids must actually span shards for the test to mean anything
+        assert len({shard_for(p, 4) for p in page_ids}) > 1
+
+        anomalies: list[tuple] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                batch = store.get_concepts_batch(page_ids)
+                versions = {tuple(answer) for answer in batch}
+                if len(versions) != 1:
+                    anomalies.append(("torn batch", versions))
+                    return
+                if versions not in ({(markers[0],)}, {(markers[1],)}):
+                    anomalies.append(("unexpected answer", versions))
+                    return
+
+        def swapper() -> None:
+            for i in range(40):
+                store.swap(taxonomies[(i + 1) % 2])
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        swap_thread = threading.Thread(target=swapper)
+        swap_thread.start()
+        swap_thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert anomalies == []
+        assert store.metrics.swaps == 40

@@ -100,10 +100,10 @@ class TestSnapshotServesReadView:
         taxonomy.add_entity(Entity("张学友#0", "张学友"))
         taxonomy.add_relation(IsARelation("张学友#0", "歌手", "tag"))
         # published snapshot still answers from its freeze...
-        assert service.get_entity("歌手") == ["刘德华#0", "周杰伦#0"]
+        assert service.get_entities("歌手") == ["刘德华#0", "周杰伦#0"]
         # ...until the mutated taxonomy is explicitly re-published
         service.swap(taxonomy)
-        assert service.get_entity("歌手") == [
+        assert service.get_entities("歌手") == [
             "刘德华#0", "周杰伦#0", "张学友#0",
         ]
 

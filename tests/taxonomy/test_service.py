@@ -5,7 +5,7 @@ import pytest
 from repro.errors import APIError
 from repro.taxonomy.api import APIUsage, WorkloadGenerator
 from repro.taxonomy.model import Entity, IsARelation
-from repro.taxonomy.service import TaxonomyService
+from repro.taxonomy.service import APILatency, TaxonomyService
 from repro.taxonomy.store import Taxonomy
 
 
@@ -36,13 +36,13 @@ def service(taxonomy):
 class TestSingleCalls:
     def test_delegates_to_api(self, service):
         assert service.men2ent("华仔") == ["刘德华#0"]
-        assert service.get_concept("刘德华#0") == ["歌手", "演员"]
-        assert service.get_entity("歌手") == ["刘德华#0", "周杰伦#0"]
+        assert service.get_concepts("刘德华#0") == ["歌手", "演员"]
+        assert service.get_entities("歌手") == ["刘德华#0", "周杰伦#0"]
 
     def test_metrics_accounting(self, service):
         service.men2ent("华仔")
         service.men2ent("无人")
-        service.get_entity("歌手")
+        service.get_entities("歌手")
         metrics = service.metrics
         assert metrics.total_calls == 3
         latency = metrics.latency("men2ent")
@@ -70,12 +70,12 @@ class TestBatchedCalls:
         assert service.metrics.latency("men2ent").hits == 2
 
     def test_get_concepts_batch(self, service):
-        assert service.get_concepts(["刘德华#0", "周杰伦#0"]) == [
+        assert service.get_concepts_batch(["刘德华#0", "周杰伦#0"]) == [
             ["歌手", "演员"], ["歌手"],
         ]
 
     def test_get_entities_batch(self, service):
-        assert service.get_entities(["歌手", "导演"]) == [
+        assert service.get_entities_batch(["歌手", "导演"]) == [
             ["刘德华#0", "周杰伦#0"], [],
         ]
 
@@ -96,7 +96,7 @@ class TestSnapshots:
         assert snapshot.version == 2 and service.version_id == "v2"
         assert service.metrics.swaps == 1
         # new snapshot serves the rebuild, pinned old snapshot unchanged
-        assert service.get_concept("刘德华#0") == ["导演"]
+        assert service.get_concepts("刘德华#0") == ["导演"]
         assert old.taxonomy.get_concepts("刘德华#0") == ["歌手", "演员"]
 
     def test_metrics_survive_swap(self, service, rebuilt):
@@ -118,6 +118,98 @@ class TestUsageValidation:
         usage = APIUsage()
         usage.record("men2ent", True)
         assert usage.calls["men2ent"] == 1
+
+
+class TestLatencyQuantiles:
+    def test_known_distribution(self):
+        latency = APILatency()
+        for ms in range(1, 101):  # 1ms..100ms, uniform
+            latency.observe(ms / 1000.0, hit=True)
+        assert latency.p50_seconds == pytest.approx(0.050)
+        assert latency.p95_seconds == pytest.approx(0.095)
+        assert latency.p99_seconds == pytest.approx(0.099)
+        assert latency.quantile(1.0) == pytest.approx(0.100)
+
+    def test_empty_reads_zero(self):
+        latency = APILatency()
+        assert latency.p50_seconds == 0.0
+        assert latency.p99_seconds == 0.0
+
+    def test_single_sample(self):
+        latency = APILatency()
+        latency.observe(0.25, hit=False)
+        assert latency.p50_seconds == 0.25
+        assert latency.p99_seconds == 0.25
+
+    def test_invalid_quantile_rejected(self):
+        latency = APILatency()
+        with pytest.raises(APIError):
+            latency.quantile(0.0)
+        with pytest.raises(APIError):
+            latency.quantile(1.5)
+
+    def test_reservoir_is_bounded_and_recent(self):
+        from repro.taxonomy.service import LATENCY_RESERVOIR_SIZE
+
+        latency = APILatency()
+        for _ in range(LATENCY_RESERVOIR_SIZE):
+            latency.observe(10.0, hit=True)  # ancient slow era
+        for _ in range(LATENCY_RESERVOIR_SIZE):
+            latency.observe(0.001, hit=True)  # recent fast era
+        # quantiles reflect the recent window; max stays historical
+        assert latency.p99_seconds == pytest.approx(0.001)
+        assert latency.max_seconds == 10.0
+        assert latency.calls == 2 * LATENCY_RESERVOIR_SIZE
+
+    def test_as_dict_surfaces_tail_latency(self, service):
+        service.men2ent("华仔")
+        entry = service.metrics.as_dict()["men2ent"]
+        for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+            assert key in entry
+            assert 0.0 <= entry[key] <= entry["max_seconds"]
+
+
+class TestCanonicalNaming:
+    """get_concepts/get_entities singles + *_batch, with deprecated aliases."""
+
+    def test_canonical_singles(self, service):
+        assert service.get_concepts("刘德华#0") == ["歌手", "演员"]
+        assert service.get_entities("歌手") == ["刘德华#0", "周杰伦#0"]
+
+    def test_canonical_batches(self, service):
+        assert service.get_concepts_batch(["刘德华#0", "周杰伦#0"]) == [
+            ["歌手", "演员"], ["歌手"],
+        ]
+        assert service.get_entities_batch(["歌手", "导演"]) == [
+            ["刘德华#0", "周杰伦#0"], [],
+        ]
+
+    def test_deprecated_single_aliases_warn_and_delegate(self, service):
+        with pytest.deprecated_call():
+            assert service.get_concept("刘德华#0") == \
+                service.get_concepts("刘德华#0")
+        with pytest.deprecated_call():
+            assert service.get_entity("歌手") == service.get_entities("歌手")
+
+    def test_deprecated_batch_spelling_warns_and_delegates(self, service):
+        with pytest.deprecated_call():
+            assert service.get_concepts(["刘德华#0"]) == \
+                service.get_concepts_batch(["刘德华#0"])
+        with pytest.deprecated_call():
+            assert service.get_entities(["歌手"]) == \
+                service.get_entities_batch(["歌手"])
+
+    def test_canonical_batch_rejects_single_string(self, service):
+        with pytest.raises(APIError, match="sequence"):
+            service.get_concepts_batch("刘德华#0")
+        with pytest.raises(APIError, match="sequence"):
+            service.get_entities_batch("歌手")
+
+    def test_batch_rejects_empty_member_upfront(self, service):
+        with pytest.raises(APIError, match="non-empty"):
+            service.men2ent_batch(["华仔", ""])
+        # all-or-nothing validation: nothing was served or counted
+        assert service.metrics.total_calls == 0
 
 
 class TestWorkloadThroughService:

@@ -212,3 +212,78 @@ class TestTraceSidecar:
         code = main(["stages", "--trace", str(taxonomy_path)])
         assert code == 2
         assert "not a build trace sidecar" in capsys.readouterr().err
+
+
+class TestServe:
+    """cn-probase serve + TaxonomyClient: the acceptance round trip."""
+
+    def test_serve_query_swap_query_shutdown(self, artefacts, tmp_path):
+        import threading
+        import time
+
+        from repro.serving import TaxonomyClient
+        from repro.taxonomy import Taxonomy
+
+        _, taxonomy_path = artefacts
+        taxonomy = Taxonomy.load(taxonomy_path)
+        mention = sorted(taxonomy.freeze().as_indexes()[0])[0]
+        ready_file = tmp_path / "ready"
+        exit_codes: list[int] = []
+
+        def run_cli() -> None:
+            exit_codes.append(main([
+                "serve", str(taxonomy_path),
+                "--shards", "2", "--replicas", "2",
+                "--port", "0",
+                "--admin-token", "cli-test-token",
+                "--ready-file", str(ready_file),
+            ]))
+
+        # daemon: a failed assertion below must not leave a live serve
+        # thread blocking interpreter exit
+        thread = threading.Thread(target=run_cli, daemon=True)
+        thread.start()
+        client = None
+        try:
+            deadline = time.monotonic() + 30
+            while not (ready_file.exists() and
+                       ready_file.read_text().strip()):
+                assert time.monotonic() < deadline, "server never came up"
+                assert thread.is_alive(), f"serve exited: {exit_codes}"
+                time.sleep(0.02)
+            host, port = ready_file.read_text().split()
+            client = TaxonomyClient(
+                f"http://{host}:{port}", admin_token="cli-test-token"
+            )
+
+            # query (v1)
+            assert client.healthz() == {
+                "status": "ok", "version": "v1", "shards": 2,
+            }
+            v1_answer = client.men2ent(mention)
+            assert v1_answer == taxonomy.men2ent(mention)
+
+            # swap to a taxonomy where the mention answers differently
+            rebuilt = Taxonomy()
+            rebuilt_path = tmp_path / "rebuilt.jsonl"
+            rebuilt.save(rebuilt_path)
+            assert client.swap(str(rebuilt_path)) == {
+                "swapped": True, "version": "v2",
+            }
+
+            # query (v2): all shards republished, answers flipped
+            assert client.version()["shard_versions"] == ["v2", "v2"]
+            assert client.men2ent(mention) == []
+
+            # shutdown ends the foreground CLI cleanly
+            client.shutdown_server()
+            thread.join(timeout=15)
+        finally:
+            if thread.is_alive() and client is not None:
+                try:  # best-effort teardown after a mid-test failure
+                    client.shutdown_server()
+                except Exception:
+                    pass
+                thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert exit_codes == [0]
