@@ -4,9 +4,12 @@
 # equivalence (byte-identical output + speedup trajectory), serving
 # throughput (read-optimized snapshots >= 2x the per-call-sorted path),
 # the serving cluster (sharded answers byte-identical to the unsharded
-# facade at 1/2/4 shards, HTTP batched > HTTP singles) and a real
-# server round trip (cn-probase serve subprocess: start -> query ->
-# swap -> query -> shutdown).  The perf numbers land in
+# facade at 1/2/4 shards, HTTP batched > HTTP singles), the incremental
+# rebuild contract (delta-applied taxonomy byte-identical to a full
+# rebuild, small-change refresh faster than a full build) and two real
+# server round trips (cn-probase serve subprocess: start -> query ->
+# swap -> query -> shutdown, and build -> diff -> incremental rebuild
+# -> /admin/apply-delta).  The perf numbers land in
 # benchmarks/out/BENCH_parallel.json so future PRs have a trajectory to
 # regress against.
 set -euo pipefail
@@ -18,4 +21,6 @@ python -m pytest -x -q benchmarks/bench_stage_overhead.py
 python -m pytest -x -q benchmarks/bench_parallel_build.py \
     benchmarks/bench_serving_throughput.py
 python -m pytest -x -q benchmarks/bench_serving_cluster.py
+python -m pytest -x -q benchmarks/bench_incremental_build.py
 python benchmarks/smoke_serving_roundtrip.py
+python benchmarks/smoke_incremental_roundtrip.py

@@ -43,7 +43,21 @@ def build_taxonomy_file(seed: int, path: Path) -> object:
     return result.taxonomy
 
 
+def cli_env() -> dict[str, str]:
+    """Environment for ``python -m repro.cli`` subprocesses (src on path)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
 def wait_for_ready(ready_file: Path, process: subprocess.Popen) -> str:
+    """Base URL once `cn-probase serve --ready-file` reports readiness.
+
+    Shared by every serving smoke script (smoke_incremental_roundtrip
+    imports it), so the ready-file protocol lives in one place.
+    """
     deadline = time.monotonic() + READY_TIMEOUT_SECONDS
     while time.monotonic() < deadline:
         if process.poll() is not None:
@@ -68,10 +82,6 @@ def main() -> None:
         mention = sorted(taxonomy_v1.freeze().as_indexes()[0])[0]
 
         ready_file = tmp_path / "ready"
-        env = dict(os.environ)
-        env["PYTHONPATH"] = f"{REPO / 'src'}" + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-        )
         process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro.cli", "serve", str(v1_path),
@@ -79,7 +89,7 @@ def main() -> None:
                 "--admin-token", ADMIN_TOKEN,
                 "--ready-file", str(ready_file),
             ],
-            env=env,
+            env=cli_env(),
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,

@@ -55,16 +55,21 @@ __version__ = "1.0.0"
 _LAZY_EXPORTS = {
     "BuildResult": "repro.core.pipeline",
     "CNProbaseBuilder": "repro.core.pipeline",
+    "IncrementalBuildResult": "repro.core.pipeline",
     "PipelineConfig": "repro.core.pipeline",
+    "PreviousBuild": "repro.core.pipeline",
     "build_cn_probase": "repro.core.pipeline",
     "StageRegistry": "repro.core.stages",
     "StageTrace": "repro.core.stages",
     "default_registry": "repro.core.stages",
+    "DumpDiff": "repro.encyclopedia",
     "EncyclopediaDump": "repro.encyclopedia",
     "EncyclopediaPage": "repro.encyclopedia",
+    "diff_dumps": "repro.encyclopedia",
     "SyntheticWorld": "repro.encyclopedia",
     "Taxonomy": "repro.taxonomy",
     "TaxonomyAPI": "repro.taxonomy",
+    "TaxonomyDelta": "repro.taxonomy",
     "TaxonomyService": "repro.taxonomy",
     "ReplicatedRouter": "repro.serving",
     "ShardedSnapshotStore": "repro.serving",
@@ -92,9 +97,12 @@ def __dir__():
 __all__ = [
     "BuildResult",
     "CNProbaseBuilder",
+    "DumpDiff",
     "EncyclopediaDump",
     "EncyclopediaPage",
+    "IncrementalBuildResult",
     "PipelineConfig",
+    "PreviousBuild",
     "ReplicatedRouter",
     "ShardedSnapshotStore",
     "StageRegistry",
@@ -103,10 +111,12 @@ __all__ = [
     "Taxonomy",
     "TaxonomyAPI",
     "TaxonomyClient",
+    "TaxonomyDelta",
     "TaxonomyService",
     "build_cluster",
     "build_cn_probase",
     "default_registry",
+    "diff_dumps",
     "start_server",
     "__version__",
 ]

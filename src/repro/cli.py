@@ -6,6 +6,9 @@ Usage::
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl --workers 4
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl --disable-stage ner
+    cn-probase diff dump-old.jsonl dump-new.jsonl
+    cn-probase build --dump dump-new.jsonl --out taxonomy2.jsonl \
+        --incremental --previous taxonomy.jsonl --previous-dump dump-old.jsonl
     cn-probase stages
     cn-probase stages --trace taxonomy.jsonl.trace.json
     cn-probase stats --taxonomy taxonomy.jsonl
@@ -22,6 +25,20 @@ dump-fingerprint keyed reuse of harvested lexicon / segmented corpus /
 PMI counts.  Every build writes a ``<out>.trace.json`` sidecar with the
 per-stage seconds/workers/cache columns; ``stages --trace`` pretty-prints
 the last one.
+
+``diff`` reports the page-level difference between two dumps;
+``build --incremental`` consumes it: the output taxonomy is
+byte-identical to a full build and a ``<out>.delta.jsonl``
+:class:`~repro.taxonomy.delta.TaxonomyDelta` is written alongside —
+ready for ``POST /admin/apply-delta`` against a running ``serve``
+cluster, which then republishes only the shards the delta touches.
+The *speed* side of incrementality (per-page segment reuse, PMI
+subtract/add, page-local generation replay) needs the warm in-process
+caches of a long-lived nightly process — the
+:meth:`~repro.core.pipeline.CNProbaseBuilder.build_incremental` Python
+API — so a cold CLI invocation pays full-build cost and the verb's
+value is the exact delta artifact (``resource_mode`` is printed so you
+can tell which path ran).
 
 ``serve`` publishes the taxonomy over the :mod:`repro.serving` HTTP
 cluster: ``--shards N`` key-hashes the read-optimized indexes into N
@@ -44,9 +61,13 @@ import sys
 from pathlib import Path
 
 from repro.core.generation.neural_gen import NeuralGenConfig
-from repro.core.pipeline import PipelineConfig, build_cn_probase
+from repro.core.pipeline import (
+    CNProbaseBuilder,
+    PipelineConfig,
+    PreviousBuild,
+)
 from repro.core.stages import default_registry
-from repro.encyclopedia import SyntheticWorld, load_dump, save_dump
+from repro.encyclopedia import SyntheticWorld, diff_dumps, load_dump, save_dump
 from repro.errors import ReproError
 from repro.taxonomy import Taxonomy, TaxonomyAPI
 
@@ -77,7 +98,30 @@ def _cmd_build(args: argparse.Namespace) -> int:
     registry = default_registry()
     for name in args.disable_stage or ():
         registry.disable(name)
-    result = build_cn_probase(dump, config, registry=registry)
+    builder = CNProbaseBuilder(config, registry=registry)
+    if args.incremental:
+        if not args.previous or not args.previous_dump:
+            print("error: --incremental needs --previous <taxonomy> and "
+                  "--previous-dump <dump>", file=sys.stderr)
+            return 2
+        previous = PreviousBuild(
+            dump=load_dump(args.previous_dump),
+            taxonomy=Taxonomy.load(args.previous),
+        )
+        result = builder.build_incremental(dump, previous)
+        delta_path = Path(f"{args.out}.delta.jsonl")
+        Taxonomy.save_delta(result.delta, delta_path)
+        diff = result.diff
+        print(f"dump diff: {len(diff.added)} added, "
+              f"{len(diff.changed)} changed, {len(diff.removed)} removed "
+              f"(resources: {result.resource_mode})")
+        summary = ", ".join(
+            f"{k}={v}" for k, v in result.delta.summary().items() if v
+        ) or "empty"
+        print(f"delta: {summary}")
+        print(f"wrote delta to {delta_path}")
+    else:
+        result = builder.build(dump)
     result.taxonomy.save(args.out)
     stats = result.taxonomy.stats()
     print(f"built {stats.n_isa_total} isA relations "
@@ -161,6 +205,30 @@ def _print_trace(path: str) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    old = load_dump(args.old_dump)
+    new = load_dump(args.new_dump)
+    diff = diff_dumps(old, new)
+    if diff.is_empty:
+        print("dumps are identical (page-level)")
+    for label, ids in (
+        ("added", diff.added),
+        ("changed", diff.changed),
+        ("removed", diff.removed),
+    ):
+        if not ids:
+            continue
+        preview = ", ".join(ids[:8]) + (", ..." if len(ids) > 8 else "")
+        print(f"{label}: {len(ids)} ({preview})")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(diff.as_dict(), ensure_ascii=False, indent=2),
+            encoding="utf-8",
+        )
+        print(f"wrote diff to {args.json}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     taxonomy = Taxonomy.load(args.taxonomy)
     for key, value in taxonomy.stats().as_dict().items():
@@ -206,7 +274,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"shards={args.shards} replicas={args.replicas} "
               f"version={service.version_id}")
         if args.admin_token:
-            print("admin API armed: POST /admin/swap, /admin/shutdown")
+            print("admin API armed: POST /admin/swap, /admin/apply-delta, "
+                  "/admin/shutdown")
         if args.ready_file:
             host, port = server.server_address[:2]
             Path(args.ready_file).write_text(
@@ -257,7 +326,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="always re-derive lexicon/corpus/PMI instead of "
                             "reusing them when the dump fingerprint matches "
                             "a previous build")
+    build.add_argument("--incremental", action="store_true",
+                       help="diff the dump against --previous-dump, rebuild "
+                            "and write a <out>.delta.jsonl taxonomy delta "
+                            "for /admin/apply-delta; output is byte-"
+                            "identical to a full build (a cold CLI process "
+                            "pays full-build cost — the resource/replay "
+                            "fast paths need the warm in-process caches a "
+                            "nightly service keeps)")
+    build.add_argument("--previous", metavar="TAXONOMY", default=None,
+                       help="the previously built taxonomy JSONL "
+                            "(required with --incremental)")
+    build.add_argument("--previous-dump", metavar="DUMP", default=None,
+                       help="the dump the previous taxonomy was built from "
+                            "(required with --incremental)")
     build.set_defaults(func=_cmd_build)
+
+    diff = sub.add_parser(
+        "diff", help="page-level diff between two encyclopedia dumps"
+    )
+    diff.add_argument("old_dump", help="the older dump JSONL")
+    diff.add_argument("new_dump", help="the newer dump JSONL")
+    diff.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the full diff as JSON to PATH")
+    diff.set_defaults(func=_cmd_diff)
 
     stages = sub.add_parser(
         "stages", help="list the registered pipeline stages"

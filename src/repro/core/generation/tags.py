@@ -53,6 +53,12 @@ class TagSource:
     # Explicitly dependency-free: reads no other source's output, so the
     # ExecutionPlan may schedule it in the first wave.
     requires = ()
+    # Per-page output depends on nothing but the page itself (no PMI, no
+    # lexicon, no other pages), and every emitted relation carries the
+    # page's id as its hyponym.  That is the ``page_local`` contract:
+    # incremental builds replay this stage's previous candidates for
+    # unchanged pages and re-extract only the diff's pages.
+    page_local = True
 
     def generate(self, context) -> list[IsARelation]:
-        return TagExtractor().extract(context.dump)
+        return TagExtractor().extract(context.generation_pages())

@@ -24,9 +24,21 @@ parallel build's taxonomy is byte-identical to the serial one's.
 
 Shared resource preparation is cached in a :class:`ResourceCache` keyed
 on the dump's content fingerprint plus the resource-relevant slice of
-the config: rebuilding on an unchanged dump skips lexicon harvesting,
-corpus segmentation and PMI recounting entirely (``cache_hit`` on the
-``resources`` trace record says when).
+the config (:attr:`PipelineConfig.RESOURCE_FIELDS`): rebuilding on an
+unchanged dump skips lexicon harvesting, corpus segmentation and PMI
+recounting entirely (``cache_hit`` on the ``resources`` trace record
+says when).
+
+``CNProbaseBuilder.build_incremental(dump, previous)`` is the nightly
+refresh path: a page-level :class:`~repro.encyclopedia.model.DumpDiff`
+against the previous dump drives exact reuse — unchanged pages keep
+their segment lists and PMI advances by counter subtract/add (when the
+harvested lexicon is provably unchanged), ``page_local`` sources replay
+previous candidates for unchanged pages — and the result is
+byte-identical to a full build, plus a
+:class:`~repro.taxonomy.delta.TaxonomyDelta` whose application to the
+previous taxonomy reproduces it exactly (the equivalence contract the
+tests and ``benchmarks/bench_incremental_build.py`` assert).
 
 Per-stage wall-clock, candidate counts, worker counts and cache hits
 are recorded in a :class:`~repro.core.stages.StageTrace` on the result.
@@ -41,8 +53,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from time import perf_counter
+from typing import ClassVar
 
 from repro.core.generation.merge import CandidatePool, PoolStats
 from repro.core.generation.neural_gen import NeuralGenConfig
@@ -61,7 +74,7 @@ from repro.core.stages import (
     plan_execution,
 )
 from repro.core.verification.incompatible import FilterDecision
-from repro.encyclopedia.model import EncyclopediaDump
+from repro.encyclopedia.model import DumpDiff, EncyclopediaDump, diff_dumps
 from repro.errors import PipelineError
 from repro.neural.training import TrainingReport
 from repro.nlp.lexicon import Lexicon
@@ -69,6 +82,7 @@ from repro.nlp.ner import NamedEntityRecognizer
 from repro.nlp.pmi import PMIStatistics
 from repro.nlp.pos import POSTagger
 from repro.nlp.segmentation import Segmenter
+from repro.taxonomy.delta import TaxonomyDelta
 from repro.taxonomy.model import Entity, IsARelation
 from repro.taxonomy.store import Taxonomy
 
@@ -96,18 +110,37 @@ class PipelineConfig:
     # neural extraction can be capped for wall-clock control; None = all
     max_generation_pages: int | None = None
     harvest_lexicon: bool = True
+    # add-k smoothing of the PMI statistics derived from the dump corpus
+    pmi_smoothing: float = 0.1
     # execution: worker threads for source waves and verifier shards
     # (1 = the serial pipeline, bit-for-bit the default behaviour)
     workers: int = 1
     # consult the builder's ResourceCache for the shared NLP resources
     resource_cache: bool = True
 
+    #: Fields that shape the *shared resources* (lexicon, segmenter,
+    #: tagger, recognizer, PMI, segmented corpus) rather than individual
+    #: stages.  This is the config slice of every resource-cache key —
+    #: a flag listed here must invalidate cached resources when flipped,
+    #: and a flag absent from it must not.  Keep it in sync with
+    #: :meth:`CNProbaseBuilder._build_resources`.
+    RESOURCE_FIELDS: ClassVar[tuple[str, ...]] = (
+        "harvest_lexicon",
+        "pmi_smoothing",
+    )
+
 
 @dataclass
 class SharedResources:
     """The expensive once-per-build derivations a :class:`ResourceCache`
     can replay: everything in :class:`BuildContext` that depends only on
-    the dump (and the resource slice of the config), not on stages."""
+    the dump (and the resource slice of the config), not on stages.
+
+    ``page_segments`` slices the flat ``corpus`` per page (same list
+    objects, keyed by page_id in dump order) — the reuse unit of an
+    incremental rebuild: unchanged pages' segment lists carry over
+    verbatim and changed pages' old lists are subtracted from PMI.
+    """
 
     lexicon: Lexicon
     segmenter: Segmenter
@@ -116,6 +149,7 @@ class SharedResources:
     pmi: PMIStatistics
     corpus: list[list[str]]
     titles: dict[str, str]
+    page_segments: dict[str, list[list[str]]] = field(default_factory=dict)
 
 
 class ResourceCache:
@@ -194,6 +228,101 @@ class BuildResult:
         return sum(len(v) for v in self.removed_by.values())
 
 
+@dataclass
+class PreviousBuild:
+    """What an incremental rebuild needs to know about the last build.
+
+    ``dump`` and ``taxonomy`` are mandatory (the diff base and the delta
+    base); ``per_source`` — the previous build's pre-merge candidate
+    lists — is optional and unlocks replaying ``page_local`` generation
+    stages for unchanged pages.  A cold process that only has the files
+    on disk (``cn-probase build --incremental``) runs without it,
+    trading the generation replay away but keeping exactness.
+    """
+
+    dump: EncyclopediaDump
+    taxonomy: Taxonomy
+    per_source: dict[str, list[IsARelation]] | None = None
+
+    @classmethod
+    def from_result(
+        cls, dump: EncyclopediaDump, result: BuildResult
+    ) -> "PreviousBuild":
+        """The warm-process form: previous dump + its full build result."""
+        return cls(
+            dump=dump,
+            taxonomy=result.taxonomy,
+            per_source=result.per_source_relations,
+        )
+
+
+@dataclass
+class IncrementalBuildResult(BuildResult):
+    """A :class:`BuildResult` plus the delta story of how it got there.
+
+    ``taxonomy`` is byte-identical (via :meth:`Taxonomy.save`) to what a
+    full :meth:`CNProbaseBuilder.build` on the same dump produces — the
+    equivalence contract — and ``delta`` applied to the previous
+    taxonomy reproduces it exactly.  ``resource_mode`` records how the
+    shared resources were obtained: ``"incremental"`` (previous
+    lexicon/segmenter reused, unchanged pages' segment lists carried
+    over, PMI advanced by subtract/add), ``"cache"`` (same-dump
+    resource-cache hit) or ``"full"`` (fallback re-derivation, e.g.
+    the harvested lexicon changed).
+    """
+
+    delta: TaxonomyDelta | None = None
+    diff: DumpDiff | None = None
+    resource_mode: str = "full"
+
+
+@dataclass
+class _GenerationReplay:
+    """Per-page candidate replay for ``page_local`` generation stages.
+
+    Holds the previous build's pre-merge candidates per source and the
+    page_ids whose extraction must re-run.  A stage qualifies when it
+    declares ``page_local = True`` — the promise that its per-page
+    output is a pure function of the page alone and every emitted
+    relation carries the page's id as its hyponym — and its previous
+    candidates are at hand.  Merging walks the *new* dump order, so the
+    combined list is exactly what a full run over the new dump emits:
+    removed pages drop out, unchanged pages replay, diff pages are
+    fresh.
+    """
+
+    regenerate: frozenset[str]
+    previous: dict[str, list[IsARelation]]
+
+    def available_for(self, entry: StageEntry) -> bool:
+        return (
+            bool(getattr(entry.factory, "page_local", False))
+            and entry.name in self.previous
+        )
+
+    def merge(
+        self,
+        name: str,
+        dump: EncyclopediaDump,
+        fresh: list[IsARelation],
+    ) -> list[IsARelation]:
+        prev_by_page: dict[str, list[IsARelation]] = {}
+        for relation in self.previous[name]:
+            prev_by_page.setdefault(relation.hyponym, []).append(relation)
+        fresh_by_page: dict[str, list[IsARelation]] = {}
+        for relation in fresh:
+            fresh_by_page.setdefault(relation.hyponym, []).append(relation)
+        merged: list[IsARelation] = []
+        for page in dump:
+            source = (
+                fresh_by_page
+                if page.page_id in self.regenerate
+                else prev_by_page
+            )
+            merged.extend(source.get(page.page_id, ()))
+        return merged
+
+
 class CNProbaseBuilder:
     """End-to-end builder of a CN-Probase-style taxonomy.
 
@@ -235,14 +364,79 @@ class CNProbaseBuilder:
             raise PipelineError("cannot build a taxonomy from an empty dump")
         started = perf_counter()
         trace = StageTrace()
-
         context = self._prepare_context(dump, trace)
+        return self._execute(dump, context, trace, started)
+
+    def build_incremental(
+        self, dump: EncyclopediaDump, previous: PreviousBuild
+    ) -> IncrementalBuildResult:
+        """Rebuild for *dump* with cost proportional to what changed.
+
+        The page-level :class:`~repro.encyclopedia.model.DumpDiff`
+        against ``previous.dump`` drives three exact reuse levels:
+
+        1. **resources** — when the harvested lexicon is provably
+           unchanged (no pages added/removed, changed pages contribute
+           the same title/tag/alias surfaces), the previous
+           lexicon/segmenter/tagger/recognizer carry over, unchanged
+           pages keep their per-page segment lists verbatim and PMI
+           advances by exact counter subtract/add of just the changed
+           pages' text.  Anything else falls back to full
+           re-derivation — conservative, never approximate;
+        2. **generation** — ``page_local`` sources replay their
+           previous candidates for unchanged pages and re-extract only
+           the diff's pages; globally-coupled sources re-run in full;
+        3. **verification / assembly** — always re-run over the merged
+           pool (the verifier fits are global), against warm caches.
+
+        The result's taxonomy is byte-identical (saved JSONL) to a full
+        :meth:`build` on *dump* — every reuse level above is applied
+        only under conditions that provably cannot change the output —
+        and the returned :class:`~repro.taxonomy.delta.TaxonomyDelta`
+        applied to ``previous.taxonomy`` reproduces it exactly.
+        """
+        if len(dump) == 0:
+            raise PipelineError("cannot build a taxonomy from an empty dump")
+        started = perf_counter()
+        trace = StageTrace()
+        diff_started = perf_counter()
+        diff = diff_dumps(previous.dump, dump)
+        trace.add(StageRecord(
+            "diff", DRIVER_KIND, perf_counter() - diff_started,
+            diff.n_touched,
+        ))
+        context, resource_mode = self._prepare_context_incremental(
+            dump, previous, diff, trace
+        )
+        replay = None
+        if previous.per_source is not None:
+            replay = _GenerationReplay(
+                regenerate=diff.regenerate_ids(),
+                previous=previous.per_source,
+            )
+        result = self._execute(dump, context, trace, started, replay=replay)
+        delta = TaxonomyDelta.compute(previous.taxonomy, result.taxonomy)
+        return IncrementalBuildResult(
+            **{f.name: getattr(result, f.name) for f in fields(BuildResult)},
+            delta=delta,
+            diff=diff,
+            resource_mode=resource_mode,
+        )
+
+    def _execute(
+        self,
+        dump: EncyclopediaDump,
+        context: BuildContext,
+        trace: StageTrace,
+        started: float,
+        replay: _GenerationReplay | None = None,
+    ) -> BuildResult:
         pool = CandidatePool()
         plan = self.plan()
 
         # generation: dependency waves; results merged in registration
         # order so every worker count yields the identical pool.
-        source_records = self._run_sources(plan, context, pool)
+        source_records = self._run_sources(plan, context, pool, replay)
         for entry in self.registry.sources():
             record = source_records.get(entry.name)
             if record is None:  # disabled by a switch
@@ -303,7 +497,11 @@ class CNProbaseBuilder:
     # -- execution -----------------------------------------------------------------
 
     def _run_sources(
-        self, plan: ExecutionPlan, context: BuildContext, pool: CandidatePool
+        self,
+        plan: ExecutionPlan,
+        context: BuildContext,
+        pool: CandidatePool,
+        replay: _GenerationReplay | None = None,
     ) -> dict[str, StageRecord]:
         """Run every wave; merge results in registration order.
 
@@ -325,11 +523,14 @@ class CNProbaseBuilder:
                     thread_name_prefix="cn-probase-source",
                 ) as executor:
                     outcomes = list(executor.map(
-                        lambda entry: self._run_source(entry, context), wave
+                        lambda entry: self._run_source(entry, context, replay),
+                        wave,
                     ))
             else:
-                outcomes = [self._run_source(entry, context) for entry in wave]
-            for entry, (relations, seconds) in zip(wave, outcomes):
+                outcomes = [
+                    self._run_source(entry, context, replay) for entry in wave
+                ]
+            for entry, (relations, seconds, replayed) in zip(wave, outcomes):
                 if relations is None:  # preconditions unmet (e.g. no priors)
                     records[entry.name] = StageRecord(
                         entry.name, SOURCE_KIND, seconds, 0, ran=False,
@@ -339,7 +540,7 @@ class CNProbaseBuilder:
                 context.per_source[entry.name] = relations
                 records[entry.name] = StageRecord(
                     entry.name, SOURCE_KIND, seconds, len(relations),
-                    workers=wave_workers,
+                    workers=wave_workers, cache_hit=replayed,
                 )
         ordered = {
             entry.name: context.per_source[entry.name]
@@ -354,11 +555,29 @@ class CNProbaseBuilder:
 
     @staticmethod
     def _run_source(
-        entry: StageEntry, context: BuildContext
-    ) -> tuple[list[IsARelation] | None, float]:
+        entry: StageEntry,
+        context: BuildContext,
+        replay: _GenerationReplay | None = None,
+    ) -> tuple[list[IsARelation] | None, float, bool]:
+        """One generation stage; third element marks a partial replay.
+
+        A replayable ``page_local`` stage runs against a shallow context
+        copy whose ``generation_scope`` narrows it to the diff's pages
+        (the shared context is never mutated, so concurrent wave members
+        are unaffected), then its fresh output is merged with the
+        previous build's candidates in new-dump page order.
+        """
         stage_started = perf_counter()
+        if replay is not None and replay.available_for(entry):
+            scoped = replace(context, generation_scope=replay.regenerate)
+            relations = entry.factory().generate(scoped)
+            if relations is not None:
+                relations = replay.merge(
+                    entry.name, context.dump, relations
+                )
+            return relations, perf_counter() - stage_started, True
         relations = entry.factory().generate(context)
-        return relations, perf_counter() - stage_started
+        return relations, perf_counter() - stage_started, False
 
     @staticmethod
     def _run_verifier(
@@ -397,11 +616,17 @@ class CNProbaseBuilder:
     def _resource_signature(self) -> tuple:
         """The resource-relevant slice of the config (the "config hash").
 
-        Shared resources depend on nothing else in :class:`PipelineConfig`:
-        every other knob only affects stages, which consume the resources
-        read-only.
+        Built from :attr:`PipelineConfig.RESOURCE_FIELDS` — the declared
+        list of every config field :meth:`_build_resources` actually
+        reads (lexicon harvesting, PMI smoothing).  Shared resources
+        depend on nothing else in :class:`PipelineConfig`: every other
+        knob only affects stages, which consume the resources read-only,
+        so flipping one must *not* invalidate cached resources.
         """
-        return (self.config.harvest_lexicon,)
+        return tuple(
+            getattr(self.config, name)
+            for name in PipelineConfig.RESOURCE_FIELDS
+        )
 
     def _prepare_context(
         self, dump: EncyclopediaDump, trace: StageTrace
@@ -439,8 +664,169 @@ class CNProbaseBuilder:
             titles=resources.titles,
         )
 
-    def _build_resources(self, dump: EncyclopediaDump) -> SharedResources:
-        lexicon = self._prepare_lexicon(dump)
+    def _prepare_context_incremental(
+        self,
+        dump: EncyclopediaDump,
+        previous: PreviousBuild,
+        diff: DumpDiff,
+        trace: StageTrace,
+    ) -> tuple[BuildContext, str]:
+        """Shared resources for *dump*, reusing the previous build's where
+        provably value-identical.
+
+        The fast path requires the previous dump's resources to still
+        sit in the builder's :class:`ResourceCache` (a nightly-refresh
+        process keeps them warm) and the harvested lexicon to be
+        provably unchanged — no pages added or removed and every
+        changed page contributing the same title/tag/alias surfaces —
+        the condition under which segmentation, tagging and NER are
+        pure functions of unchanged inputs.  Then only the diff's pages
+        pay for anything: their old segment lists are subtracted from a
+        clone of the previous PMI counts, their new snippets segmented
+        and added, and every other page's segment lists carry over
+        verbatim.  Any other situation falls back to the full
+        derivation path, keeping the output byte-identical in every
+        case.
+        """
+        started = perf_counter()
+        cacheable = (
+            self.config.resource_cache
+            and self._external_lexicon is None
+            and self._external_recognizer is None
+        )
+        resources: SharedResources | None = None
+        mode = "full"
+        new_key = (dump.fingerprint(), self._resource_signature())
+        if cacheable:
+            cached = self._resource_cache.get(new_key)
+            if cached is not None:
+                resources, mode = cached, "cache"
+        harvested: Lexicon | None = None
+        if resources is None and cacheable:
+            old_key = (
+                previous.dump.fingerprint(), self._resource_signature()
+            )
+            old_resources = self._resource_cache.get(old_key)
+            if old_resources is not None:
+                stable, harvested = self._lexicon_stability(
+                    previous.dump, dump, diff, old_resources.lexicon
+                )
+                if stable:
+                    resources = self._advance_resources(
+                        old_resources, previous.dump, dump, diff
+                    )
+                    mode = "incremental"
+        if resources is None:
+            resources = self._build_resources(dump, lexicon=harvested)
+        if cacheable:
+            self._resource_cache.put(new_key, resources)
+        trace.add(StageRecord(
+            "resources", DRIVER_KIND, perf_counter() - started,
+            len(resources.titles), cache_hit=(mode != "full"),
+        ))
+        return (
+            BuildContext(
+                dump=dump,
+                config=self.config,
+                lexicon=resources.lexicon,
+                segmenter=resources.segmenter,
+                tagger=resources.tagger,
+                recognizer=resources.recognizer,
+                pmi=resources.pmi,
+                corpus=resources.corpus,
+                titles=resources.titles,
+            ),
+            mode,
+        )
+
+    def _lexicon_stability(
+        self,
+        old_dump: EncyclopediaDump,
+        new_dump: EncyclopediaDump,
+        diff: DumpDiff,
+        old_lexicon: Lexicon,
+    ) -> tuple[bool, Lexicon | None]:
+        """Whether the harvested lexicon provably did not change.
+
+        Cheap proof first: harvesting accumulates per-surface weights
+        commutatively (every contribution uses the same POS), so the
+        lexicon is a pure function of the *multiset* of per-page
+        contributions — with no pages added or removed and every
+        changed page contributing the same surfaces, the multiset is
+        unchanged without re-harvesting anything.  When that fails
+        (e.g. surfaces moved between pages, netting out), a full
+        re-harvest compared by content settles it; that harvest is
+        returned so a fallback to full derivation reuses it instead of
+        harvesting the same dump twice.  An injected external lexicon
+        never varies with the dump and is trivially stable.
+        """
+        if self._external_lexicon is not None:
+            return True, None
+        if not self.config.harvest_lexicon:
+            return True, None  # Lexicon.base() does not depend on the dump
+        if not diff.added and not diff.removed and all(
+            sorted(_harvest_contributions(old_dump.get(page_id)))
+            == sorted(_harvest_contributions(new_dump.get(page_id)))
+            for page_id in diff.changed
+        ):
+            return True, None
+        harvested = self._prepare_lexicon(new_dump)
+        return harvested.same_content(old_lexicon), harvested
+
+    def _advance_resources(
+        self,
+        old: SharedResources,
+        old_dump: EncyclopediaDump,
+        new_dump: EncyclopediaDump,
+        diff: DumpDiff,
+    ) -> SharedResources:
+        """The previous resources advanced to *new_dump*, paying only for
+        the diff's pages.  Caller guarantees the lexicon is unchanged
+        (:meth:`_lexicon_stable`), which makes every step exact:
+
+        - unchanged pages keep their previous segment lists verbatim,
+        - changed/added pages segment through the previous segmenter
+          (same lexicon → same results as a cold build) and are added
+          to a clone of the previous PMI counts, from which changed/
+          removed pages' old lists were first subtracted,
+        - the flat corpus is re-assembled in new-dump page order.
+        """
+        pmi = old.pmi.clone()
+        for page_id in (*diff.changed, *diff.removed):
+            pmi.remove_corpus(old.page_segments[page_id])
+        corpus: list[list[str]] = []
+        page_segments: dict[str, list[list[str]]] = {}
+        regenerate = diff.regenerate_ids()
+        for page in new_dump:
+            if page.page_id in regenerate:
+                segments = old.segmenter.segment_corpus(
+                    page.text_snippets()
+                )
+                pmi.add_corpus(segments)
+            else:
+                segments = old.page_segments[page.page_id]
+            page_segments[page.page_id] = segments
+            corpus.extend(segments)
+        return SharedResources(
+            lexicon=old.lexicon,
+            segmenter=old.segmenter,
+            tagger=old.tagger,
+            recognizer=old.recognizer,
+            pmi=pmi,
+            corpus=corpus,
+            titles={page.page_id: page.title for page in new_dump},
+            page_segments=page_segments,
+        )
+
+    def _build_resources(
+        self, dump: EncyclopediaDump, lexicon: Lexicon | None = None
+    ) -> SharedResources:
+        """Derive everything from scratch; *lexicon*, when given, is a
+        just-harvested lexicon for this exact dump (the incremental
+        fallback hands its stability-check harvest over rather than
+        paying for it twice)."""
+        if lexicon is None:
+            lexicon = self._prepare_lexicon(dump)
         segmenter = Segmenter(lexicon)
         tagger = POSTagger(lexicon)
         recognizer = (
@@ -448,8 +834,8 @@ class CNProbaseBuilder:
             if self._external_recognizer is not None
             else NamedEntityRecognizer(lexicon)
         )
-        corpus = segmenter.segment_corpus(dump.text_corpus())
-        pmi = PMIStatistics()
+        corpus, page_segments = _segment_pages(segmenter, dump)
+        pmi = PMIStatistics(smoothing=self.config.pmi_smoothing)
         pmi.add_corpus(corpus)
         titles = {page.page_id: page.title for page in dump}
         return SharedResources(
@@ -460,6 +846,7 @@ class CNProbaseBuilder:
             pmi=pmi,
             corpus=corpus,
             titles=titles,
+            page_segments=page_segments,
         )
 
     @staticmethod
@@ -493,6 +880,41 @@ class CNProbaseBuilder:
         return Lexicon.base()
 
 
+def _segment_pages(
+    segmenter: Segmenter, dump: EncyclopediaDump
+) -> tuple[list[list[str]], dict[str, list[list[str]]]]:
+    """The flat segmented corpus plus its per-page slices.
+
+    The flat list is exactly ``segment_corpus(dump.text_corpus())`` —
+    same order, same skip semantics — while the per-page mapping shares
+    the same inner lists, giving incremental rebuilds their reuse and
+    subtraction unit for free.
+    """
+    corpus: list[list[str]] = []
+    page_segments: dict[str, list[list[str]]] = {}
+    for page in dump:
+        segments = segmenter.segment_corpus(page.text_snippets())
+        page_segments[page.page_id] = segments
+        corpus.extend(segments)
+    return corpus, page_segments
+
+
+def _harvest_contributions(page) -> list[tuple[str, int]]:
+    """The lexicon entries one page feeds into :func:`harvest_lexicon`.
+
+    The single source of truth for harvesting: the harvest loop *adds*
+    exactly these (surface, weight) pairs, and the incremental build's
+    lexicon-stability check compares their multisets — so the two can
+    never drift apart.
+    """
+    contributions = [(page.title, 300)]
+    contributions.extend(
+        (tag, 200) for tag in page.tags if tag and len(tag) <= 8
+    )
+    contributions.extend((alias, 150) for alias in _page_aliases(page))
+    return contributions
+
+
 def _split_chunks(items: list, n: int) -> list[list]:
     """Split *items* into at most *n* contiguous chunks of near-equal size."""
     size, extra = divmod(len(items), n)
@@ -510,16 +932,16 @@ def harvest_lexicon(dump: EncyclopediaDump) -> Lexicon:
     """Base lexicon extended with surfaces harvested from the dump.
 
     Titles, tags and aliases go in the way real pipelines feed
-    encyclopedia titles to jieba as a user dictionary.
+    encyclopedia titles to jieba as a user dictionary.  Weights
+    accumulate commutatively with a uniform POS, so the result is a
+    pure function of the multiset of :func:`_harvest_contributions` —
+    which is also what the incremental build's lexicon-stability check
+    compares, making drift between the two impossible.
     """
     lexicon = Lexicon.base()
     for page in dump:
-        lexicon.add(page.title, 300, "n")
-        for tag in page.tags:
-            if tag and len(tag) <= 8:
-                lexicon.add(tag, 200, "n")
-        for alias in _page_aliases(page):
-            lexicon.add(alias, 150, "n")
+        for word, freq in _harvest_contributions(page):
+            lexicon.add(word, freq, "n")
     return lexicon
 
 

@@ -92,10 +92,30 @@ class BuildContext:
     per_source: dict[str, list[IsARelation]] = field(default_factory=dict)
     discovery: DiscoveryResult | None = None
     training_report: TrainingReport | None = None
+    # Incremental builds: the page_ids a page-local source must
+    # (re)generate for; None means the whole dump (the full-build case).
+    generation_scope: frozenset[str] | None = None
 
     def relations_from(self, source: str) -> list[IsARelation]:
         """Candidates an earlier source produced (empty if it didn't run)."""
         return self.per_source.get(source, [])
+
+    def generation_pages(self):
+        """The pages a ``page_local`` source should extract from.
+
+        Full builds return the whole dump.  During an incremental build
+        the driver narrows the scope to the diff's added + changed
+        pages and replays the previous build's candidates for the rest
+        — only sources declaring ``page_local = True`` (per-page output
+        depends on nothing but the page itself) may consume this; every
+        other source keeps reading ``context.dump`` in full.
+        """
+        if self.generation_scope is None:
+            return self.dump
+        return [
+            page for page in self.dump
+            if page.page_id in self.generation_scope
+        ]
 
 
 @runtime_checkable

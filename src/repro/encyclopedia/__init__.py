@@ -13,16 +13,24 @@ is proprietary-scale and offline-unavailable, so this subpackage provides
 """
 
 from repro.encyclopedia.corpus import load_dump, save_dump
-from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage, Triple
+from repro.encyclopedia.model import (
+    DumpDiff,
+    EncyclopediaDump,
+    EncyclopediaPage,
+    Triple,
+    diff_dumps,
+)
 from repro.encyclopedia.synthesis.noise import NoiseConfig
 from repro.encyclopedia.synthesis.world import SyntheticWorld
 
 __all__ = [
+    "DumpDiff",
     "EncyclopediaDump",
     "EncyclopediaPage",
     "NoiseConfig",
     "SyntheticWorld",
     "Triple",
+    "diff_dumps",
     "load_dump",
     "save_dump",
 ]

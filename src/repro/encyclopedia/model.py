@@ -59,6 +59,20 @@ class EncyclopediaPage:
         if not self.title:
             raise CorpusError(f"page {self.page_id!r} has an empty title")
 
+    def digest(self) -> str:
+        """Stable content hash of this page alone.
+
+        Two pages with equal content share a digest regardless of which
+        dump they sit in; any edited field changes it.  This is the unit
+        the incremental-build diff compares, so it must cover every
+        field a generation stage can read.
+        """
+        return hashlib.sha256(
+            json.dumps(
+                self.to_dict(), ensure_ascii=False, sort_keys=True
+            ).encode("utf-8")
+        ).hexdigest()
+
     @property
     def full_title(self) -> str:
         """Rendered title including the bracket annotation when present."""
@@ -73,6 +87,21 @@ class EncyclopediaPage:
     def infobox_values(self, predicate: str) -> list[str]:
         """All infobox values recorded for *predicate* on this page."""
         return [t.value for t in self.infobox if t.predicate == predicate]
+
+    def text_snippets(self) -> tuple[str, ...]:
+        """This page's free-text snippets, in corpus order.
+
+        The per-page unit of :meth:`EncyclopediaDump.text_corpus`; the
+        incremental build keys segmentation reuse on it, so the two
+        must stay in lockstep.
+        """
+        snippets: list[str] = []
+        if self.has_abstract:
+            snippets.append(self.abstract)
+        if self.bracket:
+            snippets.append(self.bracket)
+        snippets.extend(self.tags)
+        return tuple(snippets)
 
     def to_dict(self) -> dict:
         return {
@@ -117,6 +146,70 @@ class DumpStats:
         }
 
 
+@dataclass(frozen=True)
+class DumpDiff:
+    """Page-level difference between two dumps (old → new).
+
+    ``added`` are page_ids only the new dump has, ``removed`` only the
+    old one, ``changed`` are present in both with different per-page
+    digests.  All three are sorted tuples, so a diff is deterministic
+    and serialisable.  This is the currency the incremental build path
+    consumes: generation work is re-run only for ``added`` + ``changed``
+    pages, and ``removed`` pages' contributions fall out of the merge.
+    """
+
+    added: tuple[str, ...] = ()
+    changed: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.changed or self.removed)
+
+    @property
+    def n_touched(self) -> int:
+        return len(self.added) + len(self.changed) + len(self.removed)
+
+    def regenerate_ids(self) -> frozenset[str]:
+        """Pages of the *new* dump whose extraction must be re-run."""
+        return frozenset(self.added) | frozenset(self.changed)
+
+    def as_dict(self) -> dict[str, list[str]]:
+        return {
+            "added": list(self.added),
+            "changed": list(self.changed),
+            "removed": list(self.removed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DumpDiff":
+        return cls(
+            added=tuple(data.get("added", ())),
+            changed=tuple(data.get("changed", ())),
+            removed=tuple(data.get("removed", ())),
+        )
+
+
+def diff_dumps(old: "EncyclopediaDump", new: "EncyclopediaDump") -> DumpDiff:
+    """Page-level :class:`DumpDiff` between *old* and *new*.
+
+    Compares per-page content digests, so reordering pages alone yields
+    an empty diff (page identity is ``page_id``, not position).
+    """
+    old_digests = old.page_digests()
+    new_digests = new.page_digests()
+    added = sorted(set(new_digests) - set(old_digests))
+    removed = sorted(set(old_digests) - set(new_digests))
+    changed = sorted(
+        page_id
+        for page_id, digest in new_digests.items()
+        if page_id in old_digests and old_digests[page_id] != digest
+    )
+    return DumpDiff(
+        added=tuple(added), changed=tuple(changed), removed=tuple(removed)
+    )
+
+
 class EncyclopediaDump:
     """An in-memory collection of pages with id lookup."""
 
@@ -124,6 +217,7 @@ class EncyclopediaDump:
         self._pages: list[EncyclopediaPage] = []
         self._by_id: dict[str, EncyclopediaPage] = {}
         self._fingerprint: str | None = None
+        self._page_digests: dict[str, str] | None = None
         for page in pages or []:
             self.add(page)
 
@@ -133,25 +227,43 @@ class EncyclopediaDump:
         self._pages.append(page)
         self._by_id[page.page_id] = page
         self._fingerprint = None
+        self._page_digests = None
+
+    def page_digests(self) -> dict[str, str]:
+        """``page_id → content digest`` for every page, in dump order.
+
+        The per-page granularity of :meth:`fingerprint`: this is what
+        :func:`diff_dumps` compares to name exactly the pages an
+        incremental rebuild must revisit.  Memoised until the next
+        :meth:`add`; the returned mapping must be treated as read-only.
+        """
+        if self._page_digests is None:
+            self._page_digests = {
+                page.page_id: page.digest() for page in self._pages
+            }
+        return self._page_digests
 
     def fingerprint(self) -> str:
         """Stable content hash of every page, for rebuild caching.
 
         Two dumps with the same pages in the same order share a
-        fingerprint; any added or edited page changes it.  Computed
+        fingerprint; any added or edited page changes it.  Derived from
+        the per-page digests (so the two can never disagree), computed
         lazily and memoised until the next :meth:`add`.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()
-            for page in self._pages:
-                digest.update(
-                    json.dumps(
-                        page.to_dict(), ensure_ascii=False, sort_keys=True
-                    ).encode("utf-8")
-                )
+            for page_id, page_digest in self.page_digests().items():
+                digest.update(page_id.encode("utf-8"))
+                digest.update(b"\x00")
+                digest.update(page_digest.encode("ascii"))
                 digest.update(b"\x00")
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def diff(self, newer: "EncyclopediaDump") -> DumpDiff:
+        """:func:`diff_dumps` from this dump (old) to *newer*."""
+        return diff_dumps(self, newer)
 
     def get(self, page_id: str) -> EncyclopediaPage | None:
         return self._by_id.get(page_id)
@@ -182,12 +294,9 @@ class EncyclopediaDump:
         """Yield every free-text snippet: abstracts, brackets, tag strings.
 
         This is the "Chinese text corpus" used for PMI and NE support
-        statistics.
+        statistics.  Delegates to :meth:`EncyclopediaPage.text_snippets`
+        so the per-page slicing the incremental build relies on can
+        never drift from the flat corpus.
         """
         for page in self._pages:
-            if page.has_abstract:
-                yield page.abstract
-            if page.bracket:
-                yield page.bracket
-            for tag in page.tags:
-                yield tag
+            yield from page.text_snippets()

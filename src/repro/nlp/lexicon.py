@@ -82,6 +82,20 @@ class Lexicon:
         for entry in other:
             self.add(entry.word, entry.freq, entry.pos)
 
+    def same_content(self, other: "Lexicon") -> bool:
+        """True when both lexicons hold identical entries.
+
+        Content equality (word → frequency + POS) is what segmentation,
+        tagging and NER outcomes depend on — two lexicons with the same
+        content are interchangeable regardless of insertion history.
+        The incremental build path uses this as its settle-everything
+        check: when the cheap per-page contribution comparison cannot
+        prove the harvested lexicon unchanged, a re-harvest compared
+        with ``same_content`` decides whether the previous build's
+        segmenter can still be reused verbatim.
+        """
+        return self._entries == other._entries
+
     # -- lookup --------------------------------------------------------------
 
     def __contains__(self, word: str) -> bool:

@@ -44,6 +44,55 @@ class PMIStatistics:
         for words in sequences:
             self.add_sequence(words)
 
+    def remove_sequence(self, words: Sequence[str]) -> None:
+        """Exactly undo one earlier :meth:`add_sequence` of *words*.
+
+        Counts that reach zero are deleted (never left as zero entries),
+        so after removing a sequence the statistics are
+        indistinguishable from never having counted it — including
+        ``vocabulary_size``, which feeds the smoothing denominator.
+        This is what lets an incremental rebuild advance PMI by
+        subtracting changed pages' old text and adding their new text
+        instead of recounting the whole corpus.
+        """
+        for word in words:
+            remaining = self._unigrams[word] - 1
+            if remaining > 0:
+                self._unigrams[word] = remaining
+            else:
+                del self._unigrams[word]
+        self._total_unigrams -= len(words)
+        for pair in zip(words, words[1:]):
+            remaining = self._bigrams[pair] - 1
+            if remaining > 0:
+                self._bigrams[pair] = remaining
+            else:
+                del self._bigrams[pair]
+        self._total_bigrams -= max(len(words) - 1, 0)
+
+    def remove_corpus(self, sequences: Iterable[Sequence[str]]) -> None:
+        for words in sequences:
+            self.remove_sequence(words)
+
+    def clone(self) -> "PMIStatistics":
+        """An independent copy with identical counts and smoothing."""
+        copy = PMIStatistics(smoothing=self._smoothing)
+        copy._unigrams = Counter(self._unigrams)
+        copy._bigrams = Counter(self._bigrams)
+        copy._total_unigrams = self._total_unigrams
+        copy._total_bigrams = self._total_bigrams
+        return copy
+
+    def same_counts(self, other: "PMIStatistics") -> bool:
+        """True when both objects would answer every query identically."""
+        return (
+            self._smoothing == other._smoothing
+            and self._total_unigrams == other._total_unigrams
+            and self._total_bigrams == other._total_bigrams
+            and self._unigrams == other._unigrams
+            and self._bigrams == other._bigrams
+        )
+
     # -- queries ---------------------------------------------------------------
 
     @property

@@ -26,7 +26,12 @@ Architecture (request path, top to bottom)::
   fan out one ordered group per shard and merge by position; a swap
   partitions the *whole* replacement set before one atomic reference
   assignment, so a failed rebuild keeps the old version serving and no
-  batch ever spans two versions.
+  batch ever spans two versions.  A
+  :class:`~repro.taxonomy.delta.TaxonomyDelta` publishes incrementally
+  through :meth:`~repro.serving.sharding.ShardedSnapshotStore.publish_delta`:
+  only shards owning a touched key are rebuilt (touched-keys-only
+  inside each), untouched shards cross the swap as the same objects,
+  and ``shard_versions()`` becomes the per-shard publish lineage.
 - **Routing** (:mod:`repro.serving.router`): reads spread round-robin
   over R replicas per shard; a replica that raises is marked unhealthy
   and the call retries on the next one (configurable attempts); an
@@ -61,6 +66,11 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
   ``{"swapped": true, "version": "v4"}``; 401 on bad token, 403 when
   the server runs without a token, 400 (old version still serving) on a
   failed load
+- ``POST /admin/apply-delta`` body ``{"delta": "<server-side path>"}``
+  (same auth) → ``{"applied": true, "version": "v4", "delta": {...
+  record counts ...}, "shard_versions": [...]}``; the delta is
+  validated against the currently served version and refused with 400
+  (old version still serving) on a base mismatch or unreadable file
 - ``POST /admin/shutdown`` (same auth) → ``{"shutting_down": true}``
 - errors → ``{"error": "<message>"}``; 400 for caller mistakes
   (never retried by the client), 503 when no healthy replica can serve
@@ -70,6 +80,13 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
 ``cn-probase serve <taxonomy> --shards N --replicas R --port P`` wires
 the stack up from a taxonomy file; :func:`build_cluster` does the same
 in-process.
+
+Remaining follow-ups (PR-3's list, refreshed after PR-4 landed the
+incremental per-shard-delta publishes): process-per-shard workers
+behind the same router protocol; remote per-shard replicas via
+:class:`TaxonomyClient` backends; delta chains and delta-shipping
+replication (send ``.delta.jsonl`` files, not full snapshots, to
+remote replicas); auth beyond a single bearer token.
 """
 
 from __future__ import annotations

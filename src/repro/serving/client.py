@@ -200,6 +200,21 @@ class TaxonomyClient(BatchedServingAPI):
             idempotent=False,
         )
 
+    def apply_delta(self, delta_path: str) -> dict:
+        """Publish the taxonomy-delta file at *delta_path* incrementally.
+
+        The path is resolved by the **server** process, which validates
+        the delta against the taxonomy it currently serves; a delta
+        computed against a different base is refused (400) with the old
+        version still serving.
+        """
+        return self._request(
+            "/admin/apply-delta",
+            body={"delta": str(delta_path)},
+            admin=True,
+            idempotent=False,
+        )
+
     def shutdown_server(self) -> dict:
         return self._request(
             "/admin/shutdown", body={}, admin=True, idempotent=False

@@ -214,6 +214,21 @@ class ReplicatedRouter(BatchedServingAPI):
             )
         return self._store.swap(taxonomy)
 
+    def publish_delta(self, delta):
+        """Apply a taxonomy delta to the backing store (store-backed only).
+
+        Replicas are late-binding views over the store's shard set, so a
+        per-shard delta publish propagates to every replica at once —
+        replicas of untouched shards keep serving the identical read
+        view objects.
+        """
+        if self._store is None:
+            raise APIError(
+                "router has no backing store; apply the delta to the "
+                "shard backends directly"
+            )
+        return self._store.publish_delta(delta)
+
     # -- health ----------------------------------------------------------------
 
     def health(self) -> list[list[dict[str, object]]]:

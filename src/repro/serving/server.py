@@ -14,6 +14,9 @@ Endpoints (see the package docstring for the full wire format):
 - ``GET /healthz`` / ``GET /version`` / ``GET /metrics``
 - ``POST /admin/swap`` with ``{"taxonomy": "<path>"}`` — load the
   taxonomy file server-side and hot-swap it atomically
+- ``POST /admin/apply-delta`` with ``{"delta": "<path>"}`` — load a
+  :class:`~repro.taxonomy.delta.TaxonomyDelta` file server-side and
+  publish it incrementally (only touched shards repartition)
 - ``POST /admin/shutdown`` — stop serving after the response is sent
 
 Admin endpoints require ``Authorization: Bearer <token>`` matching the
@@ -124,6 +127,9 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
             if url.path == "/admin/swap":
                 if self._authorized():
                     self._admin_swap(raw_body)
+            elif url.path == "/admin/apply-delta":
+                if self._authorized():
+                    self._admin_apply_delta(raw_body)
             elif url.path == "/admin/shutdown":
                 if self._authorized():
                     self._respond(200, {"shutting_down": True})
@@ -195,6 +201,43 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
             published, "version_id", self.server.service_version()
         )
         self._respond(200, {"swapped": True, "version": version})
+
+    def _admin_apply_delta(self, raw_body: bytes) -> None:
+        """Load a delta file server-side and publish it incrementally.
+
+        The delta is validated against the currently served taxonomy
+        (a delta computed against a different base is refused), so a
+        failed apply keeps the old version serving — same contract as a
+        failed ``/admin/swap``.
+        """
+        body = self._parse_json_body(raw_body)
+        path = body.get("delta")
+        if not isinstance(path, str) or not path:
+            raise APIError('apply-delta body must be {"delta": "<path>"}')
+        publish = getattr(self.server.service, "publish_delta", None)
+        if not callable(publish):
+            raise APIError(
+                "this service front does not support delta publishes"
+            )
+        try:
+            delta = Taxonomy.load_delta(path)
+            published = publish(delta)
+        except (ReproError, OSError) as exc:  # bad path/base: caller error
+            raise APIError(
+                f"apply-delta failed, still serving "
+                f"{self.server.service_version()}: {exc}"
+            ) from exc
+        version = getattr(
+            published, "version_id", self.server.service_version()
+        )
+        payload = {"applied": True, "version": version}
+        summary = getattr(delta, "summary", None)
+        if callable(summary):
+            payload["delta"] = summary()
+        shard_versions = getattr(self.server.service, "shard_versions", None)
+        if callable(shard_versions):
+            payload["shard_versions"] = shard_versions()
+        self._respond(200, payload)
 
 
 class ClusterHTTPServer(ThreadingHTTPServer):

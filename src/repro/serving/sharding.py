@@ -30,7 +30,8 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
 
-from repro.errors import APIError
+from repro.errors import APIError, TaxonomyError
+from repro.taxonomy.model import HYPONYM_ENTITY
 from repro.taxonomy.service import (
     WIRE_API_METHODS,
     BatchedServingAPI,
@@ -151,6 +152,60 @@ class ShardSet:
         return cls(version=version, shards=tuple(shards))
 
 
+def _validate_delta_base(shard_set: ShardSet, delta) -> None:
+    """Refuse a delta that was not computed against the published version.
+
+    The frozen shards carry no scores, so the check is structural
+    (index membership): every record the delta removes or changes must
+    be present, every record it adds must be absent.  Validation runs
+    *before* any shard is rebuilt, preserving the all-or-nothing swap
+    guarantee — a mismatched delta leaves the old set serving.
+    Concept-layer relations have no serving index to check and pass
+    through (the mutable :meth:`Taxonomy.apply_delta` validates them).
+    """
+
+    def present(api_name: str, key: str, member: str) -> bool:
+        return member in shard_set.shard_of(key).lookup(api_name, key)
+
+    def refuse(what: str) -> None:
+        raise TaxonomyError(
+            f"delta does not match the published version: {what}"
+        )
+
+    for entity in delta.entities_removed:
+        for mention in entity.mentions:
+            if not present("men2ent", mention, entity.page_id):
+                refuse(f"entity {entity.page_id!r} to remove is not served")
+    for old, _new in delta.entities_changed:
+        for mention in old.mentions:
+            if not present("men2ent", mention, old.page_id):
+                refuse(f"entity {old.page_id!r} to change is not served")
+    for entity in delta.entities_added:
+        for mention in entity.mentions:
+            if present("men2ent", mention, entity.page_id):
+                refuse(f"entity {entity.page_id!r} to add already served")
+    for relation in delta.relations_removed:
+        if relation.hyponym_kind == HYPONYM_ENTITY and not present(
+            "getConcept", relation.hyponym, relation.hypernym
+        ):
+            refuse(f"relation {relation.key!r} to remove is not served")
+    for old, _new in delta.relations_changed:
+        if old.hyponym_kind == HYPONYM_ENTITY and not present(
+            "getConcept", old.hyponym, old.hypernym
+        ):
+            refuse(f"relation {old.key!r} to change is not served")
+    removed_keys = {r.key for r in delta.relations_removed}
+    for relation in delta.relations_added:
+        # a remove + re-add of one key in the same delta is legitimate
+        # (a pair whose hyponym_kind flipped between the index layers)
+        if (
+            relation.hyponym_kind == HYPONYM_ENTITY
+            and relation.key not in removed_keys
+            and present("getConcept", relation.hyponym, relation.hypernym)
+        ):
+            refuse(f"relation {relation.key!r} to add already served")
+
+
 class ShardedSnapshotStore(BatchedServingAPI):
     """N key-hashed shards behind the exact ``TaxonomyService`` surface.
 
@@ -194,7 +249,12 @@ class ShardedSnapshotStore(BatchedServingAPI):
         return self._shard_set.version_id
 
     def shard_versions(self) -> list[str]:
-        """Per-shard version ids (all equal by construction)."""
+        """Per-shard version ids: the version each shard last changed at.
+
+        All equal after a full :meth:`swap`; after a
+        :meth:`publish_delta` only touched shards advance, so the list
+        doubles as the per-shard publish lineage.
+        """
         return [shard.version_id for shard in self._shard_set.shards]
 
     def stats(self) -> list[TaxonomyStats]:
@@ -213,6 +273,59 @@ class ShardedSnapshotStore(BatchedServingAPI):
             shard_set = ShardSet.partition(
                 self._shard_set.version + 1, taxonomy, self._shard_set.n_shards
             )
+            self._shard_set = shard_set
+            self.metrics.swaps += 1
+            return shard_set
+
+    def publish_delta(self, delta) -> ShardSet:
+        """Publish a :class:`~repro.taxonomy.delta.TaxonomyDelta`,
+        repartitioning only the shards whose keys it touches.
+
+        Every serving key the delta can affect is hashed with the same
+        :func:`shard_for` the read path uses; shards owning none of
+        those keys are carried into the new :class:`ShardSet` as the
+        *same objects* — identical :class:`ShardSnapshot` and read view,
+        still stamped with the version they were last rebuilt at (the
+        per-shard lineage ``shard_versions()`` reports).  Touched shards
+        get a fresh read view advanced touched-keys-only through
+        :meth:`ReadOptimizedTaxonomy.apply_delta` with this shard's hash
+        predicate as the key filter, so each shard applies exactly its
+        slice of the delta.
+
+        The swap guarantee is unchanged: the complete replacement set is
+        assembled before one atomic reference assignment, readers pin
+        one set per batch, and a delta that fails to apply leaves the
+        old set serving.
+        """
+        with self._lock:
+            current = self._shard_set
+            _validate_delta_base(current, delta)
+            n_shards = current.n_shards
+            version = current.version + 1
+            touched = {
+                shard_for(key, n_shards)
+                for key in delta.touched_serving_keys()
+            }
+            shards: list[ShardSnapshot] = []
+            for shard in current.shards:
+                if shard.shard_id not in touched:
+                    shards.append(shard)  # object identity preserved
+                    continue
+                shard_id = shard.shard_id
+                read_view = shard.read_view.apply_delta(
+                    delta,
+                    key_filter=lambda key, sid=shard_id: (
+                        shard_for(key, n_shards) == sid
+                    ),
+                )
+                shards.append(
+                    ShardSnapshot(
+                        shard_id=shard_id,
+                        version=version,
+                        read_view=read_view,
+                    )
+                )
+            shard_set = ShardSet(version=version, shards=tuple(shards))
             self._shard_set = shard_set
             self.metrics.swaps += 1
             return shard_set

@@ -30,6 +30,7 @@ from repro.taxonomy.store import (
     TaxonomyStats,
 )
 from repro.taxonomy.api import APIUsage, TaxonomyAPI, WorkloadGenerator
+from repro.taxonomy.delta import TaxonomyDelta, load_delta, save_delta
 from repro.taxonomy.service import (
     ServiceMetrics,
     TaxonomyService,
@@ -38,6 +39,9 @@ from repro.taxonomy.service import (
 
 __all__ = [
     "APIUsage",
+    "TaxonomyDelta",
+    "load_delta",
+    "save_delta",
     "ServiceMetrics",
     "TaxonomyService",
     "TaxonomySnapshot",

@@ -1,0 +1,362 @@
+"""`TaxonomyDelta` — the cross-layer currency of incremental rebuilds.
+
+A delta is the exact record-level difference between two built
+taxonomies: entities and isA relations *added*, *removed* and *changed*
+(rescored / re-sourced).  Every layer of the refresh path speaks it:
+
+- the build pipeline emits one from
+  :meth:`~repro.core.pipeline.CNProbaseBuilder.build_incremental`,
+- the store applies one with :meth:`~repro.taxonomy.store.Taxonomy.apply_delta`
+  (mutable) and :meth:`~repro.taxonomy.store.ReadOptimizedTaxonomy.apply_delta`
+  (frozen, touched-keys-only),
+- the service publishes one with
+  :meth:`~repro.taxonomy.service.TaxonomyService.publish_delta`,
+- the sharded store republishes only the shards whose keys the delta
+  touches (:meth:`~repro.serving.sharding.ShardedSnapshotStore.publish_delta`),
+- the HTTP cluster accepts one at ``POST /admin/apply-delta``.
+
+The non-negotiable equivalence contract: for any two taxonomies *old*
+and *new*, applying ``TaxonomyDelta.compute(old, new)`` to *old* yields
+a taxonomy whose canonical JSONL (:meth:`Taxonomy.save`) is
+byte-identical to saving *new*.  ``changed`` entries carry both the old
+and the new record, so a delta is self-describing (appliable without
+the base at hand, and refusable when the base does not match).
+
+Persistence is JSONL like the taxonomy itself: a header line with a
+``format_version``, then one record per line, written atomically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.model import HYPONYM_ENTITY, Entity, IsARelation
+
+if TYPE_CHECKING:
+    from repro.taxonomy.store import Taxonomy, TaxonomyStats
+
+#: Version of the delta JSONL layout; bump on incompatible changes.
+DELTA_FORMAT_VERSION = 1
+
+DELTA_KIND = "taxonomy-delta"
+
+
+def _entity_dict(entity: Entity) -> dict:
+    return {
+        "page_id": entity.page_id,
+        "name": entity.name,
+        "aliases": list(entity.aliases),
+    }
+
+
+def _entity_from(data: dict) -> Entity:
+    try:
+        return Entity(
+            page_id=data["page_id"],
+            name=data["name"],
+            aliases=tuple(data.get("aliases", ())),
+        )
+    except KeyError as exc:
+        raise TaxonomyError(f"delta entity record missing key: {exc}") from exc
+
+
+def _relation_dict(relation: IsARelation) -> dict:
+    return {
+        "hyponym": relation.hyponym,
+        "hypernym": relation.hypernym,
+        "source": relation.source,
+        "hyponym_kind": relation.hyponym_kind,
+        "score": relation.score,
+    }
+
+
+def _relation_from(data: dict) -> IsARelation:
+    try:
+        return IsARelation(
+            hyponym=data["hyponym"],
+            hypernym=data["hypernym"],
+            source=data["source"],
+            hyponym_kind=data["hyponym_kind"],
+            score=data.get("score", 1.0),
+        )
+    except KeyError as exc:
+        raise TaxonomyError(
+            f"delta relation record missing key: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class TaxonomyDelta:
+    """Exact record-level difference between two built taxonomies.
+
+    ``*_changed`` pairs are ``(old, new)`` records sharing an identity
+    (page_id / relation key) whose fields differ — for relations that is
+    a rescore or a provenance change.  ``new_stats`` / ``new_n_relations``
+    are the target taxonomy's headline numbers, carried so a frozen
+    read view can be advanced without recounting the world.
+    """
+
+    name: str
+    entities_added: tuple[Entity, ...] = ()
+    entities_removed: tuple[Entity, ...] = ()
+    entities_changed: tuple[tuple[Entity, Entity], ...] = ()
+    relations_added: tuple[IsARelation, ...] = ()
+    relations_removed: tuple[IsARelation, ...] = ()
+    relations_changed: tuple[tuple[IsARelation, IsARelation], ...] = ()
+    new_stats: "TaxonomyStats | None" = None
+    new_n_relations: int = 0
+
+    @classmethod
+    def compute(cls, old: "Taxonomy", new: "Taxonomy") -> "TaxonomyDelta":
+        """The exact delta turning *old* into *new*.
+
+        Equivalence holds by construction:
+        ``old.apply_delta(compute(old, new))`` saves byte-identically to
+        ``new`` (canonical JSONL order makes insertion order moot).
+        """
+        old_entities = {e.page_id: e for e in old.entities()}
+        new_entities = {e.page_id: e for e in new.entities()}
+        old_relations = {r.key: r for r in old.relations()}
+        new_relations = {r.key: r for r in new.relations()}
+        # A pair whose hyponym_kind flipped moves between the serving
+        # indexes even though its (hyponym, hypernym) key is unchanged;
+        # emit it as remove + add — which every consumer handles index-
+        # aware — rather than as a "changed" pair, which the frozen
+        # views rightly treat as index-neutral (rescore / re-source).
+        flipped = {
+            key
+            for key in set(old_relations) & set(new_relations)
+            if old_relations[key].hyponym_kind
+            != new_relations[key].hyponym_kind
+        }
+        return cls(
+            name=new.name,
+            entities_added=tuple(
+                new_entities[pid]
+                for pid in sorted(set(new_entities) - set(old_entities))
+            ),
+            entities_removed=tuple(
+                old_entities[pid]
+                for pid in sorted(set(old_entities) - set(new_entities))
+            ),
+            entities_changed=tuple(
+                (old_entities[pid], new_entities[pid])
+                for pid in sorted(set(old_entities) & set(new_entities))
+                if old_entities[pid] != new_entities[pid]
+            ),
+            relations_added=tuple(
+                new_relations[key]
+                for key in sorted(
+                    (set(new_relations) - set(old_relations)) | flipped
+                )
+            ),
+            relations_removed=tuple(
+                old_relations[key]
+                for key in sorted(
+                    (set(old_relations) - set(new_relations)) | flipped
+                )
+            ),
+            relations_changed=tuple(
+                (old_relations[key], new_relations[key])
+                for key in sorted(
+                    (set(old_relations) & set(new_relations)) - flipped
+                )
+                if old_relations[key] != new_relations[key]
+            ),
+            new_stats=new.stats(),
+            new_n_relations=len(new),
+        )
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.entities_added
+            or self.entities_removed
+            or self.entities_changed
+            or self.relations_added
+            or self.relations_removed
+            or self.relations_changed
+        )
+
+    @property
+    def n_records(self) -> int:
+        return (
+            len(self.entities_added)
+            + len(self.entities_removed)
+            + len(self.entities_changed)
+            + len(self.relations_added)
+            + len(self.relations_removed)
+            + len(self.relations_changed)
+        )
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "entities_added": len(self.entities_added),
+            "entities_removed": len(self.entities_removed),
+            "entities_changed": len(self.entities_changed),
+            "relations_added": len(self.relations_added),
+            "relations_removed": len(self.relations_removed),
+            "relations_changed": len(self.relations_changed),
+        }
+
+    def touched_serving_keys(self) -> Iterator[str]:
+        """Every index key whose *serving answer* this delta can change.
+
+        This is the per-shard publish surface: mentions of added /
+        removed / changed entities and both endpoints of added / removed
+        entity-kind relations.  Pure rescores and concept-layer edges do
+        not appear in the three serving indexes, so they touch nothing —
+        a rescore-only delta republishes zero shards.
+        """
+        for entity in self.entities_added + self.entities_removed:
+            yield from entity.mentions
+        for old, new in self.entities_changed:
+            yield from old.mentions
+            yield from new.mentions
+        for relation in self.relations_added + self.relations_removed:
+            if relation.hyponym_kind == HYPONYM_ENTITY:
+                yield relation.hyponym
+                yield relation.hypernym
+
+    # -- persistence -------------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """The JSONL body records, in a stable canonical order."""
+        for entity in self.entities_added:
+            yield {"kind": "entity_add", **_entity_dict(entity)}
+        for entity in self.entities_removed:
+            yield {"kind": "entity_remove", **_entity_dict(entity)}
+        for old, new in self.entities_changed:
+            yield {
+                "kind": "entity_change",
+                "old": _entity_dict(old),
+                "new": _entity_dict(new),
+            }
+        for relation in self.relations_added:
+            yield {"kind": "relation_add", **_relation_dict(relation)}
+        for relation in self.relations_removed:
+            yield {"kind": "relation_remove", **_relation_dict(relation)}
+        for old, new in self.relations_changed:
+            yield {
+                "kind": "relation_change",
+                "old": _relation_dict(old),
+                "new": _relation_dict(new),
+            }
+
+
+def save_delta(delta: TaxonomyDelta, path: str | Path) -> None:
+    """Write *delta* as JSONL, atomically (temp file + ``os.replace``)."""
+    from repro.taxonomy.store import _atomic_write  # late: avoid cycle
+
+    target = Path(path)
+    stats = delta.new_stats.as_dict() if delta.new_stats is not None else None
+
+    def _write(handle) -> None:
+        header = {
+            "kind": "header",
+            "format": DELTA_KIND,
+            "format_version": DELTA_FORMAT_VERSION,
+            "name": delta.name,
+            "new_n_relations": delta.new_n_relations,
+            "new_stats": stats,
+        }
+        handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+        for record in delta.records():
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+
+    _atomic_write(target, _write)
+
+
+def load_delta(path: str | Path) -> TaxonomyDelta:
+    """Read a delta written by :func:`save_delta`."""
+    from repro.taxonomy.store import TaxonomyStats, check_format_version
+
+    source = Path(path)
+    if not source.exists():
+        raise TaxonomyError(f"delta file not found: {source}")
+    name = "CN-Probase"
+    new_stats: "TaxonomyStats | None" = None
+    new_n_relations = 0
+    entities_added: list[Entity] = []
+    entities_removed: list[Entity] = []
+    entities_changed: list[tuple[Entity, Entity]] = []
+    relations_added: list[IsARelation] = []
+    relations_removed: list[IsARelation] = []
+    relations_changed: list[tuple[IsARelation, IsARelation]] = []
+    saw_header = False
+    with source.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TaxonomyError(
+                    f"{source}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("format") != DELTA_KIND:
+                    raise TaxonomyError(
+                        f"{source}:{line_no}: not a taxonomy delta "
+                        f"(format={record.get('format')!r})"
+                    )
+                check_format_version(
+                    record, DELTA_FORMAT_VERSION, f"{source}:{line_no}"
+                )
+                name = record.get("name", name)
+                new_n_relations = int(record.get("new_n_relations", 0))
+                stats = record.get("new_stats")
+                if stats is not None:
+                    new_stats = TaxonomyStats(
+                        n_entities=stats["entities"],
+                        n_concepts=stats["concepts"],
+                        n_entity_concept=stats["entity_concept_relations"],
+                        n_subconcept_concept=stats[
+                            "subconcept_concept_relations"
+                        ],
+                    )
+                saw_header = True
+            elif kind == "entity_add":
+                entities_added.append(_entity_from(record))
+            elif kind == "entity_remove":
+                entities_removed.append(_entity_from(record))
+            elif kind == "entity_change":
+                entities_changed.append(
+                    (_entity_from(record["old"]), _entity_from(record["new"]))
+                )
+            elif kind == "relation_add":
+                relations_added.append(_relation_from(record))
+            elif kind == "relation_remove":
+                relations_removed.append(_relation_from(record))
+            elif kind == "relation_change":
+                relations_changed.append(
+                    (
+                        _relation_from(record["old"]),
+                        _relation_from(record["new"]),
+                    )
+                )
+            else:
+                raise TaxonomyError(
+                    f"{source}:{line_no}: unknown delta record kind {kind!r}"
+                )
+    if not saw_header:
+        raise TaxonomyError(f"{source}: missing taxonomy-delta header line")
+    return TaxonomyDelta(
+        name=name,
+        entities_added=tuple(entities_added),
+        entities_removed=tuple(entities_removed),
+        entities_changed=tuple(entities_changed),
+        relations_added=tuple(relations_added),
+        relations_removed=tuple(relations_removed),
+        relations_changed=tuple(relations_changed),
+        new_stats=new_stats,
+        new_n_relations=new_n_relations,
+    )

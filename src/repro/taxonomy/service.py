@@ -391,6 +391,43 @@ class TaxonomyService(BatchedServingAPI):
             self.metrics.swaps += 1
             return snapshot
 
+    def publish_delta(self, delta) -> TaxonomySnapshot:
+        """Publish a :class:`~repro.taxonomy.delta.TaxonomyDelta`.
+
+        The refresh-cost-proportional-to-change version of :meth:`swap`:
+        the delta is applied to a *copy* of the current taxonomy
+        (:meth:`Taxonomy.apply_delta` validates it against the base
+        first) and the read view is advanced touched-keys-only — but
+        the publish guarantees are identical.  Version lineage
+        continues (``version + 1``), the new snapshot lands in one
+        atomic reference assignment, and a failed validation leaves the
+        old version serving with its snapshot — taxonomy included —
+        completely untouched, so readers pinned to it never observe a
+        half-published state and a corrected delta can still be
+        retried.
+        """
+        with self._lock:
+            current = self._snapshot
+            taxonomy = current.taxonomy.copy().apply_delta(delta)
+            # Headline numbers come from the applied store itself — the
+            # same source a full freeze() would use — so they are right
+            # even for a hand-built delta whose header omits them.
+            read_view = current.read_view.apply_delta(
+                delta,
+                stats=taxonomy.stats(),
+                n_relations=len(taxonomy),
+                name=taxonomy.name,
+            )
+            snapshot = TaxonomySnapshot(
+                version=current.version + 1,
+                taxonomy=taxonomy,
+                api=TaxonomyAPI(read_view),
+                read_view=read_view,
+            )
+            self._snapshot = snapshot
+            self.metrics.swaps += 1
+            return snapshot
+
     # -- internals -------------------------------------------------------------
 
     _API_METHODS = {

@@ -22,9 +22,11 @@ plain dict hit, which is what
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import TaxonomyError
 from repro.taxonomy.graph import TaxonomyGraph
@@ -34,6 +36,56 @@ from repro.taxonomy.model import (
     Entity,
     IsARelation,
 )
+
+if TYPE_CHECKING:
+    from repro.taxonomy.delta import TaxonomyDelta
+
+#: Version of the taxonomy JSONL layout; bump on incompatible changes.
+#: :meth:`Taxonomy.load` accepts headers without the field (legacy PR-1
+#: files) and refuses versions newer than this with a clear error.
+TAXONOMY_FORMAT_VERSION = 1
+
+
+def check_format_version(
+    header: dict, supported: int, where: str
+) -> None:
+    """Reject a JSONL header from a future format; accept legacy ones."""
+    version = header.get("format_version")
+    if version is None:
+        return  # legacy file, pre-versioning layout
+    if not isinstance(version, int) or version < 1:
+        raise TaxonomyError(
+            f"{where}: malformed format_version {version!r}"
+        )
+    if version > supported:
+        raise TaxonomyError(
+            f"{where}: file has format_version {version}, but this "
+            f"build understands at most {supported}; upgrade the library"
+        )
+
+
+def _atomic_write(target: Path, write: Callable) -> None:
+    """Write a file via temp-file + ``os.replace`` in the target directory.
+
+    A crash mid-write leaves the previous file (or nothing) in place —
+    never a torn JSONL that ``load``/``serve`` would trip on.  The temp
+    file lives next to the target so the final rename stays on one
+    filesystem (``os.replace`` is atomic only within a filesystem).
+    """
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            write(handle)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass(frozen=True)
@@ -191,6 +243,10 @@ class Taxonomy:
     def entity(self, page_id: str) -> Entity | None:
         return self._entities.get(page_id)
 
+    def entities(self) -> list[Entity]:
+        """Every entity record, in insertion order."""
+        return list(self._entities.values())
+
     def relations(self) -> list[IsARelation]:
         return list(self._relations.values())
 
@@ -227,13 +283,25 @@ class Taxonomy:
     # -- persistence -------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the taxonomy as JSONL: one entity or relation per line."""
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w", encoding="utf-8") as handle:
-            header = {"kind": "header", "name": self.name}
+        """Write the taxonomy as JSONL: one entity or relation per line.
+
+        The write is atomic (temp file + ``os.replace``), so a crashed
+        save never leaves a torn file, and the record order is canonical
+        (entities by page_id, relations by key) — two taxonomies with
+        equal content save byte-identically regardless of the insertion
+        order they were built in.  That canonical form is what the
+        incremental-rebuild equivalence contract compares.
+        """
+
+        def _write(handle) -> None:
+            header = {
+                "kind": "header",
+                "name": self.name,
+                "format_version": TAXONOMY_FORMAT_VERSION,
+            }
             handle.write(json.dumps(header, ensure_ascii=False) + "\n")
-            for entity in self._entities.values():
+            for page_id in sorted(self._entities):
+                entity = self._entities[page_id]
                 record = {
                     "kind": "entity",
                     "page_id": entity.page_id,
@@ -241,7 +309,8 @@ class Taxonomy:
                     "aliases": list(entity.aliases),
                 }
                 handle.write(json.dumps(record, ensure_ascii=False) + "\n")
-            for relation in self._relations.values():
+            for key in sorted(self._relations):
+                relation = self._relations[key]
                 record = {
                     "kind": "relation",
                     "hyponym": relation.hyponym,
@@ -252,9 +321,148 @@ class Taxonomy:
                 }
                 handle.write(json.dumps(record, ensure_ascii=False) + "\n")
 
+        _atomic_write(Path(path), _write)
+
     def freeze(self) -> "ReadOptimizedTaxonomy":
         """A read-optimized view of the current state (see below)."""
         return ReadOptimizedTaxonomy.from_taxonomy(self)
+
+    def copy(self) -> "Taxonomy":
+        """An independent taxonomy holding the same records.
+
+        Entity and relation records are immutable and shared; every
+        index is rebuilt, so mutating either taxonomy afterwards never
+        leaks into the other.  This is what lets a service publish a
+        delta without touching the taxonomy a pinned snapshot holds.
+        """
+        duplicate = Taxonomy(name=self.name)
+        duplicate._entities = dict(self._entities)
+        duplicate._relations = dict(self._relations)
+        duplicate._reindex()
+        return duplicate
+
+    # -- incremental updates ----------------------------------------------------
+
+    def apply_delta(self, delta: "TaxonomyDelta") -> "Taxonomy":
+        """Apply a :class:`~repro.taxonomy.delta.TaxonomyDelta` in place.
+
+        The equivalence contract: after applying
+        ``TaxonomyDelta.compute(self, new)`` this taxonomy saves
+        byte-identically to *new*.  The delta is validated against the
+        current state first (removed/changed records must match what is
+        stored, added must be absent), so applying a delta to the wrong
+        base raises :class:`TaxonomyError` instead of silently
+        diverging.  Returns ``self`` for chaining.
+        """
+        for entity in delta.entities_removed:
+            if self._entities.get(entity.page_id) != entity:
+                raise TaxonomyError(
+                    f"delta does not match base: entity {entity.page_id!r} "
+                    "to remove is absent or differs"
+                )
+        for old, _new in delta.entities_changed:
+            if self._entities.get(old.page_id) != old:
+                raise TaxonomyError(
+                    f"delta does not match base: entity {old.page_id!r} "
+                    "to change is absent or differs"
+                )
+        for entity in delta.entities_added:
+            if entity.page_id in self._entities:
+                raise TaxonomyError(
+                    f"delta does not match base: entity {entity.page_id!r} "
+                    "to add already exists"
+                )
+        for relation in delta.relations_removed:
+            if self._relations.get(relation.key) != relation:
+                raise TaxonomyError(
+                    f"delta does not match base: relation {relation.key!r} "
+                    "to remove is absent or differs"
+                )
+        for old, _new in delta.relations_changed:
+            if self._relations.get(old.key) != old:
+                raise TaxonomyError(
+                    f"delta does not match base: relation {old.key!r} "
+                    "to change is absent or differs"
+                )
+        removed_keys = {r.key for r in delta.relations_removed}
+        for relation in delta.relations_added:
+            # a key may be removed and re-added in one delta (a pair
+            # whose hyponym_kind flipped); otherwise adds must be new
+            if relation.key in self._relations \
+                    and relation.key not in removed_keys:
+                raise TaxonomyError(
+                    f"delta does not match base: relation {relation.key!r} "
+                    "to add already exists"
+                )
+
+        self.name = delta.name
+        for entity in delta.entities_removed:
+            del self._entities[entity.page_id]
+        for old, new in delta.entities_changed:
+            self._entities[old.page_id] = new
+        for entity in delta.entities_added:
+            self._entities[entity.page_id] = entity
+        for relation in delta.relations_removed:
+            del self._relations[relation.key]
+        for old, new in delta.relations_changed:
+            self._relations[old.key] = new
+        for relation in delta.relations_added:
+            self._relations[relation.key] = relation
+        self._reindex()
+        return self
+
+    def _reindex(self) -> None:
+        """Rebuild every derived index from the record dicts.
+
+        Used after a delta apply: the mention/hypernym/hyponym indexes,
+        the concept set and the concept graph are all pure functions of
+        ``_entities`` + ``_relations``, so rebuilding them yields exactly
+        the state a fresh construction of the same records would have
+        (no stale concepts, no emptied index keys lingering).
+        """
+        self._mention_index = {}
+        self._entity_hypernyms = {}
+        self._concept_entities = {}
+        self._concepts = set()
+        self._graph = TaxonomyGraph()
+        self._men2ent_cache = {}
+        self._concepts_cache = {}
+        self._entities_cache = {}
+        for entity in self._entities.values():
+            for mention in entity.mentions:
+                self._mention_index.setdefault(mention, set()).add(
+                    entity.page_id
+                )
+        for relation in self._relations.values():
+            self._concepts.add(relation.hypernym)
+            if relation.hyponym_kind == HYPONYM_ENTITY:
+                self._entity_hypernyms.setdefault(
+                    relation.hyponym, set()
+                ).add(relation.hypernym)
+                self._concept_entities.setdefault(
+                    relation.hypernym, set()
+                ).add(relation.hyponym)
+            else:
+                self._concepts.add(relation.hyponym)
+                self._graph.add_edge(
+                    relation.hyponym, relation.hypernym, relation.score
+                )
+
+    # -- delta persistence ------------------------------------------------------
+
+    @staticmethod
+    def save_delta(delta: "TaxonomyDelta", path: str | Path) -> None:
+        """Write *delta* as JSONL (atomic; see :mod:`repro.taxonomy.delta`)."""
+        from repro.taxonomy.delta import save_delta
+
+        save_delta(delta, path)
+
+    @staticmethod
+    def load_delta(path: str | Path) -> "TaxonomyDelta":
+        """Read a delta written by :meth:`save_delta`."""
+        from repro.taxonomy.delta import load_delta
+
+        return load_delta(path)
 
     @classmethod
     def load(cls, path: str | Path) -> "Taxonomy":
@@ -275,6 +483,11 @@ class Taxonomy:
                     ) from exc
                 kind = record.get("kind")
                 if kind == "header":
+                    check_format_version(
+                        record,
+                        TAXONOMY_FORMAT_VERSION,
+                        f"{source}:{line_no}",
+                    )
                     taxonomy.name = record.get("name", taxonomy.name)
                 elif kind == "entity":
                     taxonomy.add_entity(
@@ -362,6 +575,95 @@ class ReadOptimizedTaxonomy:
 
     def get_entities(self, concept: str) -> list[str]:
         return list(self._concept_entities.get(concept, ()))
+
+    # -- incremental updates ---------------------------------------------------
+
+    def apply_delta(
+        self,
+        delta: "TaxonomyDelta",
+        *,
+        key_filter: Callable[[str], bool] | None = None,
+        stats: TaxonomyStats | None = None,
+        n_relations: int | None = None,
+        name: str | None = None,
+    ) -> "ReadOptimizedTaxonomy":
+        """A new frozen view with *delta* applied, rebuilding only touched keys.
+
+        Immutability is preserved: ``self`` is untouched and keeps
+        answering for any snapshot that pinned it.  Index keys the delta
+        does not touch keep their exact result-tuple objects (no
+        re-sort, no copy), which is what lets the sharded store leave
+        untouched shards object-identical across a delta publish.
+
+        *key_filter* restricts application to the keys a caller owns —
+        the sharded store passes its shard's hash predicate so each
+        shard applies exactly its slice.  *stats* / *n_relations*
+        override the recount; when omitted they are recomputed
+        serving-locally (the same formula shard partitioning uses).
+        Callers holding the *full* keyspace should pass the delta's
+        ``new_stats`` / ``new_n_relations`` so headline numbers keep
+        counting the concept layer a full freeze would count.
+        """
+        keep = key_filter if key_filter is not None else (lambda key: True)
+        mentions = dict(self._mention_index)
+        hypernyms = dict(self._entity_hypernyms)
+        entities = dict(self._concept_entities)
+
+        def remove(index: dict, key: str, member: str) -> None:
+            if not keep(key):
+                return
+            remaining = tuple(m for m in index.get(key, ()) if m != member)
+            if remaining:
+                index[key] = remaining
+            else:
+                index.pop(key, None)
+
+        def insert(index: dict, key: str, member: str) -> None:
+            if not keep(key):
+                return
+            current = index.get(key, ())
+            if member not in current:
+                index[key] = tuple(sorted((*current, member)))
+
+        for entity in delta.entities_removed:
+            for mention in entity.mentions:
+                remove(mentions, mention, entity.page_id)
+        for old, new in delta.entities_changed:
+            for mention in set(old.mentions) - set(new.mentions):
+                remove(mentions, mention, old.page_id)
+            for mention in set(new.mentions) - set(old.mentions):
+                insert(mentions, mention, new.page_id)
+        for entity in delta.entities_added:
+            for mention in entity.mentions:
+                insert(mentions, mention, entity.page_id)
+        for relation in delta.relations_removed:
+            if relation.hyponym_kind == HYPONYM_ENTITY:
+                remove(hypernyms, relation.hyponym, relation.hypernym)
+                remove(entities, relation.hypernym, relation.hyponym)
+        for relation in delta.relations_added:
+            if relation.hyponym_kind == HYPONYM_ENTITY:
+                insert(hypernyms, relation.hyponym, relation.hypernym)
+                insert(entities, relation.hypernym, relation.hyponym)
+        # relations_changed carry the same key with new score/source —
+        # neither lives in the serving indexes, so nothing to touch.
+
+        if n_relations is None:
+            n_relations = sum(len(v) for v in hypernyms.values())
+        if stats is None:
+            stats = TaxonomyStats(
+                n_entities=len(hypernyms),
+                n_concepts=len(entities),
+                n_entity_concept=sum(len(v) for v in hypernyms.values()),
+                n_subconcept_concept=0,
+            )
+        return ReadOptimizedTaxonomy(
+            name=name if name is not None else self.name,
+            mention_index=mentions,
+            entity_hypernyms=hypernyms,
+            concept_entities=entities,
+            stats=stats,
+            n_relations=n_relations,
+        )
 
     # -- introspection -------------------------------------------------------
 

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.encyclopedia.corpus import load_dump, save_dump
-from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage, Triple
+from repro.encyclopedia.model import (
+    DumpDiff,
+    EncyclopediaDump,
+    EncyclopediaPage,
+    Triple,
+    diff_dumps,
+)
 from repro.errors import CorpusError
 
 
@@ -96,6 +102,62 @@ class TestDump:
         second = EncyclopediaPage(page_id="b#0", title="b")
         dump = EncyclopediaDump([page, second])
         assert [p.page_id for p in dump] == ["刘德华#0", "b#0"]
+
+
+class TestDumpDiff:
+    def _dump(self, *pages):
+        return EncyclopediaDump(list(pages))
+
+    def test_page_digest_is_content_addressed(self, page):
+        import dataclasses
+
+        same = EncyclopediaPage.from_dict(page.to_dict())
+        assert page.digest() == same.digest()
+        edited = dataclasses.replace(page, abstract=page.abstract + "！")
+        assert edited.digest() != page.digest()
+
+    def test_dump_fingerprint_derives_from_page_digests(self, page):
+        dump = self._dump(page)
+        assert dump.page_digests() == {page.page_id: page.digest()}
+        fingerprint = dump.fingerprint()
+        dump.add(EncyclopediaPage(page_id="b#0", title="b"))
+        assert dump.fingerprint() != fingerprint  # memo invalidated by add
+        assert set(dump.page_digests()) == {page.page_id, "b#0"}
+
+    def test_identical_dumps_diff_empty(self, page):
+        diff = diff_dumps(self._dump(page), self._dump(page))
+        assert diff.is_empty
+        assert diff.n_touched == 0
+        assert diff.regenerate_ids() == frozenset()
+
+    def test_added_changed_removed(self, page):
+        import dataclasses
+
+        kept = EncyclopediaPage(page_id="kept#0", title="kept")
+        gone = EncyclopediaPage(page_id="gone#0", title="gone")
+        old = self._dump(page, kept, gone)
+        new = self._dump(
+            dataclasses.replace(page, tags=page.tags + ("新标签",)),
+            kept,
+            EncyclopediaPage(page_id="new#0", title="new"),
+        )
+        diff = old.diff(new)
+        assert diff.added == ("new#0",)
+        assert diff.changed == (page.page_id,)
+        assert diff.removed == ("gone#0",)
+        assert diff.regenerate_ids() == {"new#0", page.page_id}
+
+    def test_reordering_pages_is_not_a_change(self, page):
+        other = EncyclopediaPage(page_id="b#0", title="b")
+        assert diff_dumps(
+            self._dump(page, other), self._dump(other, page)
+        ).is_empty
+
+    def test_round_trips_through_dict(self, page):
+        old = self._dump(page)
+        new = self._dump(EncyclopediaPage(page_id="n#0", title="n"))
+        diff = diff_dumps(old, new)
+        assert DumpDiff.from_dict(diff.as_dict()) == diff
 
 
 class TestPersistence:

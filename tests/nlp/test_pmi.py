@@ -104,3 +104,47 @@ def test_pmi_symmetric_inputs_do_not_crash(a, b):
     s = PMIStatistics()
     s.add_sequence(["蚂蚁", "金服", "首席", "战略官"])
     assert isinstance(s.pmi(a, b), float)
+
+
+class TestIncrementalCounts:
+    """clone / remove_sequence: the incremental build's PMI advance."""
+
+    def test_remove_undoes_add_exactly(self):
+        from repro.nlp.pmi import PMIStatistics
+
+        base = [["中国", "歌手"], ["著名", "演员", "歌手"]]
+        extra = ["中国", "著名", "歌手"]
+        never = PMIStatistics()
+        never.add_corpus(base)
+        undone = PMIStatistics()
+        undone.add_corpus(base)
+        undone.add_sequence(extra)
+        undone.remove_sequence(extra)
+        assert undone.same_counts(never)
+        assert undone.vocabulary_size == never.vocabulary_size  # no zeros
+        assert undone.pmi("中国", "歌手") == never.pmi("中国", "歌手")
+
+    def test_clone_is_independent(self):
+        from repro.nlp.pmi import PMIStatistics
+
+        original = PMIStatistics()
+        original.add_sequence(["中国", "歌手"])
+        copy = original.clone()
+        assert copy.same_counts(original)
+        copy.add_sequence(["著名", "演员"])
+        assert not copy.same_counts(original)
+        assert original.unigram_count("著名") == 0
+
+    def test_subtract_add_matches_fresh_recount(self):
+        from repro.nlp.pmi import PMIStatistics
+
+        old_corpus = [["中国", "歌手"], ["旧", "文本"], ["著名", "演员"]]
+        new_corpus = [["中国", "歌手"], ["新", "文本", "内容"], ["著名", "演员"]]
+        fresh = PMIStatistics()
+        fresh.add_corpus(new_corpus)
+        advanced = PMIStatistics()
+        advanced.add_corpus(old_corpus)
+        advanced = advanced.clone()
+        advanced.remove_sequence(old_corpus[1])
+        advanced.add_sequence(new_corpus[1])
+        assert advanced.same_counts(fresh)

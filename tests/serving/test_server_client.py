@@ -301,3 +301,90 @@ class TestWireFormatRaw:
             "version": "v1",
             "results": [["刘德华#0", "周杰伦#0"]],
         }
+
+
+class TestApplyDeltaEndpoint:
+    """POST /admin/apply-delta: incremental publish over the wire."""
+
+    def _delta_file(self, tmp_path, marker_old="歌手", marker_new="影帝"):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        delta = TaxonomyDelta.compute(
+            make_taxonomy(marker_old), make_taxonomy(marker_new)
+        )
+        path = tmp_path / "delta.jsonl"
+        Taxonomy.save_delta(delta, path)
+        return path
+
+    def test_apply_delta_round_trip(self, tmp_path):
+        service = build_cluster(make_taxonomy("歌手"), shards=2, replicas=2)
+        server = start_server(service, admin_token=ADMIN_TOKEN)
+        client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+        try:
+            assert client.get_concepts("刘德华#0") == ["歌手", "演员"]
+            payload = client.apply_delta(str(self._delta_file(tmp_path)))
+            assert payload["applied"] is True
+            assert payload["version"] == "v2"
+            assert payload["delta"]["relations_changed"] == 0
+            assert set(payload["shard_versions"]) <= {"v1", "v2"}
+            assert client.get_concepts("刘德华#0") == ["影帝", "演员"]
+            assert client.get_entities("歌手") == []
+            assert client.server_metrics()["swaps"] == 1
+        finally:
+            server.close()
+
+    def test_apply_delta_requires_auth(self, tmp_path):
+        service = build_cluster(make_taxonomy("歌手"), shards=1, replicas=1)
+        server = start_server(service, admin_token=ADMIN_TOKEN)
+        try:
+            bad = TaxonomyClient(server.url, admin_token="wrong")
+            with pytest.raises(APIError, match="401"):
+                bad.apply_delta(str(self._delta_file(tmp_path)))
+            tokenless = TaxonomyClient(server.url)
+            with pytest.raises(APIError, match="admin_token"):
+                tokenless.apply_delta(str(self._delta_file(tmp_path)))
+        finally:
+            server.close()
+
+    def test_wrong_base_delta_is_400_and_keeps_serving(self, tmp_path):
+        service = build_cluster(make_taxonomy("歌手"), shards=2, replicas=1)
+        server = start_server(service, admin_token=ADMIN_TOKEN)
+        client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+        try:
+            # delta computed against a base the server is not serving
+            mismatched = self._delta_file(
+                tmp_path, marker_old="影帝", marker_new="歌神"
+            )
+            with pytest.raises(APIError, match="still serving v1"):
+                client.apply_delta(str(mismatched))
+            assert client.healthz()["version"] == "v1"
+            assert client.get_concepts("刘德华#0") == ["歌手", "演员"]
+        finally:
+            server.close()
+
+    def test_missing_delta_file_is_400(self, tmp_path):
+        service = build_cluster(make_taxonomy("歌手"), shards=1, replicas=1)
+        server = start_server(service, admin_token=ADMIN_TOKEN)
+        client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+        try:
+            with pytest.raises(APIError, match="400"):
+                client.apply_delta(str(tmp_path / "nope.jsonl"))
+            assert client.healthz()["version"] == "v1"
+        finally:
+            server.close()
+
+    def test_malformed_body_is_400(self, tmp_path):
+        service = build_cluster(make_taxonomy("歌手"), shards=1, replicas=1)
+        server = start_server(service, admin_token=ADMIN_TOKEN)
+        try:
+            request = urllib.request.Request(
+                f"{server.url}/admin/apply-delta",
+                data=json.dumps({"wrong": "shape"}).encode("utf-8"),
+                headers={"Authorization": f"Bearer {ADMIN_TOKEN}"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 400
+        finally:
+            server.close()

@@ -274,3 +274,107 @@ class TestConcurrentSwapUnderLoad:
 
         assert anomalies == []
         assert store.metrics.swaps == 40
+
+
+class TestPublishDelta:
+    """Per-shard delta publishes: answer-preserving, identity-preserving."""
+
+    def _evolved(self) -> Taxonomy:
+        new = make_taxonomy()
+        new.add_entity(Entity("新实体#0", "新实体", aliases=("小新",)))
+        new.add_relation(IsARelation("新实体#0", "概念0", "bracket"))
+        new.add_relation(IsARelation("实体3#0", "新概念", "tag"))
+        return new
+
+    def _all_keys(self, *taxonomies) -> set[str]:
+        keys: set[str] = set()
+        for taxonomy in taxonomies:
+            for index in taxonomy.freeze().as_indexes():
+                keys.update(index)
+        return keys
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_answers_match_a_full_swap(self, n_shards):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        old, new = make_taxonomy(), self._evolved()
+        delta = TaxonomyDelta.compute(old, new)
+        store = ShardedSnapshotStore(make_taxonomy(), n_shards=n_shards)
+        store.publish_delta(delta)
+        reference = ShardedSnapshotStore(self._evolved(), n_shards=n_shards)
+        for key in self._all_keys(old, new):
+            assert store.men2ent(key) == reference.men2ent(key)
+            assert store.get_concepts(key) == reference.get_concepts(key)
+            assert store.get_entities(key) == reference.get_entities(key)
+        assert [s.read_view.stats() for s in store.shard_set.shards] == \
+            [s.read_view.stats() for s in reference.shard_set.shards]
+
+    def test_untouched_shards_keep_object_identity(self):
+        from repro.serving.sharding import shard_for as hash_key
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        old, new = make_taxonomy(), self._evolved()
+        delta = TaxonomyDelta.compute(old, new)
+        n_shards = 8
+        store = ShardedSnapshotStore(make_taxonomy(), n_shards=n_shards)
+        before = list(store.shard_set.shards)
+        store.publish_delta(delta)
+        after = list(store.shard_set.shards)
+        touched = {
+            hash_key(key, n_shards)
+            for key in delta.touched_serving_keys()
+        }
+        assert touched and len(touched) < n_shards  # both kinds exist
+        for shard_id in range(n_shards):
+            if shard_id in touched:
+                assert after[shard_id] is not before[shard_id]
+                assert after[shard_id].version_id == "v2"
+            else:
+                assert after[shard_id] is before[shard_id]
+                assert after[shard_id].read_view is before[shard_id].read_view
+                assert after[shard_id].version_id == "v1"
+        assert store.version_id == "v2"
+        assert store.metrics.swaps == 1
+
+    def test_rescore_only_delta_touches_no_shard(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        old = make_taxonomy()
+        new = make_taxonomy()
+        target = old.relations()[0]
+        new.add_relation(
+            IsARelation(
+                target.hyponym, target.hypernym, target.source, score=9.0
+            )
+        )
+        delta = TaxonomyDelta.compute(old, new)
+        assert delta.relations_changed and not delta.relations_added
+        store = ShardedSnapshotStore(make_taxonomy(), n_shards=4)
+        before = list(store.shard_set.shards)
+        store.publish_delta(delta)
+        assert all(
+            a is b for a, b in zip(store.shard_set.shards, before)
+        )
+        assert store.version_id == "v2"  # lineage still advances
+
+    def test_pinned_batches_survive_a_delta_publish(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        old, new = make_taxonomy(), self._evolved()
+        store = ShardedSnapshotStore(make_taxonomy(), n_shards=4)
+        pinned = store.shard_set
+        store.publish_delta(TaxonomyDelta.compute(old, new))
+        # a reader that pinned the old set keeps the old answers
+        assert pinned.shard_of("小新").lookup("men2ent", "小新") == []
+        assert store.men2ent("小新") == ["新实体#0"]
+
+    def test_router_delegates_publish_delta(self):
+        from repro.serving.router import ReplicatedRouter
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        old, new = make_taxonomy(), self._evolved()
+        store = ShardedSnapshotStore(make_taxonomy(), n_shards=2)
+        router = ReplicatedRouter.from_store(store, replicas=2)
+        router.publish_delta(TaxonomyDelta.compute(old, new))
+        assert router.men2ent("小新") == ["新实体#0"]
+        assert router.version_id == "v2"

@@ -1,0 +1,299 @@
+"""Tests for TaxonomyDelta: compute/apply equivalence, persistence, views."""
+
+import json
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.delta import (
+    DELTA_FORMAT_VERSION,
+    TaxonomyDelta,
+    load_delta,
+    save_delta,
+)
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+
+def base_taxonomy() -> Taxonomy:
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_entity(Entity("周杰伦#0", "周杰伦"))
+    t.add_entity(Entity("苹果#1", "苹果"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+    t.add_relation(IsARelation("周杰伦#0", "歌手", "tag"))
+    t.add_relation(IsARelation("苹果#1", "公司", "tag"))
+    t.add_relation(IsARelation("男演员", "演员", "tag", hyponym_kind="concept"))
+    return t
+
+
+def evolved_taxonomy() -> Taxonomy:
+    """base_taxonomy() with one of everything: add / remove / change."""
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔", "Andy")))
+    t.add_entity(Entity("周杰伦#0", "周杰伦"))
+    t.add_entity(Entity("王菲#0", "王菲"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag", score=2.0))
+    t.add_relation(IsARelation("周杰伦#0", "歌手", "tag"))
+    t.add_relation(IsARelation("王菲#0", "歌手", "tag"))
+    t.add_relation(IsARelation("男演员", "演员", "tag", hyponym_kind="concept"))
+    t.add_relation(IsARelation("女歌手", "歌手", "tag", hyponym_kind="concept"))
+    return t
+
+
+class TestCompute:
+    def test_identical_taxonomies_give_empty_delta(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), base_taxonomy())
+        assert delta.is_empty
+        assert delta.n_records == 0
+
+    def test_counts_every_change_kind(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        assert delta.summary() == {
+            "entities_added": 1,      # 王菲#0
+            "entities_removed": 1,    # 苹果#1
+            "entities_changed": 1,    # 刘德华#0 gained an alias
+            "relations_added": 2,     # 王菲→歌手, 女歌手→歌手
+            "relations_removed": 1,   # 苹果#1→公司
+            "relations_changed": 1,   # 刘德华→歌手 rescored
+        }
+        assert delta.new_n_relations == len(evolved_taxonomy())
+        assert delta.new_stats == evolved_taxonomy().stats()
+
+    def test_changed_pairs_carry_old_and_new(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        (old, new), = delta.relations_changed
+        assert old.key == new.key == ("刘德华#0", "歌手")
+        assert old.score == 1.0 and new.score == 2.0
+
+
+class TestApply:
+    def test_apply_reproduces_target_bytes(self, tmp_path):
+        old, new = base_taxonomy(), evolved_taxonomy()
+        delta = TaxonomyDelta.compute(old, new)
+        old.apply_delta(delta)
+        applied_path = tmp_path / "applied.jsonl"
+        target_path = tmp_path / "target.jsonl"
+        old.save(applied_path)
+        new.save(target_path)
+        assert applied_path.read_bytes() == target_path.read_bytes()
+
+    def test_apply_reproduces_stats_and_lookups(self):
+        old, new = base_taxonomy(), evolved_taxonomy()
+        old.apply_delta(TaxonomyDelta.compute(old, new))
+        assert old.stats() == new.stats()
+        assert old.men2ent("Andy") == ["刘德华#0"]
+        assert old.men2ent("苹果") == []
+        assert old.get_entities("歌手") == new.get_entities("歌手")
+        assert old.get_subconcepts("歌手") == ["女歌手"]
+        assert old.graph.is_dag()
+
+    def test_empty_delta_is_identity(self, tmp_path):
+        t = base_taxonomy()
+        before = tmp_path / "before.jsonl"
+        t.save(before)
+        t.apply_delta(TaxonomyDelta.compute(base_taxonomy(), base_taxonomy()))
+        after = tmp_path / "after.jsonl"
+        t.save(after)
+        assert before.read_bytes() == after.read_bytes()
+
+    def test_wrong_base_is_refused_before_mutation(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        wrong = Taxonomy()
+        wrong.add_entity(Entity("刘德华#0", "刘德华"))  # aliases differ
+        wrong.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+        with pytest.raises(TaxonomyError, match="does not match base"):
+            wrong.apply_delta(delta)
+        # validation failed up front: nothing was applied
+        assert wrong.men2ent("王菲") == []
+        assert len(wrong) == 1
+
+    def test_double_apply_is_refused(self):
+        old = base_taxonomy()
+        delta = TaxonomyDelta.compute(old, evolved_taxonomy())
+        old.apply_delta(delta)
+        with pytest.raises(TaxonomyError):
+            old.apply_delta(delta)
+
+
+class TestReadOptimizedApply:
+    def test_matches_full_freeze(self):
+        old, new = base_taxonomy(), evolved_taxonomy()
+        delta = TaxonomyDelta.compute(old, new)
+        advanced = old.freeze().apply_delta(
+            delta,
+            stats=delta.new_stats,
+            n_relations=delta.new_n_relations,
+            name=delta.name,
+        )
+        frozen = new.freeze()
+        keys = set()
+        for index in frozen.as_indexes() + old.freeze().as_indexes():
+            keys.update(index)
+        for key in keys:
+            assert advanced.men2ent(key) == frozen.men2ent(key)
+            assert advanced.get_concepts(key) == frozen.get_concepts(key)
+            assert advanced.get_entities(key) == frozen.get_entities(key)
+        assert advanced.stats() == frozen.stats()
+        assert len(advanced) == len(frozen)
+
+    def test_source_view_is_untouched(self):
+        old = base_taxonomy()
+        view = old.freeze()
+        delta = TaxonomyDelta.compute(old, evolved_taxonomy())
+        view.apply_delta(delta)
+        assert view.men2ent("苹果") == ["苹果#1"]
+        assert view.men2ent("王菲") == []
+
+    def test_untouched_keys_keep_tuple_identity(self):
+        old, new = base_taxonomy(), evolved_taxonomy()
+        view = old.freeze()
+        advanced = view.apply_delta(TaxonomyDelta.compute(old, new))
+        before = view.as_indexes()
+        after = advanced.as_indexes()
+        # 周杰伦 is untouched by the delta: same result-tuple objects
+        assert after[0]["周杰伦"] is before[0]["周杰伦"]
+        assert after[1]["周杰伦#0"] is before[1]["周杰伦#0"]
+
+    def test_key_filter_restricts_application(self):
+        old, new = base_taxonomy(), evolved_taxonomy()
+        delta = TaxonomyDelta.compute(old, new)
+        advanced = old.freeze().apply_delta(
+            delta, key_filter=lambda key: key == "王菲"
+        )
+        assert advanced.men2ent("王菲") == ["王菲#0"]
+        assert advanced.men2ent("苹果") == ["苹果#1"]  # filtered out, kept
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        path = tmp_path / "delta.jsonl"
+        save_delta(delta, path)
+        loaded = load_delta(path)
+        assert loaded == delta
+
+    def test_round_trip_preserves_unicode(self, tmp_path):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        path = tmp_path / "delta.jsonl"
+        Taxonomy.save_delta(delta, path)
+        raw = path.read_text(encoding="utf-8")
+        assert "王菲" in raw  # ensure_ascii=False: human-readable deltas
+        assert Taxonomy.load_delta(path) == delta
+
+    def test_applying_a_loaded_delta_reproduces_target(self, tmp_path):
+        old, new = base_taxonomy(), evolved_taxonomy()
+        path = tmp_path / "delta.jsonl"
+        save_delta(TaxonomyDelta.compute(old, new), path)
+        old.apply_delta(load_delta(path))
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        old.save(a)
+        new.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TaxonomyError):
+            load_delta(tmp_path / "nope.jsonl")
+
+    def test_future_format_version_is_refused(self, tmp_path):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        path = tmp_path / "delta.jsonl"
+        save_delta(delta, path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        header["format_version"] = DELTA_FORMAT_VERSION + 7
+        lines[0] = json.dumps(header, ensure_ascii=False)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(TaxonomyError, match="format_version"):
+            load_delta(path)
+
+    def test_non_delta_file_is_refused(self, tmp_path):
+        taxonomy_path = tmp_path / "t.jsonl"
+        base_taxonomy().save(taxonomy_path)
+        with pytest.raises(TaxonomyError):
+            load_delta(taxonomy_path)
+
+    def test_headerless_file_is_refused(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(TaxonomyError, match="header"):
+            load_delta(path)
+
+
+class TestTouchedServingKeys:
+    def test_rescore_only_delta_touches_nothing(self):
+        old = base_taxonomy()
+        new = base_taxonomy()
+        new.add_relation(IsARelation("刘德华#0", "歌手", "tag", score=3.0))
+        delta = TaxonomyDelta.compute(old, new)
+        assert delta.relations_changed
+        assert list(delta.touched_serving_keys()) == []
+
+    def test_structural_delta_touches_both_endpoints(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        touched = set(delta.touched_serving_keys())
+        assert {"王菲", "王菲#0", "歌手", "苹果", "苹果#1", "公司"} <= touched
+        # concept-layer edge (女歌手→歌手) is not a serving key
+        assert "女歌手" not in touched
+
+
+class TestKindFlip:
+    """A (hyponym, hypernym) pair whose hyponym_kind flips between
+    builds moves between the serving indexes: the delta must carry it
+    as remove + add, never as an index-neutral 'changed' pair."""
+
+    def _old(self):
+        t = Taxonomy()
+        t.add_entity(Entity("刘德华#0", "刘德华"))
+        t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+        t.add_relation(
+            IsARelation("天王", "演员", "tag", hyponym_kind="concept")
+        )
+        return t
+
+    def _new(self):
+        t = Taxonomy()
+        t.add_entity(Entity("刘德华#0", "刘德华"))
+        t.add_entity(Entity("天王", "天王"))
+        t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+        t.add_relation(IsARelation("天王", "演员", "tag"))  # now an entity
+        return t
+
+    def test_flip_is_remove_plus_add(self):
+        delta = TaxonomyDelta.compute(self._old(), self._new())
+        assert not delta.relations_changed
+        (removed,) = delta.relations_removed
+        (added,) = delta.relations_added
+        assert removed.key == added.key == ("天王", "演员")
+        assert removed.hyponym_kind == "concept"
+        assert added.hyponym_kind == "entity"
+        assert "天王" in set(delta.touched_serving_keys())
+
+    def test_flip_round_trips_through_every_apply_path(self, tmp_path):
+        old, new = self._old(), self._new()
+        delta = TaxonomyDelta.compute(old, new)
+
+        frozen = old.freeze().apply_delta(delta)
+        reference = new.freeze()
+        assert frozen.get_concepts("天王") == reference.get_concepts("天王")
+        assert frozen.get_entities("演员") == reference.get_entities("演员")
+
+        old.apply_delta(delta)
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        old.save(a)
+        new.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_flip_publishes_through_the_sharded_store(self):
+        from repro.serving.sharding import ShardedSnapshotStore
+
+        delta = TaxonomyDelta.compute(self._old(), self._new())
+        store = ShardedSnapshotStore(self._old(), n_shards=2)
+        store.publish_delta(delta)
+        reference = ShardedSnapshotStore(self._new(), n_shards=2)
+        for key in ("天王", "演员", "刘德华#0", "刘德华"):
+            assert store.men2ent(key) == reference.men2ent(key)
+            assert store.get_concepts(key) == reference.get_concepts(key)
+            assert store.get_entities(key) == reference.get_entities(key)

@@ -231,3 +231,91 @@ class TestWorkloadThroughService:
     def test_invalid_batch_size(self, taxonomy, service):
         with pytest.raises(APIError):
             WorkloadGenerator(taxonomy).run_service(service, 10, batch_size=0)
+
+
+class TestPublishDelta:
+    """Incremental publishes keep every snapshot guarantee of swap()."""
+
+    def _delta(self, base, target):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        return TaxonomyDelta.compute(base, target)
+
+    def _target(self):
+        t = Taxonomy()
+        t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+        t.add_entity(Entity("周杰伦#0", "周杰伦"))
+        t.add_entity(Entity("王菲#0", "王菲"))
+        t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+        t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+        t.add_relation(IsARelation("周杰伦#0", "歌手", "tag"))
+        t.add_relation(IsARelation("王菲#0", "歌手", "tag"))
+        return t
+
+    def test_publishes_new_version_with_delta_content(self, taxonomy):
+        service = TaxonomyService(taxonomy)
+        delta = self._delta(taxonomy, self._target())
+        snapshot = service.publish_delta(delta)
+        assert snapshot.version_id == "v2"
+        assert service.men2ent("王菲") == ["王菲#0"]
+        assert service.get_entities("歌手") == \
+            TaxonomyService(self._target()).get_entities("歌手")
+        assert service.metrics.swaps == 1
+        assert snapshot.stats() == self._target().stats()
+
+    def test_pinned_snapshot_taxonomy_is_never_mutated(self, taxonomy):
+        service = TaxonomyService(taxonomy)
+        pinned = service.snapshot
+        service.publish_delta(self._delta(taxonomy, self._target()))
+        # the old snapshot's taxonomy object kept its v1 content
+        assert pinned.taxonomy.men2ent("王菲") == []
+        assert len(pinned.taxonomy) == 3
+        assert pinned.read_view.men2ent("王菲") == []
+        # and the new snapshot owns an independent store
+        assert service.snapshot.taxonomy is not pinned.taxonomy
+
+    def test_failed_publish_leaves_service_untouched_and_retryable(
+        self, taxonomy
+    ):
+        from repro.errors import TaxonomyError
+
+        service = TaxonomyService(taxonomy)
+        wrong_base = Taxonomy()
+        wrong_base.add_entity(Entity("谁#0", "谁"))
+        wrong_base.add_relation(IsARelation("谁#0", "何物", "tag"))
+        bad_delta = self._delta(wrong_base, self._target())
+        with pytest.raises(TaxonomyError):
+            service.publish_delta(bad_delta)
+        assert service.version_id == "v1"
+        assert service.metrics.swaps == 0
+        assert len(service.snapshot.taxonomy) == 3  # base untouched
+        # a correct delta still applies afterwards
+        service.publish_delta(self._delta(taxonomy, self._target()))
+        assert service.version_id == "v2"
+        assert service.men2ent("王菲") == ["王菲#0"]
+
+    def test_taxonomy_copy_is_independent(self, taxonomy):
+        duplicate = taxonomy.copy()
+        assert duplicate.stats() == taxonomy.stats()
+        duplicate.add_entity(Entity("新#0", "新"))
+        duplicate.add_relation(IsARelation("新#0", "人物", "tag"))
+        assert not taxonomy.has_entity("新#0")
+        assert taxonomy.men2ent("新") == []
+        assert duplicate.men2ent("新") == ["新#0"]
+
+    def test_headline_numbers_survive_a_statless_delta(self, taxonomy):
+        """A hand-built delta without new_stats/new_n_relations must not
+        zero the published snapshot's headline numbers."""
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        target = self._target()
+        computed = self._delta(taxonomy, target)
+        bare = TaxonomyDelta(
+            name=computed.name,
+            entities_added=computed.entities_added,
+            relations_added=computed.relations_added,
+        )
+        service = TaxonomyService(taxonomy)
+        snapshot = service.publish_delta(bare)
+        assert len(snapshot.read_view) == len(target)
+        assert snapshot.stats() == target.stats()

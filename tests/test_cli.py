@@ -287,3 +287,104 @@ class TestServe:
                 thread.join(timeout=15)
         assert not thread.is_alive()
         assert exit_codes == [0]
+
+
+class TestDiff:
+    def test_identical_dumps(self, artefacts, capsys):
+        dump_path, _ = artefacts
+        assert main(["diff", str(dump_path), str(dump_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_reports_changes_and_writes_json(self, artefacts, tmp_path, capsys):
+        import dataclasses
+        import json
+
+        from repro.encyclopedia import (
+            EncyclopediaDump,
+            load_dump,
+            save_dump,
+        )
+
+        dump_path, _ = artefacts
+        dump = load_dump(dump_path)
+        pages = list(dump.pages)
+        pages[0] = dataclasses.replace(pages[0], abstract="改动后的摘要。")
+        edited_path = tmp_path / "edited.jsonl"
+        save_dump(EncyclopediaDump(pages[:-1]), edited_path)
+        json_path = tmp_path / "diff.json"
+        assert main([
+            "diff", str(dump_path), str(edited_path),
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "changed: 1" in out
+        assert "removed: 1" in out
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["changed"] == [pages[0].page_id]
+        assert len(payload["removed"]) == 1
+
+    def test_missing_dump_fails_cleanly(self, artefacts, tmp_path, capsys):
+        dump_path, _ = artefacts
+        code = main(["diff", str(dump_path), str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestIncrementalBuild:
+    def test_incremental_matches_full_and_writes_delta(
+        self, artefacts, tmp_path, capsys
+    ):
+        import dataclasses
+
+        from repro.encyclopedia import EncyclopediaDump, load_dump, save_dump
+        from repro.taxonomy import Taxonomy
+
+        dump_path, taxonomy_path = artefacts
+        dump = load_dump(dump_path)
+        pages = [
+            dataclasses.replace(p, bracket="中国著名" + p.bracket)
+            if i % 60 == 3 and p.bracket else p
+            for i, p in enumerate(dump.pages)
+        ]
+        new_dump_path = tmp_path / "new-dump.jsonl"
+        save_dump(EncyclopediaDump(pages), new_dump_path)
+
+        incremental_path = tmp_path / "incremental.jsonl"
+        assert main([
+            "build", "--dump", str(new_dump_path),
+            "--out", str(incremental_path), "--no-abstract",
+            "--incremental", "--previous", str(taxonomy_path),
+            "--previous-dump", str(dump_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dump diff:" in out
+        assert "wrote delta to" in out
+
+        full_path = tmp_path / "full.jsonl"
+        assert main([
+            "build", "--dump", str(new_dump_path),
+            "--out", str(full_path), "--no-abstract",
+        ]) == 0
+        assert incremental_path.read_bytes() == full_path.read_bytes()
+
+        delta_path = incremental_path.with_name(
+            incremental_path.name + ".delta.jsonl"
+        )
+        assert delta_path.exists()
+        previous = Taxonomy.load(taxonomy_path)
+        previous.apply_delta(Taxonomy.load_delta(delta_path))
+        applied_path = tmp_path / "applied.jsonl"
+        previous.save(applied_path)
+        assert applied_path.read_bytes() == full_path.read_bytes()
+
+    def test_incremental_without_previous_fails_cleanly(
+        self, artefacts, tmp_path, capsys
+    ):
+        dump_path, _ = artefacts
+        code = main([
+            "build", "--dump", str(dump_path),
+            "--out", str(tmp_path / "t.jsonl"), "--no-abstract",
+            "--incremental",
+        ])
+        assert code == 2
+        assert "--previous" in capsys.readouterr().err

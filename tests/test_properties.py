@@ -158,6 +158,46 @@ class TestPersistenceRoundTrips:
             r.key for r in taxonomy.relations()
         }
 
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["刘#0", "周#0", "王#1", "陈#2"]),
+                st.sampled_from(["歌手", "演员", "人物", "公司"]),
+                _SOURCES,
+                st.floats(0.1, 2.0),
+                st.sampled_from(["", "华仔", "Ａｎｄｙ", "天王"]),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30)
+    def test_save_load_save_is_byte_stable(self, tmp_path_factory, rows):
+        """Canonical JSONL: persistence round-trips byte-for-byte.
+
+        ``save`` orders records canonically, so a loaded-then-resaved
+        taxonomy (whatever insertion order the load used) reproduces
+        the original file exactly — including non-ASCII mentions and
+        aliases, which must survive un-escaped (``ensure_ascii=False``).
+        """
+        taxonomy = Taxonomy()
+        for hypo, hyper, source, score, alias in rows:
+            aliases = (alias,) if alias else ()
+            if not taxonomy.has_entity(hypo):
+                taxonomy.add_entity(
+                    Entity(hypo, hypo.split("#")[0], aliases=aliases)
+                )
+            taxonomy.add_relation(
+                IsARelation(hypo, hyper, source, score=score)
+            )
+        root = tmp_path_factory.mktemp("stable")
+        first, second = root / "first.jsonl", root / "second.jsonl"
+        taxonomy.save(first)
+        Taxonomy.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+        # non-ASCII mentions stay human-readable (no \uXXXX escapes)
+        assert rows[0][0].split("#")[0] in first.read_text(encoding="utf-8")
+
     def test_dump_round_trip_preserves_unicode(self, tmp_path):
         from repro.encyclopedia.corpus import load_dump, save_dump
 
@@ -176,6 +216,67 @@ class TestPersistenceRoundTrips:
 
 
 class TestFailureInjection:
+    def test_crashed_save_leaves_previous_file_intact(self, tmp_path, monkeypatch):
+        """Atomic save: a failure mid-write never tears the target."""
+        import json as json_module
+
+        import repro.taxonomy.store as store_module
+
+        taxonomy = Taxonomy()
+        taxonomy.add_entity(Entity("a#0", "a"))
+        taxonomy.add_relation(IsARelation("a#0", "歌手", "tag"))
+        path = tmp_path / "t.jsonl"
+        taxonomy.save(path)
+        good_bytes = path.read_bytes()
+
+        calls = {"n": 0}
+        real_dumps = json_module.dumps
+
+        def exploding_dumps(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 1:  # header written, then crash mid-records
+                raise OSError("disk full")
+            return real_dumps(*args, **kwargs)
+
+        taxonomy.add_relation(IsARelation("a#0", "演员", "tag"))
+        monkeypatch.setattr(store_module.json, "dumps", exploding_dumps)
+        with pytest.raises(OSError):
+            taxonomy.save(path)
+        monkeypatch.undo()
+        # target untouched by the torn write, and still loadable
+        assert path.read_bytes() == good_bytes
+        assert len(Taxonomy.load(path).relations()) == 1
+        # no stray temp files left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["t.jsonl"]
+
+    def test_future_taxonomy_format_version_is_refused(self, tmp_path):
+        taxonomy = Taxonomy()
+        taxonomy.add_entity(Entity("a#0", "a"))
+        taxonomy.add_relation(IsARelation("a#0", "歌手", "tag"))
+        path = tmp_path / "t.jsonl"
+        taxonomy.save(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        header = json.loads(lines[0])
+        assert header["format_version"] >= 1  # save stamps the version
+        header["format_version"] = 99
+        lines[0] = json.dumps(header, ensure_ascii=False)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(TaxonomyError, match="format_version 99"):
+            Taxonomy.load(path)
+
+    def test_legacy_header_without_format_version_loads(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            '{"kind": "header", "name": "旧版"}\n'
+            '{"kind": "entity", "page_id": "a#0", "name": "a", "aliases": []}\n'
+            '{"kind": "relation", "hyponym": "a#0", "hypernym": "歌手", '
+            '"source": "tag", "hyponym_kind": "entity", "score": 1.0}\n',
+            encoding="utf-8",
+        )
+        loaded = Taxonomy.load(path)
+        assert loaded.name == "旧版"
+        assert loaded.men2ent("a") == ["a#0"]
+
     def test_truncated_taxonomy_file(self, tmp_path):
         taxonomy = Taxonomy()
         taxonomy.add_entity(Entity("a#0", "a"))
