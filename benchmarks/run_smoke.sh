@@ -9,9 +9,11 @@
 # rebuild, small-change refresh faster than a full build) and two real
 # server round trips (cn-probase serve subprocess: start -> query ->
 # swap -> query -> shutdown, and build -> diff -> incremental rebuild
-# -> /admin/apply-delta).  The perf numbers land in
-# benchmarks/out/BENCH_parallel.json so future PRs have a trajectory to
-# regress against.
+# -> /admin/apply-delta), plus the delta-chain contract (composed
+# chain = one-by-one chain = cold rebuild, byte-identical; one
+# composed publish beats N nightly publishes).  The perf numbers land
+# in benchmarks/out/BENCH_parallel.json so future PRs have a
+# trajectory to regress against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -22,5 +24,6 @@ python -m pytest -x -q benchmarks/bench_parallel_build.py \
     benchmarks/bench_serving_throughput.py
 python -m pytest -x -q benchmarks/bench_serving_cluster.py
 python -m pytest -x -q benchmarks/bench_incremental_build.py
+python -m pytest -x -q benchmarks/bench_delta_chain.py
 python benchmarks/smoke_serving_roundtrip.py
 python benchmarks/smoke_incremental_roundtrip.py

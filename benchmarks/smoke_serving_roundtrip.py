@@ -13,6 +13,7 @@ Run:  python benchmarks/smoke_serving_roundtrip.py
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -56,7 +57,12 @@ def wait_for_ready(ready_file: Path, process: subprocess.Popen) -> str:
     """Base URL once `cn-probase serve --ready-file` reports readiness.
 
     Shared by every serving smoke script (smoke_incremental_roundtrip
-    imports it), so the ready-file protocol lives in one place.
+    imports it), so the ready-file protocol lives in one place.  The
+    file is ``{"pid": ..., "host": ..., "port": ...}`` JSON written
+    only after the socket accepts and removed on clean shutdown; the
+    pid is validated against the subprocess we actually spawned, so a
+    stale marker left behind by a crashed server (or any other
+    process) can never pass for readiness.
     """
     deadline = time.monotonic() + READY_TIMEOUT_SECONDS
     while time.monotonic() < deadline:
@@ -65,9 +71,16 @@ def wait_for_ready(ready_file: Path, process: subprocess.Popen) -> str:
                 f"serve exited early with {process.returncode}:\n"
                 f"{process.stdout.read()}"
             )
-        if ready_file.exists() and ready_file.read_text().strip():
-            host, port = ready_file.read_text().split()
-            return f"http://{host}:{port}"
+        if ready_file.exists():
+            try:
+                payload = json.loads(ready_file.read_text())
+            except (ValueError, OSError):
+                payload = None  # mid-write or garbage: keep waiting
+            if (
+                isinstance(payload, dict)
+                and payload.get("pid") == process.pid
+            ):
+                return f"http://{payload['host']}:{payload['port']}"
         time.sleep(0.05)
     raise SystemExit(f"server not ready within {READY_TIMEOUT_SECONDS}s")
 
@@ -82,6 +95,11 @@ def main() -> None:
         mention = sorted(taxonomy_v1.freeze().as_indexes()[0])[0]
 
         ready_file = tmp_path / "ready"
+        # a stale marker from a "crashed" predecessor: readiness must
+        # wait for the real server's pid, not trust this
+        ready_file.write_text(
+            json.dumps({"pid": 999999999, "host": "127.0.0.1", "port": 1})
+        )
         process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro.cli", "serve", str(v1_path),
@@ -119,9 +137,10 @@ def main() -> None:
             served = client.server_metrics()
             assert served["swaps"] == 1
 
-            # → shutdown
+            # → shutdown (clean exit removes the readiness marker)
             client.shutdown_server()
             process.wait(timeout=15)
+            assert not ready_file.exists(), "stale ready file after shutdown"
         finally:
             if process.poll() is None:
                 process.kill()

@@ -9,6 +9,8 @@ Usage::
     cn-probase diff dump-old.jsonl dump-new.jsonl
     cn-probase build --dump dump-new.jsonl --out taxonomy2.jsonl \
         --incremental --previous taxonomy.jsonl --previous-dump dump-old.jsonl
+    cn-probase delta-squash night1.delta.jsonl night2.delta.jsonl \
+        -o squashed.delta.jsonl
     cn-probase stages
     cn-probase stages --trace taxonomy.jsonl.trace.json
     cn-probase stats --taxonomy taxonomy.jsonl
@@ -32,6 +34,10 @@ byte-identical to a full build and a ``<out>.delta.jsonl``
 :class:`~repro.taxonomy.delta.TaxonomyDelta` is written alongside —
 ready for ``POST /admin/apply-delta`` against a running ``serve``
 cluster, which then republishes only the shards the delta touches.
+``delta-squash`` composes N nightly deltas (oldest first) into one
+equivalent delta — applying it is byte-identical to applying the chain
+one by one, so a replica that missed N nights catches up with a single
+publish.
 The *speed* side of incrementality (per-page segment reuse, PMI
 subtract/add, page-local generation replay) needs the warm in-process
 caches of a long-lived nightly process — the
@@ -46,8 +52,10 @@ atomically-swappable shards, ``--replicas R`` spreads reads over R
 replicas per shard with failover, ``--admin-token`` arms the
 authenticated ``/admin/swap`` (hot-swap a rebuilt taxonomy file with
 zero downtime) and ``/admin/shutdown`` endpoints, and ``--ready-file``
-writes ``<host> <port>`` once the socket is bound (``--port 0`` picks a
-free port) so scripts can wait for readiness.
+writes ``{"pid": ..., "host": ..., "port": ...}`` JSON once the socket
+is accepting (``--port 0`` picks a free port) and removes it on clean
+shutdown — readers validate the pid so a stale file from a crashed
+server never passes for readiness.
 
 Every subcommand is importable (:func:`main` takes an argv list), which
 is how the test suite drives it.
@@ -253,7 +261,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_delta_squash(args: argparse.Namespace) -> int:
+    from repro.taxonomy.delta import compose, load_delta, save_delta
+
+    deltas = [load_delta(path) for path in args.deltas]
+    composed = compose(deltas)
+    save_delta(composed, args.out)
+    chained_records = sum(delta.n_records for delta in deltas)
+    summary = ", ".join(
+        f"{key}={value}" for key, value in composed.summary().items() if value
+    ) or "empty"
+    print(f"squashed {len(deltas)} deltas ({chained_records} records) "
+          f"into {composed.n_records} records")
+    print(f"composed delta: {summary}")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.serving import build_cluster
     from repro.serving.server import start_server
 
@@ -267,6 +294,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         admin_token=args.admin_token,
     )
+    ready_path = Path(args.ready_file) if args.ready_file else None
     try:
         stats = taxonomy.stats()
         print(f"serving {args.taxonomy} "
@@ -276,10 +304,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.admin_token:
             print("admin API armed: POST /admin/swap, /admin/apply-delta, "
                   "/admin/shutdown")
-        if args.ready_file:
+        if ready_path is not None:
+            # written only now — the socket is bound and the serve loop
+            # is accepting, so a reader acting on this file cannot race
+            # the server coming up.  pid + port as JSON lets the reader
+            # reject a stale file left by a crashed predecessor (the
+            # pid is dead, or alive but a different process).
             host, port = server.server_address[:2]
-            Path(args.ready_file).write_text(
-                f"{host} {port}\n", encoding="utf-8"
+            ready_path.write_text(
+                json.dumps({"pid": os.getpid(), "host": host, "port": port})
+                + "\n",
+                encoding="utf-8",
             )
         server.wait()
         print("server stopped")
@@ -287,6 +322,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.close()
+        if ready_path is not None:
+            try:  # clean shutdown removes the readiness marker
+                ready_path.unlink()
+            except OSError:
+                pass
     return 0
 
 
@@ -382,9 +422,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bearer token arming POST /admin/swap and "
                             "/admin/shutdown (disabled when omitted)")
     serve.add_argument("--ready-file", default=None, metavar="PATH",
-                       help="write '<host> <port>' here once listening "
-                            "(for scripts that must wait for the server)")
+                       help="write {\"pid\", \"host\", \"port\"} JSON here "
+                            "once the socket is accepting, and remove it on "
+                            "clean shutdown; readers should validate the pid "
+                            "so a stale file from a crashed server is not "
+                            "mistaken for readiness")
     serve.set_defaults(func=_cmd_serve)
+
+    squash = sub.add_parser(
+        "delta-squash",
+        help="compose an ordered chain of taxonomy deltas into one",
+        description="Squash N nightly .delta.jsonl files (oldest first) "
+                    "into one equivalent delta: add-then-remove cancels, "
+                    "change-of-change collapses to (first old, last new). "
+                    "Applying the composed delta is byte-identical to "
+                    "applying the chain one by one — one "
+                    "/admin/apply-delta instead of N.",
+    )
+    squash.add_argument("deltas", nargs="+", metavar="DELTA",
+                        help="delta JSONL files, in chain order "
+                             "(oldest first)")
+    squash.add_argument("-o", "--out", required=True,
+                        help="where to write the composed delta JSONL")
+    squash.set_defaults(func=_cmd_delta_squash)
 
     query = sub.add_parser("query", help="call one of the three APIs")
     query.add_argument("--taxonomy", required=True)

@@ -44,3 +44,22 @@ class ServiceUnavailableError(APIError):
     layer maps it to 503 so clients retry, unlike the 400 a plain
     :class:`APIError` becomes.
     """
+
+
+class DeltaConflictError(APIError):
+    """A delta publish refused because the replica's version moved.
+
+    The delta-aware replication handshake: a publish carries the
+    ``base_version`` it was computed against, and a replica whose
+    published version differs answers HTTP 409 with its current
+    version instead of applying.  The router heals the replica —
+    catch-up chain from :class:`~repro.taxonomy.delta.DeltaHistory`
+    when the span is covered, full-snapshot ``/admin/swap`` otherwise —
+    so the conflict is a routine signal, never a stack trace.
+    ``server_version`` carries the replica's current version id when
+    the response included one.
+    """
+
+    def __init__(self, message: str, *, server_version: str | None = None):
+        super().__init__(message)
+        self.server_version = server_version

@@ -33,10 +33,31 @@ Architecture (request path, top to bottom)::
   inside each), untouched shards cross the swap as the same objects,
   and ``shard_versions()`` becomes the per-shard publish lineage.
 - **Routing** (:mod:`repro.serving.router`): reads spread round-robin
-  over R replicas per shard; a replica that raises is marked unhealthy
+  over R replicas per shard (the healthy-subset scan and the rotation
+  advance are one atomic step, so the survivors of a failure keep
+  splitting load evenly); a replica that raises is marked unhealthy
   and the call retries on the next one (configurable attempts); an
   unhealthy replica rejoins only after a probe passes (auto-probed
   every ``probe_after`` skips, or forced via ``probe()``).
+- **Replica backends** (:mod:`repro.serving.replica`): the
+  :class:`~repro.serving.replica.ReplicaBackend` protocol the router
+  routes over — in-process :class:`StoreShardReplica` views, or
+  :class:`~repro.serving.replica.RemoteReplica` driving another
+  serving process through :class:`TaxonomyClient`
+  (``router.attach_replica(shard_id, backend)`` adds one).
+- **Delta-aware replication**:
+  :meth:`~repro.serving.router.ReplicatedRouter.publish_delta` ships
+  each shard's *slice* of a delta by value to every remote-capable
+  replica instead of a full snapshot, stamped with the target version
+  and guarded by a ``base_version`` handshake; a replica published at
+  any other version refuses with 409 and is healed — by a composed
+  catch-up chain when the store's
+  :class:`~repro.taxonomy.delta.DeltaHistory` ring covers its lag
+  (``cn-probase delta-squash`` is the offline spelling of the same
+  compose), by one full-snapshot ``/admin/swap`` otherwise — so a
+  lagging or freshly-restarted replica always rejoins.  Outcomes land
+  in ``router.last_publish_report`` and the
+  ``chain_catchups``/``snapshot_heals`` counters.
 - **Server** (:mod:`repro.serving.server`): the JSON wire (below) plus
   ``/healthz``, ``/version``, ``/metrics`` (the
   :class:`~repro.taxonomy.service.ServiceMetrics` ledger with
@@ -58,16 +79,27 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
   when routing is on and a shard has zero healthy replicas the status
   becomes ``degraded`` with ``unhealthy_shards`` listed, served as 503
   so load balancers rotate the instance out
-- ``GET /version`` → version + shard/replica topology
+- ``GET /version`` → version + shard/replica topology +
+  ``lineage`` (the versions delta publishes produced, oldest first —
+  how far back this replica can be caught up by chain)
 - ``GET /metrics`` → cumulative per-API calls/hits/mean/p50/p95/p99/max
-  plus router attempt/failover/probe counters when routing is on
-- ``POST /admin/swap`` body ``{"taxonomy": "<server-side path>"}``,
-  header ``Authorization: Bearer <token>`` →
+  plus router attempt/failover/probe/catch-up/heal counters when
+  routing is on
+- ``POST /admin/swap`` body ``{"taxonomy": "<server-side path>"}``
+  (optional ``"version": 7`` stamps the published version — the
+  snapshot-heal path uses it for lockstep), header
+  ``Authorization: Bearer <token>`` →
   ``{"swapped": true, "version": "v4"}``; 401 on bad token, 403 when
   the server runs without a token, 400 (old version still serving) on a
   failed load
 - ``POST /admin/apply-delta`` body ``{"delta": "<server-side path>"}``
-  (same auth) → ``{"applied": true, "version": "v4", "delta": {...
+  or ``{"delta": {...inline to_wire() object...}}`` (same auth),
+  optional ``"base_version": "v3"`` (handshake: refused with **409**
+  ``{"conflict": true, "version": "v1"}`` when the served version
+  differs — the replication layer reads it to pick chain catch-up vs
+  snapshot heal), ``"version": 4`` (stamp) and ``"slice":
+  {"shard_id": s, "n_shards": n}`` (validate/apply only this cluster
+  shard's keys) → ``{"applied": true, "version": "v4", "delta": {...
   record counts ...}, "shard_versions": [...]}``; the delta is
   validated against the currently served version and refused with 400
   (old version still serving) on a base mismatch or unreadable file
@@ -81,18 +113,18 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
 the stack up from a taxonomy file; :func:`build_cluster` does the same
 in-process.
 
-Remaining follow-ups (PR-3's list, refreshed after PR-4 landed the
-incremental per-shard-delta publishes): process-per-shard workers
-behind the same router protocol; remote per-shard replicas via
-:class:`TaxonomyClient` backends; delta chains and delta-shipping
-replication (send ``.delta.jsonl`` files, not full snapshots, to
-remote replicas); auth beyond a single bearer token.
+Remaining follow-ups (refreshed after PR-5 landed remote replicas,
+delta chains and delta-shipping replication): process-per-shard
+workers behind the same router protocol; content-addressed version
+ids (today's lockstep counters assume one publisher); auth beyond a
+single bearer token.
 """
 
 from __future__ import annotations
 
 from repro.errors import APIError
 from repro.serving.client import TaxonomyClient
+from repro.serving.replica import RemoteReplica, ReplicaBackend
 from repro.serving.router import ReplicatedRouter, StoreShardReplica
 from repro.serving.server import (
     ClusterHTTPServer,
@@ -107,6 +139,8 @@ from repro.serving.sharding import (
 
 __all__ = [
     "ClusterHTTPServer",
+    "RemoteReplica",
+    "ReplicaBackend",
     "ReplicatedRouter",
     "ShardSet",
     "ShardSnapshot",

@@ -24,7 +24,7 @@ import urllib.parse
 import urllib.request
 from typing import Sequence
 
-from repro.errors import APIError
+from repro.errors import APIError, DeltaConflictError
 from repro.taxonomy.service import (
     WIRE_API_METHODS,
     BatchedServingAPI,
@@ -112,6 +112,11 @@ class TaxonomyClient(BatchedServingAPI):
                 if degraded_ok and "error" not in payload:
                     return payload  # a status report, not a failure
                 detail = payload.get("error", payload.get("_raw", exc))
+                if exc.code == 409:  # version handshake refused the write
+                    raise DeltaConflictError(
+                        f"{path}: HTTP 409: {detail}",
+                        server_version=payload.get("version"),
+                    ) from exc
                 if exc.code < 500:  # the server meant it: don't retry
                     raise APIError(
                         f"{path}: HTTP {exc.code}: {detail}"
@@ -187,17 +192,22 @@ class TaxonomyClient(BatchedServingAPI):
 
     # -- admin -----------------------------------------------------------------
 
-    def swap(self, taxonomy_path: str) -> dict:
+    def swap(self, taxonomy_path: str, *, version: int | None = None) -> dict:
         """Hot-swap the server onto the taxonomy file at *taxonomy_path*.
 
         The path is resolved by the **server** process; the file must be
-        readable there.
+        readable there.  *version* stamps the published version
+        explicitly — the snapshot-heal path of delta replication uses
+        it to bring a lagging replica back into version lockstep.
+
+        Never resent: a retry after a timeout could repeat a swap the
+        server already performed.
         """
+        body: dict = {"taxonomy": str(taxonomy_path)}
+        if version is not None:
+            body["version"] = int(version)
         return self._request(
-            "/admin/swap",
-            body={"taxonomy": str(taxonomy_path)},
-            admin=True,
-            idempotent=False,
+            "/admin/swap", body=body, admin=True, idempotent=False
         )
 
     def apply_delta(self, delta_path: str) -> dict:
@@ -207,12 +217,54 @@ class TaxonomyClient(BatchedServingAPI):
         the delta against the taxonomy it currently serves; a delta
         computed against a different base is refused (400) with the old
         version still serving.
+
+        Never resent (one attempt): after a timeout the server may
+        already have applied the delta, and resending it against the
+        advanced base would fail spuriously.  Ship with
+        :meth:`apply_delta_wire` and a ``base_version`` when you need
+        that situation to surface as a clean
+        :class:`~repro.errors.DeltaConflictError` instead.
         """
         return self._request(
             "/admin/apply-delta",
             body={"delta": str(delta_path)},
             admin=True,
             idempotent=False,
+        )
+
+    def apply_delta_wire(
+        self,
+        delta,
+        *,
+        base_version: str | None = None,
+        version: int | None = None,
+        slice_spec: dict | None = None,
+    ) -> dict:
+        """Ship a :class:`~repro.taxonomy.delta.TaxonomyDelta` by value.
+
+        The delta-aware replication wire: the delta travels inline as
+        its :meth:`~repro.taxonomy.delta.TaxonomyDelta.to_wire` object,
+        so the replica needs no shared filesystem.  *base_version*
+        ("v3") arms the handshake — a replica published at any other
+        version refuses with HTTP 409, raised here as
+        :class:`~repro.errors.DeltaConflictError` carrying the
+        replica's current version.  *version* stamps the produced
+        version (lockstep), *slice_spec* (``{"shard_id": s,
+        "n_shards": n}``) tells the replica which slice of the cluster
+        keyspace this delta was cut to, so it validates and applies
+        only keys it owns.
+
+        Never resent (one attempt), like every admin mutation.
+        """
+        body: dict = {"delta": delta.to_wire()}
+        if base_version is not None:
+            body["base_version"] = base_version
+        if version is not None:
+            body["version"] = int(version)
+        if slice_spec is not None:
+            body["slice"] = dict(slice_spec)
+        return self._request(
+            "/admin/apply-delta", body=body, admin=True, idempotent=False
         )
 
     def shutdown_server(self) -> dict:

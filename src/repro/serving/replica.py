@@ -1,0 +1,154 @@
+"""Replica backends: the protocol the router routes over, plus remotes.
+
+:class:`~repro.serving.router.ReplicatedRouter` never cares what a
+replica *is* — only what it answers.  This module names that contract
+(:class:`ReplicaBackend`) and provides the remote implementation that
+turns the router into a real multi-process cluster:
+:class:`RemoteReplica` drives another serving process through its
+:class:`~repro.serving.client.TaxonomyClient`, including the
+delta-aware replication surface (ship a per-shard-sliced
+:class:`~repro.taxonomy.delta.TaxonomyDelta` by value, handshake on
+``base_version``, heal by full snapshot when the handshake fails).
+
+The in-process counterpart,
+:class:`~repro.serving.router.StoreShardReplica`, lives next to the
+router; both satisfy the same protocol, so a shard's replica set can
+mix local views and remote processes freely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import APIError
+
+if TYPE_CHECKING:
+    from repro.serving.client import TaxonomyClient
+    from repro.taxonomy.delta import TaxonomyDelta
+
+
+@runtime_checkable
+class ReplicaBackend(Protocol):
+    """What the router requires of a replica: the three shard lookups.
+
+    Everything else is optional and discovered by ``getattr``:
+
+    - ``healthcheck() -> bool`` — probed instead of a benign lookup;
+    - ``pinned()`` / ``pinned_in(shard_set)`` — snapshot pinning hooks
+      so a batch group never spans two published versions (only
+      in-process store views can offer these; remote replicas degrade
+      to per-request consistency, which per-key answers make exact);
+    - the replication surface (``published_version()``,
+      ``publish_delta(...)``, ``publish_snapshot(...)``) — backends
+      exposing it receive delta publishes from
+      :meth:`~repro.serving.router.ReplicatedRouter.publish_delta`;
+      backends without it (plain read replicas over a shared store)
+      are updated through the store instead.
+    """
+
+    def men2ent(self, mention: str) -> list[str]: ...
+
+    def get_concepts(self, page_id: str) -> list[str]: ...
+
+    def get_entities(self, concept: str) -> list[str]: ...
+
+
+class RemoteReplica:
+    """One remote serving process as a shard replica backend.
+
+    Reads go over the wire as singles (the router already grouped the
+    batch per shard; a remote *serving* process applies its own
+    batching underneath).  Writes are the delta-aware replication
+    surface: :meth:`publish_delta` ships a delta by value with the
+    ``base_version`` handshake, :meth:`publish_snapshot` is the
+    one-shot full heal (``/admin/swap`` on a server-side path) for a
+    replica whose version fell outside every chain.
+
+    *shard_id* / *n_shards* name the slice of the cluster keyspace this
+    replica serves; they are sent as the wire ``slice`` so the replica
+    validates and applies exactly the keys the router will ever route
+    to it.  A replica serving the full keyspace (n_shards=1 cluster, or
+    a full-copy replica) omits them.
+    """
+
+    def __init__(
+        self,
+        client: "TaxonomyClient",
+        *,
+        shard_id: int | None = None,
+        n_shards: int | None = None,
+    ) -> None:
+        if (shard_id is None) != (n_shards is None):
+            raise APIError(
+                "shard_id and n_shards name one slice: give both or neither"
+            )
+        self._client = client
+        self._shard_id = shard_id
+        self._n_shards = n_shards
+
+    @property
+    def client(self) -> "TaxonomyClient":
+        return self._client
+
+    @property
+    def slice_spec(self) -> dict | None:
+        """The wire ``slice`` object, or None for a full-keyspace replica."""
+        if self._shard_id is None:
+            return None
+        return {"shard_id": self._shard_id, "n_shards": self._n_shards}
+
+    def __repr__(self) -> str:  # in failover logs and reports
+        where = self._client._base_url
+        if self._shard_id is not None:
+            where += f"#shard{self._shard_id}/{self._n_shards}"
+        return f"RemoteReplica({where})"
+
+    # -- the three shard lookups -----------------------------------------------
+
+    def men2ent(self, mention: str) -> list[str]:
+        return self._client.men2ent(mention)
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        return self._client.get_concepts(page_id)
+
+    def get_entities(self, concept: str) -> list[str]:
+        return self._client.get_entities(concept)
+
+    # -- health ----------------------------------------------------------------
+
+    def healthcheck(self) -> bool:
+        return self._client.healthz().get("status") == "ok"
+
+    # -- replication -----------------------------------------------------------
+
+    def published_version(self) -> str:
+        """The version id the remote currently serves ("v3")."""
+        return str(self._client.version().get("version"))
+
+    def publish_delta(
+        self,
+        delta: "TaxonomyDelta",
+        *,
+        base_version: str | None = None,
+        version: int | None = None,
+    ) -> dict:
+        """Ship *delta* by value; raises
+        :class:`~repro.errors.DeltaConflictError` when the remote's
+        published version does not match *base_version*."""
+        return self._client.apply_delta_wire(
+            delta,
+            base_version=base_version,
+            version=version,
+            slice_spec=self.slice_spec,
+        )
+
+    def publish_snapshot(
+        self, taxonomy_path: str, *, version: int | None = None
+    ) -> dict:
+        """Full-snapshot heal: ``/admin/swap`` onto *taxonomy_path*.
+
+        The path is resolved by the **remote** process.  *version*
+        stamps the swapped version so the replica rejoins the cluster's
+        lineage instead of restarting its own count.
+        """
+        return self._client.swap(taxonomy_path, version=version)

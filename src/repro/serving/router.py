@@ -9,13 +9,22 @@ number of retries; unhealthy replicas are skipped until a probe passes
 (probes run automatically every ``probe_after`` skips, and can be forced
 with :meth:`ReplicatedRouter.probe`).
 
-A replica backend is anything with the three single-key lookups
-(``men2ent`` / ``get_concepts`` / ``get_entities``) answering for that
-shard's slice of the keyspace — in-process
-:class:`StoreShardReplica` views over a
+A replica backend is anything satisfying the
+:class:`~repro.serving.replica.ReplicaBackend` protocol — the three
+single-key lookups (``men2ent`` / ``get_concepts`` / ``get_entities``)
+answering for that shard's slice of the keyspace.  In-process that is a
+:class:`StoreShardReplica` view over a
 :class:`~repro.serving.sharding.ShardedSnapshotStore` (what
-``cn-probase serve --replicas R`` wires up), or remote per-shard
-clients in a real deployment.
+``cn-probase serve --replicas R`` wires up); across processes it is a
+:class:`~repro.serving.replica.RemoteReplica` driving another serving
+process through :class:`~repro.serving.client.TaxonomyClient`
+(:meth:`ReplicatedRouter.attach_replica` adds one to a shard's
+rotation).  :meth:`ReplicatedRouter.publish_delta` keeps remote
+replicas fresh the delta-aware way: each shard's slice of the delta is
+shipped by value with a ``base_version`` handshake, a refusing replica
+is caught up by delta chain when the
+:class:`~repro.taxonomy.delta.DeltaHistory` ring covers its lag, and
+healed by a one-shot full snapshot (``/admin/swap``) otherwise.
 
 Consistency note: a store-backed router pins one
 :class:`~repro.serving.sharding.ShardSet` per *batch* (via the
@@ -34,11 +43,22 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
 
-from repro.errors import APIError, ServiceUnavailableError
+from repro.errors import (
+    APIError,
+    DeltaConflictError,
+    ServiceUnavailableError,
+    TaxonomyError,
+)
 from repro.serving.sharding import (
     _API_LOOKUPS,
     ShardedSnapshotStore,
     shard_for,
+)
+from repro.taxonomy.delta import (
+    DeltaHistory,
+    bump_version,
+    compose,
+    parse_version_id,
 )
 from repro.taxonomy.service import BatchedServingAPI, ServiceMetrics
 
@@ -114,6 +134,8 @@ class RouterStats:
     failovers: int = 0
     probes: int = 0
     probe_recoveries: int = 0
+    chain_catchups: int = 0
+    snapshot_heals: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -121,6 +143,8 @@ class RouterStats:
             "failovers": self.failovers,
             "probes": self.probes,
             "probe_recoveries": self.probe_recoveries,
+            "chain_catchups": self.chain_catchups,
+            "snapshot_heals": self.snapshot_heals,
         }
 
 
@@ -134,6 +158,7 @@ class ReplicatedRouter(BatchedServingAPI):
         retries: int = 2,
         probe_after: int = 16,
         metrics: ServiceMetrics | None = None,
+        base_version: int = 1,
     ) -> None:
         if not replica_sets or any(not replicas for replicas in replica_sets):
             raise APIError("router needs >= 1 replica for every shard")
@@ -150,8 +175,15 @@ class ReplicatedRouter(BatchedServingAPI):
         self._probe_after = probe_after
         self._lock = threading.Lock()
         self._store: ShardedSnapshotStore | None = None
+        # storeless (pure-remote) routers track their own publish
+        # lineage; store-backed ones defer to the store's
+        self._published_version = base_version
+        self._delta_history = DeltaHistory()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.stats = RouterStats()
+        #: Per-replica outcomes of the last :meth:`publish_delta`
+        #: (``applied`` / ``chained`` / ``healed`` / ``failed``).
+        self.last_publish_report: list[dict] = []
 
     @classmethod
     def from_store(
@@ -205,29 +237,318 @@ class ReplicatedRouter(BatchedServingAPI):
             raise APIError("router has no backing store to version")
         return self._store.shard_versions()
 
-    def swap(self, taxonomy):
-        """Hot-swap the backing store (store-backed routers only)."""
+    def version_lineage(self) -> list[str]:
+        """Versions delta publishes produced (store's, or router-local)."""
+        if self._store is not None:
+            return self._store.version_lineage()
+        return self._delta_history.lineage_ids()
+
+    def attach_replica(self, shard_id: int, backend) -> None:
+        """Add a backend to one shard's rotation — e.g. a
+        :class:`~repro.serving.replica.RemoteReplica` joining a
+        store-backed cluster as an extra read replica.
+
+        A version-reporting backend that is *behind* the published
+        version joins parked (unhealthy): admitting it would mix
+        taxonomy versions in the rotation.  The next
+        :meth:`publish_delta` catches it up (chain or heal) and
+        re-admits it; the version-aware probe also re-admits it once
+        it is aligned.
+        """
+        if not 0 <= shard_id < len(self._replicas):
+            raise APIError(
+                f"no shard {shard_id} (router has {len(self._replicas)})"
+            )
+        state = ReplicaState(backend, healthy=self._version_aligned(backend))
+        with self._lock:
+            self._replicas[shard_id].append(state)
+
+    def swap(
+        self,
+        taxonomy,
+        *,
+        version: int | None = None,
+        snapshot_path=None,
+    ):
+        """Hot-swap the backing store (store-backed routers only).
+
+        Local replicas are late-binding views and see the new version
+        immediately.  A full snapshot cannot ship by value, so attached
+        *remote* replicas are either healed through ``/admin/swap``
+        onto *snapshot_path* (the taxonomy file, resolved by the remote
+        process) stamped with the swapped version, or — without a path
+        — taken out of the rotation as stale: the version-aware probe
+        refuses to re-admit them until a later publish heals them, so
+        a swap never leaves the rotation serving two taxonomies.
+        Per-replica outcomes land in :attr:`last_publish_report`.
+        """
         if self._store is None:
             raise APIError(
                 "router has no backing store; swap the shard backends "
                 "directly"
             )
-        return self._store.swap(taxonomy)
+        result = self._store.swap(taxonomy, version=version)
+        target = result.version
+        report: list[dict] = []
+        for shard_id, replicas in enumerate(self._replicas):
+            for replica_index, state in enumerate(list(replicas)):
+                backend = state.backend
+                publish = getattr(backend, "publish_snapshot", None)
+                # anything that tracks its own published state is made
+                # stale by this swap — even a backend that can only
+                # receive deltas must at least be parked
+                if not callable(publish) and not callable(
+                    getattr(backend, "published_version", None)
+                ) and not callable(
+                    getattr(backend, "publish_delta", None)
+                ):
+                    continue
+                if snapshot_path is not None and callable(publish):
+                    try:
+                        publish(str(snapshot_path), version=target)
+                        outcome = "healed"
+                        with self._lock:
+                            self.stats.snapshot_heals += 1
+                            # healed = alive + aligned: re-admit (it
+                            # may have been parked by an earlier swap)
+                            state.healthy = True
+                            state.skips_since_down = 0
+                    except Exception:
+                        self._mark_failed(state)
+                        outcome = "failed"
+                else:
+                    # stale by construction: park it (not a failure of
+                    # the backend, so only the health flag moves)
+                    with self._lock:
+                        state.healthy = False
+                        state.skips_since_down = 0
+                    outcome = "stale"
+                report.append({
+                    "shard": shard_id,
+                    "replica": replica_index,
+                    "backend": repr(state.backend),
+                    "outcome": outcome,
+                })
+        self._published_version = target
+        self.last_publish_report = report
+        return result
 
-    def publish_delta(self, delta):
-        """Apply a taxonomy delta to the backing store (store-backed only).
+    # -- delta-aware replication ------------------------------------------------
 
-        Replicas are late-binding views over the store's shard set, so a
-        per-shard delta publish propagates to every replica at once —
-        replicas of untouched shards keep serving the identical read
-        view objects.
+    def publish_delta(
+        self,
+        delta,
+        *,
+        snapshot_path=None,
+        key_filter=None,
+        version: int | None = None,
+        base_version: int | None = None,
+    ) -> object:
+        """Publish a taxonomy delta to the whole topology.
+
+        Store-backed: the store applies the delta once (replicas are
+        late-binding views over its shard set, so a per-shard delta
+        publish propagates to every :class:`StoreShardReplica` at once
+        — replicas of untouched shards keep serving the identical read
+        view objects) and the store's :class:`ShardSet` is returned.
+
+        Remote-capable backends (those exposing ``publish_delta``, the
+        :class:`~repro.serving.replica.ReplicaBackend` replication
+        surface) are then brought up to date the delta-aware way: each
+        shard's *slice* of the delta ships by value with a
+        ``base_version`` handshake.  A replica that refuses (its
+        published version is not the delta's base) is caught up by a
+        composed delta chain when the
+        :class:`~repro.taxonomy.delta.DeltaHistory` ring covers its
+        lag; otherwise — and for a replica the chain also fails on —
+        a one-shot full-snapshot heal (``/admin/swap`` onto
+        *snapshot_path*, stamped with the target version) rejoins it.
+        A replica that cannot be healed is marked unhealthy and left to
+        the probe loop.  Per-replica outcomes land in
+        :attr:`last_publish_report`.
+
+        Storeless (pure-remote) routers version the publish themselves
+        (``base_version`` at construction, +1 per publish) and return
+        the report instead of a shard set.
+
+        *key_filter* and *version* pass through to the store publish —
+        a router-fronted replica process (``serve --replicas R``)
+        receives sliced, version-stamped wire publishes exactly like a
+        bare store does.
         """
-        if self._store is None:
+        remote_capable = any(
+            callable(getattr(state.backend, "publish_delta", None))
+            for replicas in self._replicas
+            for state in replicas
+        )
+        if self._store is None and not remote_capable:
             raise APIError(
                 "router has no backing store; apply the delta to the "
                 "shard backends directly"
             )
-        return self._store.publish_delta(delta)
+        if self._store is not None:
+            base = self._store.shard_set.version
+            result = self._store.publish_delta(
+                delta,
+                key_filter=key_filter,
+                version=version,
+                base_version=base_version,
+            )
+            target = result.version
+            history = self._store.delta_history
+        else:
+            if key_filter is not None:
+                # a storeless router has no store to apply a filtered
+                # slice to, and recording a full delta while claiming a
+                # slice would poison later chain catch-ups — refuse,
+                # like the storeless swap does
+                raise APIError(
+                    "router has no backing store to key-filter; publish "
+                    "the sliced delta to the shard backends directly"
+                )
+            base = self._published_version
+            if base_version is not None and base_version != base:
+                raise DeltaConflictError(
+                    f"delta base v{base_version} does not match the "
+                    f"published version v{base}",
+                    server_version=f"v{base}",
+                )
+            target = bump_version(base, version)
+            history = self._delta_history
+            # record before shipping so a refusing replica can be
+            # caught up through the ring it just missed
+            history.record(base, target, delta)
+            result = None
+
+        report: list[dict] = []
+        n_shards = self.n_shards
+        # one lagging version → one compose + one slice per shard, no
+        # matter how many replicas lag identically (a hub restart lags
+        # them all at once)
+        catchup_cache: dict = {}
+        for shard_id, replicas in enumerate(self._replicas):
+            sliced = None
+            for replica_index, state in enumerate(list(replicas)):
+                if not callable(
+                    getattr(state.backend, "publish_delta", None)
+                ):
+                    continue
+                if sliced is None:
+                    sliced = self._slice_for(delta, shard_id, n_shards)
+                outcome = self._replicate(
+                    state, sliced, base, target, history,
+                    shard_id, n_shards, snapshot_path, catchup_cache,
+                )
+                report.append({
+                    "shard": shard_id,
+                    "replica": replica_index,
+                    "backend": repr(state.backend),
+                    "outcome": outcome,
+                })
+        self._published_version = target
+        self.last_publish_report = report
+        return result if self._store is not None else report
+
+    @staticmethod
+    def _slice_for(delta, shard_id: int, n_shards: int):
+        if n_shards == 1:
+            return delta
+        return delta.slice(
+            lambda key: shard_for(key, n_shards) == shard_id
+        )
+
+    def _replicate(
+        self, state, sliced, base, target, history,
+        shard_id, n_shards, snapshot_path, catchup_cache,
+    ) -> str:
+        """Bring one remote-capable replica to *target*; returns outcome.
+
+        A successful outcome re-admits the replica to the rotation —
+        it just proved itself alive and version-aligned (a replica may
+        be parked unhealthy purely because it joined behind or missed
+        a swap)."""
+        outcome = self._replicate_once(
+            state, sliced, base, target, history,
+            shard_id, n_shards, snapshot_path, catchup_cache,
+        )
+        if outcome in ("applied", "chained", "healed"):
+            with self._lock:
+                state.healthy = True
+                state.skips_since_down = 0
+        return outcome
+
+    def _replicate_once(
+        self, state, sliced, base, target, history,
+        shard_id, n_shards, snapshot_path, catchup_cache,
+    ) -> str:
+        backend = state.backend
+        try:
+            backend.publish_delta(
+                sliced, base_version=f"v{base}", version=target
+            )
+            return "applied"
+        except DeltaConflictError as exc:
+            replica_version = parse_version_id(exc.server_version)
+        except Exception:
+            self._mark_failed(state)
+            return "failed"
+        # the handshake refused: the replica is at some other version
+        if replica_version == target:
+            return "applied"  # duplicate publish (e.g. a resent chain)
+        if replica_version is not None:
+            catchup = catchup_cache.get((replica_version, shard_id))
+            if catchup is None:
+                composed = catchup_cache.get(replica_version)
+                if composed is None:
+                    chain = history.chain(replica_version, target)
+                    if chain:
+                        try:
+                            composed = compose(chain)
+                        except TaxonomyError:
+                            # recorded deltas that don't actually chain
+                            # (independently-computed nights can agree
+                            # structurally yet disagree on scores):
+                            # catch-up is off the table, the snapshot
+                            # heal below decides — never a stack trace
+                            # out of a publish
+                            composed = None
+                        else:
+                            catchup_cache[replica_version] = composed
+                if composed is not None:
+                    catchup = self._slice_for(composed, shard_id, n_shards)
+                    catchup_cache[(replica_version, shard_id)] = catchup
+            if catchup is not None:
+                try:
+                    backend.publish_delta(
+                        catchup,
+                        base_version=f"v{replica_version}",
+                        version=target,
+                    )
+                    with self._lock:
+                        self.stats.chain_catchups += 1
+                    return "chained"
+                except Exception:
+                    pass  # fall through to the snapshot heal
+        if snapshot_path is not None and callable(
+            getattr(backend, "publish_snapshot", None)
+        ):
+            try:
+                backend.publish_snapshot(
+                    str(snapshot_path), version=target
+                )
+                with self._lock:
+                    self.stats.snapshot_heals += 1
+                return "healed"
+            except Exception:
+                pass
+        self._mark_failed(state)
+        return "failed"
+
+    def _mark_failed(self, state) -> None:
+        with self._lock:
+            state.healthy = False
+            state.failures += 1
+            state.skips_since_down = 0
 
     # -- health ----------------------------------------------------------------
 
@@ -244,8 +565,41 @@ class ReplicatedRouter(BatchedServingAPI):
             state.healthy = False
             state.skips_since_down = 0
 
+    def _version_aligned(self, backend) -> bool:
+        """Is a version-reporting backend at the published version?
+
+        Probes gate on this: a remote replica that missed a publish
+        (its wire apply timed out, or the hub swapped underneath it)
+        answers its healthcheck happily while serving stale answers —
+        re-admitting it would mix taxonomy versions in the rotation.
+        It stays parked until a publish heals it.  Backends without a
+        ``published_version`` (in-process store views) are always
+        aligned: they read the store's current shard set.
+        """
+        published = getattr(backend, "published_version", None)
+        if not callable(published):
+            return True
+        if self._store is not None:
+            expected = self._store.shard_set.version
+        elif len(self._delta_history):
+            expected = self._published_version
+        else:
+            # this router never published anything (a read-only load
+            # balancer over independently-managed replicas): it has no
+            # basis to call any served version stale
+            return True
+        try:
+            return parse_version_id(published()) == expected
+        except Exception:
+            return False
+
     def probe(self, shard_id: int, replica_index: int) -> bool:
-        """Probe one replica; on success it rejoins the rotation."""
+        """Probe one replica; on success it rejoins the rotation.
+
+        Success means alive *and* version-aligned (see
+        :meth:`_version_aligned`) — a healthy-but-stale remote replica
+        stays out of the rotation.
+        """
         state = self._replicas[shard_id][replica_index]
         with self._lock:
             self.stats.probes += 1
@@ -258,6 +612,8 @@ class ReplicatedRouter(BatchedServingAPI):
                 ok = True
         except Exception:
             ok = False
+        if ok:
+            ok = self._version_aligned(state.backend)
         with self._lock:
             if ok:
                 if not state.healthy:
@@ -283,16 +639,33 @@ class ReplicatedRouter(BatchedServingAPI):
     def _pick(self, shard_id: int, exclude: set[int]) -> int | None:
         """Next replica for *shard_id*: round-robin over healthy ones.
 
-        Every pick counts one skip against each unhealthy replica;
-        after ``probe_after`` skips a replica is probed in-line, so a
-        recovered backend rejoins the rotation without an operator
-        call (a failed probe resets the countdown — cheap exponential-ish
-        backoff).  Returns None when every replica is excluded or down.
+        Selection is atomic: the healthy-replica scan and the rotation
+        advance happen under one lock acquisition, so two concurrent
+        picks can never choose from a half-updated rotation, and the
+        cursor only ever advances *past the replica actually chosen* —
+        when the healthy subset shrinks, the survivors keep absorbing
+        the load evenly instead of whichever one happens to follow the
+        dead slot in index order absorbing a double share.
+
+        Every pick still counts one skip against each unhealthy
+        replica; after ``probe_after`` skips a replica is probed
+        in-line (outside the lock — probes do I/O), so a recovered
+        backend rejoins the rotation without an operator call (a failed
+        probe resets the countdown — cheap exponential-ish backoff).
+        Returns None when every replica is excluded or down.
         """
         replicas = self._replicas[shard_id]
         with self._lock:
             start = self._rr[shard_id]
-            self._rr[shard_id] = (start + 1) % len(replicas)
+            chosen: int | None = None
+            for offset in range(len(replicas)):
+                index = (start + offset) % len(replicas)
+                if index in exclude:
+                    continue
+                if replicas[index].healthy:
+                    chosen = index
+                    self._rr[shard_id] = (index + 1) % len(replicas)
+                    break
             probe_candidate: int | None = None
             for index, state in enumerate(replicas):
                 if state.healthy or index in exclude:
@@ -304,14 +677,16 @@ class ReplicatedRouter(BatchedServingAPI):
                 ):
                     probe_candidate = index
         if probe_candidate is not None:
-            self.probe(shard_id, probe_candidate)
-        for offset in range(len(replicas)):
-            index = (start + offset) % len(replicas)
-            if index in exclude:
-                continue
-            if replicas[index].healthy:
-                return index
-        return None
+            recovered = self.probe(shard_id, probe_candidate)
+            if chosen is None and recovered:
+                # nothing else was healthy; the probe just brought
+                # this replica back, so route to it
+                with self._lock:
+                    self._rr[shard_id] = (
+                        probe_candidate + 1
+                    ) % len(replicas)
+                return probe_candidate
+        return chosen
 
     def _serve_group(
         self,

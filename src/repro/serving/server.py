@@ -11,12 +11,18 @@ Endpoints (see the package docstring for the full wire format):
 
 - ``GET /v1/{men2ent,getConcept,getEntity}?q=<arg>`` — single query
 - ``POST /v1/{api}`` with ``{"arguments": [...]}`` — batched query
-- ``GET /healthz`` / ``GET /version`` / ``GET /metrics``
+- ``GET /healthz`` / ``GET /version`` (incl. the delta-publish
+  ``lineage``) / ``GET /metrics``
 - ``POST /admin/swap`` with ``{"taxonomy": "<path>"}`` — load the
-  taxonomy file server-side and hot-swap it atomically
-- ``POST /admin/apply-delta`` with ``{"delta": "<path>"}`` — load a
-  :class:`~repro.taxonomy.delta.TaxonomyDelta` file server-side and
-  publish it incrementally (only touched shards repartition)
+  taxonomy file server-side and hot-swap it atomically; an optional
+  ``"version"`` stamps the published version (replication lockstep)
+- ``POST /admin/apply-delta`` with ``{"delta": "<path>"}`` (file) or
+  ``{"delta": {...}}`` (inline
+  :meth:`~repro.taxonomy.delta.TaxonomyDelta.to_wire` object) —
+  publish a delta incrementally (only touched shards repartition);
+  optional ``base_version`` arms the 409-conflict handshake,
+  ``version`` stamps the result, ``slice`` restricts to one cluster
+  shard's keys
 - ``POST /admin/shutdown`` — stop serving after the response is sent
 
 Admin endpoints require ``Authorization: Bearer <token>`` matching the
@@ -31,7 +37,12 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import APIError, ReproError, ServiceUnavailableError
+from repro.errors import (
+    APIError,
+    DeltaConflictError,
+    ReproError,
+    ServiceUnavailableError,
+)
 from repro.taxonomy.service import WIRE_API_METHODS
 from repro.taxonomy.store import Taxonomy
 
@@ -186,51 +197,169 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
 
     # -- admin -----------------------------------------------------------------
 
+    @staticmethod
+    def _target_version(body: dict) -> int | None:
+        """The explicit publish version a body may carry (int or "vN").
+
+        Strict: booleans, floats and unparseable strings are garbage
+        (a silently-coerced stamp would desync the sender's lockstep
+        expectation), mirroring ``check_format_version``.
+        """
+        from repro.taxonomy.delta import parse_version_id
+
+        version = body.get("version")
+        if version is None:
+            return None
+        if isinstance(version, str):
+            parsed = parse_version_id(version)
+            if parsed is None:
+                raise APIError(f"malformed publish version {version!r}")
+            return parsed
+        if isinstance(version, bool) or not isinstance(version, int):
+            raise APIError(f"malformed publish version {version!r}")
+        return version
+
+    @staticmethod
+    def _base_version(body: dict) -> int | None:
+        """The handshake base a body may carry, as an int.
+
+        Only parsed here — the *comparison* happens inside the service
+        front's ``publish_delta`` under its publish lock, so two
+        concurrent publishes naming the same base can never both pass.
+        """
+        from repro.taxonomy.delta import parse_version_id
+
+        base_version = body.get("base_version")
+        if base_version is None:
+            return None
+        parsed = parse_version_id(base_version)
+        if parsed is None:
+            raise APIError(f"malformed base_version {base_version!r}")
+        return parsed
+
     def _admin_swap(self, raw_body: bytes) -> None:
         body = self._parse_json_body(raw_body)
         path = body.get("taxonomy")
         if not isinstance(path, str) or not path:
             raise APIError('swap body must be {"taxonomy": "<path>"}')
+        version = self._target_version(body)
         try:
             taxonomy = Taxonomy.load(path)
-            published = self.server.service.swap(taxonomy)
+            if version is None:
+                published = self.server.service.swap(taxonomy)
+            else:
+                published = self.server.service.swap(
+                    taxonomy, version=version
+                )
         except (ReproError, OSError) as exc:  # bad path/perms: caller error
             raise APIError(f"swap failed, still serving "
                            f"{self.server.service_version()}: {exc}") from exc
-        version = getattr(
+        version_id = getattr(
             published, "version_id", self.server.service_version()
         )
-        self._respond(200, {"swapped": True, "version": version})
+        self._respond(200, {"swapped": True, "version": version_id})
 
     def _admin_apply_delta(self, raw_body: bytes) -> None:
-        """Load a delta file server-side and publish it incrementally.
+        """Publish a delta incrementally — by file path or by value.
 
-        The delta is validated against the currently served taxonomy
-        (a delta computed against a different base is refused), so a
-        failed apply keeps the old version serving — same contract as a
-        failed ``/admin/swap``.
+        ``{"delta": "<path>"}`` loads the delta file server-side;
+        ``{"delta": {...to_wire() object...}}`` applies the inline
+        delta the replication layer ships.  Optional fields:
+        ``base_version`` arms the version handshake (409 on mismatch,
+        old version still serving), ``version`` stamps the produced
+        version (replication lockstep), ``slice`` (``{"shard_id": s,
+        "n_shards": n}``) restricts validation + application to the
+        cluster-shard keyspace this replica owns.  The delta is always
+        structurally validated against the currently served taxonomy,
+        so a failed apply keeps the old version serving — same
+        contract as a failed ``/admin/swap``.
         """
+        from repro.serving.sharding import shard_for
+        from repro.taxonomy.delta import TaxonomyDelta
+
         body = self._parse_json_body(raw_body)
-        path = body.get("delta")
-        if not isinstance(path, str) or not path:
-            raise APIError('apply-delta body must be {"delta": "<path>"}')
+        source = body.get("delta")
         publish = getattr(self.server.service, "publish_delta", None)
         if not callable(publish):
             raise APIError(
                 "this service front does not support delta publishes"
             )
+        kwargs: dict = {}
+        version = self._target_version(body)
+        if version is not None:
+            kwargs["version"] = version
+        base_version = self._base_version(body)
+        if base_version is not None:
+            kwargs["base_version"] = base_version
+        slice_spec = body.get("slice")
+        if slice_spec is not None:
+            try:
+                shard_id = int(slice_spec["shard_id"])
+                n_shards = int(slice_spec["n_shards"])
+            except (TypeError, KeyError, ValueError) as exc:
+                raise APIError(
+                    'slice must be {"shard_id": s, "n_shards": n}, '
+                    f"got {slice_spec!r}"
+                ) from exc
+            kwargs["key_filter"] = (
+                lambda key: shard_for(key, n_shards) == shard_id
+            )
+        if not (isinstance(source, str) and source) \
+                and not isinstance(source, dict):
+            raise APIError(
+                'apply-delta body must be {"delta": "<path>"} or '
+                '{"delta": {...inline delta...}}'
+            )
+        if kwargs:
+            # capability check by signature, not by catching TypeError
+            # around the call — an internal TypeError from a legitimate
+            # publish must surface as the 500 it is, not masquerade as
+            # a capability gap the replication layer would "heal"
+            import inspect
+
+            try:
+                parameters = inspect.signature(publish).parameters
+                takes_kwargs = any(
+                    p.kind == p.VAR_KEYWORD for p in parameters.values()
+                )
+                unsupported = [
+                    name
+                    for name in kwargs
+                    if name not in parameters and not takes_kwargs
+                ]
+            except (TypeError, ValueError):  # uninspectable callable
+                unsupported = []
+            if unsupported:
+                raise APIError(
+                    "this service front does not support "
+                    f"{'/'.join(sorted(unsupported))} on delta publishes"
+                )
         try:
-            delta = Taxonomy.load_delta(path)
-            published = publish(delta)
+            if isinstance(source, str):
+                delta = Taxonomy.load_delta(source)
+            else:
+                delta = TaxonomyDelta.from_wire(source, "request body")
+            published = publish(delta, **kwargs)
+        except DeltaConflictError as exc:
+            # the handshake (checked under the publish lock) refused:
+            # tell the sender which version is serving so it can pick
+            # chain catch-up vs snapshot heal
+            self._respond(409, {
+                "error": str(exc),
+                "conflict": True,
+                "version": exc.server_version
+                or self.server.service_version(),
+            })
+            return
         except (ReproError, OSError) as exc:  # bad path/base: caller error
             raise APIError(
                 f"apply-delta failed, still serving "
                 f"{self.server.service_version()}: {exc}"
             ) from exc
-        version = getattr(
+        version_id = getattr(
             published, "version_id", self.server.service_version()
         )
-        payload = {"applied": True, "version": version}
+        payload = {"applied": True, "version": version_id}
         summary = getattr(delta, "summary", None)
         if callable(summary):
             payload["delta"] = summary()
@@ -301,6 +430,11 @@ class ClusterHTTPServer(ThreadingHTTPServer):
         shard_versions = getattr(self.service, "shard_versions", None)
         if callable(shard_versions):
             payload["shard_versions"] = shard_versions()
+        lineage = getattr(self.service, "version_lineage", None)
+        if callable(lineage):
+            # the versions delta publishes produced (oldest first) —
+            # how far back this replica can be caught up by chain
+            payload["lineage"] = lineage()
         return payload
 
     def metrics_payload(self) -> dict:

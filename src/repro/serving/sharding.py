@@ -30,7 +30,8 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
 
-from repro.errors import APIError, TaxonomyError
+from repro.errors import APIError, DeltaConflictError, TaxonomyError
+from repro.taxonomy.delta import DeltaHistory, bump_version
 from repro.taxonomy.model import HYPONYM_ENTITY
 from repro.taxonomy.service import (
     WIRE_API_METHODS,
@@ -152,7 +153,7 @@ class ShardSet:
         return cls(version=version, shards=tuple(shards))
 
 
-def _validate_delta_base(shard_set: ShardSet, delta) -> None:
+def _validate_delta_base(shard_set: ShardSet, delta, keep=None) -> None:
     """Refuse a delta that was not computed against the published version.
 
     The frozen shards carry no scores, so the check is structural
@@ -162,7 +163,16 @@ def _validate_delta_base(shard_set: ShardSet, delta) -> None:
     guarantee — a mismatched delta leaves the old set serving.
     Concept-layer relations have no serving index to check and pass
     through (the mutable :meth:`Taxonomy.apply_delta` validates them).
+
+    *keep* (a key predicate) restricts the check to the slice of the
+    keyspace this store owns: a replica serving one shard of a larger
+    cluster receives per-shard-sliced deltas and must not refuse them
+    just because a record's *other* keys (mentions hashing to other
+    shards) are not served here.
     """
+
+    def kept(key: str) -> bool:
+        return keep is None or keep(key)
 
     def present(api_name: str, key: str, member: str) -> bool:
         return member in shard_set.shard_of(key).lookup(api_name, key)
@@ -174,25 +184,31 @@ def _validate_delta_base(shard_set: ShardSet, delta) -> None:
 
     for entity in delta.entities_removed:
         for mention in entity.mentions:
-            if not present("men2ent", mention, entity.page_id):
+            if kept(mention) and not present(
+                "men2ent", mention, entity.page_id
+            ):
                 refuse(f"entity {entity.page_id!r} to remove is not served")
     for old, _new in delta.entities_changed:
         for mention in old.mentions:
-            if not present("men2ent", mention, old.page_id):
+            if kept(mention) and not present("men2ent", mention, old.page_id):
                 refuse(f"entity {old.page_id!r} to change is not served")
     for entity in delta.entities_added:
         for mention in entity.mentions:
-            if present("men2ent", mention, entity.page_id):
+            if kept(mention) and present(
+                "men2ent", mention, entity.page_id
+            ):
                 refuse(f"entity {entity.page_id!r} to add already served")
     for relation in delta.relations_removed:
-        if relation.hyponym_kind == HYPONYM_ENTITY and not present(
+        if relation.hyponym_kind == HYPONYM_ENTITY and kept(
+            relation.hyponym
+        ) and not present(
             "getConcept", relation.hyponym, relation.hypernym
         ):
             refuse(f"relation {relation.key!r} to remove is not served")
     for old, _new in delta.relations_changed:
-        if old.hyponym_kind == HYPONYM_ENTITY and not present(
-            "getConcept", old.hyponym, old.hypernym
-        ):
+        if old.hyponym_kind == HYPONYM_ENTITY and kept(
+            old.hyponym
+        ) and not present("getConcept", old.hyponym, old.hypernym):
             refuse(f"relation {old.key!r} to change is not served")
     removed_keys = {r.key for r in delta.relations_removed}
     for relation in delta.relations_added:
@@ -201,6 +217,7 @@ def _validate_delta_base(shard_set: ShardSet, delta) -> None:
         if (
             relation.hyponym_kind == HYPONYM_ENTITY
             and relation.key not in removed_keys
+            and kept(relation.hyponym)
             and present("getConcept", relation.hyponym, relation.hypernym)
         ):
             refuse(f"relation {relation.key!r} to add already served")
@@ -232,6 +249,9 @@ class ShardedSnapshotStore(BatchedServingAPI):
         self._lock = threading.Lock()
         self._shard_set = ShardSet.partition(version, taxonomy, n_shards)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Ring of applied deltas with their version lineage — what a
+        #: lagging replica catches up from (chain instead of snapshot).
+        self.delta_history = DeltaHistory()
 
     # -- versioning ------------------------------------------------------------
 
@@ -261,23 +281,50 @@ class ShardedSnapshotStore(BatchedServingAPI):
         """Shard-local serving-index stats, in shard order."""
         return [s.read_view.stats() for s in self._shard_set.shards]
 
-    def swap(self, taxonomy: "Taxonomy | ReadOptimizedTaxonomy") -> ShardSet:
+    def version_lineage(self) -> list[str]:
+        """Version ids the delta publishes produced, oldest first.
+
+        The replica lineage ``/version`` reports; see
+        :meth:`~repro.taxonomy.delta.DeltaHistory.lineage_ids`.
+        """
+        return self.delta_history.lineage_ids()
+
+    def swap(
+        self,
+        taxonomy: "Taxonomy | ReadOptimizedTaxonomy",
+        *,
+        version: int | None = None,
+    ) -> ShardSet:
         """Publish a rebuilt taxonomy across every shard atomically.
 
         The new set is fully partitioned *before* the lock-protected
         reference assignment: if partitioning raises, the store keeps
         serving the old version untouched (all-or-nothing), and readers
         that pinned the old set mid-batch finish on it.
+
+        *version* stamps the published set explicitly (it must be newer
+        than the current one) — how a snapshot-healed replica is
+        brought back into lockstep with the cluster's version lineage
+        instead of restarting its own count.
         """
         with self._lock:
             shard_set = ShardSet.partition(
-                self._shard_set.version + 1, taxonomy, self._shard_set.n_shards
+                bump_version(self._shard_set.version, version),
+                taxonomy,
+                self._shard_set.n_shards,
             )
             self._shard_set = shard_set
             self.metrics.swaps += 1
             return shard_set
 
-    def publish_delta(self, delta) -> ShardSet:
+    def publish_delta(
+        self,
+        delta,
+        *,
+        key_filter=None,
+        version: int | None = None,
+        base_version: int | None = None,
+    ) -> ShardSet:
         """Publish a :class:`~repro.taxonomy.delta.TaxonomyDelta`,
         repartitioning only the shards whose keys it touches.
 
@@ -286,11 +333,25 @@ class ShardedSnapshotStore(BatchedServingAPI):
         those keys are carried into the new :class:`ShardSet` as the
         *same objects* — identical :class:`ShardSnapshot` and read view,
         still stamped with the version they were last rebuilt at (the
-        per-shard lineage ``shard_versions()`` reports).  Touched shards
-        get a fresh read view advanced touched-keys-only through
-        :meth:`ReadOptimizedTaxonomy.apply_delta` with this shard's hash
-        predicate as the key filter, so each shard applies exactly its
-        slice of the delta.
+        per-shard lineage ``shard_versions()`` reports).  An empty delta
+        therefore touches nothing: every shard crosses the publish
+        object-identical and no ``shard_versions()`` entry moves (only
+        the set version advances, keeping the lineage handshake alive).
+        Touched shards get a fresh read view advanced touched-keys-only
+        through :meth:`ReadOptimizedTaxonomy.apply_delta` with this
+        shard's hash predicate as the key filter, so each shard applies
+        exactly its slice of the delta.
+
+        *key_filter* further restricts both validation and application
+        to the keys this store owns — a remote replica serving one
+        shard's slice of a larger cluster passes the cluster-level
+        shard predicate so a sliced delta applies cleanly.  *version*
+        stamps the new set explicitly (replication lockstep, see
+        :meth:`swap`).  *base_version* is the replication handshake,
+        checked **under the publish lock** so two concurrent publishes
+        naming the same base can never both pass: a mismatch raises
+        :class:`~repro.errors.DeltaConflictError` (the HTTP layer's
+        409) with the old set still serving.
 
         The swap guarantee is unchanged: the complete replacement set is
         assembled before one atomic reference assignment, readers pin
@@ -299,12 +360,19 @@ class ShardedSnapshotStore(BatchedServingAPI):
         """
         with self._lock:
             current = self._shard_set
-            _validate_delta_base(current, delta)
+            if base_version is not None and base_version != current.version:
+                raise DeltaConflictError(
+                    f"delta base v{base_version} does not match the "
+                    f"published version {current.version_id}",
+                    server_version=current.version_id,
+                )
+            target = bump_version(current.version, version)
+            _validate_delta_base(current, delta, key_filter)
             n_shards = current.n_shards
-            version = current.version + 1
             touched = {
                 shard_for(key, n_shards)
                 for key in delta.touched_serving_keys()
+                if key_filter is None or key_filter(key)
             }
             shards: list[ShardSnapshot] = []
             for shard in current.shards:
@@ -316,18 +384,20 @@ class ShardedSnapshotStore(BatchedServingAPI):
                     delta,
                     key_filter=lambda key, sid=shard_id: (
                         shard_for(key, n_shards) == sid
+                        and (key_filter is None or key_filter(key))
                     ),
                 )
                 shards.append(
                     ShardSnapshot(
                         shard_id=shard_id,
-                        version=version,
+                        version=target,
                         read_view=read_view,
                     )
                 )
-            shard_set = ShardSet(version=version, shards=tuple(shards))
+            shard_set = ShardSet(version=target, shards=tuple(shards))
             self._shard_set = shard_set
             self.metrics.swaps += 1
+            self.delta_history.record(current.version, target, delta)
             return shard_set
 
     # -- serving hooks ---------------------------------------------------------

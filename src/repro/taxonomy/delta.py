@@ -13,7 +13,9 @@ taxonomies: entities and isA relations *added*, *removed* and *changed*
   :meth:`~repro.taxonomy.service.TaxonomyService.publish_delta`,
 - the sharded store republishes only the shards whose keys the delta
   touches (:meth:`~repro.serving.sharding.ShardedSnapshotStore.publish_delta`),
-- the HTTP cluster accepts one at ``POST /admin/apply-delta``.
+- the HTTP cluster accepts one at ``POST /admin/apply-delta`` — by
+  server-side path or inline as the :meth:`TaxonomyDelta.to_wire` JSON
+  object the replication layer ships to remote replicas.
 
 The non-negotiable equivalence contract: for any two taxonomies *old*
 and *new*, applying ``TaxonomyDelta.compute(old, new)`` to *old* yields
@@ -22,16 +24,31 @@ byte-identical to saving *new*.  ``changed`` entries carry both the old
 and the new record, so a delta is self-describing (appliable without
 the base at hand, and refusable when the base does not match).
 
+Deltas also *chain*: :func:`compose` squashes an ordered sequence of
+deltas (night 1 → night 2 → ... → night N) into one equivalent delta —
+add-then-remove cancels, change-of-change collapses to
+(first old, last new) — with its own contract: applying the composed
+delta to the chain's base is byte-identical to applying the chain one
+by one.  :class:`DeltaHistory` keeps a bounded ring of applied deltas
+keyed by version so a lagging replica can catch up by chain instead of
+a full snapshot, and :meth:`TaxonomyDelta.slice` restricts a delta to
+the serving keys a shard owns (the per-shard wire payload).
+
 Persistence is JSONL like the taxonomy itself: a header line with a
 ``format_version``, then one record per line, written atomically.
+Delta files have always been versioned, so a header *missing*
+``format_version`` is malformed (unlike taxonomy files, which accept
+the legacy pre-versioning layout).
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import TaxonomyError
 from repro.taxonomy.model import HYPONYM_ENTITY, Entity, IsARelation
@@ -224,6 +241,55 @@ class TaxonomyDelta:
                 yield relation.hyponym
                 yield relation.hypernym
 
+    # -- slicing -----------------------------------------------------------------
+
+    def slice(self, keep: Callable[[str], bool]) -> "TaxonomyDelta":
+        """The sub-delta touching only serving keys *keep* accepts.
+
+        This is the per-shard wire payload of delta-aware replication: a
+        record is kept iff at least one of its serving keys (mentions
+        for entities, both endpoints for entity-kind relations) passes
+        *keep* — the receiving replica applies it under the same key
+        filter, so keys outside its shard are never half-updated.
+        Records with no serving keys at all (concept-layer relations,
+        pure rescores) serve nothing and are dropped; headline numbers
+        are cleared for the same reason (the receiver recomputes its
+        shard-local counts on apply).
+        """
+
+        def keep_entity(*records: Entity) -> bool:
+            return any(
+                keep(mention)
+                for record in records
+                for mention in record.mentions
+            )
+
+        def keep_relation(relation: IsARelation) -> bool:
+            return relation.hyponym_kind == HYPONYM_ENTITY and (
+                keep(relation.hyponym) or keep(relation.hypernym)
+            )
+
+        return TaxonomyDelta(
+            name=self.name,
+            entities_added=tuple(
+                e for e in self.entities_added if keep_entity(e)
+            ),
+            entities_removed=tuple(
+                e for e in self.entities_removed if keep_entity(e)
+            ),
+            entities_changed=tuple(
+                (old, new)
+                for old, new in self.entities_changed
+                if keep_entity(old, new)
+            ),
+            relations_added=tuple(
+                r for r in self.relations_added if keep_relation(r)
+            ),
+            relations_removed=tuple(
+                r for r in self.relations_removed if keep_relation(r)
+            ),
+        )
+
     # -- persistence -------------------------------------------------------------
 
     def records(self) -> Iterator[dict]:
@@ -249,6 +315,44 @@ class TaxonomyDelta:
                 "new": _relation_dict(new),
             }
 
+    def to_wire(self) -> dict:
+        """The delta as one JSON-serializable object (header + records).
+
+        This is the inline body ``POST /admin/apply-delta`` accepts, so
+        a delta can be shipped to a remote replica *by value* — the file
+        persistence (:func:`save_delta`) is the same header and records,
+        one JSON document per line instead of one object.
+        """
+        stats = self.new_stats.as_dict() if self.new_stats is not None else None
+        return {
+            "format": DELTA_KIND,
+            "format_version": DELTA_FORMAT_VERSION,
+            "name": self.name,
+            "new_n_relations": self.new_n_relations,
+            "new_stats": stats,
+            "records": list(self.records()),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, where: str = "wire") -> "TaxonomyDelta":
+        """Rebuild a delta from a :meth:`to_wire` object.
+
+        Raises :class:`~repro.errors.TaxonomyError` on anything
+        malformed — wrong ``format``, missing or garbage
+        ``format_version``, unknown record kinds — never ``KeyError``.
+        """
+        if not isinstance(payload, dict):
+            raise TaxonomyError(
+                f"{where}: delta payload must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        records = payload.get("records")
+        if not isinstance(records, list):
+            raise TaxonomyError(
+                f"{where}: delta payload needs a 'records' list"
+            )
+        return _assemble_delta(payload, records, where)
+
 
 def save_delta(delta: TaxonomyDelta, path: str | Path) -> None:
     """Write *delta* as JSONL, atomically (temp file + ``os.replace``)."""
@@ -273,23 +377,136 @@ def save_delta(delta: TaxonomyDelta, path: str | Path) -> None:
     _atomic_write(target, _write)
 
 
-def load_delta(path: str | Path) -> TaxonomyDelta:
-    """Read a delta written by :func:`save_delta`."""
+class _DeltaParts:
+    """Accumulates typed record lists while parsing a delta body."""
+
+    def __init__(self) -> None:
+        self.entities_added: list[Entity] = []
+        self.entities_removed: list[Entity] = []
+        self.entities_changed: list[tuple[Entity, Entity]] = []
+        self.relations_added: list[IsARelation] = []
+        self.relations_removed: list[IsARelation] = []
+        self.relations_changed: list[tuple[IsARelation, IsARelation]] = []
+
+    def dispatch(self, record: dict, where: str) -> None:
+        if not isinstance(record, dict):
+            raise TaxonomyError(
+                f"{where}: delta record must be a JSON object, "
+                f"got {type(record).__name__}"
+            )
+        kind = record.get("kind")
+        try:
+            if kind == "entity_add":
+                self.entities_added.append(_entity_from(record))
+            elif kind == "entity_remove":
+                self.entities_removed.append(_entity_from(record))
+            elif kind == "entity_change":
+                self.entities_changed.append(
+                    (_entity_from(record["old"]), _entity_from(record["new"]))
+                )
+            elif kind == "relation_add":
+                self.relations_added.append(_relation_from(record))
+            elif kind == "relation_remove":
+                self.relations_removed.append(_relation_from(record))
+            elif kind == "relation_change":
+                self.relations_changed.append(
+                    (
+                        _relation_from(record["old"]),
+                        _relation_from(record["new"]),
+                    )
+                )
+            else:
+                raise TaxonomyError(
+                    f"{where}: unknown delta record kind {kind!r}"
+                )
+        except KeyError as exc:  # a change record missing its old/new half
+            raise TaxonomyError(
+                f"{where}: malformed {kind} record: missing {exc}"
+            ) from exc
+
+    def build(
+        self,
+        name: str,
+        new_stats: "TaxonomyStats | None",
+        new_n_relations: int,
+    ) -> TaxonomyDelta:
+        return TaxonomyDelta(
+            name=name,
+            entities_added=tuple(self.entities_added),
+            entities_removed=tuple(self.entities_removed),
+            entities_changed=tuple(self.entities_changed),
+            relations_added=tuple(self.relations_added),
+            relations_removed=tuple(self.relations_removed),
+            relations_changed=tuple(self.relations_changed),
+            new_stats=new_stats,
+            new_n_relations=new_n_relations,
+        )
+
+
+def _parse_delta_header(
+    header: dict, where: str
+) -> tuple[str, "TaxonomyStats | None", int]:
+    """Validate a delta header; returns (name, new_stats, new_n_relations).
+
+    Every delta ever written carried a ``format_version`` (the format
+    was born versioned in the PR that introduced it), so a missing or
+    garbage version is a malformed file, not a legacy one — both raise
+    :class:`~repro.errors.TaxonomyError` with the offending location.
+    """
     from repro.taxonomy.store import TaxonomyStats, check_format_version
 
+    if header.get("format") != DELTA_KIND:
+        raise TaxonomyError(
+            f"{where}: not a taxonomy delta "
+            f"(format={header.get('format')!r})"
+        )
+    if "format_version" not in header:
+        raise TaxonomyError(
+            f"{where}: delta header is missing format_version"
+        )
+    check_format_version(header, DELTA_FORMAT_VERSION, where)
+    name = header.get("name", "CN-Probase")
+    try:
+        new_n_relations = int(header.get("new_n_relations", 0))
+    except (TypeError, ValueError) as exc:
+        raise TaxonomyError(
+            f"{where}: malformed new_n_relations "
+            f"{header.get('new_n_relations')!r}"
+        ) from exc
+    stats = header.get("new_stats")
+    new_stats: "TaxonomyStats | None" = None
+    if stats is not None:
+        try:
+            new_stats = TaxonomyStats(
+                n_entities=stats["entities"],
+                n_concepts=stats["concepts"],
+                n_entity_concept=stats["entity_concept_relations"],
+                n_subconcept_concept=stats["subconcept_concept_relations"],
+            )
+        except (TypeError, KeyError) as exc:
+            raise TaxonomyError(
+                f"{where}: malformed new_stats header: {exc}"
+            ) from exc
+    return name, new_stats, new_n_relations
+
+
+def _assemble_delta(
+    header: dict, records: Iterable[dict], where: str
+) -> TaxonomyDelta:
+    name, new_stats, new_n_relations = _parse_delta_header(header, where)
+    parts = _DeltaParts()
+    for record in records:
+        parts.dispatch(record, where)
+    return parts.build(name, new_stats, new_n_relations)
+
+
+def load_delta(path: str | Path) -> TaxonomyDelta:
+    """Read a delta written by :func:`save_delta`."""
     source = Path(path)
     if not source.exists():
         raise TaxonomyError(f"delta file not found: {source}")
-    name = "CN-Probase"
-    new_stats: "TaxonomyStats | None" = None
-    new_n_relations = 0
-    entities_added: list[Entity] = []
-    entities_removed: list[Entity] = []
-    entities_changed: list[tuple[Entity, Entity]] = []
-    relations_added: list[IsARelation] = []
-    relations_removed: list[IsARelation] = []
-    relations_changed: list[tuple[IsARelation, IsARelation]] = []
-    saw_header = False
+    header: tuple | None = None
+    parts = _DeltaParts()
     with source.open("r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -301,62 +518,241 @@ def load_delta(path: str | Path) -> TaxonomyDelta:
                 raise TaxonomyError(
                     f"{source}:{line_no}: invalid JSON: {exc}"
                 ) from exc
-            kind = record.get("kind")
-            if kind == "header":
-                if record.get("format") != DELTA_KIND:
-                    raise TaxonomyError(
-                        f"{source}:{line_no}: not a taxonomy delta "
-                        f"(format={record.get('format')!r})"
-                    )
-                check_format_version(
-                    record, DELTA_FORMAT_VERSION, f"{source}:{line_no}"
-                )
-                name = record.get("name", name)
-                new_n_relations = int(record.get("new_n_relations", 0))
-                stats = record.get("new_stats")
-                if stats is not None:
-                    new_stats = TaxonomyStats(
-                        n_entities=stats["entities"],
-                        n_concepts=stats["concepts"],
-                        n_entity_concept=stats["entity_concept_relations"],
-                        n_subconcept_concept=stats[
-                            "subconcept_concept_relations"
-                        ],
-                    )
-                saw_header = True
-            elif kind == "entity_add":
-                entities_added.append(_entity_from(record))
-            elif kind == "entity_remove":
-                entities_removed.append(_entity_from(record))
-            elif kind == "entity_change":
-                entities_changed.append(
-                    (_entity_from(record["old"]), _entity_from(record["new"]))
-                )
-            elif kind == "relation_add":
-                relations_added.append(_relation_from(record))
-            elif kind == "relation_remove":
-                relations_removed.append(_relation_from(record))
-            elif kind == "relation_change":
-                relations_changed.append(
-                    (
-                        _relation_from(record["old"]),
-                        _relation_from(record["new"]),
-                    )
-                )
+            if isinstance(record, dict) and record.get("kind") == "header":
+                header = _parse_delta_header(record, f"{source}:{line_no}")
             else:
-                raise TaxonomyError(
-                    f"{source}:{line_no}: unknown delta record kind {kind!r}"
-                )
-    if not saw_header:
+                parts.dispatch(record, f"{source}:{line_no}")
+    if header is None:
         raise TaxonomyError(f"{source}: missing taxonomy-delta header line")
+    return parts.build(*header)
+
+
+def compose(deltas: Sequence[TaxonomyDelta]) -> TaxonomyDelta:
+    """Squash an ordered chain of deltas into one equivalent delta.
+
+    The chain-equivalence contract: for a base taxonomy *T* that
+    ``deltas[0]`` applies to, ``T.apply_delta(compose(deltas))`` saves
+    byte-identically to applying the chain one by one (and therefore to
+    a cold full rebuild of the final state) — asserted by the test
+    suite and ``benchmarks/bench_delta_chain.py``.
+
+    Per record identity (entity page_id / relation key) only the *net*
+    change survives: add-then-remove cancels to nothing,
+    change-of-change collapses to (first old, last new), remove-then-
+    re-add of an identical record cancels, and a relation whose
+    ``hyponym_kind`` flipped net-to-net is emitted as remove + add
+    (the same convention :meth:`TaxonomyDelta.compute` uses, because
+    the pair moves between serving indexes).  Headline numbers and the
+    name come from the last delta — the chain's final state.
+
+    The deltas must actually chain: each op's expected base state must
+    match the net state the earlier deltas left, otherwise
+    :class:`~repro.errors.TaxonomyError` is raised (composing
+    deltas from two unrelated nights would otherwise silently corrupt
+    whatever it was applied to).
+    """
+    if not deltas:
+        raise TaxonomyError("compose needs at least one delta")
+
+    entity_net: dict[str, list] = {}
+    relation_net: dict[tuple[str, str], list] = {}
+
+    def advance(net: dict, key, old, new, what: str) -> None:
+        tracked = net.get(key)
+        if tracked is None:
+            net[key] = [old, new]
+            return
+        if tracked[1] != old:
+            raise TaxonomyError(
+                f"deltas do not chain: {what} {key!r} expects base "
+                f"{old!r} but the earlier deltas leave {tracked[1]!r}"
+            )
+        tracked[1] = new
+
+    for delta in deltas:
+        # removals before additions: one delta may remove and re-add
+        # the same relation key (a hyponym_kind flip), and that pair
+        # only chains in remove-then-add order
+        for entity in delta.entities_removed:
+            advance(entity_net, entity.page_id, entity, None, "entity")
+        for old, new in delta.entities_changed:
+            advance(entity_net, old.page_id, old, new, "entity")
+        for entity in delta.entities_added:
+            advance(entity_net, entity.page_id, None, entity, "entity")
+        for relation in delta.relations_removed:
+            advance(relation_net, relation.key, relation, None, "relation")
+        for old, new in delta.relations_changed:
+            advance(relation_net, old.key, old, new, "relation")
+        for relation in delta.relations_added:
+            advance(relation_net, relation.key, None, relation, "relation")
+
+    entities_added: list[Entity] = []
+    entities_removed: list[Entity] = []
+    entities_changed: list[tuple[Entity, Entity]] = []
+    for page_id in sorted(entity_net):
+        old, new = entity_net[page_id]
+        if old is None and new is not None:
+            entities_added.append(new)
+        elif old is not None and new is None:
+            entities_removed.append(old)
+        elif old != new:  # both present; identical pairs cancelled out
+            entities_changed.append((old, new))
+
+    relations_added: list[IsARelation] = []
+    relations_removed: list[IsARelation] = []
+    relations_changed: list[tuple[IsARelation, IsARelation]] = []
+    for key in sorted(relation_net):
+        old, new = relation_net[key]
+        if old is None and new is not None:
+            relations_added.append(new)
+        elif old is not None and new is None:
+            relations_removed.append(old)
+        elif old != new:
+            if old.hyponym_kind != new.hyponym_kind:
+                # net kind flip: the pair moves between the serving
+                # indexes — remove + add, exactly like compute()
+                relations_removed.append(old)
+                relations_added.append(new)
+            else:
+                relations_changed.append((old, new))
+
+    last = deltas[-1]
     return TaxonomyDelta(
-        name=name,
+        name=last.name,
         entities_added=tuple(entities_added),
         entities_removed=tuple(entities_removed),
         entities_changed=tuple(entities_changed),
-        relations_added=tuple(relations_added),
-        relations_removed=tuple(relations_removed),
+        relations_added=tuple(sorted(relations_added, key=lambda r: r.key)),
+        relations_removed=tuple(
+            sorted(relations_removed, key=lambda r: r.key)
+        ),
         relations_changed=tuple(relations_changed),
-        new_stats=new_stats,
-        new_n_relations=new_n_relations,
+        new_stats=last.new_stats,
+        new_n_relations=last.new_n_relations,
     )
+
+
+def parse_version_id(version_id: object) -> int | None:
+    """``"v3"`` → 3; anything else → ``None``.
+
+    The one parser for the wire's version-id spelling — the router's
+    chain-catch-up decision and the server's publish stamping must
+    never drift apart on what a version id looks like.
+    """
+    if isinstance(version_id, str) and version_id.startswith("v"):
+        try:
+            return int(version_id[1:])
+        except ValueError:
+            return None
+    return None
+
+
+def bump_version(current: int, requested: int | None) -> int:
+    """The version a publish produces: ``current + 1``, or an explicit
+    newer stamp.
+
+    Every publishing front (service, sharded store, router) shares
+    this rule, so a stale explicit stamp — e.g. an orchestration layer
+    re-sending last night's publish — is refused identically
+    everywhere instead of silently rewinding one front's lineage.
+    """
+    if requested is None:
+        return current + 1
+    if requested <= current:
+        raise TaxonomyError(
+            f"publish version v{requested} must be newer than the "
+            f"published v{current}"
+        )
+    return requested
+
+
+#: How many applied deltas a :class:`DeltaHistory` ring keeps.  Covers a
+#: month of nightly refreshes — a replica lagging further than that is
+#: healed by a full snapshot, which at that distance is cheaper anyway.
+DELTA_HISTORY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """One published delta with its version lineage endpoints."""
+
+    base_version: int
+    version: int
+    delta: TaxonomyDelta
+
+
+class DeltaHistory:
+    """Bounded ring of applied deltas, keyed by version lineage.
+
+    Every delta publish records ``(base_version → version, delta)``;
+    :meth:`chain` walks the ring to answer "what sequence of deltas
+    turns version *F* into version *T*?" — which is how a late-joining
+    replica catches up by chain (one composed delta over the wire)
+    instead of a full snapshot.  A full swap breaks the lineage by
+    design (its version has no entry), so a chain across it correctly
+    comes back ``None`` and the caller falls back to a snapshot.
+
+    Thread-safe: publishes happen under the owning store's lock but
+    reads (the replication path) may come from any thread.
+    """
+
+    def __init__(self, maxlen: int = DELTA_HISTORY_SIZE) -> None:
+        if maxlen < 1:
+            raise TaxonomyError(f"history maxlen must be >= 1, got {maxlen}")
+        self._entries: deque[AppliedDelta] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def record(
+        self, base_version: int, version: int, delta: TaxonomyDelta
+    ) -> None:
+        with self._lock:
+            self._entries.append(AppliedDelta(base_version, version, delta))
+
+    def entries(self) -> list[AppliedDelta]:
+        with self._lock:
+            return list(self._entries)
+
+    def versions(self) -> list[int]:
+        """The versions delta publishes produced, oldest first."""
+        return [entry.version for entry in self.entries()]
+
+    def lineage_ids(self) -> list[str]:
+        """:meth:`versions` as wire version ids (``["v2", "v3"]``).
+
+        What every front's ``version_lineage()`` (and ``/version``)
+        reports: a contiguous run means those versions are reachable by
+        chain; a full swap records nothing, so gaps mark where catch-up
+        must fall back to a snapshot.
+        """
+        return [f"v{version}" for version in self.versions()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def chain(
+        self, from_version: int, to_version: int
+    ) -> list[TaxonomyDelta] | None:
+        """The recorded delta sequence from one version to another.
+
+        Returns ``None`` when the ring does not cover the span — the
+        start has been evicted, the lineage was broken by a full swap,
+        or the versions never existed.  ``from_version == to_version``
+        is the empty chain.
+        """
+        if from_version == to_version:
+            return []
+        by_base = {
+            entry.base_version: entry for entry in self.entries()
+        }
+        chain: list[TaxonomyDelta] = []
+        cursor = from_version
+        while cursor != to_version:
+            entry = by_base.get(cursor)
+            if entry is None:
+                return None
+            chain.append(entry.delta)
+            cursor = entry.version
+            if len(chain) > len(by_base):  # defensive: lineage loop
+                return None
+        return chain

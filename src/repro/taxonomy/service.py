@@ -40,8 +40,9 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Sequence
 
-from repro.errors import APIError
+from repro.errors import APIError, DeltaConflictError
 from repro.taxonomy.api import TaxonomyAPI
+from repro.taxonomy.delta import DeltaHistory, bump_version
 from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy, TaxonomyStats
 
 #: How many recent per-call latencies each :class:`APILatency` keeps for
@@ -364,6 +365,10 @@ class TaxonomyService(BatchedServingAPI):
         self._lock = threading.Lock()
         self._snapshot = TaxonomySnapshot.publish(version, taxonomy)
         self.metrics = ServiceMetrics()
+        #: Bounded ring of applied deltas + the versions they produced,
+        #: so a late-joining replica can catch up by chain (compose the
+        #: missed deltas) instead of pulling a full snapshot.
+        self.delta_history = DeltaHistory()
 
     # -- snapshots -------------------------------------------------------------
 
@@ -376,22 +381,42 @@ class TaxonomyService(BatchedServingAPI):
     def version_id(self) -> str:
         return self._snapshot.version_id
 
-    def swap(self, taxonomy: Taxonomy) -> TaxonomySnapshot:
+    def version_lineage(self) -> list[str]:
+        """Version ids the delta publishes produced, oldest first.
+
+        A full :meth:`swap` records nothing (it breaks the delta
+        chain), so gaps in the lineage mark where a chain catch-up
+        must fall back to a snapshot.
+        """
+        return self.delta_history.lineage_ids()
+
+    def swap(
+        self, taxonomy: Taxonomy, *, version: int | None = None
+    ) -> TaxonomySnapshot:
         """Publish a rebuilt taxonomy; returns the new snapshot.
 
         The swap is a single reference assignment under a lock: callers
         holding the previous snapshot (e.g. mid-batch) keep a fully
-        consistent view, new calls see only the new version.
+        consistent view, new calls see only the new version.  *version*
+        stamps the snapshot explicitly (must be newer than the current
+        one) — how a replica healed from a snapshot rejoins the
+        cluster's version lineage.
         """
         with self._lock:
             snapshot = TaxonomySnapshot.publish(
-                self._snapshot.version + 1, taxonomy
+                bump_version(self._snapshot.version, version), taxonomy
             )
             self._snapshot = snapshot
             self.metrics.swaps += 1
             return snapshot
 
-    def publish_delta(self, delta) -> TaxonomySnapshot:
+    def publish_delta(
+        self,
+        delta,
+        *,
+        version: int | None = None,
+        base_version: int | None = None,
+    ) -> TaxonomySnapshot:
         """Publish a :class:`~repro.taxonomy.delta.TaxonomyDelta`.
 
         The refresh-cost-proportional-to-change version of :meth:`swap`:
@@ -408,6 +433,16 @@ class TaxonomyService(BatchedServingAPI):
         """
         with self._lock:
             current = self._snapshot
+            if base_version is not None and base_version != current.version:
+                # the replication handshake, checked under the publish
+                # lock so concurrent publishes naming the same base
+                # can never both pass
+                raise DeltaConflictError(
+                    f"delta base v{base_version} does not match the "
+                    f"published version {current.version_id}",
+                    server_version=current.version_id,
+                )
+            target = bump_version(current.version, version)
             taxonomy = current.taxonomy.copy().apply_delta(delta)
             # Headline numbers come from the applied store itself — the
             # same source a full freeze() would use — so they are right
@@ -419,13 +454,14 @@ class TaxonomyService(BatchedServingAPI):
                 name=taxonomy.name,
             )
             snapshot = TaxonomySnapshot(
-                version=current.version + 1,
+                version=target,
                 taxonomy=taxonomy,
                 api=TaxonomyAPI(read_view),
                 read_view=read_view,
             )
             self._snapshot = snapshot
             self.metrics.swaps += 1
+            self.delta_history.record(current.version, target, delta)
             return snapshot
 
     # -- internals -------------------------------------------------------------

@@ -53,7 +53,9 @@ def check_format_version(
     version = header.get("format_version")
     if version is None:
         return  # legacy file, pre-versioning layout
-    if not isinstance(version, int) or version < 1:
+    # bool is an int subclass, but `"format_version": true` is garbage
+    if isinstance(version, bool) or not isinstance(version, int) \
+            or version < 1:
         raise TaxonomyError(
             f"{where}: malformed format_version {version!r}"
         )

@@ -316,3 +316,95 @@ class TestConstruction:
         store = ShardedSnapshotStore(Taxonomy(), n_shards=1)
         with pytest.raises(APIError):
             ReplicatedRouter.from_store(store, replicas=0)
+
+
+class TestRoundRobinConcurrency:
+    """The _pick read-increment and healthy filtering are one atomic
+    step, and the cursor advances past the *chosen* replica — so a
+    shrunken healthy subset still splits load evenly."""
+
+    def test_survivors_split_load_evenly_when_one_replica_dies(self):
+        a = FakeReplica("a", {"k": ["x"]})
+        b = FakeReplica("b", {"k": ["x"]})
+        c = FakeReplica("c", {"k": ["x"]})
+        router = one_shard_router([a, b, c])
+        router.mark_unhealthy(0, 1)  # b is down
+        for _ in range(10):
+            assert router.men2ent("k") == ["x"]
+        # strict alternation between the survivors: 5/5, never 6/4 (the
+        # pre-fix rotation let the replica after the dead slot absorb a
+        # double share)
+        assert len(a.calls) == 5
+        assert len(c.calls) == 5
+        assert len(b.calls) == 0
+
+    def test_rotation_is_exact_under_concurrency(self):
+        import threading
+
+        a = FakeReplica("a", {"k": ["x"]})
+        b = FakeReplica("b", {"k": ["x"]})
+        c = FakeReplica("c", {"k": ["x"]})
+        router = one_shard_router([a, b, c])
+        c.failing = True  # auto-probes must not resurrect it mid-test
+        router.mark_unhealthy(0, 2)  # c is down: survivors must alternate
+
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+        errors: list[Exception] = []
+
+        def hammer():
+            barrier.wait()
+            try:
+                for _ in range(per_thread):
+                    assert router.men2ent("k") == ["x"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total = n_threads * per_thread
+        # picks are atomic: every call answered, and the two healthy
+        # replicas split the even total exactly — no lost increments,
+        # no double-served rotation slots
+        assert len(a.calls) + len(b.calls) == total
+        assert len(a.calls) == len(b.calls) == total // 2
+        assert len(c.calls) == 0
+
+    def test_recovered_replica_rejoins_even_rotation(self):
+        a = FakeReplica("a", {"k": ["x"]})
+        b = FakeReplica("b", {"k": ["x"]})
+        router = one_shard_router([a, b])
+        router.mark_unhealthy(0, 0)
+        for _ in range(4):
+            router.men2ent("k")
+        assert len(b.calls) == 4
+        assert router.probe(0, 0)
+        a.calls.clear()
+        b.calls.clear()
+        for _ in range(6):
+            router.men2ent("k")
+        assert len(a.calls) == 3
+        assert len(b.calls) == 3
+
+
+class TestAttachReplica:
+    def test_attached_backend_joins_the_rotation(self):
+        a = FakeReplica("a", {"k": ["x"]})
+        router = one_shard_router([a])
+        late = FakeReplica("late", {"k": ["x"]})
+        router.attach_replica(0, late)
+        for _ in range(4):
+            assert router.men2ent("k") == ["x"]
+        assert len(a.calls) == 2
+        assert len(late.calls) == 2
+
+    def test_unknown_shard_is_refused(self):
+        router = one_shard_router([FakeReplica("a")])
+        with pytest.raises(APIError, match="no shard 3"):
+            router.attach_replica(3, FakeReplica("b"))

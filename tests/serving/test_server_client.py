@@ -388,3 +388,131 @@ class TestApplyDeltaEndpoint:
             assert excinfo.value.code == 400
         finally:
             server.close()
+
+
+class TestRetrySemantics:
+    """Batched-read POSTs retry; admin mutations are never resent."""
+
+    class _CountingServer:
+        """A scripted HTTP server: per-path request counts + failures."""
+
+        def __init__(self, fail_times: dict[str, int]):
+            import threading
+            from http.server import (
+                BaseHTTPRequestHandler,
+                ThreadingHTTPServer,
+            )
+
+            counts: dict[str, int] = {}
+            outer = self
+
+            class Handler(BaseHTTPRequestHandler):
+                protocol_version = "HTTP/1.1"
+
+                def log_message(self, fmt, *args):  # noqa: A002
+                    pass
+
+                def _reply(self, status, payload):
+                    body = json.dumps(payload).encode("utf-8")
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+
+                def _serve(self):
+                    length = int(self.headers.get("Content-Length") or 0)
+                    raw = self.rfile.read(length) if length else b""
+                    path = self.path.split("?")[0]
+                    counts[path] = counts.get(path, 0) + 1
+                    if counts[path] <= outer.fail_times.get(path, 0):
+                        self._reply(500, {"error": "scripted failure"})
+                        return
+                    if path.startswith("/v1/"):
+                        if raw:
+                            n = len(json.loads(raw)["arguments"])
+                            self._reply(200, {"results": [[]] * n})
+                        else:
+                            self._reply(200, {"results": []})
+                    elif path == "/admin/swap":
+                        self._reply(200, {"swapped": True, "version": "v2"})
+                    elif path == "/admin/apply-delta":
+                        self._reply(200, {"applied": True, "version": "v2"})
+                    else:
+                        self._reply(404, {"error": "no such endpoint"})
+
+                do_GET = do_POST = _serve  # noqa: N815
+
+            self.fail_times = fail_times
+            self.counts = counts
+            self._server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+            host, port = self._server.server_address[:2]
+            self.url = f"http://{host}:{port}"
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, daemon=True
+            )
+            self._thread.start()
+
+        def close(self):
+            self._server.shutdown()
+            self._server.server_close()
+
+    @pytest.fixture
+    def scripted(self, request):
+        def start(fail_times):
+            server = self._CountingServer(fail_times)
+            request.addfinalizer(server.close)
+            return server
+
+        return start
+
+    def test_batched_read_post_is_retried_after_5xx(self, scripted):
+        server = scripted({"/v1/men2ent": 1})  # first attempt 500s
+        client = TaxonomyClient(server.url, backoff_seconds=0.0)
+        assert client.men2ent_batch(["华仔", "周杰伦"]) == [[], []]
+        assert server.counts["/v1/men2ent"] == 2
+
+    def test_single_get_is_retried_after_5xx(self, scripted):
+        server = scripted({"/v1/getConcept": 1})
+        client = TaxonomyClient(server.url, backoff_seconds=0.0)
+        assert client.get_concepts("刘德华#0") == []
+        assert server.counts["/v1/getConcept"] == 2
+
+    def test_swap_is_never_resent(self, scripted):
+        server = scripted({"/admin/swap": 99})  # always fails
+        client = TaxonomyClient(
+            server.url, retries=3, backoff_seconds=0.0, admin_token="t"
+        )
+        with pytest.raises(APIError, match="after 1 attempts"):
+            client.swap("/some/taxonomy.jsonl")
+        assert server.counts["/admin/swap"] == 1  # one send, no retry
+
+    def test_apply_delta_is_never_resent(self, scripted):
+        server = scripted({"/admin/apply-delta": 99})
+        client = TaxonomyClient(
+            server.url, retries=3, backoff_seconds=0.0, admin_token="t"
+        )
+        with pytest.raises(APIError, match="after 1 attempts"):
+            client.apply_delta("/some/delta.jsonl")
+        assert server.counts["/admin/apply-delta"] == 1
+
+    def test_apply_delta_wire_is_never_resent(self, scripted):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        server = scripted({"/admin/apply-delta": 99})
+        client = TaxonomyClient(
+            server.url, retries=3, backoff_seconds=0.0, admin_token="t"
+        )
+        with pytest.raises(APIError, match="after 1 attempts"):
+            client.apply_delta_wire(
+                TaxonomyDelta(name="x"), base_version="v1"
+            )
+        assert server.counts["/admin/apply-delta"] == 1
+
+    def test_shutdown_is_never_resent(self, scripted):
+        server = scripted({"/admin/shutdown": 99})
+        client = TaxonomyClient(
+            server.url, retries=3, backoff_seconds=0.0, admin_token="t"
+        )
+        with pytest.raises(APIError, match="after 1 attempts"):
+            client.shutdown_server()

@@ -378,3 +378,123 @@ class TestPublishDelta:
         router.publish_delta(TaxonomyDelta.compute(old, new))
         assert router.men2ent("小新") == ["新实体#0"]
         assert router.version_id == "v2"
+
+
+class TestEmptyDeltaPublish:
+    """An empty delta is an exact no-op on every shard."""
+
+    def test_no_shard_changes_and_no_shard_version_bump(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        store = ShardedSnapshotStore(make_taxonomy(), n_shards=4)
+        before = store.shard_set
+        store.publish_delta(TaxonomyDelta(name=before.shards[0].read_view.name))
+        after = store.shard_set
+        # every shard crossed the publish object-identical…
+        for old, new in zip(before.shards, after.shards):
+            assert new is old
+            assert new.read_view is old.read_view
+        # …so the per-shard lineage did not move
+        assert store.shard_versions() == ["v1"] * 4
+        # while the set version advanced, keeping handshakes alive
+        assert store.version_id == "v2"
+
+    def test_delta_touching_no_serving_key_is_also_a_no_op(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        base = make_taxonomy()
+        rescored = base.copy()
+        existing = base.relations()[0]
+        rescored.add_relation(
+            IsARelation(
+                existing.hyponym, existing.hypernym, existing.source,
+                score=existing.score + 9.0,
+            )
+        )
+        delta = TaxonomyDelta.compute(base, rescored)
+        assert not delta.is_empty  # a pure rescore…
+        assert delta.relations_changed  # …of an existing pair…
+        store = ShardedSnapshotStore(base, n_shards=4)
+        before = store.shard_set.shards
+        store.publish_delta(delta)
+        for old, new in zip(before, store.shard_set.shards):
+            assert new is old  # …touches zero shards
+        assert store.shard_versions() == ["v1"] * 4
+
+
+class TestPublishVersionStamping:
+    def _grown(self, base):
+        grown = base.copy()
+        grown.add_entity(Entity("新星#0", "新星"))
+        grown.add_relation(IsARelation("新星#0", "概念0", "bracket"))
+        return grown
+
+    def test_explicit_version_on_swap_and_delta(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+        from repro.errors import TaxonomyError
+
+        base = make_taxonomy()
+        store = ShardedSnapshotStore(base, n_shards=2)
+        store.swap(base, version=5)
+        assert store.version_id == "v5"
+        grown = self._grown(base)
+        store.publish_delta(TaxonomyDelta.compute(base, grown), version=9)
+        assert store.version_id == "v9"
+        assert store.version_lineage() == ["v9"]
+        assert store.delta_history.chain(5, 9) is not None
+        with pytest.raises(TaxonomyError, match="must be newer"):
+            store.swap(base, version=4)
+        assert store.version_id == "v9"
+
+    def test_key_filtered_publish_applies_only_owned_keys(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        base = make_taxonomy()
+        grown = self._grown(base)
+        full_delta = TaxonomyDelta.compute(base, grown)
+
+        # a "replica" holding one cluster shard's slice: build it by
+        # filtering the full index down to the keys shard 0 of 2 owns
+        n_cluster = 2
+        keep = lambda key: shard_for(key, n_cluster) == 0  # noqa: E731
+        sliced_delta = full_delta.slice(keep)
+
+        replica = ShardedSnapshotStore(base, n_shards=1)
+        replica.publish_delta(sliced_delta, key_filter=keep)
+        reference = ShardedSnapshotStore(grown, n_shards=1)
+        # keys the replica owns answer the new version exactly…
+        for key in ("新星", "新星#0", "概念0"):
+            if keep(key):
+                assert replica.men2ent(key) == reference.men2ent(key)
+                assert replica.get_concepts(key) == \
+                    reference.get_concepts(key)
+                assert replica.get_entities(key) == \
+                    reference.get_entities(key)
+        # …and keys it does not own were never touched (still v1 data,
+        # which is fine: the router never routes them here)
+        for key in ("新星", "新星#0", "概念0"):
+            if not keep(key):
+                base_ref = ShardedSnapshotStore(base, n_shards=1)
+                assert replica.men2ent(key) == base_ref.men2ent(key)
+
+    def test_sliced_delta_without_filter_is_refused(self):
+        from repro.errors import TaxonomyError
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        base = make_taxonomy()
+        grown = self._grown(base)
+        full_delta = TaxonomyDelta.compute(base, grown)
+        n_cluster = 2
+        target_shard = shard_for("新星#0", n_cluster)
+        other = 1 - target_shard
+        sliced = full_delta.slice(
+            lambda key: shard_for(key, n_cluster) == other
+        )
+        replica = ShardedSnapshotStore(base, n_shards=1)
+        if sliced.is_empty:
+            pytest.skip("every key of the delta hashed to one shard")
+        # applying a slice *without* declaring the filter validates the
+        # full keyspace: fine here (structurally consistent), so this
+        # documents that the filter is about ownership, not validity
+        replica.publish_delta(sliced)
+        assert replica.version_id == "v2"

@@ -7,7 +7,9 @@ import pytest
 from repro.errors import TaxonomyError
 from repro.taxonomy.delta import (
     DELTA_FORMAT_VERSION,
+    DeltaHistory,
     TaxonomyDelta,
+    compose,
     load_delta,
     save_delta,
 )
@@ -297,3 +299,322 @@ class TestKindFlip:
             assert store.men2ent(key) == reference.men2ent(key)
             assert store.get_concepts(key) == reference.get_concepts(key)
             assert store.get_entities(key) == reference.get_entities(key)
+
+
+def third_taxonomy() -> Taxonomy:
+    """evolved_taxonomy() mutated again: night 3 of the chain."""
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))  # alias back
+    t.add_entity(Entity("王菲#0", "王菲"))
+    t.add_entity(Entity("苹果#1", "苹果"))  # returns after a night away
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag", score=3.0))
+    t.add_relation(IsARelation("王菲#0", "歌手", "tag"))
+    t.add_relation(IsARelation("苹果#1", "水果", "tag"))
+    t.add_relation(IsARelation("女歌手", "歌手", "tag", hyponym_kind="concept"))
+    return t
+
+
+def nightly_chain() -> tuple[Taxonomy, list]:
+    """The canonical three-night chain the compose tests walk."""
+    states = [base_taxonomy(), evolved_taxonomy(), third_taxonomy()]
+    deltas = [
+        TaxonomyDelta.compute(states[i], states[i + 1])
+        for i in range(len(states) - 1)
+    ]
+    return states[0], deltas
+
+
+class TestCompose:
+    def test_composed_chain_is_byte_identical_to_one_by_one(self, tmp_path):
+        base, deltas = nightly_chain()
+        squashed = compose(deltas)
+
+        one_by_one = base_taxonomy()
+        for delta in deltas:
+            one_by_one.apply_delta(delta)
+        base.apply_delta(squashed)
+
+        composed_path = tmp_path / "composed.jsonl"
+        chained_path = tmp_path / "chained.jsonl"
+        cold_path = tmp_path / "cold.jsonl"
+        base.save(composed_path)
+        one_by_one.save(chained_path)
+        third_taxonomy().save(cold_path)
+        assert composed_path.read_bytes() == chained_path.read_bytes()
+        assert composed_path.read_bytes() == cold_path.read_bytes()
+
+    def test_matches_direct_compute(self):
+        _, deltas = nightly_chain()
+        squashed = compose(deltas)
+        direct = TaxonomyDelta.compute(base_taxonomy(), third_taxonomy())
+        assert squashed.summary() == direct.summary()
+        assert list(squashed.records()) == list(direct.records())
+
+    def test_add_then_remove_cancels(self):
+        _, deltas = nightly_chain()
+        # 王菲#0 was added night 1; remove her again night 2'
+        gone = third_taxonomy()
+        gone_delta = TaxonomyDelta.compute(evolved_taxonomy(), gone)
+        squashed = compose([deltas[0], gone_delta])
+        added_ids = {e.page_id for e in squashed.entities_added}
+        removed_ids = {e.page_id for e in squashed.entities_removed}
+        # 苹果#1 was removed night 1 and re-added identically night 2:
+        # net nothing on either side
+        assert "苹果#1" not in added_ids | removed_ids
+
+    def test_change_of_change_collapses_to_first_old_last_new(self):
+        _, deltas = nightly_chain()
+        squashed = compose(deltas)
+        changed = {
+            old.key: (old, new) for old, new in squashed.relations_changed
+        }
+        old, new = changed[("刘德华#0", "歌手")]
+        assert old.score == 1.0  # night 0 state, not night 1's 2.0
+        assert new.score == 3.0  # night 2 state
+
+    def test_single_delta_chain_is_itself(self):
+        _, deltas = nightly_chain()
+        squashed = compose(deltas[:1])
+        assert list(squashed.records()) == list(deltas[0].records())
+
+    def test_empty_chain_is_refused(self):
+        with pytest.raises(TaxonomyError, match="at least one"):
+            compose([])
+
+    def test_unchained_deltas_are_refused(self):
+        _, deltas = nightly_chain()
+        with pytest.raises(TaxonomyError, match="do not chain"):
+            compose([deltas[1], deltas[0]])  # wrong order
+
+    def test_net_kind_flip_is_remove_plus_add(self):
+        def entity_world():
+            t = Taxonomy()
+            t.add_entity(Entity("刘德华#0", "刘德华"))
+            t.add_entity(Entity("天王", "天王"))
+            t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+            t.add_relation(IsARelation("天王", "演员", "tag"))
+            return t
+
+        def concept_world():
+            t = Taxonomy()
+            t.add_entity(Entity("刘德华#0", "刘德华"))
+            t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+            t.add_relation(
+                IsARelation("天王", "演员", "tag", hyponym_kind="concept")
+            )
+            return t
+
+        def rescored_entity_world():
+            t = entity_world()
+            t.add_relation(IsARelation("天王", "演员", "tag", score=2.0))
+            return t
+
+        d1 = TaxonomyDelta.compute(concept_world(), entity_world())
+        d2 = TaxonomyDelta.compute(entity_world(), rescored_entity_world())
+        squashed = compose([d1, d2])
+        assert not any(
+            old.key == ("天王", "演员")
+            for old, new in squashed.relations_changed
+        )
+        flipped_removed = [
+            r for r in squashed.relations_removed if r.key == ("天王", "演员")
+        ]
+        flipped_added = [
+            r for r in squashed.relations_added if r.key == ("天王", "演员")
+        ]
+        assert flipped_removed[0].hyponym_kind == "concept"
+        assert flipped_added[0].hyponym_kind == "entity"
+        assert flipped_added[0].score == 2.0
+
+        applied = concept_world().apply_delta(squashed)
+        reference = rescored_entity_world()
+        assert applied.get_entities("演员") == reference.get_entities("演员")
+
+    def test_headline_numbers_come_from_the_last_delta(self):
+        _, deltas = nightly_chain()
+        squashed = compose(deltas)
+        assert squashed.new_stats == deltas[-1].new_stats
+        assert squashed.new_n_relations == deltas[-1].new_n_relations
+        assert squashed.name == deltas[-1].name
+
+
+class TestWireRoundTrip:
+    def test_to_wire_from_wire_is_identity(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        rebuilt = TaxonomyDelta.from_wire(delta.to_wire())
+        assert rebuilt == delta
+
+    def test_wire_payload_is_json_serializable(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        payload = json.loads(json.dumps(delta.to_wire(), ensure_ascii=False))
+        assert TaxonomyDelta.from_wire(payload) == delta
+
+    def test_wire_payload_matches_file_persistence(self, tmp_path):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        path = tmp_path / "delta.jsonl"
+        save_delta(delta, path)
+        assert load_delta(path) == TaxonomyDelta.from_wire(delta.to_wire())
+
+    def test_non_object_payload_is_refused(self):
+        with pytest.raises(TaxonomyError, match="JSON object"):
+            TaxonomyDelta.from_wire(["not", "a", "dict"])
+
+    def test_missing_records_is_refused(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        payload = delta.to_wire()
+        del payload["records"]
+        with pytest.raises(TaxonomyError, match="records"):
+            TaxonomyDelta.from_wire(payload)
+
+    def test_unknown_record_kind_is_refused(self):
+        delta = TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+        payload = delta.to_wire()
+        payload["records"].append({"kind": "entity_rename"})
+        with pytest.raises(TaxonomyError, match="unknown delta record kind"):
+            TaxonomyDelta.from_wire(payload)
+
+
+class TestSlice:
+    def _delta(self):
+        return TaxonomyDelta.compute(base_taxonomy(), evolved_taxonomy())
+
+    def test_keep_everything_is_identity_up_to_rescores(self):
+        delta = self._delta()
+        sliced = delta.slice(lambda key: True)
+        assert sliced.entities_added == delta.entities_added
+        assert sliced.entities_removed == delta.entities_removed
+        assert sliced.entities_changed == delta.entities_changed
+        # entity-kind structural records survive; concept-layer ones
+        # (no serving keys) are dropped
+        assert all(
+            r.hyponym_kind == "entity"
+            for r in sliced.relations_added + sliced.relations_removed
+        )
+        # rescores touch no serving index and never ship
+        assert sliced.relations_changed == ()
+
+    def test_keep_nothing_is_empty(self):
+        assert self._delta().slice(lambda key: False).is_empty
+
+    def test_slices_partition_the_serving_records(self):
+        from repro.serving.sharding import shard_for
+
+        delta = self._delta()
+        n_shards = 4
+        slices = [
+            delta.slice(
+                lambda key, s=s: shard_for(key, n_shards) == s
+            )
+            for s in range(n_shards)
+        ]
+        # every entity-kind structural record lands in >= 1 slice, and
+        # a record appears in a slice iff one of its keys hashes there
+        for relation in delta.relations_added + delta.relations_removed:
+            if relation.hyponym_kind != "entity":
+                continue
+            owners = {
+                shard_for(relation.hyponym, n_shards),
+                shard_for(relation.hypernym, n_shards),
+            }
+            for s, sliced in enumerate(slices):
+                held = relation in (
+                    sliced.relations_added + sliced.relations_removed
+                )
+                assert held == (s in owners)
+
+    def test_sliced_headline_numbers_are_cleared(self):
+        sliced = self._delta().slice(lambda key: True)
+        assert sliced.new_stats is None
+        assert sliced.new_n_relations == 0
+
+
+class TestMalformedHeaders:
+    """Missing/garbage format_version raise the store's format error."""
+
+    def _write(self, tmp_path, header: dict) -> str:
+        path = tmp_path / "delta.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", **header}, ensure_ascii=False)
+            + "\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_missing_format_version_is_refused(self, tmp_path):
+        path = self._write(tmp_path, {"format": "taxonomy-delta"})
+        with pytest.raises(TaxonomyError, match="missing format_version"):
+            load_delta(path)
+
+    def test_garbage_format_version_is_refused(self, tmp_path):
+        for garbage in ("two", 0, -3, True, 1.5):
+            path = self._write(
+                tmp_path,
+                {"format": "taxonomy-delta", "format_version": garbage},
+            )
+            with pytest.raises(TaxonomyError, match="malformed format_version"):
+                load_delta(path)
+
+    def test_wire_header_is_checked_too(self):
+        with pytest.raises(TaxonomyError, match="missing format_version"):
+            TaxonomyDelta.from_wire(
+                {"format": "taxonomy-delta", "records": []}
+            )
+        with pytest.raises(TaxonomyError, match="malformed format_version"):
+            TaxonomyDelta.from_wire({
+                "format": "taxonomy-delta",
+                "format_version": "garbage",
+                "records": [],
+            })
+
+    def test_malformed_stats_header_is_refused(self, tmp_path):
+        path = self._write(tmp_path, {
+            "format": "taxonomy-delta",
+            "format_version": DELTA_FORMAT_VERSION,
+            "new_stats": {"entities": 1},  # missing the other counts
+        })
+        with pytest.raises(TaxonomyError, match="malformed new_stats"):
+            load_delta(path)
+
+
+class TestDeltaHistory:
+    def _delta(self, n: int) -> TaxonomyDelta:
+        return TaxonomyDelta(name=f"delta-{n}")
+
+    def test_chain_walks_contiguous_lineage(self):
+        history = DeltaHistory()
+        for version in (2, 3, 4):
+            history.record(version - 1, version, self._delta(version))
+        chain = history.chain(1, 4)
+        assert [d.name for d in chain] == ["delta-2", "delta-3", "delta-4"]
+        assert history.chain(2, 4) is not None
+        assert history.chain(3, 4) is not None
+
+    def test_same_version_is_the_empty_chain(self):
+        history = DeltaHistory()
+        assert history.chain(5, 5) == []
+
+    def test_uncovered_span_is_none(self):
+        history = DeltaHistory()
+        history.record(2, 3, self._delta(3))
+        assert history.chain(1, 3) is None  # start evicted / never seen
+        assert history.chain(3, 5) is None  # end beyond the ring
+
+    def test_lineage_gap_breaks_the_chain(self):
+        history = DeltaHistory()
+        history.record(1, 2, self._delta(2))
+        # a full swap produced v3 with no history entry
+        history.record(3, 4, self._delta(4))
+        assert history.chain(1, 4) is None
+        assert history.chain(3, 4) is not None
+
+    def test_ring_is_bounded(self):
+        history = DeltaHistory(maxlen=2)
+        for version in (2, 3, 4):
+            history.record(version - 1, version, self._delta(version))
+        assert len(history) == 2
+        assert history.versions() == [3, 4]
+        assert history.chain(1, 4) is None  # the oldest hop was evicted
+        assert [d.name for d in history.chain(2, 4)] == [
+            "delta-3", "delta-4",
+        ]

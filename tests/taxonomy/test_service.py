@@ -319,3 +319,103 @@ class TestPublishDelta:
         snapshot = service.publish_delta(bare)
         assert len(snapshot.read_view) == len(target)
         assert snapshot.stats() == target.stats()
+
+
+class TestMetricsSerializability:
+    """Regressions: an idle or barely-used ledger must never raise."""
+
+    def test_as_dict_is_json_serializable_when_never_called(self):
+        import json
+
+        from repro.taxonomy.service import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        assert metrics.as_dict() == {}
+        assert json.loads(json.dumps(metrics.as_dict())) == {}
+        assert metrics.total_calls == 0
+
+    def test_as_dict_after_single_call_is_serializable(self, service):
+        import json
+
+        service.men2ent("华仔")  # exactly one sample in the reservoir
+        payload = json.loads(json.dumps(service.metrics.as_dict()))
+        entry = payload["men2ent"]
+        assert entry["calls"] == 1
+        assert entry["p50_seconds"] == entry["p99_seconds"]
+        assert entry["p99_seconds"] <= entry["max_seconds"]
+
+    def test_latency_for_unknown_api_reads_zero(self):
+        from repro.taxonomy.service import ServiceMetrics
+
+        entry = ServiceMetrics().latency("never-called")
+        assert entry.calls == 0
+        assert entry.mean_seconds == 0.0
+        assert entry.hit_rate == 0.0
+        assert entry.p50_seconds == 0.0
+        assert entry.max_seconds == 0.0
+
+    def test_zero_arg_quantiles_is_empty_tuple(self):
+        assert APILatency().quantiles() == ()
+
+    def test_extreme_quantiles_on_single_sample(self):
+        latency = APILatency()
+        latency.observe(0.5, hit=True)
+        assert latency.quantile(0.0001) == 0.5
+        assert latency.quantile(1.0) == 0.5
+
+
+class TestServiceDeltaHistory:
+    """publish_delta keeps a bounded lineage ring for chain catch-up."""
+
+    def _delta(self, base, target):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        return TaxonomyDelta.compute(base, target)
+
+    def _plus_entity(self, base, n):
+        target = base.copy()
+        target.add_entity(Entity(f"新星{n}#0", f"新星{n}"))
+        target.add_relation(IsARelation(f"新星{n}#0", "歌手", "tag"))
+        return target
+
+    def test_history_records_lineage(self, taxonomy):
+        service = TaxonomyService(taxonomy)
+        v2 = self._plus_entity(taxonomy, 1)
+        v3 = self._plus_entity(v2, 2)
+        d1 = self._delta(taxonomy, v2)
+        d2 = self._delta(v2, v3)
+        service.publish_delta(d1)
+        service.publish_delta(d2)
+        assert service.version_lineage() == ["v2", "v3"]
+        assert service.delta_history.chain(1, 3) == [d1, d2]
+
+    def test_swap_breaks_the_chain(self, taxonomy, rebuilt):
+        service = TaxonomyService(taxonomy)
+        v2 = self._plus_entity(taxonomy, 1)
+        service.publish_delta(self._delta(taxonomy, v2))
+        service.swap(rebuilt)  # v3, no history entry
+        v4 = self._plus_entity(rebuilt, 2)
+        service.publish_delta(self._delta(rebuilt, v4))
+        assert service.version_lineage() == ["v2", "v4"]
+        assert service.delta_history.chain(1, 4) is None
+        assert service.delta_history.chain(3, 4) is not None
+
+    def test_explicit_version_stamps_the_snapshot(self, taxonomy, rebuilt):
+        service = TaxonomyService(taxonomy)
+        snapshot = service.swap(rebuilt, version=7)
+        assert snapshot.version_id == "v7"
+        assert service.version_id == "v7"
+        v8 = self._plus_entity(rebuilt, 1)
+        published = service.publish_delta(
+            self._delta(rebuilt, v8), version=12
+        )
+        assert published.version_id == "v12"
+        assert service.delta_history.chain(7, 12) is not None
+
+    def test_stale_explicit_version_is_refused(self, taxonomy, rebuilt):
+        from repro.errors import TaxonomyError
+
+        service = TaxonomyService(taxonomy, version=5)
+        with pytest.raises(TaxonomyError, match="must be newer"):
+            service.swap(rebuilt, version=5)
+        assert service.version_id == "v5"

@@ -239,6 +239,14 @@ class TestServe:
                 "--ready-file", str(ready_file),
             ]))
 
+        # a stale marker from a "crashed" predecessor: the real server
+        # must overwrite it, and readers must not trust it (wrong pid)
+        import json
+        import os
+        ready_file.write_text(
+            json.dumps({"pid": 999999999, "host": "127.0.0.1", "port": 1})
+        )
+
         # daemon: a failed assertion below must not leave a live serve
         # thread blocking interpreter exit
         thread = threading.Thread(target=run_cli, daemon=True)
@@ -246,12 +254,26 @@ class TestServe:
         client = None
         try:
             deadline = time.monotonic() + 30
-            while not (ready_file.exists() and
-                       ready_file.read_text().strip()):
+
+            def ready_payload():
+                if not ready_file.exists():
+                    return None
+                try:
+                    payload = json.loads(ready_file.read_text())
+                except (ValueError, OSError):
+                    return None  # mid-write or garbage: keep waiting
+                # the CLI runs in-process here, so a valid marker names
+                # our own pid — the stale seed above never does
+                if payload.get("pid") != os.getpid():
+                    return None
+                return payload
+
+            while ready_payload() is None:
                 assert time.monotonic() < deadline, "server never came up"
                 assert thread.is_alive(), f"serve exited: {exit_codes}"
                 time.sleep(0.02)
-            host, port = ready_file.read_text().split()
+            payload = ready_payload()
+            host, port = payload["host"], payload["port"]
             client = TaxonomyClient(
                 f"http://{host}:{port}", admin_token="cli-test-token"
             )
@@ -275,9 +297,12 @@ class TestServe:
             assert client.version()["shard_versions"] == ["v2", "v2"]
             assert client.men2ent(mention) == []
 
-            # shutdown ends the foreground CLI cleanly
+            # shutdown ends the foreground CLI cleanly and removes the
+            # readiness marker, so orchestration never sees a dead
+            # server as ready
             client.shutdown_server()
             thread.join(timeout=15)
+            assert not ready_file.exists()
         finally:
             if thread.is_alive() and client is not None:
                 try:  # best-effort teardown after a mid-test failure
@@ -388,3 +413,59 @@ class TestIncrementalBuild:
         ])
         assert code == 2
         assert "--previous" in capsys.readouterr().err
+
+
+class TestDeltaSquash:
+    def _worlds(self):
+        from repro.taxonomy.model import Entity, IsARelation
+        from repro.taxonomy import Taxonomy
+
+        def world(generation):
+            t = Taxonomy()
+            t.add_entity(Entity("刘德华#0", "刘德华"))
+            t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+            for n in range(generation):
+                t.add_entity(Entity(f"新星{n}#0", f"新星{n}"))
+                t.add_relation(IsARelation(f"新星{n}#0", "歌手", "tag"))
+            return t
+
+        return [world(g) for g in range(3)]
+
+    def test_squash_round_trip(self, tmp_path, capsys):
+        from repro.taxonomy.delta import TaxonomyDelta, load_delta, save_delta
+
+        w0, w1, w2 = self._worlds()
+        d1_path, d2_path = tmp_path / "n1.jsonl", tmp_path / "n2.jsonl"
+        save_delta(TaxonomyDelta.compute(w0, w1), d1_path)
+        save_delta(TaxonomyDelta.compute(w1, w2), d2_path)
+        out_path = tmp_path / "squashed.jsonl"
+
+        code = main([
+            "delta-squash", str(d1_path), str(d2_path),
+            "-o", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "squashed 2 deltas" in out
+
+        applied = w0
+        applied.apply_delta(load_delta(out_path))
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        applied.save(a)
+        w2.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unchained_inputs_fail_cleanly(self, tmp_path, capsys):
+        from repro.taxonomy.delta import TaxonomyDelta, save_delta
+
+        w0, w1, _ = self._worlds()
+        d1_path = tmp_path / "n1.jsonl"
+        save_delta(TaxonomyDelta.compute(w0, w1), d1_path)
+        code = main([  # the same night twice: the second add cannot
+            # apply to the state the first one leaves
+            "delta-squash", str(d1_path), str(d1_path),
+            "-o", str(tmp_path / "out.jsonl"),
+        ])
+        assert code == 2
+        assert "do not chain" in capsys.readouterr().err
+        assert not (tmp_path / "out.jsonl").exists()
