@@ -17,7 +17,6 @@ win — the cached-rebuild line is where the wall-clock drops.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from time import perf_counter
 
@@ -28,6 +27,7 @@ from repro.core.pipeline import (
 )
 from repro.encyclopedia import SyntheticWorld
 from repro.eval.report import render_table
+from repro.workloads.report import merge_bench_entry
 
 N_ENTITIES = 1_200
 WORKERS = 4
@@ -36,15 +36,14 @@ BENCH_JSON = OUT_DIR / "BENCH_parallel.json"
 
 
 def merge_bench_json(key: str, payload: dict) -> None:
-    """Merge one bench's section into BENCH_parallel.json."""
-    OUT_DIR.mkdir(exist_ok=True)
-    data = {}
-    if BENCH_JSON.exists():
-        data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-    data[key] = payload
-    BENCH_JSON.write_text(
-        json.dumps(data, ensure_ascii=False, indent=2), encoding="utf-8"
-    )
+    """Merge one bench's section into BENCH_parallel.json.
+
+    Delegates to :func:`repro.workloads.report.merge_bench_entry`:
+    the parent directory is created if missing and the update is
+    atomic (temp file + ``os.replace``), so a crashed bench can never
+    leave a truncated perf trajectory behind.
+    """
+    merge_bench_entry(BENCH_JSON, key, payload)
 
 
 def _config(workers: int) -> PipelineConfig:

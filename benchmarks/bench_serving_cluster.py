@@ -31,8 +31,8 @@ from repro.serving import (
     TaxonomyClient,
     start_server,
 )
-from repro.taxonomy.api import WorkloadGenerator
 from repro.taxonomy.service import TaxonomyService
+from repro.workloads import ArgumentPools, TableIICallStream
 
 N_ENTITIES = 1_200
 N_CALLS = 20_000
@@ -101,7 +101,9 @@ def _timed_batched(calls, front, batch_size=BATCH_SIZE):
 
 def test_serving_cluster_benchmark(record):
     taxonomy = _build_taxonomy()
-    calls = WorkloadGenerator(taxonomy, seed=13).generate(N_CALLS)
+    calls = TableIICallStream(
+        ArgumentPools.from_taxonomy(taxonomy), seed=13
+    ).generate(N_CALLS)
     ops = lambda n, seconds: n / seconds  # noqa: E731
 
     facade = TaxonomyService(taxonomy)

@@ -27,8 +27,8 @@ from bench_parallel_build import merge_bench_json
 from repro.core.pipeline import CNProbaseBuilder, PipelineConfig, ResourceCache
 from repro.encyclopedia import SyntheticWorld
 from repro.eval.report import render_table
-from repro.taxonomy.api import WorkloadGenerator
 from repro.taxonomy.service import TaxonomyService
+from repro.workloads import ArgumentPools, TableIICallStream
 
 N_ENTITIES = 1_200
 N_CALLS = 40_000
@@ -79,7 +79,9 @@ def _timed(calls, handlers) -> tuple[float, list[list[str]]]:
 
 def test_serving_throughput_benchmark(record):
     taxonomy = _build_taxonomy()
-    calls = WorkloadGenerator(taxonomy, seed=13).generate(N_CALLS)
+    calls = TableIICallStream(
+        ArgumentPools.from_taxonomy(taxonomy), seed=13
+    ).generate(N_CALLS)
     service = TaxonomyService(taxonomy)
     read_view = service.snapshot.read_view
 

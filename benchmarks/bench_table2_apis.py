@@ -11,32 +11,38 @@ from __future__ import annotations
 import pytest
 
 from repro.eval.report import format_count, format_percent, render_table
-from repro.taxonomy.api import PAPER_API_CALLS, TaxonomyAPI, WorkloadGenerator
+from repro.taxonomy.api import PAPER_API_CALLS, TaxonomyAPI
+from repro.workloads import ArgumentPools, TableIICallStream
 
 N_CALLS = 30_000
+
+
+def _serve_one(api: TaxonomyAPI, call) -> None:
+    if call.api == "men2ent":
+        api.men2ent(call.argument)
+    elif call.api == "getConcept":
+        api.get_concept(call.argument)
+    else:
+        api.get_entity(call.argument)
 
 
 @pytest.fixture(scope="module")
 def served(cn_probase):
     api = TaxonomyAPI(cn_probase.taxonomy)
-    generator = WorkloadGenerator(cn_probase.taxonomy, seed=2)
-    generator.run(api, N_CALLS)
+    pools = ArgumentPools.from_taxonomy(cn_probase.taxonomy)
+    for call in TableIICallStream(pools, seed=2).generate(N_CALLS):
+        _serve_one(api, call)
     return api.usage
 
 
 def test_table2_benchmark(benchmark, cn_probase, served, record):
     api = TaxonomyAPI(cn_probase.taxonomy)
-    generator = WorkloadGenerator(cn_probase.taxonomy, seed=3)
-    calls = generator.generate(5_000)
+    pools = ArgumentPools.from_taxonomy(cn_probase.taxonomy)
+    calls = TableIICallStream(pools, seed=3).generate(5_000)
 
     def serve() -> int:
         for call in calls:
-            if call.api == "men2ent":
-                api.men2ent(call.argument)
-            elif call.api == "getConcept":
-                api.get_concept(call.argument)
-            else:
-                api.get_entity(call.argument)
+            _serve_one(api, call)
         return api.usage.total_calls
 
     total = benchmark(serve)

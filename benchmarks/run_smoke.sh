@@ -11,12 +11,21 @@
 # swap -> query -> shutdown, and build -> diff -> incremental rebuild
 # -> /admin/apply-delta), plus the delta-chain contract (composed
 # chain = one-by-one chain = cold rebuild, byte-identical; one
-# composed publish beats N nightly publishes).  The perf numbers land
-# in benchmarks/out/BENCH_parallel.json so future PRs have a
-# trajectory to regress against.
+# composed publish beats N nightly publishes), plus the workload
+# scenario suite (all 8 built-in repro.workloads scenarios open-loop
+# against the in-process facade, publish-under-load additionally over
+# live HTTP with zero mixed-version answers) and a fast single-scenario
+# CLI smoke.  The perf numbers land in
+# benchmarks/out/BENCH_parallel.json so future PRs have a trajectory
+# to regress against — the final check fails the run if that file did
+# not grow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+bench_json="benchmarks/out/BENCH_parallel.json"
+bench_bytes_before=0
+[ -f "$bench_json" ] && bench_bytes_before=$(wc -c < "$bench_json")
 
 python -m pytest -x -q
 python -m pytest -x -q benchmarks/bench_stage_overhead.py
@@ -25,5 +34,33 @@ python -m pytest -x -q benchmarks/bench_parallel_build.py \
 python -m pytest -x -q benchmarks/bench_serving_cluster.py
 python -m pytest -x -q benchmarks/bench_incremental_build.py
 python -m pytest -x -q benchmarks/bench_delta_chain.py
+python -m pytest -x -q benchmarks/bench_workload_scenarios.py
 python benchmarks/smoke_serving_roundtrip.py
 python benchmarks/smoke_incremental_roundtrip.py
+# fast single-scenario smoke through the CLI: in-process facade + a
+# live `cn-probase serve` subprocess, 4x-compressed schedule
+python -m repro.cli workload run steady_table2 --time-scale 4
+
+# fail loudly if the perf trajectory did not grow: every benchmark
+# above appends here, so a silently-skipped writer shows up as a
+# missing section or a shrunken file.
+python - "$bench_json" "$bench_bytes_before" <<'EOF'
+import json, os, sys
+
+path, before = sys.argv[1], int(sys.argv[2])
+assert os.path.exists(path), f"{path} was never written"
+size = os.path.getsize(path)
+data = json.load(open(path, encoding="utf-8"))
+scenarios = data.get("workload_scenarios", {})
+expected = {
+    "steady_table2", "zipf_hot", "burst", "batch_heavy",
+    "adversarial_miss", "publish_under_load", "multi_tenant",
+    "churn_world",
+}
+missing = expected - set(scenarios)
+assert not missing, f"scenarios missing from {path}: {sorted(missing)}"
+assert size >= before and size > 2, (
+    f"{path} did not grow: {before} -> {size} bytes"
+)
+print(f"{path}: {size} bytes, sections: {', '.join(sorted(data))}")
+EOF

@@ -19,7 +19,7 @@ from repro.core.pipeline import PipelineConfig, build_cn_probase
 from repro.encyclopedia import SyntheticWorld
 from repro.eval.report import format_count, format_percent, render_table
 from repro.serving import TaxonomyClient, build_cluster, start_server
-from repro.taxonomy import WorkloadGenerator
+from repro.workloads import ArgumentPools, TableIICallStream, replay_calls
 
 ADMIN_TOKEN = "example-admin-token"
 SHARDS = 4
@@ -48,8 +48,11 @@ def main() -> None:
 
         print(f"replaying {2 * N_CALLS:,} API calls over HTTP with the "
               f"paper's call mix (batches of {BATCH_SIZE})...")
-        generator = WorkloadGenerator(result.taxonomy, seed=1, miss_rate=0.05)
-        generator.run_service(client, N_CALLS, batch_size=BATCH_SIZE)
+        stream = TableIICallStream(
+            ArgumentPools.from_taxonomy(result.taxonomy),
+            seed=1, miss_rate=0.05,
+        )
+        replay_calls(client, stream.generate(N_CALLS), batch_size=BATCH_SIZE)
 
         # A rebuild lands: save it where the server can load it, then
         # publish it atomically through the admin API.  In-flight
@@ -66,8 +69,11 @@ def main() -> None:
         print(f"hot-swapped to {swapped['version']} via /admin/swap "
               "(all shards republished in one atomic assignment)")
 
-        generator = WorkloadGenerator(rebuilt.taxonomy, seed=2, miss_rate=0.05)
-        generator.run_service(client, N_CALLS, batch_size=BATCH_SIZE)
+        stream = TableIICallStream(
+            ArgumentPools.from_taxonomy(rebuilt.taxonomy),
+            seed=2, miss_rate=0.05,
+        )
+        replay_calls(client, stream.generate(N_CALLS), batch_size=BATCH_SIZE)
 
         metrics = client.metrics
         rows = [

@@ -37,6 +37,10 @@ class APIError(ReproError):
     """Raised by the taxonomy serving layer on bad requests."""
 
 
+class WorkloadError(ReproError):
+    """Raised on invalid workload scenario specs, schedules or runs."""
+
+
 class ServiceUnavailableError(APIError):
     """Raised when no healthy replica can serve a request.
 

@@ -1,14 +1,19 @@
 """Serving layer: the paper's three public APIs with usage accounting.
 
 Table II of the paper reports per-API call counts after six months on
-Aliyun (men2ent 43.9M, getConcept 13.8M, getEntity 25.8M).  The
-:class:`WorkloadGenerator` reproduces that call mix at configurable volume
-against a built taxonomy, and :class:`TaxonomyAPI` counts what it serves.
+Aliyun (men2ent 43.9M, getConcept 13.8M, getEntity 25.8M).
+:class:`TaxonomyAPI` serves the three lookups and counts what it serves.
+
+Workload *generation* has moved to :mod:`repro.workloads` (declarative
+scenarios, deterministic schedules, an open-loop runner).
+:class:`WorkloadGenerator` remains as a deprecated shim over
+:class:`~repro.workloads.sampling.TableIICallStream` so historical
+seeded call streams stay reproducible.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import APIError
@@ -28,12 +33,21 @@ PAPER_API_MIX = {
 
 @dataclass
 class APIUsage:
-    """Per-API call and hit counters."""
+    """Per-API call, hit and unknown-argument counters.
+
+    ``unknown`` counts requests the workload *intended* to miss —
+    generated out-of-taxonomy arguments (including draws from an empty
+    pool, which historically surfaced as the silent constant ``"空"``
+    and were never counted anywhere).
+    """
 
     calls: dict[str, int] = field(
         default_factory=lambda: {"men2ent": 0, "getConcept": 0, "getEntity": 0}
     )
     hits: dict[str, int] = field(
+        default_factory=lambda: {"men2ent": 0, "getConcept": 0, "getEntity": 0}
+    )
+    unknown: dict[str, int] = field(
         default_factory=lambda: {"men2ent": 0, "getConcept": 0, "getEntity": 0}
     )
 
@@ -45,9 +59,20 @@ class APIUsage:
         if hit:
             self.hits[api] += 1
 
+    def record_unknown(self, api: str) -> None:
+        """Count one generated unknown (intended-miss) argument."""
+        if api not in self.unknown:
+            known = ", ".join(sorted(self.unknown))
+            raise APIError(f"unknown API {api!r}; known APIs: {known}")
+        self.unknown[api] += 1
+
     @property
     def total_calls(self) -> int:
         return sum(self.calls.values())
+
+    @property
+    def total_unknown(self) -> int:
+        return sum(self.unknown.values())
 
     def hit_rate(self, api: str) -> float:
         calls = self.calls[api]
@@ -103,18 +128,35 @@ class TaxonomyAPI:
 
 @dataclass(frozen=True)
 class APICall:
-    """One workload request: API name + argument."""
+    """One workload request: API name + argument.
+
+    ``expected_miss`` marks generated out-of-taxonomy arguments (the
+    workload intended this request to miss); it defaults to ``False``
+    so historical two-field constructions keep working.
+    """
 
     api: str
     argument: str
+    expected_miss: bool = False
 
 
 class WorkloadGenerator:
-    """Generates API request streams following the paper's call mix.
+    """Deprecated: use :mod:`repro.workloads` instead.
 
-    Arguments are drawn from the taxonomy itself (mentions, entity ids,
-    concepts) plus a configurable miss rate of out-of-taxonomy arguments,
-    because production traffic always contains unknown strings.
+    Thin shim over :class:`~repro.workloads.sampling.TableIICallStream`
+    with argument pools drawn from the taxonomy
+    (:meth:`~repro.workloads.sampling.ArgumentPools.from_taxonomy`).
+    RNG consumption is identical to the historical generator, so the
+    same seed produces the same call stream (asserted by the test
+    suite) — with one deliberate fix: an empty argument pool now
+    yields a seeded unknown marker counted in the usage ledger instead
+    of the silent constant ``"空"``.
+
+    New code wants :class:`~repro.workloads.spec.Scenario` +
+    :func:`~repro.workloads.schedule.compile_schedule` +
+    :func:`~repro.workloads.runner.run_schedule` (open-loop, measured),
+    or :func:`~repro.workloads.runner.replay_calls` for a plain
+    closed-loop replay.
     """
 
     def __init__(
@@ -124,54 +166,44 @@ class WorkloadGenerator:
         mix: dict[str, float] | None = None,
         miss_rate: float = 0.05,
     ) -> None:
+        warnings.warn(
+            "WorkloadGenerator is deprecated; use repro.workloads "
+            "(Scenario/compile_schedule/run_schedule, or "
+            "TableIICallStream for a plain seeded stream) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.workloads.sampling import (
+            ArgumentPools,
+            TableIICallStream,
+        )
+
         if not 0.0 <= miss_rate <= 1.0:
             raise APIError(f"miss_rate must be a probability, got {miss_rate}")
-        self._taxonomy = taxonomy
-        self._rng = random.Random(seed)
-        self._mix = dict(mix) if mix is not None else dict(PAPER_API_MIX)
-        if abs(sum(self._mix.values()) - 1.0) > 1e-6:
-            raise APIError(f"API mix must sum to 1, got {self._mix}")
-        self._miss_rate = miss_rate
-        # One pass over one materialisation of relations() collects all
-        # three argument pools (the taxonomy can hold millions of
-        # relations; scanning it three times dominated init).
-        entity_ids: set[str] = set()
-        concepts: set[str] = set()
-        for relation in taxonomy.relations():
-            concepts.add(relation.hypernym)
-            if relation.hyponym_kind == "entity":
-                entity_ids.add(relation.hyponym)
-        self._entities = sorted(entity_ids)
-        self._mentions = sorted(
-            {m for e in (taxonomy.entity(p) for p in self._entities)
-             if e is not None for m in e.mentions}
+        mix = dict(mix) if mix is not None else dict(PAPER_API_MIX)
+        if abs(sum(mix.values()) - 1.0) > 1e-6:
+            raise APIError(f"API mix must sum to 1, got {mix}")
+        self._stream = TableIICallStream(
+            ArgumentPools.from_taxonomy(taxonomy),
+            seed=seed,
+            mix=mix,
+            miss_rate=miss_rate,
         )
-        self._concepts = sorted(concepts)
 
     def generate(self, n_calls: int) -> list[APICall]:
         if n_calls <= 0:
             raise APIError(f"n_calls must be positive, got {n_calls}")
-        apis = list(self._mix)
-        weights = [self._mix[a] for a in apis]
-        calls: list[APICall] = []
-        for _ in range(n_calls):
-            api = self._rng.choices(apis, weights=weights)[0]
-            calls.append(APICall(api=api, argument=self._argument_for(api)))
-        return calls
-
-    def _argument_for(self, api: str) -> str:
-        if self._rng.random() < self._miss_rate:
-            return "未知词" + str(self._rng.randint(0, 10_000))
-        if api == "men2ent" and self._mentions:
-            return self._rng.choice(self._mentions)
-        if api == "getConcept" and self._entities:
-            return self._rng.choice(self._entities)
-        if api == "getEntity" and self._concepts:
-            return self._rng.choice(self._concepts)
-        return "空"
+        return [
+            APICall(call.api, call.argument, call.expected_miss)
+            for call in self._stream.generate(n_calls)
+        ]
 
     def run(self, api: TaxonomyAPI, n_calls: int) -> APIUsage:
-        """Generate and serve *n_calls* requests; returns the usage ledger."""
+        """Generate and serve *n_calls* requests; returns the usage ledger.
+
+        Intended misses (unknown-argument draws, including empty-pool
+        draws) are counted in the ledger's ``unknown`` column.
+        """
         for call in self.generate(n_calls):
             if call.api == "men2ent":
                 api.men2ent(call.argument)
@@ -179,6 +211,8 @@ class WorkloadGenerator:
                 api.get_concept(call.argument)
             else:
                 api.get_entity(call.argument)
+            if call.expected_miss:
+                api.usage.record_unknown(call.api)
         return api.usage
 
     def run_service(self, service, n_calls: int, batch_size: int = 1):
@@ -186,36 +220,14 @@ class WorkloadGenerator:
 
         *service* is anything exposing the canonical
         :class:`~repro.taxonomy.service.BatchedServingAPI` surface with a
-        ``metrics`` ledger — :class:`~repro.taxonomy.service.TaxonomyService`,
-        the sharded store, the replica router, or the HTTP
-        :class:`~repro.serving.client.TaxonomyClient`.  With
-        ``batch_size > 1`` requests are buffered per API and served
-        through the batched variants, the way a real gateway amortises
-        round trips.  Returns the service's cumulative metrics ledger.
+        ``metrics`` ledger.  Delegates to
+        :func:`repro.workloads.runner.replay_calls`; returns the
+        service's cumulative metrics ledger.
         """
         if batch_size < 1:
             raise APIError(f"batch_size must be >= 1, got {batch_size}")
-        from repro.taxonomy.service import WIRE_API_METHODS
+        from repro.workloads.runner import replay_calls
 
-        single = {
-            api: getattr(service, names[0])
-            for api, names in WIRE_API_METHODS.items()
-        }
-        batched = {
-            api: getattr(service, names[1])
-            for api, names in WIRE_API_METHODS.items()
-        }
-        buffers: dict[str, list[str]] = {name: [] for name in single}
-        for call in self.generate(n_calls):
-            if batch_size == 1:
-                single[call.api](call.argument)
-                continue
-            buffer = buffers[call.api]
-            buffer.append(call.argument)
-            if len(buffer) >= batch_size:
-                batched[call.api](buffer)
-                buffer.clear()
-        for name, buffer in buffers.items():
-            if buffer:
-                batched[name](buffer)
-        return service.metrics
+        return replay_calls(
+            service, self.generate(n_calls), batch_size=batch_size
+        )

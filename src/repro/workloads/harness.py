@@ -1,0 +1,130 @@
+"""Scenario orchestration: world → build → schedule → replay → report.
+
+:func:`prepare_scenario` does everything deterministic once per
+scenario — sample the world, run the build pipeline, compile the
+schedule, and (for publish-under-load scenarios) rebuild on the
+churned dump and compute the :class:`~repro.taxonomy.delta.TaxonomyDelta`
+between the two versions.  :func:`run_scenario` then replays the same
+prepared scenario against any number of serving targets, arming the
+publish action and the mixed-version auditor when the scenario asks
+for them.  ``cn-probase workload run``, the benchmark suite and the
+example walkthrough are all thin callers of these two functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineConfig, build_cn_probase
+from repro.errors import WorkloadError
+from repro.taxonomy.delta import TaxonomyDelta
+from repro.workloads.runner import (
+    RunReport,
+    TimedAction,
+    VersionAuditor,
+    make_target,
+    run_schedule,
+)
+from repro.workloads.sampling import ArgumentPools
+from repro.workloads.schedule import Schedule, compile_schedule
+from repro.workloads.spec import Scenario
+
+
+def scenario_pipeline_config() -> PipelineConfig:
+    """The build config scenario worlds are compiled with.
+
+    The abstract (neural) source is disabled: scenario worlds are small
+    and rebuilt per run, and the serving surface under test is
+    identical either way.
+    """
+    return PipelineConfig(enable_abstract=False)
+
+
+@dataclass
+class PreparedScenario:
+    """Everything deterministic about one scenario, built once."""
+
+    scenario: Scenario
+    schedule: Schedule
+    taxonomy: object
+    churned_taxonomy: object = None
+    delta: TaxonomyDelta | None = None
+
+    @property
+    def has_publish(self) -> bool:
+        return self.delta is not None
+
+
+def prepare_scenario(scenario: Scenario) -> PreparedScenario:
+    """Build the world and taxonomy, compile the schedule, cut the delta."""
+    world = scenario.world.build_world(scenario.seed)
+    schedule = compile_schedule(scenario, ArgumentPools.from_world(world))
+    taxonomy = build_cn_probase(
+        world.dump(), scenario_pipeline_config()
+    ).taxonomy
+    churned_taxonomy = None
+    delta = None
+    if scenario.publish_at is not None:
+        churned = scenario.world.churned_dump(world, scenario.seed + 1)
+        churned_taxonomy = build_cn_probase(
+            churned, scenario_pipeline_config()
+        ).taxonomy
+        delta = TaxonomyDelta.compute(taxonomy, churned_taxonomy)
+        if delta.n_records == 0:
+            raise WorkloadError(
+                f"scenario {scenario.name!r} churned no relations — raise "
+                "world.churn_rate or the world size"
+            )
+    return PreparedScenario(
+        scenario=scenario,
+        schedule=schedule,
+        taxonomy=taxonomy,
+        churned_taxonomy=churned_taxonomy,
+        delta=delta,
+    )
+
+
+def run_scenario(
+    prepared: PreparedScenario,
+    target_kind: str = "service",
+    *,
+    workers: int = 8,
+    time_scale: float = 1.0,
+    shards: int = 2,
+    replicas: int = 2,
+) -> RunReport:
+    """Replay a prepared scenario against one serving target kind.
+
+    For publish-under-load scenarios the delta publish fires at
+    ``publish_at`` of the schedule span on its own thread, and every
+    batched answer is audited against the frozen before/after views —
+    a ``mixed_answers`` count of zero is the torn-read acceptance
+    gate.
+    """
+    scenario = prepared.scenario
+    actions: list[TimedAction] = []
+    auditor = None
+    with make_target(
+        target_kind, prepared.taxonomy, shards=shards, replicas=replicas
+    ) as target:
+        if prepared.has_publish:
+            auditor = VersionAuditor([
+                ("v1", prepared.taxonomy.freeze()),
+                ("v2", prepared.churned_taxonomy.freeze()),
+            ])
+            actions.append(
+                TimedAction(
+                    at_s=scenario.publish_at * prepared.schedule.duration_s,
+                    label="publish_delta",
+                    action=lambda: target.publish(prepared.delta, 1, 2),
+                )
+            )
+        return run_schedule(
+            target.front,
+            prepared.schedule,
+            target_name=target.name,
+            workers=workers,
+            time_scale=time_scale,
+            actions=actions,
+            auditor=auditor,
+        )

@@ -1,0 +1,186 @@
+"""The named, built-in scenario suite every serving PR regresses against.
+
+Eight scenarios cover the workload axes the paper's deployment sees and
+the failure modes the serving stack promises away:
+
+- ``steady_table2`` — the Table-II mix at a steady open-loop rate: the
+  baseline every other scenario is read against.
+- ``zipf_hot`` — zipf-skewed key popularity: a handful of hot mentions
+  absorb most of the traffic (cache-friendliness and lock contention).
+- ``burst`` — periodic arrival bursts at 5× the base rate: does p99
+  survive the spikes, and how much schedule lateness piles up.
+- ``batch_heavy`` — gateway-shaped traffic: large batches through the
+  ``*_batch`` APIs (the ~35x HTTP amortisation path).
+- ``adversarial_miss`` — heavy unknown and near-miss mentions: the
+  miss path must stay as fast as the hit path.
+- ``publish_under_load`` — reads while a nightly delta publishes
+  mid-run; the auditor asserts zero mixed-version answers.
+- ``multi_tenant`` — three weighted tenant namespaces sharing one
+  cluster, reported per tenant.
+- ``churn_world`` — a world scenario: maximal alias ambiguity and
+  concept-chain depth, the disambiguation-heaviest taxonomy shape.
+
+Scenarios registered here are frozen specs; ``register_scenario`` lets
+tests and downstream code add their own under the same contract.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import (
+    ArrivalSpec,
+    KeyPopularity,
+    Scenario,
+    TrafficSpec,
+    WorldSpec,
+)
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Register *scenario* under its name; refuses silent redefinition."""
+    if scenario.name in _SCENARIOS and not replace:
+        raise WorkloadError(
+            f"scenario {scenario.name!r} is already registered "
+            "(pass replace=True to redefine)"
+        )
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(sorted(_SCENARIOS))
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise WorkloadError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+
+
+def builtin_scenarios() -> tuple[Scenario, ...]:
+    """The eight built-ins, in registration (benchmark) order."""
+    return tuple(
+        _SCENARIOS[name] for name in _BUILTIN_ORDER
+    )
+
+
+register_scenario(Scenario(
+    name="steady_table2",
+    description="Table-II API mix, steady 250/s open loop, 5% misses",
+    traffic=TrafficSpec(
+        n_calls=400,
+        arrival=ArrivalSpec(kind="steady", rate_per_s=250.0),
+    ),
+    world=WorldSpec(n_entities=300),
+    seed=11,
+))
+
+register_scenario(Scenario(
+    name="zipf_hot",
+    description="zipf-skewed hot keys (s=1.3): few mentions, most traffic",
+    traffic=TrafficSpec(
+        n_calls=400,
+        popularity=KeyPopularity(kind="zipf", zipf_exponent=1.3),
+        arrival=ArrivalSpec(kind="steady", rate_per_s=250.0),
+    ),
+    world=WorldSpec(n_entities=300),
+    seed=12,
+))
+
+register_scenario(Scenario(
+    name="burst",
+    description="5x arrival bursts every 2s: p99 and lateness under spikes",
+    traffic=TrafficSpec(
+        n_calls=400,
+        arrival=ArrivalSpec(
+            kind="burst", rate_per_s=150.0,
+            burst_every_s=1.0, burst_seconds=0.25, burst_multiplier=5.0,
+        ),
+    ),
+    world=WorldSpec(n_entities=300),
+    seed=13,
+))
+
+register_scenario(Scenario(
+    name="batch_heavy",
+    description="gateway batches of 8-32 through the *_batch APIs",
+    traffic=TrafficSpec(
+        n_calls=600,
+        batch_sizes=((8, 0.4), (16, 0.4), (32, 0.2)),
+        arrival=ArrivalSpec(kind="steady", rate_per_s=40.0),
+    ),
+    world=WorldSpec(n_entities=300),
+    seed=14,
+))
+
+register_scenario(Scenario(
+    name="adversarial_miss",
+    description="20% unknown + 20% near-miss mentions: the miss path",
+    traffic=TrafficSpec(
+        n_calls=400,
+        miss_rate=0.20,
+        adversarial_rate=0.20,
+        arrival=ArrivalSpec(kind="steady", rate_per_s=250.0),
+    ),
+    world=WorldSpec(n_entities=300),
+    seed=15,
+))
+
+register_scenario(Scenario(
+    name="publish_under_load",
+    description="nightly delta publish mid-replay; zero mixed-version "
+                "answers asserted",
+    traffic=TrafficSpec(
+        n_calls=400,
+        batch_sizes=((1, 0.3), (4, 0.4), (8, 0.3)),
+        arrival=ArrivalSpec(kind="steady", rate_per_s=150.0),
+    ),
+    world=WorldSpec(n_entities=300, churn_rate=0.25),
+    seed=16,
+    publish_at=0.5,
+))
+
+register_scenario(Scenario(
+    name="multi_tenant",
+    description="three weighted tenant namespaces on one cluster",
+    traffic=TrafficSpec(
+        n_calls=400,
+        tenants=(("acme", 0.5), ("beta", 0.3), ("canary", 0.2)),
+        arrival=ArrivalSpec(kind="diurnal", rate_per_s=250.0,
+                            diurnal_period_s=1.5, diurnal_trough=0.3),
+    ),
+    world=WorldSpec(n_entities=300),
+    seed=17,
+))
+
+register_scenario(Scenario(
+    name="churn_world",
+    description="max alias ambiguity + deep concept chains: the "
+                "disambiguation-heaviest world",
+    traffic=TrafficSpec(
+        n_calls=400,
+        arrival=ArrivalSpec(kind="steady", rate_per_s=250.0),
+    ),
+    world=WorldSpec(
+        n_entities=300, alias_ambiguity=1.0, chain_depth=1.0,
+        churn_rate=0.4,
+    ),
+    seed=18,
+))
+
+_BUILTIN_ORDER = (
+    "steady_table2",
+    "zipf_hot",
+    "burst",
+    "batch_heavy",
+    "adversarial_miss",
+    "publish_under_load",
+    "multi_tenant",
+    "churn_world",
+)

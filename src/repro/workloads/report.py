@@ -1,0 +1,135 @@
+"""Per-scenario result reporting into the shared perf trajectory.
+
+``benchmarks/out/BENCH_parallel.json`` is the perf file every PR's
+benchmarks append to and regress against.  This module owns the two
+rules every writer must follow:
+
+- the parent directory is created if missing (``mkdir -p``), and
+- updates are **atomic**: read-merge, write to a temp file in the same
+  directory, ``os.replace`` — a crashed benchmark can never leave a
+  truncated JSON behind for the next run to choke on.
+
+Workload scenario entries land under the ``"workload_scenarios"`` key
+as ``{scenario: {target: {p50/p95/p99/throughput/...}}}`` so every
+scenario × target pair has its own regressable line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.workloads.runner import RunReport
+
+#: The section scenario results land under in BENCH_parallel.json.
+SCENARIO_SECTION = "workload_scenarios"
+
+
+def merge_bench_entry(path: str | Path, key: str, payload: dict) -> dict:
+    """Atomically merge ``{key: payload}`` into the JSON file at *path*.
+
+    Returns the merged document.  Missing parent directories are
+    created; an existing file that is not valid JSON raises rather
+    than being silently clobbered.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    data: dict = {}
+    if target.exists():
+        data = json.loads(target.read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError(f"{target} does not hold a JSON object")
+    data[key] = payload
+    temp = target.with_name(target.name + ".tmp")
+    temp.write_text(
+        json.dumps(data, ensure_ascii=False, indent=2), encoding="utf-8"
+    )
+    os.replace(temp, target)
+    return data
+
+
+def scenario_entry(report: RunReport) -> dict:
+    """The regressable per-scenario line a :class:`RunReport` boils to."""
+    full = report.as_dict()
+    entry = {
+        "n_calls": full["n_calls"],
+        "n_events": full["n_events"],
+        "throughput_calls_per_s": full["throughput_calls_per_s"],
+        "error_rate": full["error_rate"],
+        "hit_rate": full["hit_rate"],
+        "expected_misses": full["expected_misses"],
+        "wall_seconds": full["wall_seconds"],
+        "lateness_p95_seconds": full["lateness"]["p95_seconds"],
+        "per_api": full["per_api"],
+    }
+    if full["audit"] is not None:
+        entry["mixed_version_answers"] = full["audit"]["mixed_answers"]
+        entry["version_matches"] = full["audit"]["matched"]
+    if full["per_tenant_calls"] and list(full["per_tenant_calls"]) != [
+        "default"
+    ]:
+        entry["per_tenant_calls"] = full["per_tenant_calls"]
+    return entry
+
+
+def append_scenario_entry(path: str | Path, report: RunReport) -> dict:
+    """Merge one scenario × target result into the perf trajectory."""
+    target = Path(path)
+    section: dict = {}
+    if target.exists():
+        data = json.loads(target.read_text(encoding="utf-8"))
+        if isinstance(data, dict):
+            existing = data.get(SCENARIO_SECTION)
+            if isinstance(existing, dict):
+                section = existing
+    scenario = section.setdefault(report.scenario, {})
+    scenario[report.target] = scenario_entry(report)
+    return merge_bench_entry(target, SCENARIO_SECTION, section)
+
+
+def render_run_report(report: RunReport) -> str:
+    """A human-readable table of one replay (for the CLI and benches)."""
+    from repro.eval.report import render_table
+
+    full = report.as_dict()
+    rows = []
+    for api, entry in full["per_api"].items():
+        rows.append([
+            api,
+            str(entry["calls"]),
+            f"{entry['hit_rate']:.2f}",
+            f"{entry['p50_seconds'] * 1e6:,.0f}",
+            f"{entry['p95_seconds'] * 1e6:,.0f}",
+            f"{entry['p99_seconds'] * 1e6:,.0f}",
+        ])
+    rows.append([
+        "(all)",
+        str(full["n_calls"]),
+        f"{full['hit_rate']:.2f}",
+        "", "", "",
+    ])
+    lines = [
+        render_table(
+            ["api", "calls", "hit", "p50µs", "p95µs", "p99µs"],
+            rows,
+            title=(
+                f"{report.scenario} @ {report.target} — "
+                f"{full['throughput_calls_per_s']:,.0f} calls/s, "
+                f"errors {full['error_rate']:.1%}, "
+                f"lateness p95 {full['lateness']['p95_seconds'] * 1e3:.1f}ms"
+            ),
+        )
+    ]
+    if full["audit"] is not None:
+        lines.append(
+            f"version audit: matched {full['audit']['matched']}, "
+            f"mixed answers {full['audit']['mixed_answers']}"
+        )
+    if "per_tenant_calls" in scenario_entry(report):
+        tenants = ", ".join(
+            f"{tenant}={count}"
+            for tenant, count in full["per_tenant_calls"].items()
+        )
+        lines.append(f"per-tenant calls: {tenants}")
+    return "\n".join(lines)

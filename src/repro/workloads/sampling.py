@@ -1,0 +1,224 @@
+"""Seeded samplers: argument pools, key popularity, the Table-II stream.
+
+Everything here draws from an explicit ``random.Random`` — no module
+state, no wall clock — because the schedule compiler's contract is that
+the same ``(Scenario, seed)`` always produces byte-identical output
+(a lint test enforces it package-wide).
+
+:class:`TableIICallStream` is the exact generation algorithm the
+deprecated :class:`~repro.taxonomy.api.WorkloadGenerator` used — same
+RNG consumption order, so the shim's call stream is reproducible here
+call for call — with one deliberate fix: an empty argument pool no
+longer yields the constant ``"空"`` (which silently under-counted
+misses) but a seeded unknown-mention marker flagged ``expected_miss``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from itertools import accumulate
+from random import Random
+from typing import Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import KeyPopularity
+
+#: Prefix of generated out-of-taxonomy arguments (kept from the legacy
+#: generator so dashboards keyed on it keep matching).
+UNKNOWN_PREFIX = "未知词"
+
+#: Suffixes for adversarial near-miss mentions: a real key perturbed by
+#: one trailing character, the plausible-looking garbage production
+#: traffic actually contains.
+ADVERSARIAL_SUFFIXES = ("氏", "君", "号", "社", "閣")
+
+
+def unknown_argument(rng: Random, tenant: str | None = None) -> str:
+    """A seeded out-of-taxonomy argument, optionally tenant-namespaced."""
+    marker = f"{UNKNOWN_PREFIX}{rng.randint(0, 10_000)}"
+    if tenant and tenant != "default":
+        return f"{tenant}·{marker}"
+    return marker
+
+
+def adversarial_argument(rng: Random, pool: Sequence[str]) -> str:
+    """A near-miss: a real pool key with one seeded suffix character."""
+    return rng.choice(pool) + rng.choice(ADVERSARIAL_SUFFIXES)
+
+
+@dataclass(frozen=True)
+class ArgumentPools:
+    """The three argument universes, sorted for determinism."""
+
+    mentions: tuple[str, ...]
+    entities: tuple[str, ...]
+    concepts: tuple[str, ...]
+
+    _BY_API = {
+        "men2ent": "mentions",
+        "getConcept": "entities",
+        "getEntity": "concepts",
+    }
+
+    def pool_for(self, api: str) -> tuple[str, ...]:
+        try:
+            return getattr(self, self._BY_API[api])
+        except KeyError:
+            raise WorkloadError(
+                f"unknown API {api!r}; known: {sorted(self._BY_API)}"
+            ) from None
+
+    @classmethod
+    def from_taxonomy(cls, taxonomy) -> "ArgumentPools":
+        """Pools drawn from a built store (what the legacy shim samples).
+
+        One pass over one materialisation of ``relations()`` collects
+        all three pools — the taxonomy can hold millions of relations,
+        so it is never scanned per pool.
+        """
+        entity_ids: set[str] = set()
+        concepts: set[str] = set()
+        for relation in taxonomy.relations():
+            concepts.add(relation.hypernym)
+            if relation.hyponym_kind == "entity":
+                entity_ids.add(relation.hyponym)
+        entities = sorted(entity_ids)
+        mentions = sorted(
+            {
+                mention
+                for entity in (taxonomy.entity(p) for p in entities)
+                if entity is not None
+                for mention in entity.mentions
+            }
+        )
+        return cls(
+            mentions=tuple(mentions),
+            entities=tuple(entities),
+            concepts=tuple(sorted(concepts)),
+        )
+
+    @classmethod
+    def from_world(cls, world) -> "ArgumentPools":
+        """Pools drawn from the ground-truth world (no pipeline needed).
+
+        What the schedule compiler uses: compiling a scenario must not
+        require running the build pipeline, and real traffic queries
+        the *world's* surface forms anyway — including the ones the
+        build missed, which is exactly the natural miss channel.
+        """
+        return cls(
+            mentions=tuple(sorted(world.mention_senses())),
+            entities=tuple(sorted(e.page_id for e in world.entities)),
+            concepts=tuple(sorted(world.concepts)),
+        )
+
+
+class PopularitySampler:
+    """Draws keys from one pool under a :class:`KeyPopularity` model.
+
+    For ``zipf`` the pool is shuffled once with the sampler's own rng
+    (so *which* keys are hot is itself seeded) and rank ``r`` gets
+    weight ``r ** -s``; draws then binary-search the cumulative weight
+    table — O(log n) per draw instead of ``random.choices``'s O(n)
+    weight scan per call.
+    """
+
+    def __init__(
+        self, pool: Sequence[str], popularity: KeyPopularity, rng: Random
+    ) -> None:
+        if not pool:
+            raise WorkloadError("popularity sampler needs a non-empty pool")
+        self._rng = rng
+        self._pool = list(pool)
+        self._cumulative: list[float] | None = None
+        if popularity.kind == "zipf":
+            rng.shuffle(self._pool)  # seeded hot-key identity
+            weights = [
+                rank ** -popularity.zipf_exponent
+                for rank in range(1, len(self._pool) + 1)
+            ]
+            self._cumulative = list(accumulate(weights))
+
+    def draw(self) -> str:
+        if self._cumulative is None:
+            return self._rng.choice(self._pool)
+        point = self._rng.random() * self._cumulative[-1]
+        return self._pool[bisect.bisect_left(self._cumulative, point)]
+
+    def top_mass(self, top_k: int) -> float:
+        """Theoretical probability mass of the *top_k* hottest keys."""
+        if self._cumulative is None:
+            return min(1.0, top_k / len(self._pool))
+        return self._cumulative[min(top_k, len(self._pool)) - 1] / \
+            self._cumulative[-1]
+
+    @property
+    def hot_keys(self) -> tuple[str, ...]:
+        """Keys in descending popularity (pool order when uniform)."""
+        return tuple(self._pool)
+
+
+@dataclass(frozen=True)
+class SampledCall:
+    """One drawn request: API, argument, and whether a miss was intended."""
+
+    api: str
+    argument: str
+    expected_miss: bool
+
+
+class TableIICallStream:
+    """The legacy one-at-a-time request stream, seeded and mix-weighted.
+
+    RNG consumption per call is exactly the deprecated generator's:
+    one ``choices`` for the API, one ``random()`` for the miss gate,
+    then either ``randint`` (miss) or ``choice`` (pool draw) — so the
+    :class:`~repro.taxonomy.api.WorkloadGenerator` shim reproduces its
+    historical streams bit for bit.  The one behavioural change: when
+    a pool is empty the stream emits a seeded unknown marker flagged
+    ``expected_miss`` instead of the silent constant ``"空"``.
+    """
+
+    def __init__(
+        self,
+        pools: ArgumentPools,
+        *,
+        seed: int = 0,
+        mix: dict[str, float] | None = None,
+        miss_rate: float = 0.05,
+    ) -> None:
+        from repro.taxonomy.api import PAPER_API_MIX
+
+        if not 0.0 <= miss_rate <= 1.0:
+            raise WorkloadError(
+                f"miss_rate must be a probability, got {miss_rate}"
+            )
+        self._pools = pools
+        self._rng = Random(seed)
+        self._mix = dict(mix) if mix is not None else dict(PAPER_API_MIX)
+        if abs(sum(self._mix.values()) - 1.0) > 1e-6:
+            raise WorkloadError(f"API mix must sum to 1, got {self._mix}")
+        self._miss_rate = miss_rate
+
+    def generate(self, n_calls: int) -> list[SampledCall]:
+        if n_calls <= 0:
+            raise WorkloadError(f"n_calls must be positive, got {n_calls}")
+        apis = list(self._mix)
+        weights = [self._mix[api] for api in apis]
+        calls: list[SampledCall] = []
+        for _ in range(n_calls):
+            api = self._rng.choices(apis, weights=weights)[0]
+            argument, expected_miss = self._argument_for(api)
+            calls.append(SampledCall(api, argument, expected_miss))
+        return calls
+
+    def _argument_for(self, api: str) -> tuple[str, bool]:
+        if self._rng.random() < self._miss_rate:
+            return unknown_argument(self._rng), True
+        pool = self._pools.pool_for(api)
+        if pool:
+            return self._rng.choice(pool), False
+        # Empty pool: a real request still has to carry *something* —
+        # emit a counted, seeded miss, never a silent constant.
+        return unknown_argument(self._rng), True

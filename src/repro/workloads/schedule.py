@@ -1,0 +1,273 @@
+"""Deterministic scenario → timestamped call schedule compilation.
+
+:func:`compile_schedule` turns a :class:`~repro.workloads.spec.Scenario`
+plus its seed into an explicit list of :class:`ScheduledCall` events:
+every event carries the schedule-time offset the open-loop runner must
+fire it at, the wire API, a tenant label, and the full argument batch
+with per-argument expected-miss flags.
+
+Determinism is the contract: the same scenario and seed always compile
+to the same schedule, and :func:`save_schedule` writes it as canonical
+JSONL (sorted keys, compact separators, ``ensure_ascii=False``,
+atomic temp + ``os.replace``) so two compilations are byte-identical —
+property-tested, and what makes every benchmark result attributable to
+a named, reproducible input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+
+from repro.errors import WorkloadError
+from repro.workloads.sampling import (
+    ArgumentPools,
+    PopularitySampler,
+    adversarial_argument,
+    unknown_argument,
+)
+from repro.workloads.spec import Scenario
+
+SCHEDULE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScheduledCall:
+    """One open-loop event: fire *args* at *at_s* seconds into the run."""
+
+    index: int
+    at_s: float
+    api: str
+    tenant: str
+    args: tuple[str, ...]
+    expected_misses: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) != len(self.expected_misses):
+            raise WorkloadError(
+                f"call {self.index}: {len(self.args)} args but "
+                f"{len(self.expected_misses)} miss flags"
+            )
+        if not self.args:
+            raise WorkloadError(f"call {self.index} has no arguments")
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.args)
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "at": self.at_s,
+            "api": self.api,
+            "tenant": self.tenant,
+            "args": list(self.args),
+            "miss": [1 if flag else 0 for flag in self.expected_misses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduledCall":
+        try:
+            return cls(
+                index=int(data["index"]),
+                at_s=float(data["at"]),
+                api=data["api"],
+                tenant=data["tenant"],
+                args=tuple(data["args"]),
+                expected_misses=tuple(bool(flag) for flag in data["miss"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(f"malformed schedule record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A compiled scenario: the exact requests a run will replay."""
+
+    scenario: str
+    seed: int
+    calls: tuple[ScheduledCall, ...]
+
+    @property
+    def n_events(self) -> int:
+        """Open-loop dispatches (a batch is one event)."""
+        return len(self.calls)
+
+    @property
+    def n_calls(self) -> int:
+        """API requests (a batch of 8 counts 8)."""
+        return sum(call.batch_size for call in self.calls)
+
+    @property
+    def n_expected_misses(self) -> int:
+        return sum(
+            sum(call.expected_misses) for call in self.calls
+        )
+
+    @property
+    def duration_s(self) -> float:
+        """Scheduled span: last dispatch offset in schedule seconds."""
+        return self.calls[-1].at_s if self.calls else 0.0
+
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted({call.tenant for call in self.calls}))
+
+
+def compile_schedule(
+    scenario: Scenario, pools: ArgumentPools | None = None
+) -> Schedule:
+    """Compile *scenario* into its explicit call schedule.
+
+    *pools* defaults to :meth:`ArgumentPools.from_world` over the
+    world the scenario's own :class:`~repro.workloads.spec.WorldSpec`
+    and seed generate — so compilation needs no pipeline build and two
+    calls with the same inputs return identical schedules.
+    """
+    if pools is None:
+        pools = ArgumentPools.from_world(
+            scenario.world.build_world(scenario.seed)
+        )
+    traffic = scenario.traffic
+    rng = Random(f"schedule:{scenario.name}:{scenario.seed}")
+    samplers = {
+        api: PopularitySampler(
+            pools.pool_for(api) or ("·",), traffic.popularity,
+            Random(rng.random()),
+        )
+        for api, _ in traffic.mix
+    }
+    empty_pools = {
+        api for api, _ in traffic.mix if not pools.pool_for(api)
+    }
+    apis = [api for api, _ in traffic.mix]
+    api_weights = [weight for _, weight in traffic.mix]
+    sizes = [size for size, _ in traffic.batch_sizes]
+    size_weights = [weight for _, weight in traffic.batch_sizes]
+    tenant_names = [name for name, _ in traffic.tenants]
+    tenant_weights = [weight for _, weight in traffic.tenants]
+
+    calls: list[ScheduledCall] = []
+    t = 0.0
+    served = 0
+    index = 0
+    while served < traffic.n_calls:
+        t += rng.expovariate(traffic.arrival.rate_at(t))
+        api = rng.choices(apis, weights=api_weights)[0]
+        tenant = rng.choices(tenant_names, weights=tenant_weights)[0]
+        size = min(
+            rng.choices(sizes, weights=size_weights)[0],
+            traffic.n_calls - served,
+        )
+        args: list[str] = []
+        misses: list[bool] = []
+        for _ in range(size):
+            argument, miss = _draw_argument(
+                rng, samplers[api], api in empty_pools, traffic, tenant
+            )
+            args.append(argument)
+            misses.append(miss)
+        calls.append(
+            ScheduledCall(
+                index=index,
+                at_s=t,
+                api=api,
+                tenant=tenant,
+                args=tuple(args),
+                expected_misses=tuple(misses),
+            )
+        )
+        served += size
+        index += 1
+    return Schedule(scenario=scenario.name, seed=scenario.seed,
+                    calls=tuple(calls))
+
+
+def _draw_argument(
+    rng: Random,
+    sampler: PopularitySampler,
+    pool_empty: bool,
+    traffic,
+    tenant: str,
+) -> tuple[str, bool]:
+    gate = rng.random()
+    if pool_empty or gate < traffic.miss_rate:
+        return unknown_argument(rng, tenant), True
+    if gate < traffic.miss_rate + traffic.adversarial_rate:
+        return adversarial_argument(rng, sampler.hot_keys), True
+    return sampler.draw(), False
+
+
+# -- canonical JSONL persistence ----------------------------------------------
+
+
+def dumps_schedule(schedule: Schedule) -> str:
+    """The canonical byte-stable JSONL text of *schedule*."""
+    header = {
+        "format_version": SCHEDULE_FORMAT_VERSION,
+        "scenario": schedule.scenario,
+        "seed": schedule.seed,
+        "n_events": schedule.n_events,
+        "n_calls": schedule.n_calls,
+    }
+    lines = [json.dumps(header, ensure_ascii=False, sort_keys=True,
+                        separators=(",", ":"))]
+    for call in schedule.calls:
+        lines.append(
+            json.dumps(call.as_dict(), ensure_ascii=False, sort_keys=True,
+                       separators=(",", ":"))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write the canonical JSONL atomically (temp + ``os.replace``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(target.name + ".tmp")
+    temp.write_text(dumps_schedule(schedule), encoding="utf-8")
+    os.replace(temp, target)
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Load a schedule JSONL written by :func:`save_schedule`."""
+    source = Path(path)
+    lines = source.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise WorkloadError(f"{source} is empty, not a schedule")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise WorkloadError(f"{source} has a malformed header: {exc}") from exc
+    version = header.get("format_version") if isinstance(header, dict) else None
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise WorkloadError(
+            f"{source} header lacks an integer format_version"
+        )
+    if version > SCHEDULE_FORMAT_VERSION:
+        raise WorkloadError(
+            f"{source} is schedule format v{version}; this build reads "
+            f"up to v{SCHEDULE_FORMAT_VERSION}"
+        )
+    calls = []
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise WorkloadError(
+                f"{source} has a malformed record: {exc}"
+            ) from exc
+        calls.append(ScheduledCall.from_dict(record))
+    schedule = Schedule(
+        scenario=header.get("scenario", ""),
+        seed=int(header.get("seed", 0)),
+        calls=tuple(calls),
+    )
+    if schedule.n_calls != header.get("n_calls", schedule.n_calls):
+        raise WorkloadError(
+            f"{source} header says {header['n_calls']} calls but the body "
+            f"carries {schedule.n_calls}"
+        )
+    return schedule

@@ -8,10 +8,10 @@ import pytest
 
 from repro.errors import APIError
 from repro.serving import TaxonomyClient, build_cluster, start_server
-from repro.taxonomy.api import WorkloadGenerator
 from repro.taxonomy.model import Entity, IsARelation
 from repro.taxonomy.service import TaxonomyService
 from repro.taxonomy.store import Taxonomy
+from repro.workloads import ArgumentPools, TableIICallStream, replay_calls
 
 ADMIN_TOKEN = "test-admin-token"
 
@@ -107,12 +107,14 @@ class TestQueries:
         assert after.calls == before + 1
         assert after.p99_seconds >= 0.0
 
-    def test_run_service_drives_the_client_unchanged(self, cluster):
+    def test_replay_calls_drives_the_client_unchanged(self, cluster):
         _, client = cluster
         taxonomy = make_taxonomy()
-        generator = WorkloadGenerator(taxonomy, seed=4)
+        stream = TableIICallStream(
+            ArgumentPools.from_taxonomy(taxonomy), seed=4
+        )
         before = client.metrics.total_calls
-        metrics = generator.run_service(client, 60, batch_size=8)
+        metrics = replay_calls(client, stream.generate(60), batch_size=8)
         assert metrics is client.metrics
         assert metrics.total_calls == before + 60
 

@@ -11,10 +11,10 @@ from repro.serving.sharding import (
     ShardedSnapshotStore,
     shard_for,
 )
-from repro.taxonomy.api import WorkloadGenerator
 from repro.taxonomy.model import Entity, IsARelation
 from repro.taxonomy.service import TaxonomyService
 from repro.taxonomy.store import Taxonomy
+from repro.workloads import ArgumentPools, TableIICallStream
 
 
 def make_taxonomy(n_entities: int = 120, seed: int = 3) -> Taxonomy:
@@ -94,7 +94,9 @@ class TestAnswerIdentity:
     @pytest.mark.parametrize("n_shards", [1, 2, 4])
     def test_full_workload_singles(self, taxonomy, reference, n_shards):
         store = ShardedSnapshotStore(taxonomy, n_shards=n_shards)
-        calls = WorkloadGenerator(taxonomy, seed=11).generate(1_500)
+        calls = TableIICallStream(
+            ArgumentPools.from_taxonomy(taxonomy), seed=11
+        ).generate(1_500)
         single = {
             "men2ent": (store.men2ent, reference.men2ent),
             "getConcept": (store.get_concepts, reference.get_concepts),
@@ -107,7 +109,9 @@ class TestAnswerIdentity:
     @pytest.mark.parametrize("n_shards", [1, 2, 4])
     def test_full_workload_batched(self, taxonomy, reference, n_shards):
         store = ShardedSnapshotStore(taxonomy, n_shards=n_shards)
-        generator = WorkloadGenerator(taxonomy, seed=12)
+        generator = TableIICallStream(
+            ArgumentPools.from_taxonomy(taxonomy), seed=12
+        )
         buffers: dict[str, list[str]] = {
             "men2ent": [], "getConcept": [], "getEntity": [],
         }

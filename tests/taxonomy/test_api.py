@@ -71,13 +71,20 @@ class TestAPIs:
         assert api.usage.mix()["men2ent"] == 0.0
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestWorkload:
+    """The deprecated shim: same streams as before, now counted misses."""
+
     def test_paper_mix_sums_to_one(self):
         assert sum(PAPER_API_MIX.values()) == pytest.approx(1.0)
 
     def test_men2ent_dominates_paper_mix(self):
         assert PAPER_API_MIX["men2ent"] > PAPER_API_MIX["getEntity"]
         assert PAPER_API_MIX["getEntity"] > PAPER_API_MIX["getConcept"]
+
+    def test_shim_emits_deprecation_warning(self, taxonomy):
+        with pytest.warns(DeprecationWarning, match="repro.workloads"):
+            WorkloadGenerator(taxonomy, seed=1)
 
     def test_generated_mix_matches_paper(self, taxonomy, api):
         generator = WorkloadGenerator(taxonomy, seed=1)
@@ -92,11 +99,68 @@ class TestWorkload:
         for name in usage.calls:
             if usage.calls[name]:
                 assert usage.hit_rate(name) == 1.0
+        assert usage.total_unknown == 0
 
     def test_deterministic(self, taxonomy):
         a = WorkloadGenerator(taxonomy, seed=3).generate(100)
         b = WorkloadGenerator(taxonomy, seed=3).generate(100)
         assert a == b
+
+    def test_same_stream_as_new_package(self, taxonomy):
+        """The shim IS TableIICallStream: same seed, same stream."""
+        from repro.workloads import ArgumentPools, TableIICallStream
+
+        shim = WorkloadGenerator(taxonomy, seed=9).generate(200)
+        stream = TableIICallStream(
+            ArgumentPools.from_taxonomy(taxonomy), seed=9
+        ).generate(200)
+        assert [(c.api, c.argument, c.expected_miss) for c in shim] == \
+            [(c.api, c.argument, c.expected_miss) for c in stream]
+
+    def test_same_stream_as_legacy_algorithm(self, taxonomy):
+        """RNG consumption matches the historical generator bit for bit."""
+        import random
+
+        pools = {
+            "men2ent": sorted(
+                m for e in ("刘德华#0", "周杰伦#0")
+                for m in taxonomy.entity(e).mentions
+            ),
+            "getConcept": ["刘德华#0", "周杰伦#0"],
+            "getEntity": ["歌手", "演员"],
+        }
+        rng = random.Random(7)
+        apis = list(PAPER_API_MIX)
+        weights = [PAPER_API_MIX[a] for a in apis]
+        legacy = []
+        for _ in range(300):
+            api_name = rng.choices(apis, weights=weights)[0]
+            if rng.random() < 0.05:
+                argument = "未知词" + str(rng.randint(0, 10_000))
+            else:
+                argument = rng.choice(pools[api_name])
+            legacy.append((api_name, argument))
+        shim = WorkloadGenerator(taxonomy, seed=7).generate(300)
+        assert [(c.api, c.argument) for c in shim] == legacy
+
+    def test_empty_pool_yields_counted_unknown(self):
+        """The old silent-"空" path: now a seeded, ledger-counted miss."""
+        empty = Taxonomy()
+        calls = WorkloadGenerator(empty, seed=6, miss_rate=0.0).generate(80)
+        assert all(call.expected_miss for call in calls)
+        assert all(call.argument != "空" for call in calls)
+        assert len({call.argument for call in calls}) > 1  # seeded, varied
+        target = TaxonomyAPI(empty)
+        usage = WorkloadGenerator(empty, seed=6).run(target, 80)
+        assert usage.total_calls == 80
+        assert usage.total_unknown == 80
+
+    def test_intended_misses_counted_in_ledger(self, taxonomy, api):
+        generator = WorkloadGenerator(taxonomy, seed=8, miss_rate=0.5)
+        usage = generator.run(api, 400)
+        assert 100 < usage.total_unknown < 300  # ~half the stream
+        for name, count in usage.unknown.items():
+            assert count <= usage.calls[name]
 
     def test_invalid_miss_rate(self, taxonomy):
         with pytest.raises(APIError):

@@ -2,11 +2,12 @@
 
 import pytest
 
-from repro.errors import APIError
-from repro.taxonomy.api import APIUsage, WorkloadGenerator
+from repro.errors import APIError, WorkloadError
+from repro.taxonomy.api import APIUsage
 from repro.taxonomy.model import Entity, IsARelation
 from repro.taxonomy.service import APILatency, TaxonomyService
 from repro.taxonomy.store import Taxonomy
+from repro.workloads import ArgumentPools, TableIICallStream, replay_calls
 
 
 @pytest.fixture
@@ -213,15 +214,20 @@ class TestCanonicalNaming:
 
 
 class TestWorkloadThroughService:
-    def test_run_service_singles(self, taxonomy, service):
-        generator = WorkloadGenerator(taxonomy, seed=4)
-        metrics = generator.run_service(service, 400)
+    def _stream(self, taxonomy, **kwargs):
+        return TableIICallStream(
+            ArgumentPools.from_taxonomy(taxonomy), **kwargs
+        )
+
+    def test_replay_singles(self, taxonomy, service):
+        calls = self._stream(taxonomy, seed=4).generate(400)
+        metrics = replay_calls(service, calls)
         assert metrics is service.metrics
         assert metrics.total_calls == 400
 
-    def test_run_service_batched(self, taxonomy, service):
-        generator = WorkloadGenerator(taxonomy, seed=5, miss_rate=0.0)
-        metrics = generator.run_service(service, 501, batch_size=7)
+    def test_replay_batched(self, taxonomy, service):
+        calls = self._stream(taxonomy, seed=5, miss_rate=0.0).generate(501)
+        metrics = replay_calls(service, calls, batch_size=7)
         assert metrics.total_calls == 501
         for name in ("men2ent", "getConcept", "getEntity"):
             latency = metrics.latency(name)
@@ -229,8 +235,9 @@ class TestWorkloadThroughService:
                 assert latency.hit_rate == 1.0
 
     def test_invalid_batch_size(self, taxonomy, service):
-        with pytest.raises(APIError):
-            WorkloadGenerator(taxonomy).run_service(service, 10, batch_size=0)
+        calls = self._stream(taxonomy).generate(10)
+        with pytest.raises(WorkloadError):
+            replay_calls(service, calls, batch_size=0)
 
 
 class TestPublishDelta:

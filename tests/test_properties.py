@@ -336,12 +336,18 @@ class TestFailureInjection:
         assert len(result.taxonomy) == 0
 
     def test_workload_generator_on_empty_taxonomy(self):
+        import warnings
+
         from repro.taxonomy.api import TaxonomyAPI, WorkloadGenerator
 
         taxonomy = Taxonomy()
         api = TaxonomyAPI(taxonomy)
-        usage = WorkloadGenerator(taxonomy, seed=1).run(api, 50)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            usage = WorkloadGenerator(taxonomy, seed=1).run(api, 50)
         assert usage.total_calls == 50  # misses, but no crashes
+        # every empty-pool draw is a counted unknown, not a silent "空"
+        assert usage.total_unknown == 50
 
     def test_filters_on_empty_relation_lists(self):
         from repro.core.verification.incompatible import (

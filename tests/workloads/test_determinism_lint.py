@@ -1,0 +1,113 @@
+"""Static lint: repro.workloads must stay seed-deterministic.
+
+The package's backbone contract is that the same ``(Scenario, seed)``
+always compiles to byte-identical schedules.  That dies quietly the
+first time a module reaches for ambient entropy, so this test walks
+the AST of every module in the package and forbids:
+
+- any use of the ``random`` module other than ``random.Random`` /
+  ``from random import Random`` (module-level functions share hidden
+  global state seeded from the OS),
+- ``Random()`` constructed without an explicit seed argument,
+- ``time`` / ``datetime`` / ``uuid`` / ``secrets`` imports anywhere
+  except ``runner.py`` (the open-loop dispatcher legitimately needs
+  the wall clock; compilation and sampling never do),
+- function-call expressions in default argument values (the classic
+  ``def f(now=time.time())`` time-dependent-default trap).
+"""
+
+import ast
+from pathlib import Path
+
+import repro.workloads
+
+PACKAGE_DIR = Path(repro.workloads.__file__).parent
+#: The dispatcher measures wall-clock latency; nothing else may.
+CLOCK_EXEMPT = {"runner.py"}
+ENTROPY_MODULES = {"time", "datetime", "uuid", "secrets"}
+
+
+def package_modules():
+    return sorted(PACKAGE_DIR.glob("*.py"))
+
+
+def lint_module(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        problems.append(f"{path.name}:{node.lineno}: {message}")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in ENTROPY_MODULES and path.name not in CLOCK_EXEMPT:
+                    flag(node, f"import {alias.name} — only runner.py may "
+                               "touch the clock")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in ENTROPY_MODULES and path.name not in CLOCK_EXEMPT:
+                flag(node, f"from {node.module} import ... — only "
+                           "runner.py may touch the clock")
+            if root == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        flag(node, f"from random import {alias.name} — "
+                                   "module-level random functions use "
+                                   "hidden global state")
+        elif isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and node.attr != "Random"):
+                flag(node, f"random.{node.attr} — unseeded global RNG")
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            name = (callee.id if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute)
+                    else None)
+            if name == "Random" and not node.args and not node.keywords:
+                flag(node, "Random() without a seed — OS-entropy seeded")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                for sub in ast.walk(default):
+                    if isinstance(sub, ast.Call):
+                        flag(default, f"def {node.name}(...): call "
+                                      "expression in a default argument "
+                                      "is evaluated once at import time")
+    return problems
+
+
+def test_no_unseeded_randomness_or_clock_leaks():
+    problems = []
+    for path in package_modules():
+        problems.extend(lint_module(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_the_lint_actually_scans_the_package():
+    names = {path.name for path in package_modules()}
+    assert {"spec.py", "schedule.py", "sampling.py", "runner.py",
+            "registry.py", "report.py", "harness.py"} <= names
+
+
+def test_the_lint_catches_the_traps(tmp_path):
+    bad = (
+        "import random\n"
+        "from random import randint\n"
+        "from random import Random\n"
+        "import time\n"
+        "def f(now=time.time()):\n"
+        "    return random.random() + Random().random()\n"
+    )
+    fake = tmp_path / "spec.py"  # borrow a non-clock-exempt name
+    fake.write_text(bad, encoding="utf-8")
+    joined = "\n".join(lint_module(fake))
+    assert "randint" in joined
+    assert "import time" in joined
+    assert "default argument" in joined
+    assert "unseeded global RNG" in joined
+    assert "Random() without a seed" in joined

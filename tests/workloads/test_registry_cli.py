@@ -1,0 +1,130 @@
+"""Built-in scenario registry and the `cn-probase workload` CLI."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ArrivalSpec,
+    Scenario,
+    TrafficSpec,
+    WorldSpec,
+    builtin_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.workloads import registry as registry_module
+
+BUILTINS = (
+    "steady_table2",
+    "zipf_hot",
+    "burst",
+    "batch_heavy",
+    "adversarial_miss",
+    "publish_under_load",
+    "multi_tenant",
+    "churn_world",
+)
+
+
+class TestRegistry:
+    def test_eight_builtins_in_benchmark_order(self):
+        assert tuple(s.name for s in builtin_scenarios()) == BUILTINS
+        assert set(BUILTINS) <= set(scenario_names())
+
+    def test_get_scenario_returns_the_registered_spec(self):
+        scenario = get_scenario("zipf_hot")
+        assert scenario.name == "zipf_hot"
+        assert scenario.traffic.popularity.kind == "zipf"
+
+    def test_unknown_scenario_lists_the_known_names(self):
+        with pytest.raises(WorkloadError, match="steady_table2"):
+            get_scenario("nope")
+
+    def test_register_refuses_silent_redefinition(self):
+        scenario = Scenario(
+            name="registry_test_tmp",
+            description="redefinition fixture",
+            traffic=TrafficSpec(
+                n_calls=10,
+                arrival=ArrivalSpec(kind="steady", rate_per_s=100.0),
+            ),
+            world=WorldSpec(n_entities=30),
+            seed=1,
+        )
+        try:
+            register_scenario(scenario)
+            with pytest.raises(WorkloadError, match="already registered"):
+                register_scenario(scenario)
+            replaced = register_scenario(scenario, replace=True)
+            assert replaced is scenario
+        finally:
+            registry_module._SCENARIOS.pop("registry_test_tmp", None)
+
+    def test_every_builtin_spec_round_trips(self):
+        for scenario in builtin_scenarios():
+            assert Scenario.from_dict(scenario.as_dict()) == scenario
+
+
+class TestWorkloadCLI:
+    def test_list_shows_all_builtins(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTINS:
+            assert name in out
+
+    def test_compile_is_byte_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["workload", "compile", "zipf_hot",
+                     "--out", str(a)]) == 0
+        assert main(["workload", "compile", "zipf_hot",
+                     "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        # the printed sha256 matches the file contents
+        digest = hashlib.sha256(a.read_bytes()).hexdigest()
+        assert digest[:16] in capsys.readouterr().out
+
+    def test_compile_seed_override_changes_bytes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["workload", "compile", "zipf_hot",
+                     "--out", str(a)]) == 0
+        assert main(["workload", "compile", "zipf_hot",
+                     "--out", str(b), "--seed", "99"]) == 0
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_compile_unknown_scenario_fails(self, capsys):
+        assert main(["workload", "compile", "nope",
+                     "--out", "/tmp/never.jsonl"]) != 0
+
+    def test_run_single_scenario_appends_bench_entry(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        assert main([
+            "workload", "run", "steady_table2",
+            "--target", "service",
+            "--time-scale", "50",
+            "--bench-json", str(bench),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "steady_table2" in out
+        data = json.loads(bench.read_text(encoding="utf-8"))
+        entry = data["workload_scenarios"]["steady_table2"]["service"]
+        for key in ("throughput_calls_per_s", "per_api",
+                    "lateness_p95_seconds"):
+            assert key in entry
+        men2ent = entry["per_api"]["men2ent"]
+        assert {"p50_seconds", "p95_seconds", "p99_seconds"} <= set(men2ent)
+
+    def test_run_no_bench_skips_the_file(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        assert main([
+            "workload", "run", "steady_table2",
+            "--target", "service",
+            "--time-scale", "50",
+            "--bench-json", str(bench),
+            "--no-bench",
+        ]) == 0
+        assert not bench.exists()

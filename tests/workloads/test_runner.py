@@ -1,0 +1,207 @@
+"""Open-loop runner: lateness, errors, actions, the mixed-version audit."""
+
+import time
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+from repro.workloads import (
+    ArgumentPools,
+    Schedule,
+    ScheduledCall,
+    TableIICallStream,
+    TimedAction,
+    VersionAuditor,
+    replay_calls,
+    run_schedule,
+)
+
+
+class FakeFront:
+    """A BatchedServingAPI-shaped front with injectable delay and faults."""
+
+    def __init__(self, delay_s: float = 0.0, poison: str | None = None):
+        self.delay_s = delay_s
+        self.poison = poison
+        self.calls = 0
+
+    def _serve(self, argument: str) -> list[str]:
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if self.poison is not None and argument == self.poison:
+            raise RuntimeError(f"poisoned argument {argument!r}")
+        return [argument]
+
+    def men2ent(self, argument):
+        return self._serve(argument)
+
+    def get_concepts(self, argument):
+        return self._serve(argument)
+
+    def get_entities(self, argument):
+        return self._serve(argument)
+
+    def men2ent_batch(self, arguments):
+        return [self._serve(a) for a in arguments]
+
+    def get_concepts_batch(self, arguments):
+        return [self._serve(a) for a in arguments]
+
+    def get_entities_batch(self, arguments):
+        return [self._serve(a) for a in arguments]
+
+
+def make_schedule(n_events: int = 6, *, at_s: float = 0.0,
+                  batch: int = 1) -> Schedule:
+    calls = tuple(
+        ScheduledCall(
+            index=i,
+            at_s=at_s * (i + 1) if at_s else 0.0,
+            api="men2ent",
+            tenant="default",
+            args=tuple(f"词{i}_{j}" for j in range(batch)),
+            expected_misses=(False,) * batch,
+        )
+        for i in range(n_events)
+    )
+    return Schedule(scenario="fake", seed=0, calls=calls)
+
+
+class TestRunSchedule:
+    def test_every_call_served_and_counted(self):
+        front = FakeFront()
+        report = run_schedule(front, make_schedule(10), target_name="fake")
+        assert report.n_events == 10
+        assert report.n_calls == 10
+        assert report.n_errors == 0
+        assert front.calls == 10
+        assert report.per_api["men2ent"].calls == 10
+        assert report.hit_rate == 1.0
+
+    def test_lateness_is_reported_never_absorbed(self):
+        # All events scheduled at t=0 through one worker with a 5ms
+        # front: events queue behind each other, so their dispatch
+        # lateness MUST show up in the ledger rather than being
+        # swallowed (the closed-loop co-ordinated-omission trap).
+        front = FakeFront(delay_s=0.005)
+        report = run_schedule(
+            front, make_schedule(6), target_name="fake", workers=1
+        )
+        assert report.lateness.calls == report.n_events  # one obs per event
+        assert report.lateness.max_seconds >= 0.015  # queued >= 3 events deep
+
+    def test_errors_are_counted_not_raised(self):
+        front = FakeFront(poison="词3_0")
+        report = run_schedule(front, make_schedule(6), target_name="fake")
+        assert report.n_errors == 1
+        assert report.error_rate == pytest.approx(1 / 6)
+        assert any("词3_0" in sample or "men2ent#3" in sample
+                   for sample in report.error_samples)
+        # the errored event still observed lateness
+        assert report.lateness.calls == report.n_events
+
+    def test_actions_fire_and_report_errors(self):
+        front = FakeFront()
+        fired = []
+        actions = [
+            TimedAction(at_s=0.0, label="ok", action=lambda: fired.append(1)),
+            TimedAction(at_s=0.0, label="boom",
+                        action=lambda: (_ for _ in ()).throw(
+                            RuntimeError("publish failed"))),
+        ]
+        report = run_schedule(
+            front, make_schedule(4), target_name="fake", actions=actions
+        )
+        assert fired == [1]
+        by_label = {action.label: action for action in report.actions}
+        assert by_label["ok"].error is None
+        assert by_label["ok"].fired_at_s is not None
+        assert "publish failed" in by_label["boom"].error
+        assert report.n_errors == 0  # action faults never pollute call errors
+
+    def test_time_scale_compresses_wall_clock(self):
+        front = FakeFront()
+        schedule = make_schedule(5, at_s=0.08)  # last event at 0.4s
+        started = time.perf_counter()
+        run_schedule(front, schedule, target_name="fake", time_scale=8.0)
+        assert time.perf_counter() - started < 0.4
+
+    def test_rejects_bad_arguments(self):
+        front = FakeFront()
+        with pytest.raises(WorkloadError, match="workers"):
+            run_schedule(front, make_schedule(2), workers=0)
+        with pytest.raises(WorkloadError, match="time_scale"):
+            run_schedule(front, make_schedule(2), time_scale=0.0)
+        with pytest.raises(WorkloadError, match="no calls"):
+            run_schedule(front, Schedule("fake", 0, ()))
+
+
+class TestVersionAuditor:
+    def _views(self):
+        v1, v2 = Taxonomy(), Taxonomy()
+        for taxonomy, concept in ((v1, "歌手"), (v2, "导演")):
+            taxonomy.add_entity(Entity("刘德华#0", "刘德华"))
+            taxonomy.add_relation(IsARelation("刘德华#0", concept, "tag"))
+        return v1.freeze(), v2.freeze()
+
+    def _call(self):
+        return ScheduledCall(
+            index=0, at_s=0.0, api="getConcept", tenant="default",
+            args=("刘德华#0", "刘德华#0"), expected_misses=(False, False),
+        )
+
+    def test_single_version_batches_match(self):
+        view1, view2 = self._views()
+        auditor = VersionAuditor([("v1", view1), ("v2", view2)])
+        auditor.check(self._call(), [["歌手"], ["歌手"]])
+        auditor.check(self._call(), [["导演"], ["导演"]])
+        assert auditor.as_dict() == {
+            "matched": {"v1": 1, "v2": 1},
+            "mixed_answers": 0,
+            "mixed_samples": [],
+        }
+
+    def test_torn_batch_is_mixed(self):
+        view1, view2 = self._views()
+        auditor = VersionAuditor([("v1", view1), ("v2", view2)])
+        auditor.check(self._call(), [["歌手"], ["导演"]])  # spans versions
+        result = auditor.as_dict()
+        assert result["mixed_answers"] == 1
+        assert result["matched"] == {"v1": 0, "v2": 0}
+        assert result["mixed_samples"][0]["api"] == "getConcept"
+
+    def test_needs_at_least_one_version(self):
+        with pytest.raises(WorkloadError):
+            VersionAuditor([])
+
+
+class TestReplayCalls:
+    def _taxonomy(self):
+        t = Taxonomy()
+        t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+        t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+        return t
+
+    def test_replays_singles_and_batches(self):
+        taxonomy = self._taxonomy()
+        stream = TableIICallStream(ArgumentPools.from_taxonomy(taxonomy))
+        front = FakeFront()
+        replay_calls(front, stream.generate(40))
+        assert front.calls == 40
+        front = FakeFront()
+        replay_calls(front, stream.generate(41), batch_size=8)
+        assert front.calls == 41  # trailing partial batches flush
+
+    def test_batch_size_validated(self):
+        with pytest.raises(WorkloadError, match="batch_size"):
+            replay_calls(FakeFront(), [], batch_size=0)
+
+    def test_returns_metrics_when_present(self):
+        class Ledgered(FakeFront):
+            metrics = "the-ledger"
+
+        assert replay_calls(Ledgered(), []) == "the-ledger"
+        assert replay_calls(FakeFront(), []) is None

@@ -1,0 +1,217 @@
+"""Schedule compilation: determinism, zipf mass, persistence."""
+
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ArgumentPools,
+    ArrivalSpec,
+    KeyPopularity,
+    PopularitySampler,
+    Scenario,
+    TrafficSpec,
+    WorldSpec,
+    compile_schedule,
+    load_schedule,
+    save_schedule,
+)
+from repro.workloads.schedule import dumps_schedule
+
+POOLS = ArgumentPools(
+    mentions=tuple(f"称谓{i}" for i in range(40)),
+    entities=tuple(f"实体{i}#0" for i in range(40)),
+    concepts=tuple(f"概念{i}" for i in range(12)),
+)
+
+
+def make_scenario(**kwargs):
+    defaults = dict(
+        name="sched_test",
+        description="schedule test fixture",
+        traffic=TrafficSpec(
+            n_calls=120,
+            arrival=ArrivalSpec(kind="steady", rate_per_s=400.0),
+        ),
+        world=WorldSpec(n_entities=60),
+        seed=4,
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestDeterminism:
+    def test_same_inputs_byte_identical_jsonl(self):
+        scenario = make_scenario()
+        a = dumps_schedule(compile_schedule(scenario, POOLS))
+        b = dumps_schedule(compile_schedule(scenario, POOLS))
+        assert a == b
+
+    def test_compile_without_pools_is_deterministic(self):
+        # The default pools come from the world build — still seeded.
+        scenario = make_scenario(world=WorldSpec(n_entities=60))
+        assert dumps_schedule(compile_schedule(scenario)) == \
+            dumps_schedule(compile_schedule(scenario))
+
+    def test_seed_changes_the_bytes(self):
+        a = dumps_schedule(compile_schedule(make_scenario(seed=4), POOLS))
+        b = dumps_schedule(compile_schedule(make_scenario(seed=5), POOLS))
+        assert a != b
+
+    def test_name_is_part_of_the_stream_seed(self):
+        a = compile_schedule(make_scenario(name="alpha"), POOLS)
+        b = compile_schedule(make_scenario(name="beta"), POOLS)
+        assert [c.args for c in a.calls] != [c.args for c in b.calls]
+
+
+class TestScheduleShape:
+    def test_serves_exactly_n_calls(self):
+        schedule = compile_schedule(make_scenario(), POOLS)
+        assert schedule.n_calls == 120
+        assert schedule.n_events == 120  # batch_sizes defaults to 1
+
+    def test_offsets_are_monotonic(self):
+        schedule = compile_schedule(make_scenario(), POOLS)
+        offsets = [call.at_s for call in schedule.calls]
+        assert offsets == sorted(offsets)
+        assert offsets[0] > 0.0
+
+    def test_batches_never_overshoot_n_calls(self):
+        scenario = make_scenario(
+            traffic=TrafficSpec(
+                n_calls=100,
+                batch_sizes=((8, 1.0),),
+                arrival=ArrivalSpec(kind="steady", rate_per_s=400.0),
+            )
+        )
+        schedule = compile_schedule(scenario, POOLS)
+        assert schedule.n_calls == 100
+        # 12 full batches of 8, then the remainder is clamped to 4
+        assert schedule.calls[-1].batch_size == 4
+
+    def test_tenant_namespaced_unknowns(self):
+        scenario = make_scenario(
+            traffic=TrafficSpec(
+                n_calls=200,
+                miss_rate=0.5,
+                tenants=(("acme", 1.0),),
+                arrival=ArrivalSpec(kind="steady", rate_per_s=400.0),
+            )
+        )
+        schedule = compile_schedule(scenario, POOLS)
+        unknowns = [
+            arg
+            for call in schedule.calls
+            for arg, miss in zip(call.args, call.expected_misses)
+            if miss
+        ]
+        assert unknowns
+        assert all(arg.startswith("acme·") for arg in unknowns)
+        assert schedule.tenants() == ("acme",)
+
+    def test_empty_pool_forces_expected_misses(self):
+        pools = ArgumentPools(mentions=(), entities=("实体0#0",),
+                              concepts=("概念0",))
+        scenario = make_scenario(
+            traffic=TrafficSpec(
+                n_calls=60, mix=(("men2ent", 1.0),), miss_rate=0.0,
+                arrival=ArrivalSpec(kind="steady", rate_per_s=400.0),
+            )
+        )
+        schedule = compile_schedule(scenario, pools)
+        assert schedule.n_expected_misses == 60
+
+    def test_adversarial_arguments_are_near_misses(self):
+        scenario = make_scenario(
+            traffic=TrafficSpec(
+                n_calls=300, mix=(("men2ent", 1.0),),
+                miss_rate=0.0, adversarial_rate=0.5,
+                arrival=ArrivalSpec(kind="steady", rate_per_s=400.0),
+            )
+        )
+        schedule = compile_schedule(scenario, POOLS)
+        adversarial = [
+            arg
+            for call in schedule.calls
+            for arg, miss in zip(call.args, call.expected_misses)
+            if miss
+        ]
+        assert adversarial
+        # a real pool key plus one perturbing suffix character
+        assert all(arg[:-1] in POOLS.mentions for arg in adversarial)
+
+
+class TestZipfMass:
+    def test_observed_hot_key_mass_matches_theory(self):
+        popularity = KeyPopularity(kind="zipf", zipf_exponent=1.3)
+        sampler = PopularitySampler(POOLS.mentions, popularity, Random(11))
+        draws = Counter(sampler.draw() for _ in range(20_000))
+        hot = set(sampler.hot_keys[:5])
+        observed = sum(draws[key] for key in hot) / 20_000
+        assert observed == pytest.approx(sampler.top_mass(5), abs=0.03)
+        # zipf concentrates: the top-5 of 40 keys carry far more than 5/40
+        assert sampler.top_mass(5) > 0.35
+
+    def test_uniform_mass_is_proportional(self):
+        sampler = PopularitySampler(
+            POOLS.mentions, KeyPopularity(kind="uniform"), Random(11)
+        )
+        assert sampler.top_mass(10) == pytest.approx(10 / 40)
+
+    def test_zipf_schedule_concentrates_traffic(self):
+        def top_share(popularity):
+            scenario = make_scenario(
+                traffic=TrafficSpec(
+                    n_calls=600, mix=(("men2ent", 1.0),), miss_rate=0.0,
+                    popularity=popularity,
+                    arrival=ArrivalSpec(kind="steady", rate_per_s=800.0),
+                )
+            )
+            schedule = compile_schedule(scenario, POOLS)
+            counts = Counter(
+                arg for call in schedule.calls for arg in call.args
+            )
+            return counts.most_common(1)[0][1] / 600
+
+        zipf = top_share(KeyPopularity(kind="zipf", zipf_exponent=1.3))
+        uniform = top_share(KeyPopularity(kind="uniform"))
+        assert zipf > 2 * uniform
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        schedule = compile_schedule(make_scenario(), POOLS)
+        path = tmp_path / "schedule.jsonl"
+        save_schedule(schedule, path)
+        assert load_schedule(path) == schedule
+        # the saved bytes are the canonical dumps
+        assert path.read_text(encoding="utf-8") == dumps_schedule(schedule)
+
+    def test_save_is_atomic_no_temp_left(self, tmp_path):
+        schedule = compile_schedule(make_scenario(), POOLS)
+        path = tmp_path / "deep" / "schedule.jsonl"
+        save_schedule(schedule, path)  # creates the parent dir
+        assert path.exists()
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(WorkloadError, match="empty"):
+            load_schedule(path)
+
+    def test_newer_format_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"format_version":99}\n', encoding="utf-8")
+        with pytest.raises(WorkloadError, match="v99"):
+            load_schedule(path)
+
+    def test_call_count_mismatch_rejected(self, tmp_path):
+        schedule = compile_schedule(make_scenario(), POOLS)
+        path = tmp_path / "truncated.jsonl"
+        lines = dumps_schedule(schedule).splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n", encoding="utf-8")
+        with pytest.raises(WorkloadError, match="header says"):
+            load_schedule(path)
