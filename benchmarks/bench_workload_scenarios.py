@@ -1,10 +1,13 @@
-"""Workload scenario suite — the 8 built-ins against the serving stack.
+"""Workload scenario suite — the 10 built-ins against the serving stack.
 
 Replays every built-in :mod:`repro.workloads` scenario open-loop
 against the in-process :class:`TaxonomyService` facade, plus the
 publish-under-load scenario against a live ``cn-probase serve``
 subprocess over HTTP (the full wire path: spawn → ready-file →
-replay → ``/admin/apply-delta`` mid-run → shutdown).
+replay → ``/admin/apply-delta`` mid-run → shutdown).  The two chaos
+scenarios (``replica_chaos``, ``dual_publisher``) carry a
+:class:`FaultSpec` and therefore run against their own fault-injected
+replica cluster regardless of the requested target.
 
 Asserted invariants:
 
@@ -12,6 +15,9 @@ Asserted invariants:
 - zero serving errors on the in-process path,
 - the delta publish fires and reports no error,
 - **zero mixed-version answers** — no batch ever spans the publish,
+  even with replicas dying, restarting stale, and a flaky wire,
+- chaos scenarios end **converged**: every replica alive and at the
+  publisher's exact content hash,
 - every scenario × target pair lands in
   ``benchmarks/out/BENCH_parallel.json`` under ``workload_scenarios``.
 
@@ -66,6 +72,11 @@ def _assert_clean(report, *, allow_errors: bool) -> None:
             f"{report.audit['mixed_answers']} mixed-version answers "
             f"(samples: {report.audit['mixed_samples']})"
         )
+    if report.convergence is not None:
+        assert report.convergence["converged"], (
+            f"{report.scenario}@{report.target}: chaos cluster did not "
+            f"converge: {report.convergence}"
+        )
 
 
 def test_workload_scenarios_benchmark(record):
@@ -84,7 +95,7 @@ def test_workload_scenarios_benchmark(record):
             full = report.as_dict()
             rows.append([
                 scenario.name,
-                kind,
+                report.target,  # chaos scenarios override the target
                 f"{full['throughput_calls_per_s']:,.0f}",
                 f"{full['hit_rate']:.2f}",
                 f"{full['lateness']['p95_seconds'] * 1e3:.1f}",

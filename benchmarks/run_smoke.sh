@@ -12,10 +12,13 @@
 # -> /admin/apply-delta), plus the delta-chain contract (composed
 # chain = one-by-one chain = cold rebuild, byte-identical; one
 # composed publish beats N nightly publishes), plus the workload
-# scenario suite (all 8 built-in repro.workloads scenarios open-loop
+# scenario suite (all 10 built-in repro.workloads scenarios open-loop
 # against the in-process facade, publish-under-load additionally over
-# live HTTP with zero mixed-version answers) and a fast single-scenario
-# CLI smoke.  The perf numbers land in
+# live HTTP, the chaos pair over a fault-injected replica cluster —
+# zero mixed-version answers and full hash convergence throughout),
+# plus the self-healing chaos smoke (kill -> publish -> restart ->
+# probe-time auto-resync -> byte-identical content hashes) and a fast
+# single-scenario CLI smoke.  The perf numbers land in
 # benchmarks/out/BENCH_parallel.json so future PRs have a trajectory
 # to regress against — the final check fails the run if that file did
 # not grow.
@@ -37,6 +40,7 @@ python -m pytest -x -q benchmarks/bench_delta_chain.py
 python -m pytest -x -q benchmarks/bench_workload_scenarios.py
 python benchmarks/smoke_serving_roundtrip.py
 python benchmarks/smoke_incremental_roundtrip.py
+python benchmarks/smoke_chaos_replication.py
 # fast single-scenario smoke through the CLI: in-process facade + a
 # live `cn-probase serve` subprocess, 4x-compressed schedule
 python -m repro.cli workload run steady_table2 --time-scale 4
@@ -55,7 +59,7 @@ scenarios = data.get("workload_scenarios", {})
 expected = {
     "steady_table2", "zipf_hot", "burst", "batch_heavy",
     "adversarial_miss", "publish_under_load", "multi_tenant",
-    "churn_world",
+    "churn_world", "replica_chaos", "dual_publisher",
 }
 missing = expected - set(scenarios)
 assert not missing, f"scenarios missing from {path}: {sorted(missing)}"

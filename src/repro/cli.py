@@ -380,6 +380,7 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import os
+    import signal
 
     from repro.serving import build_cluster
     from repro.serving.server import start_server
@@ -395,6 +396,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admin_token=args.admin_token,
     )
     ready_path = Path(args.ready_file) if args.ready_file else None
+
+    def handle_signal(signum, frame) -> None:
+        # exit through the normal path: wait() returns, the finally
+        # block closes the server and unlinks the ready-file — so a
+        # supervisor's SIGTERM never leaves a stale readiness marker
+        # for the next process to trip over
+        print(f"received {signal.Signals(signum).name}, shutting down")
+        server.shutdown_soon()
+
+    restored = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            restored[signum] = signal.signal(signum, handle_signal)
+        except (ValueError, OSError):  # non-main thread or unsupported
+            pass
     try:
         stats = taxonomy.stats()
         print(f"serving {args.taxonomy} "
@@ -426,6 +442,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             try:  # clean shutdown removes the readiness marker
                 ready_path.unlink()
             except OSError:
+                pass
+        for signum, handler in restored.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
                 pass
     return 0
 

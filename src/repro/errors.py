@@ -61,9 +61,19 @@ class DeltaConflictError(APIError):
     when the span is covered, full-snapshot ``/admin/swap`` otherwise —
     so the conflict is a routine signal, never a stack trace.
     ``server_version`` carries the replica's current version id when
-    the response included one.
+    the response included one; ``server_content_hash`` the replica's
+    content-addressed version (canonical-bytes sha256), letting the
+    publisher distinguish a *diverged* replica from one that already
+    holds the exact bytes the delta produces (a merge, not a conflict).
     """
 
-    def __init__(self, message: str, *, server_version: str | None = None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        server_version: str | None = None,
+        server_content_hash: str | None = None,
+    ):
         super().__init__(message)
         self.server_version = server_version
+        self.server_content_hash = server_content_hash

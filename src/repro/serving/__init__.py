@@ -41,9 +41,11 @@ Architecture (request path, top to bottom)::
   every ``probe_after`` skips, or forced via ``probe()``).
 - **Replica backends** (:mod:`repro.serving.replica`): the
   :class:`~repro.serving.replica.ReplicaBackend` protocol the router
-  routes over — in-process :class:`StoreShardReplica` views, or
+  routes over — in-process :class:`StoreShardReplica` views,
   :class:`~repro.serving.replica.RemoteReplica` driving another
-  serving process through :class:`TaxonomyClient`
+  serving process through :class:`TaxonomyClient`, or
+  :class:`~repro.serving.replica.LocalReplica` (an in-process replica
+  with its own independent store — the fault-injection twin)
   (``router.attach_replica(shard_id, backend)`` adds one).
 - **Delta-aware replication**:
   :meth:`~repro.serving.router.ReplicatedRouter.publish_delta` ships
@@ -58,6 +60,19 @@ Architecture (request path, top to bottom)::
   lagging or freshly-restarted replica always rejoins.  Outcomes land
   in ``router.last_publish_report`` and the
   ``chain_catchups``/``snapshot_heals`` counters.
+- **Content-addressed versions + probe-time auto-resync**: every
+  publish from a full taxonomy stamps the canonical-bytes sha256
+  (:meth:`~repro.taxonomy.store.Taxonomy.content_hash`); deltas carry
+  ``base_content_hash``/``new_content_hash`` stamps that survive
+  slicing, so replicas converge on the *cluster-level* hash and the
+  handshake can tell a diverged replica from one that already holds
+  the target bytes (two publishers shipping the same nightly delta
+  **merge** instead of 409).  A replica the version-aware probe finds
+  alive-but-stale pulls its own catch-up chain
+  (:func:`~repro.serving.replica.resync_replica`, wire spelling
+  ``GET /admin/delta-chain``) without waiting for the next publish —
+  outcomes in ``router.last_resync_report`` and the
+  ``probe_resyncs``/``resync_chains``/``resync_heals`` counters.
 - **Server** (:mod:`repro.serving.server`): the JSON wire (below) plus
   ``/healthz``, ``/version``, ``/metrics`` (the
   :class:`~repro.taxonomy.service.ServiceMetrics` ledger with
@@ -81,7 +96,12 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
   so load balancers rotate the instance out
 - ``GET /version`` → version + shard/replica topology +
   ``lineage`` (the versions delta publishes produced, oldest first —
-  how far back this replica can be caught up by chain)
+  how far back this replica can be caught up by chain) +
+  ``content_hash`` (the published bytes' sha256, when stamped)
+- ``GET /admin/delta-chain?from=<hash or vN>`` (admin auth) →
+  ``{"version": ..., "content_hash": ..., "covered": true, "deltas":
+  [...]}`` — the catch-up chain a recovering replica pulls;
+  ``covered: false`` (still 200) means heal by snapshot
 - ``GET /metrics`` → cumulative per-API calls/hits/mean/p50/p95/p99/max
   plus router attempt/failover/probe/catch-up/heal counters when
   routing is on
@@ -95,9 +115,11 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
 - ``POST /admin/apply-delta`` body ``{"delta": "<server-side path>"}``
   or ``{"delta": {...inline to_wire() object...}}`` (same auth),
   optional ``"base_version": "v3"`` (handshake: refused with **409**
-  ``{"conflict": true, "version": "v1"}`` when the served version
-  differs — the replication layer reads it to pick chain catch-up vs
-  snapshot heal), ``"version": 4`` (stamp) and ``"slice":
+  ``{"conflict": true, "version": "v1", "content_hash": ...}`` when
+  the served version differs — the replication layer reads it to pick
+  chain catch-up vs snapshot heal, and a delta targeting bytes the
+  replica already holds merges instead), ``"version": 4`` (stamp) and
+  ``"slice":
   {"shard_id": s, "n_shards": n}`` (validate/apply only this cluster
   shard's keys) → ``{"applied": true, "version": "v4", "delta": {...
   record counts ...}, "shard_versions": [...]}``; the delta is
@@ -113,18 +135,21 @@ Wire format (all JSON, UTF-8, ``ensure_ascii=False``):
 the stack up from a taxonomy file; :func:`build_cluster` does the same
 in-process.
 
-Remaining follow-ups (refreshed after PR-5 landed remote replicas,
-delta chains and delta-shipping replication): process-per-shard
-workers behind the same router protocol; content-addressed version
-ids (today's lockstep counters assume one publisher); auth beyond a
-single bearer token.
+Remaining follow-ups (refreshed after content-addressed versions and
+probe-time auto-resync landed): process-per-shard workers behind the
+same router protocol; auth beyond a single bearer token.
 """
 
 from __future__ import annotations
 
 from repro.errors import APIError
 from repro.serving.client import TaxonomyClient
-from repro.serving.replica import RemoteReplica, ReplicaBackend
+from repro.serving.replica import (
+    LocalReplica,
+    RemoteReplica,
+    ReplicaBackend,
+    resync_replica,
+)
 from repro.serving.router import ReplicatedRouter, StoreShardReplica
 from repro.serving.server import (
     ClusterHTTPServer,
@@ -139,6 +164,7 @@ from repro.serving.sharding import (
 
 __all__ = [
     "ClusterHTTPServer",
+    "LocalReplica",
     "RemoteReplica",
     "ReplicaBackend",
     "ReplicatedRouter",
@@ -148,6 +174,7 @@ __all__ = [
     "StoreShardReplica",
     "TaxonomyClient",
     "build_cluster",
+    "resync_replica",
     "shard_for",
     "start_server",
 ]

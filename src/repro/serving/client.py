@@ -6,7 +6,8 @@ in-process service, so anything written against ``TaxonomyService`` —
 including :meth:`~repro.taxonomy.api.WorkloadGenerator.run_service` —
 drives a remote cluster unchanged.  Singles go over
 ``GET /v1/{api}?q=...``, batches over ``POST /v1/{api}``; transient
-transport failures and 5xx responses are retried with linear backoff,
+transport failures and 5xx responses are retried with capped, jittered
+exponential backoff (seeded, so retry schedules are reproducible),
 while 4xx responses surface immediately as :class:`APIError` (the
 server already rejected the request; resending it cannot help).
 
@@ -22,10 +23,12 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from random import Random
 from typing import Sequence
 
 from repro.errors import APIError, DeltaConflictError
 from repro.taxonomy.service import (
+    PROBE_KEY,
     WIRE_API_METHODS,
     BatchedServingAPI,
     ServiceMetrics,
@@ -45,14 +48,28 @@ class TaxonomyClient(BatchedServingAPI):
         timeout: float = 10.0,
         retries: int = 2,
         backoff_seconds: float = 0.05,
+        backoff_cap_seconds: float = 1.0,
+        jitter_seed: int | None = None,
         admin_token: str | None = None,
     ) -> None:
         if retries < 0:
             raise APIError(f"retries must be >= 0, got {retries}")
+        if backoff_cap_seconds < backoff_seconds:
+            raise APIError(
+                f"backoff_cap_seconds ({backoff_cap_seconds}) must be >= "
+                f"backoff_seconds ({backoff_seconds})"
+            )
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
         self._retries = retries
         self._backoff_seconds = backoff_seconds
+        self._backoff_cap_seconds = backoff_cap_seconds
+        # Seeded jitter: retries back off exponentially (doubling per
+        # attempt, capped) with a multiplicative [0.5, 1.0) spread so a
+        # herd of clients retrying the same blip fans out instead of
+        # stampeding in lockstep — and a fixed seed keeps any one
+        # client's schedule reproducible run to run.
+        self._rng = Random(jitter_seed)
         self._admin_token = admin_token
         self.metrics = ServiceMetrics()
 
@@ -97,7 +114,11 @@ class TaxonomyClient(BatchedServingAPI):
         last_error: Exception | None = None
         for attempt in range(attempts):
             if attempt:
-                time.sleep(self._backoff_seconds * attempt)
+                backoff = min(
+                    self._backoff_cap_seconds,
+                    self._backoff_seconds * (2 ** (attempt - 1)),
+                )
+                time.sleep(backoff * (0.5 + 0.5 * self._rng.random()))
             request = urllib.request.Request(
                 url, data=data, headers=headers,
                 method="POST" if data is not None else "GET",
@@ -116,6 +137,7 @@ class TaxonomyClient(BatchedServingAPI):
                     raise DeltaConflictError(
                         f"{path}: HTTP 409: {detail}",
                         server_version=payload.get("version"),
+                        server_content_hash=payload.get("content_hash"),
                     ) from exc
                 if exc.code < 500:  # the server meant it: don't retry
                     raise APIError(
@@ -149,9 +171,10 @@ class TaxonomyClient(BatchedServingAPI):
         results = payload.get("results")
         if not isinstance(results, list):
             raise APIError(f"{api_name}: malformed response {payload!r}")
-        self.metrics.observe(
-            api_name, time.perf_counter() - started, bool(results)
-        )
+        if argument != PROBE_KEY:  # probes stay out of the ledgers
+            self.metrics.observe(
+                api_name, time.perf_counter() - started, bool(results)
+            )
         return results
 
     def _batch(
@@ -168,8 +191,9 @@ class TaxonomyClient(BatchedServingAPI):
         # One wire round trip served the whole batch; attribute the
         # cost evenly so per-call means stay comparable with singles.
         per_call = elapsed / len(results) if results else elapsed
-        for result in results:
-            self.metrics.observe(api_name, per_call, bool(result))
+        for argument, result in zip(arguments, results):
+            if argument != PROBE_KEY:  # probes stay out of the ledgers
+                self.metrics.observe(api_name, per_call, bool(result))
         return results
 
     # -- cluster info ----------------------------------------------------------
@@ -266,6 +290,24 @@ class TaxonomyClient(BatchedServingAPI):
         return self._request(
             "/admin/apply-delta", body=body, admin=True, idempotent=False
         )
+
+    def fetch_chain(self, from_ref: str) -> dict:
+        """The catch-up chain from *from_ref* to the server's version.
+
+        *from_ref* is what this side holds — a content hash (preferred:
+        meaningful even after a restart reset the ordinal counter) or a
+        version id ("v3").  The server answers with its current
+        ``version`` / ``content_hash`` and, when its delta history
+        covers the span, ``covered: true`` plus the ordered ``deltas``
+        (each hop carrying its lineage endpoints and the inline
+        :meth:`~repro.taxonomy.delta.TaxonomyDelta.to_wire` object).
+        ``covered: false`` is a normal answer, not an error — the
+        caller falls back to a snapshot heal.
+
+        Idempotent (a pure read), so it retries like any query.
+        """
+        query = urllib.parse.urlencode({"from": from_ref})
+        return self._request(f"/admin/delta-chain?{query}", admin=True)
 
     def shutdown_server(self) -> dict:
         return self._request(

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
-from repro.errors import APIError
+from repro.errors import APIError, ReproError
+from repro.taxonomy.delta import TaxonomyDelta, compose, parse_version_id
 
 if TYPE_CHECKING:
     from repro.serving.client import TaxonomyClient
-    from repro.taxonomy.delta import TaxonomyDelta
+    from repro.taxonomy.store import Taxonomy
 
 
 @runtime_checkable
@@ -125,6 +126,16 @@ class RemoteReplica:
         """The version id the remote currently serves ("v3")."""
         return str(self._client.version().get("version"))
 
+    def published_content_hash(self) -> str | None:
+        """The content-addressed version the remote serves, if stamped.
+
+        The canonical-bytes sha256 ``/version`` advertises; ``None``
+        when the remote's published state was never hashed (a frozen
+        view swap), in which case callers fall back to ordinals.
+        """
+        value = self._client.version().get("content_hash")
+        return value if isinstance(value, str) else None
+
     def publish_delta(
         self,
         delta: "TaxonomyDelta",
@@ -152,3 +163,279 @@ class RemoteReplica:
         lineage instead of restarting its own count.
         """
         return self._client.swap(taxonomy_path, version=version)
+
+    def resync(self, source, *, snapshot_path: str | None = None) -> dict:
+        """Pull this replica back into lockstep with *source*.
+
+        The probe-time self-heal surface the router drives; see
+        :func:`resync_replica` for the algorithm.
+        """
+        return resync_replica(self, source, snapshot_path=snapshot_path)
+
+
+def _resync_plan(
+    source, have_version: int | None, have_hash: str | None
+) -> tuple[int | None, str | None, "list[TaxonomyDelta] | None"]:
+    """What *source* says the replica must apply to catch up.
+
+    Returns ``(want_version, want_hash, deltas)``: the source's
+    published ordinal and content hash, plus the ordered catch-up
+    chain — ``[]`` when the replica is already at the target, ``None``
+    when the span is not covered (caller falls back to a snapshot).
+
+    Two source shapes are understood:
+
+    - a wire client with ``fetch_chain`` (the replica pulls its own
+      chain from the hub's ``GET /admin/delta-chain``), and
+    - an in-process publisher with ``delta_history`` + ``content_hash``
+      + a version id (a sharded store, or a router standing in for
+      one) — the chain is read straight out of the history ring.
+
+    When both content hashes are known the hash chain is authoritative:
+    a replica whose bytes are not on the source's recorded lineage is
+    *diverged*, and guessing by ordinal would chain the wrong deltas
+    onto it.  Ordinals are only consulted when a hash is missing.
+    """
+    fetch = getattr(source, "fetch_chain", None)
+    if callable(fetch):
+        from_ref = have_hash
+        if from_ref is None and have_version is not None:
+            from_ref = f"v{have_version}"
+        if from_ref is None:
+            raise APIError(
+                "resync needs the replica's version or content hash"
+            )
+        payload = fetch(from_ref)
+        want_version = parse_version_id(payload.get("version"))
+        want_hash = payload.get("content_hash")
+        if not isinstance(want_hash, str):
+            want_hash = None
+        if not payload.get("covered"):
+            return want_version, want_hash, None
+        deltas = [
+            TaxonomyDelta.from_wire(hop.get("delta"), "delta-chain")
+            for hop in payload.get("deltas", ())
+        ]
+        return want_version, want_hash, deltas
+
+    history = source.delta_history
+    want_id = getattr(source, "published_version_id", None)
+    if want_id is None:
+        want_id = getattr(source, "version_id", None)
+    want_version = parse_version_id(want_id)
+    want_hash = source.content_hash
+    if have_hash is not None and want_hash is not None:
+        entries = history.chain_entries_by_hash(have_hash, want_hash)
+    elif have_version is not None and want_version is not None:
+        entries = history.chain_entries(have_version, want_version)
+    else:
+        entries = None
+    if entries is None:
+        return want_version, want_hash, None
+    return want_version, want_hash, [entry.delta for entry in entries]
+
+
+def resync_replica(replica, source, *, snapshot_path=None) -> dict:
+    """Self-heal *replica* against *source*; returns an outcome report.
+
+    The core of probe-time auto-resync, shared by every backend kind
+    (:class:`RemoteReplica` pulls over the wire, :class:`LocalReplica`
+    reads the publisher's history in-process).  The replica states what
+    it holds (ordinal + content hash), :func:`_resync_plan` answers
+    with the span, and the cheapest sufficient repair is applied:
+
+    - already at the target bytes → ``"aligned"`` (nothing applied);
+    - the span is covered by the source's delta history → one composed
+      catch-up delta published with the full base handshake →
+      ``"chained"``;
+    - otherwise (evicted ring, broken lineage, diverged bytes, or a
+      chain publish that fails) → full snapshot swap from
+      *snapshot_path* → ``"healed"``; with no snapshot configured the
+      failure surfaces as :class:`~repro.errors.APIError`.
+    """
+    have_version_id = replica.published_version()
+    have_version = parse_version_id(have_version_id)
+    have_hash: str | None = None
+    hash_of = getattr(replica, "published_content_hash", None)
+    if callable(hash_of):
+        have_hash = hash_of()
+    want_version, want_hash, deltas = _resync_plan(
+        source, have_version, have_hash
+    )
+    report: dict = {
+        "from_version": have_version_id,
+        "from_hash": have_hash,
+        "to_version": (
+            f"v{want_version}" if want_version is not None else None
+        ),
+        "to_hash": want_hash,
+    }
+    aligned = deltas == [] or (
+        want_hash is not None and want_hash == have_hash
+    )
+    if aligned:
+        report["outcome"] = "aligned"
+        return report
+    if deltas:
+        try:
+            composed = compose(deltas)
+            replica.publish_delta(
+                composed, base_version=have_version_id, version=want_version
+            )
+            report["outcome"] = "chained"
+            report["hops"] = len(deltas)
+            return report
+        except ReproError as exc:
+            if snapshot_path is None:
+                raise
+            report["chain_error"] = str(exc)
+    if snapshot_path is None:
+        raise APIError(
+            f"cannot resync from {have_version_id} "
+            f"({have_hash or 'unhashed'}): span not covered by the "
+            "source's delta history and no snapshot path configured"
+        )
+    replica.publish_snapshot(str(snapshot_path), version=want_version)
+    report["outcome"] = "healed"
+    return report
+
+
+class LocalReplica:
+    """An in-process replica owning its own independent store.
+
+    The fault-injection twin of :class:`RemoteReplica`: it satisfies
+    the same replication surface (``published_version`` /
+    ``published_content_hash`` / ``publish_delta`` /
+    ``publish_snapshot`` / ``resync``), but the "process" is a private
+    :class:`~repro.serving.sharding.ShardedSnapshotStore` — so a chaos
+    harness can kill and restart it without sockets while the router
+    replicates to it exactly as it would to a remote.  Like a remote,
+    it shares *nothing* with its peers: a publish that never reaches it
+    leaves it genuinely stale until the handshake or a resync heals it.
+
+    *shard_id* / *n_shards* name the slice of the cluster keyspace this
+    replica serves (deltas are applied under that key filter); a
+    full-keyspace replica omits them.
+    """
+
+    def __init__(
+        self,
+        taxonomy: "Taxonomy",
+        *,
+        version: int = 1,
+        shard_id: int | None = None,
+        n_shards: int | None = None,
+        name: str = "local",
+    ) -> None:
+        from repro.serving.sharding import ShardedSnapshotStore
+
+        if (shard_id is None) != (n_shards is None):
+            raise APIError(
+                "shard_id and n_shards name one slice: give both or neither"
+            )
+        self._shard_id = shard_id
+        self._n_shards = n_shards
+        self.name = name
+        # one internal shard: intra-replica sharding buys nothing, the
+        # cluster-level sharding happens in the router above
+        self._store = ShardedSnapshotStore(
+            taxonomy, n_shards=1, version=version
+        )
+
+    @property
+    def store(self):
+        """The private store (chaos harnesses inspect it directly)."""
+        return self._store
+
+    @property
+    def slice_spec(self) -> dict | None:
+        """The wire ``slice`` object, or None for a full-keyspace replica."""
+        if self._shard_id is None:
+            return None
+        return {"shard_id": self._shard_id, "n_shards": self._n_shards}
+
+    def _key_filter(self):
+        if self._shard_id is None:
+            return None
+        from repro.serving.sharding import shard_for
+
+        shard_id, n_shards = self._shard_id, self._n_shards
+        return lambda key: shard_for(key, n_shards) == shard_id
+
+    def __repr__(self) -> str:  # in failover logs and reports
+        return f"LocalReplica({self.name}@{self._store.version_id})"
+
+    # -- the three shard lookups -----------------------------------------------
+
+    def men2ent(self, mention: str) -> list[str]:
+        return self._store.men2ent(mention)
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        return self._store.get_concepts(page_id)
+
+    def get_entities(self, concept: str) -> list[str]:
+        return self._store.get_entities(concept)
+
+    def pinned(self):
+        """One snapshot view for a whole batch group (swap-proof).
+
+        Without this hook the router serves a group lookup-by-lookup
+        against the live store, and a publish landing mid-group would
+        tear the batch across versions — the exact torn read the
+        serving layer promises away.
+        """
+        return self._store.shard_set.shards[0].read_view
+
+    # -- health ----------------------------------------------------------------
+
+    def healthcheck(self) -> bool:
+        return True
+
+    # -- replication -----------------------------------------------------------
+
+    def published_version(self) -> str:
+        return self._store.version_id
+
+    def published_content_hash(self) -> str | None:
+        return self._store.content_hash
+
+    def publish_delta(
+        self,
+        delta: "TaxonomyDelta",
+        *,
+        base_version: str | None = None,
+        version: int | None = None,
+    ) -> dict:
+        base: int | None = None
+        if base_version is not None:
+            base = parse_version_id(base_version)
+            if base is None:
+                raise APIError(f"malformed base_version {base_version!r}")
+        shard_set = self._store.publish_delta(
+            delta,
+            key_filter=self._key_filter(),
+            version=version,
+            base_version=base,
+        )
+        return {
+            "applied": True,
+            "version": shard_set.version_id,
+            "content_hash": shard_set.content_hash,
+        }
+
+    def publish_snapshot(
+        self, taxonomy_path: str, *, version: int | None = None
+    ) -> dict:
+        from repro.taxonomy.store import Taxonomy
+
+        taxonomy = Taxonomy.load(taxonomy_path)
+        shard_set = self._store.swap(taxonomy, version=version)
+        return {
+            "swapped": True,
+            "version": shard_set.version_id,
+            "content_hash": shard_set.content_hash,
+        }
+
+    def resync(self, source, *, snapshot_path: str | None = None) -> dict:
+        """Self-heal against *source*; see :func:`resync_replica`."""
+        return resync_replica(self, source, snapshot_path=snapshot_path)

@@ -60,10 +60,14 @@ from repro.taxonomy.delta import (
     compose,
     parse_version_id,
 )
-from repro.taxonomy.service import BatchedServingAPI, ServiceMetrics
-
-#: The benign lookup a probe sends when the backend has no healthcheck().
-PROBE_KEY = "__probe__"
+from repro.taxonomy.service import (
+    #: The benign lookup a probe sends when the backend has no
+    #: healthcheck() — re-exported here for compatibility (the router
+    #: was its original home).
+    PROBE_KEY,
+    BatchedServingAPI,
+    ServiceMetrics,
+)
 
 
 class StoreShardReplica:
@@ -136,6 +140,12 @@ class RouterStats:
     probe_recoveries: int = 0
     chain_catchups: int = 0
     snapshot_heals: int = 0
+    #: probe-time self-healing: a stale-but-alive replica pulled its own
+    #: catch-up at probe time (no publish involved)
+    probe_resyncs: int = 0
+    resync_chains: int = 0
+    resync_heals: int = 0
+    resync_failures: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -145,6 +155,10 @@ class RouterStats:
             "probe_recoveries": self.probe_recoveries,
             "chain_catchups": self.chain_catchups,
             "snapshot_heals": self.snapshot_heals,
+            "probe_resyncs": self.probe_resyncs,
+            "resync_chains": self.resync_chains,
+            "resync_heals": self.resync_heals,
+            "resync_failures": self.resync_failures,
         }
 
 
@@ -159,6 +173,8 @@ class ReplicatedRouter(BatchedServingAPI):
         probe_after: int = 16,
         metrics: ServiceMetrics | None = None,
         base_version: int = 1,
+        auto_resync: bool = True,
+        resync_snapshot_path=None,
     ) -> None:
         if not replica_sets or any(not replicas for replicas in replica_sets):
             raise APIError("router needs >= 1 replica for every shard")
@@ -178,12 +194,25 @@ class ReplicatedRouter(BatchedServingAPI):
         # storeless (pure-remote) routers track their own publish
         # lineage; store-backed ones defer to the store's
         self._published_version = base_version
+        self._published_hash: str | None = None
         self._delta_history = DeltaHistory()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.stats = RouterStats()
+        #: Probe-time self-healing: when a probe finds a replica alive
+        #: but stale and its backend can ``resync``, the router hands it
+        #: the catch-up source instead of leaving it parked for the next
+        #: publish.  ``resync_snapshot_path`` arms the snapshot
+        #: fall-back for replicas whose lag the delta ring no longer
+        #: covers.
+        self.auto_resync = auto_resync
+        self.resync_snapshot_path = resync_snapshot_path
         #: Per-replica outcomes of the last :meth:`publish_delta`
-        #: (``applied`` / ``chained`` / ``healed`` / ``failed``).
+        #: (``applied`` / ``chained`` / ``healed`` / ``merged`` /
+        #: ``failed``).
         self.last_publish_report: list[dict] = []
+        #: Recent probe-time resync outcomes (``aligned`` / ``chained``
+        #: / ``healed`` / ``failed``), newest last, bounded.
+        self.last_resync_report: list[dict] = []
 
     @classmethod
     def from_store(
@@ -193,6 +222,8 @@ class ReplicatedRouter(BatchedServingAPI):
         replicas: int = 2,
         retries: int = 2,
         probe_after: int = 16,
+        auto_resync: bool = True,
+        resync_snapshot_path=None,
     ) -> "ReplicatedRouter":
         """R in-process replicas per shard over one sharded store.
 
@@ -212,6 +243,8 @@ class ReplicatedRouter(BatchedServingAPI):
             retries=retries,
             probe_after=probe_after,
             metrics=store.metrics,
+            auto_resync=auto_resync,
+            resync_snapshot_path=resync_snapshot_path,
         )
         router._store = store
         return router
@@ -231,6 +264,32 @@ class ReplicatedRouter(BatchedServingAPI):
         if self._store is None:
             raise APIError("router has no backing store to version")
         return self._store.version_id
+
+    @property
+    def published_version_id(self) -> str:
+        """The version id of the last publish this router made.
+
+        Unlike :attr:`version_id` this also answers for storeless
+        routers (from their own publish counter) — it is the version a
+        resyncing replica is asked to reach.
+        """
+        if self._store is not None:
+            return self._store.version_id
+        return f"v{self._published_version}"
+
+    @property
+    def content_hash(self) -> str | None:
+        """The published content hash (store's, or router-local)."""
+        if self._store is not None:
+            return self._store.content_hash
+        return self._published_hash
+
+    @property
+    def delta_history(self) -> DeltaHistory:
+        """The catch-up ring resyncs read (store's, or router-local)."""
+        if self._store is not None:
+            return self._store.delta_history
+        return self._delta_history
 
     def shard_versions(self) -> list[str]:
         if self._store is None:
@@ -330,6 +389,7 @@ class ReplicatedRouter(BatchedServingAPI):
                     "outcome": outcome,
                 })
         self._published_version = target
+        self._published_hash = result.content_hash
         self.last_publish_report = report
         return result
 
@@ -395,6 +455,13 @@ class ReplicatedRouter(BatchedServingAPI):
                 base_version=base_version,
             )
             target = result.version
+            if target == base:
+                # the store merged (it already held the delta's target
+                # bytes): nothing changed, so shipping the delta to
+                # replicas — which also hold those bytes — would only
+                # force them through pointless conflict handling
+                self.last_publish_report = [{"outcome": "merged"}]
+                return result
             history = self._store.delta_history
         else:
             if key_filter is not None:
@@ -407,17 +474,48 @@ class ReplicatedRouter(BatchedServingAPI):
                     "the sliced delta to the shard backends directly"
                 )
             base = self._published_version
-            if base_version is not None and base_version != base:
+            current_hash = self._published_hash
+            base_mismatch = (
+                base_version is not None and base_version != base
+            ) or (
+                delta.base_content_hash is not None
+                and current_hash is not None
+                and delta.base_content_hash != current_hash
+            )
+            if base_mismatch:
+                if (
+                    delta.new_content_hash is not None
+                    and delta.new_content_hash == current_hash
+                ):
+                    # merge: a second publisher shipped the same nightly
+                    # delta — this router already published those exact
+                    # bytes, so converge without re-shipping (replicas
+                    # that missed the first publish are resynced by the
+                    # probe loop, not by a duplicate fan-out)
+                    self.last_publish_report = [{"outcome": "merged"}]
+                    return self.last_publish_report
+                base_label = (
+                    f"v{base_version}" if base_version is not None
+                    else "unpinned"
+                )
                 raise DeltaConflictError(
-                    f"delta base v{base_version} does not match the "
-                    f"published version v{base}",
+                    f"delta base ({base_label}, "
+                    f"{delta.base_content_hash or 'unhashed'}) does not "
+                    f"match the published version v{base}",
                     server_version=f"v{base}",
+                    server_content_hash=current_hash,
                 )
             target = bump_version(base, version)
             history = self._delta_history
             # record before shipping so a refusing replica can be
             # caught up through the ring it just missed
-            history.record(base, target, delta)
+            history.record(
+                base,
+                target,
+                delta,
+                base_content_hash=current_hash or delta.base_content_hash,
+                content_hash=delta.new_content_hash,
+            )
             result = None
 
         report: list[dict] = []
@@ -446,6 +544,10 @@ class ReplicatedRouter(BatchedServingAPI):
                     "outcome": outcome,
                 })
         self._published_version = target
+        self._published_hash = (
+            result.content_hash if result is not None
+            else delta.new_content_hash
+        )
         self.last_publish_report = report
         return result if self._store is not None else report
 
@@ -572,24 +674,40 @@ class ReplicatedRouter(BatchedServingAPI):
         (its wire apply timed out, or the hub swapped underneath it)
         answers its healthcheck happily while serving stale answers —
         re-admitting it would mix taxonomy versions in the rotation.
-        It stays parked until a publish heals it.  Backends without a
-        ``published_version`` (in-process store views) are always
-        aligned: they read the store's current shard set.
+        It stays parked until a publish or a probe-time resync heals
+        it.  Backends without a ``published_version`` (in-process store
+        views) are always aligned: they read the store's current shard
+        set.
+
+        When both sides advertise a content hash the comparison is
+        content-addressed: byte-equality of the served taxonomy, immune
+        to ordinal drift (a replica healed through an out-of-band swap
+        with the right bytes but its own counter).  Otherwise it falls
+        back to the ordinal lockstep check.
         """
         published = getattr(backend, "published_version", None)
-        if not callable(published):
+        published_hash = getattr(backend, "published_content_hash", None)
+        if not callable(published) and not callable(published_hash):
             return True
         if self._store is not None:
             expected = self._store.shard_set.version
+            expected_hash = self._store.content_hash
         elif len(self._delta_history):
             expected = self._published_version
+            expected_hash = self._published_hash
         else:
             # this router never published anything (a read-only load
             # balancer over independently-managed replicas): it has no
             # basis to call any served version stale
             return True
         try:
-            return parse_version_id(published()) == expected
+            if callable(published_hash) and expected_hash is not None:
+                have = published_hash()
+                if have is not None:
+                    return have == expected_hash
+            if callable(published):
+                return parse_version_id(published()) == expected
+            return True
         except Exception:
             return False
 
@@ -598,7 +716,11 @@ class ReplicatedRouter(BatchedServingAPI):
 
         Success means alive *and* version-aligned (see
         :meth:`_version_aligned`) — a healthy-but-stale remote replica
-        stays out of the rotation.
+        stays out of the rotation.  When :attr:`auto_resync` is on and
+        the backend can ``resync``, an alive-but-stale replica pulls
+        its own catch-up chain right here (snapshot fall-back via
+        :attr:`resync_snapshot_path`) and rejoins without waiting for
+        the next publish — the self-healing half of replication.
         """
         state = self._replicas[shard_id][replica_index]
         with self._lock:
@@ -613,7 +735,10 @@ class ReplicatedRouter(BatchedServingAPI):
         except Exception:
             ok = False
         if ok:
-            ok = self._version_aligned(state.backend)
+            aligned = self._version_aligned(state.backend)
+            if not aligned and self.auto_resync:
+                aligned = self._try_resync(shard_id, replica_index, state)
+            ok = aligned
         with self._lock:
             if ok:
                 if not state.healthy:
@@ -633,6 +758,64 @@ class ReplicatedRouter(BatchedServingAPI):
                 if not state.healthy and self.probe(shard_id, replica_index):
                     recovered += 1
         return recovered
+
+    #: How many probe-time resync outcomes :attr:`last_resync_report`
+    #: keeps (newest last) — observability, not an audit log.
+    _RESYNC_REPORT_SIZE = 64
+
+    def _try_resync(self, shard_id: int, replica_index: int, state) -> bool:
+        """Let an alive-but-stale replica pull its own catch-up.
+
+        The replica's ``resync`` drives the whole recovery — read its
+        own state, chain from this router's (or store's) delta history,
+        fall back to the snapshot at :attr:`resync_snapshot_path` —
+        so the router stays a coordinator, not a data plane.  Returns
+        True when the replica ends aligned.
+        """
+        resync = getattr(state.backend, "resync", None)
+        if not callable(resync):
+            return False
+        source = self._store if self._store is not None else self
+        entry = {
+            "shard": shard_id,
+            "replica": replica_index,
+            "backend": repr(state.backend),
+        }
+        try:
+            result = resync(
+                source, snapshot_path=self.resync_snapshot_path
+            )
+        except Exception as exc:
+            with self._lock:
+                self.stats.resync_failures += 1
+            entry.update(outcome="failed", error=str(exc))
+            self._record_resync(entry)
+            return False
+        # a ReplicaBackend resync returns its full report dict; tolerate
+        # a bare outcome string from simpler backends
+        if isinstance(result, dict):
+            entry.update(result)
+        else:
+            entry["outcome"] = result
+        outcome = entry.get("outcome")
+        self._record_resync(entry)
+        ok = outcome in ("aligned", "chained", "healed")
+        with self._lock:
+            if outcome == "chained":
+                self.stats.resync_chains += 1
+            elif outcome == "healed":
+                self.stats.resync_heals += 1
+            if ok:
+                self.stats.probe_resyncs += 1
+            else:
+                self.stats.resync_failures += 1
+        # trust, then verify: the replica must actually report aligned
+        return ok and self._version_aligned(state.backend)
+
+    def _record_resync(self, entry: dict) -> None:
+        with self._lock:
+            self.last_resync_report.append(entry)
+            del self.last_resync_report[: -self._RESYNC_REPORT_SIZE]
 
     # -- routing ---------------------------------------------------------------
 
@@ -718,13 +901,16 @@ class ReplicatedRouter(BatchedServingAPI):
                 self.stats.attempts += 1
             pinned_in = getattr(state.backend, "pinned_in", None)
             pinned = getattr(state.backend, "pinned", None)
-            if pin is not None and pinned_in is not None:
-                target = pinned_in(pin)
-            elif pinned is not None:
-                target = pinned()
-            else:
-                target = state.backend
             try:
+                # resolving the pin is the first wire round-trip to the
+                # replica — a failure here is a replica failure and must
+                # fail over, not escape the group
+                if pin is not None and pinned_in is not None:
+                    target = pinned_in(pin)
+                elif pinned is not None:
+                    target = pinned()
+                else:
+                    target = state.backend
                 call = getattr(target, lookup_name)
                 served: list[tuple[list[str], float]] = []
                 for argument in arguments:
@@ -740,8 +926,9 @@ class ReplicatedRouter(BatchedServingAPI):
                     state.skips_since_down = 0
                     self.stats.failovers += 1
                 continue
-            for result, elapsed in served:
-                self.metrics.observe(api_name, elapsed, bool(result))
+            for argument, (result, elapsed) in zip(arguments, served):
+                if argument != PROBE_KEY:  # probes stay out of ledgers
+                    self.metrics.observe(api_name, elapsed, bool(result))
             return [result for result, _ in served]
         detail = f": {last_error}" if last_error is not None else ""
         raise ServiceUnavailableError(

@@ -12,7 +12,12 @@ Endpoints (see the package docstring for the full wire format):
 - ``GET /v1/{men2ent,getConcept,getEntity}?q=<arg>`` — single query
 - ``POST /v1/{api}`` with ``{"arguments": [...]}`` — batched query
 - ``GET /healthz`` / ``GET /version`` (incl. the delta-publish
-  ``lineage``) / ``GET /metrics``
+  ``lineage`` and the ``content_hash`` of the published bytes) /
+  ``GET /metrics``
+- ``GET /admin/delta-chain?from=<hash or vN>`` — the catch-up chain
+  from the caller's state to the served version (probe-time
+  auto-resync pulls this); ``covered: false`` when the delta history
+  does not span it
 - ``POST /admin/swap`` with ``{"taxonomy": "<path>"}`` — load the
   taxonomy file server-side and hot-swap it atomically; an optional
   ``"version"`` stamps the published version (replication lockstep)
@@ -120,6 +125,9 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
                 self._respond(200, self.server.version_payload())
             elif url.path == "/metrics":
                 self._respond(200, self.server.metrics_payload())
+            elif url.path == "/admin/delta-chain":
+                if self._authorized():
+                    self._admin_delta_chain(url)
             elif url.path.startswith("/v1/"):
                 self._query_single(url)
             else:
@@ -237,6 +245,73 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
             raise APIError(f"malformed base_version {base_version!r}")
         return parsed
 
+    def _admin_delta_chain(self, url) -> None:
+        """Answer a recovering replica's catch-up query (a pure read).
+
+        ``?from=`` is the caller's state: a content hash (preferred —
+        meaningful even after a restart reset its ordinal counter) or a
+        version id ("v3").  The response always reports the served
+        ``version`` / ``content_hash``; when the delta history covers
+        the span it adds ``covered: true`` and the ordered ``deltas``
+        (lineage endpoints + the inline ``to_wire`` object per hop).
+        An uncovered span is a normal 200 with ``covered: false`` —
+        the caller's signal to heal by snapshot instead.
+        """
+        from repro.taxonomy.delta import parse_version_id
+
+        refs = parse_qs(url.query).get("from")
+        if not refs or not refs[0]:
+            raise APIError(
+                "delta-chain needs a ?from=<content hash or version id> "
+                "query"
+            )
+        from_ref = refs[0]
+        service = self.server.service
+        history = getattr(service, "delta_history", None)
+        if history is None:
+            raise APIError(
+                "this service front does not keep a delta history"
+            )
+        version_id = getattr(service, "published_version_id", None)
+        if version_id is None:
+            version_id = self.server.service_version()
+        content_hash = getattr(service, "content_hash", None)
+        from_version = parse_version_id(from_ref)
+        entries = None
+        if from_version is not None:
+            to_version = parse_version_id(version_id)
+            if to_version is not None:
+                entries = history.chain_entries(from_version, to_version)
+        elif content_hash is not None:
+            entries = history.chain_entries_by_hash(from_ref, content_hash)
+        payload: dict = {
+            "version": version_id,
+            "content_hash": content_hash,
+            "covered": entries is not None,
+            "deltas": [],
+        }
+        if entries:
+            # advertise the chain's own endpoint, not the re-read
+            # current state: a publish landing mid-handler must not
+            # produce a payload whose deltas stop short of the version
+            # it claims — a consistent prefix beats a torn answer (the
+            # next probe chains the replica the rest of the way)
+            last = entries[-1]
+            payload["version"] = f"v{last.version}"
+            if last.content_hash is not None:
+                payload["content_hash"] = last.content_hash
+            payload["deltas"] = [
+                {
+                    "base_version": f"v{entry.base_version}",
+                    "version": f"v{entry.version}",
+                    "base_content_hash": entry.base_content_hash,
+                    "content_hash": entry.content_hash,
+                    "delta": entry.delta.to_wire(),
+                }
+                for entry in entries
+            ]
+        self._respond(200, payload)
+
     def _admin_swap(self, raw_body: bytes) -> None:
         body = self._parse_json_body(raw_body)
         path = body.get("taxonomy")
@@ -349,6 +424,10 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
                 "conflict": True,
                 "version": exc.server_version
                 or self.server.service_version(),
+                # the replica's content-addressed state, so the sender
+                # can tell "diverged" from "already has these bytes"
+                "content_hash": exc.server_content_hash
+                or getattr(self.server.service, "content_hash", None),
             })
             return
         except (ReproError, OSError) as exc:  # bad path/base: caller error
@@ -427,6 +506,11 @@ class ClusterHTTPServer(ThreadingHTTPServer):
             "shards": getattr(self.service, "n_shards", 1),
             "replicas": getattr(self.service, "n_replicas", 1),
         }
+        content_hash = getattr(self.service, "content_hash", None)
+        if content_hash is not None:
+            # the content-addressed version id: the canonical-bytes
+            # sha256 every converged replica advertises identically
+            payload["content_hash"] = content_hash
         shard_versions = getattr(self.service, "shard_versions", None)
         if callable(shard_versions):
             payload["shard_versions"] = shard_versions()

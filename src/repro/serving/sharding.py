@@ -34,6 +34,7 @@ from repro.errors import APIError, DeltaConflictError, TaxonomyError
 from repro.taxonomy.delta import DeltaHistory, bump_version
 from repro.taxonomy.model import HYPONYM_ENTITY
 from repro.taxonomy.service import (
+    PROBE_KEY,
     WIRE_API_METHODS,
     BatchedServingAPI,
     ServiceMetrics,
@@ -79,10 +80,18 @@ class ShardSnapshot:
 
 @dataclass(frozen=True)
 class ShardSet:
-    """All shards of one published version, swapped as a unit."""
+    """All shards of one published version, swapped as a unit.
+
+    ``content_hash`` is the canonical-bytes sha256 of the *cluster-level*
+    taxonomy this set was partitioned from (or advanced to by a stamped
+    delta) — the content-addressed version id probes and resyncs
+    converge on.  ``None`` when the source could not provide one (a
+    frozen view swap, or an unstamped hand-built delta).
+    """
 
     version: int
     shards: tuple[ShardSnapshot, ...]
+    content_hash: str | None = None
 
     @property
     def n_shards(self) -> int:
@@ -101,17 +110,23 @@ class ShardSet:
         version: int,
         taxonomy: "Taxonomy | ReadOptimizedTaxonomy",
         n_shards: int,
+        *,
+        content_hash: str | None = None,
     ) -> "ShardSet":
         """Split *taxonomy* into *n_shards* key-hashed read views.
 
         Works from the frozen view (a mutable :class:`Taxonomy` is
         frozen first), so a published shard set is immune to later
         mutation of the builder's taxonomy, exactly like an unsharded
-        snapshot.
+        snapshot.  *content_hash* stamps the set; when omitted it is
+        computed from a mutable :class:`Taxonomy` source (a frozen view
+        cannot reproduce the canonical bytes, so it stays ``None``).
         """
         if n_shards < 1:
             raise APIError(f"n_shards must be >= 1, got {n_shards}")
         if isinstance(taxonomy, Taxonomy):
+            if content_hash is None:
+                content_hash = taxonomy.content_hash()
             taxonomy = taxonomy.freeze()
         mentions, entity_hypernyms, concept_entities = taxonomy.as_indexes()
         split_mentions: list[dict] = [{} for _ in range(n_shards)]
@@ -150,7 +165,9 @@ class ShardSet:
                     ),
                 )
             )
-        return cls(version=version, shards=tuple(shards))
+        return cls(
+            version=version, shards=tuple(shards), content_hash=content_hash
+        )
 
 
 def _validate_delta_base(shard_set: ShardSet, delta, keep=None) -> None:
@@ -268,6 +285,11 @@ class ShardedSnapshotStore(BatchedServingAPI):
     def version_id(self) -> str:
         return self._shard_set.version_id
 
+    @property
+    def content_hash(self) -> str | None:
+        """The published set's cluster-level canonical-bytes sha256."""
+        return self._shard_set.content_hash
+
     def shard_versions(self) -> list[str]:
         """Per-shard version ids: the version each shard last changed at.
 
@@ -294,6 +316,7 @@ class ShardedSnapshotStore(BatchedServingAPI):
         taxonomy: "Taxonomy | ReadOptimizedTaxonomy",
         *,
         version: int | None = None,
+        content_hash: str | None = None,
     ) -> ShardSet:
         """Publish a rebuilt taxonomy across every shard atomically.
 
@@ -312,6 +335,7 @@ class ShardedSnapshotStore(BatchedServingAPI):
                 bump_version(self._shard_set.version, version),
                 taxonomy,
                 self._shard_set.n_shards,
+                content_hash=content_hash,
             )
             self._shard_set = shard_set
             self.metrics.swaps += 1
@@ -360,11 +384,32 @@ class ShardedSnapshotStore(BatchedServingAPI):
         """
         with self._lock:
             current = self._shard_set
-            if base_version is not None and base_version != current.version:
+            base_mismatch = (
+                base_version is not None and base_version != current.version
+            ) or (
+                delta.base_content_hash is not None
+                and current.content_hash is not None
+                and delta.base_content_hash != current.content_hash
+            )
+            if base_mismatch:
+                if (
+                    delta.new_content_hash is not None
+                    and delta.new_content_hash == current.content_hash
+                ):
+                    # merge: this store already holds the exact bytes the
+                    # delta produces (a second publisher shipped the same
+                    # nightly delta) — converge instead of 409
+                    return current
+                base_label = (
+                    f"v{base_version}" if base_version is not None
+                    else "unpinned"
+                )
                 raise DeltaConflictError(
-                    f"delta base v{base_version} does not match the "
-                    f"published version {current.version_id}",
+                    f"delta base ({base_label}, "
+                    f"{delta.base_content_hash or 'unhashed'}) does not "
+                    f"match the published version {current.version_id}",
                     server_version=current.version_id,
+                    server_content_hash=current.content_hash,
                 )
             target = bump_version(current.version, version)
             _validate_delta_base(current, delta, key_filter)
@@ -394,10 +439,22 @@ class ShardedSnapshotStore(BatchedServingAPI):
                         read_view=read_view,
                     )
                 )
-            shard_set = ShardSet(version=target, shards=tuple(shards))
+            shard_set = ShardSet(
+                version=target,
+                shards=tuple(shards),
+                # the cluster-level stamp the delta carries (slices keep
+                # it); an unstamped delta leaves the new set unhashed
+                content_hash=delta.new_content_hash,
+            )
             self._shard_set = shard_set
             self.metrics.swaps += 1
-            self.delta_history.record(current.version, target, delta)
+            self.delta_history.record(
+                current.version,
+                target,
+                delta,
+                base_content_hash=current.content_hash,
+                content_hash=delta.new_content_hash,
+            )
             return shard_set
 
     # -- serving hooks ---------------------------------------------------------
@@ -406,6 +463,9 @@ class ShardedSnapshotStore(BatchedServingAPI):
         self, shard_set: ShardSet, api_name: str, argument: str
     ) -> list[str]:
         shard = shard_set.shard_of(argument)
+        if argument == PROBE_KEY:
+            # probes exercise the lookup path but stay out of the ledgers
+            return shard.lookup(api_name, argument)
         started = perf_counter()
         result = shard.lookup(api_name, argument)
         self.metrics.observe(api_name, perf_counter() - started, bool(result))

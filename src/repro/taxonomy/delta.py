@@ -115,6 +115,15 @@ class TaxonomyDelta:
     a rescore or a provenance change.  ``new_stats`` / ``new_n_relations``
     are the target taxonomy's headline numbers, carried so a frozen
     read view can be advanced without recounting the world.
+
+    ``base_content_hash`` / ``new_content_hash`` are the sha256 content
+    hashes (:meth:`~repro.taxonomy.store.Taxonomy.content_hash`) of the
+    *cluster-level* base and target taxonomies — the content-addressed
+    half of the publish handshake.  They survive :meth:`slice` unchanged
+    (a shard slice still targets the same cluster state), so every
+    replica that applies its slice of a delta converges on the same
+    advertised hash.  ``None`` means the producer did not stamp them
+    (hand-built deltas); consumers fall back to ordinal versions.
     """
 
     name: str
@@ -126,6 +135,8 @@ class TaxonomyDelta:
     relations_changed: tuple[tuple[IsARelation, IsARelation], ...] = ()
     new_stats: "TaxonomyStats | None" = None
     new_n_relations: int = 0
+    base_content_hash: str | None = None
+    new_content_hash: str | None = None
 
     @classmethod
     def compute(cls, old: "Taxonomy", new: "Taxonomy") -> "TaxonomyDelta":
@@ -186,6 +197,8 @@ class TaxonomyDelta:
             ),
             new_stats=new.stats(),
             new_n_relations=len(new),
+            base_content_hash=old.content_hash(),
+            new_content_hash=new.content_hash(),
         )
 
     # -- shape ------------------------------------------------------------------
@@ -254,7 +267,9 @@ class TaxonomyDelta:
         Records with no serving keys at all (concept-layer relations,
         pure rescores) serve nothing and are dropped; headline numbers
         are cleared for the same reason (the receiver recomputes its
-        shard-local counts on apply).
+        shard-local counts on apply).  The content-hash stamps are
+        *kept*: a shard slice still targets the same cluster-level
+        state, and the receiving replica advertises the cluster hash.
         """
 
         def keep_entity(*records: Entity) -> bool:
@@ -288,6 +303,8 @@ class TaxonomyDelta:
             relations_removed=tuple(
                 r for r in self.relations_removed if keep_relation(r)
             ),
+            base_content_hash=self.base_content_hash,
+            new_content_hash=self.new_content_hash,
         )
 
     # -- persistence -------------------------------------------------------------
@@ -330,6 +347,8 @@ class TaxonomyDelta:
             "name": self.name,
             "new_n_relations": self.new_n_relations,
             "new_stats": stats,
+            "base_content_hash": self.base_content_hash,
+            "new_content_hash": self.new_content_hash,
             "records": list(self.records()),
         }
 
@@ -369,6 +388,8 @@ def save_delta(delta: TaxonomyDelta, path: str | Path) -> None:
             "name": delta.name,
             "new_n_relations": delta.new_n_relations,
             "new_stats": stats,
+            "base_content_hash": delta.base_content_hash,
+            "new_content_hash": delta.new_content_hash,
         }
         handle.write(json.dumps(header, ensure_ascii=False) + "\n")
         for record in delta.records():
@@ -429,6 +450,8 @@ class _DeltaParts:
         name: str,
         new_stats: "TaxonomyStats | None",
         new_n_relations: int,
+        base_content_hash: str | None = None,
+        new_content_hash: str | None = None,
     ) -> TaxonomyDelta:
         return TaxonomyDelta(
             name=name,
@@ -440,13 +463,17 @@ class _DeltaParts:
             relations_changed=tuple(self.relations_changed),
             new_stats=new_stats,
             new_n_relations=new_n_relations,
+            base_content_hash=base_content_hash,
+            new_content_hash=new_content_hash,
         )
 
 
 def _parse_delta_header(
     header: dict, where: str
-) -> tuple[str, "TaxonomyStats | None", int]:
-    """Validate a delta header; returns (name, new_stats, new_n_relations).
+) -> tuple[str, "TaxonomyStats | None", int, str | None, str | None]:
+    """Validate a delta header; returns
+    ``(name, new_stats, new_n_relations, base_content_hash,
+    new_content_hash)``.
 
     Every delta ever written carried a ``format_version`` (the format
     was born versioned in the PR that introduced it), so a missing or
@@ -487,17 +514,25 @@ def _parse_delta_header(
             raise TaxonomyError(
                 f"{where}: malformed new_stats header: {exc}"
             ) from exc
-    return name, new_stats, new_n_relations
+    hashes: list[str | None] = []
+    for field in ("base_content_hash", "new_content_hash"):
+        value = header.get(field)
+        if value is not None and not isinstance(value, str):
+            raise TaxonomyError(
+                f"{where}: malformed {field} {value!r}"
+            )
+        hashes.append(value)
+    return name, new_stats, new_n_relations, hashes[0], hashes[1]
 
 
 def _assemble_delta(
     header: dict, records: Iterable[dict], where: str
 ) -> TaxonomyDelta:
-    name, new_stats, new_n_relations = _parse_delta_header(header, where)
+    parsed = _parse_delta_header(header, where)
     parts = _DeltaParts()
     for record in records:
         parts.dispatch(record, where)
-    return parts.build(name, new_stats, new_n_relations)
+    return parts.build(*parsed)
 
 
 def load_delta(path: str | Path) -> TaxonomyDelta:
@@ -629,6 +664,10 @@ def compose(deltas: Sequence[TaxonomyDelta]) -> TaxonomyDelta:
         relations_changed=tuple(relations_changed),
         new_stats=last.new_stats,
         new_n_relations=last.new_n_relations,
+        # content endpoints of the squashed span: the chain starts at
+        # the first delta's base bytes and lands on the last's target
+        base_content_hash=deltas[0].base_content_hash,
+        new_content_hash=last.new_content_hash,
     )
 
 
@@ -674,11 +713,20 @@ DELTA_HISTORY_SIZE = 32
 
 @dataclass(frozen=True)
 class AppliedDelta:
-    """One published delta with its version lineage endpoints."""
+    """One published delta with its version lineage endpoints.
+
+    ``base_content_hash`` / ``content_hash`` are the content-addressed
+    endpoints of the same hop — the canonical-bytes sha256 before and
+    after the publish — so the history can answer catch-up queries by
+    *content* as well as by ordinal (a restarted replica knows what
+    bytes it holds, not what ordinal the cluster reached).
+    """
 
     base_version: int
     version: int
     delta: TaxonomyDelta
+    base_content_hash: str | None = None
+    content_hash: str | None = None
 
 
 class DeltaHistory:
@@ -703,10 +751,28 @@ class DeltaHistory:
         self._lock = threading.Lock()
 
     def record(
-        self, base_version: int, version: int, delta: TaxonomyDelta
+        self,
+        base_version: int,
+        version: int,
+        delta: TaxonomyDelta,
+        *,
+        base_content_hash: str | None = None,
+        content_hash: str | None = None,
     ) -> None:
+        if base_content_hash is None:
+            base_content_hash = delta.base_content_hash
+        if content_hash is None:
+            content_hash = delta.new_content_hash
         with self._lock:
-            self._entries.append(AppliedDelta(base_version, version, delta))
+            self._entries.append(
+                AppliedDelta(
+                    base_version,
+                    version,
+                    delta,
+                    base_content_hash=base_content_hash,
+                    content_hash=content_hash,
+                )
+            )
 
     def entries(self) -> list[AppliedDelta]:
         with self._lock:
@@ -740,19 +806,65 @@ class DeltaHistory:
         or the versions never existed.  ``from_version == to_version``
         is the empty chain.
         """
+        entries = self.chain_entries(from_version, to_version)
+        if entries is None:
+            return None
+        return [entry.delta for entry in entries]
+
+    def chain_entries(
+        self, from_version: int, to_version: int
+    ) -> list[AppliedDelta] | None:
+        """Like :meth:`chain` but with full lineage records.
+
+        The resync path needs the per-hop version *and* content-hash
+        endpoints (to stamp its catch-up publish), not just the deltas.
+        """
         if from_version == to_version:
             return []
         by_base = {
             entry.base_version: entry for entry in self.entries()
         }
-        chain: list[TaxonomyDelta] = []
+        chain: list[AppliedDelta] = []
         cursor = from_version
         while cursor != to_version:
             entry = by_base.get(cursor)
             if entry is None:
                 return None
-            chain.append(entry.delta)
+            chain.append(entry)
             cursor = entry.version
+            if len(chain) > len(by_base):  # defensive: lineage loop
+                return None
+        return chain
+
+    def chain_entries_by_hash(
+        self, from_hash: str, to_hash: str
+    ) -> list[AppliedDelta] | None:
+        """The catch-up chain between two *content hashes*.
+
+        The content-addressed twin of :meth:`chain_entries`: a
+        recovering replica knows the bytes it holds (its own
+        :meth:`~repro.taxonomy.store.Taxonomy.content_hash`) even when
+        its ordinal counter is meaningless after a restart.  Returns
+        ``None`` when the span is not covered — unstamped entries never
+        participate, so a lineage that mixes hashed and hashless
+        publishes falls back to snapshots rather than guessing.
+        """
+        if from_hash == to_hash:
+            return []
+        by_base = {
+            entry.base_content_hash: entry
+            for entry in self.entries()
+            if entry.base_content_hash is not None
+            and entry.content_hash is not None
+        }
+        chain: list[AppliedDelta] = []
+        cursor: str | None = from_hash
+        while cursor != to_hash:
+            entry = by_base.get(cursor)
+            if entry is None:
+                return None
+            chain.append(entry)
+            cursor = entry.content_hash
             if len(chain) > len(by_base):  # defensive: lineage loop
                 return None
         return chain

@@ -40,10 +40,16 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Sequence
 
-from repro.errors import APIError, DeltaConflictError
+from repro.errors import APIError, DeltaConflictError, TaxonomyError
 from repro.taxonomy.api import TaxonomyAPI
 from repro.taxonomy.delta import DeltaHistory, bump_version
 from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy, TaxonomyStats
+
+#: The reserved lookup key health probes use.  Guaranteed to miss (real
+#: keys never start with ``__``), and excluded from the per-API metrics
+#: ledgers at every serving front — probe traffic is liveness plumbing,
+#: not workload, and must not pollute serving p50/p95/p99.
+PROBE_KEY = "__probe__"
 
 #: How many recent per-call latencies each :class:`APILatency` keeps for
 #: quantile estimation.  A bounded ring buffer: tail latency is a
@@ -68,6 +74,9 @@ class TaxonomySnapshot:
     taxonomy: Taxonomy
     api: TaxonomyAPI
     read_view: ReadOptimizedTaxonomy
+    #: sha256 of the canonical saved bytes — the content-addressed
+    #: version id probes and the publish handshake converge on.
+    content_hash: str | None = None
 
     @classmethod
     def publish(cls, version: int, taxonomy: Taxonomy) -> "TaxonomySnapshot":
@@ -78,6 +87,7 @@ class TaxonomySnapshot:
             taxonomy=taxonomy,
             api=TaxonomyAPI(read_view),
             read_view=read_view,
+            content_hash=taxonomy.content_hash(),
         )
 
     @property
@@ -381,6 +391,11 @@ class TaxonomyService(BatchedServingAPI):
     def version_id(self) -> str:
         return self._snapshot.version_id
 
+    @property
+    def content_hash(self) -> str | None:
+        """The published snapshot's canonical-bytes sha256."""
+        return self._snapshot.content_hash
+
     def version_lineage(self) -> list[str]:
         """Version ids the delta publishes produced, oldest first.
 
@@ -430,20 +445,58 @@ class TaxonomyService(BatchedServingAPI):
         completely untouched, so readers pinned to it never observe a
         half-published state and a corrected delta can still be
         retried.
+
+        The handshake is two-layered.  A mismatched ``base_version`` —
+        or a stamped ``base_content_hash`` that differs from the
+        published bytes — normally raises
+        :class:`~repro.errors.DeltaConflictError`; but when the delta's
+        ``new_content_hash`` equals the *currently published* hash the
+        conflict is a **merge**: this front already holds the exact
+        bytes the delta produces (another publisher won the race with
+        the same nightly delta), so the publish is a no-op returning
+        the current snapshot instead of a 409.
         """
         with self._lock:
             current = self._snapshot
-            if base_version is not None and base_version != current.version:
-                # the replication handshake, checked under the publish
-                # lock so concurrent publishes naming the same base
-                # can never both pass
+            base_mismatch = (
+                base_version is not None and base_version != current.version
+            ) or (
+                delta.base_content_hash is not None
+                and current.content_hash is not None
+                and delta.base_content_hash != current.content_hash
+            )
+            if base_mismatch:
+                # checked under the publish lock so concurrent publishes
+                # naming the same base can never both pass
+                if (
+                    delta.new_content_hash is not None
+                    and delta.new_content_hash == current.content_hash
+                ):
+                    return current  # merge: already at the target bytes
+                base_label = (
+                    f"v{base_version}" if base_version is not None
+                    else "unpinned"
+                )
                 raise DeltaConflictError(
-                    f"delta base v{base_version} does not match the "
-                    f"published version {current.version_id}",
+                    f"delta base ({base_label}, "
+                    f"{delta.base_content_hash or 'unhashed'}) does not "
+                    f"match the published version {current.version_id}",
                     server_version=current.version_id,
+                    server_content_hash=current.content_hash,
                 )
             target = bump_version(current.version, version)
             taxonomy = current.taxonomy.copy().apply_delta(delta)
+            content_hash = taxonomy.content_hash()
+            if (
+                delta.new_content_hash is not None
+                and content_hash != delta.new_content_hash
+            ):
+                # the base matched but applying did not land on the
+                # stamped bytes — refuse before publishing divergence
+                raise TaxonomyError(
+                    "delta application diverged: expected content hash "
+                    f"{delta.new_content_hash}, got {content_hash}"
+                )
             # Headline numbers come from the applied store itself — the
             # same source a full freeze() would use — so they are right
             # even for a hand-built delta whose header omits them.
@@ -458,10 +511,17 @@ class TaxonomyService(BatchedServingAPI):
                 taxonomy=taxonomy,
                 api=TaxonomyAPI(read_view),
                 read_view=read_view,
+                content_hash=content_hash,
             )
             self._snapshot = snapshot
             self.metrics.swaps += 1
-            self.delta_history.record(current.version, target, delta)
+            self.delta_history.record(
+                current.version,
+                target,
+                delta,
+                base_content_hash=current.content_hash,
+                content_hash=content_hash,
+            )
             return snapshot
 
     # -- internals -------------------------------------------------------------
@@ -476,6 +536,10 @@ class TaxonomyService(BatchedServingAPI):
         self, snapshot: TaxonomySnapshot, api_name: str, argument: str
     ) -> list[str]:
         call = getattr(snapshot.api, self._API_METHODS[api_name])
+        if argument == PROBE_KEY:
+            # health-probe traffic: serve it (a probe exercises the real
+            # lookup path) but keep it out of the latency ledgers
+            return call(argument)
         started = perf_counter()
         result = call(argument)
         self.metrics.observe(api_name, perf_counter() - started, bool(result))

@@ -21,6 +21,7 @@ plain dict hit, which is what
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -284,46 +285,72 @@ class Taxonomy:
 
     # -- persistence -------------------------------------------------------------------
 
+    def _canonical_lines(self) -> Iterator[str]:
+        """The canonical JSONL lines :meth:`save` writes, in order.
+
+        Record order is canonical (entities by page_id, relations by
+        key) — two taxonomies with equal content yield byte-identical
+        lines regardless of the insertion order they were built in.
+        This single serialization feeds both :meth:`save` and
+        :meth:`content_hash`, so the hash is *of the saved bytes* by
+        construction.
+        """
+        header = {
+            "kind": "header",
+            "name": self.name,
+            "format_version": TAXONOMY_FORMAT_VERSION,
+        }
+        yield json.dumps(header, ensure_ascii=False) + "\n"
+        for page_id in sorted(self._entities):
+            entity = self._entities[page_id]
+            record = {
+                "kind": "entity",
+                "page_id": entity.page_id,
+                "name": entity.name,
+                "aliases": list(entity.aliases),
+            }
+            yield json.dumps(record, ensure_ascii=False) + "\n"
+        for key in sorted(self._relations):
+            relation = self._relations[key]
+            record = {
+                "kind": "relation",
+                "hyponym": relation.hyponym,
+                "hypernym": relation.hypernym,
+                "source": relation.source,
+                "hyponym_kind": relation.hyponym_kind,
+                "score": relation.score,
+            }
+            yield json.dumps(record, ensure_ascii=False) + "\n"
+
     def save(self, path: str | Path) -> None:
         """Write the taxonomy as JSONL: one entity or relation per line.
 
         The write is atomic (temp file + ``os.replace``), so a crashed
-        save never leaves a torn file, and the record order is canonical
-        (entities by page_id, relations by key) — two taxonomies with
-        equal content save byte-identically regardless of the insertion
-        order they were built in.  That canonical form is what the
-        incremental-rebuild equivalence contract compares.
+        save never leaves a torn file, and the bytes are canonical (see
+        :meth:`_canonical_lines`).  That canonical form is what the
+        incremental-rebuild equivalence contract compares and what
+        :meth:`content_hash` addresses.
         """
 
         def _write(handle) -> None:
-            header = {
-                "kind": "header",
-                "name": self.name,
-                "format_version": TAXONOMY_FORMAT_VERSION,
-            }
-            handle.write(json.dumps(header, ensure_ascii=False) + "\n")
-            for page_id in sorted(self._entities):
-                entity = self._entities[page_id]
-                record = {
-                    "kind": "entity",
-                    "page_id": entity.page_id,
-                    "name": entity.name,
-                    "aliases": list(entity.aliases),
-                }
-                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
-            for key in sorted(self._relations):
-                relation = self._relations[key]
-                record = {
-                    "kind": "relation",
-                    "hyponym": relation.hyponym,
-                    "hypernym": relation.hypernym,
-                    "source": relation.source,
-                    "hyponym_kind": relation.hyponym_kind,
-                    "score": relation.score,
-                }
-                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+            for line in self._canonical_lines():
+                handle.write(line)
 
         _atomic_write(Path(path), _write)
+
+    def content_hash(self) -> str:
+        """sha256 hex digest of the canonical saved bytes.
+
+        Because :meth:`save` is canonical and byte-stable, two replicas
+        holding equal content — however they got there: full load,
+        delta chain, snapshot swap — compute the same hash.  This is
+        the content-addressed version id the serving tier's probes,
+        publishes and resyncs converge on.
+        """
+        digest = hashlib.sha256()
+        for line in self._canonical_lines():
+            digest.update(line.encode("utf-8"))
+        return digest.hexdigest()
 
     def freeze(self) -> "ReadOptimizedTaxonomy":
         """A read-optimized view of the current state (see below)."""

@@ -17,12 +17,18 @@ The pipeline, module by module::
                                                          publish-under-load +
                                                          mixed-version audit)
     harness.py    prepare_scenario / run_scenario       (world → build → replay)
-    registry.py   the 8 built-in scenarios              (steady_table2, zipf_hot,
+    faults.py     FaultSpec × FaultyReplica → chaos     (kills/restarts, wire
+                                                         delay/drop/5xx, dual
+                                                         publishers; convergence
+                                                         asserted by content hash)
+    registry.py   the 10 built-in scenarios             (steady_table2, zipf_hot,
                                                          burst, batch_heavy,
                                                          adversarial_miss,
                                                          publish_under_load,
                                                          multi_tenant,
-                                                         churn_world)
+                                                         churn_world,
+                                                         replica_chaos,
+                                                         dual_publisher)
     report.py     RunReport → BENCH_parallel.json       (atomic, per-scenario)
     sampling.py   seeded pools / zipf / Table-II stream (no unseeded random —
                                                          lint-tested)
@@ -48,6 +54,15 @@ thin shim over :class:`~repro.workloads.sampling.TableIICallStream`
 
 from __future__ import annotations
 
+from repro.workloads.faults import (
+    ChaosCluster,
+    FaultSpec,
+    FaultyReplica,
+    ReplicaCrash,
+    WireFaults,
+    build_chaos_cluster,
+    fault_actions,
+)
 from repro.workloads.harness import (
     PreparedScenario,
     prepare_scenario,
@@ -99,9 +114,13 @@ from repro.workloads.spec import (
 __all__ = [
     "ArgumentPools",
     "ArrivalSpec",
+    "ChaosCluster",
+    "FaultSpec",
+    "FaultyReplica",
     "KeyPopularity",
     "PopularitySampler",
     "PreparedScenario",
+    "ReplicaCrash",
     "RunReport",
     "RunTarget",
     "SampledCall",
@@ -113,10 +132,13 @@ __all__ = [
     "TimedAction",
     "TrafficSpec",
     "VersionAuditor",
+    "WireFaults",
     "WorldSpec",
     "append_scenario_entry",
+    "build_chaos_cluster",
     "builtin_scenarios",
     "compile_schedule",
+    "fault_actions",
     "get_scenario",
     "load_schedule",
     "make_target",

@@ -1,0 +1,487 @@
+"""Declarative fault injection for workload scenarios.
+
+A :class:`FaultSpec` describes, in the same frozen JSON-round-trippable
+style as :class:`~repro.workloads.spec.TrafficSpec`, what goes wrong
+during a replay: replicas killed and restarted at scheduled offsets
+(:class:`ReplicaCrash`), wire calls delayed / dropped / answered with
+injected server errors (:class:`WireFaults`), and a second publisher
+re-sending the nightly delta mid-run (``republish_at``).  A scenario
+carrying a fault spec runs against a **chaos cluster**: a storeless
+:class:`~repro.serving.router.ReplicatedRouter` over
+:class:`FaultyReplica`-wrapped
+:class:`~repro.serving.replica.LocalReplica` backends, each owning an
+independent copy of the taxonomy — the closest in-process analogue of
+R replica processes behind a router.
+
+The point of the exercise is the self-healing contract: a killed
+replica restarts **stale** (rebuilt from the base snapshot, one
+version behind), and nothing but the router's version-aware probe and
+the replica's own ``resync`` is allowed to bring it back.  After the
+replay :meth:`ChaosCluster.settle` lifts the wire faults and runs one
+probe sweep; :meth:`ChaosCluster.convergence` then reports whether
+every replica ended alive on the **byte-identical content hash** the
+router published — the acceptance gate chaos scenarios assert together
+with the auditor's zero mixed-version answers.
+
+Determinism: every wire-fault decision draws from a ``Random`` seeded
+from the fault spec, and this module never reads the clock — delaying
+a call sleeps through a hook injected by the runner (the one module
+allowed to import ``time``), so the determinism lint holds here too.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from random import Random
+from typing import TYPE_CHECKING
+
+from repro.errors import APIError, ServiceUnavailableError, WorkloadError
+from repro.workloads.runner import TimedAction
+from repro.workloads.spec import _check_probability, _known_fields
+
+if TYPE_CHECKING:
+    from repro.serving.router import ReplicatedRouter
+
+
+@dataclass(frozen=True)
+class WireFaults:
+    """Per-call wire-level faults a :class:`FaultyReplica` injects.
+
+    Rates are independent per-call probabilities: a call may first be
+    delayed (``delay_rate`` → sleep ``delay_seconds``), then dropped
+    (``drop_rate`` → :class:`ServiceUnavailableError`, the wire
+    timeout) or answered with an injected server error (``error_rate``
+    → :class:`APIError`, the 5xx).
+    """
+
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.002
+    drop_rate: float = 0.0
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("delay_rate", self.delay_rate)
+        _check_probability("drop_rate", self.drop_rate)
+        _check_probability("error_rate", self.error_rate)
+        if self.delay_seconds < 0:
+            raise WorkloadError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+            "drop_rate": self.drop_rate,
+            "error_rate": self.error_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WireFaults":
+        return cls(**_known_fields(cls, data))
+
+
+#: How a :class:`ReplicaCrash` takes the replica down.  ``kill`` loses
+#: the process: coming back rebuilds from the base snapshot, one
+#: version behind.  ``isolate`` is a partition: coming back keeps the
+#: replica's state (stale only if it missed a publish meanwhile).
+CRASH_MODES = ("kill", "isolate")
+
+
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """Take one replica down at *at* and optionally back at *back_at*.
+
+    Offsets are 0..1 fractions of the schedule span, like a scenario's
+    ``publish_at``.  Without *back_at* the replica stays down for the
+    rest of the run (and is excluded from the convergence gate).
+    """
+
+    replica: int
+    at: float
+    back_at: float | None = None
+    mode: str = "kill"
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise WorkloadError(
+                f"crash replica index must be >= 0, got {self.replica}"
+            )
+        _check_probability("at", self.at)
+        if self.back_at is not None:
+            _check_probability("back_at", self.back_at)
+            if self.back_at <= self.at:
+                raise WorkloadError(
+                    f"crash back_at ({self.back_at}) must be after "
+                    f"at ({self.at})"
+                )
+        if self.mode not in CRASH_MODES:
+            raise WorkloadError(
+                f"crash mode must be one of {CRASH_MODES}, got {self.mode!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "replica": self.replica,
+            "at": self.at,
+            "back_at": self.back_at,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplicaCrash":
+        return cls(**_known_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything that goes wrong during one chaos scenario replay.
+
+    ``replicas`` sizes the chaos cluster (one shard × N replicas);
+    ``probe_after`` tunes how many routing skips a downed replica
+    accumulates before the router probes (and, finding it alive but
+    stale, resyncs) it — low values make recovery visible inside short
+    benchmark replays.  ``republish_at`` re-sends the scenario's
+    nightly delta as if a second builder published the same night:
+    the router must **merge** (content hashes converge), never fork.
+    """
+
+    replicas: int = 3
+    seed: int = 0
+    crashes: tuple[ReplicaCrash, ...] = ()
+    wire: WireFaults | None = None
+    republish_at: float | None = None
+    probe_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise WorkloadError(
+                f"fault spec needs >= 1 replica, got {self.replicas}"
+            )
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+        for crash in self.crashes:
+            if crash.replica >= self.replicas:
+                raise WorkloadError(
+                    f"crash names replica {crash.replica} but the spec "
+                    f"has only {self.replicas}"
+                )
+        if self.republish_at is not None:
+            _check_probability("republish_at", self.republish_at)
+        if self.probe_after < 1:
+            raise WorkloadError(
+                f"probe_after must be >= 1, got {self.probe_after}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "seed": self.seed,
+            "crashes": [crash.as_dict() for crash in self.crashes],
+            "wire": self.wire.as_dict() if self.wire is not None else None,
+            "republish_at": self.republish_at,
+            "probe_after": self.probe_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        known = _known_fields(cls, data)
+        if known.get("crashes"):
+            known["crashes"] = tuple(
+                ReplicaCrash.from_dict(crash) for crash in known["crashes"]
+            )
+        if known.get("wire") is not None:
+            known["wire"] = WireFaults.from_dict(known["wire"])
+        return cls(**known)
+
+
+class FaultyReplica:
+    """A fault-injecting proxy around one replica backend.
+
+    Wraps anything speaking the
+    :class:`~repro.serving.replica.ReplicaBackend` surface (serving
+    lookups + the replication surface) and stands between it and the
+    router the way an unreliable network would: while :meth:`kill`-ed
+    or :meth:`isolate`-d every call raises
+    :class:`ServiceUnavailableError`; while up, :class:`WireFaults`
+    may delay, drop, or fail any call.  :meth:`restart` rebuilds the
+    inner backend from the factory — a process that lost its state and
+    came back serving the base snapshot — whereas :meth:`reconnect`
+    keeps it, a partition healing.
+
+    Faults fire on the *wire* surface only: :meth:`inner_content_hash`
+    and :meth:`inner_version` read the wrapped backend directly so the
+    convergence report can inspect a replica the faults would hide.
+    """
+
+    def __init__(
+        self,
+        factory,
+        *,
+        name: str = "replica",
+        wire: WireFaults | None = None,
+        seed: int = 0,
+        sleep=None,
+    ) -> None:
+        self._factory = factory
+        self._inner = factory()
+        self._name = name
+        self._wire = wire
+        self._rng = Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.alive = True
+        #: Chronological chaos-control events (``kill`` / ``restart`` /
+        #: ``isolate`` / ``reconnect``) — observability for reports.
+        self.events: list[str] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"FaultyReplica({self._name}, {state})"
+
+    # -- chaos controls --------------------------------------------------------
+
+    def kill(self) -> None:
+        """The process dies: unreachable until :meth:`restart`."""
+        with self._lock:
+            self.alive = False
+            self.events.append("kill")
+
+    def restart(self) -> None:
+        """The process comes back — from the base snapshot, stale."""
+        inner = self._factory()
+        with self._lock:
+            self._inner = inner
+            self.alive = True
+            self.events.append("restart")
+
+    def isolate(self) -> None:
+        """A partition: unreachable, but state survives."""
+        with self._lock:
+            self.alive = False
+            self.events.append("isolate")
+
+    def reconnect(self) -> None:
+        """The partition heals; whatever state it had still serves."""
+        with self._lock:
+            self.alive = True
+            self.events.append("reconnect")
+
+    def clear_wire_faults(self) -> None:
+        """Stop injecting wire faults (the post-run settle phase)."""
+        self._wire = None
+
+    # -- the injected wire -----------------------------------------------------
+
+    def _gate(self, op: str) -> None:
+        if not self.alive:
+            raise ServiceUnavailableError(
+                f"{self._name} is unreachable ({op})"
+            )
+        wire = self._wire
+        if wire is None:
+            return
+        with self._lock:  # one seeded stream, even under worker threads
+            delay = wire.delay_rate and self._rng.random() < wire.delay_rate
+            drop = wire.drop_rate and self._rng.random() < wire.drop_rate
+            error = (
+                not drop
+                and wire.error_rate
+                and self._rng.random() < wire.error_rate
+            )
+        if delay and self._sleep is not None:
+            self._sleep(wire.delay_seconds)
+        if drop:
+            raise ServiceUnavailableError(
+                f"injected drop: {op} to {self._name} timed out"
+            )
+        if error:
+            raise APIError(f"injected server error: {op} at {self._name}")
+
+    # -- serving surface -------------------------------------------------------
+
+    def men2ent(self, mention: str) -> list[str]:
+        self._gate("men2ent")
+        return self._inner.men2ent(mention)
+
+    def get_concepts(self, page_id: str) -> list[str]:
+        self._gate("get_concepts")
+        return self._inner.get_concepts(page_id)
+
+    def get_entities(self, concept: str) -> list[str]:
+        self._gate("get_entities")
+        return self._inner.get_entities(concept)
+
+    def pinned(self):
+        """Pin one inner snapshot view for a whole batch group.
+
+        The gate fires once per group — the in-process analogue of one
+        batched HTTP request either failing on the wire or being served
+        whole against one server-side snapshot.
+        """
+        self._gate("pinned")
+        pinned = getattr(self._inner, "pinned", None)
+        return pinned() if callable(pinned) else self._inner
+
+    def healthcheck(self) -> bool:
+        self._gate("healthcheck")
+        return bool(self._inner.healthcheck())
+
+    # -- replication surface ---------------------------------------------------
+
+    def published_version(self) -> str:
+        self._gate("published_version")
+        return self._inner.published_version()
+
+    def published_content_hash(self) -> str | None:
+        self._gate("published_content_hash")
+        return self._inner.published_content_hash()
+
+    def publish_delta(self, delta, *, base_version=None, version=None):
+        self._gate("publish_delta")
+        return self._inner.publish_delta(
+            delta, base_version=base_version, version=version
+        )
+
+    def publish_snapshot(self, taxonomy_path, *, version=None):
+        self._gate("publish_snapshot")
+        return self._inner.publish_snapshot(taxonomy_path, version=version)
+
+    def resync(self, source, *, snapshot_path=None):
+        self._gate("resync")
+        return self._inner.resync(source, snapshot_path=snapshot_path)
+
+    # -- fault-free inspection (reports, not the wire) -------------------------
+
+    def inner_version(self) -> str:
+        return self._inner.published_version()
+
+    def inner_content_hash(self) -> str | None:
+        return self._inner.published_content_hash()
+
+
+@dataclass
+class ChaosCluster:
+    """A storeless router over fault-wrapped local replicas."""
+
+    router: "ReplicatedRouter"
+    replicas: list[FaultyReplica] = field(default_factory=list)
+
+    def settle(self) -> int:
+        """End-of-run recovery sweep: faults off, one probe pass.
+
+        The run is over and the injected network is healthy again; any
+        replica still parked gets one probe (which resyncs it if it is
+        merely stale).  Returns how many replicas the sweep recovered.
+        A replica left dead (a crash without ``back_at``) stays dead —
+        settling heals the network, not the process.
+        """
+        for replica in self.replicas:
+            replica.clear_wire_faults()
+        return self.router.probe_all()
+
+    def convergence(self) -> dict:
+        """Did every replica end alive on the published bytes?
+
+        The chaos acceptance gate: after :meth:`settle`, each replica's
+        own content hash must equal the router's published hash —
+        byte-identical taxonomies, not just matching ordinals.  Dead
+        replicas (never restarted) fail the gate unless the fault spec
+        deliberately left them down.
+        """
+        expected = self.router.content_hash
+        entries = []
+        for replica in self.replicas:
+            have = replica.inner_content_hash() if replica.alive else None
+            entries.append({
+                "replica": replica.name,
+                "alive": replica.alive,
+                "version": replica.inner_version() if replica.alive else None,
+                "content_hash": have,
+                "converged": replica.alive and have == expected,
+                "events": list(replica.events),
+            })
+        stats = self.router.stats
+        return {
+            "expected_hash": expected,
+            "converged": all(entry["converged"] for entry in entries),
+            "replicas": entries,
+            "resyncs": {
+                "probe_resyncs": stats.probe_resyncs,
+                "resync_chains": stats.resync_chains,
+                "resync_heals": stats.resync_heals,
+                "resync_failures": stats.resync_failures,
+                "chain_catchups": stats.chain_catchups,
+                "snapshot_heals": stats.snapshot_heals,
+                "probe_recoveries": stats.probe_recoveries,
+            },
+        }
+
+
+def build_chaos_cluster(taxonomy, spec: FaultSpec, *, sleep=None) -> ChaosCluster:
+    """One shard × ``spec.replicas`` fault-wrapped local replicas.
+
+    Every replica owns an independent :class:`Taxonomy` copy behind a
+    :class:`~repro.serving.replica.LocalReplica`, so a publish to one
+    never leaks into another and a restarted replica is *genuinely*
+    stale — the chaos cluster exercises the same delta-chain /
+    resync / heal machinery R separate processes would.  *sleep* is
+    the wall-clock hook :class:`WireFaults` delays use (the runner
+    injects ``time.sleep``; tests may inject a stub).
+    """
+    from repro.serving.replica import LocalReplica
+    from repro.serving.router import ReplicatedRouter
+
+    def make_factory(index: int):
+        def factory():
+            return LocalReplica(
+                taxonomy.copy(), version=1, name=f"replica-{index}"
+            )
+
+        return factory
+
+    replicas = [
+        FaultyReplica(
+            make_factory(index),
+            name=f"replica-{index}",
+            wire=spec.wire,
+            seed=spec.seed * 7919 + index,
+            sleep=sleep,
+        )
+        for index in range(spec.replicas)
+    ]
+    router = ReplicatedRouter(
+        [list(replicas)],
+        retries=spec.replicas,
+        probe_after=spec.probe_after,
+        base_version=1,
+    )
+    return ChaosCluster(router=router, replicas=replicas)
+
+
+def fault_actions(
+    cluster: ChaosCluster, spec: FaultSpec, duration_s: float
+) -> list[TimedAction]:
+    """Compile the spec's crashes into runner :class:`TimedAction`\\ s."""
+    actions: list[TimedAction] = []
+    down = {"kill": "kill", "isolate": "isolate"}
+    back = {"kill": "restart", "isolate": "reconnect"}
+    for crash in spec.crashes:
+        replica = cluster.replicas[crash.replica]
+        actions.append(TimedAction(
+            at_s=crash.at * duration_s,
+            label=f"{down[crash.mode]}:{replica.name}",
+            action=getattr(replica, down[crash.mode]),
+        ))
+        if crash.back_at is not None:
+            actions.append(TimedAction(
+                at_s=crash.back_at * duration_s,
+                label=f"{back[crash.mode]}:{replica.name}",
+                action=getattr(replica, back[crash.mode]),
+            ))
+    return actions

@@ -24,6 +24,7 @@ from repro.workloads.runner import (
     VersionAuditor,
     make_target,
     run_schedule,
+    wall_sleep,
 )
 from repro.workloads.sampling import ArgumentPools
 from repro.workloads.schedule import Schedule, compile_schedule
@@ -100,8 +101,18 @@ def run_scenario(
     batched answer is audited against the frozen before/after views —
     a ``mixed_answers`` count of zero is the torn-read acceptance
     gate.
+
+    A scenario carrying a :class:`~repro.workloads.faults.FaultSpec`
+    ignores *target_kind*: faults compose with the replica router, so
+    it runs against a chaos cluster (target name ``chaos``) and the
+    report additionally carries the cluster's post-settle convergence
+    verdict.
     """
     scenario = prepared.scenario
+    if scenario.faults is not None:
+        return _run_chaos_scenario(
+            prepared, workers=workers, time_scale=time_scale
+        )
     actions: list[TimedAction] = []
     auditor = None
     with make_target(
@@ -128,3 +139,67 @@ def run_scenario(
             actions=actions,
             auditor=auditor,
         )
+
+
+def _run_chaos_scenario(
+    prepared: PreparedScenario,
+    *,
+    workers: int,
+    time_scale: float,
+) -> RunReport:
+    """Replay a fault-carrying scenario against a chaos cluster.
+
+    The cluster is a storeless router over fault-wrapped local
+    replicas (see :func:`~repro.workloads.faults.build_chaos_cluster`);
+    the spec's kills/restarts, the publish, and any second-publisher
+    republish all fire as timed actions inside the replay.  After the
+    replay the cluster settles (faults lifted, one probe sweep — which
+    is where a stale restarted replica pulls its own resync) and the
+    report carries the convergence verdict: every replica alive on the
+    byte-identical published content hash.
+    """
+    from repro.workloads.faults import build_chaos_cluster, fault_actions
+
+    scenario = prepared.scenario
+    cluster = build_chaos_cluster(
+        prepared.taxonomy, scenario.faults, sleep=wall_sleep
+    )
+    duration = prepared.schedule.duration_s
+    actions = fault_actions(cluster, scenario.faults, duration)
+    auditor = None
+    if prepared.has_publish:
+        auditor = VersionAuditor([
+            ("v1", prepared.taxonomy.freeze()),
+            ("v2", prepared.churned_taxonomy.freeze()),
+        ])
+
+        def publish() -> None:
+            cluster.router.publish_delta(
+                prepared.delta, base_version=1, version=2
+            )
+
+        actions.append(TimedAction(
+            at_s=scenario.publish_at * duration,
+            label="publish_delta",
+            action=publish,
+        ))
+        if scenario.faults.republish_at is not None:
+            # the second builder's publish of the same nightly delta:
+            # the router must converge on it (merge), never fork
+            actions.append(TimedAction(
+                at_s=scenario.faults.republish_at * duration,
+                label="republish_delta",
+                action=publish,
+            ))
+    report = run_schedule(
+        cluster.router,
+        prepared.schedule,
+        target_name="chaos",
+        workers=workers,
+        time_scale=time_scale,
+        actions=actions,
+        auditor=auditor,
+    )
+    cluster.settle()
+    report.convergence = cluster.convergence()
+    return report

@@ -1,6 +1,6 @@
 """The named, built-in scenario suite every serving PR regresses against.
 
-Eight scenarios cover the workload axes the paper's deployment sees and
+Ten scenarios cover the workload axes the paper's deployment sees and
 the failure modes the serving stack promises away:
 
 - ``steady_table2`` — the Table-II mix at a steady open-loop rate: the
@@ -19,6 +19,15 @@ the failure modes the serving stack promises away:
   cluster, reported per tenant.
 - ``churn_world`` — a world scenario: maximal alias ambiguity and
   concept-chain depth, the disambiguation-heaviest taxonomy shape.
+- ``replica_chaos`` — a fault-injection scenario: a replica is killed
+  mid-replay (missing the nightly publish), restarts stale, and must
+  rejoin through probe-time auto-resync while the wire drops, delays
+  and 5xxes a slice of all calls; zero mixed-version answers and full
+  content-hash convergence are the gates.
+- ``dual_publisher`` — two builders publish the same nightly delta: the
+  second publish must merge (content hashes converge, no fork), and a
+  replica that was down for the first publish resyncs to the same
+  bytes.
 
 Scenarios registered here are frozen specs; ``register_scenario`` lets
 tests and downstream code add their own under the same contract.
@@ -27,6 +36,7 @@ tests and downstream code add their own under the same contract.
 from __future__ import annotations
 
 from repro.errors import WorkloadError
+from repro.workloads.faults import FaultSpec, ReplicaCrash, WireFaults
 from repro.workloads.spec import (
     ArrivalSpec,
     KeyPopularity,
@@ -64,7 +74,7 @@ def get_scenario(name: str) -> Scenario:
 
 
 def builtin_scenarios() -> tuple[Scenario, ...]:
-    """The eight built-ins, in registration (benchmark) order."""
+    """The ten built-ins, in registration (benchmark) order."""
     return tuple(
         _SCENARIOS[name] for name in _BUILTIN_ORDER
     )
@@ -174,6 +184,53 @@ register_scenario(Scenario(
     seed=18,
 ))
 
+register_scenario(Scenario(
+    name="replica_chaos",
+    description="replica killed mid-replay restarts stale and rejoins "
+                "via probe-time resync, under a lossy wire",
+    traffic=TrafficSpec(
+        n_calls=400,
+        batch_sizes=((1, 0.3), (4, 0.4), (8, 0.3)),
+        arrival=ArrivalSpec(kind="steady", rate_per_s=150.0),
+    ),
+    world=WorldSpec(n_entities=300, churn_rate=0.25),
+    seed=19,
+    publish_at=0.4,
+    faults=FaultSpec(
+        replicas=3,
+        seed=19,
+        crashes=(ReplicaCrash(replica=1, at=0.25, back_at=0.6),),
+        wire=WireFaults(
+            delay_rate=0.05, delay_seconds=0.002,
+            drop_rate=0.02, error_rate=0.02,
+        ),
+        probe_after=4,
+    ),
+))
+
+register_scenario(Scenario(
+    name="dual_publisher",
+    description="two builders publish the same nightly delta: the hub "
+                "merges instead of forking, laggards resync to it",
+    traffic=TrafficSpec(
+        n_calls=400,
+        batch_sizes=((1, 0.3), (4, 0.4), (8, 0.3)),
+        arrival=ArrivalSpec(kind="steady", rate_per_s=150.0),
+    ),
+    world=WorldSpec(n_entities=300, churn_rate=0.25),
+    seed=20,
+    publish_at=0.35,
+    faults=FaultSpec(
+        replicas=3,
+        seed=20,
+        # down across the first publish; back before the republish, so
+        # recovery races the second publisher the way real restarts do
+        crashes=(ReplicaCrash(replica=2, at=0.2, back_at=0.55),),
+        republish_at=0.7,
+        probe_after=4,
+    ),
+))
+
 _BUILTIN_ORDER = (
     "steady_table2",
     "zipf_hot",
@@ -183,4 +240,6 @@ _BUILTIN_ORDER = (
     "publish_under_load",
     "multi_tenant",
     "churn_world",
+    "replica_chaos",
+    "dual_publisher",
 )

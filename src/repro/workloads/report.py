@@ -70,6 +70,10 @@ def scenario_entry(report: RunReport) -> dict:
         "default"
     ]:
         entry["per_tenant_calls"] = full["per_tenant_calls"]
+    convergence = full.get("convergence")
+    if convergence is not None:
+        entry["converged"] = convergence["converged"]
+        entry["resyncs"] = convergence["resyncs"]
     return entry
 
 
@@ -125,6 +129,15 @@ def render_run_report(report: RunReport) -> str:
         lines.append(
             f"version audit: matched {full['audit']['matched']}, "
             f"mixed answers {full['audit']['mixed_answers']}"
+        )
+    convergence = full.get("convergence")
+    if convergence is not None:
+        resyncs = convergence["resyncs"]
+        lines.append(
+            f"chaos convergence: {'yes' if convergence['converged'] else 'NO'}"
+            f" (probe resyncs {resyncs['probe_resyncs']}, "
+            f"chained {resyncs['resync_chains']}, "
+            f"healed {resyncs['resync_heals']})"
         )
     if "per_tenant_calls" in scenario_entry(report):
         tenants = ", ".join(

@@ -49,6 +49,13 @@ from repro.workloads.schedule import Schedule, ScheduledCall
 #: ReadOptimizedTaxonomy exposes directly).
 _LOOKUPS = {api: names[0] for api, names in WIRE_API_METHODS.items()}
 
+#: The wall-clock sleep hook this module lends out.  The determinism
+#: lint bans ``time`` everywhere in the package except here, so
+#: anything that must actually sleep (e.g. an injected wire-fault
+#: delay in :mod:`repro.workloads.faults`) receives this hook instead
+#: of importing the clock itself.
+wall_sleep = time.sleep
+
 
 @dataclass
 class TimedAction:
@@ -136,6 +143,9 @@ class RunReport:
     error_samples: list[str] = field(default_factory=list)
     actions: list[TimedAction] = field(default_factory=list)
     audit: dict | None = None
+    #: Chaos runs only: the post-settle cluster convergence report
+    #: (see :meth:`repro.workloads.faults.ChaosCluster.convergence`).
+    convergence: dict | None = None
 
     @property
     def throughput_calls_per_s(self) -> float:
@@ -165,7 +175,7 @@ class RunReport:
         late_p50, late_p95, late_p99 = self.lateness.quantiles(
             0.50, 0.95, 0.99
         )
-        return {
+        payload = {
             "scenario": self.scenario,
             "target": self.target,
             "n_events": self.n_events,
@@ -190,6 +200,9 @@ class RunReport:
             "actions": [action.as_dict() for action in self.actions],
             "audit": self.audit,
         }
+        if self.convergence is not None:
+            payload["convergence"] = self.convergence
+        return payload
 
 
 def run_schedule(

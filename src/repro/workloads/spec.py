@@ -23,12 +23,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 from random import Random
+from typing import TYPE_CHECKING
 
 from repro.encyclopedia.model import EncyclopediaDump, EncyclopediaPage
 from repro.encyclopedia.synthesis.noise import NoiseConfig
 from repro.encyclopedia.synthesis.world import SyntheticWorld
 from repro.errors import WorkloadError
 from repro.taxonomy.api import PAPER_API_MIX
+
+if TYPE_CHECKING:
+    from repro.workloads.faults import FaultSpec
 
 SPEC_FORMAT_VERSION = 1
 
@@ -343,6 +347,12 @@ class Scenario:
     mixed read + nightly-publish run: at that point of the replay the
     runner publishes the delta between the base taxonomy and a rebuild
     on the churned dump — which requires ``world.churn_rate > 0``.
+
+    ``faults`` (a :class:`~repro.workloads.faults.FaultSpec`) turns the
+    replay into a chaos run: the harness serves it from a fault-wrapped
+    replica cluster, fires the spec's kills/restarts as timed actions,
+    and reports whether every replica converged back to the published
+    content hash.
     """
 
     name: str
@@ -351,6 +361,7 @@ class Scenario:
     world: WorldSpec = field(default_factory=WorldSpec)
     seed: int = 0
     publish_at: float | None = None
+    faults: "FaultSpec | None" = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("_", "").isalnum():
@@ -365,6 +376,15 @@ class Scenario:
                     f"scenario {self.name!r} sets publish_at but its world "
                     "has churn_rate=0 — there is nothing to publish"
                 )
+        if (
+            self.faults is not None
+            and self.faults.republish_at is not None
+            and self.publish_at is None
+        ):
+            raise WorkloadError(
+                f"scenario {self.name!r} sets faults.republish_at but no "
+                "publish_at — there is no delta to republish"
+            )
 
     def as_dict(self) -> dict:
         return {
@@ -375,6 +395,9 @@ class Scenario:
             "world": self.world.as_dict(),
             "seed": self.seed,
             "publish_at": self.publish_at,
+            "faults": (
+                self.faults.as_dict() if self.faults is not None else None
+            ),
         }
 
     @classmethod
@@ -394,6 +417,10 @@ class Scenario:
             known["traffic"] = TrafficSpec.from_dict(known["traffic"])
         if "world" in known:
             known["world"] = WorldSpec.from_dict(known["world"])
+        if known.get("faults") is not None:
+            from repro.workloads.faults import FaultSpec
+
+            known["faults"] = FaultSpec.from_dict(known["faults"])
         return cls(**known)
 
 

@@ -292,10 +292,22 @@ class TestConflictHandshake:
         remote.client.apply_delta_wire(delta, base_version="v1")
         assert remote.client.version()["version"] == "v2"
         # an orchestrator re-sends the same publish (e.g. it timed out
-        # reading the first response): clean conflict, old answer kept
+        # reading the first response): the replica already holds the
+        # exact bytes the delta produces, so it merges — no re-apply,
+        # no 409, same version still serving
+        payload = remote.client.apply_delta_wire(delta, base_version="v1")
+        assert payload["applied"] is True
+        assert payload["version"] == "v2"
+        assert remote.client.version()["version"] == "v2"
+        # a *different* delta against the same stale base is a genuine
+        # divergence: clean conflict carrying version + content hash,
+        # old answer kept
+        diverged = TaxonomyDelta.compute(make_taxonomy(0), make_taxonomy(2))
         with pytest.raises(DeltaConflictError) as excinfo:
-            remote.client.apply_delta_wire(delta, base_version="v1")
+            remote.client.apply_delta_wire(diverged, base_version="v1")
         assert excinfo.value.server_version == "v2"
+        assert excinfo.value.server_content_hash == \
+            make_taxonomy(1).content_hash()
         assert remote.client.version()["version"] == "v2"
 
     def test_matching_base_version_applies(self, remote):
@@ -348,8 +360,15 @@ class TestRouterFrontedReplica:
         assert payload["version"] == "v3"
         assert remote.men2ent("新星0") == ["新星0#0"]
         assert remote.version()["lineage"] == ["v3"]
+        # a re-sent identical publish merges (the router-fronted store
+        # already holds the target bytes); a diverged one conflicts
+        payload = remote.apply_delta_wire(
+            nightly_delta(0), base_version="v1"
+        )
+        assert payload["version"] == "v3"
+        diverged = TaxonomyDelta.compute(make_taxonomy(0), make_taxonomy(2))
         with pytest.raises(DeltaConflictError) as excinfo:
-            remote.apply_delta_wire(nightly_delta(0), base_version="v1")
+            remote.apply_delta_wire(diverged, base_version="v1")
         assert excinfo.value.server_version == "v3"
 
     def test_sliced_wire_publish(self, remote):

@@ -6,7 +6,7 @@ import urllib.request
 
 import pytest
 
-from repro.errors import APIError
+from repro.errors import APIError, DeltaConflictError
 from repro.serving import TaxonomyClient, build_cluster, start_server
 from repro.taxonomy.model import Entity, IsARelation
 from repro.taxonomy.service import TaxonomyService
@@ -348,17 +348,21 @@ class TestApplyDeltaEndpoint:
         finally:
             server.close()
 
-    def test_wrong_base_delta_is_400_and_keeps_serving(self, tmp_path):
+    def test_wrong_base_delta_is_refused_and_keeps_serving(self, tmp_path):
         service = build_cluster(make_taxonomy("歌手"), shards=2, replicas=1)
         server = start_server(service, admin_token=ADMIN_TOKEN)
         client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
         try:
-            # delta computed against a base the server is not serving
+            # delta computed against a base the server is not serving:
+            # its base_content_hash stamp arms the handshake, so the
+            # mismatch surfaces as a clean 409 conflict carrying the
+            # served version — and the old version keeps serving
             mismatched = self._delta_file(
                 tmp_path, marker_old="影帝", marker_new="歌神"
             )
-            with pytest.raises(APIError, match="still serving v1"):
+            with pytest.raises(DeltaConflictError) as excinfo:
                 client.apply_delta(str(mismatched))
+            assert excinfo.value.server_version == "v1"
             assert client.healthz()["version"] == "v1"
             assert client.get_concepts("刘德华#0") == ["歌手", "演员"]
         finally:

@@ -284,14 +284,16 @@ class TestPublishDelta:
     def test_failed_publish_leaves_service_untouched_and_retryable(
         self, taxonomy
     ):
-        from repro.errors import TaxonomyError
+        from repro.errors import DeltaConflictError
 
         service = TaxonomyService(taxonomy)
         wrong_base = Taxonomy()
         wrong_base.add_entity(Entity("谁#0", "谁"))
         wrong_base.add_relation(IsARelation("谁#0", "何物", "tag"))
         bad_delta = self._delta(wrong_base, self._target())
-        with pytest.raises(TaxonomyError):
+        # the stamped base hash arms the handshake, so the wrong base
+        # surfaces as a clean conflict before any structural check
+        with pytest.raises(DeltaConflictError):
             service.publish_delta(bad_delta)
         assert service.version_id == "v1"
         assert service.metrics.swaps == 0

@@ -91,7 +91,7 @@ def test_no_unseeded_randomness_or_clock_leaks():
 def test_the_lint_actually_scans_the_package():
     names = {path.name for path in package_modules()}
     assert {"spec.py", "schedule.py", "sampling.py", "runner.py",
-            "registry.py", "report.py", "harness.py"} <= names
+            "registry.py", "report.py", "harness.py", "faults.py"} <= names
 
 
 def test_the_lint_catches_the_traps(tmp_path):

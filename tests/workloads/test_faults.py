@@ -1,0 +1,239 @@
+"""The fault-injection layer: specs, the faulty wire, and chaos runs."""
+
+import pytest
+
+from repro.errors import APIError, ServiceUnavailableError, WorkloadError
+from repro.workloads import (
+    ArrivalSpec,
+    FaultSpec,
+    FaultyReplica,
+    ReplicaCrash,
+    Scenario,
+    TrafficSpec,
+    WireFaults,
+    WorldSpec,
+    build_chaos_cluster,
+    fault_actions,
+    prepare_scenario,
+    run_scenario,
+)
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+
+def make_taxonomy(generation: int = 0) -> Taxonomy:
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    for n in range(generation):
+        page_id = f"新星{n}#0"
+        t.add_entity(Entity(page_id, f"新星{n}"))
+        t.add_relation(IsARelation(page_id, "歌手", "tag"))
+    return t
+
+
+class TestFaultSpecs:
+    def test_round_trip(self):
+        spec = FaultSpec(
+            replicas=4,
+            seed=3,
+            crashes=(
+                ReplicaCrash(replica=1, at=0.2, back_at=0.6),
+                ReplicaCrash(replica=2, at=0.3, mode="isolate"),
+            ),
+            wire=WireFaults(delay_rate=0.1, drop_rate=0.05, error_rate=0.01),
+            republish_at=0.8,
+            probe_after=2,
+        )
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_validation_catches_the_traps(self):
+        with pytest.raises(WorkloadError, match=">= 1 replica"):
+            FaultSpec(replicas=0)
+        with pytest.raises(WorkloadError, match="only 2"):
+            FaultSpec(replicas=2, crashes=(ReplicaCrash(replica=2, at=0.1),))
+        with pytest.raises(WorkloadError, match="after"):
+            ReplicaCrash(replica=0, at=0.5, back_at=0.4)
+        with pytest.raises(WorkloadError, match="mode"):
+            ReplicaCrash(replica=0, at=0.5, mode="unplug")
+        with pytest.raises(WorkloadError, match="drop_rate"):
+            WireFaults(drop_rate=1.5)
+        with pytest.raises(WorkloadError, match="unknown keys"):
+            FaultSpec.from_dict({"replicas": 2, "chaos_level": 11})
+
+    def test_scenario_refuses_republish_without_publish(self):
+        with pytest.raises(WorkloadError, match="republish"):
+            Scenario(
+                name="fault_test_bad",
+                description="republish with nothing published",
+                faults=FaultSpec(republish_at=0.5),
+            )
+
+
+class TestFaultyReplica:
+    def make(self, **kwargs):
+        from repro.serving import LocalReplica
+
+        return FaultyReplica(
+            lambda: LocalReplica(make_taxonomy(0)), name="r0", **kwargs
+        )
+
+    def test_kill_makes_every_surface_unreachable(self):
+        replica = self.make()
+        replica.kill()
+        for call in (
+            lambda: replica.men2ent("华仔"),
+            replica.healthcheck,
+            replica.published_version,
+            lambda: replica.resync(None),
+            replica.pinned,
+        ):
+            with pytest.raises(ServiceUnavailableError, match="unreachable"):
+                call()
+
+    def test_restart_rebuilds_stale_but_reconnect_keeps_state(self):
+        from repro.serving import LocalReplica
+
+        generations = iter((0, 0))
+        replica = FaultyReplica(
+            lambda: LocalReplica(make_taxonomy(next(generations))),
+            name="r0",
+        )
+        base_hash = replica.published_content_hash()
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        delta = TaxonomyDelta.compute(make_taxonomy(0), make_taxonomy(1))
+        replica.publish_delta(delta, base_version="v1", version=2)
+        assert replica.published_version() == "v2"
+        # a partition keeps the state it had
+        replica.isolate()
+        replica.reconnect()
+        assert replica.published_version() == "v2"
+        # a process death loses it: back to the base snapshot, stale
+        replica.kill()
+        replica.restart()
+        assert replica.published_version() == "v1"
+        assert replica.published_content_hash() == base_hash
+        assert replica.events == [
+            "isolate", "reconnect", "kill", "restart",
+        ]
+
+    def test_wire_faults_drop_error_and_delay(self):
+        slept: list[float] = []
+        always_drop = self.make(wire=WireFaults(drop_rate=1.0), seed=1)
+        with pytest.raises(ServiceUnavailableError, match="injected drop"):
+            always_drop.men2ent("华仔")
+        always_error = self.make(wire=WireFaults(error_rate=1.0), seed=1)
+        with pytest.raises(APIError, match="injected server error"):
+            always_error.men2ent("华仔")
+        always_slow = self.make(
+            wire=WireFaults(delay_rate=1.0, delay_seconds=0.5),
+            seed=1,
+            sleep=slept.append,
+        )
+        assert always_slow.men2ent("华仔") == ["刘德华#0"]
+        assert slept == [0.5]
+        always_slow.clear_wire_faults()
+        assert always_slow.men2ent("华仔") == ["刘德华#0"]
+        assert slept == [0.5]  # faults lifted: no more delays
+
+    def test_pinned_group_survives_a_mid_group_publish(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        replica = self.make()
+        view = replica.pinned()
+        delta = TaxonomyDelta.compute(make_taxonomy(0), make_taxonomy(1))
+        replica.publish_delta(delta, base_version="v1", version=2)
+        # the pinned view still answers from the pre-publish snapshot
+        assert view.men2ent("新星0") == []
+        assert replica.men2ent("新星0") == ["新星0#0"]
+
+
+class TestChaosCluster:
+    def test_replicas_are_independent_stores(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        cluster = build_chaos_cluster(make_taxonomy(0), FaultSpec(replicas=2))
+        delta = TaxonomyDelta.compute(make_taxonomy(0), make_taxonomy(1))
+        cluster.replicas[0].publish_delta(
+            delta, base_version="v1", version=2
+        )
+        assert cluster.replicas[0].inner_version() == "v2"
+        assert cluster.replicas[1].inner_version() == "v1"
+
+    def test_fault_actions_compile_offsets_and_labels(self):
+        spec = FaultSpec(
+            replicas=2,
+            crashes=(
+                ReplicaCrash(replica=0, at=0.25, back_at=0.75),
+                ReplicaCrash(replica=1, at=0.5, mode="isolate"),
+            ),
+        )
+        cluster = build_chaos_cluster(make_taxonomy(0), spec)
+        actions = fault_actions(cluster, spec, duration_s=8.0)
+        assert [(a.label, a.at_s) for a in actions] == [
+            ("kill:replica-0", 2.0),
+            ("restart:replica-0", 6.0),
+            ("isolate:replica-1", 4.0),
+        ]
+
+    def test_settle_and_convergence_after_a_kill(self):
+        from repro.taxonomy.delta import TaxonomyDelta
+
+        spec = FaultSpec(replicas=3, probe_after=1)
+        cluster = build_chaos_cluster(make_taxonomy(0), spec)
+        cluster.replicas[2].kill()
+        delta = TaxonomyDelta.compute(make_taxonomy(0), make_taxonomy(1))
+        cluster.router.publish_delta(delta, base_version=1, version=2)
+        cluster.replicas[2].restart()  # back, but one version behind
+        assert cluster.replicas[2].inner_version() == "v1"
+        assert cluster.settle() >= 1  # the probe sweep resyncs it
+        verdict = cluster.convergence()
+        assert verdict["converged"] is True
+        assert verdict["resyncs"]["resync_chains"] == 1
+        dead = cluster.convergence.__self__.replicas[0]
+        dead.kill()  # a replica left dead fails the gate
+        assert cluster.convergence()["converged"] is False
+
+
+class TestChaosScenarioRun:
+    def test_tiny_chaos_scenario_end_to_end(self):
+        scenario = Scenario(
+            name="fault_test_tiny",
+            description="kill + restart + dual publish on a small world",
+            traffic=TrafficSpec(
+                n_calls=60,
+                batch_sizes=((1, 0.4), (4, 0.6)),
+                arrival=ArrivalSpec(kind="steady", rate_per_s=200.0),
+            ),
+            world=WorldSpec(n_entities=80, churn_rate=0.3),
+            seed=5,
+            publish_at=0.4,
+            faults=FaultSpec(
+                replicas=2,
+                seed=5,
+                crashes=(ReplicaCrash(replica=1, at=0.2, back_at=0.7),),
+                republish_at=0.9,
+                probe_after=2,
+            ),
+        )
+        report = run_scenario(
+            prepare_scenario(scenario), "router", workers=4, time_scale=20.0
+        )
+        assert report.target == "chaos"
+        assert report.audit is not None
+        assert report.audit["mixed_answers"] == 0
+        assert report.convergence is not None
+        assert report.convergence["converged"] is True
+        labels = [action.label for action in report.actions]
+        assert "kill:replica-1" in labels
+        assert "republish_delta" in labels
+        assert all(action.error is None for action in report.actions)
+        # the chaos verdict flows into the bench entry
+        from repro.workloads import append_scenario_entry  # noqa: F401
+        from repro.workloads.report import scenario_entry
+
+        entry = scenario_entry(report)
+        assert entry["converged"] is True
+        assert entry["mixed_version_answers"] == 0
+        assert "resyncs" in entry

@@ -28,11 +28,13 @@ BUILTINS = (
     "publish_under_load",
     "multi_tenant",
     "churn_world",
+    "replica_chaos",
+    "dual_publisher",
 )
 
 
 class TestRegistry:
-    def test_eight_builtins_in_benchmark_order(self):
+    def test_builtins_in_benchmark_order(self):
         assert tuple(s.name for s in builtin_scenarios()) == BUILTINS
         assert set(BUILTINS) <= set(scenario_names())
 
