@@ -77,6 +77,12 @@ def _assert_clean(report, *, allow_errors: bool) -> None:
             f"{report.scenario}@{report.target}: chaos cluster did not "
             f"converge: {report.convergence}"
         )
+    # Every scenario must land its sampled per-hop latency breakdown —
+    # an empty one means trace sampling silently stopped working.
+    assert report.per_hop, (
+        f"{report.scenario}@{report.target}: no per-hop breakdown "
+        f"(traced_calls={report.traced_calls})"
+    )
 
 
 def test_workload_scenarios_benchmark(record):

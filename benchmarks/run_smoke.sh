@@ -17,7 +17,11 @@
 # live HTTP, the chaos pair over a fault-injected replica cluster —
 # zero mixed-version answers and full hash convergence throughout),
 # plus the self-healing chaos smoke (kill -> publish -> restart ->
-# probe-time auto-resync -> byte-identical content hashes) and a fast
+# probe-time auto-resync -> byte-identical content hashes), the
+# telemetry overhead gate (unified registry + trace hook within 5% of
+# the un-instrumented in-process hot path), the exposition-parity
+# smoke (every metric in the JSON /metrics payload must appear in the
+# Prometheus text rendering, and vice versa) and a fast
 # single-scenario CLI smoke.  The perf numbers land in
 # benchmarks/out/BENCH_parallel.json so future PRs have a trajectory
 # to regress against — the final check fails the run if that file did
@@ -38,9 +42,11 @@ python -m pytest -x -q benchmarks/bench_serving_cluster.py
 python -m pytest -x -q benchmarks/bench_incremental_build.py
 python -m pytest -x -q benchmarks/bench_delta_chain.py
 python -m pytest -x -q benchmarks/bench_workload_scenarios.py
+python -m pytest -x -q benchmarks/bench_obs_overhead.py
 python benchmarks/smoke_serving_roundtrip.py
 python benchmarks/smoke_incremental_roundtrip.py
 python benchmarks/smoke_chaos_replication.py
+python benchmarks/smoke_metrics_parity.py
 # fast single-scenario smoke through the CLI: in-process facade + a
 # live `cn-probase serve` subprocess, 4x-compressed schedule
 python -m repro.cli workload run steady_table2 --time-scale 4
@@ -63,6 +69,15 @@ expected = {
 }
 missing = expected - set(scenarios)
 assert not missing, f"scenarios missing from {path}: {sorted(missing)}"
+untraced = sorted(
+    f"{name}@{target}"
+    for name, targets in scenarios.items() if name in expected
+    for target, entry in targets.items() if not entry.get("per_hop")
+)
+assert not untraced, (
+    f"scenarios without a per-hop trace breakdown: {untraced}"
+)
+assert "obs_overhead" in data, "telemetry overhead gate never ran"
 assert size >= before and size > 2, (
     f"{path} did not grow: {before} -> {size} bytes"
 )

@@ -293,6 +293,44 @@ def _cmd_delta_squash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    from repro.serving import TaxonomyClient
+
+    client = TaxonomyClient(args.url, admin_token=args.admin_token)
+    if args.format == "text":
+        print(client.server_metrics_text(), end="")
+    else:
+        print(json.dumps(
+            client.server_metrics(), ensure_ascii=False, indent=2
+        ))
+    if args.traces:
+        if not args.admin_token:
+            print("error: --traces needs --admin-token", file=sys.stderr)
+            return 2
+        payload = client.fetch_traces(limit=args.traces)
+        for span in payload["spans"]:
+            print(json.dumps(span, ensure_ascii=False))
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Follow the server's structured event log (``--once`` for one poll)."""
+    import time as _time
+
+    from repro.serving import TaxonomyClient
+
+    client = TaxonomyClient(args.url, admin_token=args.admin_token)
+    since = args.since
+    while True:
+        payload = client.fetch_events(since=since)
+        for event in payload["events"]:
+            print(json.dumps(event, ensure_ascii=False), flush=True)
+        since = max(since, payload["last_seq"])
+        if args.once:
+            return 0
+        _time.sleep(args.interval)
+
+
 def _cmd_workload_list(args: argparse.Namespace) -> int:
     from repro.workloads import builtin_scenarios
 
@@ -621,6 +659,48 @@ def _build_parser() -> argparse.ArgumentParser:
     workload_run.add_argument("--no-bench", action="store_true",
                               help="do not write the perf trajectory")
     workload_run.set_defaults(func=_cmd_workload_run)
+
+    obs = sub.add_parser(
+        "obs",
+        help="telemetry for a live server: metrics dump, event tail",
+        description="Read the unified telemetry of a running "
+                    "`cn-probase serve` instance.",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_cmd", required=True)
+
+    obs_dump = obs_sub.add_parser(
+        "dump", help="print /metrics (and optionally recent trace spans)"
+    )
+    obs_dump.add_argument("--url", required=True,
+                          help="server base URL, e.g. http://127.0.0.1:8080")
+    obs_dump.add_argument("--admin-token", default=None,
+                          help="bearer token for the /admin endpoints")
+    obs_dump.add_argument(
+        "--format", choices=["json", "text"], default="json",
+        help="json = the /metrics payload; text = Prometheus exposition "
+             "(default: json)")
+    obs_dump.add_argument(
+        "--traces", type=int, default=0, metavar="N",
+        help="also print the N most recent trace spans "
+             "(needs --admin-token)")
+    obs_dump.set_defaults(func=_cmd_obs_dump)
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="follow the structured event log as JSON lines"
+    )
+    obs_tail.add_argument("--url", required=True,
+                          help="server base URL, e.g. http://127.0.0.1:8080")
+    obs_tail.add_argument("--admin-token", required=True,
+                          help="bearer token for /admin/events")
+    obs_tail.add_argument(
+        "--since", type=int, default=0, metavar="SEQ",
+        help="start after this event sequence number (default: 0)")
+    obs_tail.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll interval in seconds (default: 1.0)")
+    obs_tail.add_argument("--once", action="store_true",
+                          help="poll once and exit instead of following")
+    obs_tail.set_defaults(func=_cmd_obs_tail)
 
     query = sub.add_parser("query", help="call one of the three APIs")
     query.add_argument("--taxonomy", required=True)

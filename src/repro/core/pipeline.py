@@ -77,6 +77,7 @@ from repro.core.verification.incompatible import FilterDecision
 from repro.encyclopedia.model import DumpDiff, EncyclopediaDump, diff_dumps
 from repro.errors import PipelineError
 from repro.neural.training import TrainingReport
+from repro.obs import get_hub
 from repro.nlp.lexicon import Lexicon
 from repro.nlp.ner import NamedEntityRecognizer
 from repro.nlp.pmi import PMIStatistics
@@ -365,7 +366,9 @@ class CNProbaseBuilder:
         started = perf_counter()
         trace = StageTrace()
         context = self._prepare_context(dump, trace)
-        return self._execute(dump, context, trace, started)
+        result = self._execute(dump, context, trace, started)
+        get_hub().record_stage_trace(trace, mode="full")
+        return result
 
     def build_incremental(
         self, dump: EncyclopediaDump, previous: PreviousBuild
@@ -415,6 +418,7 @@ class CNProbaseBuilder:
                 previous=previous.per_source,
             )
         result = self._execute(dump, context, trace, started, replay=replay)
+        get_hub().record_stage_trace(trace, mode="incremental")
         delta = TaxonomyDelta.compute(previous.taxonomy, result.taxonomy)
         return IncrementalBuildResult(
             **{f.name: getattr(result, f.name) for f in fields(BuildResult)},

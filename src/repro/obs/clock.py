@@ -1,0 +1,21 @@
+"""The single sanctioned clock for :mod:`repro.obs`.
+
+Every timestamp and duration in the telemetry subsystem flows through
+these two functions.  The determinism lint
+(`tests/workloads/test_determinism_lint.py`) forbids ``time`` /
+``datetime`` imports anywhere else in the package, so tests can patch
+wall time or elapsed time in exactly one place and trace/event records
+stay reproducible under a frozen clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_time", "elapsed"]
+
+# Wall-clock seconds since the epoch -- stamps event/span records.
+wall_time = time.time
+
+# Monotonic high-resolution seconds -- measures durations.
+elapsed = time.perf_counter

@@ -180,7 +180,7 @@ __all__ = [
 ]
 
 
-def build_cluster(taxonomy, *, shards: int = 1, replicas: int = 1):
+def build_cluster(taxonomy, *, shards: int = 1, replicas: int = 1, hub=None):
     """The service front ``cn-probase serve`` puts behind HTTP.
 
     Always a :class:`ShardedSnapshotStore` (``shards=1`` degenerates to
@@ -194,7 +194,7 @@ def build_cluster(taxonomy, *, shards: int = 1, replicas: int = 1):
         raise APIError(f"shards must be >= 1, got {shards}")
     if replicas < 1:
         raise APIError(f"replicas must be >= 1, got {replicas}")
-    store = ShardedSnapshotStore(taxonomy, n_shards=shards)
+    store = ShardedSnapshotStore(taxonomy, n_shards=shards, hub=hub)
     if replicas == 1:
         return store
     return ReplicatedRouter.from_store(store, replicas=replicas)

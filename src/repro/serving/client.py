@@ -13,12 +13,18 @@ server already rejected the request; resending it cannot help).
 
 The client keeps its own :class:`ServiceMetrics` ledger of end-to-end
 (wire-inclusive) latencies, which is what
-``WorkloadGenerator.run_service`` returns when driven with a client.
+``WorkloadGenerator.run_service`` returns when driven with a client,
+plus a :class:`ClientWireStats` retry/backoff ledger registered with
+the telemetry hub.  With ``trace_every=N`` the client mints an
+``X-Trace-Id`` for every Nth call (or propagates the ambient trace
+context) so a slow wire call can be correlated with the server /
+router / shard spans that served it.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 import urllib.error
 import urllib.parse
@@ -27,6 +33,13 @@ from random import Random
 from typing import Sequence
 
 from repro.errors import APIError, DeltaConflictError
+from repro.obs import (
+    TRACE_HEADER,
+    TraceIdSource,
+    current_trace_id,
+    get_hub,
+)
+from repro.obs.metrics import MetricSnapshot, Sample
 from repro.taxonomy.service import (
     PROBE_KEY,
     WIRE_API_METHODS,
@@ -36,6 +49,70 @@ from repro.taxonomy.service import (
 
 #: wire api names, in the order the paper lists them (Table II)
 WIRE_API_NAMES = tuple(WIRE_API_METHODS)
+
+
+class ClientWireStats:
+    """The client's transport ledger: requests, retries, backoff.
+
+    Lock-protected like every ledger the registry collects, and
+    registered under component ``client`` so retry storms and backoff
+    stalls show up next to the serving metrics they explain.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.failures = 0
+        self.conflicts = 0
+
+    def observe_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def observe_retry(self, backoff_seconds: float) -> None:
+        with self._lock:
+            self.retries += 1
+            self.backoff_seconds += backoff_seconds
+
+    def observe_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+
+    def observe_conflict(self) -> None:
+        with self._lock:
+            self.conflicts += 1
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "retries": self.retries,
+                "backoff_seconds": self.backoff_seconds,
+                "failures": self.failures,
+                "conflicts": self.conflicts,
+            }
+
+    def metric_samples(self) -> list[MetricSnapshot]:
+        with self._lock:
+            counters = (
+                ("client_requests_total",
+                 "Wire round trips attempted", float(self.requests)),
+                ("client_retries_total",
+                 "Retried wire round trips", float(self.retries)),
+                ("client_backoff_seconds_total",
+                 "Cumulative retry backoff slept", self.backoff_seconds),
+                ("client_request_failures_total",
+                 "Requests exhausted without a response",
+                 float(self.failures)),
+                ("client_conflicts_total",
+                 "409 version-handshake refusals", float(self.conflicts)),
+            )
+        return [
+            MetricSnapshot(name, "counter", help, (Sample((), value),))
+            for name, help, value in counters
+        ]
 
 
 class TaxonomyClient(BatchedServingAPI):
@@ -51,9 +128,13 @@ class TaxonomyClient(BatchedServingAPI):
         backoff_cap_seconds: float = 1.0,
         jitter_seed: int | None = None,
         admin_token: str | None = None,
+        trace_every: int = 0,
+        hub=None,
     ) -> None:
         if retries < 0:
             raise APIError(f"retries must be >= 0, got {retries}")
+        if trace_every < 0:
+            raise APIError(f"trace_every must be >= 0, got {trace_every}")
         if backoff_cap_seconds < backoff_seconds:
             raise APIError(
                 f"backoff_cap_seconds ({backoff_cap_seconds}) must be >= "
@@ -72,6 +153,42 @@ class TaxonomyClient(BatchedServingAPI):
         self._rng = Random(jitter_seed)
         self._admin_token = admin_token
         self.metrics = ServiceMetrics()
+        self.wire_stats = ClientWireStats()
+        self._hub = hub if hub is not None else get_hub()
+        self._hub.registry.register_collector("client", self)
+        #: Sample every Nth serving call into a trace (0 = off).  An
+        #: ambient trace context always propagates regardless.
+        self._trace_every = trace_every
+        self._trace_source = TraceIdSource("c")
+        self._sample_lock = threading.Lock()
+        self._calls_seen = 0
+
+    def metric_samples(self) -> list[MetricSnapshot]:
+        """Registry collector hook: wire transport + serving ledgers."""
+        return (
+            self.wire_stats.metric_samples()
+            + self.metrics.metric_samples()
+        )
+
+    def _trace_id_for(self, argument: str | None) -> str | None:
+        """The trace id this call should carry, minting when sampled.
+
+        An ambient trace context (the workload runner wrapping a timed
+        action) always wins — the minting counter doesn't advance, so
+        sampling cadence is driven by untraced calls only.  Probes are
+        never traced.
+        """
+        if argument == PROBE_KEY:
+            return None
+        ambient = current_trace_id()
+        if ambient is not None:
+            return ambient
+        if not self._trace_every:
+            return None
+        with self._sample_lock:
+            self._calls_seen += 1
+            sampled = (self._calls_seen - 1) % self._trace_every == 0
+        return self._trace_source.mint() if sampled else None
 
     # -- transport -------------------------------------------------------------
 
@@ -83,6 +200,7 @@ class TaxonomyClient(BatchedServingAPI):
         admin: bool = False,
         idempotent: bool = True,
         degraded_ok: bool = False,
+        trace_id: str | None = None,
     ) -> dict:
         """One JSON round trip with bounded retries.
 
@@ -99,6 +217,8 @@ class TaxonomyClient(BatchedServingAPI):
         """
         url = f"{self._base_url}{path}"
         headers = {"Content-Type": "application/json; charset=utf-8"}
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         if admin:
             if self._admin_token is None:
                 raise APIError(
@@ -118,7 +238,10 @@ class TaxonomyClient(BatchedServingAPI):
                     self._backoff_cap_seconds,
                     self._backoff_seconds * (2 ** (attempt - 1)),
                 )
-                time.sleep(backoff * (0.5 + 0.5 * self._rng.random()))
+                slept = backoff * (0.5 + 0.5 * self._rng.random())
+                self.wire_stats.observe_retry(slept)
+                time.sleep(slept)
+            self.wire_stats.observe_request()
             request = urllib.request.Request(
                 url, data=data, headers=headers,
                 method="POST" if data is not None else "GET",
@@ -134,6 +257,7 @@ class TaxonomyClient(BatchedServingAPI):
                     return payload  # a status report, not a failure
                 detail = payload.get("error", payload.get("_raw", exc))
                 if exc.code == 409:  # version handshake refused the write
+                    self.wire_stats.observe_conflict()
                     raise DeltaConflictError(
                         f"{path}: HTTP 409: {detail}",
                         server_version=payload.get("version"),
@@ -146,6 +270,7 @@ class TaxonomyClient(BatchedServingAPI):
                 last_error = APIError(f"{path}: HTTP {exc.code}: {detail}")
             except (urllib.error.URLError, OSError, TimeoutError) as exc:
                 last_error = exc
+        self.wire_stats.observe_failure()
         raise APIError(
             f"{path}: no response after {attempts} attempts: {last_error}"
         ) from last_error
@@ -166,23 +291,31 @@ class TaxonomyClient(BatchedServingAPI):
 
     def _single(self, api_name: str, argument: str) -> list[str]:
         query = urllib.parse.urlencode({"q": argument})
+        trace_id = self._trace_id_for(argument)
         started = time.perf_counter()
-        payload = self._request(f"/v1/{api_name}?{query}")
+        payload = self._request(f"/v1/{api_name}?{query}", trace_id=trace_id)
         results = payload.get("results")
         if not isinstance(results, list):
             raise APIError(f"{api_name}: malformed response {payload!r}")
+        elapsed = time.perf_counter() - started
         if argument != PROBE_KEY:  # probes stay out of the ledgers
-            self.metrics.observe(
-                api_name, time.perf_counter() - started, bool(results)
+            self.metrics.observe(api_name, elapsed, bool(results))
+        if trace_id is not None:
+            self._hub.record_span(
+                trace_id, "client", api_name, elapsed,
+                outcome="hit" if results else "miss",
+                version=payload.get("version"),
             )
         return results
 
     def _batch(
         self, api_name: str, arguments: Sequence[str]
     ) -> list[list[str]]:
+        trace_id = self._trace_id_for(arguments[0] if arguments else None)
         started = time.perf_counter()
         payload = self._request(
-            f"/v1/{api_name}", body={"arguments": list(arguments)}
+            f"/v1/{api_name}", body={"arguments": list(arguments)},
+            trace_id=trace_id,
         )
         results = payload.get("results")
         if not isinstance(results, list) or len(results) != len(arguments):
@@ -194,6 +327,11 @@ class TaxonomyClient(BatchedServingAPI):
         for argument, result in zip(arguments, results):
             if argument != PROBE_KEY:  # probes stay out of the ledgers
                 self.metrics.observe(api_name, per_call, bool(result))
+        if trace_id is not None:
+            self._hub.record_span(
+                trace_id, "client", api_name, elapsed,
+                outcome="batch", version=payload.get("version"),
+            )
         return results
 
     # -- cluster info ----------------------------------------------------------
@@ -213,6 +351,46 @@ class TaxonomyClient(BatchedServingAPI):
     def server_metrics(self) -> dict:
         """The server-side ledger (the client's own is ``.metrics``)."""
         return self._request("/metrics")
+
+    def server_metrics_text(self) -> str:
+        """The server's Prometheus-style text exposition."""
+        url = f"{self._base_url}/metrics?format=text"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise APIError(f"/metrics?format=text: {exc}") from exc
+
+    def fetch_traces(
+        self, *, limit: int | None = None, trace_id: str | None = None
+    ) -> dict:
+        """Recent server-side spans (``GET /admin/traces``), oldest
+        first; *limit* keeps the newest N, *trace_id* filters to one
+        trace."""
+        params = {}
+        if limit is not None:
+            params["limit"] = int(limit)
+        if trace_id is not None:
+            params["trace_id"] = trace_id
+        query = f"?{urllib.parse.urlencode(params)}" if params else ""
+        return self._request(f"/admin/traces{query}", admin=True)
+
+    def fetch_events(
+        self, *, since: int = 0, limit: int | None = None
+    ) -> dict:
+        """Structured events after sequence *since*
+        (``GET /admin/events``) — the cursor surface ``obs tail``
+        polls."""
+        params: dict = {}
+        if since:
+            params["since"] = int(since)
+        if limit is not None:
+            params["limit"] = int(limit)
+        query = f"?{urllib.parse.urlencode(params)}" if params else ""
+        return self._request(f"/admin/events{query}", admin=True)
 
     # -- admin -----------------------------------------------------------------
 

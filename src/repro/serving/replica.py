@@ -326,6 +326,7 @@ class LocalReplica:
         shard_id: int | None = None,
         n_shards: int | None = None,
         name: str = "local",
+        hub=None,
     ) -> None:
         from repro.serving.sharding import ShardedSnapshotStore
 
@@ -337,9 +338,12 @@ class LocalReplica:
         self._n_shards = n_shards
         self.name = name
         # one internal shard: intra-replica sharding buys nothing, the
-        # cluster-level sharding happens in the router above
+        # cluster-level sharding happens in the router above.  The
+        # store registers its ledger under "replica" so a chaos
+        # cluster's per-replica stores don't masquerade as the front.
         self._store = ShardedSnapshotStore(
-            taxonomy, n_shards=1, version=version
+            taxonomy, n_shards=1, version=version, hub=hub,
+            component="replica",
         )
 
     @property

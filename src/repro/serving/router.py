@@ -49,6 +49,8 @@ from repro.errors import (
     ServiceUnavailableError,
     TaxonomyError,
 )
+from repro.obs import current_trace_id, get_hub
+from repro.obs.metrics import MetricSnapshot, Sample
 from repro.serving.sharding import (
     _API_LOOKUPS,
     ShardedSnapshotStore,
@@ -161,6 +163,23 @@ class RouterStats:
             "resync_failures": self.resync_failures,
         }
 
+    def metric_samples(self) -> list[MetricSnapshot]:
+        """This ledger as one registry-shaped counter family.
+
+        The :class:`~repro.obs.metrics.MetricsRegistry` collector hook:
+        every routing outcome becomes a ``router_ops_total{op=...}``
+        sample, so dashboards read one family instead of ten ad-hoc
+        attributes.
+        """
+        return [MetricSnapshot(
+            "router_ops_total", "counter",
+            "Cumulative routing outcomes, per operation",
+            tuple(
+                Sample((("op", op),), float(value))
+                for op, value in self.as_dict().items()
+            ),
+        )]
+
 
 class ReplicatedRouter(BatchedServingAPI):
     """Route the canonical serving surface over shards × replicas."""
@@ -175,6 +194,7 @@ class ReplicatedRouter(BatchedServingAPI):
         base_version: int = 1,
         auto_resync: bool = True,
         resync_snapshot_path=None,
+        hub=None,
     ) -> None:
         if not replica_sets or any(not replicas for replicas in replica_sets):
             raise APIError("router needs >= 1 replica for every shard")
@@ -196,8 +216,12 @@ class ReplicatedRouter(BatchedServingAPI):
         self._published_version = base_version
         self._published_hash: str | None = None
         self._delta_history = DeltaHistory()
-        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        shared_metrics = metrics is not None
+        self.metrics = metrics if shared_metrics else ServiceMetrics()
         self.stats = RouterStats()
+        self._owns_metrics = not shared_metrics
+        self._hub = hub if hub is not None else get_hub()
+        self._hub.registry.register_collector("router", self)
         #: Probe-time self-healing: when a probe finds a replica alive
         #: but stale and its backend can ``resync``, the router hands it
         #: the catch-up source instead of leaving it parked for the next
@@ -245,9 +269,19 @@ class ReplicatedRouter(BatchedServingAPI):
             metrics=store.metrics,
             auto_resync=auto_resync,
             resync_snapshot_path=resync_snapshot_path,
+            hub=store._hub,  # one telemetry hub per cluster
         )
         router._store = store
         return router
+
+    def metric_samples(self) -> list[MetricSnapshot]:
+        """Registry collector hook: routing stats, plus the serving
+        ledger when this router owns it (a store-backed router shares
+        the store's ledger, which the store already registered)."""
+        samples = self.stats.metric_samples()
+        if self._owns_metrics:
+            samples.extend(self.metrics.metric_samples())
+        return samples
 
     # -- cluster topology / versioning ----------------------------------------
 
@@ -321,6 +355,11 @@ class ReplicatedRouter(BatchedServingAPI):
         state = ReplicaState(backend, healthy=self._version_aligned(backend))
         with self._lock:
             self._replicas[shard_id].append(state)
+            replica_index = len(self._replicas[shard_id]) - 1
+        self._hub.emit(
+            "replica_attached", shard=shard_id, replica=replica_index,
+            backend=repr(backend), healthy=state.healthy,
+        )
 
     def swap(
         self,
@@ -348,6 +387,10 @@ class ReplicatedRouter(BatchedServingAPI):
             )
         result = self._store.swap(taxonomy, version=version)
         target = result.version
+        self._hub.emit(
+            "swap", component="router", version=f"v{target}",
+            content_hash=result.content_hash,
+        )
         report: list[dict] = []
         for shard_id, replicas in enumerate(self._replicas):
             for replica_index, state in enumerate(list(replicas)):
@@ -370,28 +413,78 @@ class ReplicatedRouter(BatchedServingAPI):
                             self.stats.snapshot_heals += 1
                             # healed = alive + aligned: re-admit (it
                             # may have been parked by an earlier swap)
+                            was_healthy = state.healthy
                             state.healthy = True
                             state.skips_since_down = 0
+                        if not was_healthy:
+                            self._emit_health(state, True, "swap_heal")
                     except Exception:
-                        self._mark_failed(state)
+                        self._mark_failed(state, reason="swap_heal_failed")
                         outcome = "failed"
                 else:
                     # stale by construction: park it (not a failure of
                     # the backend, so only the health flag moves)
                     with self._lock:
+                        was_healthy = state.healthy
                         state.healthy = False
                         state.skips_since_down = 0
+                    if was_healthy:
+                        self._emit_health(state, False, "swap_stale")
                     outcome = "stale"
-                report.append({
-                    "shard": shard_id,
-                    "replica": replica_index,
-                    "backend": repr(state.backend),
-                    "outcome": outcome,
-                })
+                report.append(self._publish_entry(
+                    shard_id, replica_index, state.backend, outcome,
+                    target, result.content_hash,
+                ))
         self._published_version = target
         self._published_hash = result.content_hash
-        self.last_publish_report = report
+        self._set_publish_report(report)
         return result
+
+    # -- publish reporting / event plumbing -------------------------------------
+
+    @staticmethod
+    def _publish_entry(
+        shard, replica, backend, outcome, version, content_hash,
+    ) -> dict:
+        """One publish-report record; every outcome shares this schema.
+
+        ``shard`` / ``replica`` / ``backend`` are None for cluster-level
+        outcomes (a merge converges the whole front at once), never
+        absent — consumers can rely on the keys existing.
+        """
+        return {
+            "shard": shard,
+            "replica": replica,
+            "backend": repr(backend) if backend is not None else None,
+            "outcome": outcome,
+            "version": f"v{version}" if isinstance(version, int) else version,
+            "content_hash": content_hash,
+        }
+
+    def _set_publish_report(self, report: list[dict]) -> None:
+        """Publish outcomes land in the event log; the attribute is the
+        compatibility view over the same records."""
+        self.last_publish_report = report
+        for entry in report:
+            self._hub.emit("publish_outcome", **entry)
+
+    def _locate(self, state) -> tuple[int | None, int | None]:
+        for shard_id, replicas in enumerate(self._replicas):
+            for replica_index, candidate in enumerate(replicas):
+                if candidate is state:
+                    return shard_id, replica_index
+        return None, None
+
+    def _emit_health(self, state, healthy: bool, reason: str) -> None:
+        shard_id, replica_index = self._locate(state)
+        self._hub.emit(
+            "replica_health",
+            shard=shard_id,
+            replica=replica_index,
+            backend=repr(state.backend),
+            healthy=healthy,
+            reason=reason,
+        )
 
     # -- delta-aware replication ------------------------------------------------
 
@@ -460,7 +553,15 @@ class ReplicatedRouter(BatchedServingAPI):
                 # bytes): nothing changed, so shipping the delta to
                 # replicas — which also hold those bytes — would only
                 # force them through pointless conflict handling
-                self.last_publish_report = [{"outcome": "merged"}]
+                self._hub.emit(
+                    "delta_merge", component="router",
+                    version=f"v{target}",
+                    content_hash=result.content_hash,
+                )
+                self._set_publish_report([self._publish_entry(
+                    None, None, None, "merged",
+                    target, result.content_hash,
+                )])
                 return result
             history = self._store.delta_history
         else:
@@ -492,7 +593,13 @@ class ReplicatedRouter(BatchedServingAPI):
                     # bytes, so converge without re-shipping (replicas
                     # that missed the first publish are resynced by the
                     # probe loop, not by a duplicate fan-out)
-                    self.last_publish_report = [{"outcome": "merged"}]
+                    self._hub.emit(
+                        "delta_merge", component="router",
+                        version=f"v{base}", content_hash=current_hash,
+                    )
+                    self._set_publish_report([self._publish_entry(
+                        None, None, None, "merged", base, current_hash,
+                    )])
                     return self.last_publish_report
                 base_label = (
                     f"v{base_version}" if base_version is not None
@@ -537,18 +644,23 @@ class ReplicatedRouter(BatchedServingAPI):
                     state, sliced, base, target, history,
                     shard_id, n_shards, snapshot_path, catchup_cache,
                 )
-                report.append({
-                    "shard": shard_id,
-                    "replica": replica_index,
-                    "backend": repr(state.backend),
-                    "outcome": outcome,
-                })
+                report.append(self._publish_entry(
+                    shard_id, replica_index, state.backend, outcome,
+                    target,
+                    result.content_hash if result is not None
+                    else delta.new_content_hash,
+                ))
         self._published_version = target
         self._published_hash = (
             result.content_hash if result is not None
             else delta.new_content_hash
         )
-        self.last_publish_report = report
+        self._hub.emit(
+            "publish", component="router",
+            from_version=f"v{base}", version=f"v{target}",
+            content_hash=self._published_hash,
+        )
+        self._set_publish_report(report)
         return result if self._store is not None else report
 
     @staticmethod
@@ -575,8 +687,11 @@ class ReplicatedRouter(BatchedServingAPI):
         )
         if outcome in ("applied", "chained", "healed"):
             with self._lock:
+                was_healthy = state.healthy
                 state.healthy = True
                 state.skips_since_down = 0
+            if not was_healthy:
+                self._emit_health(state, True, f"publish_{outcome}")
         return outcome
 
     def _replicate_once(
@@ -646,11 +761,14 @@ class ReplicatedRouter(BatchedServingAPI):
         self._mark_failed(state)
         return "failed"
 
-    def _mark_failed(self, state) -> None:
+    def _mark_failed(self, state, *, reason: str = "error") -> None:
         with self._lock:
+            was_healthy = state.healthy
             state.healthy = False
             state.failures += 1
             state.skips_since_down = 0
+        if was_healthy:
+            self._emit_health(state, False, reason)
 
     # -- health ----------------------------------------------------------------
 
@@ -664,8 +782,11 @@ class ReplicatedRouter(BatchedServingAPI):
     def mark_unhealthy(self, shard_id: int, replica_index: int) -> None:
         state = self._replicas[shard_id][replica_index]
         with self._lock:
+            was_healthy = state.healthy
             state.healthy = False
             state.skips_since_down = 0
+        if was_healthy:
+            self._emit_health(state, False, "operator")
 
     def _version_aligned(self, backend) -> bool:
         """Is a version-reporting backend at the published version?
@@ -740,6 +861,7 @@ class ReplicatedRouter(BatchedServingAPI):
                 aligned = self._try_resync(shard_id, replica_index, state)
             ok = aligned
         with self._lock:
+            was_healthy = state.healthy
             if ok:
                 if not state.healthy:
                     self.stats.probe_recoveries += 1
@@ -748,6 +870,10 @@ class ReplicatedRouter(BatchedServingAPI):
             else:
                 state.healthy = False
                 state.skips_since_down = 0
+        if ok != was_healthy:
+            self._emit_health(
+                state, ok, "probe_recovery" if ok else "probe_failed"
+            )
         return ok
 
     def probe_all(self) -> int:
@@ -816,6 +942,7 @@ class ReplicatedRouter(BatchedServingAPI):
         with self._lock:
             self.last_resync_report.append(entry)
             del self.last_resync_report[: -self._RESYNC_REPORT_SIZE]
+        self._hub.emit("resync", **entry)
 
     # -- routing ---------------------------------------------------------------
 
@@ -892,6 +1019,8 @@ class ReplicatedRouter(BatchedServingAPI):
         attempts = self._retries + 1
         tried: set[int] = set()
         last_error: Exception | None = None
+        trace_id = current_trace_id()
+        group_started = perf_counter() if trace_id is not None else 0.0
         for _ in range(attempts):
             index = self._pick(shard_id, tried)
             if index is None:
@@ -921,19 +1050,64 @@ class ReplicatedRouter(BatchedServingAPI):
                 last_error = exc
                 tried.add(index)
                 with self._lock:
+                    was_healthy = state.healthy
                     state.healthy = False
                     state.failures += 1
                     state.skips_since_down = 0
                     self.stats.failovers += 1
+                if was_healthy:
+                    self._emit_health(state, False, "serve_failure")
                 continue
             for argument, (result, elapsed) in zip(arguments, served):
                 if argument != PROBE_KEY:  # probes stay out of ledgers
                     self.metrics.observe(api_name, elapsed, bool(result))
+            if trace_id is not None:
+                self._record_group_spans(
+                    trace_id, api_name, shard_id, index, pin,
+                    sum(elapsed for _, elapsed in served),
+                    perf_counter() - group_started,
+                )
             return [result for result, _ in served]
         detail = f": {last_error}" if last_error is not None else ""
+        if trace_id is not None:
+            self._hub.record_span(
+                trace_id, "router", api_name,
+                perf_counter() - group_started,
+                outcome="unavailable", shard=shard_id,
+            )
         raise ServiceUnavailableError(
             f"{api_name}: no healthy replica for shard {shard_id} "
             f"after {attempts} attempts{detail}"
+        )
+
+    def _record_group_spans(
+        self, trace_id, api_name, shard_id, replica_index, pin,
+        shard_seconds, group_seconds,
+    ) -> None:
+        """Router + shard spans for one served group.
+
+        The shard span is the time spent inside replica lookups; the
+        router span is the whole group including pick/failover, so the
+        difference reads directly as routing overhead.
+        """
+        if pin is not None:
+            version, content_hash = pin.version_id, pin.content_hash
+        elif self._store is not None:
+            shard_set = self._store.shard_set
+            version, content_hash = shard_set.version_id, shard_set.content_hash
+        else:
+            version, content_hash = (
+                self.published_version_id, self._published_hash
+            )
+        self._hub.record_span(
+            trace_id, "shard", api_name, shard_seconds,
+            shard=shard_id, replica=replica_index,
+            version=version, content_hash=content_hash,
+        )
+        self._hub.record_span(
+            trace_id, "router", api_name, group_seconds,
+            shard=shard_id, replica=replica_index,
+            version=version, content_hash=content_hash,
         )
 
     # -- serving hooks ---------------------------------------------------------

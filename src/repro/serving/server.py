@@ -13,7 +13,14 @@ Endpoints (see the package docstring for the full wire format):
 - ``POST /v1/{api}`` with ``{"arguments": [...]}`` — batched query
 - ``GET /healthz`` / ``GET /version`` (incl. the delta-publish
   ``lineage`` and the ``content_hash`` of the published bytes) /
-  ``GET /metrics``
+  ``GET /metrics`` (JSON; ``?format=text`` serves the Prometheus-style
+  exposition of the unified registry)
+- ``GET /admin/traces?limit=N`` — recent request spans from the
+  telemetry hub's bounded ring (requests carrying an ``X-Trace-Id``
+  header are traced through server → router → shard)
+- ``GET /admin/events?since=N`` — structured serving-layer events
+  (publishes, merges, conflicts, resyncs, heals, health transitions)
+  after sequence number N
 - ``GET /admin/delta-chain?from=<hash or vN>`` — the catch-up chain
   from the caller's state to the served version (probe-time
   auto-resync pulls this); ``covered: false`` when the delta history
@@ -40,6 +47,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
@@ -48,8 +56,14 @@ from repro.errors import (
     ReproError,
     ServiceUnavailableError,
 )
+from repro.obs import TRACE_HEADER, get_hub, trace_context
 from repro.taxonomy.service import WIRE_API_METHODS
 from repro.taxonomy.store import Taxonomy
+
+#: Ops/admin endpoints whose latency must stay out of the serving
+#: quantiles — a metrics scrape or a probe-time admin read is plumbing,
+#: not workload, exactly like ``PROBE_KEY`` traffic.
+OPS_PATHS = ("/metrics", "/healthz", "/version", "/admin/")
 
 
 def _json_bytes(payload: dict) -> bytes:
@@ -77,6 +91,16 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
 
     def _error(self, status: int, message: str) -> None:
         self._respond(status, {"error": message})
+
+    def _respond_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _drain_body(self) -> bytes:
         """Read the request body off the socket unconditionally.
@@ -115,54 +139,86 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
     # -- HTTP verbs ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802
-        try:
-            url = urlsplit(self.path)
-            if url.path == "/healthz":
-                payload = self.server.health_payload()
-                status = 200 if payload["status"] == "ok" else 503
-                self._respond(status, payload)
-            elif url.path == "/version":
-                self._respond(200, self.server.version_payload())
-            elif url.path == "/metrics":
-                self._respond(200, self.server.metrics_payload())
-            elif url.path == "/admin/delta-chain":
-                if self._authorized():
-                    self._admin_delta_chain(url)
-            elif url.path.startswith("/v1/"):
-                self._query_single(url)
-            else:
-                self._error(404, f"no such endpoint: {url.path}")
-        except ServiceUnavailableError as exc:  # transient: clients retry
-            self._error(503, str(exc))
-        except APIError as exc:
-            self._error(400, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive 500
-            self._error(500, f"internal error: {exc}")
+        self._dispatch(self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802
+        self._dispatch(self._route_post)
+
+    def _dispatch(self, route) -> None:
+        """Route one request with tracing + request accounting.
+
+        An ``X-Trace-Id`` header binds the trace context around the
+        whole dispatch, so every span the service front records during
+        this request correlates with the server span recorded here.
+        """
+        url = urlsplit(self.path)
+        trace_id = self.headers.get(TRACE_HEADER) or None
+        started = perf_counter()
+        outcome = "ok"
         try:
-            raw_body = self._drain_body()
-            url = urlsplit(self.path)
-            if url.path == "/admin/swap":
-                if self._authorized():
-                    self._admin_swap(raw_body)
-            elif url.path == "/admin/apply-delta":
-                if self._authorized():
-                    self._admin_apply_delta(raw_body)
-            elif url.path == "/admin/shutdown":
-                if self._authorized():
-                    self._respond(200, {"shutting_down": True})
-                    self.server.shutdown_soon()
-            elif url.path.startswith("/v1/"):
-                self._query_batch(url, raw_body)
+            if trace_id is not None:
+                with trace_context(trace_id):
+                    route(url)
             else:
-                self._error(404, f"no such endpoint: {url.path}")
+                route(url)
         except ServiceUnavailableError as exc:  # transient: clients retry
             self._error(503, str(exc))
+            outcome = "unavailable"
         except APIError as exc:
             self._error(400, str(exc))
+            outcome = "error"
         except Exception as exc:  # pragma: no cover - defensive 500
             self._error(500, f"internal error: {exc}")
+            outcome = "error"
+        self.server.observe_request(
+            url.path, perf_counter() - started, outcome, trace_id
+        )
+
+    def _route_get(self, url) -> None:
+        if url.path == "/healthz":
+            payload = self.server.health_payload()
+            status = 200 if payload["status"] == "ok" else 503
+            self._respond(status, payload)
+        elif url.path == "/version":
+            self._respond(200, self.server.version_payload())
+        elif url.path == "/metrics":
+            formats = parse_qs(url.query).get("format")
+            if formats and formats[0] == "text":
+                self._respond_text(
+                    200, self.server.hub.registry.render_text()
+                )
+            else:
+                self._respond(200, self.server.metrics_payload())
+        elif url.path == "/admin/delta-chain":
+            if self._authorized():
+                self._admin_delta_chain(url)
+        elif url.path == "/admin/traces":
+            if self._authorized():
+                self._admin_traces(url)
+        elif url.path == "/admin/events":
+            if self._authorized():
+                self._admin_events(url)
+        elif url.path.startswith("/v1/"):
+            self._query_single(url)
+        else:
+            self._error(404, f"no such endpoint: {url.path}")
+
+    def _route_post(self, url) -> None:
+        raw_body = self._drain_body()
+        if url.path == "/admin/swap":
+            if self._authorized():
+                self._admin_swap(raw_body)
+        elif url.path == "/admin/apply-delta":
+            if self._authorized():
+                self._admin_apply_delta(raw_body)
+        elif url.path == "/admin/shutdown":
+            if self._authorized():
+                self._respond(200, {"shutting_down": True})
+                self.server.shutdown_soon()
+        elif url.path.startswith("/v1/"):
+            self._query_batch(url, raw_body)
+        else:
+            self._error(404, f"no such endpoint: {url.path}")
 
     # -- queries ---------------------------------------------------------------
 
@@ -312,6 +368,46 @@ class TaxonomyRequestHandler(BaseHTTPRequestHandler):
             ]
         self._respond(200, payload)
 
+    @staticmethod
+    def _int_param(url, name: str) -> int | None:
+        values = parse_qs(url.query).get(name)
+        if not values or not values[0]:
+            return None
+        try:
+            parsed = int(values[0])
+        except ValueError as exc:
+            raise APIError(f"{name} must be an integer") from exc
+        if parsed < 0:
+            raise APIError(f"{name} must be >= 0")
+        return parsed
+
+    def _admin_traces(self, url) -> None:
+        limit = self._int_param(url, "limit")
+        trace_ids = parse_qs(url.query).get("trace_id")
+        trace_id = trace_ids[0] if trace_ids and trace_ids[0] else None
+        traces = self.server.hub.traces
+        spans = traces.spans(trace_id=trace_id, limit=limit)
+        self._respond(
+            200,
+            {
+                "spans": [span.as_dict() for span in spans],
+                "capacity": traces.capacity,
+                "last_seq": traces.last_seq,
+            },
+        )
+
+    def _admin_events(self, url) -> None:
+        since = self._int_param(url, "since") or 0
+        limit = self._int_param(url, "limit")
+        events = self.server.hub.events
+        self._respond(
+            200,
+            {
+                "events": events.records(since=since, limit=limit),
+                "last_seq": events.last_seq,
+            },
+        )
+
     def _admin_swap(self, raw_body: bytes) -> None:
         body = self._parse_json_body(raw_body)
         path = body.get("taxonomy")
@@ -459,11 +555,57 @@ class ClusterHTTPServer(ThreadingHTTPServer):
         service,
         *,
         admin_token: str | None = None,
+        hub=None,
     ) -> None:
         super().__init__(address, TaxonomyRequestHandler)
         self.service = service
         self.admin_token = admin_token
         self._thread: threading.Thread | None = None
+        if hub is None:
+            # prefer the hub the service front already reports into, so
+            # server-side spans land in the same rings as service spans
+            hub = getattr(service, "_hub", None) or get_hub()
+        self.hub = hub
+        self._http_requests = hub.registry.counter(
+            "http_requests_total", "HTTP requests served, by path class."
+        )
+        self._http_seconds = hub.registry.summary(
+            "http_request_seconds",
+            "Server-side latency of /v1 query requests, by api.",
+        )
+
+    def observe_request(
+        self, path: str, seconds: float, outcome: str, trace_id
+    ) -> None:
+        """Account one finished request; record a server span if traced.
+
+        Ops/admin paths (``OPS_PATHS``) are counted but excluded from
+        the latency summary — a metrics scrape or health probe is
+        plumbing, not workload, exactly like ``PROBE_KEY`` traffic.
+        """
+        is_query = path.startswith("/v1/")
+        api = path[len("/v1/") :] if is_query else None
+        if is_query:
+            label = f"/v1/{api}"
+        elif any(
+            path == ops or (ops.endswith("/") and path.startswith(ops))
+            for ops in OPS_PATHS
+        ):
+            label = path if not path.startswith("/admin/") else "/admin/*"
+        else:
+            label = "other"
+        self._http_requests.labels(path=label).inc()
+        if is_query:
+            self._http_seconds.labels(api=api).observe(seconds)
+        if trace_id:
+            self.hub.record_span(
+                trace_id=trace_id,
+                component="server",
+                operation=api or path,
+                seconds=seconds,
+                outcome=outcome,
+                version=self.service_version(),
+            )
 
     # -- info payloads ---------------------------------------------------------
 
@@ -536,6 +678,9 @@ class ClusterHTTPServer(ThreadingHTTPServer):
                 "stats": stats.as_dict(),
                 "replicas": health(),
             }
+        # the unified registry view: same snapshot that ?format=text
+        # renders, so the two expositions cannot drift apart
+        payload["metrics"] = self.hub.registry.as_dict()
         return payload
 
     # -- lifecycle -------------------------------------------------------------
@@ -573,6 +718,7 @@ def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     admin_token: str | None = None,
+    hub=None,
 ) -> ClusterHTTPServer:
     """Bind, start serving on a background thread, return the server.
 
@@ -581,6 +727,6 @@ def start_server(
     to stop.
     """
     server = ClusterHTTPServer(
-        (host, port), service, admin_token=admin_token
+        (host, port), service, admin_token=admin_token, hub=hub
     )
     return server.start_background()

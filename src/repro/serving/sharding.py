@@ -31,6 +31,7 @@ from time import perf_counter
 from typing import Sequence
 
 from repro.errors import APIError, DeltaConflictError, TaxonomyError
+from repro.obs import current_trace_id, get_hub
 from repro.taxonomy.delta import DeltaHistory, bump_version
 from repro.taxonomy.model import HYPONYM_ENTITY
 from repro.taxonomy.service import (
@@ -262,13 +263,20 @@ class ShardedSnapshotStore(BatchedServingAPI):
         n_shards: int = 4,
         version: int = 1,
         metrics: ServiceMetrics | None = None,
+        hub=None,
+        component: str = "store",
     ) -> None:
         self._lock = threading.Lock()
         self._shard_set = ShardSet.partition(version, taxonomy, n_shards)
-        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        shared_metrics = metrics is not None
+        self.metrics = metrics if shared_metrics else ServiceMetrics()
         #: Ring of applied deltas with their version lineage — what a
         #: lagging replica catches up from (chain instead of snapshot).
         self.delta_history = DeltaHistory()
+        self._hub = hub if hub is not None else get_hub()
+        if not shared_metrics:
+            # a handed-in ledger is already registered by its owner
+            self._hub.registry.register_collector(component, self.metrics)
 
     # -- versioning ------------------------------------------------------------
 
@@ -337,8 +345,15 @@ class ShardedSnapshotStore(BatchedServingAPI):
                 self._shard_set.n_shards,
                 content_hash=content_hash,
             )
+            previous = self._shard_set
             self._shard_set = shard_set
             self.metrics.swaps += 1
+            self._hub.emit(
+                "swap", component="store",
+                from_version=previous.version_id,
+                version=shard_set.version_id,
+                content_hash=shard_set.content_hash,
+            )
             return shard_set
 
     def publish_delta(
@@ -399,10 +414,22 @@ class ShardedSnapshotStore(BatchedServingAPI):
                     # merge: this store already holds the exact bytes the
                     # delta produces (a second publisher shipped the same
                     # nightly delta) — converge instead of 409
+                    self._hub.emit(
+                        "delta_merge", component="store",
+                        version=current.version_id,
+                        content_hash=current.content_hash,
+                    )
                     return current
                 base_label = (
                     f"v{base_version}" if base_version is not None
                     else "unpinned"
+                )
+                self._hub.emit(
+                    "delta_conflict", component="store",
+                    version=current.version_id,
+                    content_hash=current.content_hash,
+                    base=base_label,
+                    base_content_hash=delta.base_content_hash,
                 )
                 raise DeltaConflictError(
                     f"delta base ({base_label}, "
@@ -455,6 +482,13 @@ class ShardedSnapshotStore(BatchedServingAPI):
                 base_content_hash=current.content_hash,
                 content_hash=delta.new_content_hash,
             )
+            self._hub.emit(
+                "publish", component="store",
+                from_version=current.version_id,
+                version=shard_set.version_id,
+                content_hash=delta.new_content_hash,
+                touched_shards=sorted(touched),
+            )
             return shard_set
 
     # -- serving hooks ---------------------------------------------------------
@@ -468,7 +502,17 @@ class ShardedSnapshotStore(BatchedServingAPI):
             return shard.lookup(api_name, argument)
         started = perf_counter()
         result = shard.lookup(api_name, argument)
-        self.metrics.observe(api_name, perf_counter() - started, bool(result))
+        seconds = perf_counter() - started
+        self.metrics.observe(api_name, seconds, bool(result))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self._hub.record_span(
+                trace_id, "shard", api_name, seconds,
+                outcome="hit" if result else "miss",
+                shard=shard.shard_id,
+                version=shard_set.version_id,
+                content_hash=shard_set.content_hash,
+            )
         return result
 
     def _single(self, api_name: str, argument: str) -> list[str]:

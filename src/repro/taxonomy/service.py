@@ -41,6 +41,8 @@ from time import perf_counter
 from typing import Sequence
 
 from repro.errors import APIError, DeltaConflictError, TaxonomyError
+from repro.obs import current_trace_id, get_hub
+from repro.obs.metrics import MetricSnapshot, Sample, SummarySample, summary_quantiles
 from repro.taxonomy.api import TaxonomyAPI
 from repro.taxonomy.delta import DeltaHistory, bump_version
 from repro.taxonomy.store import ReadOptimizedTaxonomy, Taxonomy, TaxonomyStats
@@ -215,6 +217,48 @@ class ServiceMetrics:
                 }
             return report
 
+    def metric_samples(self) -> list[MetricSnapshot]:
+        """This ledger as registry-shaped metric families.
+
+        The :class:`~repro.obs.metrics.MetricsRegistry` collector hook:
+        one consistent read under the ledger lock, emitted as
+        ``serving_api_calls_total`` / ``serving_api_hits_total``
+        counters, the ``serving_api_latency_seconds`` summary, and the
+        ``serving_swaps_total`` counter.
+        """
+        with self._lock:
+            calls, hits, latencies = [], [], []
+            for api, entry in self.per_api.items():
+                labels = (("api", api),)
+                calls.append(Sample(labels, float(entry.calls)))
+                hits.append(Sample(labels, float(entry.hits)))
+                latencies.append(SummarySample(
+                    labels=labels,
+                    count=entry.calls,
+                    sum=entry.total_seconds,
+                    max=entry.max_seconds,
+                    quantiles=summary_quantiles(entry._samples),
+                ))
+            swaps = (Sample((), float(self.swaps)),)
+        return [
+            MetricSnapshot(
+                "serving_api_calls_total", "counter",
+                "Calls served, per API", tuple(calls),
+            ),
+            MetricSnapshot(
+                "serving_api_hits_total", "counter",
+                "Calls answered non-empty, per API", tuple(hits),
+            ),
+            MetricSnapshot(
+                "serving_api_latency_seconds", "summary",
+                "Per-call serving latency, per API", tuple(latencies),
+            ),
+            MetricSnapshot(
+                "serving_swaps_total", "counter",
+                "Snapshot publishes absorbed by this ledger", swaps,
+            ),
+        ]
+
 
 #: wire api name (the paper's Table-II spelling) → (single method,
 #: batch method) on the canonical :class:`BatchedServingAPI` surface.
@@ -371,7 +415,9 @@ class BatchedServingAPI:
 class TaxonomyService(BatchedServingAPI):
     """Facade over :class:`TaxonomyAPI`: versioned, batched, measured."""
 
-    def __init__(self, taxonomy: Taxonomy, *, version: int = 1) -> None:
+    def __init__(
+        self, taxonomy: Taxonomy, *, version: int = 1, hub=None
+    ) -> None:
         self._lock = threading.Lock()
         self._snapshot = TaxonomySnapshot.publish(version, taxonomy)
         self.metrics = ServiceMetrics()
@@ -379,6 +425,8 @@ class TaxonomyService(BatchedServingAPI):
         #: so a late-joining replica can catch up by chain (compose the
         #: missed deltas) instead of pulling a full snapshot.
         self.delta_history = DeltaHistory()
+        self._hub = hub if hub is not None else get_hub()
+        self._hub.registry.register_collector("service", self.metrics)
 
     # -- snapshots -------------------------------------------------------------
 
@@ -421,8 +469,15 @@ class TaxonomyService(BatchedServingAPI):
             snapshot = TaxonomySnapshot.publish(
                 bump_version(self._snapshot.version, version), taxonomy
             )
+            previous = self._snapshot
             self._snapshot = snapshot
             self.metrics.swaps += 1
+            self._hub.emit(
+                "swap", component="service",
+                from_version=previous.version_id,
+                version=snapshot.version_id,
+                content_hash=snapshot.content_hash,
+            )
             return snapshot
 
     def publish_delta(
@@ -472,10 +527,23 @@ class TaxonomyService(BatchedServingAPI):
                     delta.new_content_hash is not None
                     and delta.new_content_hash == current.content_hash
                 ):
-                    return current  # merge: already at the target bytes
+                    # merge: already at the target bytes
+                    self._hub.emit(
+                        "delta_merge", component="service",
+                        version=current.version_id,
+                        content_hash=current.content_hash,
+                    )
+                    return current
                 base_label = (
                     f"v{base_version}" if base_version is not None
                     else "unpinned"
+                )
+                self._hub.emit(
+                    "delta_conflict", component="service",
+                    version=current.version_id,
+                    content_hash=current.content_hash,
+                    base=base_label,
+                    base_content_hash=delta.base_content_hash,
                 )
                 raise DeltaConflictError(
                     f"delta base ({base_label}, "
@@ -522,6 +590,12 @@ class TaxonomyService(BatchedServingAPI):
                 base_content_hash=current.content_hash,
                 content_hash=content_hash,
             )
+            self._hub.emit(
+                "publish", component="service",
+                from_version=current.version_id,
+                version=snapshot.version_id,
+                content_hash=content_hash,
+            )
             return snapshot
 
     # -- internals -------------------------------------------------------------
@@ -542,7 +616,16 @@ class TaxonomyService(BatchedServingAPI):
             return call(argument)
         started = perf_counter()
         result = call(argument)
-        self.metrics.observe(api_name, perf_counter() - started, bool(result))
+        seconds = perf_counter() - started
+        self.metrics.observe(api_name, seconds, bool(result))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self._hub.record_span(
+                trace_id, "service", api_name, seconds,
+                outcome="hit" if result else "miss",
+                version=snapshot.version_id,
+                content_hash=snapshot.content_hash,
+            )
         return result
 
     def _single(self, api_name: str, argument: str) -> list[str]:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import PipelineConfig, build_cn_probase
 from repro.errors import WorkloadError
+from repro.obs import fresh_hub
 from repro.taxonomy.delta import TaxonomyDelta
 from repro.workloads.runner import (
     RunReport,
@@ -85,6 +86,13 @@ def prepare_scenario(scenario: Scenario) -> PreparedScenario:
     )
 
 
+#: Default trace-sampling stride for scenario replays: every Nth
+#: scheduled event runs under a minted trace id so each scenario ×
+#: target entry lands a per-hop latency breakdown without taxing the
+#: other N-1 requests.
+TRACE_EVERY = 10
+
+
 def run_scenario(
     prepared: PreparedScenario,
     target_kind: str = "service",
@@ -93,6 +101,7 @@ def run_scenario(
     time_scale: float = 1.0,
     shards: int = 2,
     replicas: int = 2,
+    trace_every: int = TRACE_EVERY,
 ) -> RunReport:
     """Replay a prepared scenario against one serving target kind.
 
@@ -107,15 +116,20 @@ def run_scenario(
     it runs against a chaos cluster (target name ``chaos``) and the
     report additionally carries the cluster's post-settle convergence
     verdict.
+
+    Each replay runs inside a fresh :class:`~repro.obs.TelemetryHub`
+    (restored afterwards) so one scenario's spans, events and counters
+    never leak into the next scenario's per-hop breakdown.
     """
     scenario = prepared.scenario
     if scenario.faults is not None:
         return _run_chaos_scenario(
-            prepared, workers=workers, time_scale=time_scale
+            prepared, workers=workers, time_scale=time_scale,
+            trace_every=trace_every,
         )
     actions: list[TimedAction] = []
     auditor = None
-    with make_target(
+    with fresh_hub() as hub, make_target(
         target_kind, prepared.taxonomy, shards=shards, replicas=replicas
     ) as target:
         if prepared.has_publish:
@@ -138,6 +152,9 @@ def run_scenario(
             time_scale=time_scale,
             actions=actions,
             auditor=auditor,
+            trace_every=trace_every,
+            hub=hub,
+            gather_spans=target.gather_spans,
         )
 
 
@@ -146,6 +163,7 @@ def _run_chaos_scenario(
     *,
     workers: int,
     time_scale: float,
+    trace_every: int = TRACE_EVERY,
 ) -> RunReport:
     """Replay a fault-carrying scenario against a chaos cluster.
 
@@ -158,6 +176,21 @@ def _run_chaos_scenario(
     report carries the convergence verdict: every replica alive on the
     byte-identical published content hash.
     """
+    with fresh_hub() as hub:
+        return _replay_chaos(
+            prepared, hub, workers=workers, time_scale=time_scale,
+            trace_every=trace_every,
+        )
+
+
+def _replay_chaos(
+    prepared: PreparedScenario,
+    hub,
+    *,
+    workers: int,
+    time_scale: float,
+    trace_every: int,
+) -> RunReport:
     from repro.workloads.faults import build_chaos_cluster, fault_actions
 
     scenario = prepared.scenario
@@ -199,6 +232,8 @@ def _run_chaos_scenario(
         time_scale=time_scale,
         actions=actions,
         auditor=auditor,
+        trace_every=trace_every,
+        hub=hub,
     )
     cluster.settle()
     report.convergence = cluster.convergence()

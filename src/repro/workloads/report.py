@@ -74,6 +74,10 @@ def scenario_entry(report: RunReport) -> dict:
     if convergence is not None:
         entry["converged"] = convergence["converged"]
         entry["resyncs"] = convergence["resyncs"]
+    per_hop = full.get("per_hop")
+    if per_hop:
+        entry["per_hop"] = per_hop
+        entry["traced_calls"] = full["traced_calls"]
     return entry
 
 
@@ -145,4 +149,13 @@ def render_run_report(report: RunReport) -> str:
             for tenant, count in full["per_tenant_calls"].items()
         )
         lines.append(f"per-tenant calls: {tenants}")
+    per_hop = full.get("per_hop")
+    if per_hop:
+        hops = ", ".join(
+            f"{component} p95 {entry['p95_s'] * 1e6:,.0f}µs"
+            for component, entry in per_hop.items()
+        )
+        lines.append(
+            f"per-hop ({full['traced_calls']} traced): {hops}"
+        )
     return "\n".join(lines)

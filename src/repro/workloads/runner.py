@@ -41,6 +41,12 @@ from pathlib import Path
 from time import perf_counter
 
 from repro.errors import WorkloadError
+from repro.obs import (
+    TraceIdSource,
+    get_hub,
+    per_hop_breakdown,
+    trace_context,
+)
 from repro.taxonomy.service import APILatency, WIRE_API_METHODS
 from repro.workloads.schedule import Schedule, ScheduledCall
 
@@ -146,6 +152,10 @@ class RunReport:
     #: Chaos runs only: the post-settle cluster convergence report
     #: (see :meth:`repro.workloads.faults.ChaosCluster.convergence`).
     convergence: dict | None = None
+    #: Trace-sampled runs only: per-component latency quantiles for the
+    #: sampled requests (see :func:`repro.obs.per_hop_breakdown`).
+    per_hop: dict | None = None
+    traced_calls: int = 0
 
     @property
     def throughput_calls_per_s(self) -> float:
@@ -202,6 +212,9 @@ class RunReport:
         }
         if self.convergence is not None:
             payload["convergence"] = self.convergence
+        if self.per_hop is not None:
+            payload["per_hop"] = self.per_hop
+            payload["traced_calls"] = self.traced_calls
         return payload
 
 
@@ -214,6 +227,9 @@ def run_schedule(
     time_scale: float = 1.0,
     actions: list[TimedAction] | None = None,
     auditor: VersionAuditor | None = None,
+    trace_every: int = 0,
+    hub=None,
+    gather_spans=None,
 ) -> RunReport:
     """Replay *schedule* open-loop against *front*; returns the report.
 
@@ -221,13 +237,27 @@ def run_schedule(
     a 60-second trace replays in seconds without changing the request
     sequence.  *actions* fire at their (scaled) offsets on their own
     threads, so a slow ``publish_delta`` never stalls the dispatcher.
+
+    With ``trace_every=N`` every Nth scheduled event runs inside a
+    minted trace context, so the instrumented serving layers record
+    spans into *hub* (the process default when omitted); the report
+    then carries the sampled ``per_hop`` latency breakdown.
+    *gather_spans*, when given, is a zero-arg callable returning extra
+    span dicts from across a process boundary (an HTTP target's
+    ``fetch_traces``) to fold into the same breakdown.
     """
     if workers < 1:
         raise WorkloadError(f"workers must be >= 1, got {workers}")
     if time_scale <= 0:
         raise WorkloadError(f"time_scale must be positive, got {time_scale}")
+    if trace_every < 0:
+        raise WorkloadError(f"trace_every must be >= 0, got {trace_every}")
     if not schedule.calls:
         raise WorkloadError("schedule has no calls to replay")
+    if hub is None:
+        hub = get_hub()
+    trace_source = TraceIdSource("w")
+    minted_ids: set[str] = set()
     report = RunReport(
         scenario=schedule.scenario,
         target=target_name,
@@ -242,11 +272,22 @@ def run_schedule(
     lock = threading.Lock()
     action_threads: list[threading.Thread] = []
 
-    def serve(call: ScheduledCall, target_t: float, start: float) -> None:
+    def serve(
+        call: ScheduledCall,
+        target_t: float,
+        start: float,
+        trace_id: str | None = None,
+    ) -> None:
         begun = perf_counter()
         lateness = max(0.0, (begun - start) - target_t)
         try:
-            if call.batch_size == 1:
+            if trace_id is not None:
+                with trace_context(trace_id):
+                    if call.batch_size == 1:
+                        results = [singles[call.api](call.args[0])]
+                    else:
+                        results = batches[call.api](list(call.args))
+            elif call.batch_size == 1:
                 results = [singles[call.api](call.args[0])]
             else:
                 results = batches[call.api](list(call.args))
@@ -281,6 +322,7 @@ def run_schedule(
         timeline.append((action.at_s / time_scale, action))
     timeline.sort(key=lambda item: (item[0], isinstance(item[1], TimedAction)))
 
+    n_served = 0
     with ThreadPoolExecutor(max_workers=workers) as pool:
         start = perf_counter()
         for target_t, item in timeline:
@@ -295,7 +337,12 @@ def run_schedule(
                 action_threads.append(thread)
                 report.actions.append(item)
             else:
-                pool.submit(serve, item, target_t, start)
+                trace_id = None
+                if trace_every and n_served % trace_every == 0:
+                    trace_id = trace_source.mint()
+                    minted_ids.add(trace_id)
+                n_served += 1
+                pool.submit(serve, item, target_t, start, trace_id)
     for thread in action_threads:
         thread.join(timeout=60.0)
     report.wall_seconds = perf_counter() - start
@@ -303,7 +350,30 @@ def run_schedule(
     report.n_calls = schedule.n_calls
     if auditor is not None:
         report.audit = auditor.as_dict()
+    if minted_ids:
+        report.traced_calls = len(minted_ids)
+        report.per_hop = _sampled_per_hop(hub, minted_ids, gather_spans)
     return report
+
+
+def _sampled_per_hop(hub, minted_ids: set[str], gather_spans) -> dict:
+    """Fold local hub spans + any remote spans into one hop breakdown."""
+    from repro.obs import _span_field
+
+    spans: list = [
+        span for span in hub.traces.spans()
+        if span.trace_id in minted_ids
+    ]
+    if gather_spans is not None:
+        try:
+            remote = gather_spans()
+        except Exception:  # a dead server must not void the replay
+            remote = []
+        spans.extend(
+            span for span in remote
+            if _span_field(span, "trace_id") in minted_ids
+        )
+    return per_hop_breakdown(spans)
 
 
 def _fire_action(action: TimedAction, start: float) -> None:
@@ -367,6 +437,10 @@ class RunTarget:
     front: object
     publish: object  # callable(delta, base_version_id, version_int) | None
     close: object = None  # zero-arg callable
+    #: zero-arg callable returning remote span dicts (http targets: the
+    #: server process's trace ring via ``fetch_traces``); None when the
+    #: front records its spans into the local hub already.
+    gather_spans: object = None
 
     def __enter__(self) -> "RunTarget":
         return self
@@ -469,6 +543,7 @@ def _http_target(taxonomy, *, shards: int, replicas: int, port: int) -> RunTarge
             version=version,
         ),
         close=close,
+        gather_spans=lambda: client.fetch_traces()["spans"],
     )
 
 

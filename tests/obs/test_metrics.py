@@ -1,0 +1,176 @@
+"""Unit tests for the unified metrics registry.
+
+The registry's contract: one named family per metric, JSON and
+Prometheus expositions rendered from the *same* snapshot (parity by
+construction), weakref'd collectors that disappear with their owners,
+and summary quantiles that are monotone however the samples arrive.
+"""
+
+import gc
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    SUMMARY,
+    MetricSnapshot,
+    MetricsRegistry,
+    Sample,
+    summary_quantiles,
+)
+
+
+class TestFamilies:
+    def test_counter_inc_and_snapshot(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "Requests.")
+        requests.inc()
+        requests.labels(api="men2ent").inc(4)
+        snap = {s.name: s for s in registry.snapshot()}
+        family = snap["requests_total"]
+        assert family.kind == COUNTER
+        values = {s.labels: s.value for s in family.samples}
+        assert values[()] == 1
+        assert values[(("api", "men2ent"),)] == 4
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c", "h").inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Queue depth.")
+        gauge.set(7)
+        gauge.inc(-2)
+        (family,) = registry.snapshot()
+        assert family.kind == GAUGE
+        assert family.samples[0].value == 5
+
+    def test_summary_observes_quantiles(self):
+        registry = MetricsRegistry()
+        latency = registry.summary("latency_seconds", "Latency.")
+        for ms in range(1, 101):
+            latency.observe(ms / 1000.0)
+        (family,) = registry.snapshot()
+        assert family.kind == SUMMARY
+        sample = family.samples[0]
+        assert sample.count == 100
+        assert sample.max == pytest.approx(0.100)
+        quantiles = dict(sample.quantiles)
+        assert quantiles[0.5] <= quantiles[0.95] <= quantiles[0.99]
+        assert quantiles[0.99] <= sample.max
+
+    def test_same_name_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", "h")
+        b = registry.counter("hits", "h")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h")
+        with pytest.raises(ValueError):
+            registry.gauge("x", "h")
+
+
+class TestCollectors:
+    class Ledger:
+        def __init__(self, value):
+            self.value = value
+
+        def metric_samples(self):
+            return [MetricSnapshot(
+                "ledger_total", COUNTER, "Ledger.",
+                (Sample((), self.value),),
+            )]
+
+    def test_collector_samples_get_component_label(self):
+        registry = MetricsRegistry()
+        ledger = self.Ledger(3)
+        registry.register_collector("store", ledger)
+        snap = {s.name: s for s in registry.snapshot()}
+        sample = snap["ledger_total"].samples[0]
+        assert ("component", "store") in sample.labels
+        assert sample.value == 3
+
+    def test_dead_collectors_are_pruned(self):
+        registry = MetricsRegistry()
+        ledger = self.Ledger(1)
+        registry.register_collector("store", ledger)
+        del ledger
+        gc.collect()
+        assert "ledger_total" not in {s.name for s in registry.snapshot()}
+
+    def test_duplicate_component_names_get_suffixes(self):
+        registry = MetricsRegistry()
+        first, second = self.Ledger(1), self.Ledger(2)
+        registry.register_collector("store", first)
+        registry.register_collector("store", second)
+        snap = {s.name: s for s in registry.snapshot()}
+        components = sorted(
+            dict(sample.labels)["component"]
+            for sample in snap["ledger_total"].samples
+        )
+        assert components == ["store", "store#2"]
+
+    def test_collector_without_method_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.register_collector("x", object())
+
+
+class TestExpositionParity:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests.").labels(
+            api="men2ent"
+        ).inc(2)
+        registry.gauge("depth", "Depth.").set(4)
+        summary = registry.summary("latency_seconds", "Latency.")
+        summary.observe(0.001)
+        summary.observe(0.003)
+        return registry
+
+    def test_every_json_metric_appears_in_text(self):
+        registry = self.make_registry()
+        text = registry.render_text()
+        for name in registry.as_dict():
+            assert f"# TYPE {name} " in text, name
+
+    def test_text_has_help_type_and_values(self):
+        registry = self.make_registry()
+        text = registry.render_text()
+        assert "# HELP requests_total Requests." in text
+        assert 'requests_total{api="men2ent"} 2' in text
+        assert "depth 4" in text
+        assert "latency_seconds_count 2" in text
+        assert "latency_seconds_sum" in text
+        assert 'quantile="0.5"' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h").labels(k='a"b\\c\nd').inc()
+        text = registry.render_text()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        registry = self.make_registry()
+        payload = json.loads(json.dumps(registry.as_dict()))
+        assert payload["requests_total"]["type"] == COUNTER
+        summary = payload["latency_seconds"]["samples"][0]
+        assert summary["count"] == 2
+        assert summary["p50"] <= summary["p95"]
+
+
+class TestQuantileHelper:
+    def test_empty_is_zeroes(self):
+        assert all(v == 0.0 for _, v in summary_quantiles([]))
+
+    def test_monotone_on_adversarial_order(self):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0] * 20
+        q = dict(summary_quantiles(values))
+        assert q[0.5] <= q[0.95] <= q[0.99]

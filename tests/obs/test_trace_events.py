@@ -1,0 +1,235 @@
+"""Trace ring, event log, hub plumbing — including capacity properties.
+
+Satellite contract: under sustained load both bounded rings evict
+oldest-first and the retained window never shows a sequence gap — the
+property tests drive that with hypothesis across ring sizes and
+emission counts, mixed with concurrent writers.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.obs import (
+    TelemetryHub,
+    TraceIdSource,
+    current_trace_id,
+    fresh_hub,
+    get_hub,
+    per_hop_breakdown,
+    set_hub,
+    trace_context,
+)
+from repro.obs.events import EventLog
+from repro.obs.trace import TraceLog
+
+
+class TestTraceContext:
+    def test_default_is_none(self):
+        assert current_trace_id() is None
+
+    def test_context_sets_and_restores(self):
+        with trace_context("t-1"):
+            assert current_trace_id() == "t-1"
+            with trace_context("t-2"):
+                assert current_trace_id() == "t-2"
+            assert current_trace_id() == "t-1"
+        assert current_trace_id() is None
+
+    def test_none_context_clears(self):
+        with trace_context("t-1"), trace_context(None):
+            assert current_trace_id() is None
+
+    def test_source_mints_unique_ids(self):
+        source = TraceIdSource("x")
+        ids = [source.mint() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert all(i.startswith("x") for i in ids)
+
+    def test_two_sources_never_collide(self):
+        a, b = TraceIdSource("s"), TraceIdSource("s")
+        assert {a.mint() for _ in range(10)}.isdisjoint(
+            {b.mint() for _ in range(10)}
+        )
+
+
+class TestTraceLog:
+    def test_record_and_filter(self):
+        log = TraceLog(capacity=16)
+        log.record(trace_id="a", component="router", operation="men2ent",
+                   seconds=0.001)
+        log.record(trace_id="b", component="shard", operation="men2ent",
+                   seconds=0.0005, shard=1)
+        assert len(log.spans(trace_id="a")) == 1
+        assert log.spans(trace_id="b")[0].shard == 1
+        assert len(log) == 2
+
+    def test_limit_returns_newest(self):
+        log = TraceLog(capacity=64)
+        for i in range(10):
+            log.record(trace_id=f"t{i}", component="c", operation="o",
+                       seconds=0.0)
+        newest = log.spans(limit=3)
+        assert [s.trace_id for s in newest] == ["t7", "t8", "t9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+
+class TestEventLog:
+    def test_emit_and_read(self):
+        log = EventLog(capacity=8)
+        log.emit("publish", version="v2", outcome="ok")
+        (record,) = log.records()
+        assert record["kind"] == "publish"
+        assert record["version"] == "v2"
+        assert record["seq"] == 1
+        assert record["ts"] > 0
+
+    def test_since_and_kind_filters(self):
+        log = EventLog(capacity=32)
+        for i in range(5):
+            log.emit("swap", index=i)
+        log.emit("resync", index=99)
+        assert len(log.records(since=3)) == 3
+        assert [r["index"] for r in log.records(kind="resync")] == [99]
+
+    def test_reserved_fields_rejected(self):
+        log = EventLog(capacity=8)
+        with pytest.raises(ValueError):
+            log.emit("swap", seq=12)
+
+    def test_returned_records_are_copies(self):
+        log = EventLog(capacity=8)
+        log.emit("swap", n=1)
+        log.records()[0]["n"] = 999
+        assert log.records()[0]["n"] == 1
+
+
+class TestRingProperties:
+    @settings(max_examples=60)
+    @given(
+        capacity=st.integers(min_value=1, max_value=64),
+        n_events=st.integers(min_value=0, max_value=200),
+    )
+    def test_event_ring_evicts_oldest_with_no_seq_gaps(
+        self, capacity, n_events
+    ):
+        log = EventLog(capacity=capacity)
+        for i in range(n_events):
+            log.emit("tick", index=i)
+        records = log.records()
+        assert len(records) == min(capacity, n_events)
+        assert log.last_seq == n_events
+        seqs = [r["seq"] for r in records]
+        # the retained window is the *newest* contiguous run
+        assert seqs == list(
+            range(n_events - len(records) + 1, n_events + 1)
+        )
+        assert [r["index"] for r in records] == [s - 1 for s in seqs]
+
+    @settings(max_examples=60)
+    @given(
+        capacity=st.integers(min_value=1, max_value=64),
+        n_spans=st.integers(min_value=0, max_value=200),
+    )
+    def test_trace_ring_evicts_oldest_with_no_seq_gaps(
+        self, capacity, n_spans
+    ):
+        log = TraceLog(capacity=capacity)
+        for i in range(n_spans):
+            log.record(trace_id=f"t{i}", component="c", operation="o",
+                       seconds=0.0)
+        spans = log.spans()
+        assert len(spans) == min(capacity, n_spans)
+        seqs = [s.seq for s in spans]
+        assert seqs == list(
+            range(n_spans - len(spans) + 1, n_spans + 1)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        capacity=st.integers(min_value=4, max_value=64),
+        per_thread=st.integers(min_value=1, max_value=50),
+    )
+    def test_concurrent_emitters_never_tear_the_sequence(
+        self, capacity, per_thread
+    ):
+        log = EventLog(capacity=capacity)
+        n_threads = 4
+
+        def emitter(worker):
+            for i in range(per_thread):
+                log.emit("tick", worker=worker, i=i)
+
+        threads = [
+            threading.Thread(target=emitter, args=(w,))
+            for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        records = log.records()
+        assert log.last_seq == total
+        seqs = [r["seq"] for r in records]
+        # retained window is contiguous and ends at the newest seq
+        assert seqs == list(range(total - len(records) + 1, total + 1))
+
+
+class TestHub:
+    def test_fresh_hub_swaps_and_restores_default(self):
+        before = get_hub()
+        with fresh_hub() as hub:
+            assert get_hub() is hub
+            assert hub is not before
+        assert get_hub() is before
+
+    def test_set_hub_returns_previous(self):
+        before = get_hub()
+        replacement = TelemetryHub()
+        try:
+            assert set_hub(replacement) is before
+            assert get_hub() is replacement
+        finally:
+            set_hub(before)
+
+    def test_record_span_and_emit_land_in_rings(self):
+        hub = TelemetryHub(trace_capacity=8, event_capacity=8)
+        hub.record_span(trace_id="t", component="c", operation="o",
+                        seconds=0.001)
+        hub.emit("swap", version="v2")
+        assert len(hub.traces.spans(trace_id="t")) == 1
+        assert hub.events.records(kind="swap")[0]["version"] == "v2"
+
+
+class TestPerHopBreakdown:
+    def test_mixed_span_objects_and_dicts(self):
+        hub = TelemetryHub()
+        hub.record_span(trace_id="t1", component="router", operation="o",
+                        seconds=0.004)
+        spans = list(hub.traces.spans()) + [
+            {"trace_id": "t1", "component": "shard", "operation": "o",
+             "seconds": 0.001},
+        ]
+        breakdown = per_hop_breakdown(spans)
+        assert breakdown["router"]["count"] == 1
+        assert breakdown["shard"]["p95_s"] == pytest.approx(0.001)
+
+    def test_wire_hop_derived_from_client_minus_server(self):
+        spans = [
+            {"trace_id": "t", "component": "client", "operation": "o",
+             "seconds": 0.010},
+            {"trace_id": "t", "component": "server", "operation": "o",
+             "seconds": 0.008},
+        ]
+        breakdown = per_hop_breakdown(spans)
+        assert breakdown["wire"]["p50_s"] == pytest.approx(0.002)
+
+    def test_empty_input(self):
+        assert per_hop_breakdown([]) == {}

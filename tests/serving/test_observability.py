@@ -1,0 +1,386 @@
+"""Unified telemetry across the serving stack.
+
+Covers the observability acceptance gates end to end:
+
+- a client-minted trace id shows up in spans recorded at the client,
+  the HTTP server, the router, and the shard for the *same* request;
+- ``/metrics`` stays consistent under concurrent readers while
+  publishes swap snapshots underneath (no torn counters, every summary
+  monotone in its quantiles);
+- every ``last_publish_report`` entry — including the ``merged``
+  outcome — carries one normalized schema, mirrored into the
+  structured event log;
+- the event log captures publishes, swaps, health transitions and
+  resyncs with contiguous sequence numbers.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import APIError
+from repro.obs import fresh_hub, trace_context
+from repro.serving import (
+    ReplicatedRouter,
+    ShardedSnapshotStore,
+    TaxonomyClient,
+    build_cluster,
+    start_server,
+)
+from repro.taxonomy.delta import TaxonomyDelta
+from repro.taxonomy.model import Entity, IsARelation
+from repro.taxonomy.store import Taxonomy
+
+ADMIN_TOKEN = "obs-test-token"
+
+#: Keys every publish-report entry carries, whatever its outcome.
+REPORT_SCHEMA = {
+    "shard", "replica", "backend", "outcome", "version", "content_hash",
+}
+
+
+def make_taxonomy(generation: int = 0) -> Taxonomy:
+    t = Taxonomy()
+    t.add_entity(Entity("刘德华#0", "刘德华", aliases=("华仔",)))
+    t.add_entity(Entity("周杰伦#0", "周杰伦"))
+    t.add_relation(IsARelation("刘德华#0", "演员", "bracket"))
+    t.add_relation(IsARelation("刘德华#0", "歌手", "tag"))
+    t.add_relation(IsARelation("周杰伦#0", "歌手", "tag"))
+    for n in range(generation):
+        page_id = f"新星{n}#0"
+        t.add_entity(Entity(page_id, f"新星{n}"))
+        t.add_relation(IsARelation(page_id, "歌手", "tag"))
+    return t
+
+
+def nightly_delta(generation: int = 0) -> TaxonomyDelta:
+    return TaxonomyDelta.compute(
+        make_taxonomy(generation), make_taxonomy(generation + 1)
+    )
+
+
+class TestEndToEndTracing:
+    def test_one_trace_id_spans_client_server_router_shard(self):
+        with fresh_hub() as hub:
+            router = build_cluster(
+                make_taxonomy(), shards=2, replicas=2, hub=hub
+            )
+            server = start_server(router, admin_token=ADMIN_TOKEN, hub=hub)
+            try:
+                client = TaxonomyClient(
+                    server.url, admin_token=ADMIN_TOKEN,
+                    trace_every=1, hub=hub,
+                )
+                client.men2ent("华仔")
+                # the server records its span *after* the response is on
+                # the wire, so the handler thread may still be finishing
+                # when this read arrives — poll briefly
+                full = []
+                for _ in range(100):
+                    payload = client.fetch_traces()
+                    by_trace = {}
+                    for span in payload["spans"]:
+                        by_trace.setdefault(
+                            span["trace_id"], []
+                        ).append(span)
+                    full = [
+                        spans for spans in by_trace.values()
+                        if {"client", "server", "router", "shard"}
+                        <= {s["component"] for s in spans}
+                    ]
+                    if full:
+                        break
+                    time.sleep(0.01)
+            finally:
+                server.close()
+        assert full, f"no full-path trace in {sorted(by_trace)}"
+        spans = {s["component"]: s for s in full[0]}
+        # the client measured the whole round trip; the server a subset
+        # of it; the router a subset of that; the shard lookups least
+        assert spans["client"]["seconds"] >= spans["server"]["seconds"]
+        assert spans["server"]["seconds"] >= spans["shard"]["seconds"]
+        assert spans["shard"]["shard"] is not None
+        assert spans["shard"]["version"] == "v1"
+        assert spans["router"]["operation"] == "men2ent"
+
+    def test_ambient_trace_context_propagates_over_http(self):
+        with fresh_hub() as hub:
+            server = start_server(
+                build_cluster(make_taxonomy(), shards=1, hub=hub),
+                admin_token=ADMIN_TOKEN, hub=hub,
+            )
+            try:
+                client = TaxonomyClient(
+                    server.url, admin_token=ADMIN_TOKEN, hub=hub
+                )
+                with trace_context("ambient-42"):
+                    client.men2ent("华仔")
+                components = set()
+                for _ in range(100):  # server span lands post-response
+                    components = {
+                        s.component
+                        for s in hub.traces.spans(trace_id="ambient-42")
+                    }
+                    if "server" in components:
+                        break
+                    time.sleep(0.01)
+            finally:
+                server.close()
+        assert {"client", "server", "shard"} <= components
+
+    def test_probe_traffic_is_never_traced(self):
+        with fresh_hub() as hub:
+            server = start_server(
+                build_cluster(make_taxonomy(), shards=1, hub=hub),
+                hub=hub,
+            )
+            try:
+                client = TaxonomyClient(server.url, trace_every=1, hub=hub)
+                from repro.taxonomy.service import PROBE_KEY
+
+                client.men2ent(PROBE_KEY)
+            finally:
+                server.close()
+            # probes never mint a trace id, so no client span exists;
+            # the untraced request leaves no server span either
+            assert not [
+                s for s in hub.traces.spans() if s.component == "client"
+            ]
+
+    def test_traces_endpoint_requires_admin(self):
+        with fresh_hub() as hub:
+            server = start_server(
+                build_cluster(make_taxonomy(), shards=1, hub=hub),
+                admin_token=ADMIN_TOKEN, hub=hub,
+            )
+            try:
+                anonymous = TaxonomyClient(server.url)
+                with pytest.raises(APIError):
+                    anonymous.fetch_traces()
+                with pytest.raises(APIError):
+                    anonymous.fetch_events()
+            finally:
+                server.close()
+
+
+class TestMetricsUnderConcurrency:
+    def test_concurrent_scrapes_during_publish_swaps(self):
+        """Satellite 3: parallel readers during swaps see sane metrics."""
+        with fresh_hub() as hub:
+            router = build_cluster(
+                make_taxonomy(), shards=2, replicas=2, hub=hub
+            )
+            server = start_server(router, admin_token=ADMIN_TOKEN, hub=hub)
+            stop = threading.Event()
+            failures: list[str] = []
+
+            def scrape():
+                client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+                last_calls = -1.0
+                while not stop.is_set():
+                    try:
+                        payload = client.server_metrics()
+                        text = client.server_metrics_text()
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append(f"scrape failed: {exc}")
+                        return
+                    metrics = payload["metrics"]
+                    for name, family in metrics.items():
+                        if family["type"] != "summary":
+                            continue
+                        for sample in family["samples"]:
+                            if not (sample["p50"] <= sample["p95"]
+                                    <= sample["p99"]):
+                                failures.append(
+                                    f"{name}: torn quantiles {sample}"
+                                )
+                    calls = sum(
+                        s["value"]
+                        for s in metrics["serving_api_calls_total"]["samples"]
+                    )
+                    if calls < last_calls:
+                        failures.append(
+                            f"calls counter went backwards: "
+                            f"{calls} < {last_calls}"
+                        )
+                    last_calls = calls
+                    if f"# TYPE serving_api_calls_total counter" not in text:
+                        failures.append("text exposition missing counter")
+
+            readers = [threading.Thread(target=scrape) for _ in range(3)]
+            for t in readers:
+                t.start()
+            try:
+                reader_client = TaxonomyClient(server.url)
+                for generation in range(4):
+                    for _ in range(20):
+                        reader_client.men2ent("华仔")
+                    router.swap(make_taxonomy(generation + 1))
+            finally:
+                stop.set()
+                for t in readers:
+                    t.join(timeout=30)
+                server.close()
+            assert not failures, failures[:5]
+
+    def test_ops_paths_stay_out_of_latency_summaries(self):
+        """Satellite 2: /metrics and friends never skew the quantiles."""
+        with fresh_hub() as hub:
+            server = start_server(
+                build_cluster(make_taxonomy(), shards=1, hub=hub),
+                admin_token=ADMIN_TOKEN, hub=hub,
+            )
+            try:
+                client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+                for _ in range(5):
+                    client.server_metrics()
+                    client.healthz()
+                client.men2ent("华仔")
+                payload = client.server_metrics()
+            finally:
+                server.close()
+        families = payload["metrics"]
+        latency_apis = {
+            dict(s["labels"]).get("api")
+            for s in families["http_request_seconds"]["samples"]
+        }
+        # only the /v1 query landed in the latency summary
+        assert latency_apis == {"men2ent"}
+        # ...while the request counter still saw the ops traffic
+        counted = {
+            dict(s["labels"])["path"]
+            for s in families["http_requests_total"]["samples"]
+        }
+        assert {"/metrics", "/healthz", "/v1/men2ent"} <= counted
+
+
+def storeless_router(hub):
+    """Router over publish-capable local replicas (the chaos-cluster
+    shape — a store-backed router's pinned locals skip the fan-out)."""
+    from repro.serving.replica import LocalReplica
+
+    replicas = [
+        [LocalReplica(make_taxonomy(), hub=hub) for _ in range(2)]
+    ]
+    return ReplicatedRouter(replicas, base_version=1, hub=hub)
+
+
+class TestPublishReportSchema:
+    def test_all_entries_share_one_schema_including_merged(self):
+        """Satellite 1: the merged entry matches the per-replica shape."""
+        with fresh_hub() as hub:
+            router = storeless_router(hub)
+            delta = nightly_delta()
+            router.publish_delta(delta, base_version=1, version=2)
+            first = list(router.last_publish_report)
+            router.publish_delta(delta, base_version=1, version=2)
+            merged = list(router.last_publish_report)
+        assert len(first) == 2  # one entry per replica
+        for entry in first + merged:
+            assert set(entry) == REPORT_SCHEMA, entry
+        assert all(e["outcome"] == "applied" for e in first)
+        assert all(e["version"] == "v2" for e in first)
+        assert all(e["shard"] == 0 for e in first)
+        assert [e["replica"] for e in first] == [0, 1]
+        assert [e["outcome"] for e in merged] == ["merged"]
+        # cluster-level merged entry: no single replica to attribute
+        assert merged[0]["shard"] is None
+        assert merged[0]["replica"] is None
+        assert merged[0]["version"] == "v2"
+        assert merged[0]["content_hash"]
+
+    def test_store_merge_reports_the_same_schema(self):
+        """The store-backed merge site emits the identical entry shape."""
+        with fresh_hub() as hub:
+            store = ShardedSnapshotStore(make_taxonomy(), n_shards=2, hub=hub)
+            router = ReplicatedRouter.from_store(store, replicas=2)
+            delta = nightly_delta()
+            router.publish_delta(delta, base_version=1, version=2)
+            router.publish_delta(delta, base_version=1, version=2)
+            merged = list(router.last_publish_report)
+        assert [e["outcome"] for e in merged] == ["merged"]
+        assert set(merged[0]) == REPORT_SCHEMA
+
+    def test_publish_outcomes_mirrored_into_event_log(self):
+        with fresh_hub() as hub:
+            router = storeless_router(hub)
+            delta = nightly_delta()
+            router.publish_delta(delta, base_version=1, version=2)
+            router.publish_delta(delta, base_version=1, version=2)
+            outcomes = [
+                r["outcome"]
+                for r in hub.events.records(kind="publish_outcome")
+            ]
+        assert outcomes.count("applied") == 2
+        assert "merged" in outcomes
+
+
+class TestEventLogIntegration:
+    def test_swap_and_publish_events_with_contiguous_seqs(self):
+        with fresh_hub() as hub:
+            store = ShardedSnapshotStore(make_taxonomy(), n_shards=2, hub=hub)
+            router = ReplicatedRouter.from_store(store, replicas=2)
+            router.publish_delta(nightly_delta(0), base_version=1, version=2)
+            router.swap(make_taxonomy(5))
+            records = hub.events.records()
+        kinds = {r["kind"] for r in records}
+        # store-backed pinned replicas follow the store directly, so the
+        # publish fan-out has no per-replica outcomes to report here
+        assert {"publish", "swap"} <= kinds
+        seqs = [r["seq"] for r in records]
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_health_transition_events(self):
+        with fresh_hub() as hub:
+            store = ShardedSnapshotStore(make_taxonomy(), n_shards=2, hub=hub)
+            router = ReplicatedRouter.from_store(store, replicas=2)
+            router.mark_unhealthy(0, 1)
+            router.probe(0, 1)
+            health_events = hub.events.records(kind="replica_health")
+        assert [e["healthy"] for e in health_events] == [False, True]
+        assert health_events[0]["reason"] == "operator"
+        assert health_events[0]["shard"] == 0
+        assert health_events[0]["replica"] == 1
+        assert health_events[1]["reason"] == "probe_recovery"
+
+    def test_events_over_http_with_since_cursor(self):
+        with fresh_hub() as hub:
+            router = build_cluster(
+                make_taxonomy(), shards=2, replicas=2, hub=hub
+            )
+            server = start_server(router, admin_token=ADMIN_TOKEN, hub=hub)
+            try:
+                client = TaxonomyClient(server.url, admin_token=ADMIN_TOKEN)
+                router.swap(make_taxonomy(1))
+                first = client.fetch_events()
+                assert first["events"], "swap produced no events"
+                cursor = first["last_seq"]
+                router.swap(make_taxonomy(2))
+                second = client.fetch_events(since=cursor)
+            finally:
+                server.close()
+        assert second["events"]
+        assert all(e["seq"] > cursor for e in second["events"])
+        assert json.dumps(second["events"])  # wire-serializable
+
+
+class TestMetricsPayloadCompat:
+    def test_legacy_keys_survive_alongside_registry(self):
+        """The pre-telemetry /metrics consumers keep their fields."""
+        with fresh_hub() as hub:
+            server = start_server(
+                build_cluster(make_taxonomy(), shards=2, replicas=2, hub=hub),
+                hub=hub,
+            )
+            try:
+                client = TaxonomyClient(server.url)
+                client.men2ent("华仔")
+                payload = client.server_metrics()
+            finally:
+                server.close()
+        for key in ("version", "swaps", "total_calls", "apis", "router"):
+            assert key in payload, key
+        assert "metrics" in payload
+        assert "serving_api_calls_total" in payload["metrics"]

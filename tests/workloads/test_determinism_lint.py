@@ -19,19 +19,30 @@ the AST of every module in the package and forbids:
 import ast
 from pathlib import Path
 
+import repro.obs
 import repro.workloads
 
-PACKAGE_DIR = Path(repro.workloads.__file__).parent
-#: The dispatcher measures wall-clock latency; nothing else may.
-CLOCK_EXEMPT = {"runner.py"}
+#: package directory → the single module allowed to touch the clock
+#: (``runner.py`` measures open-loop latency; ``clock.py`` is the obs
+#: package's sanctioned timestamp hook everything else imports).
+LINTED_PACKAGES = {
+    Path(repro.workloads.__file__).parent: frozenset({"runner.py"}),
+    Path(repro.obs.__file__).parent: frozenset({"clock.py"}),
+}
 ENTROPY_MODULES = {"time", "datetime", "uuid", "secrets"}
 
 
 def package_modules():
-    return sorted(PACKAGE_DIR.glob("*.py"))
+    return [
+        (path, clock_exempt)
+        for package_dir, clock_exempt in LINTED_PACKAGES.items()
+        for path in sorted(package_dir.glob("*.py"))
+    ]
 
 
-def lint_module(path: Path) -> list[str]:
+def lint_module(
+    path: Path, clock_exempt: frozenset = frozenset({"runner.py"})
+) -> list[str]:
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     problems = []
 
@@ -42,14 +53,14 @@ def lint_module(path: Path) -> list[str]:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 root = alias.name.split(".")[0]
-                if root in ENTROPY_MODULES and path.name not in CLOCK_EXEMPT:
-                    flag(node, f"import {alias.name} — only runner.py may "
-                               "touch the clock")
+                if root in ENTROPY_MODULES and path.name not in clock_exempt:
+                    flag(node, f"import {alias.name} — only "
+                               f"{sorted(clock_exempt)} may touch the clock")
         elif isinstance(node, ast.ImportFrom):
             root = (node.module or "").split(".")[0]
-            if root in ENTROPY_MODULES and path.name not in CLOCK_EXEMPT:
+            if root in ENTROPY_MODULES and path.name not in clock_exempt:
                 flag(node, f"from {node.module} import ... — only "
-                           "runner.py may touch the clock")
+                           f"{sorted(clock_exempt)} may touch the clock")
             if root == "random":
                 for alias in node.names:
                     if alias.name != "Random":
@@ -83,15 +94,18 @@ def lint_module(path: Path) -> list[str]:
 
 def test_no_unseeded_randomness_or_clock_leaks():
     problems = []
-    for path in package_modules():
-        problems.extend(lint_module(path))
+    for path, clock_exempt in package_modules():
+        problems.extend(lint_module(path, clock_exempt))
     assert not problems, "\n".join(problems)
 
 
-def test_the_lint_actually_scans_the_package():
-    names = {path.name for path in package_modules()}
+def test_the_lint_actually_scans_the_packages():
+    names = {path.name for path, _ in package_modules()}
     assert {"spec.py", "schedule.py", "sampling.py", "runner.py",
             "registry.py", "report.py", "harness.py", "faults.py"} <= names
+    # the obs package rides the same lint: metrics/trace/events must
+    # never mint ids or timestamps from ambient entropy
+    assert {"metrics.py", "trace.py", "events.py", "clock.py"} <= names
 
 
 def test_the_lint_catches_the_traps(tmp_path):
