@@ -21,8 +21,9 @@
 # telemetry overhead gate (unified registry + trace hook within 5% of
 # the un-instrumented in-process hot path), the exposition-parity
 # smoke (every metric in the JSON /metrics payload must appear in the
-# Prometheus text rendering, and vice versa) and a fast
-# single-scenario CLI smoke.  The perf numbers land in
+# Prometheus text rendering, and vice versa), the process-backend
+# smoke (CLI build with --backend processes byte-identical to serial,
+# sidecar records the backend) and a fast single-scenario CLI smoke.  The perf numbers land in
 # benchmarks/out/BENCH_parallel.json so future PRs have a trajectory
 # to regress against — the final check fails the run if that file did
 # not grow.
@@ -47,6 +48,7 @@ python benchmarks/smoke_serving_roundtrip.py
 python benchmarks/smoke_incremental_roundtrip.py
 python benchmarks/smoke_chaos_replication.py
 python benchmarks/smoke_metrics_parity.py
+python benchmarks/smoke_process_backend.py
 # fast single-scenario smoke through the CLI: in-process facade + a
 # live `cn-probase serve` subprocess, 4x-compressed schedule
 python -m repro.cli workload run steady_table2 --time-scale 4
@@ -78,6 +80,17 @@ assert not untraced, (
     f"scenarios without a per-hop trace breakdown: {untraced}"
 )
 assert "obs_overhead" in data, "telemetry overhead gate never ran"
+backends = data.get("parallel_build", {}).get("backends", {})
+missing_backends = {
+    "threads", "processes_w2", "processes_w4", "processes_smoke",
+} - set(backends)
+assert not missing_backends, (
+    f"build backends missing from the perf trajectory: "
+    f"{sorted(missing_backends)}"
+)
+assert backends["processes_smoke"].get("identical_output"), (
+    "process-backend CLI smoke did not assert byte-identity"
+)
 assert size >= before and size > 2, (
     f"{path} did not grow: {before} -> {size} bytes"
 )

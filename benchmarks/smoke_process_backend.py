@@ -1,0 +1,118 @@
+"""Process-backend smoke: the real CLI on real cores, byte-for-byte.
+
+The tier-1 suite proves backend equivalence in-process; this smoke
+proves it through the deployment surface:
+
+1. ``cn-probase generate`` a small dump (CLI subprocess),
+2. ``cn-probase build`` it twice — once ``--backend serial`` and once
+   ``--backend processes --workers 2 --parallel-floor 0`` (the world
+   is far below the default work floor, so the floor must be forced
+   to make the pool actually spin up),
+3. assert the two taxonomies are byte-identical,
+4. assert the ``<out>.trace.json`` sidecar of the process build says
+   ``backend: processes`` and shows at least one multi-worker stage,
+5. ``cn-probase stages --trace`` renders that sidecar with the
+   backend column.
+
+Appends its numbers under ``parallel_build.backends.processes_smoke``
+in ``benchmarks/out/BENCH_parallel.json`` — merged into the section the
+bench wrote, never replacing it.
+
+Run:  python benchmarks/smoke_process_backend.py
+(run_smoke.sh runs it after the benches)
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+sys.path.insert(0, str(REPO / "src"))
+
+from bench_parallel_build import BENCH_JSON, merge_bench_json  # noqa: E402
+from smoke_serving_roundtrip import cli_env  # noqa: E402
+
+N_ENTITIES = 300
+
+
+def run_cli(*args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=cli_env(),
+        check=True,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return completed.stdout
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        dump = tmp_path / "dump.jsonl"
+        out_serial = tmp_path / "serial.jsonl"
+        out_proc = tmp_path / "processes.jsonl"
+
+        run_cli("generate", "--entities", str(N_ENTITIES), "--seed", "11",
+                "--out", str(dump))
+
+        serial_started = time.perf_counter()
+        run_cli("build", "--dump", str(dump), "--out", str(out_serial),
+                "--no-abstract", "--backend", "serial")
+        serial_seconds = time.perf_counter() - serial_started
+
+        proc_started = time.perf_counter()
+        run_cli("build", "--dump", str(dump), "--out", str(out_proc),
+                "--no-abstract", "--backend", "processes",
+                "--workers", "2", "--parallel-floor", "0")
+        proc_seconds = time.perf_counter() - proc_started
+
+        assert out_serial.read_bytes() == out_proc.read_bytes(), (
+            "process-backend CLI build must be byte-identical to serial"
+        )
+
+        sidecar = json.loads(
+            Path(f"{out_proc}.trace.json").read_text(encoding="utf-8")
+        )
+        assert sidecar["backend"] == "processes", sidecar["backend"]
+        assert sidecar["workers"] == 2
+        pooled = [s for s in sidecar["stages"].values()
+                  if s.get("workers", 1) > 1]
+        assert pooled, "no stage ran on the process pool"
+        assert all(s["backend"] == "processes" for s in pooled)
+
+        rendered = run_cli("stages", "--trace", f"{out_proc}.trace.json")
+        assert "backend" in rendered and "processes" in rendered
+        assert "backend=processes" in rendered
+
+    # Merge into the bench's parallel_build section instead of
+    # replacing it: merge_bench_json swaps whole top-level keys, so
+    # read-modify-write the section to keep the bench's backends.
+    section = {}
+    if BENCH_JSON.exists():
+        section = json.loads(
+            BENCH_JSON.read_text(encoding="utf-8")
+        ).get("parallel_build", {})
+    section.setdefault("backends", {})["processes_smoke"] = {
+        "workers": 2,
+        "n_entities": N_ENTITIES,
+        "serial_cli_seconds": serial_seconds,
+        "processes_cli_seconds": proc_seconds,
+        "identical_output": True,
+        "surface": "cli",
+    }
+    merge_bench_json("parallel_build", section)
+    print(f"process backend smoke ok: {N_ENTITIES}-entity CLI build "
+          f"byte-identical (serial {serial_seconds:.2f}s, "
+          f"processes/2 {proc_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,8 @@ Usage::
     cn-probase generate --entities 2000 --seed 7 --out dump.jsonl
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl --workers 4
+    cn-probase build --dump dump.jsonl --out taxonomy.jsonl \
+        --backend processes --workers 4
     cn-probase build --dump dump.jsonl --out taxonomy.jsonl --disable-stage ner
     cn-probase diff dump-old.jsonl dump-new.jsonl
     cn-probase build --dump dump-new.jsonl --out taxonomy2.jsonl \
@@ -26,11 +28,13 @@ Usage::
 
 ``build --workers N`` runs independent generation sources concurrently
 and shards per-relation-pure verifiers over relation chunks (output is
-byte-identical to a serial build); ``--no-resource-cache`` disables the
+byte-identical to a serial build); ``--backend processes`` serves those
+workers from a process pool on real cores instead of GIL-bound threads
+(corpus segmentation fans out too); ``--no-resource-cache`` disables the
 dump-fingerprint keyed reuse of harvested lexicon / segmented corpus /
 PMI counts.  Every build writes a ``<out>.trace.json`` sidecar with the
-per-stage seconds/workers/cache columns; ``stages --trace`` pretty-prints
-the last one.
+per-stage seconds/workers/backend/cache columns; ``stages --trace``
+pretty-prints the last one.
 
 ``diff`` reports the page-level difference between two dumps;
 ``build --incremental`` consumes it: the output taxonomy is
@@ -116,6 +120,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         neural=NeuralGenConfig(epochs=args.neural_epochs),
         max_generation_pages=args.max_generation_pages,
         workers=args.workers,
+        backend=args.backend,
+        parallel_floor=args.parallel_floor,
         resource_cache=not args.no_resource_cache,
     )
     registry = default_registry()
@@ -166,6 +172,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             {
                 "total_seconds": result.stage_trace.total_seconds,
                 "workers": config.workers,
+                "backend": builder.plan().backend,
                 "stages": result.stage_trace.as_dict(),
             },
             ensure_ascii=False,
@@ -205,6 +212,7 @@ def _print_trace(path: str) -> int:
             f"{name:<14} {record['kind']:<10} "
             f"{float(record['seconds']):>8.3f} {int(record['count']):>8} "
             f"{int(record.get('workers', 1)):>8} "
+            f"{str(record.get('backend', 'serial')):>10} "
             f"{'hit' if record.get('cache_hit') else '-':>6} "
             f"{'yes' if record.get('ran', True) else 'no'}"
             for name, record in stages.items()
@@ -213,14 +221,15 @@ def _print_trace(path: str) -> int:
         footer = None
         if total is not None:
             footer = (f"total: {float(total):.3f}s (build ran with "
-                      f"workers={int(trace.get('workers', 1))})")
+                      f"workers={int(trace.get('workers', 1))}, "
+                      f"backend={trace.get('backend', 'serial')})")
     except (ValueError, KeyError, TypeError) as exc:
         print(f"error: {source} is not a build trace sidecar "
               f"(expected the <out>.trace.json a build writes): {exc}",
               file=sys.stderr)
         return 2
     print(f"{'name':<14} {'kind':<10} {'seconds':>8} {'count':>8} "
-          f"{'workers':>8} {'cache':>6} ran")
+          f"{'workers':>8} {'backend':>10} {'cache':>6} ran")
     for row in rows:
         print(row)
     if footer is not None:
@@ -518,9 +527,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable a registered stage by name (repeatable); "
                             "see `cn-probase stages` for the names")
     build.add_argument("--workers", type=int, default=1, metavar="N",
-                       help="worker threads for independent generation "
-                            "sources and sharded verifiers; output is "
-                            "byte-identical to --workers 1 (default: 1)")
+                       help="workers for independent generation sources and "
+                            "sharded verifiers; output is byte-identical to "
+                            "--workers 1 (default: 1)")
+    build.add_argument("--backend", default="threads",
+                       choices=["serial", "threads", "processes"],
+                       help="executor for those workers: processes reaches "
+                            "real cores (corpus segmentation, source waves "
+                            "and verifier shards run in a process pool); "
+                            "output is byte-identical on every backend "
+                            "(default: threads)")
+    build.add_argument("--parallel-floor", type=int, default=None,
+                       metavar="W",
+                       help="minimum estimated work items before a pool is "
+                            "spun up; 0 forces parallel execution, unset "
+                            "uses the backend's default floor")
     build.add_argument("--no-resource-cache", action="store_true",
                        help="always re-derive lexicon/corpus/PMI instead of "
                             "reusing them when the dump fingerprint matches "

@@ -1,0 +1,336 @@
+"""Pluggable execution backends for the build pipeline.
+
+The :class:`~repro.core.stages.ExecutionPlan` describes *what* may run
+concurrently (source waves, verifier relation shards); this module
+supplies *how*: an :class:`Executor` maps picklable task payloads over
+a backend —
+
+- ``serial`` — plain in-process loop, the reference semantics;
+- ``threads`` — ``ThreadPoolExecutor``; cheap to spin up, but the
+  stages are pure CPython so the GIL caps what it can win (it mostly
+  exists for stages that release the GIL);
+- ``processes`` — ``ProcessPoolExecutor`` on real cores.  Workers are
+  primed once with a shared payload (a picklable
+  :class:`WorkerContext` carved out of the build's
+  :class:`~repro.core.stages.BuildContext`) via the pool initializer —
+  under the ``fork`` start method (Linux) the payload is inherited,
+  never pickled; under ``spawn`` (macOS/Windows default) it is pickled
+  once per worker.
+
+Every backend runs the *same* module-level task functions over the
+*same* payloads and returns results in submission order, so the merge
+logic downstream cannot tell backends apart — byte-identical output at
+any ``backend × workers`` is the contract.
+
+Pools are not free: :meth:`Executor.effective_workers` applies a
+per-backend *work floor* (estimated work items below it → run inline),
+which is what keeps tiny waves and small relation lists from paying
+pool overhead for no win.
+
+A task that dies inside a process worker — OOM kill, an unpicklable
+task or return value, a broken pool — surfaces as a
+:class:`~repro.errors.PipelineError` naming the stage (and source
+wave), with the pool torn down; domain errors raised *by* a stage
+propagate unchanged, exactly as they do in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import PipelineError, ReproError
+from repro.taxonomy.model import extra_source_names, register_source_name
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineConfig
+    from repro.core.stages import BuildContext
+    from repro.encyclopedia.model import EncyclopediaDump
+    from repro.nlp.lexicon import Lexicon
+    from repro.nlp.ner import NamedEntityRecognizer
+    from repro.nlp.pmi import PMIStatistics
+    from repro.nlp.pos import POSTagger
+    from repro.nlp.segmentation import Segmenter
+
+BACKENDS = ("serial", "threads", "processes")
+
+#: Estimated work items (pages scanned by a wave, relations verified by
+#: a shard) below which a backend runs inline instead of spinning up a
+#: pool.  Threads never beat the GIL on this pure-CPython pipeline, so
+#: their floor is high — the thread pool only pays off when a stage
+#: releases the GIL over a lot of work.  Processes amortize fork +
+#: pickling much sooner.
+THREAD_WORK_FLOOR = 8_192
+PROCESS_WORK_FLOOR = 2_048
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """The picklable, slice-scoped carve of a :class:`BuildContext`.
+
+    Everything a stage needs that is *shared and immutable* for the
+    whole build: the dump, the config, and the prepared NLP resources.
+    Per-build mutable state travels differently — earlier sources'
+    output rides inside each task payload (``per_source`` snapshots,
+    relation chunks), and worker-side mutations (``discovery``,
+    ``training_report``) are returned in task results for the parent
+    to apply — so one ``WorkerContext`` primes a process pool once and
+    stays valid for every wave and shard of the build.
+
+    ``extra_sources`` carries custom registered source names across the
+    process boundary: relation validation consults a module-global
+    registry that a ``spawn``-started worker would otherwise lack.
+    """
+
+    dump: EncyclopediaDump
+    config: PipelineConfig
+    lexicon: Lexicon
+    segmenter: Segmenter
+    tagger: POSTagger
+    recognizer: NamedEntityRecognizer
+    pmi: PMIStatistics
+    corpus: list[list[str]]
+    titles: dict[str, str]
+    extra_sources: tuple[str, ...] = ()
+
+    @classmethod
+    def from_context(cls, context: BuildContext) -> "WorkerContext":
+        return cls(
+            dump=context.dump,
+            config=context.config,
+            lexicon=context.lexicon,
+            segmenter=context.segmenter,
+            tagger=context.tagger,
+            recognizer=context.recognizer,
+            pmi=context.pmi,
+            corpus=context.corpus,
+            titles=context.titles,
+            extra_sources=tuple(sorted(extra_source_names())),
+        )
+
+    def materialize(self) -> BuildContext:
+        """A fresh :class:`BuildContext` over the shared resources.
+
+        Safe to call per task: construction only references the shared
+        objects (no copying), and re-registering the extra source names
+        is idempotent.  Each call returns an independent context, so a
+        stage mutating ``per_source`` / ``discovery`` /
+        ``training_report`` never races another task.
+        """
+        from repro.core.stages import BuildContext
+
+        for name in self.extra_sources:
+            register_source_name(name)
+        return BuildContext(
+            dump=self.dump,
+            config=self.config,
+            lexicon=self.lexicon,
+            segmenter=self.segmenter,
+            tagger=self.tagger,
+            recognizer=self.recognizer,
+            pmi=self.pmi,
+            corpus=self.corpus,
+            titles=self.titles,
+        )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """How a build maps task functions over payloads."""
+
+    backend: str
+    out_of_process: bool
+
+    def effective_workers(self, n_units: int, work: int) -> int:
+        """Workers worth using for *n_units* tasks over *work* items.
+
+        ``1`` means "run inline, do not spin up a pool" — the caller
+        must honour it by passing it back to :meth:`run`.
+        """
+        ...
+
+    def run(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        n_workers: int,
+        *,
+        shared: object,
+        stage: str,
+        wave: int | None = None,
+    ) -> list:
+        """``[fn(shared, task) for task in tasks]``, maybe on a pool.
+
+        Results come back in *tasks* order regardless of completion
+        order.  *shared* must be picklable for the processes backend
+        (it is shipped to workers once); *stage* / *wave* label any
+        failure.
+        """
+        ...
+
+    def close(self) -> None:
+        """Tear down any pool; the executor is single-build, call once."""
+        ...
+
+
+# -- worker-side state (processes backend) -------------------------------------
+
+#: Installed once per worker process by the pool initializer; under
+#: ``fork`` it is inherited memory, under ``spawn`` it is unpickled
+#: exactly once per worker.
+_WORKER_SHARED: object | None = None
+
+
+def _install_shared(shared: object) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def _invoke(payload: tuple) -> object:
+    fn, task = payload
+    return fn(_WORKER_SHARED, task)
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """The reference backend: everything inline, no pools ever."""
+
+    backend = "serial"
+    out_of_process = False
+
+    def __init__(self, max_workers: int = 1, work_floor: int | None = None):
+        self.max_workers = 1
+
+    def effective_workers(self, n_units: int, work: int) -> int:
+        return 1
+
+    def run(self, fn, tasks, n_workers, *, shared, stage, wave=None):
+        return [fn(shared, task) for task in tasks]
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """``ThreadPoolExecutor`` over in-process shared objects."""
+
+    backend = "threads"
+    out_of_process = False
+
+    def __init__(self, max_workers: int, work_floor: int | None = None):
+        self.max_workers = max(1, int(max_workers))
+        self.work_floor = (
+            THREAD_WORK_FLOOR if work_floor is None else max(0, int(work_floor))
+        )
+
+    def effective_workers(self, n_units: int, work: int) -> int:
+        if n_units <= 1 or self.max_workers <= 1:
+            return 1
+        if work < self.work_floor:
+            return 1
+        return min(self.max_workers, n_units)
+
+    def run(self, fn, tasks, n_workers, *, shared, stage, wave=None):
+        if n_workers <= 1 or len(tasks) <= 1:
+            return [fn(shared, task) for task in tasks]
+        with ThreadPoolExecutor(
+            max_workers=min(n_workers, len(tasks)),
+            thread_name_prefix="cn-probase-build",
+        ) as pool:
+            return list(pool.map(lambda task: fn(shared, task), tasks))
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessExecutor:
+    """``ProcessPoolExecutor`` primed once with the shared payload.
+
+    The pool is created lazily on the first parallel :meth:`run` and
+    kept for the build; a *different* shared object (the resources
+    phase ships the bare segmenter, the stage phase a full
+    :class:`WorkerContext`) re-primes the pool — cheap under ``fork``.
+    """
+
+    backend = "processes"
+    out_of_process = True
+
+    def __init__(self, max_workers: int, work_floor: int | None = None):
+        self.max_workers = max(1, int(max_workers))
+        self.work_floor = (
+            PROCESS_WORK_FLOOR if work_floor is None else max(0, int(work_floor))
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._installed: object | None = None
+
+    def effective_workers(self, n_units: int, work: int) -> int:
+        if n_units <= 1 or self.max_workers <= 1:
+            return 1
+        if work < self.work_floor:
+            return 1
+        return min(self.max_workers, n_units)
+
+    def _ensure_pool(self, shared: object) -> ProcessPoolExecutor:
+        if self._pool is not None and self._installed is shared:
+            return self._pool
+        self.close()
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=multiprocessing.get_context(start_method),
+            initializer=_install_shared,
+            initargs=(shared,),
+        )
+        self._installed = shared
+        return self._pool
+
+    def run(self, fn, tasks, n_workers, *, shared, stage, wave=None):
+        if n_workers <= 1 or len(tasks) <= 1:
+            return [fn(shared, task) for task in tasks]
+        futures = []
+        try:
+            pool = self._ensure_pool(shared)
+            futures = [pool.submit(_invoke, (fn, task)) for task in tasks]
+            return [future.result() for future in futures]
+        except ReproError:
+            # A stage raised a domain error inside a worker: the pool is
+            # healthy and the error means what it means in-process.
+            raise
+        except Exception as exc:
+            # Everything else is the backend failing us: a worker died
+            # (BrokenProcessPool — OOM kill, os._exit), a task or its
+            # return value would not pickle, the pool would not start.
+            for future in futures:
+                future.cancel()
+            self.close()
+            where = f"stage {stage!r}"
+            if wave is not None:
+                where += f" (source wave {wave})"
+            raise PipelineError(
+                f"processes backend failed in {where}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        pool, self._pool, self._installed = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def resolve_executor(
+    backend: str, workers: int, work_floor: int | None = None
+) -> Executor:
+    """The :class:`Executor` for a plan's backend/workers/floor."""
+    if backend == "serial" or workers <= 1:
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadExecutor(workers, work_floor)
+    if backend == "processes":
+        return ProcessExecutor(workers, work_floor)
+    known = ", ".join(BACKENDS)
+    raise PipelineError(f"unknown backend {backend!r}; expected one of {known}")

@@ -18,9 +18,14 @@
 Execution follows an :class:`~repro.core.stages.ExecutionPlan`: with
 ``PipelineConfig.workers > 1`` independent sources run concurrently in
 dependency waves and ``per_relation_pure`` verifiers are sharded over
-relation chunks, all via ``concurrent.futures`` threads.  Results are
-merged in registration order regardless of completion order, so a
-parallel build's taxonomy is byte-identical to the serial one's.
+relation chunks, on the :class:`~repro.core.executors.Executor` backend
+``PipelineConfig.backend`` selects — ``serial``, ``threads``, or
+``processes`` (real cores via a ``ProcessPoolExecutor`` primed with a
+picklable :class:`~repro.core.executors.WorkerContext`; corpus
+segmentation, the dominant resource cost, fans out over page chunks on
+the same pool).  Results are merged in registration order regardless of
+backend or completion order, so a parallel build's taxonomy is
+byte-identical to the serial one's at any ``backend × workers``.
 
 Shared resource preparation is cached in a :class:`ResourceCache` keyed
 on the dump's content fingerprint plus the resource-relevant slice of
@@ -52,11 +57,16 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields
 from time import perf_counter
-from typing import ClassVar
+from typing import Callable, ClassVar
 
+from repro.core.executors import (
+    BACKENDS,
+    Executor,
+    WorkerContext,
+    resolve_executor,
+)
 from repro.core.generation.merge import CandidatePool, PoolStats
 from repro.core.generation.neural_gen import NeuralGenConfig
 from repro.core.generation.predicates import DiscoveryResult
@@ -113,9 +123,18 @@ class PipelineConfig:
     harvest_lexicon: bool = True
     # add-k smoothing of the PMI statistics derived from the dump corpus
     pmi_smoothing: float = 0.1
-    # execution: worker threads for source waves and verifier shards
+    # execution: workers for source waves and verifier shards
     # (1 = the serial pipeline, bit-for-bit the default behaviour)
     workers: int = 1
+    # which executor serves those workers: "serial" | "threads" |
+    # "processes" — output is byte-identical across all three at any
+    # worker count; "processes" is the one that reaches real cores
+    backend: str = "threads"
+    # estimated work items (pages scanned per wave, relations per
+    # verifier pass) below which the executor runs inline instead of
+    # spinning up a pool; None = the backend's default floor, 0 =
+    # always parallelize (what the equivalence tests use)
+    parallel_floor: int | None = None
     # consult the builder's ResourceCache for the shared NLP resources
     resource_cache: bool = True
 
@@ -141,6 +160,9 @@ class SharedResources:
     objects, keyed by page_id in dump order) — the reuse unit of an
     incremental rebuild: unchanged pages' segment lists carry over
     verbatim and changed pages' old lists are subtracted from PMI.
+
+    ``segment_workers`` records how many process workers served the
+    corpus segmentation when it was first derived (1 = inline).
     """
 
     lexicon: Lexicon
@@ -151,6 +173,7 @@ class SharedResources:
     corpus: list[list[str]]
     titles: dict[str, str]
     page_segments: dict[str, list[list[str]]] = field(default_factory=dict)
+    segment_workers: int = 1
 
 
 class ResourceCache:
@@ -346,6 +369,12 @@ class CNProbaseBuilder:
             raise PipelineError(
                 f"workers must be >= 1, got {self.config.workers}"
             )
+        if self.config.backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise PipelineError(
+                f"unknown backend {self.config.backend!r}; "
+                f"expected one of {known}"
+            )
         self.registry = registry if registry is not None else default_registry()
         self._external_lexicon = lexicon
         self._external_recognizer = recognizer
@@ -358,16 +387,31 @@ class CNProbaseBuilder:
 
     def plan(self) -> ExecutionPlan:
         """The wave/shard schedule the next :meth:`build` will follow."""
-        return plan_execution(self.registry, self.config, self.config.workers)
+        return plan_execution(
+            self.registry, self.config, self.config.workers,
+            backend=self.config.backend,
+        )
+
+    def _executor(self, plan: ExecutionPlan) -> Executor:
+        return resolve_executor(
+            plan.backend, plan.workers, self.config.parallel_floor
+        )
 
     def build(self, dump: EncyclopediaDump) -> BuildResult:
         if len(dump) == 0:
             raise PipelineError("cannot build a taxonomy from an empty dump")
         started = perf_counter()
         trace = StageTrace()
-        context = self._prepare_context(dump, trace)
-        result = self._execute(dump, context, trace, started)
-        get_hub().record_stage_trace(trace, mode="full")
+        plan = self.plan()
+        executor = self._executor(plan)
+        try:
+            context = self._prepare_context(dump, trace, executor)
+            result = self._execute(
+                dump, context, trace, started, plan, executor
+            )
+        finally:
+            executor.close()
+        get_hub().record_stage_trace(trace, mode="full", backend=plan.backend)
         return result
 
     def build_incremental(
@@ -402,23 +446,32 @@ class CNProbaseBuilder:
             raise PipelineError("cannot build a taxonomy from an empty dump")
         started = perf_counter()
         trace = StageTrace()
-        diff_started = perf_counter()
-        diff = diff_dumps(previous.dump, dump)
-        trace.add(StageRecord(
-            "diff", DRIVER_KIND, perf_counter() - diff_started,
-            diff.n_touched,
-        ))
-        context, resource_mode = self._prepare_context_incremental(
-            dump, previous, diff, trace
-        )
-        replay = None
-        if previous.per_source is not None:
-            replay = _GenerationReplay(
-                regenerate=diff.regenerate_ids(),
-                previous=previous.per_source,
+        plan = self.plan()
+        executor = self._executor(plan)
+        try:
+            diff_started = perf_counter()
+            diff = diff_dumps(previous.dump, dump)
+            trace.add(StageRecord(
+                "diff", DRIVER_KIND, perf_counter() - diff_started,
+                diff.n_touched, backend=plan.backend,
+            ))
+            context, resource_mode = self._prepare_context_incremental(
+                dump, previous, diff, trace, executor
             )
-        result = self._execute(dump, context, trace, started, replay=replay)
-        get_hub().record_stage_trace(trace, mode="incremental")
+            replay = None
+            if previous.per_source is not None:
+                replay = _GenerationReplay(
+                    regenerate=diff.regenerate_ids(),
+                    previous=previous.per_source,
+                )
+            result = self._execute(
+                dump, context, trace, started, plan, executor, replay=replay
+            )
+        finally:
+            executor.close()
+        get_hub().record_stage_trace(
+            trace, mode="incremental", backend=plan.backend
+        )
         delta = TaxonomyDelta.compute(previous.taxonomy, result.taxonomy)
         return IncrementalBuildResult(
             **{f.name: getattr(result, f.name) for f in fields(BuildResult)},
@@ -433,18 +486,29 @@ class CNProbaseBuilder:
         context: BuildContext,
         trace: StageTrace,
         started: float,
+        plan: ExecutionPlan,
+        executor: Executor,
         replay: _GenerationReplay | None = None,
     ) -> BuildResult:
         pool = CandidatePool()
-        plan = self.plan()
+        backend = plan.backend
+        # One picklable carve of the context primes the whole build:
+        # per-wave state rides inside task payloads, so the process
+        # pool is initialized exactly once.
+        worker_state = WorkerContext.from_context(context)
 
         # generation: dependency waves; results merged in registration
-        # order so every worker count yields the identical pool.
-        source_records = self._run_sources(plan, context, pool, replay)
+        # order so every backend/worker count yields the identical pool.
+        source_records = self._run_sources(
+            plan, context, pool, executor, worker_state, replay
+        )
         for entry in self.registry.sources():
             record = source_records.get(entry.name)
             if record is None:  # disabled by a switch
-                record = StageRecord(entry.name, SOURCE_KIND, 0.0, 0, ran=False)
+                record = StageRecord(
+                    entry.name, SOURCE_KIND, 0.0, 0, ran=False,
+                    backend=backend,
+                )
             trace.add(record)
 
         # merge + concept-layer identification.
@@ -453,7 +517,8 @@ class CNProbaseBuilder:
         pool_stats = pool.stats()
         relations = pool.relations()
         trace.add(StageRecord(
-            "merge", DRIVER_KIND, perf_counter() - merge_started, len(relations)
+            "merge", DRIVER_KIND, perf_counter() - merge_started,
+            len(relations), backend=backend,
         ))
 
         # verification: every registered verifier, in order (disjunctive
@@ -462,18 +527,21 @@ class CNProbaseBuilder:
         removed_by: dict[str, list[IsARelation]] = {}
         for entry in self.registry.verifiers():
             if not entry.active(self.config):
-                trace.add(StageRecord(entry.name, VERIFIER_KIND, 0.0, 0, ran=False))
+                trace.add(StageRecord(
+                    entry.name, VERIFIER_KIND, 0.0, 0, ran=False,
+                    backend=backend,
+                ))
                 continue
             stage_started = perf_counter()
             decision, n_workers = self._run_verifier(
-                entry, context, relations, plan.workers
+                entry, context, relations, plan, executor, worker_state
             )
             elapsed = perf_counter() - stage_started
             removed_by[entry.name] = decision.removed
             relations = decision.kept
             trace.add(StageRecord(
                 entry.name, VERIFIER_KIND, elapsed, len(decision.removed),
-                workers=n_workers,
+                workers=n_workers, backend=backend,
             ))
 
         # taxonomy assembly.
@@ -481,7 +549,7 @@ class CNProbaseBuilder:
         taxonomy, cycle_edges = self._assemble(dump, relations, context.titles)
         trace.add(StageRecord(
             "assemble", DRIVER_KIND, perf_counter() - assemble_started,
-            len(taxonomy),
+            len(taxonomy), backend=backend,
         ))
         trace.total_seconds = perf_counter() - started
 
@@ -505,46 +573,70 @@ class CNProbaseBuilder:
         plan: ExecutionPlan,
         context: BuildContext,
         pool: CandidatePool,
+        executor: Executor,
+        worker_state: WorkerContext,
         replay: _GenerationReplay | None = None,
     ) -> dict[str, StageRecord]:
         """Run every wave; merge results in registration order.
 
         ``context.per_source`` is filled as each wave completes (later
-        waves read earlier output through ``relations_from``), but the
-        candidate pool is only fed after all waves, strictly in
-        registration order — wave grouping moves dependency-free
-        sources ahead of dependent ones, and neither that nor thread
-        completion order may leak into the pool's first-seen-source
-        dedup or ``Taxonomy.save``'s insertion order.  A ``workers=N``
-        build therefore stays bit-for-bit equal to the serial pipeline.
+        waves read earlier output through ``relations_from``; the
+        snapshot rides inside each task payload so process workers see
+        it too), but the candidate pool is only fed after all waves,
+        strictly in registration order — wave grouping moves
+        dependency-free sources ahead of dependent ones, and neither
+        that nor completion order may leak into the pool's
+        first-seen-source dedup or ``Taxonomy.save``'s insertion order.
+        A ``workers=N`` build on any backend therefore stays
+        bit-for-bit equal to the serial pipeline.
         """
         records: dict[str, StageRecord] = {}
-        for wave in plan.source_waves:
-            wave_workers = min(plan.workers, len(wave)) if plan.parallel else 1
-            if wave_workers > 1:
-                with ThreadPoolExecutor(
-                    max_workers=wave_workers,
-                    thread_name_prefix="cn-probase-source",
-                ) as executor:
-                    outcomes = list(executor.map(
-                        lambda entry: self._run_source(entry, context, replay),
-                        wave,
-                    ))
-            else:
-                outcomes = [
-                    self._run_source(entry, context, replay) for entry in wave
-                ]
-            for entry, (relations, seconds, replayed) in zip(wave, outcomes):
+        for wave_number, wave in enumerate(plan.source_waves, start=1):
+            n_workers = executor.effective_workers(
+                len(wave), len(context.dump) * len(wave)
+            )
+            tasks = []
+            for entry in wave:
+                use_replay = replay is not None and replay.available_for(entry)
+                tasks.append(_SourceTask(
+                    name=entry.name,
+                    factory=entry.factory,
+                    per_source=dict(context.per_source),
+                    generation_scope=(
+                        replay.regenerate if use_replay else None
+                    ),
+                ))
+            outcomes = executor.run(
+                _execute_source, tasks, n_workers,
+                shared=worker_state,
+                stage=", ".join(entry.name for entry in wave),
+                wave=wave_number,
+            )
+            for entry, task, outcome in zip(wave, tasks, outcomes):
+                # Worker-side context mutations come back in the
+                # outcome (a process worker's copies are invisible
+                # here); apply them to the real context.
+                if outcome.discovery is not None:
+                    context.discovery = outcome.discovery
+                if outcome.training_report is not None:
+                    context.training_report = outcome.training_report
+                relations = outcome.relations
+                replayed = task.generation_scope is not None
                 if relations is None:  # preconditions unmet (e.g. no priors)
                     records[entry.name] = StageRecord(
-                        entry.name, SOURCE_KIND, seconds, 0, ran=False,
-                        workers=wave_workers,
+                        entry.name, SOURCE_KIND, outcome.seconds, 0,
+                        ran=False, workers=n_workers, backend=plan.backend,
                     )
                     continue
+                if replayed:
+                    relations = replay.merge(
+                        entry.name, context.dump, relations
+                    )
                 context.per_source[entry.name] = relations
                 records[entry.name] = StageRecord(
-                    entry.name, SOURCE_KIND, seconds, len(relations),
-                    workers=wave_workers, cache_hit=replayed,
+                    entry.name, SOURCE_KIND, outcome.seconds, len(relations),
+                    workers=n_workers, cache_hit=replayed,
+                    backend=plan.backend,
                 )
         ordered = {
             entry.name: context.per_source[entry.name]
@@ -557,57 +649,40 @@ class CNProbaseBuilder:
             pool.add(relations)
         return records
 
-    @staticmethod
-    def _run_source(
-        entry: StageEntry,
-        context: BuildContext,
-        replay: _GenerationReplay | None = None,
-    ) -> tuple[list[IsARelation] | None, float, bool]:
-        """One generation stage; third element marks a partial replay.
-
-        A replayable ``page_local`` stage runs against a shallow context
-        copy whose ``generation_scope`` narrows it to the diff's pages
-        (the shared context is never mutated, so concurrent wave members
-        are unaffected), then its fresh output is merged with the
-        previous build's candidates in new-dump page order.
-        """
-        stage_started = perf_counter()
-        if replay is not None and replay.available_for(entry):
-            scoped = replace(context, generation_scope=replay.regenerate)
-            relations = entry.factory().generate(scoped)
-            if relations is not None:
-                relations = replay.merge(
-                    entry.name, context.dump, relations
-                )
-            return relations, perf_counter() - stage_started, True
-        relations = entry.factory().generate(context)
-        return relations, perf_counter() - stage_started, False
-
-    @staticmethod
     def _run_verifier(
+        self,
         entry: StageEntry,
         context: BuildContext,
         relations: list[IsARelation],
-        workers: int,
+        plan: ExecutionPlan,
+        executor: Executor,
+        worker_state: WorkerContext,
     ) -> tuple[FilterDecision, int]:
         """One verifier pass, sharded when the stage declares purity.
 
         Shards are contiguous chunks and their decisions are concatenated
         in chunk order, so kept/removed keep the exact serial ordering.
         Each shard verifies through a fresh stage instance — per-instance
-        state (e.g. rule counters) never crosses threads.
+        state (e.g. rule counters) never crosses workers.
         """
         shardable = bool(getattr(entry.factory, "per_relation_pure", False))
-        n_shards = min(workers, len(relations)) if shardable else 1
-        if n_shards <= 1:
+        n_workers = 1
+        if shardable:
+            n_workers = executor.effective_workers(
+                min(plan.workers, len(relations)), len(relations)
+            )
+        if n_workers <= 1:
             return entry.factory().verify(context, relations), 1
-        chunks = _split_chunks(relations, n_shards)
-        with ThreadPoolExecutor(
-            max_workers=len(chunks), thread_name_prefix="cn-probase-verify"
-        ) as executor:
-            decisions = list(executor.map(
-                lambda chunk: entry.factory().verify(context, chunk), chunks
-            ))
+        chunks = _split_chunks(relations, n_workers)
+        tasks = [
+            _VerifierTask(name=entry.name, factory=entry.factory,
+                          relations=chunk)
+            for chunk in chunks
+        ]
+        decisions = executor.run(
+            _execute_verifier, tasks, len(chunks),
+            shared=worker_state, stage=entry.name,
+        )
         kept: list[IsARelation] = []
         removed: list[IsARelation] = []
         for decision in decisions:
@@ -633,7 +708,10 @@ class CNProbaseBuilder:
         )
 
     def _prepare_context(
-        self, dump: EncyclopediaDump, trace: StageTrace
+        self,
+        dump: EncyclopediaDump,
+        trace: StageTrace,
+        executor: Executor,
     ) -> BuildContext:
         """Derive (or replay) the shared NLP resources every stage reads."""
         started = perf_counter()
@@ -649,12 +727,14 @@ class CNProbaseBuilder:
             resources = self._resource_cache.get(cache_key)
         cache_hit = resources is not None
         if resources is None:
-            resources = self._build_resources(dump)
+            resources = self._build_resources(dump, executor=executor)
             if cacheable and cache_key is not None:
                 self._resource_cache.put(cache_key, resources)
         trace.add(StageRecord(
             "resources", DRIVER_KIND, perf_counter() - started,
             len(resources.titles), cache_hit=cache_hit,
+            workers=1 if cache_hit else resources.segment_workers,
+            backend=executor.backend,
         ))
         return BuildContext(
             dump=dump,
@@ -674,6 +754,7 @@ class CNProbaseBuilder:
         previous: PreviousBuild,
         diff: DumpDiff,
         trace: StageTrace,
+        executor: Executor,
     ) -> tuple[BuildContext, str]:
         """Shared resources for *dump*, reusing the previous build's where
         provably value-identical.
@@ -721,12 +802,16 @@ class CNProbaseBuilder:
                     )
                     mode = "incremental"
         if resources is None:
-            resources = self._build_resources(dump, lexicon=harvested)
+            resources = self._build_resources(
+                dump, lexicon=harvested, executor=executor
+            )
         if cacheable:
             self._resource_cache.put(new_key, resources)
         trace.add(StageRecord(
             "resources", DRIVER_KIND, perf_counter() - started,
             len(resources.titles), cache_hit=(mode != "full"),
+            workers=1 if mode != "full" else resources.segment_workers,
+            backend=executor.backend,
         ))
         return (
             BuildContext(
@@ -823,12 +908,18 @@ class CNProbaseBuilder:
         )
 
     def _build_resources(
-        self, dump: EncyclopediaDump, lexicon: Lexicon | None = None
+        self,
+        dump: EncyclopediaDump,
+        lexicon: Lexicon | None = None,
+        executor: Executor | None = None,
     ) -> SharedResources:
         """Derive everything from scratch; *lexicon*, when given, is a
         just-harvested lexicon for this exact dump (the incremental
         fallback hands its stability-check harvest over rather than
-        paying for it twice)."""
+        paying for it twice).  Corpus segmentation — the dominant cost
+        here — fans out over page chunks when *executor* reaches real
+        cores (threads cannot: the Viterbi loop never releases the
+        GIL)."""
         if lexicon is None:
             lexicon = self._prepare_lexicon(dump)
         segmenter = Segmenter(lexicon)
@@ -838,7 +929,9 @@ class CNProbaseBuilder:
             if self._external_recognizer is not None
             else NamedEntityRecognizer(lexicon)
         )
-        corpus, page_segments = _segment_pages(segmenter, dump)
+        corpus, page_segments, segment_workers = _segment_dump(
+            segmenter, dump, executor
+        )
         pmi = PMIStatistics(smoothing=self.config.pmi_smoothing)
         pmi.add_corpus(corpus)
         titles = {page.page_id: page.title for page in dump}
@@ -851,6 +944,7 @@ class CNProbaseBuilder:
             corpus=corpus,
             titles=titles,
             page_segments=page_segments,
+            segment_workers=segment_workers,
         )
 
     @staticmethod
@@ -882,6 +976,114 @@ class CNProbaseBuilder:
         if self.config.harvest_lexicon:
             return harvest_lexicon(dump)
         return Lexicon.base()
+
+
+# -- executor task payloads ----------------------------------------------------
+#
+# Both the in-process and the process backends run these module-level
+# functions over these picklable payloads — one code path, so the
+# backends cannot diverge.  Shared immutable state arrives as the
+# executor's primed payload (a WorkerContext, or the bare segmenter for
+# the resources phase); per-task state rides in the payload itself.
+
+
+@dataclass(frozen=True)
+class _SourceTask:
+    """One generation stage run: its factory, the earlier sources'
+    output it may read, and (for incremental replay) the narrowed
+    page scope — ``None`` means a full-scope run."""
+
+    name: str
+    factory: Callable[[], object]
+    per_source: dict[str, list[IsARelation]]
+    generation_scope: frozenset[str] | None = None
+
+
+@dataclass(frozen=True)
+class _SourceOutcome:
+    """What a source run sends back — including the context fields a
+    stage mutates (invisible to the parent when run in a process)."""
+
+    relations: list[IsARelation] | None
+    seconds: float
+    discovery: DiscoveryResult | None = None
+    training_report: TrainingReport | None = None
+
+
+@dataclass(frozen=True)
+class _VerifierTask:
+    """One verifier shard: the stage factory plus its relation chunk."""
+
+    name: str
+    factory: Callable[[], object]
+    relations: list[IsARelation]
+
+
+def _execute_source(shared: WorkerContext, task: _SourceTask) -> _SourceOutcome:
+    """Run one generation stage against a task-private context."""
+    started = perf_counter()
+    context = shared.materialize()
+    context.per_source.update(task.per_source)
+    if task.generation_scope is not None:
+        context.generation_scope = task.generation_scope
+    relations = task.factory().generate(context)
+    return _SourceOutcome(
+        relations=relations,
+        seconds=perf_counter() - started,
+        discovery=context.discovery,
+        training_report=context.training_report,
+    )
+
+
+def _execute_verifier(
+    shared: WorkerContext, task: _VerifierTask
+) -> FilterDecision:
+    """Verify one relation chunk through a fresh stage instance."""
+    return task.factory().verify(shared.materialize(), task.relations)
+
+
+def _segment_chunk(
+    segmenter: Segmenter, pages: list[tuple[str, list[str]]]
+) -> list[tuple[str, list[list[str]]]]:
+    """Segment one chunk of ``(page_id, snippets)`` pairs."""
+    return [
+        (page_id, segmenter.segment_corpus(snippets))
+        for page_id, snippets in pages
+    ]
+
+
+def _segment_dump(
+    segmenter: Segmenter,
+    dump: EncyclopediaDump,
+    executor: Executor | None = None,
+) -> tuple[list[list[str]], dict[str, list[list[str]]], int]:
+    """:func:`_segment_pages`, fanned out over page chunks on real cores.
+
+    Only an out-of-process executor is worth it — segmentation is pure
+    CPython, so threads would serialize on the GIL and just pay pool
+    overhead.  The per-page mapping is reassembled in dump order, so
+    the flat corpus is exactly the serial one's.
+    """
+    n_workers = 1
+    if executor is not None and executor.out_of_process:
+        n_workers = executor.effective_workers(len(dump), len(dump))
+    if n_workers <= 1:
+        corpus, page_segments = _segment_pages(segmenter, dump)
+        return corpus, page_segments, 1
+    pages = [(page.page_id, list(page.text_snippets())) for page in dump]
+    chunks = _split_chunks(pages, n_workers)
+    results = executor.run(
+        _segment_chunk, chunks, len(chunks),
+        shared=segmenter, stage="resources",
+    )
+    page_segments: dict[str, list[list[str]]] = {}
+    for chunk_result in results:
+        for page_id, segments in chunk_result:
+            page_segments[page_id] = segments
+    corpus: list[list[str]] = []
+    for page in dump:
+        corpus.extend(page_segments[page.page_id])
+    return corpus, page_segments, len(chunks)
 
 
 def _segment_pages(

@@ -156,10 +156,12 @@ class StageRecord:
     ``seconds`` then keeps the time that probe cost) — so ablation runs
     still show the full pipeline shape.
 
-    ``workers`` is how many threads actually served the stage (sharded
-    verifiers; >1 on a source means it shared its wave with others), and
-    ``cache_hit`` marks work skipped because a cache answered (today:
-    the ``resources`` driver step under the build-context cache).
+    ``workers`` is how many workers actually served the stage (sharded
+    verifiers; >1 on a source means it shared its wave with others),
+    ``backend`` is the executor that served it (``serial`` / ``threads``
+    / ``processes``), and ``cache_hit`` marks work skipped because a
+    cache answered (today: the ``resources`` driver step under the
+    build-context cache).
     """
 
     name: str
@@ -169,6 +171,7 @@ class StageRecord:
     ran: bool = True
     workers: int = 1
     cache_hit: bool = False
+    backend: str = "serial"
 
 
 @dataclass
@@ -216,6 +219,7 @@ class StageTrace:
                 "ran": r.ran,
                 "workers": r.workers,
                 "cache_hit": r.cache_hit,
+                "backend": r.backend,
             }
             for r in self.records
         }
@@ -420,10 +424,14 @@ class ExecutionPlan:
     source_waves: tuple[tuple[StageEntry, ...], ...]
     verifiers: tuple[StageEntry, ...]
     workers: int = 1
+    #: Effective execution backend: ``serial`` / ``threads`` /
+    #: ``processes``.  A one-worker plan is always ``serial`` whatever
+    #: the config asked for — there is nothing to parallelize.
+    backend: str = "serial"
 
     @property
     def parallel(self) -> bool:
-        return self.workers > 1
+        return self.workers > 1 and self.backend != "serial"
 
     @property
     def n_sources(self) -> int:
@@ -435,7 +443,7 @@ class ExecutionPlan:
 
     def describe(self) -> str:
         """Human-readable schedule (the CLI prints this at -v)."""
-        lines = [f"workers={self.workers}"]
+        lines = [f"workers={self.workers} backend={self.backend}"]
         for i, wave in enumerate(self.source_waves, start=1):
             names = ", ".join(entry.name for entry in wave)
             lines.append(f"wave {i}: {names}")
@@ -445,7 +453,10 @@ class ExecutionPlan:
 
 
 def plan_execution(
-    registry: StageRegistry, config: object, workers: int = 1
+    registry: StageRegistry,
+    config: object,
+    workers: int = 1,
+    backend: str | None = None,
 ) -> ExecutionPlan:
     """Compute the wave schedule for *registry* under *config*.
 
@@ -457,8 +468,16 @@ def plan_execution(
     registration order, preserving the pre-planner serial contract.  A
     genuine ``requires`` cycle among active sources raises
     :class:`~repro.errors.PipelineError`.
+
+    *backend* defaults to ``config.backend`` (``threads`` when the
+    config has no such field); a plan with one worker resolves to
+    ``serial`` regardless.
     """
     workers = max(1, int(workers))
+    if backend is None:
+        backend = getattr(config, "backend", "threads")
+    if workers <= 1:
+        backend = "serial"
     active = [e for e in registry.sources() if e.active(config)]
     active_names = {e.name for e in active}
     requires: dict[str, tuple[str, ...]] = {}
@@ -488,7 +507,8 @@ def plan_execution(
         pending = [e for e in pending if e.name not in placed]
     verifiers = tuple(e for e in registry.verifiers() if e.active(config))
     return ExecutionPlan(
-        source_waves=tuple(waves), verifiers=verifiers, workers=workers
+        source_waves=tuple(waves), verifiers=verifiers, workers=workers,
+        backend=backend,
     )
 
 

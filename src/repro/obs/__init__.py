@@ -72,14 +72,18 @@ class TelemetryHub:
     def emit(self, kind: str, **fields) -> dict:
         return self.events.emit(kind, **fields)
 
-    def record_stage_trace(self, trace, *, mode: str = "full") -> None:
+    def record_stage_trace(
+        self, trace, *, mode: str = "full", backend: str = "serial"
+    ) -> None:
         """Absorb a build's ``StageTrace`` into the registry.
 
         Duck-typed on purpose: ``trace.records`` yields objects with
         ``name`` / ``kind`` / ``seconds`` / ``count`` / ``ran``, and
         ``trace.total_seconds`` is the wall time of the whole build --
         exactly the `repro.core.stages.StageTrace` shape, without
-        importing the build layer from here.
+        importing the build layer from here.  *backend* labels the
+        end-to-end ``build_seconds`` summary so perf trajectories can
+        separate thread builds from process builds.
         """
         stage_seconds = self.registry.gauge(
             "build_stage_seconds", "Seconds spent in each build stage"
@@ -98,7 +102,7 @@ class TelemetryHub:
         ).labels(mode=mode).inc()
         self.registry.summary(
             "build_seconds", "End-to-end build wall time"
-        ).labels(mode=mode).observe(trace.total_seconds)
+        ).labels(mode=mode, backend=backend).observe(trace.total_seconds)
 
 
 _default_hub = TelemetryHub()

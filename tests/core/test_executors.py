@@ -1,0 +1,327 @@
+"""Tests for the pluggable build backends: the Executor protocol, the
+picklable WorkerContext, the backend x workers equivalence contract,
+work floors, and worker-crash surfacing."""
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.core.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerContext,
+    resolve_executor,
+)
+from repro.core.pipeline import (
+    CNProbaseBuilder,
+    PipelineConfig,
+    PreviousBuild,
+    ResourceCache,
+)
+from repro.core.stages import StageTrace, default_registry, plan_execution
+from repro.encyclopedia import SyntheticWorld
+from repro.encyclopedia.model import EncyclopediaPage
+from repro.errors import PipelineError
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK,
+    reason="test-module stage classes only reach workers under fork",
+)
+
+
+def fast_config(workers: int = 1, **kwargs) -> PipelineConfig:
+    kwargs.setdefault("enable_abstract", False)
+    kwargs.setdefault("parallel_floor", 0)
+    return PipelineConfig(workers=workers, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld.generate(seed=31, n_entities=160)
+
+
+def build_bytes(world, tmp_path, name, **kwargs):
+    builder = CNProbaseBuilder(
+        fast_config(**kwargs), resource_cache=ResourceCache()
+    )
+    result = builder.build(world.dump())
+    path = tmp_path / f"{name}.jsonl"
+    result.taxonomy.save(path)
+    return path.read_bytes(), result
+
+
+# -- crash/payload fixtures (module level so fork workers can pickle
+# them by reference) -----------------------------------------------------------
+
+
+class CrashSource:
+    """Dies hard inside the worker — the OOM-kill shape."""
+
+    name = "crash"
+    requires = ()
+
+    def generate(self, context):
+        os._exit(13)
+
+
+class UnpicklableReturnSource:
+    name = "unpicklable"
+    requires = ()
+
+    def generate(self, context):
+        return [lambda: None]  # not a relation, not picklable
+
+
+class DomainErrorSource:
+    name = "domainerror"
+    requires = ()
+
+    def generate(self, context):
+        raise PipelineError("the stage itself objects")
+
+
+class TestExecutorResolution:
+    def test_backends_resolve(self):
+        assert isinstance(resolve_executor("serial", 4), SerialExecutor)
+        assert isinstance(resolve_executor("threads", 4), ThreadExecutor)
+        assert isinstance(resolve_executor("processes", 4), ProcessExecutor)
+
+    def test_one_worker_is_always_serial(self):
+        assert isinstance(resolve_executor("processes", 1), SerialExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(PipelineError, match="backend"):
+            resolve_executor("gpu", 4)
+
+    def test_builder_rejects_unknown_backend(self):
+        with pytest.raises(PipelineError, match="backend"):
+            CNProbaseBuilder(PipelineConfig(backend="gpu"))
+
+    def test_plan_carries_backend(self):
+        plan = plan_execution(
+            default_registry(), PipelineConfig(), workers=4,
+            backend="processes",
+        )
+        assert plan.backend == "processes" and plan.parallel
+        assert "backend=processes" in plan.describe()
+
+    def test_plan_backend_serial_at_one_worker(self):
+        plan = plan_execution(
+            default_registry(), PipelineConfig(), workers=1,
+            backend="processes",
+        )
+        assert plan.backend == "serial" and not plan.parallel
+
+
+class TestWorkFloors:
+    def test_serial_never_parallel(self):
+        assert SerialExecutor().effective_workers(8, 10**9) == 1
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_below_floor_runs_inline(self, cls):
+        executor = cls(4)
+        assert executor.effective_workers(4, executor.work_floor - 1) == 1
+        assert executor.effective_workers(4, executor.work_floor) == 4
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_single_task_runs_inline(self, cls):
+        assert cls(4, work_floor=0).effective_workers(1, 10**9) == 1
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_zero_floor_always_parallel(self, cls):
+        assert cls(4, work_floor=0).effective_workers(2, 0) == 2
+
+    def test_small_world_build_stays_inline_at_default_floor(self, world):
+        # The regression the bench caught: tiny waves/chunks must not
+        # pay pool overhead.  160 entities is far below every floor.
+        builder = CNProbaseBuilder(
+            fast_config(workers=4, parallel_floor=None),
+            resource_cache=ResourceCache(),
+        )
+        result = builder.build(world.dump())
+        assert result.stage_trace.get("syntax").workers == 1
+        assert result.stage_trace.get("bracket").workers == 1
+
+    def test_floor_zero_forces_pools(self, world):
+        builder = CNProbaseBuilder(
+            fast_config(workers=4), resource_cache=ResourceCache()
+        )
+        result = builder.build(world.dump())
+        assert result.stage_trace.get("syntax").workers == 4
+        assert result.stage_trace.get("syntax").backend == "threads"
+
+
+class TestBackendEquivalence:
+    """ISSUE tentpole contract: byte-identical Taxonomy.save output
+    across serial x threads x processes at workers in {1, 2, 4}."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, world, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("ref")
+        data, _ = build_bytes(world, tmp, "serial", backend="serial")
+        return data
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_byte_identical_output(
+        self, world, tmp_path, reference, backend, workers
+    ):
+        data, result = build_bytes(
+            world, tmp_path, f"{backend}-{workers}",
+            backend=backend, workers=workers,
+        )
+        assert data == reference
+        expected = "serial" if workers == 1 else backend
+        assert result.stage_trace.get("syntax").backend == expected
+
+    def test_processes_removed_by_matches_serial(self, world, tmp_path):
+        _, serial = build_bytes(world, tmp_path, "s", backend="serial")
+        _, processes = build_bytes(
+            world, tmp_path, "p", backend="processes", workers=2
+        )
+        for name, removed in serial.removed_by.items():
+            assert [r.key for r in removed] == \
+                [r.key for r in processes.removed_by[name]]
+
+    def test_infobox_discovery_survives_process_boundary(
+        self, world, tmp_path
+    ):
+        # InfoboxSource mutates context.discovery inside the worker;
+        # the outcome must carry it back to the parent's result.
+        _, serial = build_bytes(world, tmp_path, "s2", backend="serial")
+        _, processes = build_bytes(
+            world, tmp_path, "p2", backend="processes", workers=2
+        )
+        assert serial.discovery is not None
+        assert processes.discovery is not None
+        assert processes.discovery.selected == serial.discovery.selected
+        assert processes.discovery.n_candidates == \
+            serial.discovery.n_candidates
+
+    def test_incremental_processes_byte_identical_to_full_serial(
+        self, world, tmp_path
+    ):
+        old_dump = world.dump()
+        new_dump = world.dump()
+        new_dump.add(EncyclopediaPage(
+            page_id="新城#0", title="新城", tags=("城市",)
+        ))
+        serial = CNProbaseBuilder(
+            fast_config(), resource_cache=ResourceCache()
+        ).build(new_dump)
+        previous = PreviousBuild.from_result(
+            old_dump,
+            CNProbaseBuilder(
+                fast_config(), resource_cache=ResourceCache()
+            ).build(old_dump),
+        )
+        incremental = CNProbaseBuilder(
+            fast_config(workers=2, backend="processes"),
+            resource_cache=ResourceCache(),
+        ).build_incremental(new_dump, previous)
+        a, b = tmp_path / "full.jsonl", tmp_path / "incr.jsonl"
+        serial.taxonomy.save(a)
+        incremental.taxonomy.save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestWorkerContext:
+    @pytest.fixture()
+    def context(self, world):
+        builder = CNProbaseBuilder(
+            fast_config(), resource_cache=ResourceCache()
+        )
+        return builder._prepare_context(
+            world.dump(), StageTrace(), SerialExecutor()
+        )
+
+    def test_pickle_round_trip(self, context):
+        """The regression net for the next contributor who closes a
+        stage over a lock, an open file, or the live registry."""
+        state = WorkerContext.from_context(context)
+        clone = pickle.loads(pickle.dumps(state))
+        materialized = clone.materialize()
+        text = "上海是一座城市"
+        assert materialized.segmenter.segment(text) == \
+            context.segmenter.segment(text)
+        assert materialized.tagger.tag("上海") == \
+            context.tagger.tag("上海")
+        assert materialized.titles == context.titles
+        assert len(materialized.corpus) == len(context.corpus)
+
+    def test_materialize_contexts_are_independent(self, context):
+        state = WorkerContext.from_context(context)
+        first, second = state.materialize(), state.materialize()
+        first.per_source["x"] = []
+        assert "x" not in second.per_source
+        assert first.segmenter is second.segmenter  # shared, not copied
+
+    def test_extra_sources_carried(self, context):
+        from repro.taxonomy.model import is_known_source
+
+        registry = default_registry()
+        registry.register_source("custom-src", CrashSource)
+        state = WorkerContext.from_context(context)
+        assert "custom-src" in state.extra_sources
+        clone = pickle.loads(pickle.dumps(state))
+        clone.materialize()
+        assert is_known_source("custom-src")
+
+
+@needs_fork
+class TestWorkerCrashes:
+    """ISSUE satellite: worker death surfaces as PipelineError naming
+    the stage and wave — never a deadlock or a bare traceback."""
+
+    def crashing_builder(self, factory):
+        registry = default_registry()
+        registry.register_source(factory.name, factory)
+        return CNProbaseBuilder(
+            fast_config(workers=2, backend="processes"),
+            registry=registry,
+            resource_cache=ResourceCache(),
+        )
+
+    def test_worker_death_names_stage_and_wave(self, world):
+        builder = self.crashing_builder(CrashSource)
+        with pytest.raises(PipelineError) as err:
+            builder.build(world.dump())
+        message = str(err.value)
+        assert "crash" in message and "wave 1" in message
+        assert "processes backend" in message
+
+    def test_builder_usable_after_crash(self, world):
+        builder = self.crashing_builder(CrashSource)
+        with pytest.raises(PipelineError):
+            builder.build(world.dump())
+        builder.registry.disable("crash")
+        result = builder.build(world.dump())
+        assert len(result.taxonomy) > 0
+
+    def test_unpicklable_return_names_stage(self, world):
+        builder = self.crashing_builder(UnpicklableReturnSource)
+        with pytest.raises(PipelineError) as err:
+            builder.build(world.dump())
+        assert "unpicklable" in str(err.value)
+
+    def test_unpicklable_task_names_stage(self, world):
+        class LocalSource:  # unpicklable by reference: defined locally
+            name = "local"
+            requires = ()
+
+            def generate(self, context):
+                return []
+
+        builder = self.crashing_builder(LocalSource)
+        with pytest.raises(PipelineError) as err:
+            builder.build(world.dump())
+        assert "local" in str(err.value)
+
+    def test_domain_errors_propagate_unwrapped(self, world):
+        builder = self.crashing_builder(DomainErrorSource)
+        with pytest.raises(PipelineError, match="the stage itself objects"):
+            builder.build(world.dump())

@@ -25,6 +25,9 @@ class StubSource:
 
 def fast_config(workers: int = 1, **kwargs) -> PipelineConfig:
     kwargs.setdefault("enable_abstract", False)
+    # The test world is tiny — force pools on so these tests keep
+    # exercising the real parallel paths past the work floor.
+    kwargs.setdefault("parallel_floor", 0)
     return PipelineConfig(workers=workers, **kwargs)
 
 

@@ -19,15 +19,20 @@ the AST of every module in the package and forbids:
 import ast
 from pathlib import Path
 
+import repro.core
 import repro.obs
 import repro.workloads
 
 #: package directory → the single module allowed to touch the clock
 #: (``runner.py`` measures open-loop latency; ``clock.py`` is the obs
-#: package's sanctioned timestamp hook everything else imports).
+#: package's sanctioned timestamp hook everything else imports;
+#: ``pipeline.py`` times stages with ``perf_counter`` — but the build
+#: backends in ``executors.py`` and the planner in ``stages.py`` must
+#: stay entropy-free or byte-identity across backends dies quietly).
 LINTED_PACKAGES = {
     Path(repro.workloads.__file__).parent: frozenset({"runner.py"}),
     Path(repro.obs.__file__).parent: frozenset({"clock.py"}),
+    Path(repro.core.__file__).parent: frozenset({"pipeline.py"}),
 }
 ENTROPY_MODULES = {"time", "datetime", "uuid", "secrets"}
 
@@ -106,6 +111,9 @@ def test_the_lint_actually_scans_the_packages():
     # the obs package rides the same lint: metrics/trace/events must
     # never mint ids or timestamps from ambient entropy
     assert {"metrics.py", "trace.py", "events.py", "clock.py"} <= names
+    # so do the build backends: scheduling order is the only thing
+    # standing between "parallel" and "nondeterministic"
+    assert {"executors.py", "pipeline.py", "stages.py"} <= names
 
 
 def test_the_lint_catches_the_traps(tmp_path):
