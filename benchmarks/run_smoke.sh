@@ -23,10 +23,12 @@
 # smoke (every metric in the JSON /metrics payload must appear in the
 # Prometheus text rendering, and vice versa), the process-backend
 # smoke (CLI build with --backend processes byte-identical to serial,
-# sidecar records the backend) and a fast single-scenario CLI smoke.  The perf numbers land in
-# benchmarks/out/BENCH_parallel.json so future PRs have a trajectory
-# to regress against — the final check fails the run if that file did
-# not grow.
+# sidecar records the backend), a fast single-scenario CLI smoke, and
+# the static-analysis gate (`cn-probase lint`: every repro.analysis
+# checker over every package, zero non-baselined findings).  The perf
+# numbers land in benchmarks/out/BENCH_parallel.json so future PRs
+# have a trajectory to regress against — the final check fails the run
+# if that file did not grow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -52,6 +54,11 @@ python benchmarks/smoke_process_backend.py
 # fast single-scenario smoke through the CLI: in-process facade + a
 # live `cn-probase serve` subprocess, 4x-compressed schedule
 python -m repro.cli workload run steady_table2 --time-scale 4
+# static-analysis gate: all five invariant checkers, hard-fail on any
+# finding that is neither pragma-acknowledged nor in the shipped
+# baseline; the counts land as the static_analysis trajectory section
+python -m repro.cli lint --format json --bench-json "$bench_json" \
+    > /dev/null
 
 # fail loudly if the perf trajectory did not grow: every benchmark
 # above appends here, so a silently-skipped writer shows up as a
@@ -90,6 +97,12 @@ assert not missing_backends, (
 )
 assert backends["processes_smoke"].get("identical_output"), (
     "process-backend CLI smoke did not assert byte-identity"
+)
+analysis = data.get("static_analysis")
+assert analysis, "static-analysis gate never ran (no static_analysis section)"
+assert analysis["findings_new"] == 0, (
+    f"static analysis found {analysis['findings_new']} non-baselined "
+    f"finding(s): run `cn-probase lint` for the sites"
 )
 assert size >= before and size > 2, (
     f"{path} did not grow: {before} -> {size} bytes"

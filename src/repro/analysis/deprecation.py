@@ -1,0 +1,92 @@
+"""Deprecation checker: internal code stays off the compat shims.
+
+PR 3 renamed the serving accessors (``get_concept``/``get_entity`` →
+``concept_of``/``entities_of``) and PR 6 replaced ``WorkloadGenerator``
+with the declarative ``repro.workloads`` harness; both kept shims so
+external callers migrate on their own clock.  The shims exist *for
+them* — every internal use is a migration that silently un-happened.
+This checker flags:
+
+- any import of ``WorkloadGenerator`` (``import``/``from ... import``)
+  and any bare-name reference to it,
+- any **call** ``x.get_concept(...)`` / ``x.get_entity(...)`` — calls
+  only, so dispatch tables that merely mention the attribute name and
+  the shim definitions themselves don't trip it.
+
+Modules that define or re-export the shims are exempt by
+package-relative path (the shim has to live somewhere).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ParsedModule
+
+DEPRECATED_CALLS = frozenset({"get_concept", "get_entity"})
+DEPRECATED_NAME = "WorkloadGenerator"
+
+#: package-relative path → why the module may reference the shims.
+SHIM_MODULES = {
+    "taxonomy/api.py":
+        "defines the WorkloadGenerator shim and the canonical "
+        "TaxonomyAPI.get_concept/get_entity the shims forward to",
+    "taxonomy/service.py":
+        "defines the BatchedServingAPI.get_concept/get_entity aliases",
+    "taxonomy/__init__.py":
+        "re-exports the shims for external callers",
+}
+
+
+class DeprecationChecker:
+    """Flag internal use of shimmed APIs kept only for external users."""
+
+    id = "deprecation"
+    description = (
+        "internal code may not import WorkloadGenerator or call the "
+        "get_concept/get_entity aliases"
+    )
+
+    def __init__(self, shim_modules: dict[str, str] | None = None) -> None:
+        self.shim_modules = dict(
+            SHIM_MODULES if shim_modules is None else shim_modules
+        )
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        if module.rel in self.shim_modules:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[-1] == DEPRECATED_NAME:
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"import of deprecated {DEPRECATED_NAME} — "
+                            "use repro.workloads scenarios instead",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == DEPRECATED_NAME:
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"import of deprecated {DEPRECATED_NAME} — "
+                            "use repro.workloads scenarios instead",
+                        ))
+            elif isinstance(node, ast.Name) and node.id == DEPRECATED_NAME:
+                findings.append(module.finding(
+                    self.id, node,
+                    f"reference to deprecated {DEPRECATED_NAME} — "
+                    "use repro.workloads scenarios instead",
+                ))
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                if (isinstance(callee, ast.Attribute)
+                        and callee.attr in DEPRECATED_CALLS):
+                    findings.append(module.finding(
+                        self.id, node,
+                        f"call to deprecated .{callee.attr}() alias — "
+                        "use concept_of/entities_of",
+                    ))
+        return findings

@@ -1,0 +1,258 @@
+"""Lock-discipline checker: guarded state is guarded everywhere.
+
+The shape of the ``_pick`` rotation race (PR 5) and the pinned-group
+publish race (PR 7): a class protects some attribute with
+``with self._lock:`` in most methods, then one method reads or mutates
+it bare and two threads interleave.  This checker makes that a finding
+instead of a review-time catch:
+
+- a class is *lock-holding* when a method assigns
+  ``self.X = threading.Lock()`` / ``RLock()``, or uses an attribute
+  whose name contains ``lock`` as a context manager (``with
+  self._lock:`` — covers injected locks like the registry lock the
+  metric children share);
+- an attribute path is *guarded* when any method writes it (plain,
+  augmented or subscript assignment, or deletion) under one of the
+  class's locks;
+- every read or write of a guarded path **outside** the lock, in any
+  method except ``__init__`` / ``__new__`` / ``__del__`` (construction
+  happens-before publication), is flagged — one finding per
+  (method, attribute), at the first offending line.
+
+Benign races exist (an atomic published-reference read, a
+caller-holds-the-lock helper) — acknowledge them where they live with
+``# lint: allow[lock-discipline] reason`` on the offending line, or on
+the ``def`` line to cover a whole method whose contract is "caller
+holds the lock".  Attribute paths are tracked one and two levels deep
+(``self._rr`` and ``self.stats.probes`` both resolve), so ledger
+objects mutated through a field are seen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ParsedModule
+
+#: methods where unguarded access is fine: the object is not published
+#: to other threads yet (or is being torn down by the last owner).
+CONSTRUCTION_METHODS = frozenset({"__init__", "__new__", "__del__"})
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+def _lock_factory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    callee = node.func
+    name = (callee.id if isinstance(callee, ast.Name)
+            else callee.attr if isinstance(callee, ast.Attribute)
+            else None)
+    return name in _LOCK_FACTORIES
+
+
+def _self_attr_path(node: ast.AST) -> str | None:
+    """``self.a`` → ``"a"``; ``self.a.b`` → ``"a.b"``; else None."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    inner = node.value
+    if isinstance(inner, ast.Name) and inner.id == "self":
+        return node.attr
+    if (isinstance(inner, ast.Attribute)
+            and isinstance(inner.value, ast.Name)
+            and inner.value.id == "self"):
+        return f"{inner.attr}.{node.attr}"
+    return None
+
+
+def _write_target_path(node: ast.AST) -> str | None:
+    """The attribute path a store/delete target mutates, if any.
+
+    Direct attribute targets (``self.a = ...``, ``self.a.b += ...``)
+    and container mutation through one subscript
+    (``self._rr[shard] = ...``, ``del self.reports[:n]``) both count
+    as writes to the underlying attribute.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr_path(node)
+
+
+class _Access:
+    __slots__ = ("path", "write", "under_lock", "line", "method")
+
+    def __init__(self, path, write, under_lock, line, method):
+        self.path = path
+        self.write = write
+        self.under_lock = under_lock
+        self.line = line
+        self.method = method
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect self-attribute accesses in one method, lock-aware."""
+
+    def __init__(self, method_name: str, lock_attrs: set[str]) -> None:
+        self.method = method_name
+        self.lock_attrs = lock_attrs
+        self.depth = 0
+        self.accesses: list[_Access] = []
+        self._write_paths: set[int] = set()  # node ids already counted
+
+    def _record(self, path: str | None, write: bool, node: ast.AST) -> None:
+        if path is None or path.split(".", 1)[0] in self.lock_attrs:
+            return
+        self.accesses.append(_Access(
+            path, write, self.depth > 0, node.lineno, self.method,
+        ))
+        if "." in path:
+            # `self.a.b` (read or written) also *reads* `self.a` — a
+            # guarded one-level attribute reached through its fields
+            # must still be reached under the lock
+            self.accesses.append(_Access(
+                path.split(".", 1)[0], False, self.depth > 0,
+                node.lineno, self.method,
+            ))
+
+    def _locked_item(self, item: ast.withitem) -> bool:
+        path = _self_attr_path(item.context_expr)
+        return path is not None and path in self.lock_attrs
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(self._locked_item(item) for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if locked:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.depth -= 1
+
+    visit_AsyncWith = visit_With
+
+    def _visit_write_targets(self, targets) -> None:
+        for target in targets:
+            path = _write_target_path(target)
+            if path is not None:
+                self._record(path, True, target)
+                self._write_paths.add(id(target))
+                if isinstance(target, ast.Subscript):
+                    self._write_paths.add(id(target.value))
+            self.visit(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._visit_write_targets(node.targets)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_write_targets([node.target])
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._visit_write_targets([node.target])
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._visit_write_targets(node.targets)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if id(node) not in self._write_paths:
+            path = _self_attr_path(node)
+            if path is not None:
+                self._record(path, False, node)
+                # the inner `self.a` of an already-recorded `self.a.b`
+                # should not double-report as a separate read
+                if "." in path:
+                    self._write_paths.add(id(node.value))
+        self.generic_visit(node)
+
+
+class LockDisciplineChecker:
+    """Flag bare accesses to attributes a class guards with its lock."""
+
+    id = "lock-discipline"
+    description = (
+        "attributes written under `with self._lock:` anywhere in a "
+        "class may not be read or mutated bare elsewhere in it"
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _methods(self, cls: ast.ClassDef):
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt
+
+    def _lock_attrs(self, cls: ast.ClassDef) -> set[str]:
+        locks: set[str] = set()
+        for method in self._methods(cls):
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _lock_factory_call(
+                    node.value
+                ):
+                    for target in node.targets:
+                        path = _self_attr_path(target)
+                        if path is not None and "." not in path:
+                            locks.add(path)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        path = _self_attr_path(item.context_expr)
+                        if path is not None and "lock" in path.lower():
+                            locks.add(path)
+        return locks
+
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef
+    ) -> list[Finding]:
+        lock_attrs = self._lock_attrs(cls)
+        if not lock_attrs:
+            return []
+        accesses: list[_Access] = []
+        method_lines: dict[str, int] = {}
+        for method in self._methods(cls):
+            method_lines[method.name] = method.lineno
+            scanner = _MethodScanner(method.name, lock_attrs)
+            for stmt in method.body:
+                scanner.visit(stmt)
+            accesses.extend(scanner.accesses)
+        guarded = {
+            access.path for access in accesses
+            if access.write and access.under_lock
+        }
+        if not guarded:
+            return []
+        lock_name = sorted(lock_attrs)[0]
+        findings: list[Finding] = []
+        reported: set[tuple[str, str]] = set()
+        for access in accesses:
+            if (
+                access.under_lock
+                or access.path not in guarded
+                or access.method in CONSTRUCTION_METHODS
+            ):
+                continue
+            # a reasoned pragma on the `def` line acknowledges a whole
+            # caller-holds-the-lock method
+            def_line = method_lines.get(access.method, 0)
+            if def_line and module.allows(self.id, def_line):
+                continue
+            if (access.method, access.path) in reported:
+                continue
+            reported.add((access.method, access.path))
+            verb = "mutates" if access.write else "reads"
+            findings.append(module.finding(
+                self.id, access.line,
+                f"{cls.name}.{access.method} {verb} self.{access.path} "
+                f"outside `with self.{lock_name}:` but the class guards "
+                "it there elsewhere",
+                symbol=f"{cls.name}.{access.method}.{access.path}",
+            ))
+        return findings

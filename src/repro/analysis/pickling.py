@@ -1,0 +1,136 @@
+"""Pickle-safety checker: nothing unpicklable crosses a process pool.
+
+The ``processes`` build backend ships work to a
+:class:`~repro.core.executors.ProcessExecutor` whose spawn mode
+pickles every task function and payload.  A lambda, a closure, or a
+function defined inside another function pickles fine *by reference*
+only if the child can re-import it — which it cannot, so the failure
+is a runtime ``PicklingError`` deep inside a pool, on the spawn path
+only (fork masks it).  This checker makes the contract static:
+
+- the first argument of any ``.run(...)`` / ``.submit(...)`` call must
+  not be a ``lambda`` or the name of a function defined in an
+  enclosing function (module-level functions and bound names imported
+  at module scope are fine — pickle finds those by qualified name);
+- arguments passed to a ``WorkerContext(...)`` construction must not
+  be lambdas or nested-def names either — the context is a frozen
+  dataclass precisely so its fields survive the trip;
+- ``WorkerContext`` itself must stay a frozen dataclass: the class
+  definition is checked for a ``@dataclass(frozen=True)`` decorator.
+
+The call-site net is intentionally name-based (any ``.run``/``.submit``
+attribute call), which also covers ``concurrent.futures`` pools used
+directly.  ``.run`` is a common method name, so false positives are
+possible in principle — in this tree every flagged site either is an
+executor or deserves the same scrutiny; a reasoned
+``# lint: allow[pickle-safety]`` pragma handles exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ParsedModule
+
+_SUBMIT_METHODS = frozenset({"run", "submit"})
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                walk(child, True)
+            elif isinstance(child, ast.Lambda):
+                walk(child, True)
+            else:
+                walk(child, inside_function)
+
+    walk(tree, False)
+    return nested
+
+
+def _is_frozen_dataclass_decorator(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        callee = node.func
+        name = (callee.id if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute)
+                else None)
+        if name != "dataclass":
+            return False
+        return any(
+            kw.arg == "frozen"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+    return False
+
+
+class PickleSafetyChecker:
+    """Flag unpicklable payloads headed for a process boundary."""
+
+    id = "pickle-safety"
+    description = (
+        "tasks submitted to executors and WorkerContext payloads must "
+        "be module-level (picklable by qualified name); WorkerContext "
+        "stays a frozen dataclass"
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        nested = _nested_function_names(module.tree)
+
+        def describe(arg: ast.AST) -> str | None:
+            if isinstance(arg, ast.Lambda):
+                return "a lambda"
+            if isinstance(arg, ast.Name) and arg.id in nested:
+                return f"nested function {arg.id!r}"
+            return None
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if (isinstance(callee, ast.Attribute)
+                        and callee.attr in _SUBMIT_METHODS
+                        and node.args):
+                    what = describe(node.args[0])
+                    if what is not None:
+                        findings.append(module.finding(
+                            self.id, node,
+                            f"{what} passed to .{callee.attr}() cannot "
+                            "cross a process boundary — spawn-mode "
+                            "pickling resolves functions by module-"
+                            "level qualified name",
+                        ))
+                elif (isinstance(callee, ast.Name)
+                        and callee.id == "WorkerContext"):
+                    args = list(node.args) + [kw.value for kw in node.keywords]
+                    for arg in args:
+                        what = describe(arg)
+                        if what is not None:
+                            findings.append(module.finding(
+                                self.id, arg,
+                                f"{what} stored on WorkerContext — its "
+                                "fields are pickled into every pool "
+                                "worker",
+                            ))
+            elif (isinstance(node, ast.ClassDef)
+                    and node.name == "WorkerContext"):
+                if not any(
+                    _is_frozen_dataclass_decorator(d)
+                    for d in node.decorator_list
+                ):
+                    findings.append(module.finding(
+                        self.id, node,
+                        "WorkerContext must be declared "
+                        "@dataclass(frozen=True) — workers treat it as "
+                        "an immutable picklable snapshot",
+                        symbol="WorkerContext",
+                    ))
+        return findings

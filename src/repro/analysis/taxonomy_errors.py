@@ -1,0 +1,92 @@
+"""Error-taxonomy checker: public paths raise ReproError, not stdlib.
+
+The CLI maps :class:`~repro.errors.ReproError` to exit code 2, the
+HTTP server maps :class:`~repro.errors.APIError` to 400 and
+:class:`~repro.errors.ServiceUnavailableError` to 503 — a bare
+``KeyError`` escaping a public function bypasses all of that and
+surfaces as a stack trace (PR 5 patched exactly this by hand in the
+serving path).  This checker enforces the taxonomy at the raise site:
+
+- a ``raise`` of a bare stdlib exception (``KeyError`` / ``ValueError``
+  / ``RuntimeError``, called or not) is forbidden inside **public**
+  scope — every enclosing function and class name must be
+  non-underscore for the site to count, so helpers (``_parse``),
+  dunders (``__init__`` argument validation — stdlib types are
+  conventional there) and private classes (``_Counter``) are exempt;
+- ``raise`` with no exception (bare re-raise) and raises of any other
+  name (custom exceptions, ReproError subclasses) pass;
+- module-level raises are ignored (import-time guards are their own
+  genre).
+
+Grandfathered sites — synthetic-data generators and eval utilities
+whose ValueError contracts are pinned by tests — live in the shipped
+baseline rather than being churned; new code gets no such grace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ParsedModule
+
+FORBIDDEN = frozenset({"KeyError", "ValueError", "RuntimeError"})
+
+
+class ErrorTaxonomyChecker:
+    """Flag bare stdlib raises escaping public functions."""
+
+    id = "error-taxonomy"
+    description = (
+        "public functions raise ReproError subclasses, never bare "
+        "KeyError/ValueError/RuntimeError"
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        self._walk(module, module.tree, [], findings)
+        return findings
+
+    def _walk(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        scope: list[str],
+        findings: list[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self._walk(module, child, scope + [child.name], findings)
+            elif isinstance(child, ast.Raise):
+                self._check_raise(module, child, scope, findings)
+                self._walk(module, child, scope, findings)
+            else:
+                self._walk(module, child, scope, findings)
+
+    def _check_raise(
+        self,
+        module: ParsedModule,
+        node: ast.Raise,
+        scope: list[str],
+        findings: list[Finding],
+    ) -> None:
+        # only raises inside a fully-public scope count: at least one
+        # enclosing function, and no underscore-prefixed name anywhere
+        # in the chain (private helper, dunder, private class).
+        if not scope or any(name.startswith("_") for name in scope):
+            return
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = exc.id if isinstance(exc, ast.Name) else None
+        if name in FORBIDDEN:
+            qualname = ".".join(scope)
+            findings.append(module.finding(
+                self.id, node,
+                f"public function {qualname} raises bare {name} — "
+                "raise the matching ReproError subclass so the "
+                "CLI/HTTP error mapping holds",
+                symbol=qualname,
+            ))

@@ -25,6 +25,8 @@ Usage::
     cn-probase workload compile zipf_hot --out zipf_hot.schedule.jsonl
     cn-probase workload run                      # all 8, service + http
     cn-probase workload run publish_under_load --target http --time-scale 2
+    cn-probase lint
+    cn-probase lint --format json --select lock-discipline,determinism
 
 ``build --workers N`` runs independent generation sources concurrently
 and shards per-relation-pure verifiers over relation chunks (output is
@@ -75,6 +77,14 @@ p50/p95/p99 + schedule lateness and appending per-scenario entries to
 ``benchmarks/out/BENCH_parallel.json``.  Publish-under-load scenarios
 fire their delta publish mid-replay and exit non-zero on any
 mixed-version answer.
+
+``lint`` runs the :mod:`repro.analysis` checkers (determinism,
+lock-discipline, pickle-safety, error-taxonomy, deprecation) over every
+module of the installed package and exits 1 on any finding that is
+neither pragma-acknowledged in source nor grandfathered in the shipped
+baseline; ``--bench-json`` lands the counts as the ``static_analysis``
+section of the perf trajectory, which is how ``run_smoke.sh`` gates
+on it.
 
 Every subcommand is importable (:func:`main` takes an argv list), which
 is how the test suite drives it.
@@ -425,6 +435,56 @@ def _cmd_workload_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Baseline,
+        ModuleIndex,
+        all_checkers,
+        default_baseline_path,
+        run_analysis,
+    )
+
+    checkers = all_checkers()
+    if args.select:
+        wanted = {
+            part.strip()
+            for selector in args.select
+            for part in selector.split(",")
+            if part.strip()
+        }
+        known = {checker.id for checker in checkers}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(f"error: unknown checker id(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+        checkers = [checker for checker in checkers if checker.id in wanted]
+    baseline = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline = Baseline.load(args.baseline)
+        elif default_baseline_path().exists():
+            baseline = Baseline.load(default_baseline_path())
+    report = run_analysis(
+        ModuleIndex.scan(args.path), checkers, baseline=baseline
+    )
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(f"wrote {len(report.findings)} finding(s) as "
+              f"{args.write_baseline}")
+    if args.bench_json:
+        from repro.workloads.report import merge_bench_entry
+
+        payload = report.as_dict()
+        payload.pop("findings")  # the trajectory tracks counts, not sites
+        merge_bench_entry(args.bench_json, "static_analysis", payload)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), ensure_ascii=False, indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import os
     import signal
@@ -680,6 +740,47 @@ def _build_parser() -> argparse.ArgumentParser:
     workload_run.add_argument("--no-bench", action="store_true",
                               help="do not write the perf trajectory")
     workload_run.set_defaults(func=_cmd_workload_run)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant checkers over the package",
+        description="Static analysis of the installed repro package: "
+                    "determinism (no ambient entropy), lock-discipline "
+                    "(guarded state stays guarded), pickle-safety "
+                    "(nothing unpicklable crosses a process pool), "
+                    "error-taxonomy (public paths raise ReproError) and "
+                    "deprecation (internal code stays off compat shims). "
+                    "Exit 0 when clean, 1 on new findings, 2 on driver "
+                    "errors (bad baseline, unknown checker).",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text = one finding per line + summary; json = the full "
+             "AnalysisReport (default: text)")
+    lint.add_argument(
+        "--select", action="append", default=None, metavar="IDS",
+        help="run only these checker ids (repeatable or comma-"
+             "separated, e.g. lock-discipline,determinism)")
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON of grandfathered finding keys (default: "
+             "the shipped src/repro/analysis/baseline.json)")
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore every baseline, report grandfathered debt too")
+    lint.add_argument(
+        "--path", default=None, metavar="DIR",
+        help="analyze this source tree instead of the installed repro "
+             "package (fixture trees, synthetic-violation checks)")
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the new findings' keys as a baseline file "
+             "(grandfathering them for future runs)")
+    lint.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="merge the counts into this perf-trajectory JSON as the "
+             "'static_analysis' section")
+    lint.set_defaults(func=_cmd_lint)
 
     obs = sub.add_parser(
         "obs",

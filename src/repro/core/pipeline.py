@@ -224,7 +224,8 @@ class ResourceCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: Process-wide default cache: nightly-style repeated builds through any

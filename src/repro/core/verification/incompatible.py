@@ -24,6 +24,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 from repro.encyclopedia.model import EncyclopediaDump
+from repro.errors import PipelineError
 from repro.taxonomy.model import HYPONYM_ENTITY, IsARelation
 
 _EPSILON = 1e-9
@@ -155,7 +156,7 @@ class IncompatibleConceptFilter:
 
     def filter(self, relations: list[IsARelation]) -> FilterDecision:
         if not self._fitted:
-            raise RuntimeError("fit() must run before filter()")
+            raise PipelineError("fit() must run before filter()")
         by_entity: dict[str, list[IsARelation]] = defaultdict(list)
         passthrough: list[IsARelation] = []
         for relation in relations:

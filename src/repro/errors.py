@@ -41,6 +41,18 @@ class WorkloadError(ReproError):
     """Raised on invalid workload scenario specs, schedules or runs."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the observability spine on invalid metric/event use."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis subsystem on bad inputs.
+
+    Unparseable sources, malformed baselines, unknown checker ids —
+    driver mistakes, never findings (findings are data, not errors).
+    """
+
+
 class ServiceUnavailableError(APIError):
     """Raised when no healthy replica can serve a request.
 

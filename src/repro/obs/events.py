@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.errors import TelemetryError
+
 from . import clock
 
 __all__ = ["EventLog"]
@@ -38,7 +40,7 @@ class EventLog:
         """Append one event; returns a copy of the stored record."""
         for reserved in ("seq", "ts", "kind"):
             if reserved in fields:
-                raise ValueError(f"field {reserved!r} is reserved")
+                raise TelemetryError(f"field {reserved!r} is reserved")
         with self._lock:
             self._seq += 1
             record = {"seq": self._seq, "ts": clock.wall_time(),

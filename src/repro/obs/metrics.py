@@ -164,6 +164,7 @@ class _Summary:
                 self._max = value
             self._reservoir.append(value)
 
+    # lint: allow[lock-discipline] caller (the registry snapshot) holds the lock
     def _snapshot(self, labels: LabelPairs) -> SummarySample:
         # Caller holds the lock.
         return SummarySample(
@@ -230,6 +231,7 @@ class MetricFamily:
     def observe(self, value: float) -> None:
         self.labels().observe(value)
 
+    # lint: allow[lock-discipline] caller (the registry snapshot) holds the lock
     def _snapshot(self) -> MetricSnapshot:
         # Caller holds the lock.
         samples: list[Sample | SummarySample] = []

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from time import perf_counter
+from repro.obs.clock import elapsed
 from typing import Sequence
 
 from repro.errors import (
@@ -1020,7 +1020,7 @@ class ReplicatedRouter(BatchedServingAPI):
         tried: set[int] = set()
         last_error: Exception | None = None
         trace_id = current_trace_id()
-        group_started = perf_counter() if trace_id is not None else 0.0
+        group_started = elapsed() if trace_id is not None else 0.0
         for _ in range(attempts):
             index = self._pick(shard_id, tried)
             if index is None:
@@ -1043,9 +1043,9 @@ class ReplicatedRouter(BatchedServingAPI):
                 call = getattr(target, lookup_name)
                 served: list[tuple[list[str], float]] = []
                 for argument in arguments:
-                    started = perf_counter()
+                    started = elapsed()
                     result = call(argument)
-                    served.append((result, perf_counter() - started))
+                    served.append((result, elapsed() - started))
             except Exception as exc:  # failed replica: mark + fail over
                 last_error = exc
                 tried.add(index)
@@ -1058,21 +1058,21 @@ class ReplicatedRouter(BatchedServingAPI):
                 if was_healthy:
                     self._emit_health(state, False, "serve_failure")
                 continue
-            for argument, (result, elapsed) in zip(arguments, served):
+            for argument, (result, seconds) in zip(arguments, served):
                 if argument != PROBE_KEY:  # probes stay out of ledgers
-                    self.metrics.observe(api_name, elapsed, bool(result))
+                    self.metrics.observe(api_name, seconds, bool(result))
             if trace_id is not None:
                 self._record_group_spans(
                     trace_id, api_name, shard_id, index, pin,
-                    sum(elapsed for _, elapsed in served),
-                    perf_counter() - group_started,
+                    sum(seconds for _, seconds in served),
+                    elapsed() - group_started,
                 )
             return [result for result, _ in served]
         detail = f": {last_error}" if last_error is not None else ""
         if trace_id is not None:
             self._hub.record_span(
                 trace_id, "router", api_name,
-                perf_counter() - group_started,
+                elapsed() - group_started,
                 outcome="unavailable", shard=shard_id,
             )
         raise ServiceUnavailableError(

@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass
-from time import perf_counter
+from repro.obs.clock import elapsed
 from typing import Sequence
 
 from repro.errors import APIError, DeltaConflictError, TaxonomyError
@@ -283,19 +283,23 @@ class ShardedSnapshotStore(BatchedServingAPI):
     @property
     def shard_set(self) -> ShardSet:
         """The currently published shard set (a single atomic read)."""
+        # lint: allow[lock-discipline] atomic reference read; swap publishes
         return self._shard_set
 
     @property
     def n_shards(self) -> int:
+        # lint: allow[lock-discipline] atomic reference read
         return self._shard_set.n_shards
 
     @property
     def version_id(self) -> str:
+        # lint: allow[lock-discipline] atomic reference read
         return self._shard_set.version_id
 
     @property
     def content_hash(self) -> str | None:
         """The published set's cluster-level canonical-bytes sha256."""
+        # lint: allow[lock-discipline] atomic reference read
         return self._shard_set.content_hash
 
     def shard_versions(self) -> list[str]:
@@ -305,10 +309,12 @@ class ShardedSnapshotStore(BatchedServingAPI):
         :meth:`publish_delta` only touched shards advance, so the list
         doubles as the per-shard publish lineage.
         """
+        # lint: allow[lock-discipline] atomic reference read
         return [shard.version_id for shard in self._shard_set.shards]
 
     def stats(self) -> list[TaxonomyStats]:
         """Shard-local serving-index stats, in shard order."""
+        # lint: allow[lock-discipline] atomic reference read
         return [s.read_view.stats() for s in self._shard_set.shards]
 
     def version_lineage(self) -> list[str]:
@@ -500,9 +506,9 @@ class ShardedSnapshotStore(BatchedServingAPI):
         if argument == PROBE_KEY:
             # probes exercise the lookup path but stay out of the ledgers
             return shard.lookup(api_name, argument)
-        started = perf_counter()
+        started = elapsed()
         result = shard.lookup(api_name, argument)
-        seconds = perf_counter() - started
+        seconds = elapsed() - started
         self.metrics.observe(api_name, seconds, bool(result))
         trace_id = current_trace_id()
         if trace_id is not None:
@@ -516,6 +522,7 @@ class ShardedSnapshotStore(BatchedServingAPI):
         return result
 
     def _single(self, api_name: str, argument: str) -> list[str]:
+        # lint: allow[lock-discipline] atomic reference read of the published set
         return self._serve(self._shard_set, api_name, argument)
 
     def _batch(
@@ -526,6 +533,7 @@ class ShardedSnapshotStore(BatchedServingAPI):
         # already the fan-out/merge — the per-shard *grouping* (one
         # sub-request per shard on one replica) lives in the router,
         # where it changes which backend serves the group.
+        # lint: allow[lock-discipline] atomic reference read pins one version
         shard_set = self._shard_set
         return [
             self._serve(shard_set, api_name, argument)

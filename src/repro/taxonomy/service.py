@@ -37,7 +37,7 @@ import threading
 import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
+from repro.obs.clock import elapsed
 from typing import Sequence
 
 from repro.errors import APIError, DeltaConflictError, TaxonomyError
@@ -433,15 +433,18 @@ class TaxonomyService(BatchedServingAPI):
     @property
     def snapshot(self) -> TaxonomySnapshot:
         """The currently published snapshot (a single atomic read)."""
+        # lint: allow[lock-discipline] atomic reference read; swap publishes
         return self._snapshot
 
     @property
     def version_id(self) -> str:
+        # lint: allow[lock-discipline] atomic reference read
         return self._snapshot.version_id
 
     @property
     def content_hash(self) -> str | None:
         """The published snapshot's canonical-bytes sha256."""
+        # lint: allow[lock-discipline] atomic reference read
         return self._snapshot.content_hash
 
     def version_lineage(self) -> list[str]:
@@ -614,9 +617,9 @@ class TaxonomyService(BatchedServingAPI):
             # health-probe traffic: serve it (a probe exercises the real
             # lookup path) but keep it out of the latency ledgers
             return call(argument)
-        started = perf_counter()
+        started = elapsed()
         result = call(argument)
-        seconds = perf_counter() - started
+        seconds = elapsed() - started
         self.metrics.observe(api_name, seconds, bool(result))
         trace_id = current_trace_id()
         if trace_id is not None:
@@ -629,10 +632,13 @@ class TaxonomyService(BatchedServingAPI):
         return result
 
     def _single(self, api_name: str, argument: str) -> list[str]:
+        # lint: allow[lock-discipline] atomic reference read of the snapshot
         return self._serve(self._snapshot, api_name, argument)
 
     def _batch(
         self, api_name: str, arguments: Sequence[str]
     ) -> list[list[str]]:
-        snapshot = self._snapshot  # pin one version for the whole batch
+        # pin one version for the whole batch
+        # lint: allow[lock-discipline] atomic reference read pins one version
+        snapshot = self._snapshot
         return [self._serve(snapshot, api_name, arg) for arg in arguments]

@@ -241,6 +241,7 @@ class FaultyReplica:
         return self._name
 
     def __repr__(self) -> str:
+        # lint: allow[lock-discipline] debug repr; racy bool read is fine
         state = "up" if self.alive else "down"
         return f"FaultyReplica({self._name}, {state})"
 
@@ -279,6 +280,7 @@ class FaultyReplica:
     # -- the injected wire -----------------------------------------------------
 
     def _gate(self, op: str) -> None:
+        # lint: allow[lock-discipline] atomic bool read; kill/restart flip it
         if not self.alive:
             raise ServiceUnavailableError(
                 f"{self._name} is unreachable ({op})"
@@ -325,6 +327,7 @@ class FaultyReplica:
         whole against one server-side snapshot.
         """
         self._gate("pinned")
+        # lint: allow[lock-discipline] atomic reference read of the inner view
         pinned = getattr(self._inner, "pinned", None)
         return pinned() if callable(pinned) else self._inner
 

@@ -20,6 +20,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.errors import WorkloadError
 from repro.workloads.runner import RunReport
 
 #: The section scenario results land under in BENCH_parallel.json.
@@ -39,7 +40,7 @@ def merge_bench_entry(path: str | Path, key: str, payload: dict) -> dict:
     if target.exists():
         data = json.loads(target.read_text(encoding="utf-8"))
         if not isinstance(data, dict):
-            raise ValueError(f"{target} does not hold a JSON object")
+            raise WorkloadError(f"{target} does not hold a JSON object")
     data[key] = payload
     temp = target.with_name(target.name + ".tmp")
     temp.write_text(

@@ -122,11 +122,12 @@ class VersionAuditor:
                 )
 
     def as_dict(self) -> dict:
-        return {
-            "matched": dict(self.matched),
-            "mixed_answers": self.mixed_answers,
-            "mixed_samples": list(self.mixed_samples),
-        }
+        with self._lock:
+            return {
+                "matched": dict(self.matched),
+                "mixed_answers": self.mixed_answers,
+                "mixed_samples": list(self.mixed_samples),
+            }
 
 
 @dataclass
@@ -342,6 +343,7 @@ def run_schedule(
                     trace_id = trace_source.mint()
                     minted_ids.add(trace_id)
                 n_served += 1
+                # lint: allow[pickle-safety] thread pool — no process boundary
                 pool.submit(serve, item, target_t, start, trace_id)
     for thread in action_threads:
         thread.join(timeout=60.0)

@@ -1,0 +1,240 @@
+"""The checker framework itself: findings, pragmas, baselines, runs."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Baseline,
+    Checker,
+    Finding,
+    ModuleIndex,
+    ParsedModule,
+    all_checkers,
+    run_analysis,
+)
+from repro.errors import AnalysisError, ReproError
+
+
+def write_tree(tmp_path: Path, files: dict) -> Path:
+    root = tmp_path / "pkg"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+    return root
+
+
+class StubChecker:
+    """Flags every module-level assignment to a name in *bad_names*."""
+
+    id = "stub"
+    description = "flag configured names"
+
+    def __init__(self, bad_names=("evil",)):
+        self.bad_names = set(bad_names)
+
+    def check(self, module):
+        import ast
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name) and node.id in self.bad_names:
+                yield module.finding(
+                    self.id, node, f"use of {node.id}", symbol=node.id
+                )
+
+
+class TestFinding:
+    def test_ordering_is_file_order(self):
+        findings = sorted([
+            Finding("b.py", 1, "x", "m"),
+            Finding("a.py", 9, "x", "m"),
+            Finding("a.py", 2, "z", "m"),
+            Finding("a.py", 2, "a", "m"),
+        ])
+        assert [(f.path, f.line, f.checker) for f in findings] == [
+            ("a.py", 2, "a"), ("a.py", 2, "z"),
+            ("a.py", 9, "x"), ("b.py", 1, "x"),
+        ]
+
+    def test_dict_round_trip(self):
+        finding = Finding("serving/router.py", 17, "lock-discipline",
+                          "bare read", symbol="Router._pick")
+        assert Finding.from_dict(finding.as_dict()) == finding
+
+    def test_round_trip_survives_json(self):
+        finding = Finding("a.py", 3, "determinism", "import time — no")
+        payload = json.loads(json.dumps(finding.as_dict()))
+        assert Finding.from_dict(payload) == finding
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(AnalysisError):
+            Finding.from_dict({"path": "a.py"})
+        with pytest.raises(AnalysisError):
+            Finding.from_dict({"path": "a.py", "line": "not-a-number",
+                               "checker": "x", "message": "m"})
+
+    def test_key_excludes_line_but_not_symbol(self):
+        a = Finding("a.py", 3, "x", "m", symbol="f")
+        b = Finding("a.py", 99, "x", "m", symbol="f")
+        c = Finding("a.py", 3, "x", "m", symbol="g")
+        assert a.key == b.key
+        assert a.key != c.key
+
+    def test_analysis_error_is_a_repro_error(self):
+        # the CLI maps ReproError to exit 2; driver mistakes must ride it
+        assert issubclass(AnalysisError, ReproError)
+
+
+class TestModuleIndex:
+    def test_scan_keys_on_package_relative_paths(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "top.py": "x = 1\n",
+            "sub/mod.py": "y = 2\n",
+        })
+        index = ModuleIndex.scan(root)
+        assert {m.rel for m in index.modules} == {"top.py", "sub/mod.py"}
+        assert index.packages() == [".", "sub"]
+        assert index.module("sub/mod.py").rel == "sub/mod.py"
+
+    def test_scan_rejects_missing_root(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            ModuleIndex.scan(tmp_path / "nope")
+
+    def test_unknown_module_lookup_raises(self, tmp_path):
+        index = ModuleIndex.scan(write_tree(tmp_path, {"a.py": "x = 1\n"}))
+        with pytest.raises(AnalysisError):
+            index.module("b.py")
+
+    def test_syntax_error_is_an_analysis_error(self, tmp_path):
+        root = write_tree(tmp_path, {"bad.py": "def broken(:\n"})
+        with pytest.raises(AnalysisError):
+            ModuleIndex.scan(root)
+
+    def test_shipped_checkers_satisfy_the_protocol(self):
+        for checker in all_checkers():
+            assert isinstance(checker, Checker)
+
+
+class TestPragmas:
+    def test_reasoned_pragma_suppresses(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "a.py": "evil = 1  # lint: allow[stub] a test needs this name\n",
+        })
+        report = run_analysis(ModuleIndex.scan(root), [StubChecker()])
+        assert report.ok
+        assert len(report.pragma_suppressed) == 1
+
+    def test_pragma_on_the_line_above_counts(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "a.py": "# lint: allow[stub] next line is fine\nevil = 1\n",
+        })
+        report = run_analysis(ModuleIndex.scan(root), [StubChecker()])
+        assert report.ok
+
+    def test_bare_pragma_suppresses_nothing_and_is_reported(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "a.py": "evil = 1  # lint: allow[stub]\n",
+        })
+        report = run_analysis(ModuleIndex.scan(root), [StubChecker()])
+        checkers = {finding.checker for finding in report.findings}
+        assert checkers == {"stub", "pragma"}
+
+    def test_pragma_for_another_checker_does_not_apply(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "a.py": "evil = 1  # lint: allow[other] wrong id\n",
+        })
+        report = run_analysis(ModuleIndex.scan(root), [StubChecker()])
+        assert [f.checker for f in report.findings] == ["stub"]
+
+
+class TestBaseline:
+    def make_report(self, tmp_path, baseline=None) -> AnalysisReport:
+        root = write_tree(tmp_path, {
+            "a.py": "evil = 1\n",
+            "b.py": "evil = 2\nwicked = 3\n",
+        })
+        checker = StubChecker(bad_names=("evil", "wicked"))
+        return run_analysis(
+            ModuleIndex.scan(root), [checker], baseline=baseline
+        )
+
+    def test_baseline_suppresses_exactly_its_keys(self, tmp_path):
+        first = self.make_report(tmp_path)
+        assert len(first.findings) == 3
+        # grandfather only the 'evil' findings; same name in two files
+        # is two distinct keys (path is part of the key)
+        baseline = Baseline.from_findings(
+            [f for f in first.findings if f.symbol == "evil"],
+            reason="pre-existing",
+        )
+        second = self.make_report(tmp_path, baseline=baseline)
+        assert [f.symbol for f in second.findings] == ["wicked"]
+        assert sorted(f.symbol for f in second.baselined) == ["evil", "evil"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        first = self.make_report(tmp_path)
+        baseline = Baseline.from_findings(first.findings, reason="debt")
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries
+        assert self.make_report(tmp_path, baseline=loaded).ok
+
+    def test_malformed_baselines_raise(self, tmp_path):
+        target = tmp_path / "bad.json"
+        with pytest.raises(AnalysisError):
+            Baseline.load(target)  # missing
+        target.write_text("not json", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            Baseline.load(target)
+        target.write_text('["a list"]', encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            Baseline.load(target)
+        target.write_text(
+            '{"format_version": 99, "entries": []}', encoding="utf-8"
+        )
+        with pytest.raises(AnalysisError):
+            Baseline.load(target)
+        target.write_text(
+            '{"format_version": 1, "entries": [{"reason": "no key"}]}',
+            encoding="utf-8",
+        )
+        with pytest.raises(AnalysisError):
+            Baseline.load(target)
+
+
+class TestRunAnalysis:
+    def test_duplicate_checker_ids_rejected(self, tmp_path):
+        root = write_tree(tmp_path, {"a.py": "x = 1\n"})
+        with pytest.raises(AnalysisError):
+            run_analysis(ModuleIndex.scan(root),
+                         [StubChecker(), StubChecker()])
+
+    def test_report_counts_and_json_shape(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "a.py": "evil = 1\n"
+                    "wicked = 2  # lint: allow[stub] fixture needs it\n",
+        })
+        baseline = Baseline({
+            Finding("a.py", 1, "stub", "use of evil", symbol="evil").key:
+                "grandfathered",
+        })
+        report = run_analysis(
+            ModuleIndex.scan(root),
+            [StubChecker(bad_names=("evil", "wicked"))],
+            baseline=baseline,
+        )
+        payload = report.as_dict()
+        assert payload["modules_scanned"] == 1
+        assert payload["findings_new"] == 0
+        assert payload["findings_baselined"] == 1
+        assert payload["findings_allowed"] == 1
+        assert payload["findings_total"] == 2
+        assert payload["checkers"]["stub"] == {
+            "found": 2, "baselined": 1, "allowed": 1, "new": 0,
+        }
+        assert report.ok
+        assert "0 new finding(s)" in report.render_text()

@@ -97,7 +97,7 @@ class TestIncompatibleConcepts:
         assert decision.removed == []
 
     def test_filter_before_fit_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(PipelineError):
             IncompatibleConceptFilter().filter([])
 
     def test_concept_relations_pass_through(self, fitted):

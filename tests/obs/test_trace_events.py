@@ -23,6 +23,7 @@ from repro.obs import (
     set_hub,
     trace_context,
 )
+from repro.errors import TelemetryError
 from repro.obs.events import EventLog
 from repro.obs.trace import TraceLog
 
@@ -100,7 +101,7 @@ class TestEventLog:
 
     def test_reserved_fields_rejected(self):
         log = EventLog(capacity=8)
-        with pytest.raises(ValueError):
+        with pytest.raises(TelemetryError):
             log.emit("swap", seq=12)
 
     def test_returned_records_are_copies(self):

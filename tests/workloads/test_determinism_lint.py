@@ -1,119 +1,80 @@
-"""Static lint: repro.workloads must stay seed-deterministic.
+"""Static lint: the whole package must stay seed-deterministic.
 
-The package's backbone contract is that the same ``(Scenario, seed)``
-always compiles to byte-identical schedules.  That dies quietly the
-first time a module reaches for ambient entropy, so this test walks
-the AST of every module in the package and forbids:
+The backbone contract is that the same ``(Scenario, seed)`` always
+compiles to byte-identical schedules and the same dump always builds
+the byte-identical taxonomy.  That dies quietly the first time a
+module reaches for ambient entropy, so the :mod:`repro.analysis`
+determinism checker walks the AST of every module and forbids unseeded
+RNG use, clock/uuid/secrets imports outside the exemption table, and
+call-in-default traps (the rules are documented on the checker).
 
-- any use of the ``random`` module other than ``random.Random`` /
-  ``from random import Random`` (module-level functions share hidden
-  global state seeded from the OS),
-- ``Random()`` constructed without an explicit seed argument,
-- ``time`` / ``datetime`` / ``uuid`` / ``secrets`` imports anywhere
-  except ``runner.py`` (the open-loop dispatcher legitimately needs
-  the wall clock; compilation and sampling never do),
-- function-call expressions in default argument values (the classic
-  ``def f(now=time.time())`` time-dependent-default trap).
+This file is the thin test driver: the lint logic itself lives in
+``src/repro/analysis/determinism.py`` where ``cn-probase lint`` and
+``run_smoke.sh`` run it over all of ``src/repro``, not just the three
+packages the original test-local lint covered.
 """
 
-import ast
 from pathlib import Path
 
-import repro.core
-import repro.obs
-import repro.workloads
-
-#: package directory → the single module allowed to touch the clock
-#: (``runner.py`` measures open-loop latency; ``clock.py`` is the obs
-#: package's sanctioned timestamp hook everything else imports;
-#: ``pipeline.py`` times stages with ``perf_counter`` — but the build
-#: backends in ``executors.py`` and the planner in ``stages.py`` must
-#: stay entropy-free or byte-identity across backends dies quietly).
-LINTED_PACKAGES = {
-    Path(repro.workloads.__file__).parent: frozenset({"runner.py"}),
-    Path(repro.obs.__file__).parent: frozenset({"clock.py"}),
-    Path(repro.core.__file__).parent: frozenset({"pipeline.py"}),
-}
-ENTROPY_MODULES = {"time", "datetime", "uuid", "secrets"}
+import repro
+from repro.analysis import DeterminismChecker, ModuleIndex, ParsedModule
+from repro.analysis.determinism import CLOCK_EXEMPT
 
 
-def package_modules():
-    return [
-        (path, clock_exempt)
-        for package_dir, clock_exempt in LINTED_PACKAGES.items()
-        for path in sorted(package_dir.glob("*.py"))
-    ]
+def package_index() -> ModuleIndex:
+    return ModuleIndex.scan(Path(repro.__file__).parent)
 
 
 def lint_module(
-    path: Path, clock_exempt: frozenset = frozenset({"runner.py"})
+    path: Path, clock_exempt: frozenset = frozenset()
 ) -> list[str]:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    problems = []
+    """Run the determinism checker on one file outside the package.
 
-    def flag(node: ast.AST, message: str) -> None:
-        problems.append(f"{path.name}:{node.lineno}: {message}")
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                root = alias.name.split(".")[0]
-                if root in ENTROPY_MODULES and path.name not in clock_exempt:
-                    flag(node, f"import {alias.name} — only "
-                               f"{sorted(clock_exempt)} may touch the clock")
-        elif isinstance(node, ast.ImportFrom):
-            root = (node.module or "").split(".")[0]
-            if root in ENTROPY_MODULES and path.name not in clock_exempt:
-                flag(node, f"from {node.module} import ... — only "
-                           f"{sorted(clock_exempt)} may touch the clock")
-            if root == "random":
-                for alias in node.names:
-                    if alias.name != "Random":
-                        flag(node, f"from random import {alias.name} — "
-                                   "module-level random functions use "
-                                   "hidden global state")
-        elif isinstance(node, ast.Attribute):
-            if (isinstance(node.value, ast.Name)
-                    and node.value.id == "random"
-                    and node.attr != "Random"):
-                flag(node, f"random.{node.attr} — unseeded global RNG")
-        elif isinstance(node, ast.Call):
-            callee = node.func
-            name = (callee.id if isinstance(callee, ast.Name)
-                    else callee.attr if isinstance(callee, ast.Attribute)
-                    else None)
-            if name == "Random" and not node.args and not node.keywords:
-                flag(node, "Random() without a seed — OS-entropy seeded")
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            defaults = list(node.args.defaults) + [
-                d for d in node.args.kw_defaults if d is not None
-            ]
-            for default in defaults:
-                for sub in ast.walk(default):
-                    if isinstance(sub, ast.Call):
-                        flag(default, f"def {node.name}(...): call "
-                                      "expression in a default argument "
-                                      "is evaluated once at import time")
-    return problems
+    *clock_exempt* names package-relative paths, matching the shipped
+    exemption table's keying (never bare filenames).
+    """
+    module = ParsedModule(path, path.name, path.read_text(encoding="utf-8"))
+    checker = DeterminismChecker(
+        clock_exempt={rel: "test exemption" for rel in clock_exempt}
+    )
+    return [finding.render() for finding in checker.check(module)]
 
 
 def test_no_unseeded_randomness_or_clock_leaks():
-    problems = []
-    for path, clock_exempt in package_modules():
-        problems.extend(lint_module(path, clock_exempt))
+    index = package_index()
+    checker = DeterminismChecker()
+    problems = [
+        finding.render()
+        for module in index.modules
+        for finding in checker.check(module)
+    ]
     assert not problems, "\n".join(problems)
 
 
 def test_the_lint_actually_scans_the_packages():
-    names = {path.name for path, _ in package_modules()}
-    assert {"spec.py", "schedule.py", "sampling.py", "runner.py",
-            "registry.py", "report.py", "harness.py", "faults.py"} <= names
+    names = {module.rel for module in package_index().modules}
+    assert {"workloads/spec.py", "workloads/schedule.py",
+            "workloads/sampling.py", "workloads/runner.py",
+            "workloads/registry.py", "workloads/report.py",
+            "workloads/harness.py", "workloads/faults.py"} <= names
     # the obs package rides the same lint: metrics/trace/events must
     # never mint ids or timestamps from ambient entropy
-    assert {"metrics.py", "trace.py", "events.py", "clock.py"} <= names
+    assert {"obs/metrics.py", "obs/trace.py", "obs/events.py",
+            "obs/clock.py"} <= names
     # so do the build backends: scheduling order is the only thing
     # standing between "parallel" and "nondeterministic"
-    assert {"executors.py", "pipeline.py", "stages.py"} <= names
+    assert {"core/executors.py", "core/pipeline.py",
+            "core/stages.py"} <= names
+    # the generalized lint reaches every package, serving included
+    assert {"serving/router.py", "taxonomy/service.py", "cli.py"} <= names
+
+
+def test_exemptions_key_on_package_relative_paths():
+    # an unrelated runner.py in some future package must never inherit
+    # the workload dispatcher's clock exemption by filename
+    assert "workloads/runner.py" in CLOCK_EXEMPT
+    assert "runner.py" not in CLOCK_EXEMPT
+    assert all("/" in rel or rel == "cli.py" for rel in CLOCK_EXEMPT)
 
 
 def test_the_lint_catches_the_traps(tmp_path):
@@ -133,3 +94,14 @@ def test_the_lint_catches_the_traps(tmp_path):
     assert "default argument" in joined
     assert "unseeded global RNG" in joined
     assert "Random() without a seed" in joined
+
+
+def test_the_exemption_covers_only_the_clock(tmp_path):
+    # an exempted module may import time, but unseeded RNG rules and
+    # the default-argument trap still hold there
+    bad = "import time\nimport random\nx = random.random()\n"
+    fake = tmp_path / "runner.py"
+    fake.write_text(bad, encoding="utf-8")
+    joined = "\n".join(lint_module(fake, frozenset({"runner.py"})))
+    assert "import time" not in joined
+    assert "unseeded global RNG" in joined
